@@ -1,0 +1,82 @@
+"""FIG6 — balanced mixer: one-time waveform at the doubler node over 5 LO periods.
+
+Fig. 6 of the paper shows a small section (5 LO cycles, around t ~ 2.23 us)
+of the *actual* voltage waveform at the differential-pair sources,
+reconstructed from the multi-time solution through the diagonal evaluation
+``x(t) = x_hat(t, t)``.  This bench performs exactly that reconstruction and
+checks its consistency with the bivariate surface it came from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from paper_targets import (
+    ComparisonRow,
+    FIG6_CENTER_TIME,
+    FIG6_N_LO_PERIODS,
+    print_series,
+    print_table,
+)
+from repro.core import reconstruct_fast_cycles
+
+
+def test_fig6_one_time_waveform(benchmark, balanced_mixer_bitstream_solution):
+    mixer, result = balanced_mixer_bitstream_solution
+    surface = result.bivariate("tail")
+
+    def reconstruct():
+        return reconstruct_fast_cycles(
+            surface,
+            t_center=FIG6_CENTER_TIME,
+            n_cycles=FIG6_N_LO_PERIODS,
+            samples_per_cycle=64,
+        )
+
+    waveform = benchmark(reconstruct)
+
+    lo_period = 1.0 / mixer.lo_frequency
+    rows = [
+        ComparisonRow(
+            "reconstruction window",
+            "5 LO periods around t ~ 2.22-2.23 us",
+            f"{waveform.times[0] * 1e6:.4f} .. {waveform.times[-1] * 1e6:.4f} us "
+            f"({waveform.duration / lo_period:.1f} LO periods)",
+        ),
+        ComparisonRow(
+            "waveform range",
+            "~0.2 .. 1.6 V (Fig. 6 y-axis)",
+            f"{waveform.values.min():.3f} .. {waveform.values.max():.3f} V",
+        ),
+        ComparisonRow(
+            "periodicity at 2xLO",
+            "two similar humps per LO period (doubler)",
+            f"dominant period {waveform.duration / max(1, _count_peaks(waveform.values)):.2e} s",
+        ),
+    ]
+    print_table("FIG6 - one-time voltage at the doubler node over 5 LO periods", rows)
+
+    stride = max(1, len(waveform) // 24)
+    print_series(
+        "FIG6 series: reconstructed one-time waveform x(t) = x_hat(t, t)",
+        ["time (us)", "v_tail (V)"],
+        [
+            [f"{t * 1e6:.5f}", f"{v:.4f}"]
+            for t, v in zip(waveform.times[::stride], waveform.values[::stride])
+        ],
+    )
+
+    # Consistency: the diagonal reconstruction stays inside the envelope bounds.
+    upper = surface.envelope_max()
+    lower = surface.envelope_min()
+    tol = 0.05 * (surface.values.max() - surface.values.min())
+    assert np.all(waveform.values <= np.asarray(upper(waveform.times)) + tol)
+    assert np.all(waveform.values >= np.asarray(lower(waveform.times)) - tol)
+    # Roughly 2 humps per LO cycle (frequency doubling) are visible.
+    assert _count_peaks(waveform.values) >= FIG6_N_LO_PERIODS
+
+
+def _count_peaks(values: np.ndarray) -> int:
+    """Count strict local maxima (simple peak counter for the doubler humps)."""
+    interior = values[1:-1]
+    return int(np.sum((interior > values[:-2]) & (interior > values[2:])))

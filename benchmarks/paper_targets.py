@@ -1,0 +1,64 @@
+"""Reference values reported by the paper, used by the benchmark harness.
+
+The reproduction does not aim to match absolute CPU seconds (the paper's
+numbers are from a 2002-era 1.4 GHz Athlon running a compiled simulator);
+the quantities below are the *structural* targets — grid sizes, frequency
+plans, qualitative shapes and relative factors — that the benches compare
+against and print next to the measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# --- Section 2: ideal mixing example (Figs. 1 and 2) -------------------------
+IDEAL_MIXING_F1 = 1.0e9
+IDEAL_MIXING_FD = 10.0e3
+IDEAL_MIXING_DIFFERENCE_PERIOD = 1.0e-4  # "0.1 ms" span of Fig. 2
+IDEAL_MIXING_DIFFERENCE_AMPLITUDE = 0.5  # cos*cos product: difference tone = 1/2
+
+# --- Section 3: balanced LO-doubling mixer (Figs. 3-6) ------------------------
+BALANCED_LO_FREQUENCY = 450.0e6
+BALANCED_BASEBAND_FREQUENCY = 15.0e3
+BALANCED_BASEBAND_PERIOD = 1.0 / 15.0e3  # ~0.0667 ms, the span of Figs. 3-4
+FIG6_CENTER_TIME = 2.228e-6  # Fig. 6 shows ~5 LO periods around t ~ 2.22-2.23 us
+FIG6_N_LO_PERIODS = 5
+
+# --- Section 3: computational speed-up ----------------------------------------
+PAPER_GRID_FAST = 40
+PAPER_GRID_SLOW = 30
+PAPER_GRID_POINTS = 1200
+PAPER_NEWTON_ITERATIONS = 26          # "longest run (26 iterations)"
+PAPER_SHOOTING_TIME_STEPS = 300_000   # ">= 300000 time-steps" for the baseline
+PAPER_SYSTEM_SIZE_RATIO = 250         # "more than 250x larger" equation system
+PAPER_SPEEDUP_ORDERS_OF_MAGNITUDE = 2  # "more than two orders of magnitude"
+PAPER_BREAK_EVEN_DISPARITY = 200       # "frequency disparities of 200 and above"
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One row of a paper-vs-measured comparison table."""
+
+    label: str
+    paper: str
+    measured: str
+
+    def format(self, width: int = 44) -> str:
+        return f"  {self.label:<{width}} paper: {self.paper:<18} measured: {self.measured}"
+
+
+def print_table(title: str, rows: list[ComparisonRow]) -> None:
+    """Print a paper-vs-measured table to stdout (captured by pytest -s)."""
+    bar = "=" * 100
+    print(f"\n{bar}\n{title}\n{bar}")
+    for row in rows:
+        print(row.format())
+    print(bar)
+
+
+def print_series(title: str, headers: list[str], rows: list[list[str]]) -> None:
+    """Print a small numeric table (one figure curve or sweep)."""
+    print(f"\n--- {title} ---")
+    print("  " + " | ".join(f"{h:>16}" for h in headers))
+    for row in rows:
+        print("  " + " | ".join(f"{c:>16}" for c in row))

@@ -1,0 +1,72 @@
+"""Conversion-gain and distortion characterisation of the balanced mixer.
+
+The paper notes that pure-tone excitations give down-conversion gain and
+distortion figures directly from the multi-time solution.  This example
+sweeps the RF drive amplitude, solves the MPDE once per point, and prints a
+small data sheet for the mixer: conversion gain (linear and dB), baseband
+THD, and LO feedthrough — plus a comparison between the switching
+(unbalanced) and balanced topologies at one drive level.
+
+Run with::
+
+    python examples/conversion_gain_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro.core import solve_mpde
+from repro.rf import (
+    balanced_lo_doubling_mixer,
+    conversion_metrics,
+    lo_feedthrough_ratio,
+    unbalanced_switching_mixer,
+)
+from repro.signals.spectrum import fourier_coefficient
+from repro.utils import MPDEOptions, configure_logging
+
+GRID = MPDEOptions(n_fast=24, n_slow=20)
+RF_AMPLITUDES = (0.02, 0.05, 0.10, 0.15, 0.20)
+
+
+def characterise_balanced(rf_amplitude: float):
+    mixer = balanced_lo_doubling_mixer(rf_amplitude=rf_amplitude, use_bit_stream=False)
+    result = solve_mpde(mixer.compile(), mixer.scales, GRID)
+    metrics = conversion_metrics(result, "outp", "outn", rf_amplitude)
+    feedthrough = lo_feedthrough_ratio(result, "outp", "outn")
+    return metrics, feedthrough
+
+
+def characterise_unbalanced(rf_amplitude: float):
+    mixer = unbalanced_switching_mixer(rf_amplitude=rf_amplitude)
+    result = solve_mpde(mixer.compile(), mixer.scales, GRID)
+    envelope = result.baseband_envelope("out")
+    fd = mixer.scales.difference_frequency
+    amplitude = 2 * abs(fourier_coefficient(envelope, fd))
+    return amplitude / rf_amplitude
+
+
+def main() -> None:
+    configure_logging()
+    print("balanced LO-doubling mixer: conversion gain vs RF amplitude")
+    print(f"{'RF amp (V)':>12} {'gain':>8} {'gain (dB)':>10} {'THD':>8} {'LO feedthrough':>15}")
+    for amplitude in RF_AMPLITUDES:
+        metrics, feedthrough = characterise_balanced(amplitude)
+        print(
+            f"{amplitude:>12.3f} {metrics.gain:>8.3f} {metrics.gain_db:>10.2f} "
+            f"{100 * metrics.distortion:>7.2f}% {feedthrough:>15.3f}"
+        )
+
+    print("\ntopology comparison at 50 mV RF drive:")
+    balanced_metrics, _ = characterise_balanced(0.05)
+    unbalanced_gain = characterise_unbalanced(0.05)
+    print(f"  balanced LO-doubling mixer : gain {balanced_metrics.gain:6.3f}")
+    print(f"  unbalanced switching mixer : gain {unbalanced_gain:6.3f}")
+    print(
+        "\nThe balanced topology converts with active gain while the single-switch mixer "
+        "is passive (gain < 1); both numbers come straight from the difference-frequency "
+        "axis of the multi-time solution."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Quickstart: down-convert two closely spaced tones with the sheared multi-time method.
+
+This is the smallest end-to-end use of the library:
+
+1. build a mixer circuit (here the behavioural multiplying mixer of the
+   paper's Section 2, driven by a 1 GHz LO and a carrier 10 kHz below it),
+2. choose the difference-frequency time scales (the paper's key idea),
+3. solve the multi-time MPDE on a small 2-D grid, and
+4. read the baseband (difference-frequency) waveform directly off the slow
+   axis — no long transient, no Fourier post-processing.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import solve_mpde
+from repro.rf import conversion_gain, ideal_multiplier_mixer
+from repro.signals.spectrum import fourier_coefficient
+from repro.utils import MPDEOptions, configure_logging
+
+
+def main() -> None:
+    configure_logging()
+
+    # 1. The circuit: an ideal multiplying mixer with a 1 GHz LO and an RF
+    #    carrier 10 kHz below it (the paper's ideal-mixing example), loaded
+    #    by 1 kOhm.  The mixer builder also returns the recommended sheared
+    #    time scales.
+    mixer = ideal_multiplier_mixer(lo_frequency=1.0e9, difference_frequency=10.0e3)
+    mna = mixer.compile()
+
+    print(f"circuit: {mna.circuit.name}  ({mna.n_unknowns} unknowns)")
+    print(
+        "time scales: fast axis {:.3f} ns, difference axis {:.3f} ms (disparity {:.0f})".format(
+            mixer.scales.fast_period * 1e9,
+            mixer.scales.difference_period * 1e3,
+            mixer.scales.disparity,
+        )
+    )
+
+    # 2./3. Solve the MPDE on a 24 x 24 multi-time grid.
+    options = MPDEOptions(n_fast=24, n_slow=24)
+    result = solve_mpde(mna, mixer.scales, options)
+    print(
+        f"MPDE solved: {result.stats.n_total_unknowns} unknowns, "
+        f"{result.stats.newton_iterations} Newton iterations, "
+        f"{result.stats.wall_time_seconds:.2f} s"
+    )
+
+    # 4. Baseband results, read directly from the difference-frequency axis.
+    envelope = result.baseband_envelope(mixer.output_pos)
+    fd = mixer.scales.difference_frequency
+    baseband_amplitude = 2 * abs(fourier_coefficient(envelope, fd))
+    gain = conversion_gain(envelope, fd, mixer.rf_amplitude)
+
+    print(f"baseband output at {fd / 1e3:.1f} kHz: {baseband_amplitude * 1e3:.1f} mV peak")
+    print(f"down-conversion gain: {gain:.3f}  (analytic value for this mixer: 0.5)")
+
+    print("\nbaseband waveform over one difference period:")
+    for fraction in range(0, 11):
+        t = fraction / 10 * mixer.scales.difference_period
+        print(f"  t2 = {t * 1e6:7.2f} us   v_out = {float(envelope(t)):+8.5f} V")
+
+
+if __name__ == "__main__":
+    main()

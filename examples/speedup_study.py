@@ -1,0 +1,89 @@
+"""Speed-up study: sheared multi-time MPDE vs single-time shooting.
+
+Reproduces the shape of the paper's "Computational speedup" discussion on a
+laptop-sized problem: the unbalanced switching mixer is solved both ways for
+a sweep of frequency disparities (LO frequency / difference frequency), the
+wall-clock times are compared, and the fitted linear trend is extrapolated
+to the paper's full-scale disparity of 30 000.
+
+Shooting must step through every LO cycle of one difference-frequency
+period, so its cost grows linearly with the disparity; the multi-time grid
+is independent of the disparity, which is the whole point of the method.
+
+Run with::
+
+    python examples/speedup_study.py [--max-disparity 160]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.analysis import shooting_periodic_steady_state
+from repro.core import solve_mpde
+from repro.rf import unbalanced_switching_mixer
+from repro.signals.spectrum import fourier_coefficient
+from repro.utils import MPDEOptions, ShootingOptions, configure_logging
+
+LO_FREQUENCY = 2.0e6
+GRID = MPDEOptions(n_fast=32, n_slow=21)
+STEPS_PER_LO_CYCLE = 20
+
+
+def run_case(disparity: int) -> tuple[float, float, float]:
+    """Return (mpde seconds, shooting seconds, relative baseband mismatch)."""
+    fd = LO_FREQUENCY / disparity
+    mixer = unbalanced_switching_mixer(lo_frequency=LO_FREQUENCY, difference_frequency=fd)
+    mna = mixer.compile()
+
+    start = time.perf_counter()
+    mpde = solve_mpde(mna, mixer.scales, GRID)
+    t_mpde = time.perf_counter() - start
+    a_mpde = 2 * abs(fourier_coefficient(mpde.baseband_envelope("out"), fd))
+
+    start = time.perf_counter()
+    shooting = shooting_periodic_steady_state(
+        mna,
+        mixer.scales.difference_period,
+        options=ShootingOptions(steps_per_period=STEPS_PER_LO_CYCLE * disparity),
+    )
+    t_shoot = time.perf_counter() - start
+    a_shoot = 2 * abs(fourier_coefficient(shooting.waveform("out"), fd))
+
+    mismatch = abs(a_mpde - a_shoot) / max(a_shoot, 1e-15)
+    return t_mpde, t_shoot, mismatch
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-disparity", type=int, default=160)
+    args = parser.parse_args()
+    configure_logging()
+
+    disparities = [d for d in (10, 20, 40, 80, 160, 320) if d <= args.max_disparity]
+    print(f"{'disparity':>10} {'MPDE (s)':>10} {'shooting (s)':>13} {'speed-up':>10} {'mismatch':>10}")
+    speedups = []
+    for disparity in disparities:
+        t_mpde, t_shoot, mismatch = run_case(disparity)
+        speedup = t_shoot / t_mpde
+        speedups.append(speedup)
+        print(
+            f"{disparity:>10d} {t_mpde:>10.2f} {t_shoot:>13.2f} {speedup:>10.1f} "
+            f"{100 * mismatch:>9.1f}%"
+        )
+
+    slope, intercept = np.polyfit(np.asarray(disparities, float), np.asarray(speedups), 1)
+    print(f"\nlinear fit: speed-up ~ {slope:.3f} * disparity {intercept:+.2f}")
+    print(f"extrapolated speed-up at the paper's disparity (30 000): ~{slope * 30000 + intercept:.0f}x")
+    print(
+        "The paper reports > 100x (two orders of magnitude) at disparity 30 000 and a "
+        "break-even disparity around 200 for its C implementation; the absolute numbers are "
+        "implementation dependent, the linear growth is the method's property."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that legacy installation paths (``python setup.py develop`` on environments
+without the ``wheel`` package, offline editable installs) keep working.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — time-domain RF steady state for closely spaced tones.
+
+A from-scratch Python reproduction of J. Roychowdhury, *A Time-domain RF
+Steady-State Method for Closely Spaced Tones*, DAC 2002, together with the
+full circuit-simulation substrate the method runs on:
+
+* :mod:`repro.circuits` — netlists, device models, modified nodal analysis;
+* :mod:`repro.analysis` — DC, transient, shooting, collocation PSS,
+  harmonic balance, AC;
+* :mod:`repro.core` — the paper's contribution: sheared
+  difference-frequency time scales and the multi-time (MPDE) solver;
+* :mod:`repro.signals` — tones, bit streams, stimuli, waveforms, spectra;
+* :mod:`repro.rf` — mixer circuits (including the paper's balanced
+  LO-doubling mixer), a direct-conversion receiver, and RF metrics.
+
+Quick start::
+
+    from repro.rf import balanced_lo_doubling_mixer
+    from repro.core import solve_mpde
+    from repro.utils import MPDEOptions
+
+    mixer = balanced_lo_doubling_mixer()
+    result = solve_mpde(mixer.compile(), mixer.scales, MPDEOptions(n_fast=40, n_slow=30))
+    baseband = result.baseband_envelope("outp", node_neg="outn")
+"""
+
+from . import analysis, circuits, core, linalg, rf, signals, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "circuits",
+    "core",
+    "linalg",
+    "rf",
+    "signals",
+    "utils",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Classical circuit analyses: DC, transient, shooting, collocation PSS, HB, AC."""
+
+from .ac import ACResult, ac_sweep, unit_excitation_pattern
+from .dc import DCSolution, dc_operating_point
+from .harmonic_balance import HarmonicBalanceResult, harmonic_balance
+from .integration import (
+    BackwardEuler,
+    Gear2,
+    IntegrationRule,
+    StepContext,
+    Trapezoidal,
+    make_integration_rule,
+)
+from .pss_fd import CollocationPSSResult, collocation_periodic_steady_state
+from .shooting import ShootingResult, ShootingStats, shooting_periodic_steady_state
+from .transient import TransientResult, TransientStepStats, run_transient
+
+__all__ = [
+    "DCSolution",
+    "dc_operating_point",
+    "TransientResult",
+    "TransientStepStats",
+    "run_transient",
+    "ShootingResult",
+    "ShootingStats",
+    "shooting_periodic_steady_state",
+    "CollocationPSSResult",
+    "collocation_periodic_steady_state",
+    "HarmonicBalanceResult",
+    "harmonic_balance",
+    "ACResult",
+    "ac_sweep",
+    "unit_excitation_pattern",
+    "IntegrationRule",
+    "BackwardEuler",
+    "Trapezoidal",
+    "Gear2",
+    "StepContext",
+    "make_integration_rule",
+]

@@ -1,0 +1,143 @@
+"""Small-signal AC analysis.
+
+Linearises the circuit at a DC operating point and sweeps frequency:
+
+    (G(x_op) + j*omega*C(x_op)) * X(j*omega) = -dB
+
+where ``dB`` is the excitation pattern of the chosen independent source with
+unit amplitude.  AC analysis is not used by the MPDE core itself, but the RF
+metrics layer and several tests use it to sanity-check filters and to obtain
+reference transfer functions for linear circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.devices.sources import CurrentSource, VoltageSource
+from ..circuits.mna import MNASystem
+from ..utils.exceptions import AnalysisError, SingularMatrixError
+from ..utils.validation import as_float_array
+
+__all__ = ["ACResult", "ac_sweep", "unit_excitation_pattern"]
+
+
+@dataclass
+class ACResult:
+    """Result of an AC sweep.
+
+    Attributes
+    ----------
+    frequencies:
+        Sweep frequencies in Hz.
+    solutions:
+        Complex solution vectors, shape ``(F, n)``.
+    """
+
+    frequencies: np.ndarray
+    solutions: np.ndarray
+    mna: MNASystem
+
+    def transfer(self, node: str) -> np.ndarray:
+        """Complex node-voltage transfer function across the sweep."""
+        idx = self.mna.node_index(node)
+        if idx < 0:
+            return np.zeros(self.frequencies.shape, dtype=complex)
+        return self.solutions[:, idx]
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        """Transfer magnitude in dB (20*log10|H|)."""
+        transfer = np.abs(self.transfer(node))
+        with np.errstate(divide="ignore"):
+            return 20.0 * np.log10(transfer)
+
+    def phase_deg(self, node: str) -> np.ndarray:
+        """Transfer phase in degrees."""
+        return np.degrees(np.angle(self.transfer(node)))
+
+    def corner_frequency(self, node: str, *, drop_db: float = 3.0) -> float:
+        """First frequency at which the response drops ``drop_db`` below its low-frequency value."""
+        mags = self.magnitude_db(node)
+        reference = mags[0]
+        below = np.nonzero(mags <= reference - drop_db)[0]
+        if below.size == 0:
+            raise AnalysisError(
+                f"response at node {node!r} never drops {drop_db} dB within the sweep"
+            )
+        k = below[0]
+        if k == 0:
+            return float(self.frequencies[0])
+        # Log-linear interpolation between the bracketing points.
+        f_lo, f_hi = self.frequencies[k - 1], self.frequencies[k]
+        m_lo, m_hi = mags[k - 1], mags[k]
+        target = reference - drop_db
+        fraction = (m_lo - target) / (m_lo - m_hi)
+        return float(f_lo * (f_hi / f_lo) ** fraction)
+
+
+def unit_excitation_pattern(mna: MNASystem, source_name: str) -> np.ndarray:
+    """Derivative of the excitation vector w.r.t. the amplitude of one source.
+
+    For a voltage source the pattern has ``-1`` at its branch row (matching
+    the ``-V(t)`` convention of its stamp); for a current source ``+1`` /
+    ``-1`` at its terminal nodes.
+    """
+    device = mna.circuit.device(source_name)
+    pattern = np.zeros(mna.n_unknowns)
+    if isinstance(device, VoltageSource):
+        pattern[mna.branch_index(source_name)] = -1.0
+        return pattern
+    if isinstance(device, CurrentSource):
+        p_idx = mna.node_index(device.node_pos) if not mna.circuit.is_ground(device.node_pos) else -1
+        n_idx = mna.node_index(device.node_neg) if not mna.circuit.is_ground(device.node_neg) else -1
+        if p_idx >= 0:
+            pattern[p_idx] = 1.0
+        if n_idx >= 0:
+            pattern[n_idx] = -1.0
+        return pattern
+    raise AnalysisError(
+        f"device {source_name!r} is not an independent source; cannot build an AC excitation"
+    )
+
+
+def ac_sweep(
+    mna: MNASystem,
+    x_op: np.ndarray,
+    frequencies: np.ndarray,
+    source_name: str,
+) -> ACResult:
+    """Sweep the linearised circuit over ``frequencies`` for a unit AC drive.
+
+    Parameters
+    ----------
+    mna:
+        Compiled circuit equations.
+    x_op:
+        Operating point about which to linearise (from
+        :func:`repro.analysis.dc.dc_operating_point`).
+    frequencies:
+        Frequencies in Hz (must be positive or zero).
+    source_name:
+        Name of the independent source carrying the unit AC excitation.
+    """
+    freqs = as_float_array("frequencies", frequencies)
+    if np.any(freqs < 0):
+        raise AnalysisError("AC sweep frequencies must be non-negative")
+    evaluation = mna.evaluate(np.asarray(x_op, dtype=float).reshape(1, -1))
+    conductance = evaluation.conductance[0]
+    capacitance = evaluation.capacitance[0]
+    pattern = unit_excitation_pattern(mna, source_name)
+
+    solutions = np.zeros((freqs.size, mna.n_unknowns), dtype=complex)
+    for k, freq in enumerate(freqs):
+        omega = 2.0 * np.pi * freq
+        matrix = conductance + 1j * omega * capacitance
+        try:
+            solutions[k] = np.linalg.solve(matrix, -pattern)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                f"AC system is singular at {freq:g} Hz (floating node or ideal-source loop?)"
+            ) from exc
+    return ACResult(frequencies=freqs, solutions=solutions, mna=mna)

@@ -1,0 +1,192 @@
+"""DC operating-point analysis.
+
+Solves ``f(x) + b(t=0) = 0`` (charges do not contribute at DC) with damped
+Newton.  When plain Newton fails — the normal situation for multi-transistor
+circuits started from a zero guess — two classic continuation strategies are
+tried automatically, in order:
+
+1. **gmin stepping**: a conductance from every node to ground is swept from a
+   large value down to (effectively) zero, and
+2. **source stepping**: all independent sources are ramped up from zero,
+
+both implemented on top of :func:`repro.linalg.continuation.continuation_solve`.
+This mirrors the paper's reliance on continuation for hard nonlinear solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.mna import MNASystem
+from ..linalg.continuation import continuation_solve
+from ..linalg.newton import NewtonResult, newton_solve
+from ..utils.exceptions import ConvergenceError
+from ..utils.logging import get_logger
+from ..utils.options import ContinuationOptions, NewtonOptions
+
+__all__ = ["DCSolution", "dc_operating_point"]
+
+_LOG = get_logger("analysis.dc")
+
+# gmin stepping sweeps the node-to-ground conductance from GMIN_START down to
+# GMIN_FINAL; the final value is small enough not to perturb realistic
+# circuits but keeps the Jacobian nonsingular for floating nodes.
+_GMIN_START = 1e-2
+_GMIN_FINAL = 1e-12
+
+
+@dataclass(frozen=True)
+class DCSolution:
+    """Result of a DC operating-point analysis.
+
+    Attributes
+    ----------
+    x:
+        The operating point (node voltages and branch currents).
+    strategy:
+        Which strategy succeeded: ``"newton"``, ``"gmin-stepping"`` or
+        ``"source-stepping"``.
+    newton_iterations:
+        Total Newton iterations spent (including continuation sub-solves).
+    residual_norm:
+        Infinity norm of ``f(x) + b(0)`` at the solution.
+    """
+
+    x: np.ndarray
+    strategy: str
+    newton_iterations: int
+    residual_norm: float
+
+    def voltage(self, mna: MNASystem, node: str) -> float:
+        """Convenience accessor for a node voltage at the operating point."""
+        return float(mna.voltage(self.x, node))
+
+
+def _plain_newton(
+    mna: MNASystem, x0: np.ndarray, b0: np.ndarray, options: NewtonOptions
+) -> NewtonResult:
+    gmin = mna.gmin_matrix(_GMIN_FINAL)
+
+    def residual(x: np.ndarray) -> np.ndarray:
+        return mna.f(x) + b0 + gmin @ x
+
+    def jacobian(x: np.ndarray) -> np.ndarray:
+        return mna.conductance_matrix(x) + gmin
+
+    return newton_solve(residual, jacobian, x0, options, raise_on_failure=False)
+
+
+def _gmin_stepping(
+    mna: MNASystem,
+    x0: np.ndarray,
+    b0: np.ndarray,
+    newton_options: NewtonOptions,
+    continuation_options: ContinuationOptions,
+):
+    """Sweep gmin from _GMIN_START down to _GMIN_FINAL (log-spaced embedding)."""
+    log_start = np.log10(_GMIN_START)
+    log_final = np.log10(_GMIN_FINAL)
+
+    def gmin_of(lam: float) -> float:
+        return 10.0 ** (log_start + lam * (log_final - log_start))
+
+    def residual(x: np.ndarray, lam: float) -> np.ndarray:
+        return mna.f(x) + b0 + mna.gmin_matrix(gmin_of(lam)) @ x
+
+    def jacobian(x: np.ndarray, lam: float) -> np.ndarray:
+        return mna.conductance_matrix(x) + mna.gmin_matrix(gmin_of(lam))
+
+    return continuation_solve(residual, jacobian, x0, newton_options, continuation_options)
+
+
+def _source_stepping(
+    mna: MNASystem,
+    x0: np.ndarray,
+    b0: np.ndarray,
+    newton_options: NewtonOptions,
+    continuation_options: ContinuationOptions,
+):
+    """Ramp the full excitation vector from zero up to its nominal value."""
+    gmin = mna.gmin_matrix(_GMIN_FINAL)
+
+    def residual(x: np.ndarray, lam: float) -> np.ndarray:
+        return mna.f(x) + lam * b0 + gmin @ x
+
+    def jacobian(x: np.ndarray, lam: float) -> np.ndarray:
+        del lam
+        return mna.conductance_matrix(x) + gmin
+
+    return continuation_solve(residual, jacobian, x0, newton_options, continuation_options)
+
+
+def dc_operating_point(
+    mna: MNASystem,
+    *,
+    x0: np.ndarray | None = None,
+    time: float = 0.0,
+    newton_options: NewtonOptions | None = None,
+    continuation_options: ContinuationOptions | None = None,
+) -> DCSolution:
+    """Compute the DC operating point of a compiled circuit.
+
+    Parameters
+    ----------
+    mna:
+        The compiled circuit equations.
+    x0:
+        Optional initial guess (defaults to all zeros).
+    time:
+        Time at which the excitation ``b(t)`` is frozen (0 by default, which
+        evaluates sinusoidal sources at their ``t = 0`` value).
+    newton_options, continuation_options:
+        Iteration controls.
+
+    Raises
+    ------
+    ConvergenceError
+        If plain Newton, gmin stepping and source stepping all fail.
+    """
+    nopts = newton_options or NewtonOptions()
+    copts = continuation_options or ContinuationOptions()
+    x_start = mna.zero_state() if x0 is None else np.asarray(x0, dtype=float).copy()
+    b0 = mna.source(time)
+
+    result = _plain_newton(mna, x_start, b0, nopts)
+    if result.converged:
+        return DCSolution(
+            x=result.x,
+            strategy="newton",
+            newton_iterations=result.iterations,
+            residual_norm=result.residual_norm,
+        )
+    _LOG.info("plain Newton failed for DC operating point; trying gmin stepping")
+
+    try:
+        cont = _gmin_stepping(mna, x_start, b0, nopts, copts)
+        residual_norm = float(np.max(np.abs(mna.f(cont.x) + b0)))
+        return DCSolution(
+            x=cont.x,
+            strategy="gmin-stepping",
+            newton_iterations=cont.newton_iterations + result.iterations,
+            residual_norm=residual_norm,
+        )
+    except ConvergenceError:
+        _LOG.info("gmin stepping failed for DC operating point; trying source stepping")
+
+    try:
+        cont = _source_stepping(mna, x_start, b0, nopts, copts)
+        residual_norm = float(np.max(np.abs(mna.f(cont.x) + b0)))
+        return DCSolution(
+            x=cont.x,
+            strategy="source-stepping",
+            newton_iterations=cont.newton_iterations + result.iterations,
+            residual_norm=residual_norm,
+        )
+    except ConvergenceError as exc:
+        raise ConvergenceError(
+            f"DC operating point of {mna.circuit.name!r} failed: plain Newton, gmin stepping "
+            "and source stepping all diverged",
+            residual_norm=result.residual_norm,
+        ) from exc

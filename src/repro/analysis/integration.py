@@ -1,0 +1,167 @@
+"""Implicit integration rules for the charge-oriented DAE.
+
+All time-stepping in the library (transient analysis and the inner loop of
+shooting) discretises
+
+    d/dt q(x(t)) + f(x(t)) + b(t) = 0
+
+with a linear multistep rule that expresses the derivative of ``q`` at the
+*new* time point as
+
+    dq/dt |_{n+1}  ~=  alpha * q(x_{n+1}) + r_n
+
+where ``alpha`` depends only on the step size(s) and ``r_n`` collects known
+history (previous charges and, for the trapezoidal rule, the previous
+derivative obtained *exactly* from the DAE itself as
+``dq/dt|_n = -(f(x_n) + b(t_n))``).  The implicit step then solves
+
+    alpha * q(x_{n+1}) + r_n + f(x_{n+1}) + b(t_{n+1}) = 0
+
+with Newton, whose Jacobian is ``alpha * C(x) + G(x)``.
+
+Three classic rules are provided:
+
+* **Backward Euler** — first order, L-stable, strongly damping.  The most
+  robust choice for the switching waveforms the paper targets.
+* **Trapezoidal** — second order, A-stable, no numerical damping (but prone
+  to ringing on discontinuities).
+* **Gear-2 / BDF2** — second order, L-stable; needs two history points, so
+  the first step falls back to backward Euler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.exceptions import AnalysisError
+
+__all__ = [
+    "StepContext",
+    "IntegrationRule",
+    "BackwardEuler",
+    "Trapezoidal",
+    "Gear2",
+    "make_integration_rule",
+]
+
+
+@dataclass
+class StepContext:
+    """History carried from one accepted time step to the next.
+
+    Attributes
+    ----------
+    q_prev:
+        ``q(x_n)`` at the previous accepted point.
+    qdot_prev:
+        ``dq/dt`` at the previous accepted point (from the DAE identity).
+    q_prev2:
+        ``q(x_{n-1})`` two accepted points back (for BDF2); may be ``None``.
+    h_prev:
+        Size of the previous accepted step (for variable-step BDF2); may be
+        ``None`` on the first step.
+    """
+
+    q_prev: np.ndarray
+    qdot_prev: np.ndarray
+    q_prev2: np.ndarray | None = None
+    h_prev: float | None = None
+
+
+class IntegrationRule:
+    """Base class for implicit linear-multistep rules (see module docstring)."""
+
+    name = "abstract"
+    order = 0
+
+    def derivative_coefficients(self, h: float, context: StepContext) -> tuple[float, np.ndarray]:
+        """Return ``(alpha, r)`` such that ``dq/dt|_{n+1} ~= alpha * q_{n+1} + r``."""
+        raise NotImplementedError
+
+    def needs_two_history_points(self) -> bool:
+        """Whether the rule requires ``q_prev2`` (BDF2 does)."""
+        return False
+
+
+class BackwardEuler(IntegrationRule):
+    """First-order backward (implicit) Euler: ``dq/dt ~ (q_{n+1} - q_n) / h``."""
+
+    name = "backward-euler"
+    order = 1
+
+    def derivative_coefficients(self, h: float, context: StepContext) -> tuple[float, np.ndarray]:
+        if h <= 0:
+            raise AnalysisError(f"step size must be positive, got {h}")
+        return 1.0 / h, -context.q_prev / h
+
+
+class Trapezoidal(IntegrationRule):
+    """Second-order trapezoidal rule.
+
+    ``(q_{n+1} - q_n) / h = (dq/dt|_{n+1} + dq/dt|_n) / 2`` rearranged to
+    ``dq/dt|_{n+1} = 2 (q_{n+1} - q_n) / h - dq/dt|_n``.
+    """
+
+    name = "trapezoidal"
+    order = 2
+
+    def derivative_coefficients(self, h: float, context: StepContext) -> tuple[float, np.ndarray]:
+        if h <= 0:
+            raise AnalysisError(f"step size must be positive, got {h}")
+        alpha = 2.0 / h
+        r = -2.0 * context.q_prev / h - context.qdot_prev
+        return alpha, r
+
+
+class Gear2(IntegrationRule):
+    """Second-order backward differentiation formula (BDF2).
+
+    Variable-step form: with current step ``h`` and previous step ``h_prev``,
+    ``rho = h / h_prev`` and
+
+        dq/dt|_{n+1} ~= [ (1 + 2 rho)/(1 + rho) q_{n+1}
+                          - (1 + rho) q_n
+                          + rho^2/(1 + rho) q_{n-1} ] / h
+
+    which reduces to the familiar ``(3/2 q_{n+1} - 2 q_n + 1/2 q_{n-1}) / h``
+    for uniform steps.  Falls back to backward Euler when only one history
+    point is available.
+    """
+
+    name = "gear2"
+    order = 2
+
+    def needs_two_history_points(self) -> bool:
+        return True
+
+    def derivative_coefficients(self, h: float, context: StepContext) -> tuple[float, np.ndarray]:
+        if h <= 0:
+            raise AnalysisError(f"step size must be positive, got {h}")
+        if context.q_prev2 is None or context.h_prev is None:
+            return BackwardEuler().derivative_coefficients(h, context)
+        rho = h / context.h_prev
+        a_new = (1.0 + 2.0 * rho) / (1.0 + rho)
+        a_prev = -(1.0 + rho)
+        a_prev2 = rho * rho / (1.0 + rho)
+        alpha = a_new / h
+        r = (a_prev * context.q_prev + a_prev2 * context.q_prev2) / h
+        return alpha, r
+
+
+_RULES = {
+    BackwardEuler.name: BackwardEuler,
+    Trapezoidal.name: Trapezoidal,
+    Gear2.name: Gear2,
+}
+
+
+def make_integration_rule(name: str) -> IntegrationRule:
+    """Instantiate an integration rule by name."""
+    try:
+        return _RULES[name]()
+    except KeyError as exc:
+        raise AnalysisError(
+            f"unknown integration method {name!r}; available: {sorted(_RULES)}"
+        ) from exc

@@ -1,0 +1,16 @@
+"""Circuit substrate: netlists, device models and MNA compilation."""
+
+from . import devices
+from .mna import MNAEvaluation, MNASystem
+from .netlist import GROUND_NAMES, Circuit
+from .parser import parse_netlist, parse_value
+
+__all__ = [
+    "Circuit",
+    "GROUND_NAMES",
+    "MNASystem",
+    "MNAEvaluation",
+    "devices",
+    "parse_netlist",
+    "parse_value",
+]

@@ -1,0 +1,35 @@
+"""Device models: passives, sources, diodes, MOSFETs, BJTs and behavioural elements."""
+
+from .base import Device, TwoTerminal
+from .behavioral import MultiplierCurrentSource, PolynomialConductance, SmoothSwitch
+from .bjt import BJT, NPN, PNP, BJTParams
+from .diode import Diode, DiodeParams
+from .mosfet import MOSFET, NMOS, PMOS, MOSFETParams
+from .passives import Capacitor, Conductance, Inductor, Resistor
+from .sources import VCCS, VCVS, CurrentSource, VoltageSource
+
+__all__ = [
+    "Device",
+    "TwoTerminal",
+    "Resistor",
+    "Conductance",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCCS",
+    "VCVS",
+    "Diode",
+    "DiodeParams",
+    "MOSFET",
+    "NMOS",
+    "PMOS",
+    "MOSFETParams",
+    "BJT",
+    "NPN",
+    "PNP",
+    "BJTParams",
+    "MultiplierCurrentSource",
+    "SmoothSwitch",
+    "PolynomialConductance",
+]

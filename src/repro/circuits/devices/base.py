@@ -1,0 +1,191 @@
+"""Device base class and stamping conventions.
+
+Circuit equations are written in the charge-oriented DAE form the paper uses
+(its Eq. (1))::
+
+    d/dt q(x(t)) + f(x(t)) + b(t) = 0
+
+where ``x`` collects the node voltages (relative to ground) followed by the
+branch currents of devices that need an explicit current unknown (voltage
+sources, inductors, VCVS).  Devices contribute to the vectors and Jacobians
+through *stamps*:
+
+* ``stamp_static``  — resistive/conductive currents ``f(x)`` and their
+  Jacobian ``G(x) = df/dx``,
+* ``stamp_dynamic`` — charges/fluxes ``q(x)`` and their Jacobian
+  ``C(x) = dq/dx``,
+* ``stamp_source``  — the excitation ``b(t)`` of independent sources, and
+* ``stamp_source_bivariate`` — the multi-time excitation ``b_hat(t1, t2)``
+  used by the MPDE core.
+
+Sign conventions
+----------------
+* Node equations are KCL written as "sum of currents *leaving* the node
+  through devices equals zero"; a device conducting current out of node
+  ``a`` into node ``b`` therefore adds ``+i`` to row ``a`` and ``-i`` to row
+  ``b``.
+* Branch rows of voltage-defined elements enforce the branch relation
+  (e.g. ``v+ - v- - V(t) = 0`` for an independent voltage source) with the
+  known excitation moved into ``b(t)``.
+
+Vectorised evaluation
+---------------------
+All stamps operate on arrays holding *many* evaluation points at once:
+``X`` has shape ``(P, n)`` (P evaluation points, n unknowns) and the
+accumulators have shapes ``Q, F, B: (P, n)`` and ``C, G: (P, n, n)``.  The
+MPDE discretisation evaluates the whole 2-D grid (the paper's 40 x 30 = 1200
+points) in a single call, which is what keeps the pure-Python reproduction
+fast; single-point analyses (DC, transient) simply pass ``P = 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...utils.exceptions import DeviceError
+
+__all__ = ["Device", "TwoTerminal"]
+
+
+class Device:
+    """Abstract network element.
+
+    Subclasses declare their node connections via :attr:`node_names` and, if
+    they need branch-current unknowns, override :meth:`n_branch_unknowns`.
+    Index resolution (node name -> position in the unknown vector) is
+    performed once by :meth:`bind`, called from ``Circuit.compile()``.
+    """
+
+    def __init__(self, name: str, node_names: Sequence[str]) -> None:
+        if not name:
+            raise DeviceError("device name must be a non-empty string")
+        self.name = str(name)
+        self.node_names: tuple[str, ...] = tuple(str(n) for n in node_names)
+        if len(self.node_names) == 0:
+            raise DeviceError(f"device {name!r} must connect to at least one node")
+        self._node_idx: tuple[int, ...] = ()
+        self._branch_idx: tuple[int, ...] = ()
+        self._bound = False
+
+    # -- topology ------------------------------------------------------
+    def n_branch_unknowns(self) -> int:
+        """Number of extra (branch-current) unknowns this device introduces."""
+        return 0
+
+    def branch_labels(self) -> tuple[str, ...]:
+        """Labels for the branch unknowns (used in result reporting)."""
+        return tuple(f"i({self.name})#{k}" for k in range(self.n_branch_unknowns()))
+
+    def bind(self, node_indices: Sequence[int], branch_indices: Sequence[int]) -> None:
+        """Resolve node/branch positions in the global unknown vector.
+
+        ``node_indices`` contains one index per entry of :attr:`node_names`
+        (-1 denotes the ground node); ``branch_indices`` contains
+        ``n_branch_unknowns()`` indices.
+        """
+        if len(node_indices) != len(self.node_names):
+            raise DeviceError(
+                f"device {self.name!r} expected {len(self.node_names)} node indices, "
+                f"got {len(node_indices)}"
+            )
+        if len(branch_indices) != self.n_branch_unknowns():
+            raise DeviceError(
+                f"device {self.name!r} expected {self.n_branch_unknowns()} branch indices, "
+                f"got {len(branch_indices)}"
+            )
+        self._node_idx = tuple(int(i) for i in node_indices)
+        self._branch_idx = tuple(int(i) for i in branch_indices)
+        self._bound = True
+
+    @property
+    def is_bound(self) -> bool:
+        """Whether :meth:`bind` has been called."""
+        return self._bound
+
+    def _require_bound(self) -> None:
+        if not self._bound:
+            raise DeviceError(
+                f"device {self.name!r} has not been bound to a circuit; call Circuit.compile()"
+            )
+
+    # -- voltage access helpers -----------------------------------------
+    @staticmethod
+    def _voltage(X: np.ndarray, index: int) -> np.ndarray:
+        """Voltage of node ``index`` for every evaluation point (0 for ground)."""
+        if index < 0:
+            return np.zeros(X.shape[0])
+        return X[:, index]
+
+    @staticmethod
+    def _add_vec(vec: np.ndarray, index: int, value: np.ndarray | float) -> None:
+        """Accumulate ``value`` into column ``index`` of a (P, n) vector array."""
+        if index >= 0:
+            vec[:, index] += value
+
+    @staticmethod
+    def _add_mat(mat: np.ndarray, row: int, col: int, value: np.ndarray | float) -> None:
+        """Accumulate ``value`` into entry (row, col) of a (P, n, n) Jacobian array."""
+        if row >= 0 and col >= 0:
+            mat[:, row, col] += value
+
+    # -- stamps (defaults: contribute nothing) ---------------------------
+    def stamp_static(self, X: np.ndarray, F: np.ndarray, G: np.ndarray) -> None:
+        """Accumulate conductive currents ``f(x)`` and their Jacobian ``G``."""
+
+    def stamp_dynamic(self, X: np.ndarray, Q: np.ndarray, C: np.ndarray) -> None:
+        """Accumulate charges/fluxes ``q(x)`` and their Jacobian ``C``."""
+
+    def stamp_source(self, times: np.ndarray, B: np.ndarray) -> None:
+        """Accumulate the excitation ``b(t)`` at the given ``times`` (shape (P,))."""
+
+    def stamp_source_bivariate(
+        self, t1: np.ndarray, t2: np.ndarray, scales, B: np.ndarray
+    ) -> None:
+        """Accumulate the multi-time excitation ``b_hat(t1, t2)``.
+
+        The default maps a time-invariant ``stamp_source`` through the
+        diagonal, which is correct for any device whose excitation does not
+        depend on time (e.g. DC supplies); time-varying sources override
+        this.
+        """
+        self.stamp_source(np.asarray(t1, dtype=float), B)
+
+    def is_nonlinear(self) -> bool:
+        """Whether the device's ``f`` or ``q`` depend nonlinearly on ``x``."""
+        return False
+
+    def has_dynamics(self) -> bool:
+        """Whether the device contributes to ``q`` (charge/flux storage)."""
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        nodes = ",".join(self.node_names)
+        return f"{type(self).__name__}({self.name!r}, nodes=[{nodes}])"
+
+
+class TwoTerminal(Device):
+    """Convenience base class for devices with exactly two terminals."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str) -> None:
+        super().__init__(name, (node_pos, node_neg))
+
+    @property
+    def node_pos(self) -> str:
+        """Name of the positive terminal node."""
+        return self.node_names[0]
+
+    @property
+    def node_neg(self) -> str:
+        """Name of the negative terminal node."""
+        return self.node_names[1]
+
+    def _terminal_indices(self) -> tuple[int, int]:
+        self._require_bound()
+        return self._node_idx[0], self._node_idx[1]
+
+    def branch_voltage(self, X: np.ndarray) -> np.ndarray:
+        """Voltage across the device, ``v(pos) - v(neg)``, per evaluation point."""
+        p, n = self._terminal_indices()
+        return self._voltage(X, p) - self._voltage(X, n)

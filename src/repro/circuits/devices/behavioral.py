@@ -1,0 +1,174 @@
+"""Behavioural (idealised) nonlinear elements.
+
+These devices capture a nonlinearity directly as an equation rather than as a
+physical transistor model.  They are used by:
+
+* the *ideal mixing* example of Section 2 of the paper
+  (:class:`MultiplierCurrentSource` produces ``i = K * v_a * v_b``, the
+  product that generates the difference tone explicitly),
+* the unbalanced switching-mixer example (:class:`SmoothSwitch` is a
+  voltage-controlled conductance that switches sharply, the archetype of the
+  strongly nonlinear waveforms harmonic balance struggles with), and
+* tests that need a simple polynomial nonlinearity
+  (:class:`PolynomialConductance`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...utils.exceptions import DeviceError
+from ...utils.validation import check_finite, check_positive
+from .base import Device, TwoTerminal
+
+__all__ = ["MultiplierCurrentSource", "SmoothSwitch", "PolynomialConductance"]
+
+
+class MultiplierCurrentSource(Device):
+    """Ideal multiplying transconductor: ``i_out = gain * v(a) * v(b)``.
+
+    The output current flows from ``out_pos`` through the source to
+    ``out_neg``.  Node order: (out_pos, out_neg, in_a_pos, in_a_neg,
+    in_b_pos, in_b_neg).  Driving the two inputs with closely spaced tones
+    reproduces the ideal mixing operation ``z(t) = x(t) * y(t)`` of Eq. (5)
+    in the paper.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        out_pos: str,
+        out_neg: str,
+        in_a_pos: str,
+        in_a_neg: str,
+        in_b_pos: str,
+        in_b_neg: str,
+        gain: float = 1.0,
+    ) -> None:
+        super().__init__(name, (out_pos, out_neg, in_a_pos, in_a_neg, in_b_pos, in_b_neg))
+        self.gain = check_finite("gain", gain)
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    def stamp_static(self, X: np.ndarray, F: np.ndarray, G: np.ndarray) -> None:
+        self._require_bound()
+        op, on, ap, an, bp, bn = self._node_idx
+        va = self._voltage(X, ap) - self._voltage(X, an)
+        vb = self._voltage(X, bp) - self._voltage(X, bn)
+        current = self.gain * va * vb
+        self._add_vec(F, op, current)
+        self._add_vec(F, on, -current)
+        # d i / d va = gain * vb ; d i / d vb = gain * va
+        dia = self.gain * vb
+        dib = self.gain * va
+        for node, sign in ((op, 1.0), (on, -1.0)):
+            self._add_mat(G, node, ap, sign * dia)
+            self._add_mat(G, node, an, -sign * dia)
+            self._add_mat(G, node, bp, sign * dib)
+            self._add_mat(G, node, bn, -sign * dib)
+
+
+class SmoothSwitch(Device):
+    """Voltage-controlled switch with a smooth (tanh) transition.
+
+    The conductance between the two switched terminals moves between
+    ``g_off`` and ``g_on`` as the control voltage crosses ``threshold``::
+
+        g(v_ctrl) = g_off + (g_on - g_off) * (1 + tanh((v_ctrl - threshold)/width)) / 2
+
+    A small ``transition_width`` makes the device behave like an on/off
+    switch driven by the LO — the textbook "switching mixer" nonlinearity —
+    while remaining differentiable for Newton.  Node order: (pos, neg,
+    ctrl_pos, ctrl_neg).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        node_pos: str,
+        node_neg: str,
+        ctrl_pos: str,
+        ctrl_neg: str,
+        *,
+        g_on: float = 1e-2,
+        g_off: float = 1e-9,
+        threshold: float = 0.0,
+        transition_width: float = 0.05,
+    ) -> None:
+        super().__init__(name, (node_pos, node_neg, ctrl_pos, ctrl_neg))
+        self.g_on = check_positive("g_on", g_on)
+        self.g_off = check_positive("g_off", g_off)
+        if self.g_off >= self.g_on:
+            raise DeviceError("g_off must be smaller than g_on")
+        self.threshold = check_finite("threshold", threshold)
+        self.transition_width = check_positive("transition_width", transition_width)
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    def _conductance(self, v_ctrl: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Conductance and its derivative w.r.t. the control voltage."""
+        u = (v_ctrl - self.threshold) / self.transition_width
+        s = np.tanh(u)
+        g = self.g_off + (self.g_on - self.g_off) * 0.5 * (1.0 + s)
+        dg = (self.g_on - self.g_off) * 0.5 * (1.0 - s**2) / self.transition_width
+        return g, dg
+
+    def stamp_static(self, X: np.ndarray, F: np.ndarray, G: np.ndarray) -> None:
+        self._require_bound()
+        p, n, cp, cn = self._node_idx
+        v_sw = self._voltage(X, p) - self._voltage(X, n)
+        v_ctrl = self._voltage(X, cp) - self._voltage(X, cn)
+        g, dg = self._conductance(v_ctrl)
+        current = g * v_sw
+        self._add_vec(F, p, current)
+        self._add_vec(F, n, -current)
+        # Derivatives w.r.t. the switched terminals.
+        self._add_mat(G, p, p, g)
+        self._add_mat(G, p, n, -g)
+        self._add_mat(G, n, p, -g)
+        self._add_mat(G, n, n, g)
+        # Derivatives w.r.t. the control terminals.
+        di_dctrl = dg * v_sw
+        self._add_mat(G, p, cp, di_dctrl)
+        self._add_mat(G, p, cn, -di_dctrl)
+        self._add_mat(G, n, cp, -di_dctrl)
+        self._add_mat(G, n, cn, di_dctrl)
+
+
+class PolynomialConductance(TwoTerminal):
+    """Two-terminal element whose current is a polynomial in its voltage.
+
+    ``i(v) = c1 * v + c2 * v^2 + c3 * v^3 + ...`` (no constant term, so the
+    element is passive at ``v = 0``).  Used by distortion tests and by the
+    harmonic-balance cross-checks, where the exact spectrum of a polynomial
+    nonlinearity under sinusoidal drive is known in closed form.
+    """
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, coefficients: Sequence[float]) -> None:
+        super().__init__(name, node_pos, node_neg)
+        coeffs = [check_finite(f"coefficients[{i}]", c) for i, c in enumerate(coefficients)]
+        if len(coeffs) == 0:
+            raise DeviceError("PolynomialConductance needs at least one coefficient")
+        self.coefficients = tuple(coeffs)
+
+    def is_nonlinear(self) -> bool:
+        return len(self.coefficients) > 1
+
+    def stamp_static(self, X: np.ndarray, F: np.ndarray, G: np.ndarray) -> None:
+        p, n = self._terminal_indices()
+        v = self.branch_voltage(X)
+        current = np.zeros_like(v)
+        conductance = np.zeros_like(v)
+        for k, coeff in enumerate(self.coefficients, start=1):
+            current = current + coeff * v**k
+            conductance = conductance + k * coeff * v ** (k - 1)
+        self._add_vec(F, p, current)
+        self._add_vec(F, n, -current)
+        self._add_mat(G, p, p, conductance)
+        self._add_mat(G, p, n, -conductance)
+        self._add_mat(G, n, p, -conductance)
+        self._add_mat(G, n, n, conductance)

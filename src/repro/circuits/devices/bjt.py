@@ -1,0 +1,199 @@
+"""Bipolar junction transistor (Ebers-Moll) model.
+
+The paper's circuits are CMOS, but bipolar Gilbert-cell mixers are the other
+canonical down-conversion topology and several tests and examples use them to
+show that the difference-time-scale MPDE method is not specific to MOS
+switching circuits.  The model implemented here is the basic transport-form
+Ebers-Moll equation pair with exponent limiting, without parasitic
+resistances; junction capacitances are constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...utils.exceptions import DeviceError
+from ...utils.validation import check_nonnegative, check_positive
+from .base import Device
+from .diode import DEFAULT_THERMAL_VOLTAGE
+
+__all__ = ["BJTParams", "BJT", "NPN", "PNP"]
+
+_MAX_EXPONENT = 40.0
+
+
+@dataclass(frozen=True)
+class BJTParams:
+    """Ebers-Moll parameters.
+
+    Attributes
+    ----------
+    saturation_current:
+        Transport saturation current ``IS``.
+    beta_forward, beta_reverse:
+        Forward / reverse current gains ``BF`` / ``BR``.
+    cje, cjc:
+        Constant base-emitter / base-collector capacitances.
+    thermal_voltage:
+        ``kT/q``.
+    """
+
+    saturation_current: float = 1e-16
+    beta_forward: float = 100.0
+    beta_reverse: float = 1.0
+    cje: float = 0.0
+    cjc: float = 0.0
+    thermal_voltage: float = DEFAULT_THERMAL_VOLTAGE
+
+    def __post_init__(self) -> None:
+        check_positive("saturation_current", self.saturation_current)
+        check_positive("beta_forward", self.beta_forward)
+        check_positive("beta_reverse", self.beta_reverse)
+        check_nonnegative("cje", self.cje)
+        check_nonnegative("cjc", self.cjc)
+        check_positive("thermal_voltage", self.thermal_voltage)
+
+
+def _limited_exp(arg: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Exponential with linear continuation past ``_MAX_EXPONENT``.
+
+    Returns the (possibly continued) value and its derivative w.r.t. ``arg``.
+    """
+    limited = np.minimum(arg, _MAX_EXPONENT)
+    e = np.exp(limited)
+    over = arg > _MAX_EXPONENT
+    value = np.where(over, e * (1.0 + (arg - _MAX_EXPONENT)), e)
+    derivative = np.where(over, e, e)
+    return value, derivative
+
+
+class BJT(Device):
+    """Three-terminal BJT (collector, base, emitter), Ebers-Moll transport form.
+
+    ``polarity = +1`` gives an NPN, ``-1`` a PNP.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        collector: str,
+        base: str,
+        emitter: str,
+        params: BJTParams | None = None,
+        polarity: int = 1,
+    ) -> None:
+        super().__init__(name, (collector, base, emitter))
+        if polarity not in (1, -1):
+            raise DeviceError("polarity must be +1 (NPN) or -1 (PNP)")
+        self.params = params or BJTParams()
+        self.polarity = polarity
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    def has_dynamics(self) -> bool:
+        return self.params.cje > 0.0 or self.params.cjc > 0.0
+
+    def _currents(
+        self, vbe: np.ndarray, vbc: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Collector and base currents plus their partials w.r.t. vbe and vbc."""
+        p = self.params
+        vt = p.thermal_voltage
+        is_ = p.saturation_current
+        ef, def_ = _limited_exp(vbe / vt)
+        er, der_ = _limited_exp(vbc / vt)
+        # Transport current and junction (diode) currents.
+        ict = is_ * (ef - er)
+        ibe = is_ / p.beta_forward * (ef - 1.0)
+        ibc = is_ / p.beta_reverse * (er - 1.0)
+        ic = ict - ibc
+        ib = ibe + ibc
+        d_ic_dvbe = is_ * def_ / vt
+        d_ic_dvbc = -is_ * der_ / vt - is_ / p.beta_reverse * der_ / vt
+        d_ib_dvbe = is_ / p.beta_forward * def_ / vt
+        d_ib_dvbc = is_ / p.beta_reverse * der_ / vt
+        return ic, ib, d_ic_dvbe, d_ic_dvbc, d_ib_dvbe, d_ib_dvbc
+
+    def stamp_static(self, X: np.ndarray, F: np.ndarray, G: np.ndarray) -> None:
+        self._require_bound()
+        c, b, e = self._node_idx
+        pol = float(self.polarity)
+        vc = self._voltage(X, c)
+        vb = self._voltage(X, b)
+        ve = self._voltage(X, e)
+        vbe = pol * (vb - ve)
+        vbc = pol * (vb - vc)
+        ic, ib, d_ic_dvbe, d_ic_dvbc, d_ib_dvbe, d_ib_dvbc = self._currents(vbe, vbc)
+        ie = ic + ib  # current out of the emitter terminal (into the device at C and B)
+
+        # Physical currents into each terminal (NPN frame scaled by polarity).
+        self._add_vec(F, c, pol * ic)
+        self._add_vec(F, b, pol * ib)
+        self._add_vec(F, e, -pol * ie)
+
+        # Chain rule: d vbe/d vb = pol, d vbe/d ve = -pol, d vbc/d vb = pol,
+        # d vbc/d vc = -pol; every current is also scaled by pol, so the
+        # polarity factors cancel exactly as in the MOSFET model.
+        def stamp_row(row: int, d_dvbe: np.ndarray, d_dvbc: np.ndarray, sign: float) -> None:
+            self._add_mat(G, row, b, sign * (d_dvbe + d_dvbc))
+            self._add_mat(G, row, e, sign * (-d_dvbe))
+            self._add_mat(G, row, c, sign * (-d_dvbc))
+
+        stamp_row(c, d_ic_dvbe, d_ic_dvbc, 1.0)
+        stamp_row(b, d_ib_dvbe, d_ib_dvbc, 1.0)
+        stamp_row(e, d_ic_dvbe + d_ib_dvbe, d_ic_dvbc + d_ib_dvbc, -1.0)
+
+    def stamp_dynamic(self, X: np.ndarray, Q: np.ndarray, C: np.ndarray) -> None:
+        if not self.has_dynamics():
+            return
+        self._require_bound()
+        c, b, e = self._node_idx
+        p = self.params
+        vb = self._voltage(X, b)
+        vc = self._voltage(X, c)
+        ve = self._voltage(X, e)
+
+        def add_linear_cap(node_a: int, node_b: int, cap: float, va: np.ndarray, vb_: np.ndarray) -> None:
+            if cap <= 0.0:
+                return
+            charge = cap * (va - vb_)
+            self._add_vec(Q, node_a, charge)
+            self._add_vec(Q, node_b, -charge)
+            self._add_mat(C, node_a, node_a, cap)
+            self._add_mat(C, node_a, node_b, -cap)
+            self._add_mat(C, node_b, node_a, -cap)
+            self._add_mat(C, node_b, node_b, cap)
+
+        add_linear_cap(b, e, p.cje, vb, ve)
+        add_linear_cap(b, c, p.cjc, vb, vc)
+
+
+class NPN(BJT):
+    """Convenience subclass for NPN devices."""
+
+    def __init__(
+        self,
+        name: str,
+        collector: str,
+        base: str,
+        emitter: str,
+        params: BJTParams | None = None,
+    ) -> None:
+        super().__init__(name, collector, base, emitter, params, polarity=1)
+
+
+class PNP(BJT):
+    """Convenience subclass for PNP devices."""
+
+    def __init__(
+        self,
+        name: str,
+        collector: str,
+        base: str,
+        emitter: str,
+        params: BJTParams | None = None,
+    ) -> None:
+        super().__init__(name, collector, base, emitter, params, polarity=-1)

@@ -1,0 +1,173 @@
+"""Junction diode model.
+
+Exponential Shockley DC characteristic with numerically limited exponent,
+plus depletion and diffusion charge storage.  The diode is the simplest
+strongly nonlinear element in the library and is used heavily by the tests
+(rectifiers, clippers) and by the single-device switching examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...utils.validation import check_nonnegative, check_positive
+from .base import TwoTerminal
+
+__all__ = ["DiodeParams", "Diode"]
+
+# Thermal voltage at ~300 K.
+DEFAULT_THERMAL_VOLTAGE = 0.02585
+# Largest exponent argument before the exponential is linearised.
+_MAX_EXPONENT = 40.0
+
+
+@dataclass(frozen=True)
+class DiodeParams:
+    """Diode model parameters (SPICE-like names).
+
+    Attributes
+    ----------
+    saturation_current:
+        ``IS`` — reverse saturation current in amperes.
+    emission_coefficient:
+        ``N`` — ideality factor.
+    series_resistance:
+        ``RS`` — ohmic series resistance (0 disables it; when non-zero it is
+        folded into the conductive stamp as a linearised series element).
+    junction_capacitance:
+        ``CJ0`` — zero-bias depletion capacitance in farads.
+    junction_potential:
+        ``VJ`` — built-in junction potential in volts.
+    grading_coefficient:
+        ``M`` — junction grading coefficient.
+    transit_time:
+        ``TT`` — carrier transit time (diffusion capacitance) in seconds.
+    thermal_voltage:
+        ``kT/q`` used by the exponential.
+    """
+
+    saturation_current: float = 1e-14
+    emission_coefficient: float = 1.0
+    series_resistance: float = 0.0
+    junction_capacitance: float = 0.0
+    junction_potential: float = 0.8
+    grading_coefficient: float = 0.5
+    transit_time: float = 0.0
+    thermal_voltage: float = DEFAULT_THERMAL_VOLTAGE
+
+    def __post_init__(self) -> None:
+        check_positive("saturation_current", self.saturation_current)
+        check_positive("emission_coefficient", self.emission_coefficient)
+        check_nonnegative("series_resistance", self.series_resistance)
+        check_nonnegative("junction_capacitance", self.junction_capacitance)
+        check_positive("junction_potential", self.junction_potential)
+        check_positive("grading_coefficient", self.grading_coefficient)
+        check_nonnegative("transit_time", self.transit_time)
+        check_positive("thermal_voltage", self.thermal_voltage)
+
+
+class Diode(TwoTerminal):
+    """A junction diode from anode (``node_pos``) to cathode (``node_neg``)."""
+
+    def __init__(
+        self,
+        name: str,
+        anode: str,
+        cathode: str,
+        params: DiodeParams | None = None,
+    ) -> None:
+        super().__init__(name, anode, cathode)
+        self.params = params or DiodeParams()
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    def has_dynamics(self) -> bool:
+        return self.params.junction_capacitance > 0.0 or self.params.transit_time > 0.0
+
+    # -- DC characteristic ------------------------------------------------
+    def _current_and_conductance(self, vd: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Diode current and small-signal conductance with exponent limiting.
+
+        For ``vd / (N * Vt) > _MAX_EXPONENT`` the exponential is continued
+        linearly (first-order Taylor expansion around the limit), which keeps
+        both the current and its derivative continuous and prevents overflow
+        during wild Newton iterates.
+        """
+        p = self.params
+        vt = p.emission_coefficient * p.thermal_voltage
+        arg = vd / vt
+        limited = np.minimum(arg, _MAX_EXPONENT)
+        exp_term = np.exp(limited)
+        over = arg > _MAX_EXPONENT
+        # Linear continuation beyond the limit: exp(a) ~ exp(A)*(1 + (a - A)).
+        exp_full = np.where(over, exp_term * (1.0 + (arg - _MAX_EXPONENT)), exp_term)
+        current = p.saturation_current * (exp_full - 1.0)
+        conductance = p.saturation_current * np.where(over, exp_term, exp_term) / vt
+        return current, conductance
+
+    # -- charge storage ----------------------------------------------------
+    def _charge_and_capacitance(self, vd: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Depletion plus diffusion charge and its derivative."""
+        p = self.params
+        charge = np.zeros_like(vd)
+        capacitance = np.zeros_like(vd)
+        if p.junction_capacitance > 0.0:
+            fc = 0.5  # forward-bias depletion-capacitance crossover
+            vj = p.junction_potential
+            m = p.grading_coefficient
+            cj0 = p.junction_capacitance
+            v_cross = fc * vj
+            below = vd < v_cross
+            # Below the crossover: classic depletion formula.
+            safe = np.minimum(vd, v_cross)
+            one_minus = 1.0 - safe / vj
+            q_dep_below = cj0 * vj / (1.0 - m) * (1.0 - one_minus ** (1.0 - m))
+            c_dep_below = cj0 * one_minus ** (-m)
+            # Above the crossover: linear extrapolation of the capacitance,
+            # integrated to a quadratic charge so q stays C1-continuous.
+            f1 = cj0 * vj / (1.0 - m) * (1.0 - (1.0 - fc) ** (1.0 - m))
+            c_at_cross = cj0 * (1.0 - fc) ** (-m)
+            dcdv_at_cross = cj0 * m / vj * (1.0 - fc) ** (-m - 1.0)
+            dv = vd - v_cross
+            q_dep_above = f1 + c_at_cross * dv + 0.5 * dcdv_at_cross * dv**2
+            c_dep_above = c_at_cross + dcdv_at_cross * dv
+            charge = charge + np.where(below, q_dep_below, q_dep_above)
+            capacitance = capacitance + np.where(below, c_dep_below, c_dep_above)
+        if p.transit_time > 0.0:
+            current, conductance = self._current_and_conductance(vd)
+            charge = charge + p.transit_time * current
+            capacitance = capacitance + p.transit_time * conductance
+        return charge, capacitance
+
+    # -- stamps -------------------------------------------------------------
+    def stamp_static(self, X: np.ndarray, F: np.ndarray, G: np.ndarray) -> None:
+        p_idx, n_idx = self._terminal_indices()
+        vd = self.branch_voltage(X)
+        current, conductance = self._current_and_conductance(vd)
+        if self.params.series_resistance > 0.0:
+            # Fold RS in as a first-order correction: i' = i / (1 + g * RS).
+            factor = 1.0 / (1.0 + conductance * self.params.series_resistance)
+            current = current * factor
+            conductance = conductance * factor
+        self._add_vec(F, p_idx, current)
+        self._add_vec(F, n_idx, -current)
+        self._add_mat(G, p_idx, p_idx, conductance)
+        self._add_mat(G, p_idx, n_idx, -conductance)
+        self._add_mat(G, n_idx, p_idx, -conductance)
+        self._add_mat(G, n_idx, n_idx, conductance)
+
+    def stamp_dynamic(self, X: np.ndarray, Q: np.ndarray, C: np.ndarray) -> None:
+        if not self.has_dynamics():
+            return
+        p_idx, n_idx = self._terminal_indices()
+        vd = self.branch_voltage(X)
+        charge, capacitance = self._charge_and_capacitance(vd)
+        self._add_vec(Q, p_idx, charge)
+        self._add_vec(Q, n_idx, -charge)
+        self._add_mat(C, p_idx, p_idx, capacitance)
+        self._add_mat(C, p_idx, n_idx, -capacitance)
+        self._add_mat(C, n_idx, p_idx, -capacitance)
+        self._add_mat(C, n_idx, n_idx, capacitance)

@@ -1,0 +1,137 @@
+"""Linear passive devices: resistors, conductances, capacitors, inductors.
+
+All follow the stamping conventions documented in
+:mod:`repro.circuits.devices.base`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...utils.validation import check_positive
+from .base import TwoTerminal
+
+__all__ = ["Resistor", "Conductance", "Capacitor", "Inductor"]
+
+
+class Resistor(TwoTerminal):
+    """An ideal linear resistor.
+
+    Contributes the current ``(v_pos - v_neg) / resistance`` leaving the
+    positive node (entering the negative node) to ``f(x)``.
+    """
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, resistance: float) -> None:
+        super().__init__(name, node_pos, node_neg)
+        self.resistance = check_positive("resistance", resistance)
+
+    @property
+    def conductance(self) -> float:
+        """``1 / resistance``."""
+        return 1.0 / self.resistance
+
+    def stamp_static(self, X: np.ndarray, F: np.ndarray, G: np.ndarray) -> None:
+        p, n = self._terminal_indices()
+        g = self.conductance
+        current = g * self.branch_voltage(X)
+        self._add_vec(F, p, current)
+        self._add_vec(F, n, -current)
+        self._add_mat(G, p, p, g)
+        self._add_mat(G, p, n, -g)
+        self._add_mat(G, n, p, -g)
+        self._add_mat(G, n, n, g)
+
+
+class Conductance(TwoTerminal):
+    """A linear conductance (admittance) — handy for gmin stamps and tests."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, conductance: float) -> None:
+        super().__init__(name, node_pos, node_neg)
+        self.conductance = check_positive("conductance", conductance)
+
+    def stamp_static(self, X: np.ndarray, F: np.ndarray, G: np.ndarray) -> None:
+        p, n = self._terminal_indices()
+        g = self.conductance
+        current = g * self.branch_voltage(X)
+        self._add_vec(F, p, current)
+        self._add_vec(F, n, -current)
+        self._add_mat(G, p, p, g)
+        self._add_mat(G, p, n, -g)
+        self._add_mat(G, n, p, -g)
+        self._add_mat(G, n, n, g)
+
+
+class Capacitor(TwoTerminal):
+    """An ideal linear capacitor.
+
+    Contributes the charge ``capacitance * (v_pos - v_neg)`` to ``q(x)``; the
+    time derivative taken by the analyses turns it into the usual
+    ``C dv/dt`` current.
+    """
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, capacitance: float) -> None:
+        super().__init__(name, node_pos, node_neg)
+        self.capacitance = check_positive("capacitance", capacitance)
+
+    def has_dynamics(self) -> bool:
+        return True
+
+    def stamp_dynamic(self, X: np.ndarray, Q: np.ndarray, C: np.ndarray) -> None:
+        p, n = self._terminal_indices()
+        c = self.capacitance
+        charge = c * self.branch_voltage(X)
+        self._add_vec(Q, p, charge)
+        self._add_vec(Q, n, -charge)
+        self._add_mat(C, p, p, c)
+        self._add_mat(C, p, n, -c)
+        self._add_mat(C, n, p, -c)
+        self._add_mat(C, n, n, c)
+
+
+class Inductor(TwoTerminal):
+    """An ideal linear inductor with an explicit branch-current unknown.
+
+    Unknowns: the branch current ``i`` flowing from the positive node through
+    the inductor to the negative node.  Stamps:
+
+    * node rows: ``+i`` leaves the positive node, ``-i`` the negative node,
+    * branch row: ``d/dt (L * i) + (v_neg - v_pos) = 0``.
+    """
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, inductance: float) -> None:
+        super().__init__(name, node_pos, node_neg)
+        self.inductance = check_positive("inductance", inductance)
+
+    def n_branch_unknowns(self) -> int:
+        return 1
+
+    def branch_labels(self) -> tuple[str, ...]:
+        return (f"i({self.name})",)
+
+    def has_dynamics(self) -> bool:
+        return True
+
+    def _branch_index(self) -> int:
+        self._require_bound()
+        return self._branch_idx[0]
+
+    def stamp_static(self, X: np.ndarray, F: np.ndarray, G: np.ndarray) -> None:
+        p, n = self._terminal_indices()
+        k = self._branch_index()
+        current = X[:, k]
+        # KCL contributions of the branch current.
+        self._add_vec(F, p, current)
+        self._add_vec(F, n, -current)
+        self._add_mat(G, p, k, 1.0)
+        self._add_mat(G, n, k, -1.0)
+        # Branch equation (static part): v_neg - v_pos.
+        vneg_minus_vpos = -self.branch_voltage(X)
+        self._add_vec(F, k, vneg_minus_vpos)
+        self._add_mat(G, k, p, -1.0)
+        self._add_mat(G, k, n, 1.0)
+
+    def stamp_dynamic(self, X: np.ndarray, Q: np.ndarray, C: np.ndarray) -> None:
+        k = self._branch_index()
+        current = X[:, k]
+        self._add_vec(Q, k, self.inductance * current)
+        self._add_mat(C, k, k, self.inductance)

@@ -1,0 +1,209 @@
+"""Independent and controlled sources.
+
+Independent sources carry a :class:`~repro.signals.stimuli.Stimulus`, which
+provides both the single-time excitation ``b(t)`` and — through the sheared
+time-scale map — the multi-time excitation ``b_hat(t1, t2)`` needed by the
+MPDE core.
+
+Controlled sources (VCCS, VCVS) are the linear coupling elements used by the
+behavioural mixer models and by small-signal test fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...signals.stimuli import DCStimulus, Stimulus
+from ...utils.exceptions import DeviceError
+from ...utils.validation import check_finite
+from .base import Device, TwoTerminal
+
+__all__ = [
+    "VoltageSource",
+    "CurrentSource",
+    "VCCS",
+    "VCVS",
+]
+
+
+def _coerce_stimulus(value: Stimulus | float | int) -> Stimulus:
+    """Allow plain numbers wherever a stimulus is expected (DC sources)."""
+    if isinstance(value, Stimulus):
+        return value
+    if isinstance(value, (int, float)):
+        return DCStimulus(float(value))
+    raise DeviceError(f"expected a Stimulus or a number, got {type(value).__name__}")
+
+
+class VoltageSource(TwoTerminal):
+    """Independent voltage source with an explicit branch-current unknown.
+
+    The branch current ``i`` flows from the positive terminal through the
+    source to the negative terminal (SPICE convention: a positive current
+    means the source is *absorbing* power).  Stamps:
+
+    * node rows: ``+i`` at the positive node, ``-i`` at the negative node,
+    * branch row: ``v_pos - v_neg - V(t) = 0`` with ``-V(t)`` placed in
+      ``b(t)``.
+    """
+
+    def __init__(
+        self, name: str, node_pos: str, node_neg: str, stimulus: Stimulus | float
+    ) -> None:
+        super().__init__(name, node_pos, node_neg)
+        self.stimulus = _coerce_stimulus(stimulus)
+
+    def n_branch_unknowns(self) -> int:
+        return 1
+
+    def branch_labels(self) -> tuple[str, ...]:
+        return (f"i({self.name})",)
+
+    def _branch_index(self) -> int:
+        self._require_bound()
+        return self._branch_idx[0]
+
+    def stamp_static(self, X: np.ndarray, F: np.ndarray, G: np.ndarray) -> None:
+        p, n = self._terminal_indices()
+        k = self._branch_index()
+        current = X[:, k]
+        self._add_vec(F, p, current)
+        self._add_vec(F, n, -current)
+        self._add_mat(G, p, k, 1.0)
+        self._add_mat(G, n, k, -1.0)
+        self._add_vec(F, k, self.branch_voltage(X))
+        self._add_mat(G, k, p, 1.0)
+        self._add_mat(G, k, n, -1.0)
+
+    def stamp_source(self, times: np.ndarray, B: np.ndarray) -> None:
+        k = self._branch_index()
+        values = np.asarray(self.stimulus.value(np.asarray(times, dtype=float)), dtype=float)
+        self._add_vec(B, k, -values)
+
+    def stamp_source_bivariate(self, t1, t2, scales, B: np.ndarray) -> None:
+        k = self._branch_index()
+        values = np.asarray(
+            self.stimulus.bivariate_value(
+                np.asarray(t1, dtype=float), np.asarray(t2, dtype=float), scales
+            ),
+            dtype=float,
+        )
+        self._add_vec(B, k, -values)
+
+    def is_time_varying(self) -> bool:
+        """Whether the source value changes with time."""
+        return self.stimulus.is_time_varying()
+
+
+class CurrentSource(TwoTerminal):
+    """Independent current source.
+
+    A positive current flows from the positive node *through the source* to
+    the negative node (out of ``node_pos`` into ``node_neg``).  It
+    contributes directly to ``b(t)``; no extra unknown is needed.
+    """
+
+    def __init__(
+        self, name: str, node_pos: str, node_neg: str, stimulus: Stimulus | float
+    ) -> None:
+        super().__init__(name, node_pos, node_neg)
+        self.stimulus = _coerce_stimulus(stimulus)
+
+    def stamp_source(self, times: np.ndarray, B: np.ndarray) -> None:
+        p, n = self._terminal_indices()
+        values = np.asarray(self.stimulus.value(np.asarray(times, dtype=float)), dtype=float)
+        self._add_vec(B, p, values)
+        self._add_vec(B, n, -values)
+
+    def stamp_source_bivariate(self, t1, t2, scales, B: np.ndarray) -> None:
+        p, n = self._terminal_indices()
+        values = np.asarray(
+            self.stimulus.bivariate_value(
+                np.asarray(t1, dtype=float), np.asarray(t2, dtype=float), scales
+            ),
+            dtype=float,
+        )
+        self._add_vec(B, p, values)
+        self._add_vec(B, n, -values)
+
+    def is_time_varying(self) -> bool:
+        """Whether the source value changes with time."""
+        return self.stimulus.is_time_varying()
+
+
+class VCCS(Device):
+    """Voltage-controlled current source: ``i = gm * (v_cp - v_cn)``.
+
+    The current flows from the output positive node through the source to
+    the output negative node.  Node order: (out_pos, out_neg, ctrl_pos,
+    ctrl_neg).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        out_pos: str,
+        out_neg: str,
+        ctrl_pos: str,
+        ctrl_neg: str,
+        transconductance: float,
+    ) -> None:
+        super().__init__(name, (out_pos, out_neg, ctrl_pos, ctrl_neg))
+        self.transconductance = check_finite("transconductance", transconductance)
+
+    def stamp_static(self, X: np.ndarray, F: np.ndarray, G: np.ndarray) -> None:
+        self._require_bound()
+        op, on, cp, cn = self._node_idx
+        gm = self.transconductance
+        v_ctrl = self._voltage(X, cp) - self._voltage(X, cn)
+        current = gm * v_ctrl
+        self._add_vec(F, op, current)
+        self._add_vec(F, on, -current)
+        self._add_mat(G, op, cp, gm)
+        self._add_mat(G, op, cn, -gm)
+        self._add_mat(G, on, cp, -gm)
+        self._add_mat(G, on, cn, gm)
+
+
+class VCVS(Device):
+    """Voltage-controlled voltage source: ``v_out = gain * (v_cp - v_cn)``.
+
+    Needs a branch-current unknown like an independent voltage source.
+    Node order: (out_pos, out_neg, ctrl_pos, ctrl_neg).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        out_pos: str,
+        out_neg: str,
+        ctrl_pos: str,
+        ctrl_neg: str,
+        gain: float,
+    ) -> None:
+        super().__init__(name, (out_pos, out_neg, ctrl_pos, ctrl_neg))
+        self.gain = check_finite("gain", gain)
+
+    def n_branch_unknowns(self) -> int:
+        return 1
+
+    def branch_labels(self) -> tuple[str, ...]:
+        return (f"i({self.name})",)
+
+    def stamp_static(self, X: np.ndarray, F: np.ndarray, G: np.ndarray) -> None:
+        self._require_bound()
+        op, on, cp, cn = self._node_idx
+        k = self._branch_idx[0]
+        current = X[:, k]
+        self._add_vec(F, op, current)
+        self._add_vec(F, on, -current)
+        self._add_mat(G, op, k, 1.0)
+        self._add_mat(G, on, k, -1.0)
+        # Branch equation: v_out_pos - v_out_neg - gain * (v_cp - v_cn) = 0.
+        v_out = self._voltage(X, op) - self._voltage(X, on)
+        v_ctrl = self._voltage(X, cp) - self._voltage(X, cn)
+        self._add_vec(F, k, v_out - self.gain * v_ctrl)
+        self._add_mat(G, k, op, 1.0)
+        self._add_mat(G, k, on, -1.0)
+        self._add_mat(G, k, cp, -self.gain)
+        self._add_mat(G, k, cn, self.gain)

@@ -1,0 +1,255 @@
+"""Modified nodal analysis (MNA) system.
+
+``MNASystem`` is the compiled form of a :class:`~repro.circuits.netlist.Circuit`:
+it evaluates the charge-oriented DAE
+
+    d/dt q(x(t)) + f(x(t)) + b(t) = 0
+
+and its Jacobians for any vector of unknowns ``x`` (node voltages followed by
+branch currents).  Every analysis in the library — DC, transient, shooting,
+harmonic balance and the multi-time MPDE core — consumes this one object,
+which is what makes the performance comparisons between methods
+apples-to-apples.
+
+Evaluation is vectorised over *evaluation points*: ``evaluate`` accepts an
+``(P, n)`` array of unknown vectors and returns stacked ``q``/``f`` values and
+Jacobians for all ``P`` points in one call.  The MPDE discretisation uses
+this with ``P = n_fast * n_slow`` (the paper's 40 x 30 grid gives
+``P = 1200``), the time-stepping analyses with ``P = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from ..utils.exceptions import CircuitError, NodeError
+from .devices.base import Device
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from .netlist import Circuit
+
+__all__ = ["MNAEvaluation", "MNASystem"]
+
+
+@dataclass(frozen=True)
+class MNAEvaluation:
+    """Stacked evaluation of the circuit equations at ``P`` points.
+
+    Attributes
+    ----------
+    q:
+        Charges/fluxes, shape ``(P, n)``.
+    f:
+        Conductive currents, shape ``(P, n)``.
+    capacitance:
+        ``dq/dx`` Jacobians, shape ``(P, n, n)``.
+    conductance:
+        ``df/dx`` Jacobians, shape ``(P, n, n)``.
+    """
+
+    q: np.ndarray
+    f: np.ndarray
+    capacitance: np.ndarray
+    conductance: np.ndarray
+
+
+class MNASystem:
+    """Compiled circuit equations (see module docstring).
+
+    Instances are created by :meth:`repro.circuits.netlist.Circuit.compile`;
+    they should not be constructed directly.
+    """
+
+    def __init__(
+        self,
+        circuit: "Circuit",
+        node_index: Mapping[str, int],
+        unknown_names: Sequence[str],
+        n_unknowns: int,
+    ) -> None:
+        self.circuit = circuit
+        self._node_index = dict(node_index)
+        self.unknown_names = tuple(unknown_names)
+        self.n_unknowns = int(n_unknowns)
+        if len(self.unknown_names) != self.n_unknowns:
+            raise CircuitError(
+                "internal error: unknown_names length does not match n_unknowns"
+            )
+        self._devices: tuple[Device, ...] = circuit.devices
+        self._branch_index = self._build_branch_index()
+
+    def _build_branch_index(self) -> dict[str, int]:
+        index: dict[str, int] = {}
+        for device in self._devices:
+            for label, idx in zip(device.branch_labels(), device._branch_idx):
+                index[label] = idx
+                index.setdefault(device.name, idx)
+        return index
+
+    # -- bookkeeping -------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-ground node-voltage unknowns."""
+        return len(self._node_index)
+
+    @property
+    def devices(self) -> tuple[Device, ...]:
+        """Devices of the underlying circuit."""
+        return self._devices
+
+    def node_index(self, node: str) -> int:
+        """Index of a node voltage in the unknown vector (-1 for ground)."""
+        if self.circuit.is_ground(node):
+            return -1
+        try:
+            return self._node_index[node]
+        except KeyError as exc:
+            raise NodeError(f"unknown node {node!r} in circuit {self.circuit.name!r}") from exc
+
+    def branch_index(self, device_name: str) -> int:
+        """Index of the (first) branch-current unknown of ``device_name``."""
+        try:
+            return self._branch_index[device_name]
+        except KeyError as exc:
+            raise CircuitError(
+                f"device {device_name!r} has no branch-current unknown"
+            ) from exc
+
+    def voltage(self, x: np.ndarray, node: str) -> np.ndarray | float:
+        """Extract the voltage of ``node`` from a solution vector or array.
+
+        Works on a single unknown vector (shape ``(n,)``), a stack of vectors
+        (``(P, n)``) or a multi-time grid array (``(n1, n2, n)``); ground
+        returns zeros of the matching shape.
+        """
+        idx = self.node_index(node)
+        x = np.asarray(x, dtype=float)
+        if idx < 0:
+            return np.zeros(x.shape[:-1]) if x.ndim > 1 else 0.0
+        return x[..., idx]
+
+    def differential_voltage(self, x: np.ndarray, node_pos: str, node_neg: str) -> np.ndarray | float:
+        """``v(node_pos) - v(node_neg)`` extracted from a solution array."""
+        return self.voltage(x, node_pos) - self.voltage(x, node_neg)
+
+    # -- evaluation ----------------------------------------------------------
+    def _as_points(self, x: np.ndarray) -> tuple[np.ndarray, bool]:
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            if x.shape[0] != self.n_unknowns:
+                raise CircuitError(
+                    f"unknown vector has length {x.shape[0]}, expected {self.n_unknowns}"
+                )
+            return x.reshape(1, -1), True
+        if x.ndim == 2:
+            if x.shape[1] != self.n_unknowns:
+                raise CircuitError(
+                    f"unknown array has {x.shape[1]} columns, expected {self.n_unknowns}"
+                )
+            return x, False
+        raise CircuitError(f"unknown array must be 1-D or 2-D, got shape {x.shape}")
+
+    def evaluate(self, x: np.ndarray) -> MNAEvaluation:
+        """Evaluate ``q``, ``f`` and their Jacobians at one or many points."""
+        X, _ = self._as_points(x)
+        n_points = X.shape[0]
+        n = self.n_unknowns
+        Q = np.zeros((n_points, n))
+        F = np.zeros((n_points, n))
+        C = np.zeros((n_points, n, n))
+        G = np.zeros((n_points, n, n))
+        for device in self._devices:
+            device.stamp_static(X, F, G)
+            device.stamp_dynamic(X, Q, C)
+        return MNAEvaluation(q=Q, f=F, capacitance=C, conductance=G)
+
+    def q(self, x: np.ndarray) -> np.ndarray:
+        """Charge/flux vector ``q(x)`` for a single unknown vector."""
+        X, single = self._as_points(x)
+        evaluation = self.evaluate(X)
+        return evaluation.q[0] if single else evaluation.q
+
+    def f(self, x: np.ndarray) -> np.ndarray:
+        """Conductive current vector ``f(x)`` for a single unknown vector."""
+        X, single = self._as_points(x)
+        evaluation = self.evaluate(X)
+        return evaluation.f[0] if single else evaluation.f
+
+    def capacitance_matrix(self, x: np.ndarray) -> np.ndarray:
+        """Jacobian ``C(x) = dq/dx`` at a single point (dense ``(n, n)``)."""
+        X, single = self._as_points(x)
+        evaluation = self.evaluate(X)
+        return evaluation.capacitance[0] if single else evaluation.capacitance
+
+    def conductance_matrix(self, x: np.ndarray) -> np.ndarray:
+        """Jacobian ``G(x) = df/dx`` at a single point (dense ``(n, n)``)."""
+        X, single = self._as_points(x)
+        evaluation = self.evaluate(X)
+        return evaluation.conductance[0] if single else evaluation.conductance
+
+    # -- sources --------------------------------------------------------------
+    def source(self, times: float | np.ndarray) -> np.ndarray:
+        """Excitation vector(s) ``b(t)``.
+
+        ``times`` may be a scalar (returns shape ``(n,)``) or an array of
+        ``P`` time points (returns ``(P, n)``).
+        """
+        scalar = np.isscalar(times) or np.ndim(times) == 0
+        t = np.atleast_1d(np.asarray(times, dtype=float))
+        B = np.zeros((t.shape[0], self.n_unknowns))
+        for device in self._devices:
+            device.stamp_source(t, B)
+        return B[0] if scalar else B
+
+    def source_bivariate(
+        self, t1: float | np.ndarray, t2: float | np.ndarray, scales
+    ) -> np.ndarray:
+        """Multi-time excitation ``b_hat(t1, t2)`` under the given time scales.
+
+        ``t1`` and ``t2`` must broadcast to a common shape of ``P`` points;
+        the result has shape ``(P, n)`` (or ``(n,)`` for scalar inputs).
+        """
+        scalar = (np.isscalar(t1) or np.ndim(t1) == 0) and (np.isscalar(t2) or np.ndim(t2) == 0)
+        t1_arr, t2_arr = np.broadcast_arrays(
+            np.atleast_1d(np.asarray(t1, dtype=float)),
+            np.atleast_1d(np.asarray(t2, dtype=float)),
+        )
+        t1_flat = t1_arr.ravel()
+        t2_flat = t2_arr.ravel()
+        B = np.zeros((t1_flat.shape[0], self.n_unknowns))
+        for device in self._devices:
+            device.stamp_source_bivariate(t1_flat, t2_flat, scales, B)
+        return B[0] if scalar else B
+
+    # -- convenience residuals -------------------------------------------------
+    def dc_residual(self, x: np.ndarray, *, time: float = 0.0) -> np.ndarray:
+        """DC residual ``f(x) + b(time)`` (charges do not contribute at DC)."""
+        return self.f(x) + self.source(time)
+
+    def dc_jacobian(self, x: np.ndarray) -> np.ndarray:
+        """DC Jacobian ``G(x)``."""
+        return self.conductance_matrix(x)
+
+    def gmin_matrix(self, gmin: float) -> np.ndarray:
+        """Diagonal conductance ``gmin`` from every node to ground.
+
+        Used by gmin-stepping continuation and as a convergence aid; branch
+        rows are left untouched.
+        """
+        mat = np.zeros((self.n_unknowns, self.n_unknowns))
+        for idx in self._node_index.values():
+            mat[idx, idx] = gmin
+        return mat
+
+    def zero_state(self) -> np.ndarray:
+        """An all-zero unknown vector of the right size."""
+        return np.zeros(self.n_unknowns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MNASystem({self.circuit.name!r}, unknowns={self.n_unknowns}, "
+            f"nodes={self.n_nodes})"
+        )

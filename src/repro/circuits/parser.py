@@ -1,0 +1,371 @@
+"""A small SPICE-flavoured netlist parser.
+
+Downstream users of a circuit library usually have netlists, not Python
+scripts, so the library accepts a compact SPICE-like text format and turns
+it into a :class:`~repro.circuits.netlist.Circuit`.  The dialect is a
+pragmatic subset of SPICE:
+
+* one element per line; the first letter of the name selects the device
+  (``R``, ``C``, ``L``, ``V``, ``I``, ``D``, ``M``, ``Q``, ``G``, ``E``),
+* ``*`` starts a comment line, ``;`` a trailing comment,
+* values accept engineering suffixes (``k``, ``meg``, ``u``, ``n``, ``p``,
+  ``f``, ...),
+* independent sources accept ``DC <value>``, ``SIN(offset amplitude freq
+  [phase_deg])`` and ``PULSE(v1 v2 period width [delay rise fall])``,
+* ``.model <name> <type> (param=value ...)`` defines diode (``D``), MOSFET
+  (``NMOS``/``PMOS``) and BJT (``NPN``/``PNP``) model cards,
+* ``.title`` and ``.end`` are honoured, other dot-cards raise a clear error
+  (analyses are configured from Python, not from the netlist).
+
+Example::
+
+    * half-wave rectifier
+    .model dfast D (is=1e-12)
+    vin in 0 SIN(0 5 1k)
+    d1  in out dfast
+    rl  out 0 1k
+    cl  out 0 10u
+    .end
+
+    circuit = parse_netlist(text)
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Callable
+
+from ..signals.stimuli import DCStimulus, PulseStimulus, SinusoidStimulus, Stimulus, SumStimulus
+from ..utils.exceptions import CircuitError
+from .devices import (
+    BJT,
+    BJTParams,
+    Capacitor,
+    CurrentSource,
+    Diode,
+    DiodeParams,
+    Inductor,
+    MOSFET,
+    MOSFETParams,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from .netlist import Circuit
+
+__all__ = ["parse_netlist", "parse_value"]
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_VALUE_RE = re.compile(r"^([+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)([a-zA-Z]*)$")
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE-style number (``4.7k``, ``100n``, ``1meg``, ``2.5e-3``)."""
+    token = token.strip()
+    match = _VALUE_RE.match(token)
+    if not match:
+        raise CircuitError(f"cannot parse numeric value {token!r}")
+    mantissa, suffix = match.groups()
+    value = float(mantissa)
+    suffix = suffix.lower()
+    if not suffix:
+        return value
+    if suffix.startswith("meg"):
+        return value * _SUFFIXES["meg"]
+    key = suffix[0]
+    if key not in _SUFFIXES:
+        raise CircuitError(f"unknown engineering suffix {suffix!r} in {token!r}")
+    return value * _SUFFIXES[key]
+
+
+def _strip_comments(text: str) -> list[str]:
+    lines: list[str] = []
+    for raw in text.splitlines():
+        line = raw.split(";", 1)[0].strip()
+        if not line or line.startswith("*"):
+            continue
+        lines.append(line)
+    # SPICE continuation lines start with '+'.
+    merged: list[str] = []
+    for line in lines:
+        if line.startswith("+") and merged:
+            merged[-1] += " " + line[1:].strip()
+        else:
+            merged.append(line)
+    return merged
+
+
+_PAREN_RE = re.compile(r"(\w+)\s*\(([^)]*)\)", re.IGNORECASE)
+
+
+def _parse_source_stimulus(tokens: list[str], full_line: str) -> Stimulus:
+    """Parse the source specification part of a V/I line."""
+    spec = " ".join(tokens)
+    match = _PAREN_RE.search(full_line)
+    kind = None
+    args: list[float] = []
+    if match and match.group(1).upper() in ("SIN", "PULSE"):
+        kind = match.group(1).upper()
+        args = [parse_value(t) for t in match.group(2).replace(",", " ").split()]
+    if kind == "SIN":
+        if len(args) < 3:
+            raise CircuitError(f"SIN() needs at least (offset amplitude freq): {full_line!r}")
+        offset, amplitude, freq = args[0], args[1], args[2]
+        phase_deg = args[3] if len(args) > 3 else 0.0
+        sine = SinusoidStimulus(
+            amplitude=amplitude, frequency=freq, phase=math.radians(phase_deg), offset=0.0
+        )
+        if offset == 0.0:
+            return sine
+        return SumStimulus((DCStimulus(offset), sine))
+    if kind == "PULSE":
+        if len(args) < 4:
+            raise CircuitError(f"PULSE() needs at least (v1 v2 period width): {full_line!r}")
+        v1, v2, period, width = args[0], args[1], args[2], args[3]
+        delay = args[4] if len(args) > 4 else 0.0
+        rise = args[5] if len(args) > 5 else 0.0
+        fall = args[6] if len(args) > 6 else 0.0
+        return PulseStimulus(
+            low=v1, high=v2, period=period, width=width, delay=delay, rise=rise, fall=fall
+        )
+    # Plain DC: either "DC <value>" or just "<value>".
+    cleaned = [t for t in spec.split() if t.upper() != "DC"]
+    if len(cleaned) != 1:
+        raise CircuitError(f"cannot parse source specification {spec!r}")
+    return DCStimulus(parse_value(cleaned[0]))
+
+
+def _parse_model_card(tokens: list[str], models: dict[str, tuple[str, dict[str, float]]]) -> None:
+    if len(tokens) < 3:
+        raise CircuitError(f".model needs a name and a type: {' '.join(tokens)!r}")
+    name = tokens[1].lower()
+    model_type = tokens[2].upper()
+    param_text = " ".join(tokens[3:])
+    param_text = param_text.strip()
+    if param_text.startswith("(") and param_text.endswith(")"):
+        param_text = param_text[1:-1]
+    params: dict[str, float] = {}
+    for part in param_text.replace(",", " ").split():
+        if "=" not in part:
+            raise CircuitError(f"malformed model parameter {part!r} in .model {name}")
+        key, value = part.split("=", 1)
+        params[key.strip().lower()] = parse_value(value)
+    models[name] = (model_type, params)
+
+
+_DIODE_PARAM_MAP = {
+    "is": "saturation_current",
+    "n": "emission_coefficient",
+    "rs": "series_resistance",
+    "cj0": "junction_capacitance",
+    "cjo": "junction_capacitance",
+    "vj": "junction_potential",
+    "m": "grading_coefficient",
+    "tt": "transit_time",
+}
+
+_MOS_PARAM_MAP = {
+    "vto": "vto",
+    "kp": "kp",
+    "w": "w",
+    "l": "l",
+    "lambda": "lambda_",
+    "cgs": "cgs",
+    "cgd": "cgd",
+    "cdb": "cdb",
+    "csb": "csb",
+}
+
+_BJT_PARAM_MAP = {
+    "is": "saturation_current",
+    "bf": "beta_forward",
+    "br": "beta_reverse",
+    "cje": "cje",
+    "cjc": "cjc",
+}
+
+
+def _map_params(raw: dict[str, float], mapping: dict[str, str], context: str) -> dict[str, float]:
+    mapped: dict[str, float] = {}
+    for key, value in raw.items():
+        if key not in mapping:
+            raise CircuitError(f"unsupported parameter {key!r} in {context}")
+        mapped[mapping[key]] = value
+    return mapped
+
+
+def _lookup_model(
+    models: dict[str, tuple[str, dict[str, float]]], name: str, allowed: tuple[str, ...], line: str
+) -> tuple[str, dict[str, float]]:
+    key = name.lower()
+    if key not in models:
+        raise CircuitError(f"unknown model {name!r} referenced in {line!r}")
+    model_type, params = models[key]
+    if model_type not in allowed:
+        raise CircuitError(
+            f"model {name!r} has type {model_type}, expected one of {allowed} in {line!r}"
+        )
+    return model_type, params
+
+
+def parse_netlist(text: str, *, name: str | None = None) -> Circuit:
+    """Parse a SPICE-flavoured netlist into a :class:`Circuit`.
+
+    See the module docstring for the supported dialect.  Device and node
+    names are case-insensitive (lower-cased); ``0``/``gnd`` is ground.
+    """
+    lines = _strip_comments(text)
+    if not lines:
+        raise CircuitError("netlist is empty")
+
+    models: dict[str, tuple[str, dict[str, float]]] = {}
+    title = name
+    element_lines: list[str] = []
+
+    for line in lines:
+        tokens = line.split()
+        keyword = tokens[0].lower()
+        if keyword == ".title":
+            title = " ".join(tokens[1:]) or title
+        elif keyword == ".model":
+            _parse_model_card(tokens, models)
+        elif keyword == ".end":
+            break
+        elif keyword.startswith("."):
+            raise CircuitError(
+                f"unsupported control card {tokens[0]!r}; analyses are configured from Python"
+            )
+        else:
+            element_lines.append(line)
+
+    circuit = Circuit(title or "netlist")
+
+    builders: dict[str, Callable[[list[str], str], None]] = {}
+
+    def add_two_terminal(cls):
+        def build(tokens: list[str], line: str) -> None:
+            if len(tokens) < 4:
+                raise CircuitError(f"element line needs name, 2 nodes and a value: {line!r}")
+            circuit.add(cls(tokens[0].lower(), tokens[1].lower(), tokens[2].lower(), parse_value(tokens[3])))
+
+        return build
+
+    builders["r"] = add_two_terminal(Resistor)
+    builders["c"] = add_two_terminal(Capacitor)
+    builders["l"] = add_two_terminal(Inductor)
+
+    def build_source(cls):
+        def build(tokens: list[str], line: str) -> None:
+            if len(tokens) < 4:
+                raise CircuitError(f"source line needs name, 2 nodes and a value: {line!r}")
+            stimulus = _parse_source_stimulus(tokens[3:], line)
+            circuit.add(cls(tokens[0].lower(), tokens[1].lower(), tokens[2].lower(), stimulus))
+
+        return build
+
+    builders["v"] = build_source(VoltageSource)
+    builders["i"] = build_source(CurrentSource)
+
+    def build_diode(tokens: list[str], line: str) -> None:
+        if len(tokens) < 4:
+            raise CircuitError(f"diode line needs name, 2 nodes and a model: {line!r}")
+        _, raw = _lookup_model(models, tokens[3], ("D",), line)
+        params = DiodeParams(**_map_params(raw, _DIODE_PARAM_MAP, f"diode model {tokens[3]!r}"))
+        circuit.add(Diode(tokens[0].lower(), tokens[1].lower(), tokens[2].lower(), params))
+
+    builders["d"] = build_diode
+
+    def build_mosfet(tokens: list[str], line: str) -> None:
+        if len(tokens) < 6:
+            raise CircuitError(f"MOSFET line needs name, 4 nodes and a model: {line!r}")
+        model_type, raw = _lookup_model(models, tokens[5], ("NMOS", "PMOS"), line)
+        params = MOSFETParams(**_map_params(raw, _MOS_PARAM_MAP, f"MOS model {tokens[5]!r}"))
+        polarity = 1 if model_type == "NMOS" else -1
+        circuit.add(
+            MOSFET(
+                tokens[0].lower(),
+                tokens[1].lower(),
+                tokens[2].lower(),
+                tokens[3].lower(),
+                tokens[4].lower(),
+                params=params,
+                polarity=polarity,
+            )
+        )
+
+    builders["m"] = build_mosfet
+
+    def build_bjt(tokens: list[str], line: str) -> None:
+        if len(tokens) < 5:
+            raise CircuitError(f"BJT line needs name, 3 nodes and a model: {line!r}")
+        model_type, raw = _lookup_model(models, tokens[4], ("NPN", "PNP"), line)
+        params = BJTParams(**_map_params(raw, _BJT_PARAM_MAP, f"BJT model {tokens[4]!r}"))
+        polarity = 1 if model_type == "NPN" else -1
+        circuit.add(
+            BJT(
+                tokens[0].lower(),
+                tokens[1].lower(),
+                tokens[2].lower(),
+                tokens[3].lower(),
+                params=params,
+                polarity=polarity,
+            )
+        )
+
+    builders["q"] = build_bjt
+
+    def build_vccs(tokens: list[str], line: str) -> None:
+        if len(tokens) < 6:
+            raise CircuitError(f"VCCS line needs name, 4 nodes and a gain: {line!r}")
+        circuit.add(
+            VCCS(
+                tokens[0].lower(),
+                tokens[1].lower(),
+                tokens[2].lower(),
+                tokens[3].lower(),
+                tokens[4].lower(),
+                parse_value(tokens[5]),
+            )
+        )
+
+    builders["g"] = build_vccs
+
+    def build_vcvs(tokens: list[str], line: str) -> None:
+        if len(tokens) < 6:
+            raise CircuitError(f"VCVS line needs name, 4 nodes and a gain: {line!r}")
+        circuit.add(
+            VCVS(
+                tokens[0].lower(),
+                tokens[1].lower(),
+                tokens[2].lower(),
+                tokens[3].lower(),
+                tokens[4].lower(),
+                parse_value(tokens[5]),
+            )
+        )
+
+    builders["e"] = build_vcvs
+
+    for line in element_lines:
+        tokens = line.split()
+        key = tokens[0][0].lower()
+        if key not in builders:
+            raise CircuitError(f"unsupported element type {tokens[0]!r} in line {line!r}")
+        builders[key](tokens, line)
+
+    if len(circuit) == 0:
+        raise CircuitError("netlist contains no elements")
+    return circuit

@@ -1,0 +1,77 @@
+"""Diagonal reconstruction of one-time waveforms from multi-time solutions.
+
+The multi-time solution ``x_hat(t1, t2)`` determines the solution of the
+original circuit equations through the diagonal evaluation
+
+    x(t) = x_hat(t mod T1, t mod Td)
+
+(the bivariate surfaces are periodic, so the modular reduction is implicit
+in the periodic interpolation).  Fig. 6 of the paper shows a few LO cycles
+of such a reconstructed waveform at the differential-pair source node; these
+helpers produce exactly that kind of view.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..signals.waveform import BivariateWaveform, Waveform
+from ..utils.exceptions import MPDEError
+
+__all__ = ["reconstruct_diagonal", "reconstruct_fast_cycles", "diagonal_samples_per_period"]
+
+
+def reconstruct_diagonal(
+    surface: BivariateWaveform,
+    t_start: float,
+    t_stop: float,
+    n_samples: int = 2001,
+) -> Waveform:
+    """Evaluate ``x(t) = x_hat(t, t)`` on a uniform grid of times.
+
+    Uses periodic bilinear interpolation of the grid samples, so the result
+    is meaningful for any time span — including spans much longer than
+    either axis period.
+    """
+    if t_stop <= t_start:
+        raise MPDEError("t_stop must be greater than t_start")
+    if n_samples < 2:
+        raise MPDEError("n_samples must be at least 2")
+    times = np.linspace(t_start, t_stop, n_samples)
+    return surface.diagonal(times)
+
+
+def reconstruct_fast_cycles(
+    surface: BivariateWaveform,
+    t_center: float,
+    n_cycles: int = 5,
+    samples_per_cycle: int = 64,
+) -> Waveform:
+    """Reconstruct ``n_cycles`` carrier cycles centred on ``t_center``.
+
+    This mirrors Fig. 6 of the paper, which plots the voltage at the
+    differential-pair sources over 5 LO periods around t = 2.22 us.
+    """
+    if n_cycles < 1:
+        raise MPDEError("n_cycles must be at least 1")
+    if samples_per_cycle < 4:
+        raise MPDEError("samples_per_cycle must be at least 4")
+    span = n_cycles * surface.period1
+    t_start = t_center - 0.5 * span
+    t_stop = t_center + 0.5 * span
+    n_samples = n_cycles * samples_per_cycle + 1
+    return reconstruct_diagonal(surface, t_start, t_stop, n_samples)
+
+
+def diagonal_samples_per_period(surface: BivariateWaveform, *, oversampling: int = 4) -> int:
+    """A reasonable number of diagonal samples to resolve one slow period.
+
+    The diagonal waveform oscillates at the carrier rate, so resolving one
+    slow (difference-frequency) period requires on the order of
+    ``oversampling * Td / T1`` samples; this helper computes that number so
+    callers do not under-sample the reconstruction by accident.
+    """
+    if oversampling < 1:
+        raise MPDEError("oversampling must be at least 1")
+    ratio = surface.period2 / surface.period1
+    return int(np.ceil(oversampling * ratio)) + 1

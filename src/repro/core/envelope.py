@@ -1,0 +1,86 @@
+"""Envelope extraction along the difference-frequency time scale.
+
+Once the MPDE solution ``x_hat(t1, t2)`` is available, the baseband
+(difference-frequency) behaviour of any circuit variable is read directly
+off the slow axis — no demodulation, filtering or Fourier analysis is
+needed.  This module provides the standalone helpers used by
+:meth:`repro.core.solver.MPDEResult.baseband_envelope` and by the Fig. 4
+benchmark, plus a few quantities that are convenient for verifying a
+solution (carrier ripple, envelope swing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..signals.waveform import BivariateWaveform, Waveform
+from ..utils.exceptions import MPDEError
+
+__all__ = [
+    "extract_envelope",
+    "fast_slice_at_phase",
+    "carrier_ripple",
+    "envelope_swing",
+]
+
+
+def extract_envelope(surface: BivariateWaveform, mode: str = "mean") -> Waveform:
+    """Collapse the fast (carrier) axis of a bivariate waveform.
+
+    Parameters
+    ----------
+    surface:
+        A multi-time solution surface (e.g. from
+        :meth:`~repro.core.solver.MPDEResult.bivariate`).
+    mode:
+        ``"mean"`` — average over the carrier cycle (the down-converted
+        baseband content, the quantity plotted in Fig. 4 of the paper);
+        ``"max"`` / ``"min"`` — upper / lower envelope;
+        ``"rms"`` — root-mean-square over the carrier cycle.
+    """
+    if mode == "mean":
+        return surface.envelope_mean()
+    if mode == "max":
+        return surface.envelope_max()
+    if mode == "min":
+        return surface.envelope_min()
+    if mode == "rms":
+        values = np.sqrt(np.mean(surface.values**2, axis=0))
+        times, values = surface._close_period(surface.axis2, values, surface.period2)
+        return Waveform(times, values, name=surface.name)
+    raise MPDEError(f"unknown envelope mode {mode!r}; use 'mean', 'max', 'min' or 'rms'")
+
+
+def fast_slice_at_phase(surface: BivariateWaveform, phase: float) -> Waveform:
+    """Waveform along the slow axis at a fixed phase of the carrier cycle.
+
+    ``phase`` is a fraction of the fast-axis period in ``[0, 1)``.  Sampling
+    the output at a fixed LO phase is how a sampling (track-and-hold style)
+    receiver would observe the baseband waveform.
+    """
+    if not 0.0 <= phase < 1.0:
+        raise MPDEError(f"phase must be in [0, 1), got {phase}")
+    t1 = phase * surface.period1
+    return surface.slice_slow(t1)
+
+
+def carrier_ripple(surface: BivariateWaveform) -> Waveform:
+    """Peak-to-peak variation over the carrier cycle, as a function of slow time.
+
+    For a well down-converted output this is the residual carrier feedthrough
+    riding on top of the baseband waveform.
+    """
+    ripple = surface.values.max(axis=0) - surface.values.min(axis=0)
+    times, ripple = surface._close_period(surface.axis2, ripple, surface.period2)
+    return Waveform(times, ripple, name=f"ripple[{surface.name}]")
+
+
+def envelope_swing(surface: BivariateWaveform, mode: str = "mean") -> float:
+    """Peak-to-peak swing of the baseband envelope.
+
+    A single number summarising how much baseband signal the circuit
+    produces; the conversion-gain metric divides this by the RF drive
+    amplitude.
+    """
+    envelope = extract_envelope(surface, mode)
+    return envelope.peak_to_peak()

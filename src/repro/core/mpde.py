@@ -1,0 +1,219 @@
+"""Discretisation of the multi-time partial differential equation (MPDE).
+
+Starting from the circuit DAE ``d/dt q(x) + f(x) + b(t) = 0``, the MPDE
+(Eq. (4) of the paper) reads
+
+    d q(x_hat)/dt1 + d q(x_hat)/dt2 + f(x_hat) + b_hat(t1, t2) = 0
+
+with periodic boundary conditions in both artificial times.  Any solution
+``x_hat(t1, t2)`` yields a solution of the original equations through the
+diagonal ``x(t) = x_hat(t, t)``.
+
+:class:`MPDEProblem` assembles the discrete form of this equation on a
+:class:`~repro.core.grid.MultiTimeGrid`:
+
+* the unknown is the flattened array ``X`` of shape ``(P, n)`` (``P`` grid
+  points, ``n`` circuit unknowns),
+* the time derivatives are applied with sparse periodic differentiation
+  matrices acting on the grid-point index,
+* the excitation grid ``B_hat`` is built once from the circuit's stimuli via
+  the sheared time-scale map (:mod:`repro.core.timescales`),
+* the residual and the sparse Jacobian
+
+      R(X) = D (q per point) + f per point + B_hat
+      J(X) = (D  kron  I_n) . blockdiag(C_p) + blockdiag(G_p)
+
+  are produced for the Newton solver in :mod:`repro.core.solver`.
+
+The ``"fourier"`` differentiation option on both axes turns the very same
+machinery into a two-tone harmonic-balance solver (spectral collocation in
+both artificial times), which the benchmarks use for the HB comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..circuits.mna import MNASystem
+from ..linalg.sparse import block_diag_from_array, kron_identity
+from ..utils.exceptions import MPDEError
+from ..utils.logging import get_logger
+from ..utils.options import MPDEOptions
+from .grid import MultiTimeGrid
+from .timescales import ShearedTimeScales, UnshearedTimeScales
+
+__all__ = ["MPDEProblem"]
+
+_LOG = get_logger("core.mpde")
+
+
+@dataclass
+class _DiscreteOperators:
+    """Cached sparse operators of the discretised MPDE."""
+
+    derivative: sp.csr_matrix  # (P, P): D1 + D2 acting on grid-point index
+    derivative_kron: sp.csr_matrix  # (P*n, P*n): (D1 + D2) kron I_n
+
+
+class MPDEProblem:
+    """The discretised MPDE for one circuit, one shear map and one grid.
+
+    Parameters
+    ----------
+    mna:
+        Compiled circuit equations.
+    scales:
+        A :class:`~repro.core.timescales.ShearedTimeScales` (or
+        :class:`UnshearedTimeScales`) describing the artificial time axes.
+    options:
+        Grid resolution and discretisation choices
+        (:class:`~repro.utils.options.MPDEOptions`).
+    """
+
+    def __init__(
+        self,
+        mna: MNASystem,
+        scales: ShearedTimeScales | UnshearedTimeScales,
+        options: MPDEOptions | None = None,
+    ) -> None:
+        self.mna = mna
+        self.scales = scales
+        self.options = options or MPDEOptions()
+        self.grid = MultiTimeGrid(
+            period_fast=scales.fast_period,
+            period_slow=scales.difference_period,
+            n_fast=self.options.n_fast,
+            n_slow=self.options.n_slow,
+        )
+        self._operators = self._build_operators()
+        self._source_grid = self._build_source_grid()
+
+    # -- assembly of constant pieces -------------------------------------------
+    def _build_operators(self) -> _DiscreteOperators:
+        derivative = self.grid.combined_derivative(
+            fast_method=self.options.fast_method,
+            slow_method=self.options.slow_method,
+        )
+        derivative_kron = kron_identity(derivative, self.mna.n_unknowns)
+        return _DiscreteOperators(derivative=derivative, derivative_kron=derivative_kron)
+
+    def _build_source_grid(self) -> np.ndarray:
+        t1, t2 = self.grid.mesh
+        source = self.mna.source_bivariate(t1, t2, self.scales)
+        if source.shape != (self.grid.n_points, self.mna.n_unknowns):
+            raise MPDEError(
+                f"bivariate source grid has shape {source.shape}, expected "
+                f"({self.grid.n_points}, {self.mna.n_unknowns})"
+            )
+        if not np.all(np.isfinite(source)):
+            raise MPDEError("bivariate excitation contains non-finite values")
+        return source
+
+    # -- sizes -------------------------------------------------------------------
+    @property
+    def n_circuit_unknowns(self) -> int:
+        """Number of circuit unknowns ``n``."""
+        return self.mna.n_unknowns
+
+    @property
+    def n_grid_points(self) -> int:
+        """Number of multi-time grid points ``P``."""
+        return self.grid.n_points
+
+    @property
+    def n_total_unknowns(self) -> int:
+        """Size of the global nonlinear system ``P * n``."""
+        return self.grid.n_points * self.mna.n_unknowns
+
+    @property
+    def source_grid(self) -> np.ndarray:
+        """The excitation ``b_hat`` sampled on the grid, shape ``(P, n)``."""
+        return self._source_grid
+
+    # -- residual / Jacobian -------------------------------------------------------
+    def reshape_states(self, x_flat: np.ndarray) -> np.ndarray:
+        """View a flat unknown vector as a ``(P, n)`` array of per-point states."""
+        x_flat = np.asarray(x_flat, dtype=float)
+        if x_flat.size != self.n_total_unknowns:
+            raise MPDEError(
+                f"flat state vector has {x_flat.size} entries, expected {self.n_total_unknowns}"
+            )
+        return x_flat.reshape(self.grid.n_points, self.mna.n_unknowns)
+
+    def residual(self, x_flat: np.ndarray, *, source_grid: np.ndarray | None = None) -> np.ndarray:
+        """Residual of the discretised MPDE for the flattened state ``x_flat``."""
+        states = self.reshape_states(x_flat)
+        evaluation = self.mna.evaluate(states)
+        b_grid = self._source_grid if source_grid is None else source_grid
+        dq = self._operators.derivative @ evaluation.q
+        return (dq + evaluation.f + b_grid).ravel()
+
+    def jacobian(self, x_flat: np.ndarray) -> sp.csc_matrix:
+        """Sparse Jacobian of :meth:`residual` (independent of the source grid)."""
+        states = self.reshape_states(x_flat)
+        evaluation = self.mna.evaluate(states)
+        c_block = block_diag_from_array(evaluation.capacitance)
+        g_block = block_diag_from_array(evaluation.conductance)
+        return (self._operators.derivative_kron @ c_block + g_block).tocsc()
+
+    def residual_and_jacobian(
+        self, x_flat: np.ndarray, *, source_grid: np.ndarray | None = None
+    ) -> tuple[np.ndarray, sp.csc_matrix]:
+        """Evaluate residual and Jacobian with a single device sweep."""
+        states = self.reshape_states(x_flat)
+        evaluation = self.mna.evaluate(states)
+        b_grid = self._source_grid if source_grid is None else source_grid
+        dq = self._operators.derivative @ evaluation.q
+        residual = (dq + evaluation.f + b_grid).ravel()
+        c_block = block_diag_from_array(evaluation.capacitance)
+        g_block = block_diag_from_array(evaluation.conductance)
+        jacobian = (self._operators.derivative_kron @ c_block + g_block).tocsc()
+        return residual, jacobian
+
+    # -- continuation embedding -----------------------------------------------------
+    def embedded_source_grid(self, lam: float) -> np.ndarray:
+        """Source grid with the time-varying part scaled by ``lam``.
+
+        Used by the continuation fallback: at ``lam = 0`` the excitation is
+        flattened to its grid average (essentially a DC problem, easy for
+        Newton), at ``lam = 1`` it is the true multi-time excitation.  This
+        is the source-stepping homotopy the paper's Section 3 alludes to
+        ("using continuation reliably obtained solutions").
+        """
+        if not 0.0 <= lam <= 1.0:
+            raise MPDEError(f"embedding parameter must be in [0, 1], got {lam}")
+        mean = self._source_grid.mean(axis=0, keepdims=True)
+        return mean + lam * (self._source_grid - mean)
+
+    def residual_for_embedding(self, lam: float) -> Callable[[np.ndarray], np.ndarray]:
+        """Return a residual callable for the embedded problem at ``lam``."""
+        b_grid = self.embedded_source_grid(lam)
+
+        def _residual(x_flat: np.ndarray) -> np.ndarray:
+            return self.residual(x_flat, source_grid=b_grid)
+
+        return _residual
+
+    # -- initial guesses ---------------------------------------------------------------
+    def initial_guess_from_state(self, x0: np.ndarray) -> np.ndarray:
+        """Tile a single circuit state over the whole grid (flattened)."""
+        x0 = np.asarray(x0, dtype=float)
+        if x0.shape != (self.mna.n_unknowns,):
+            raise MPDEError(
+                f"initial state must have shape ({self.mna.n_unknowns},), got {x0.shape}"
+            )
+        return np.tile(x0, (self.grid.n_points, 1)).ravel()
+
+    def initial_guess_zero(self) -> np.ndarray:
+        """An all-zero initial guess."""
+        return np.zeros(self.n_total_unknowns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MPDEProblem({self.mna.circuit.name!r}, grid={self.grid.n_fast}x{self.grid.n_slow}, "
+            f"unknowns={self.n_total_unknowns})"
+        )

@@ -1,0 +1,270 @@
+"""Artificial time scales and the difference-frequency shear map.
+
+This module is the heart of the paper's contribution.  The multi-time (MPDE)
+formulation replaces the single time ``t`` by two artificial times
+``(t1, t2)``; a bivariate excitation ``b_hat(t1, t2)`` represents the true
+excitation through the **diagonal property** ``b(t) = b_hat(t, t)``.
+
+For *widely separated* tones, the natural choice makes ``t1`` carry the fast
+tone (period ``T1 = 1/f1``) and ``t2`` the slow tone (period ``T2 = 1/f2``),
+and both representations are compact.  For *closely spaced* tones
+(``f1 ~ f2``) that choice remains valid but useless: the interesting
+behaviour — the difference tone at ``fd = k*f1 - f2`` — appears only
+implicitly (Fig. 1 of the paper).
+
+The fix (Section 2 of the paper) is a **scale-and-shear** of the time axes:
+keep ``t1`` on the fast (LO) scale, but let ``t2`` advance on the
+*difference-frequency* scale ``Td = 1/fd``, and evaluate any component at
+the carrier frequency ``k*f1 - fd`` with the sheared phase
+
+    carrier_phase(t1, t2) = k * f1 * t1 - fd * t2          (in cycles)
+
+On the diagonal ``t1 = t2 = t`` this reduces to ``(k*f1 - fd) * t = f2 * t``,
+so the one-time excitation is unchanged, while the ``t2`` dependence now
+directly exposes the difference-frequency (baseband) variation — this is the
+representation plotted in Fig. 2, 3 and 5 of the paper.
+
+Two classes implement the idea:
+
+* :class:`ShearedTimeScales` — the difference-frequency (sheared) axes used
+  by the method;
+* :class:`UnshearedTimeScales` — the naive axes (``t1`` on ``1/f1``, ``t2``
+  on ``1/f2``), kept for the Fig. 1 reproduction and the shear-choice
+  ablation.
+
+Both satisfy the small protocol (`fast_phase`, `carrier_phase`,
+`slow_phase`, periods) that the stimuli in :mod:`repro.signals.stimuli` use
+to build ``b_hat``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..signals.tones import TonePair
+from ..utils.exceptions import ShearError
+from ..utils.validation import check_positive
+
+__all__ = ["ShearedTimeScales", "UnshearedTimeScales", "verify_diagonal_property"]
+
+
+@dataclass(frozen=True)
+class ShearedTimeScales:
+    """Difference-frequency (sheared) artificial time scales.
+
+    Parameters
+    ----------
+    fast_frequency:
+        The LO frequency ``f1`` carried by the first artificial time axis.
+    difference_frequency:
+        The baseband frequency ``fd = |k*f1 - f2|`` carried by the second
+        axis.  Must be positive (exactly aligned tones have no difference
+        time scale).
+    lo_multiple:
+        The integer ``k`` describing internal multiplication of the LO
+        before mixing (1 for a plain mixer, 2 for the LO-doubling balanced
+        mixer of the paper's Section 3).
+    carrier_above_harmonic:
+        Sign of ``f2 - k*f1``.  ``False`` (default) means the carrier sits
+        *below* the LO harmonic (``f2 = k*f1 - fd``, the paper's setup);
+        ``True`` means it sits above (``f2 = k*f1 + fd``).
+    """
+
+    fast_frequency: float
+    difference_frequency: float
+    lo_multiple: int = 1
+    carrier_above_harmonic: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("fast_frequency", self.fast_frequency)
+        check_positive("difference_frequency", self.difference_frequency)
+        if self.lo_multiple < 1 or int(self.lo_multiple) != self.lo_multiple:
+            raise ShearError(f"lo_multiple must be a positive integer, got {self.lo_multiple!r}")
+        if self.difference_frequency >= self.lo_multiple * self.fast_frequency:
+            raise ShearError(
+                "difference frequency must be smaller than the mixed LO harmonic "
+                f"({self.difference_frequency:g} Hz >= "
+                f"{self.lo_multiple * self.fast_frequency:g} Hz); the tones are not closely spaced"
+            )
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def fast_period(self) -> float:
+        """Period of the fast (LO) axis, ``T1 = 1/f1``."""
+        return 1.0 / self.fast_frequency
+
+    @property
+    def difference_period(self) -> float:
+        """Period of the slow (difference-frequency) axis, ``Td = 1/fd``."""
+        return 1.0 / self.difference_frequency
+
+    @property
+    def signed_difference_frequency(self) -> float:
+        """``k*f1 - f2`` with its sign (negative when the carrier is above the harmonic)."""
+        return -self.difference_frequency if self.carrier_above_harmonic else self.difference_frequency
+
+    @property
+    def carrier_frequency(self) -> float:
+        """The information-carrying (RF) frequency ``f2 = k*f1 -/+ fd``."""
+        return self.lo_multiple * self.fast_frequency - self.signed_difference_frequency
+
+    @property
+    def disparity(self) -> float:
+        """Ratio of the fast frequency to the difference frequency.
+
+        The paper's speed-up over single-time shooting grows roughly linearly
+        with this ratio (break-even around 200).
+        """
+        return self.fast_frequency / self.difference_frequency
+
+    # -- phase maps (in cycles) ----------------------------------------------
+    def fast_phase(self, t1: float | np.ndarray) -> float | np.ndarray:
+        """Phase (in cycles) of the fast axis: ``f1 * t1``."""
+        return self.fast_frequency * np.asarray(t1, dtype=float)
+
+    def slow_phase(self, t2: float | np.ndarray) -> float | np.ndarray:
+        """Phase (in cycles) of the slow axis: ``fd * t2``."""
+        return self.difference_frequency * np.asarray(t2, dtype=float)
+
+    def carrier_phase(
+        self, t1: float | np.ndarray, t2: float | np.ndarray
+    ) -> float | np.ndarray:
+        """Sheared phase (in cycles) of the carrier: ``k*f1*t1 - fd*t2``.
+
+        This is Eq. (11)/(13) of the paper.  It is periodic in ``t1`` with
+        ``T1`` and in ``t2`` with ``Td``, and on the diagonal it equals
+        ``f2 * t`` — the property that makes the sheared representation
+        equivalent to the original one-time problem.
+        """
+        return (
+            self.lo_multiple * self.fast_frequency * np.asarray(t1, dtype=float)
+            - self.signed_difference_frequency * np.asarray(t2, dtype=float)
+        )
+
+    # -- constructors ----------------------------------------------------------
+    @staticmethod
+    def from_frequencies(
+        lo_frequency: float, rf_frequency: float, lo_multiple: int = 1
+    ) -> "ShearedTimeScales":
+        """Build the sheared scales for an LO at ``lo_frequency`` mixed (after
+        internal multiplication by ``lo_multiple``) with a carrier at
+        ``rf_frequency``."""
+        check_positive("lo_frequency", lo_frequency)
+        check_positive("rf_frequency", rf_frequency)
+        signed = lo_multiple * lo_frequency - rf_frequency
+        if signed == 0.0:
+            raise ShearError(
+                "the carrier coincides exactly with the mixed LO harmonic; there is no "
+                "difference-frequency time scale (use single-tone shooting instead)"
+            )
+        return ShearedTimeScales(
+            fast_frequency=lo_frequency,
+            difference_frequency=abs(signed),
+            lo_multiple=lo_multiple,
+            carrier_above_harmonic=signed < 0.0,
+        )
+
+    @staticmethod
+    def from_tone_pair(pair: TonePair) -> "ShearedTimeScales":
+        """Build the sheared scales from a :class:`~repro.signals.tones.TonePair`."""
+        return ShearedTimeScales.from_frequencies(pair.f1, pair.f2, pair.lo_multiple)
+
+    @staticmethod
+    def paper_balanced_mixer() -> "ShearedTimeScales":
+        """The scales of the paper's Section 3 example: 450 MHz LO doubled, 15 kHz baseband."""
+        return ShearedTimeScales.from_tone_pair(TonePair.paper_balanced_mixer())
+
+
+@dataclass(frozen=True)
+class UnshearedTimeScales:
+    """The naive multi-time axes: ``t1`` on ``1/f1``, ``t2`` on ``1/f2``.
+
+    Valid for any tone spacing but, for closely spaced tones, it does *not*
+    expose the difference-frequency variation (the point made by Fig. 1 of
+    the paper).  Provided for the Fig. 1 reproduction, for the shear-choice
+    ablation benchmark, and for widely-separated-tone problems where no
+    shear is needed.
+
+    The carrier is mapped onto the *second* axis, so ``carrier_phase`` only
+    depends on ``t2`` and the "slow" axis period is the carrier period
+    ``1/f2`` rather than the difference period.
+    """
+
+    fast_frequency: float
+    carrier_frequency_value: float
+    lo_multiple: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("fast_frequency", self.fast_frequency)
+        check_positive("carrier_frequency_value", self.carrier_frequency_value)
+
+    @property
+    def fast_period(self) -> float:
+        """Period of the first axis, ``1/f1``."""
+        return 1.0 / self.fast_frequency
+
+    @property
+    def difference_period(self) -> float:
+        """Period of the second axis — here the *carrier* period ``1/f2``."""
+        return 1.0 / self.carrier_frequency_value
+
+    @property
+    def difference_frequency(self) -> float:
+        """Frequency carried by the second axis (the carrier itself, unsheared)."""
+        return self.carrier_frequency_value
+
+    @property
+    def carrier_frequency(self) -> float:
+        """The information-carrying frequency ``f2``."""
+        return self.carrier_frequency_value
+
+    def fast_phase(self, t1: float | np.ndarray) -> float | np.ndarray:
+        """Phase (in cycles) of the first axis: ``f1 * t1``."""
+        return self.fast_frequency * np.asarray(t1, dtype=float)
+
+    def slow_phase(self, t2: float | np.ndarray) -> float | np.ndarray:
+        """Phase (in cycles) of the second axis: ``f2 * t2``."""
+        return self.carrier_frequency_value * np.asarray(t2, dtype=float)
+
+    def carrier_phase(
+        self, t1: float | np.ndarray, t2: float | np.ndarray
+    ) -> float | np.ndarray:
+        """Carrier phase, living entirely on the second axis: ``f2 * t2``."""
+        del t1
+        return self.carrier_frequency_value * np.asarray(t2, dtype=float)
+
+    @staticmethod
+    def from_frequencies(f1: float, f2: float) -> "UnshearedTimeScales":
+        """Build the unsheared axes for tones at ``f1`` and ``f2``."""
+        return UnshearedTimeScales(fast_frequency=f1, carrier_frequency_value=f2)
+
+
+def verify_diagonal_property(
+    stimulus,
+    scales,
+    times: np.ndarray,
+    *,
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+) -> float:
+    """Return the maximum diagonal-property violation of a stimulus.
+
+    Checks ``|stimulus.bivariate_value(t, t, scales) - stimulus.value(t)|``
+    over the given times and returns the largest absolute deviation; raises
+    :class:`ShearError` if it exceeds the tolerances.  Used by tests and by
+    :class:`~repro.core.mpde.MPDEProblem` as a cheap sanity check before an
+    expensive solve.
+    """
+    times = np.asarray(times, dtype=float)
+    direct = np.asarray(stimulus.value(times), dtype=float)
+    diagonal = np.asarray(stimulus.bivariate_value(times, times, scales), dtype=float)
+    deviation = np.max(np.abs(direct - diagonal)) if times.size else 0.0
+    scale = np.max(np.abs(direct)) if times.size else 0.0
+    if deviation > atol + rtol * max(scale, 1.0):
+        raise ShearError(
+            f"stimulus violates the diagonal property b(t) == b_hat(t, t): max deviation "
+            f"{deviation:.3e} over {times.size} samples"
+        )
+    return float(deviation)

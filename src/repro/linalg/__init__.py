@@ -1,0 +1,36 @@
+"""Numerical building blocks: Newton, continuation, sparse assembly, Krylov."""
+
+from .continuation import ContinuationResult, continuation_solve
+from .krylov import GMRESReport, gmres_solve, make_ilu_preconditioner
+from .newton import NewtonResult, newton_solve, solve_linear_system
+from .sparse import (
+    COOBuilder,
+    block_diag_from_array,
+    block_diagonal,
+    identity_kron,
+    kron_identity,
+    periodic_backward_difference,
+    periodic_bdf2_difference,
+    periodic_central_difference,
+    periodic_fourier_differentiation,
+)
+
+__all__ = [
+    "NewtonResult",
+    "newton_solve",
+    "solve_linear_system",
+    "ContinuationResult",
+    "continuation_solve",
+    "GMRESReport",
+    "gmres_solve",
+    "make_ilu_preconditioner",
+    "COOBuilder",
+    "block_diagonal",
+    "block_diag_from_array",
+    "kron_identity",
+    "identity_kron",
+    "periodic_backward_difference",
+    "periodic_bdf2_difference",
+    "periodic_central_difference",
+    "periodic_fourier_differentiation",
+]

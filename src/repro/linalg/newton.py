@@ -1,0 +1,238 @@
+"""Generic damped Newton-Raphson solver.
+
+Every nonlinear solve in the library — DC operating points, each implicit
+time step of transient analysis, the shooting update, harmonic balance, and
+the large coupled system produced by the discretised MPDE — funnels through
+:func:`newton_solve`.  Centralising the iteration gives all analyses the same
+damping/line-search behaviour, the same convergence criteria (SPICE-style
+combined absolute/relative tests) and the same diagnostics.
+
+The residual and Jacobian are supplied as callables.  The Jacobian may be a
+dense :class:`numpy.ndarray`, any :mod:`scipy.sparse` matrix, or a
+:class:`scipy.sparse.linalg.LinearOperator` (in which case a Krylov solver is
+used for the linear sub-problems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..utils.exceptions import ConvergenceError, SingularMatrixError
+from ..utils.logging import get_logger
+from ..utils.options import NewtonOptions
+
+__all__ = ["NewtonResult", "newton_solve", "solve_linear_system"]
+
+_LOG = get_logger("linalg.newton")
+
+
+@dataclass
+class NewtonResult:
+    """Outcome of a Newton-Raphson solve.
+
+    Attributes
+    ----------
+    x:
+        The converged iterate (or the best iterate when ``converged`` is
+        False and the caller asked not to raise).
+    converged:
+        Whether both the residual and the update criteria were met.
+    iterations:
+        Number of Newton iterations performed.
+    residual_norm:
+        Infinity norm of the residual at the final iterate.
+    update_norm:
+        Infinity norm of the last Newton update.
+    residual_history:
+        Residual norms per iteration (useful to verify quadratic convergence
+        in tests and to diagnose stagnation).
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    update_norm: float
+    residual_history: list[float] = field(default_factory=list)
+
+
+def solve_linear_system(jacobian, rhs: np.ndarray, *, gmres_tol: float = 1e-10) -> np.ndarray:
+    """Solve ``jacobian @ dx = rhs`` for dense, sparse or operator Jacobians.
+
+    Raises
+    ------
+    SingularMatrixError
+        If the factorisation fails or the solution contains non-finite
+        entries (the usual symptom of a structurally singular MNA matrix).
+    """
+    if isinstance(jacobian, spla.LinearOperator) and not sp.issparse(jacobian):
+        dx, info = spla.gmres(jacobian, rhs, rtol=gmres_tol, atol=0.0)
+        if info != 0:
+            raise SingularMatrixError(
+                f"GMRES failed to solve the Newton linear system (info={info})"
+            )
+        return dx
+
+    try:
+        if sp.issparse(jacobian):
+            dx = spla.spsolve(sp.csc_matrix(jacobian), rhs)
+        else:
+            dx = np.linalg.solve(np.asarray(jacobian, dtype=float), rhs)
+    except (np.linalg.LinAlgError, RuntimeError) as exc:
+        raise SingularMatrixError(f"linear solve failed: {exc}") from exc
+
+    dx = np.asarray(dx, dtype=float).reshape(rhs.shape)
+    if not np.all(np.isfinite(dx)):
+        raise SingularMatrixError("linear solve produced non-finite values (singular Jacobian?)")
+    return dx
+
+
+def _norm(v: np.ndarray) -> float:
+    if v.size == 0:
+        return 0.0
+    return float(np.max(np.abs(v)))
+
+
+def newton_solve(
+    residual: Callable[[np.ndarray], np.ndarray],
+    jacobian: Callable[[np.ndarray], object],
+    x0: Sequence[float] | np.ndarray,
+    options: NewtonOptions | None = None,
+    *,
+    raise_on_failure: bool = True,
+    callback: Callable[[int, np.ndarray, float], None] | None = None,
+) -> NewtonResult:
+    """Solve ``residual(x) = 0`` by damped Newton-Raphson.
+
+    Parameters
+    ----------
+    residual:
+        Maps an iterate ``x`` to the residual vector ``F(x)``.
+    jacobian:
+        Maps an iterate ``x`` to ``dF/dx`` (dense array, sparse matrix or
+        ``LinearOperator``).
+    x0:
+        Initial guess.
+    options:
+        Iteration controls; defaults to :class:`NewtonOptions()`.
+    raise_on_failure:
+        When True (default) a :class:`ConvergenceError` is raised if the
+        iteration budget is exhausted; when False the best iterate is
+        returned with ``converged=False`` so continuation drivers can react.
+    callback:
+        Optional ``callback(iteration, x, residual_norm)`` hook, invoked after
+        every accepted iterate.
+
+    Notes
+    -----
+    Convergence requires *both*
+
+    * ``||F(x)||_inf <= abstol`` and
+    * ``||dx||_inf <= reltol * ||x||_inf + abstol``
+
+    which mirrors the combined check used by SPICE-family simulators.  A
+    simple backtracking line search halves the damping factor until the
+    residual norm stops increasing (or ``min_damping`` is reached), which is
+    what makes exponential device models (diodes, subthreshold MOSFETs)
+    tractable from poor initial guesses.
+    """
+    opts = options or NewtonOptions()
+    x = np.array(x0, dtype=float).copy()
+    if x.ndim != 1:
+        x = x.ravel()
+
+    fx = np.asarray(residual(x), dtype=float)
+    res_norm = _norm(fx)
+    history = [res_norm]
+    update_norm = np.inf
+
+    if res_norm <= opts.abstol:
+        return NewtonResult(
+            x=x,
+            converged=True,
+            iterations=0,
+            residual_norm=res_norm,
+            update_norm=0.0,
+            residual_history=history,
+        )
+
+    for iteration in range(1, opts.max_iterations + 1):
+        jac = jacobian(x)
+        dx = solve_linear_system(jac, -fx)
+
+        step_norm = _norm(dx)
+        if np.isfinite(opts.max_step_norm) and step_norm > opts.max_step_norm:
+            dx = dx * (opts.max_step_norm / step_norm)
+            step_norm = opts.max_step_norm
+
+        # Backtracking line search on the residual norm.
+        damping = opts.damping
+        accepted = False
+        best_x, best_fx, best_norm = x, fx, res_norm
+        while damping >= opts.min_damping:
+            x_trial = x + damping * dx
+            fx_trial = np.asarray(residual(x_trial), dtype=float)
+            trial_norm = _norm(fx_trial)
+            if np.isfinite(trial_norm) and trial_norm < res_norm * (1.0 + 1e-12):
+                best_x, best_fx, best_norm = x_trial, fx_trial, trial_norm
+                accepted = True
+                break
+            if np.isfinite(trial_norm) and trial_norm < best_norm:
+                best_x, best_fx, best_norm = x_trial, fx_trial, trial_norm
+            damping *= 0.5
+        if not accepted:
+            # Accept the best trial anyway; Newton sometimes needs to pass
+            # through a residual increase (e.g. crossing a device corner).
+            x_trial = best_x if best_x is not x else x + opts.min_damping * dx
+            fx_trial = best_fx if best_x is not x else np.asarray(residual(x_trial), dtype=float)
+            trial_norm = _norm(fx_trial)
+            best_x, best_fx, best_norm = x_trial, fx_trial, trial_norm
+            damping = opts.min_damping
+
+        update_norm = _norm(best_x - x)
+        x, fx, res_norm = best_x, best_fx, best_norm
+        history.append(res_norm)
+
+        if callback is not None:
+            callback(iteration, x, res_norm)
+        _LOG.debug(
+            "newton iter=%d residual=%.3e update=%.3e damping=%.3g",
+            iteration,
+            res_norm,
+            update_norm,
+            damping,
+        )
+
+        x_scale = _norm(x)
+        residual_ok = res_norm <= opts.abstol
+        update_ok = update_norm <= opts.reltol * x_scale + opts.abstol
+        if residual_ok and update_ok:
+            return NewtonResult(
+                x=x,
+                converged=True,
+                iterations=iteration,
+                residual_norm=res_norm,
+                update_norm=update_norm,
+                residual_history=history,
+            )
+
+    if raise_on_failure:
+        raise ConvergenceError(
+            f"Newton-Raphson did not converge in {opts.max_iterations} iterations "
+            f"(residual norm {res_norm:.3e})",
+            iterations=opts.max_iterations,
+            residual_norm=res_norm,
+        )
+    return NewtonResult(
+        x=x,
+        converged=False,
+        iterations=opts.max_iterations,
+        residual_norm=res_norm,
+        update_norm=update_norm,
+        residual_history=history,
+    )

@@ -1,0 +1,194 @@
+"""Sparse-matrix assembly helpers.
+
+MNA matrices and the block-structured MPDE Jacobian are assembled from many
+small contributions ("stamps").  :class:`COOBuilder` accumulates triplets and
+converts them to CSR/CSC once; :func:`block_diagonal` and
+:func:`kron_identity` build the structured operators the MPDE discretisation
+needs (per-grid-point device Jacobians combined with differentiation matrices
+acting along the time axes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "COOBuilder",
+    "block_diagonal",
+    "block_diag_from_array",
+    "kron_identity",
+    "identity_kron",
+    "periodic_backward_difference",
+    "periodic_bdf2_difference",
+    "periodic_central_difference",
+    "periodic_fourier_differentiation",
+]
+
+
+class COOBuilder:
+    """Accumulates (row, col, value) triplets for a sparse matrix.
+
+    Device stamps call :meth:`add` with possibly repeated (row, col) pairs;
+    duplicate entries are summed when the matrix is materialised, exactly the
+    semantics MNA stamping needs.  Entries addressed to the "ground row/col"
+    (index < 0) are silently dropped, which lets device code stamp without
+    special-casing the ground node.
+    """
+
+    def __init__(self, n_rows: int, n_cols: int | None = None) -> None:
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols if n_cols is not None else n_rows)
+        self._rows: list[int] = []
+        self._cols: list[int] = []
+        self._vals: list[float] = []
+
+    def add(self, row: int, col: int, value: float) -> None:
+        """Add ``value`` at (row, col); ignored if either index is negative."""
+        if row < 0 or col < 0 or value == 0.0:
+            return
+        self._rows.append(row)
+        self._cols.append(col)
+        self._vals.append(float(value))
+
+    def add_block(self, rows: Sequence[int], cols: Sequence[int], block: np.ndarray) -> None:
+        """Add a dense ``block`` at the (rows x cols) positions."""
+        block = np.asarray(block, dtype=float)
+        for i, r in enumerate(rows):
+            if r < 0:
+                continue
+            for j, c in enumerate(cols):
+                if c < 0:
+                    continue
+                v = block[i, j]
+                if v != 0.0:
+                    self._rows.append(r)
+                    self._cols.append(c)
+                    self._vals.append(float(v))
+
+    def tocsr(self) -> sp.csr_matrix:
+        """Materialise the accumulated triplets as a CSR matrix."""
+        return sp.coo_matrix(
+            (self._vals, (self._rows, self._cols)), shape=(self.n_rows, self.n_cols)
+        ).tocsr()
+
+    def tocsc(self) -> sp.csc_matrix:
+        """Materialise the accumulated triplets as a CSC matrix."""
+        return self.tocsr().tocsc()
+
+    def __len__(self) -> int:
+        return len(self._vals)
+
+
+def block_diagonal(blocks: Iterable[sp.spmatrix | np.ndarray]) -> sp.csr_matrix:
+    """Stack ``blocks`` on the diagonal of one sparse matrix."""
+    return sp.block_diag(list(blocks), format="csr")
+
+
+def block_diag_from_array(blocks: np.ndarray) -> sp.csr_matrix:
+    """Block-diagonal sparse matrix from a 3-D array of equal-size blocks.
+
+    ``blocks`` has shape ``(P, n, n)``; block ``p`` occupies rows/columns
+    ``p*n ... (p+1)*n - 1``.  This is the fast path used by the MPDE
+    assembly, which needs a block-diagonal matrix of per-grid-point device
+    Jacobians (1200 blocks for the paper's 40 x 30 grid) on every Newton
+    iteration.
+    """
+    blocks = np.asarray(blocks, dtype=float)
+    if blocks.ndim != 3 or blocks.shape[1] != blocks.shape[2]:
+        raise ValueError(f"blocks must have shape (P, n, n), got {blocks.shape}")
+    n_blocks, n, _ = blocks.shape
+    local_rows, local_cols = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    offsets = (np.arange(n_blocks) * n)[:, None, None]
+    rows = (offsets + local_rows[None, :, :]).ravel()
+    cols = (offsets + local_cols[None, :, :]).ravel()
+    values = blocks.ravel()
+    size = n_blocks * n
+    return sp.coo_matrix((values, (rows, cols)), shape=(size, size)).tocsr()
+
+
+def kron_identity(matrix: sp.spmatrix | np.ndarray, n: int) -> sp.csr_matrix:
+    """Return ``kron(matrix, I_n)`` in CSR format.
+
+    Used to lift a differentiation matrix acting on grid points to one acting
+    on grid points x circuit unknowns (unknowns are stored contiguously per
+    grid point).
+    """
+    return sp.kron(sp.csr_matrix(matrix), sp.identity(n, format="csr"), format="csr")
+
+
+def identity_kron(n: int, matrix: sp.spmatrix | np.ndarray) -> sp.csr_matrix:
+    """Return ``kron(I_n, matrix)`` in CSR format."""
+    return sp.kron(sp.identity(n, format="csr"), sp.csr_matrix(matrix), format="csr")
+
+
+def periodic_backward_difference(n: int, period: float) -> sp.csr_matrix:
+    """First-derivative matrix for a uniform periodic grid, backward Euler.
+
+    For samples ``y_k = y(k * h)`` with ``h = period / n`` and periodic wrap
+    ``y_{-1} = y_{n-1}``, row ``k`` approximates ``y'(k h) ~ (y_k - y_{k-1}) / h``.
+    Backward differencing is unconditionally stable and damps the spurious
+    oscillations that central differencing produces on the sharp switching
+    waveforms the paper targets.
+    """
+    if n < 2:
+        raise ValueError("periodic difference matrices need at least 2 points")
+    h = period / n
+    builder = COOBuilder(n, n)
+    for k in range(n):
+        builder.add(k, k, 1.0 / h)
+        builder.add(k, (k - 1) % n, -1.0 / h)
+    return builder.tocsr()
+
+
+def periodic_bdf2_difference(n: int, period: float) -> sp.csr_matrix:
+    """Second-order backward (BDF2) first-derivative matrix on a periodic grid.
+
+    Row ``k`` approximates ``y'(k h) ~ (1.5 y_k - 2 y_{k-1} + 0.5 y_{k-2}) / h``
+    with periodic wrap-around.  Like backward Euler it damps high-frequency
+    error modes (important for the switching waveforms the MPDE method
+    targets), but it is second-order accurate, which matters for extracting
+    small difference-frequency components without excessive grid resolution.
+    """
+    if n < 3:
+        raise ValueError("BDF2 differences need at least 3 points")
+    h = period / n
+    builder = COOBuilder(n, n)
+    for k in range(n):
+        builder.add(k, k, 1.5 / h)
+        builder.add(k, (k - 1) % n, -2.0 / h)
+        builder.add(k, (k - 2) % n, 0.5 / h)
+    return builder.tocsr()
+
+
+def periodic_central_difference(n: int, period: float) -> sp.csr_matrix:
+    """Second-order central first-derivative matrix on a uniform periodic grid."""
+    if n < 3:
+        raise ValueError("central differences need at least 3 points")
+    h = period / n
+    builder = COOBuilder(n, n)
+    for k in range(n):
+        builder.add(k, (k + 1) % n, 0.5 / h)
+        builder.add(k, (k - 1) % n, -0.5 / h)
+    return builder.tocsr()
+
+
+def periodic_fourier_differentiation(n: int, period: float) -> np.ndarray:
+    """Spectral (Fourier) differentiation matrix on a uniform periodic grid.
+
+    Dense (n x n); exact for trigonometric polynomials resolvable on the
+    grid.  Offered for smooth problems and for cross-validating the
+    finite-difference operators in tests; the time-domain methods of the
+    paper deliberately avoid relying on it.
+    """
+    if n < 2:
+        raise ValueError("Fourier differentiation needs at least 2 points")
+    k = np.fft.fftfreq(n, d=period / n) * 2.0 * np.pi  # angular wavenumbers
+    # Differentiate each unit basis vector via FFT; column j of the result is
+    # D @ e_j, i.e. the j-th column of the differentiation matrix.
+    eye = np.eye(n)
+    spectra = np.fft.fft(eye, axis=0)
+    derivative = np.real(np.fft.ifft(1j * k[:, None] * spectra, axis=0))
+    return derivative

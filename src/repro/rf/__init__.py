@@ -1,0 +1,51 @@
+"""RF application layer: mixer circuits, receiver chain and RF metrics."""
+
+from .ideal_mixing import (
+    difference_tone_amplitude,
+    ideal_product_waveform,
+    scaled_bivariate_product,
+    zhat_sheared,
+    zhat_unsheared,
+)
+from .metrics import (
+    ConversionMetrics,
+    adjacent_channel_power_ratio,
+    baseband_distortion,
+    conversion_gain,
+    conversion_metrics,
+    eye_opening,
+    lo_feedthrough_ratio,
+)
+from .mixers import (
+    MixerCircuit,
+    balanced_lo_doubling_mixer,
+    default_bit_envelope,
+    gilbert_cell_mixer,
+    ideal_multiplier_mixer,
+    unbalanced_switching_mixer,
+)
+from .receiver import BitRecovery, DirectConversionReceiver, recover_bits
+
+__all__ = [
+    "MixerCircuit",
+    "ideal_multiplier_mixer",
+    "unbalanced_switching_mixer",
+    "balanced_lo_doubling_mixer",
+    "gilbert_cell_mixer",
+    "default_bit_envelope",
+    "ConversionMetrics",
+    "conversion_gain",
+    "conversion_metrics",
+    "baseband_distortion",
+    "eye_opening",
+    "lo_feedthrough_ratio",
+    "adjacent_channel_power_ratio",
+    "BitRecovery",
+    "DirectConversionReceiver",
+    "recover_bits",
+    "zhat_unsheared",
+    "zhat_sheared",
+    "scaled_bivariate_product",
+    "ideal_product_waveform",
+    "difference_tone_amplitude",
+]

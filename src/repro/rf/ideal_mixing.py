@@ -1,0 +1,118 @@
+"""The ideal mixing example of Section 2 of the paper.
+
+The paper introduces difference time scales with the ideal multiplication
+
+    z(t) = x(t) * y(t),   x(t) = cos(2*pi*f1*t),  y(t) = cos(2*pi*f2*t)
+
+with ``f1 = 1 GHz`` and ``f2 = f1 - 10 kHz``.  Two bivariate representations
+of ``z`` are compared:
+
+* ``z_hat1(t1, t2) = cos(2*pi*f1*t1) * cos(2*pi*f2*t2)`` — the "natural"
+  (unsheared) choice, periodic with two nearly equal nanosecond periods,
+  which hides the 10 kHz difference tone (Fig. 1);
+* ``z_hat2(t1, t2) = z_s(f1*t1, f1*t1 - fd*t2)`` — the scaled-and-sheared
+  choice with ``fd = f1 - f2``, periodic in ``t2`` with the 0.1 ms
+  difference period, which exposes the difference-frequency variation
+  explicitly (Fig. 2).
+
+Both satisfy ``z(t) = z_hat(t, t)``.  The helpers here sample the two
+surfaces for the Fig. 1 / Fig. 2 reproduction and provide the closed-form
+ideal product for validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.timescales import ShearedTimeScales, UnshearedTimeScales
+from ..signals.tones import TonePair
+from ..signals.waveform import BivariateWaveform, Waveform
+from ..utils.exceptions import ConfigurationError
+
+__all__ = [
+    "scaled_bivariate_product",
+    "zhat_unsheared",
+    "zhat_sheared",
+    "ideal_product_waveform",
+    "difference_tone_amplitude",
+]
+
+
+def scaled_bivariate_product(u1: np.ndarray, u2: np.ndarray) -> np.ndarray:
+    """The normalised bivariate product ``z_s(u1, u2) = cos(2*pi*u1) * cos(2*pi*u2)``.
+
+    This is Eq. (8) of the paper: both arguments are in *cycles* (period 1).
+    """
+    return np.cos(2.0 * np.pi * np.asarray(u1, dtype=float)) * np.cos(
+        2.0 * np.pi * np.asarray(u2, dtype=float)
+    )
+
+
+def zhat_unsheared(pair: TonePair, n_fast: int = 64, n_slow: int = 64) -> BivariateWaveform:
+    """Sample the unsheared representation ``z_hat1`` (Fig. 1 of the paper).
+
+    The first axis spans one period of ``f1``, the second one period of
+    ``f2``; for closely spaced tones the two spans are almost identical and
+    nothing slow is visible.
+    """
+    if n_fast < 2 or n_slow < 2:
+        raise ConfigurationError("zhat grids need at least 2 samples per axis")
+    scales = UnshearedTimeScales.from_frequencies(pair.f1, pair.f2)
+    t1 = np.arange(n_fast) * (scales.fast_period / n_fast)
+    t2 = np.arange(n_slow) * (scales.difference_period / n_slow)
+    u1 = pair.f1 * t1[:, None]
+    u2 = pair.f2 * t2[None, :]
+    values = pair.lo.amplitude * pair.rf.amplitude * scaled_bivariate_product(u1, u2)
+    return BivariateWaveform(
+        values=values,
+        period1=scales.fast_period,
+        period2=scales.difference_period,
+        name="zhat1",
+    )
+
+
+def zhat_sheared(pair: TonePair, n_fast: int = 64, n_slow: int = 64) -> BivariateWaveform:
+    """Sample the sheared representation ``z_hat2`` (Fig. 2 of the paper).
+
+    The first axis spans one LO period, the second one *difference-frequency*
+    period ``Td = 1 / |k*f1 - f2|``; the slow variation of the product is
+    explicit along the second axis.
+    """
+    if n_fast < 2 or n_slow < 2:
+        raise ConfigurationError("zhat grids need at least 2 samples per axis")
+    scales = ShearedTimeScales.from_tone_pair(pair)
+    t1 = np.arange(n_fast) * (scales.fast_period / n_fast)
+    t2 = np.arange(n_slow) * (scales.difference_period / n_slow)
+    t1_mesh, t2_mesh = np.meshgrid(t1, t2, indexing="ij")
+    u1 = pair.lo_multiple * scales.fast_phase(t1_mesh)
+    u2 = scales.carrier_phase(t1_mesh, t2_mesh)
+    values = pair.lo.amplitude * pair.rf.amplitude * scaled_bivariate_product(u1, u2)
+    return BivariateWaveform(
+        values=values,
+        period1=scales.fast_period,
+        period2=scales.difference_period,
+        name="zhat2",
+    )
+
+
+def ideal_product_waveform(pair: TonePair, times: np.ndarray) -> Waveform:
+    """The exact one-time product ``z(t) = x(t) * y(t)`` sampled at ``times``.
+
+    Note that for the LO-doubling case (``lo_multiple = 2``) the "LO" factor
+    is the internally doubled tone ``cos(2*pi*2*f1*t)``; the difference tone
+    then appears at ``|2*f1 - f2|`` exactly as in the balanced mixer.
+    """
+    times = np.asarray(times, dtype=float)
+    lo_factor = pair.lo.amplitude * np.cos(2.0 * np.pi * pair.lo_multiple * pair.f1 * times)
+    rf_factor = pair.rf.amplitude * np.cos(2.0 * np.pi * pair.f2 * times)
+    return Waveform(times, lo_factor * rf_factor, name="z")
+
+
+def difference_tone_amplitude(pair: TonePair) -> float:
+    """Closed-form amplitude of the difference tone of the ideal product.
+
+    ``cos(a) * cos(b) = (cos(a-b) + cos(a+b)) / 2``, so the difference tone
+    has amplitude ``A_lo * A_rf / 2`` — the analytic value the tests compare
+    the extracted envelope against.
+    """
+    return 0.5 * pair.lo.amplitude * pair.rf.amplitude

@@ -1,0 +1,61 @@
+"""Signal descriptions: tones, bit streams, stimuli, waveforms and spectra."""
+
+from .bitstream import (
+    BitStreamEnvelope,
+    ConstantEnvelope,
+    Envelope,
+    SinusoidalEnvelope,
+    alternating_bits,
+    prbs_bits,
+    rectangular_pulse,
+    smoothed_pulse,
+)
+from .spectrum import (
+    Spectrum,
+    band_power,
+    compute_spectrum,
+    fourier_coefficient,
+    total_harmonic_distortion,
+)
+from .stimuli import (
+    DCStimulus,
+    ModulatedCarrierStimulus,
+    PiecewiseLinearStimulus,
+    PulseStimulus,
+    SinusoidStimulus,
+    Stimulus,
+    SumStimulus,
+    TimeScalesLike,
+)
+from .tones import Tone, TonePair, difference_frequency, is_closely_spaced
+from .waveform import BivariateWaveform, Waveform
+
+__all__ = [
+    "Tone",
+    "TonePair",
+    "difference_frequency",
+    "is_closely_spaced",
+    "Waveform",
+    "BivariateWaveform",
+    "Envelope",
+    "ConstantEnvelope",
+    "SinusoidalEnvelope",
+    "BitStreamEnvelope",
+    "prbs_bits",
+    "alternating_bits",
+    "rectangular_pulse",
+    "smoothed_pulse",
+    "Stimulus",
+    "DCStimulus",
+    "SinusoidStimulus",
+    "ModulatedCarrierStimulus",
+    "PulseStimulus",
+    "PiecewiseLinearStimulus",
+    "SumStimulus",
+    "TimeScalesLike",
+    "Spectrum",
+    "compute_spectrum",
+    "fourier_coefficient",
+    "total_harmonic_distortion",
+    "band_power",
+]

@@ -1,0 +1,282 @@
+"""Bit streams and baseband envelopes.
+
+The RF drive of the paper's mixers is a "high-frequency tone modulated by a
+bit stream" — a carrier near 900 MHz whose amplitude follows a pulse pattern
+that varies on the *difference-frequency* time scale.  This module provides
+
+* :func:`prbs_bits` — pseudo-random binary sequences from a linear-feedback
+  shift register (PRBS7/PRBS9/...),
+* pulse-shaping helpers (:func:`rectangular_pulse`, :func:`smoothed_pulse`),
+* :class:`BitStreamEnvelope` — a periodic baseband envelope ``m(t)`` built
+  from a bit pattern, evaluable at arbitrary times, which is exactly the
+  object the multi-time reformulation samples along the difference-frequency
+  axis, and
+* :class:`SinusoidalEnvelope` / :class:`ConstantEnvelope` for the pure-tone
+  drives used when measuring conversion gain and distortion.
+
+Envelopes are normalised so that they are periodic with ``period`` seconds —
+for MPDE use the period should equal (or divide) the difference-frequency
+period ``Td``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError
+from ..utils.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "prbs_bits",
+    "alternating_bits",
+    "rectangular_pulse",
+    "smoothed_pulse",
+    "Envelope",
+    "ConstantEnvelope",
+    "SinusoidalEnvelope",
+    "BitStreamEnvelope",
+]
+
+_PRBS_TAPS = {
+    # order: (tap_a, tap_b) producing maximal-length sequences x^a + x^b + 1
+    7: (7, 6),
+    9: (9, 5),
+    11: (11, 9),
+    15: (15, 14),
+}
+
+
+def prbs_bits(order: int, n_bits: int, *, seed: int = 0b1010101) -> np.ndarray:
+    """Generate ``n_bits`` of a maximal-length PRBS of the given ``order``.
+
+    Implemented as a Fibonacci LFSR with the classic tap pairs; a PRBS-7
+    generator repeats every 127 bits.  The value returned is an integer array
+    of 0/1.
+    """
+    if order not in _PRBS_TAPS:
+        raise ConfigurationError(
+            f"unsupported PRBS order {order}; supported: {sorted(_PRBS_TAPS)}"
+        )
+    if n_bits < 1:
+        raise ConfigurationError("n_bits must be >= 1")
+    tap_a, tap_b = _PRBS_TAPS[order]
+    mask = (1 << order) - 1
+    state = seed & mask
+    if state == 0:
+        state = 1  # the all-zero state is the lock-up state of an LFSR
+    bits = np.empty(n_bits, dtype=int)
+    # Left-shifting Fibonacci LFSR: the feedback bit (XOR of the two taps,
+    # counted from 1 at the LSB) is both the output and the new LSB.
+    for i in range(n_bits):
+        new_bit = ((state >> (tap_a - 1)) ^ (state >> (tap_b - 1))) & 1
+        bits[i] = new_bit
+        state = ((state << 1) | new_bit) & mask
+    return bits
+
+
+def alternating_bits(n_bits: int, *, start: int = 1) -> np.ndarray:
+    """A simple 1 0 1 0 ... pattern, handy for eye-diagram style tests."""
+    if n_bits < 1:
+        raise ConfigurationError("n_bits must be >= 1")
+    bits = np.empty(n_bits, dtype=int)
+    bits[0::2] = start
+    bits[1::2] = 1 - start
+    return bits
+
+
+def rectangular_pulse(u: np.ndarray | float) -> np.ndarray | float:
+    """Unit rectangular pulse on the normalised interval [0, 1): 1 inside, 0 outside."""
+    u = np.asarray(u, dtype=float)
+    result = np.where((u >= 0.0) & (u < 1.0), 1.0, 0.0)
+    if result.ndim == 0:
+        return float(result)
+    return result
+
+
+def smoothed_pulse(u: np.ndarray | float, *, rise_fraction: float = 0.1) -> np.ndarray | float:
+    """Rectangular pulse with raised-cosine edges.
+
+    ``rise_fraction`` is the fraction of the unit interval spent in each
+    transition.  The smoothing keeps coarse multi-time grids from aliasing
+    the bit edges while retaining the sharp, strongly nonlinear character the
+    paper emphasises; ``rise_fraction = 0`` reduces to
+    :func:`rectangular_pulse`.
+    """
+    if not 0.0 <= rise_fraction < 0.5:
+        raise ConfigurationError("rise_fraction must be in [0, 0.5)")
+    u = np.asarray(u, dtype=float)
+    if rise_fraction == 0.0:
+        return rectangular_pulse(u)
+    r = rise_fraction
+    rising = 0.5 * (1.0 - np.cos(np.pi * np.clip(u / r, 0.0, 1.0)))
+    falling = 0.5 * (1.0 + np.cos(np.pi * np.clip((u - (1.0 - r)) / r, 0.0, 1.0)))
+    inside = (u >= 0.0) & (u < 1.0)
+    shaped = np.where(u < r, rising, np.where(u >= 1.0 - r, falling, 1.0))
+    result = np.where(inside, shaped, 0.0)
+    if result.ndim == 0:
+        return float(result)
+    return result
+
+
+class Envelope:
+    """Base class for periodic baseband envelopes ``m(t)``.
+
+    Subclasses implement :meth:`value`; the instance is callable.  ``period``
+    is the repetition period in seconds (the MPDE difference-frequency axis
+    wraps with this period).
+    """
+
+    period: float
+
+    def value(self, t: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, t: float | np.ndarray) -> float | np.ndarray:
+        out = self.value(np.asarray(t, dtype=float))
+        if np.isscalar(t) or np.ndim(t) == 0:
+            return float(out)
+        return out
+
+
+@dataclass(frozen=True)
+class ConstantEnvelope(Envelope):
+    """An envelope that is identically ``level`` (un-modulated carrier)."""
+
+    level: float = 1.0
+    period: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("period", self.period)
+
+    def value(self, t: np.ndarray) -> np.ndarray:
+        return np.full_like(np.asarray(t, dtype=float), self.level)
+
+
+@dataclass(frozen=True)
+class SinusoidalEnvelope(Envelope):
+    """A raised sinusoidal envelope ``offset + amplitude * cos(2*pi*t/period + phase)``.
+
+    With ``offset = 0`` this turns the modulated carrier into a pure two-tone
+    drive, which is what the conversion-gain / distortion measurements use.
+    """
+
+    period: float
+    amplitude: float = 1.0
+    offset: float = 0.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("period", self.period)
+
+    def value(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        return self.offset + self.amplitude * np.cos(2.0 * np.pi * t / self.period + self.phase)
+
+
+@dataclass(frozen=True)
+class BitStreamEnvelope(Envelope):
+    """Periodic envelope following a bit pattern.
+
+    Parameters
+    ----------
+    bits:
+        Sequence of 0/1 (or boolean) values; the pattern repeats forever.
+    bit_period:
+        Duration of one bit in seconds.
+    low, high:
+        Envelope levels for 0 and 1 bits (e.g. ``low=-1, high=1`` for a BPSK
+        style drive, ``low=0, high=1`` for on-off keying).
+    rise_fraction:
+        Fraction of each bit spent in a raised-cosine transition; 0 gives
+        ideal rectangular bits.
+    """
+
+    bits: tuple[int, ...]
+    bit_period: float
+    low: float = 0.0
+    high: float = 1.0
+    rise_fraction: float = 0.05
+
+    def __init__(
+        self,
+        bits: Sequence[int],
+        bit_period: float,
+        *,
+        low: float = 0.0,
+        high: float = 1.0,
+        rise_fraction: float = 0.05,
+    ) -> None:
+        bits_tuple = tuple(int(b) for b in bits)
+        if len(bits_tuple) < 1:
+            raise ConfigurationError("BitStreamEnvelope needs at least one bit")
+        if any(b not in (0, 1) for b in bits_tuple):
+            raise ConfigurationError("bits must contain only 0s and 1s")
+        check_positive("bit_period", bit_period)
+        check_nonnegative("rise_fraction", rise_fraction)
+        if rise_fraction >= 0.5:
+            raise ConfigurationError("rise_fraction must be < 0.5")
+        object.__setattr__(self, "bits", bits_tuple)
+        object.__setattr__(self, "bit_period", float(bit_period))
+        object.__setattr__(self, "low", float(low))
+        object.__setattr__(self, "high", float(high))
+        object.__setattr__(self, "rise_fraction", float(rise_fraction))
+
+    @property
+    def period(self) -> float:  # type: ignore[override]
+        """Repetition period of the whole pattern."""
+        return self.bit_period * len(self.bits)
+
+    @property
+    def n_bits(self) -> int:
+        """Number of bits in the repeating pattern."""
+        return len(self.bits)
+
+    def bit_at(self, t: float) -> int:
+        """The bit value governing the envelope at time ``t``."""
+        index = int(np.floor((t % self.period) / self.bit_period)) % self.n_bits
+        return self.bits[index]
+
+    def value(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        local = np.mod(t, self.period)
+        index = np.floor(local / self.bit_period).astype(int) % self.n_bits
+        frac = local / self.bit_period - np.floor(local / self.bit_period)
+        bits_arr = np.asarray(self.bits, dtype=float)
+        current = bits_arr[index]
+        previous = bits_arr[(index - 1) % self.n_bits]
+        if self.rise_fraction == 0.0:
+            levels = current
+        else:
+            # Raised-cosine transition from the previous bit at the start of
+            # each bit slot; the transition is centred on the slot boundary.
+            r = self.rise_fraction
+            blend = np.where(
+                frac < r,
+                0.5 * (1.0 - np.cos(np.pi * frac / r)),
+                1.0,
+            )
+            levels = previous + (current - previous) * blend
+        return self.low + (self.high - self.low) * levels
+
+    @staticmethod
+    def prbs(
+        order: int,
+        n_bits: int,
+        bit_period: float,
+        *,
+        low: float = 0.0,
+        high: float = 1.0,
+        rise_fraction: float = 0.05,
+        seed: int = 0b1010101,
+    ) -> "BitStreamEnvelope":
+        """Convenience constructor: a PRBS pattern of ``n_bits`` bits."""
+        return BitStreamEnvelope(
+            prbs_bits(order, n_bits, seed=seed),
+            bit_period,
+            low=low,
+            high=high,
+            rise_fraction=rise_fraction,
+        )

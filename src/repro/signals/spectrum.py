@@ -1,0 +1,160 @@
+"""Spectral analysis of sampled waveforms.
+
+The RF metrics layer (conversion gain, distortion, ACI) needs a small amount
+of frequency-domain post-processing even though the *solvers* are purely
+time-domain: Fourier coefficients of periodic steady-state waveforms, total
+harmonic distortion, and power in frequency bands.  Everything here operates
+on uniformly resampled data via the FFT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.exceptions import WaveformError
+from .waveform import Waveform
+
+__all__ = [
+    "Spectrum",
+    "compute_spectrum",
+    "fourier_coefficient",
+    "total_harmonic_distortion",
+    "band_power",
+]
+
+
+@dataclass(frozen=True)
+class Spectrum:
+    """One-sided amplitude spectrum of a real waveform.
+
+    Attributes
+    ----------
+    frequencies:
+        Frequency bins in Hz (starting at DC).
+    amplitudes:
+        Peak amplitude of each bin (i.e. ``|X_k|`` scaled so a unit-amplitude
+        cosine shows up as 1.0 in its bin).
+    phases:
+        Phase of each bin in radians.
+    """
+
+    frequencies: np.ndarray
+    amplitudes: np.ndarray
+    phases: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.frequencies.shape != self.amplitudes.shape or self.frequencies.shape != self.phases.shape:
+            raise WaveformError("spectrum arrays must have identical shapes")
+
+    @property
+    def resolution(self) -> float:
+        """Frequency-bin spacing in Hz."""
+        if self.frequencies.size < 2:
+            return 0.0
+        return float(self.frequencies[1] - self.frequencies[0])
+
+    def amplitude_at(self, frequency: float, *, tolerance: float | None = None) -> float:
+        """Amplitude of the bin nearest ``frequency``.
+
+        Raises :class:`WaveformError` if the nearest bin is farther away than
+        ``tolerance`` (default: one bin spacing).
+        """
+        idx = int(np.argmin(np.abs(self.frequencies - frequency)))
+        tol = self.resolution if tolerance is None else tolerance
+        if tol and abs(self.frequencies[idx] - frequency) > tol * (1 + 1e-9):
+            raise WaveformError(
+                f"no spectral bin within {tol:g} Hz of {frequency:g} Hz "
+                f"(nearest: {self.frequencies[idx]:g} Hz)"
+            )
+        return float(self.amplitudes[idx])
+
+    def dominant_frequency(self, *, skip_dc: bool = True) -> float:
+        """Frequency of the largest non-DC bin."""
+        amps = self.amplitudes.copy()
+        if skip_dc and amps.size:
+            amps[0] = 0.0
+        return float(self.frequencies[int(np.argmax(amps))])
+
+
+def compute_spectrum(waveform: Waveform, *, n_samples: int | None = None, detrend: bool = False) -> Spectrum:
+    """FFT-based one-sided spectrum of ``waveform``.
+
+    The waveform is linearly resampled onto a uniform grid of ``n_samples``
+    points spanning its whole duration (excluding the repeated end point so
+    a periodic waveform is not double-counted).
+    """
+    if len(waveform) < 4:
+        raise WaveformError("spectrum needs at least 4 samples")
+    n = n_samples or len(waveform)
+    duration = waveform.duration
+    if duration <= 0:
+        raise WaveformError("waveform duration must be positive for spectral analysis")
+    times = waveform.times[0] + np.arange(n) * (duration / n)
+    values = np.asarray(waveform(times), dtype=float)
+    if detrend:
+        values = values - values.mean()
+    transform = np.fft.rfft(values)
+    frequencies = np.fft.rfftfreq(n, d=duration / n)
+    amplitudes = np.abs(transform) / n
+    # one-sided scaling: every bin except DC (and Nyquist for even n) doubles
+    amplitudes[1:] *= 2.0
+    if n % 2 == 0:
+        amplitudes[-1] /= 2.0
+    phases = np.angle(transform)
+    return Spectrum(frequencies=frequencies, amplitudes=amplitudes, phases=phases)
+
+
+def fourier_coefficient(waveform: Waveform, frequency: float) -> complex:
+    """Complex Fourier coefficient of ``waveform`` at exactly ``frequency``.
+
+    Computed by direct projection (trapezoidal quadrature of
+    ``x(t) * exp(-j*2*pi*f*t)``), so it does not require the frequency to be
+    a bin of an FFT grid.  Normalised so a cosine of amplitude ``A`` at the
+    target frequency returns ``A / 2 * exp(j*phase)`` — take ``2 * abs(...)``
+    for the peak amplitude.
+    """
+    if len(waveform) < 4:
+        raise WaveformError("fourier_coefficient needs at least 4 samples")
+    t = waveform.times
+    x = waveform.values
+    duration = waveform.duration
+    if duration <= 0:
+        raise WaveformError("waveform duration must be positive")
+    kernel = np.exp(-2j * np.pi * frequency * t)
+    return complex(np.trapezoid(x * kernel, t) / duration)
+
+
+def total_harmonic_distortion(waveform: Waveform, fundamental: float, *, n_harmonics: int = 5) -> float:
+    """THD (ratio of harmonic RMS to fundamental RMS) of a periodic waveform.
+
+    Uses direct Fourier projection at the fundamental and at its first
+    ``n_harmonics`` overtones, so the waveform need only cover an integer
+    number of fundamental periods approximately.
+    """
+    if fundamental <= 0:
+        raise WaveformError("fundamental frequency must be positive")
+    fund = 2.0 * abs(fourier_coefficient(waveform, fundamental))
+    if fund == 0.0:
+        raise WaveformError("waveform has no component at the fundamental frequency")
+    harmonic_power = 0.0
+    for k in range(2, n_harmonics + 2):
+        amp = 2.0 * abs(fourier_coefficient(waveform, k * fundamental))
+        harmonic_power += amp**2
+    return float(np.sqrt(harmonic_power) / fund)
+
+
+def band_power(spectrum: Spectrum, f_low: float, f_high: float) -> float:
+    """Total power (sum of ``A^2 / 2``) of the bins with ``f_low <= f <= f_high``."""
+    if f_high < f_low:
+        raise WaveformError("band_power requires f_high >= f_low")
+    mask = (spectrum.frequencies >= f_low) & (spectrum.frequencies <= f_high)
+    amps = spectrum.amplitudes[mask]
+    if amps.size == 0:
+        return 0.0
+    powers = amps**2 / 2.0
+    # DC carries its full power (no one-sided doubling to undo).
+    if mask[0] and spectrum.frequencies[0] == 0.0:
+        powers[0] = spectrum.amplitudes[0] ** 2
+    return float(np.sum(powers))

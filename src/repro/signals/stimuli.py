@@ -1,0 +1,428 @@
+"""Stimulus (excitation) functions for independent sources.
+
+A :class:`Stimulus` answers two questions:
+
+* ``value(t)`` — the ordinary single-time excitation ``b(t)`` used by DC,
+  transient, shooting and harmonic-balance analyses, and
+* ``bivariate_value(t1, t2, scales)`` — the multi-time excitation
+  ``b_hat(t1, t2)`` used by the MPDE core, where ``scales`` is a
+  :class:`repro.core.timescales.ShearedTimeScales` (duck-typed here to avoid
+  a circular import) describing the fast axis, the difference-frequency axis
+  and the shear between them.
+
+The fundamental consistency requirement, Eq. (2)/(3) of the paper, is the
+**diagonal property**::
+
+    bivariate_value(t, t, scales) == value(t)          for all t
+
+Every stimulus in this module preserves it by construction, and the property
+based tests verify it numerically.  How a stimulus spreads over the two
+artificial time axes depends on its frequency content:
+
+* DC and slow (baseband-rate) stimuli vary only along the slow axis,
+* stimuli at the LO frequency (or an exact harmonic of it) vary only along
+  the fast axis,
+* stimuli at the *closely spaced* carrier frequency ``k*f1 - fd`` use the
+  sheared phase ``k*f1*t1 - fd*t2`` — this is Eq. (11)/(13) of the paper and
+  is what exposes the difference-frequency variation explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..utils.exceptions import ConfigurationError, ShearError
+from ..utils.validation import as_float_array, check_finite, check_positive
+from .bitstream import ConstantEnvelope, Envelope
+
+__all__ = [
+    "TimeScalesLike",
+    "Stimulus",
+    "DCStimulus",
+    "SinusoidStimulus",
+    "ModulatedCarrierStimulus",
+    "PulseStimulus",
+    "PiecewiseLinearStimulus",
+    "SumStimulus",
+]
+
+_REL_FREQ_TOL = 1e-9
+
+
+@runtime_checkable
+class TimeScalesLike(Protocol):
+    """The part of ``ShearedTimeScales`` the stimuli need (duck-typed)."""
+
+    fast_frequency: float
+    difference_frequency: float
+    lo_multiple: int
+
+    @property
+    def carrier_frequency(self) -> float: ...
+
+    def fast_phase(self, t1): ...
+
+    def carrier_phase(self, t1, t2): ...
+
+    def slow_phase(self, t2): ...
+
+
+def _is_multiple_of(frequency: float, base: float) -> int | None:
+    """Return ``m`` if ``frequency ~= m * base`` for a positive integer ``m``."""
+    if base <= 0:
+        return None
+    ratio = frequency / base
+    m = round(ratio)
+    if m >= 1 and abs(ratio - m) <= _REL_FREQ_TOL * max(1.0, abs(ratio)):
+        return int(m)
+    return None
+
+
+class Stimulus:
+    """Abstract excitation waveform attached to an independent source."""
+
+    def value(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Single-time excitation ``b(t)``."""
+        raise NotImplementedError
+
+    def bivariate_value(
+        self, t1: float | np.ndarray, t2: float | np.ndarray, scales: TimeScalesLike
+    ) -> float | np.ndarray:
+        """Multi-time excitation ``b_hat(t1, t2)`` under the given time scales."""
+        raise NotImplementedError
+
+    def is_time_varying(self) -> bool:
+        """Whether the stimulus depends on time at all (False for pure DC)."""
+        return True
+
+    def __call__(self, t: float | np.ndarray) -> float | np.ndarray:
+        return self.value(t)
+
+    def __add__(self, other: "Stimulus") -> "SumStimulus":
+        if not isinstance(other, Stimulus):
+            return NotImplemented
+        return SumStimulus((self, other))
+
+
+@dataclass(frozen=True)
+class DCStimulus(Stimulus):
+    """A constant excitation (supply voltages, bias currents)."""
+
+    level: float
+
+    def __post_init__(self) -> None:
+        check_finite("level", self.level)
+
+    def value(self, t: float | np.ndarray) -> float | np.ndarray:
+        if np.isscalar(t) or np.ndim(t) == 0:
+            return float(self.level)
+        return np.full_like(np.asarray(t, dtype=float), self.level)
+
+    def bivariate_value(self, t1, t2, scales: TimeScalesLike):
+        del scales
+        if (np.isscalar(t1) or np.ndim(t1) == 0) and (np.isscalar(t2) or np.ndim(t2) == 0):
+            return float(self.level)
+        shape = np.broadcast(np.asarray(t1), np.asarray(t2)).shape
+        return np.full(shape, self.level, dtype=float)
+
+    def is_time_varying(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class SinusoidStimulus(Stimulus):
+    """A sinusoid ``offset + amplitude * cos(2*pi*frequency*t + phase)``.
+
+    Parameters
+    ----------
+    amplitude, frequency, phase, offset:
+        Usual sinusoid parameters (``phase`` in radians).
+    axis:
+        How the sinusoid is laid out on the multi-time plane:
+
+        * ``"auto"`` (default): inferred from the frequency — an exact
+          multiple of the fast (LO) frequency lives on the fast axis, the
+          closely spaced carrier frequency ``k*f1 - fd`` is sheared, a
+          multiple of the difference frequency lives on the slow axis.
+        * ``"fast"``, ``"sheared"``, ``"slow"``: force the layout.
+    """
+
+    amplitude: float
+    frequency: float
+    phase: float = 0.0
+    offset: float = 0.0
+    axis: str = "auto"
+
+    def __post_init__(self) -> None:
+        check_finite("amplitude", self.amplitude)
+        check_positive("frequency", self.frequency)
+        check_finite("phase", self.phase)
+        check_finite("offset", self.offset)
+        if self.axis not in ("auto", "fast", "sheared", "slow"):
+            raise ConfigurationError(
+                f"axis must be 'auto', 'fast', 'sheared' or 'slow', got {self.axis!r}"
+            )
+
+    @property
+    def omega(self) -> float:
+        """Angular frequency in rad/s."""
+        return 2.0 * math.pi * self.frequency
+
+    def value(self, t):
+        t = np.asarray(t, dtype=float)
+        out = self.offset + self.amplitude * np.cos(self.omega * t + self.phase)
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def _resolve_axis(self, scales: TimeScalesLike) -> tuple[str, int]:
+        """Decide the multi-time layout; returns (axis, harmonic multiple)."""
+        if self.axis == "fast":
+            m = _is_multiple_of(self.frequency, scales.fast_frequency)
+            if m is None:
+                raise ShearError(
+                    f"stimulus frequency {self.frequency:g} Hz is not a harmonic of the "
+                    f"fast frequency {scales.fast_frequency:g} Hz"
+                )
+            return "fast", m
+        if self.axis == "slow":
+            m = _is_multiple_of(self.frequency, scales.difference_frequency)
+            if m is None:
+                raise ShearError(
+                    f"stimulus frequency {self.frequency:g} Hz is not a harmonic of the "
+                    f"difference frequency {scales.difference_frequency:g} Hz"
+                )
+            return "slow", m
+        if self.axis == "sheared":
+            if not math.isclose(
+                self.frequency, scales.carrier_frequency, rel_tol=_REL_FREQ_TOL
+            ):
+                raise ShearError(
+                    f"stimulus frequency {self.frequency:g} Hz does not match the sheared "
+                    f"carrier frequency {scales.carrier_frequency:g} Hz"
+                )
+            return "sheared", 1
+        # auto
+        m_fast = _is_multiple_of(self.frequency, scales.fast_frequency)
+        if m_fast is not None:
+            return "fast", m_fast
+        if math.isclose(self.frequency, scales.carrier_frequency, rel_tol=_REL_FREQ_TOL):
+            return "sheared", 1
+        m_slow = _is_multiple_of(self.frequency, scales.difference_frequency)
+        if m_slow is not None:
+            return "slow", m_slow
+        raise ShearError(
+            f"cannot place a {self.frequency:g} Hz sinusoid on the multi-time plane: it is "
+            f"neither a harmonic of the fast frequency ({scales.fast_frequency:g} Hz), nor the "
+            f"sheared carrier ({scales.carrier_frequency:g} Hz), nor a harmonic of the "
+            f"difference frequency ({scales.difference_frequency:g} Hz); "
+            "set axis= explicitly or adjust the time scales"
+        )
+
+    def bivariate_value(self, t1, t2, scales: TimeScalesLike):
+        axis, m = self._resolve_axis(scales)
+        if axis == "fast":
+            phase_cycles = m * scales.fast_phase(t1)
+        elif axis == "slow":
+            phase_cycles = m * scales.slow_phase(t2)
+        else:  # sheared
+            phase_cycles = scales.carrier_phase(t1, t2)
+        out = self.offset + self.amplitude * np.cos(
+            2.0 * math.pi * np.asarray(phase_cycles, dtype=float) + self.phase
+        )
+        if np.ndim(out) == 0:
+            return float(out)
+        return out
+
+
+@dataclass(frozen=True)
+class ModulatedCarrierStimulus(Stimulus):
+    """A carrier multiplied by a baseband envelope: ``A * m(t) * cos(2*pi*f_c*t + phase)``.
+
+    This is the "high-frequency tone modulated by a bit stream" used as the
+    RF drive of the paper's mixers (Eq. (14)).  In the multi-time plane the
+    envelope ``m`` is evaluated along the slow (difference-frequency) axis
+    while the carrier phase is sheared: ``A * m(t2) * cos(2*pi*(k*f1*t1 - fd*t2))``,
+    which restores ``b(t) = b_hat(t, t)`` because ``k*f1 - fd`` equals the
+    carrier frequency.
+    """
+
+    amplitude: float
+    carrier_frequency: float
+    envelope: Envelope = field(default_factory=ConstantEnvelope)
+    phase: float = 0.0
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_finite("amplitude", self.amplitude)
+        check_positive("carrier_frequency", self.carrier_frequency)
+        check_finite("phase", self.phase)
+        check_finite("offset", self.offset)
+        if not isinstance(self.envelope, Envelope):
+            raise ConfigurationError("envelope must be an Envelope instance")
+
+    def value(self, t):
+        t = np.asarray(t, dtype=float)
+        carrier = np.cos(2.0 * math.pi * self.carrier_frequency * t + self.phase)
+        out = self.offset + self.amplitude * np.asarray(self.envelope.value(t)) * carrier
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def bivariate_value(self, t1, t2, scales: TimeScalesLike):
+        if not math.isclose(
+            self.carrier_frequency, scales.carrier_frequency, rel_tol=_REL_FREQ_TOL
+        ):
+            raise ShearError(
+                f"modulated carrier at {self.carrier_frequency:g} Hz does not match the "
+                f"sheared carrier frequency {scales.carrier_frequency:g} Hz implied by the "
+                f"time scales (fast {scales.fast_frequency:g} Hz x {scales.lo_multiple} - "
+                f"difference {scales.difference_frequency:g} Hz)"
+            )
+        t1 = np.asarray(t1, dtype=float)
+        t2 = np.asarray(t2, dtype=float)
+        carrier = np.cos(2.0 * math.pi * np.asarray(scales.carrier_phase(t1, t2)) + self.phase)
+        out = self.offset + self.amplitude * np.asarray(self.envelope.value(t2)) * carrier
+        if np.ndim(out) == 0:
+            return float(out)
+        return out
+
+
+@dataclass(frozen=True)
+class PulseStimulus(Stimulus):
+    """A SPICE-style periodic trapezoidal pulse.
+
+    Used mostly by transient tests and the switching-waveform benchmarks.
+    ``axis`` decides where the pulse lives on the multi-time plane ("fast" or
+    "slow"); its period must then match the corresponding axis period.
+    """
+
+    low: float
+    high: float
+    period: float
+    width: float
+    delay: float = 0.0
+    rise: float = 0.0
+    fall: float = 0.0
+    axis: str = "fast"
+
+    def __post_init__(self) -> None:
+        check_finite("low", self.low)
+        check_finite("high", self.high)
+        check_positive("period", self.period)
+        check_positive("width", self.width)
+        if self.width >= self.period:
+            raise ConfigurationError("pulse width must be smaller than the period")
+        if self.rise < 0 or self.fall < 0:
+            raise ConfigurationError("rise/fall times must be non-negative")
+        if self.rise + self.width + self.fall > self.period:
+            raise ConfigurationError("rise + width + fall must fit within one period")
+        if self.axis not in ("fast", "slow"):
+            raise ConfigurationError("axis must be 'fast' or 'slow'")
+
+    def _shape(self, local: np.ndarray) -> np.ndarray:
+        rise = max(self.rise, 1e-300)
+        fall = max(self.fall, 1e-300)
+        up = np.clip(local / rise, 0.0, 1.0)
+        down = np.clip((local - self.rise - self.width) / fall, 0.0, 1.0)
+        frac = np.where(local < self.rise + self.width, up, 1.0 - down)
+        frac = np.where(local >= self.rise + self.width + self.fall, 0.0, frac)
+        return self.low + (self.high - self.low) * frac
+
+    def value(self, t):
+        t = np.asarray(t, dtype=float)
+        local = np.mod(t - self.delay, self.period)
+        out = self._shape(local)
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def bivariate_value(self, t1, t2, scales: TimeScalesLike):
+        if self.axis == "fast":
+            axis_period = 1.0 / scales.fast_frequency
+            coordinate = np.asarray(t1, dtype=float)
+        else:
+            axis_period = 1.0 / scales.difference_frequency
+            coordinate = np.asarray(t2, dtype=float)
+        if not math.isclose(self.period, axis_period, rel_tol=1e-6):
+            raise ShearError(
+                f"pulse period {self.period:g} s does not match the {self.axis} axis period "
+                f"{axis_period:g} s"
+            )
+        local = np.mod(coordinate - self.delay, self.period)
+        out = self._shape(local)
+        if np.ndim(out) == 0:
+            return float(out)
+        return out
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearStimulus(Stimulus):
+    """A piecewise-linear excitation defined by (time, value) breakpoints.
+
+    Values are held constant outside the breakpoint range.  PWL stimuli have
+    no natural periodic multi-time representation, so ``bivariate_value``
+    raises :class:`ShearError`; they are intended for transient analysis
+    only.
+    """
+
+    times: tuple[float, ...]
+    values: tuple[float, ...]
+
+    def __init__(self, times: Sequence[float], values: Sequence[float]) -> None:
+        t = as_float_array("times", times)
+        v = as_float_array("values", values)
+        if t.size != v.size:
+            raise ConfigurationError("times and values must have the same length")
+        if t.size < 2:
+            raise ConfigurationError("PWL stimulus needs at least 2 breakpoints")
+        if not np.all(np.diff(t) > 0):
+            raise ConfigurationError("PWL breakpoint times must be strictly increasing")
+        object.__setattr__(self, "times", tuple(float(x) for x in t))
+        object.__setattr__(self, "values", tuple(float(x) for x in v))
+
+    def value(self, t):
+        out = np.interp(np.asarray(t, dtype=float), self.times, self.values)
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def bivariate_value(self, t1, t2, scales: TimeScalesLike):
+        raise ShearError(
+            "piecewise-linear stimuli are aperiodic and have no multi-time representation; "
+            "use a PulseStimulus or a BitStreamEnvelope-modulated carrier instead"
+        )
+
+
+@dataclass(frozen=True)
+class SumStimulus(Stimulus):
+    """Superposition of several stimuli (e.g. DC bias plus an RF drive)."""
+
+    parts: tuple[Stimulus, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 1:
+            raise ConfigurationError("SumStimulus needs at least one part")
+        if not all(isinstance(p, Stimulus) for p in self.parts):
+            raise ConfigurationError("all parts of a SumStimulus must be Stimulus instances")
+
+    def value(self, t):
+        total = sum(np.asarray(p.value(t), dtype=float) for p in self.parts)
+        if np.ndim(total) == 0:
+            return float(total)
+        return total
+
+    def bivariate_value(self, t1, t2, scales: TimeScalesLike):
+        total = sum(
+            np.asarray(p.bivariate_value(t1, t2, scales), dtype=float) for p in self.parts
+        )
+        if np.ndim(total) == 0:
+            return float(total)
+        return total
+
+    def is_time_varying(self) -> bool:
+        return any(p.is_time_varying() for p in self.parts)

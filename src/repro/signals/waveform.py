@@ -1,0 +1,280 @@
+"""Waveform containers.
+
+A :class:`Waveform` is an immutable pair of sampled time points and values,
+with the small amount of calculus the analyses and metrics need: linear
+interpolation, resampling, arithmetic, RMS/peak summaries and windowed views.
+A :class:`BivariateWaveform` holds samples on a two-dimensional multi-time
+grid (the object Figures 1, 2, 3 and 5 of the paper plot) together with the
+axis periods, and knows how to interpolate periodically — which is what the
+diagonal reconstruction ``x(t) = x_hat(t, t)`` of Figure 6 requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..utils.exceptions import WaveformError
+from ..utils.validation import as_float_array
+
+__all__ = ["Waveform", "BivariateWaveform"]
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """A sampled scalar waveform ``value(time)``.
+
+    Attributes
+    ----------
+    times:
+        Strictly increasing sample instants in seconds.
+    values:
+        Sample values, same length as ``times``.
+    name:
+        Optional label used in reports and plots.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        times = as_float_array("times", self.times)
+        values = as_float_array("values", self.values)
+        if times.shape != values.shape:
+            raise WaveformError(
+                f"times {times.shape} and values {values.shape} must have the same shape"
+            )
+        if times.size >= 2 and not np.all(np.diff(times) > 0):
+            raise WaveformError("times must be strictly increasing")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+
+    # -- basic protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return self.times.size
+
+    @property
+    def duration(self) -> float:
+        """Span of the time axis in seconds."""
+        if len(self) < 2:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def sample_interval(self) -> float:
+        """Mean spacing of the time samples."""
+        if len(self) < 2:
+            return 0.0
+        return self.duration / (len(self) - 1)
+
+    # -- evaluation ----------------------------------------------------
+    def __call__(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Linearly interpolate the waveform at time(s) ``t`` (clamped at the ends)."""
+        return np.interp(t, self.times, self.values)
+
+    def resample(self, times: Sequence[float] | np.ndarray) -> "Waveform":
+        """Return a new waveform linearly interpolated onto ``times``."""
+        times = as_float_array("times", times)
+        return Waveform(times, np.interp(times, self.times, self.values), name=self.name)
+
+    def window(self, t_start: float, t_stop: float) -> "Waveform":
+        """Return the sub-waveform with ``t_start <= t <= t_stop``."""
+        if t_stop <= t_start:
+            raise WaveformError("window requires t_stop > t_start")
+        mask = (self.times >= t_start) & (self.times <= t_stop)
+        if not np.any(mask):
+            raise WaveformError(
+                f"window [{t_start}, {t_stop}] contains no samples of waveform {self.name!r}"
+            )
+        return Waveform(self.times[mask], self.values[mask], name=self.name)
+
+    # -- summaries -----------------------------------------------------
+    def rms(self) -> float:
+        """Root-mean-square value, trapezoidally weighted over time."""
+        if len(self) < 2:
+            return float(abs(self.values[0])) if len(self) else 0.0
+        energy = np.trapezoid(self.values**2, self.times)
+        return float(np.sqrt(energy / self.duration))
+
+    def mean(self) -> float:
+        """Time-averaged (DC) value."""
+        if len(self) < 2:
+            return float(self.values[0]) if len(self) else 0.0
+        return float(np.trapezoid(self.values, self.times) / self.duration)
+
+    def peak_to_peak(self) -> float:
+        """Difference between the maximum and minimum sample."""
+        if len(self) == 0:
+            return 0.0
+        return float(np.max(self.values) - np.min(self.values))
+
+    def amplitude(self) -> float:
+        """Half of the peak-to-peak excursion."""
+        return 0.5 * self.peak_to_peak()
+
+    # -- arithmetic ----------------------------------------------------
+    def _binary(self, other: "Waveform | float", op: Callable) -> "Waveform":
+        if isinstance(other, Waveform):
+            if len(other) != len(self) or not np.allclose(other.times, self.times):
+                other = other.resample(self.times)
+            return Waveform(self.times, op(self.values, other.values), name=self.name)
+        return Waveform(self.times, op(self.values, float(other)), name=self.name)
+
+    def __add__(self, other: "Waveform | float") -> "Waveform":
+        return self._binary(other, np.add)
+
+    def __sub__(self, other: "Waveform | float") -> "Waveform":
+        return self._binary(other, np.subtract)
+
+    def __mul__(self, other: "Waveform | float") -> "Waveform":
+        return self._binary(other, np.multiply)
+
+    __radd__ = __add__
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Waveform":
+        return Waveform(self.times, -self.values, name=self.name)
+
+    @staticmethod
+    def from_function(
+        func: Callable[[np.ndarray], np.ndarray],
+        t_start: float,
+        t_stop: float,
+        n_samples: int,
+        name: str = "",
+    ) -> "Waveform":
+        """Sample ``func`` on ``n_samples`` uniformly spaced points."""
+        if n_samples < 2:
+            raise WaveformError("from_function needs at least 2 samples")
+        times = np.linspace(t_start, t_stop, n_samples)
+        return Waveform(times, np.asarray(func(times), dtype=float), name=name)
+
+
+@dataclass(frozen=True)
+class BivariateWaveform:
+    """A scalar function sampled on a periodic two-dimensional multi-time grid.
+
+    ``values[i, j]`` is the sample at ``(t1_i, t2_j)``.  Both axes are
+    *periodic*: ``t1`` with ``period1`` and ``t2`` with ``period2``.  The grid
+    points are the left endpoints of a uniform partition, i.e.
+    ``t1_i = i * period1 / n1``, so the wrap-around point is *not* duplicated.
+    """
+
+    values: np.ndarray
+    period1: float
+    period2: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        if values.ndim != 2:
+            raise WaveformError(f"values must be 2-D, got shape {values.shape}")
+        if values.shape[0] < 2 or values.shape[1] < 2:
+            raise WaveformError("bivariate waveforms need at least 2 samples per axis")
+        if not np.all(np.isfinite(values)):
+            raise WaveformError("bivariate waveform contains non-finite samples")
+        if self.period1 <= 0 or self.period2 <= 0:
+            raise WaveformError("bivariate waveform periods must be positive")
+        object.__setattr__(self, "values", values)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Grid shape ``(n1, n2)``."""
+        return self.values.shape
+
+    @property
+    def axis1(self) -> np.ndarray:
+        """Sample positions along the first (fast) axis."""
+        n1 = self.values.shape[0]
+        return np.arange(n1) * (self.period1 / n1)
+
+    @property
+    def axis2(self) -> np.ndarray:
+        """Sample positions along the second (slow / difference) axis."""
+        n2 = self.values.shape[1]
+        return np.arange(n2) * (self.period2 / n2)
+
+    def __call__(self, t1: float | np.ndarray, t2: float | np.ndarray) -> float | np.ndarray:
+        """Periodic bilinear interpolation at ``(t1, t2)``."""
+        n1, n2 = self.values.shape
+        u = np.asarray(t1, dtype=float) / self.period1 * n1
+        v = np.asarray(t2, dtype=float) / self.period2 * n2
+        i0 = np.floor(u).astype(int)
+        j0 = np.floor(v).astype(int)
+        fu = u - i0
+        fv = v - j0
+        i0 = np.mod(i0, n1)
+        j0 = np.mod(j0, n2)
+        i1 = np.mod(i0 + 1, n1)
+        j1 = np.mod(j0 + 1, n2)
+        vals = (
+            self.values[i0, j0] * (1 - fu) * (1 - fv)
+            + self.values[i1, j0] * fu * (1 - fv)
+            + self.values[i0, j1] * (1 - fu) * fv
+            + self.values[i1, j1] * fu * fv
+        )
+        if np.isscalar(t1) and np.isscalar(t2):
+            return float(vals)
+        return vals
+
+    @staticmethod
+    def _close_period(times: np.ndarray, values: np.ndarray, period: float) -> tuple[np.ndarray, np.ndarray]:
+        """Append the periodic wrap-around sample so the waveform spans a full period.
+
+        The grid stores only the left endpoints of the partition; spectral
+        post-processing (Fourier projection, THD) needs waveforms covering a
+        complete period, otherwise the truncated window leaks the (large) DC
+        component into the small difference-frequency bins.
+        """
+        return (
+            np.concatenate([times, [times[0] + period]]),
+            np.concatenate([values, [values[0]]]),
+        )
+
+    def diagonal(self, times: Sequence[float] | np.ndarray, name: str | None = None) -> Waveform:
+        """Evaluate the one-time waveform ``x(t) = x_hat(t, t)`` at ``times``.
+
+        This is the reconstruction that recovers the solution of the original
+        circuit equations from the multi-time solution (Figure 6 in the
+        paper).
+        """
+        times = as_float_array("times", times)
+        return Waveform(times, np.asarray(self(times, times), dtype=float), name=name or self.name)
+
+    def slice_fast(self, t2: float) -> Waveform:
+        """Waveform along the fast axis (one full period) at a fixed slow time ``t2``."""
+        axis = self.axis1
+        values = np.asarray(self(axis, np.full_like(axis, t2)))
+        times, values = self._close_period(axis, values, self.period1)
+        return Waveform(times, values, name=self.name)
+
+    def slice_slow(self, t1: float) -> Waveform:
+        """Waveform along the slow (difference) axis (one full period) at a fixed fast time ``t1``."""
+        axis = self.axis2
+        values = np.asarray(self(np.full_like(axis, t1), axis))
+        times, values = self._close_period(axis, values, self.period2)
+        return Waveform(times, values, name=self.name)
+
+    def envelope_mean(self) -> Waveform:
+        """Average over the fast axis as a function of the slow axis.
+
+        For a down-converted output this is the baseband waveform with the
+        carrier ripple removed (the quantity plotted in Figure 4).  The
+        returned waveform covers one full slow period including the periodic
+        wrap-around sample.
+        """
+        times, values = self._close_period(self.axis2, self.values.mean(axis=0), self.period2)
+        return Waveform(times, values, name=self.name)
+
+    def envelope_max(self) -> Waveform:
+        """Upper envelope over the fast axis as a function of the slow axis."""
+        times, values = self._close_period(self.axis2, self.values.max(axis=0), self.period2)
+        return Waveform(times, values, name=self.name)
+
+    def envelope_min(self) -> Waveform:
+        """Lower envelope over the fast axis as a function of the slow axis."""
+        times, values = self._close_period(self.axis2, self.values.min(axis=0), self.period2)
+        return Waveform(times, values, name=self.name)

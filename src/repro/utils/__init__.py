@@ -1,0 +1,49 @@
+"""Shared utilities: exceptions, option bundles, logging and validation."""
+
+from .exceptions import (
+    AnalysisError,
+    CircuitError,
+    ConfigurationError,
+    ConvergenceError,
+    DeviceError,
+    MPDEError,
+    NodeError,
+    ReproError,
+    ShearError,
+    SingularMatrixError,
+    WaveformError,
+)
+from .logging import configure_logging, get_logger, timed
+from .options import (
+    ContinuationOptions,
+    HarmonicBalanceOptions,
+    MPDEOptions,
+    NewtonOptions,
+    ShootingOptions,
+    TransientOptions,
+    options_from_mapping,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CircuitError",
+    "NodeError",
+    "DeviceError",
+    "AnalysisError",
+    "ConvergenceError",
+    "SingularMatrixError",
+    "MPDEError",
+    "ShearError",
+    "WaveformError",
+    "NewtonOptions",
+    "ContinuationOptions",
+    "TransientOptions",
+    "ShootingOptions",
+    "HarmonicBalanceOptions",
+    "MPDEOptions",
+    "options_from_mapping",
+    "get_logger",
+    "configure_logging",
+    "timed",
+]

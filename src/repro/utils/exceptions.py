@@ -1,0 +1,89 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so downstream code can catch library failures without
+also swallowing programming errors (``TypeError`` and friends propagate
+untouched).
+
+The hierarchy mirrors the package layout:
+
+* netlist / device construction problems raise :class:`CircuitError` (or the
+  more specific :class:`DeviceError` / :class:`NodeError`),
+* numerical analyses raise :class:`AnalysisError`, with
+  :class:`ConvergenceError` reserved for iterations that ran out of budget and
+  :class:`SingularMatrixError` for structurally or numerically singular
+  linearisations,
+* the multi-time (MPDE) core raises :class:`MPDEError`, with
+  :class:`ShearError` flagging invalid difference-frequency time-scale maps.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An option bundle or solver configuration is inconsistent."""
+
+
+class CircuitError(ReproError):
+    """A netlist could not be built or compiled into an MNA system."""
+
+
+class NodeError(CircuitError):
+    """A node reference is unknown, duplicated, or otherwise invalid."""
+
+
+class DeviceError(CircuitError):
+    """A device was constructed with invalid parameters or connections."""
+
+
+class AnalysisError(ReproError):
+    """An analysis (DC, transient, shooting, HB, ...) failed."""
+
+
+class ConvergenceError(AnalysisError):
+    """An iterative method exhausted its iteration budget without converging.
+
+    Parameters
+    ----------
+    message:
+        Human readable description of the failure.
+    iterations:
+        Number of iterations performed before giving up.
+    residual_norm:
+        Norm of the residual at the last iterate, if available.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        iterations: int | None = None,
+        residual_norm: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual_norm = residual_norm
+
+
+class SingularMatrixError(AnalysisError):
+    """A linear system produced by an analysis is singular.
+
+    Typically indicates a floating node, a loop of ideal voltage sources, or a
+    device stamped with degenerate parameters.
+    """
+
+
+class MPDEError(ReproError):
+    """The multi-time (MPDE) core failed to build or solve a problem."""
+
+
+class ShearError(MPDEError):
+    """A difference-frequency time-scale (shear) specification is invalid."""
+
+
+class WaveformError(ReproError):
+    """A waveform container was used inconsistently (size/axis mismatch)."""

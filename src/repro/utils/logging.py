@@ -1,0 +1,61 @@
+"""Lightweight logging helpers.
+
+The library uses the standard :mod:`logging` module with a package-level
+logger namespace (``repro.*``).  Analyses log convergence summaries at INFO
+and per-iteration detail at DEBUG.  ``configure_logging`` is a convenience
+for scripts and benchmarks; library code never configures handlers itself.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["get_logger", "configure_logging", "timed"]
+
+_PACKAGE_LOGGER = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``name`` may be a bare suffix (``"mpde"``) or a fully qualified module
+    name (``"repro.core.mpde"``); both map to the same logger.
+    """
+    if name.startswith(_PACKAGE_LOGGER):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_PACKAGE_LOGGER}.{name}")
+
+
+def configure_logging(level: int = logging.INFO) -> None:
+    """Install a simple stderr handler for the package logger.
+
+    Intended for examples and benchmarks.  Calling it twice does not add a
+    second handler.
+    """
+    logger = logging.getLogger(_PACKAGE_LOGGER)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+
+
+@contextmanager
+def timed(logger: logging.Logger, label: str) -> Iterator[dict]:
+    """Context manager that logs the wall-clock duration of a block.
+
+    Yields a dict whose ``"seconds"`` entry is filled in on exit so callers
+    can also record the measured time programmatically.
+    """
+    record: dict = {"seconds": None}
+    start = time.perf_counter()
+    try:
+        yield record
+    finally:
+        record["seconds"] = time.perf_counter() - start
+        logger.info("%s took %.3f s", label, record["seconds"])

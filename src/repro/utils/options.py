@@ -1,0 +1,271 @@
+"""Option bundles shared by the numerical analyses.
+
+The simulator keeps its tunable knobs in small frozen dataclasses rather than
+loose keyword arguments so that
+
+* the defaults are documented in one place,
+* option bundles can be passed through several layers (driver -> analysis ->
+  Newton loop) without each layer re-declaring every knob, and
+* tests can assert on the exact configuration used by an analysis.
+
+All bundles validate themselves on construction and raise
+:class:`~repro.utils.exceptions.ConfigurationError` for inconsistent values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from .exceptions import ConfigurationError
+
+__all__ = [
+    "NewtonOptions",
+    "ContinuationOptions",
+    "TransientOptions",
+    "ShootingOptions",
+    "HarmonicBalanceOptions",
+    "MPDEOptions",
+]
+
+
+def _require_positive(name: str, value: float) -> None:
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def _require_nonnegative(name: str, value: float) -> None:
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+
+
+def _require_in(name: str, value: Any, allowed: tuple[Any, ...]) -> None:
+    if value not in allowed:
+        raise ConfigurationError(
+            f"{name} must be one of {allowed!r}, got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class NewtonOptions:
+    """Controls for damped Newton-Raphson iterations.
+
+    Attributes
+    ----------
+    max_iterations:
+        Iteration budget before a :class:`ConvergenceError` is raised.
+    abstol:
+        Absolute tolerance on the residual norm (per equation).
+    reltol:
+        Relative tolerance on the Newton update compared to the iterate.
+    damping:
+        Initial damping factor applied to the Newton step (1.0 = full step).
+    min_damping:
+        Smallest damping factor the line search may fall back to.
+    max_step_norm:
+        If finite, Newton updates with a larger infinity norm are scaled
+        back to this value (simple trust-region safeguard, useful for
+        exponential device models).
+    check_every:
+        Residual/update convergence is evaluated every iteration; this knob
+        exists for compatibility with tests that want to slow down checking.
+    """
+
+    max_iterations: int = 60
+    abstol: float = 1e-9
+    reltol: float = 1e-6
+    damping: float = 1.0
+    min_damping: float = 1.0 / 1024.0
+    max_step_norm: float = float("inf")
+    check_every: int = 1
+
+    def __post_init__(self) -> None:
+        _require_positive("max_iterations", self.max_iterations)
+        _require_positive("abstol", self.abstol)
+        _require_positive("reltol", self.reltol)
+        _require_positive("damping", self.damping)
+        _require_positive("min_damping", self.min_damping)
+        _require_positive("max_step_norm", self.max_step_norm)
+        _require_positive("check_every", self.check_every)
+        if self.damping > 1.0:
+            raise ConfigurationError("damping must be <= 1.0")
+        if self.min_damping > self.damping:
+            raise ConfigurationError("min_damping must be <= damping")
+
+    def with_(self, **changes: Any) -> "NewtonOptions":
+        """Return a copy with ``changes`` applied."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ContinuationOptions:
+    """Controls for source-stepping / gmin-stepping homotopy.
+
+    The continuation driver sweeps an embedding parameter ``lambda`` from
+    ``lambda_start`` to 1.0, solving a Newton problem at each value and using
+    the previous solution as the initial guess for the next.
+    """
+
+    lambda_start: float = 0.0
+    initial_step: float = 0.25
+    min_step: float = 1e-5
+    max_step: float = 0.5
+    growth: float = 2.0
+    shrink: float = 0.25
+    max_steps: int = 200
+
+    def __post_init__(self) -> None:
+        _require_nonnegative("lambda_start", self.lambda_start)
+        if self.lambda_start >= 1.0:
+            raise ConfigurationError("lambda_start must be < 1.0")
+        _require_positive("initial_step", self.initial_step)
+        _require_positive("min_step", self.min_step)
+        _require_positive("max_step", self.max_step)
+        if self.min_step > self.max_step:
+            raise ConfigurationError("min_step must be <= max_step")
+        if self.growth <= 1.0:
+            raise ConfigurationError("growth must be > 1.0")
+        if not 0.0 < self.shrink < 1.0:
+            raise ConfigurationError("shrink must be in (0, 1)")
+        _require_positive("max_steps", self.max_steps)
+
+
+@dataclass(frozen=True)
+class TransientOptions:
+    """Controls for SPICE-style time-stepping (transient) analysis."""
+
+    method: str = "trapezoidal"
+    adaptive: bool = False
+    ltetol: float = 1e-4
+    min_step: float = 1e-15
+    max_step: float = float("inf")
+    max_rejections: int = 20
+    newton: NewtonOptions = field(default_factory=NewtonOptions)
+    store_every: int = 1
+
+    _ALLOWED_METHODS = ("backward-euler", "trapezoidal", "gear2")
+
+    def __post_init__(self) -> None:
+        _require_in("method", self.method, self._ALLOWED_METHODS)
+        _require_positive("ltetol", self.ltetol)
+        _require_positive("min_step", self.min_step)
+        _require_positive("max_step", self.max_step)
+        _require_positive("max_rejections", self.max_rejections)
+        _require_positive("store_every", self.store_every)
+        if self.min_step > self.max_step:
+            raise ConfigurationError("min_step must be <= max_step")
+
+
+@dataclass(frozen=True)
+class ShootingOptions:
+    """Controls for single-tone periodic steady state via shooting."""
+
+    steps_per_period: int = 200
+    max_shooting_iterations: int = 30
+    abstol: float = 1e-8
+    reltol: float = 1e-6
+    integration_method: str = "trapezoidal"
+    use_matrix_free: bool = False
+    gmres_tol: float = 1e-8
+    newton: NewtonOptions = field(default_factory=NewtonOptions)
+
+    def __post_init__(self) -> None:
+        _require_positive("steps_per_period", self.steps_per_period)
+        _require_positive("max_shooting_iterations", self.max_shooting_iterations)
+        _require_positive("abstol", self.abstol)
+        _require_positive("reltol", self.reltol)
+        _require_positive("gmres_tol", self.gmres_tol)
+        _require_in(
+            "integration_method",
+            self.integration_method,
+            TransientOptions._ALLOWED_METHODS,
+        )
+
+
+@dataclass(frozen=True)
+class HarmonicBalanceOptions:
+    """Controls for (multi-tone) harmonic balance."""
+
+    harmonics: int = 7
+    harmonics2: int = 0
+    truncation: str = "box"
+    oversampling: int = 4
+    newton: NewtonOptions = field(default_factory=NewtonOptions)
+
+    def __post_init__(self) -> None:
+        _require_positive("harmonics", self.harmonics)
+        _require_nonnegative("harmonics2", self.harmonics2)
+        _require_in("truncation", self.truncation, ("box", "diamond"))
+        _require_positive("oversampling", self.oversampling)
+        if self.oversampling < 2:
+            raise ConfigurationError("oversampling must be >= 2")
+
+
+@dataclass(frozen=True)
+class MPDEOptions:
+    """Controls for the difference-time-scale MPDE solver (the paper's core).
+
+    Attributes
+    ----------
+    n_fast / n_slow:
+        Number of grid points along the fast (carrier) and slow
+        (difference-frequency) artificial time axes.  The paper's balanced
+        mixer example uses a 40 x 30 grid.
+    fast_method / slow_method:
+        Finite-difference rule used to discretise the two time derivatives;
+        backward Euler ("backward-euler") is robust for the sharp switching
+        waveforms targeted by the paper, "central" gives second order on
+        smooth problems.
+    use_continuation:
+        Fall back to source-stepping continuation if plain Newton fails,
+        mirroring the paper's use of continuation for hard starts.
+    linear_solver:
+        "direct" (sparse LU) or "gmres" (matrix-free with ILU preconditioner).
+    """
+
+    n_fast: int = 40
+    n_slow: int = 30
+    fast_method: str = "bdf2"
+    slow_method: str = "bdf2"
+    newton: NewtonOptions = field(default_factory=lambda: NewtonOptions(max_iterations=80))
+    use_continuation: bool = True
+    continuation: ContinuationOptions = field(default_factory=ContinuationOptions)
+    linear_solver: str = "direct"
+    gmres_tol: float = 1e-9
+    gmres_restart: int = 80
+    initial_guess: str = "dc"
+
+    _ALLOWED_FD = ("backward-euler", "bdf2", "central", "fourier")
+
+    def __post_init__(self) -> None:
+        _require_positive("n_fast", self.n_fast)
+        _require_positive("n_slow", self.n_slow)
+        if self.n_fast < 3 or self.n_slow < 3:
+            raise ConfigurationError("MPDE grids need at least 3 points per axis")
+        _require_in("fast_method", self.fast_method, self._ALLOWED_FD)
+        _require_in("slow_method", self.slow_method, self._ALLOWED_FD)
+        _require_in("linear_solver", self.linear_solver, ("direct", "gmres"))
+        _require_in("initial_guess", self.initial_guess, ("dc", "zero", "transient"))
+        _require_positive("gmres_tol", self.gmres_tol)
+        _require_positive("gmres_restart", self.gmres_restart)
+
+    def with_grid(self, n_fast: int, n_slow: int) -> "MPDEOptions":
+        """Return a copy with a different multi-time grid resolution."""
+        return replace(self, n_fast=n_fast, n_slow=n_slow)
+
+
+def options_from_mapping(cls: type, mapping: Mapping[str, Any]) -> Any:
+    """Build an option bundle of type ``cls`` from a plain mapping.
+
+    Unknown keys raise :class:`ConfigurationError` instead of being silently
+    ignored, which catches typos in user configuration dictionaries.
+    """
+    import dataclasses
+
+    valid = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(mapping) - valid
+    if unknown:
+        raise ConfigurationError(
+            f"unknown option(s) for {cls.__name__}: {sorted(unknown)!r}"
+        )
+    return cls(**dict(mapping))

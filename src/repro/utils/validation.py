@@ -1,0 +1,87 @@
+"""Small argument-validation helpers used across the package.
+
+These helpers keep device models and analyses free of repetitive
+``if ... raise`` boilerplate while producing consistent error messages.
+They raise :class:`~repro.utils.exceptions.ReproError` subclasses so library
+callers can distinguish user errors from internal bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from .exceptions import ConfigurationError, WaveformError
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_finite",
+    "check_in",
+    "check_vector",
+    "check_same_length",
+    "as_float_array",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if strictly positive, else raise ``ConfigurationError``."""
+    if not np.isfinite(value) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive finite number, got {value!r}")
+    return float(value)
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Return ``value`` if >= 0 and finite, else raise ``ConfigurationError``."""
+    if not np.isfinite(value) or value < 0:
+        raise ConfigurationError(f"{name} must be a non-negative finite number, got {value!r}")
+    return float(value)
+
+
+def check_finite(name: str, value: float) -> float:
+    """Return ``value`` if finite, else raise ``ConfigurationError``."""
+    if not np.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+    return float(value)
+
+
+def check_in(name: str, value: Any, allowed: Iterable[Any]) -> Any:
+    """Return ``value`` if it is one of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ConfigurationError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value
+
+
+def as_float_array(name: str, values: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Convert ``values`` to a 1-D float array, raising ``WaveformError`` on failure."""
+    try:
+        arr = np.asarray(values, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise WaveformError(f"{name} could not be converted to a float array") from exc
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise WaveformError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise WaveformError(f"{name} contains non-finite entries")
+    return arr
+
+
+def check_vector(name: str, values: np.ndarray, size: int) -> np.ndarray:
+    """Check that ``values`` is a 1-D float vector of length ``size``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.shape != (size,):
+        raise WaveformError(
+            f"{name} must have shape ({size},), got {arr.shape}"
+        )
+    return arr
+
+
+def check_same_length(name_a: str, a: Sequence, name_b: str, b: Sequence) -> None:
+    """Raise ``WaveformError`` unless ``a`` and ``b`` have the same length."""
+    if len(a) != len(b):
+        raise WaveformError(
+            f"{name_a} (len {len(a)}) and {name_b} (len {len(b)}) must have the same length"
+        )

@@ -1,0 +1,109 @@
+"""Shared fixtures: small reference circuits used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.devices import (
+    Capacitor,
+    Diode,
+    DiodeParams,
+    Inductor,
+    MOSFETParams,
+    NMOS,
+    Resistor,
+    VoltageSource,
+)
+from repro.rf import ideal_multiplier_mixer, unbalanced_switching_mixer
+from repro.signals import DCStimulus, SinusoidStimulus, SumStimulus
+
+
+@pytest.fixture
+def voltage_divider():
+    """A 10 V source driving two equal resistors: v(mid) = 5 V."""
+    ckt = Circuit("divider")
+    ckt.add(VoltageSource("vin", "top", ckt.GROUND, DCStimulus(10.0)))
+    ckt.add(Resistor("r1", "top", "mid", 1e3))
+    ckt.add(Resistor("r2", "mid", ckt.GROUND, 1e3))
+    return ckt
+
+
+@pytest.fixture
+def rc_lowpass():
+    """1 kHz sine through R = 1 kOhm into C = 100 nF (corner ~1.59 kHz)."""
+    ckt = Circuit("rc lowpass")
+    ckt.add(VoltageSource("vin", "in", ckt.GROUND, SinusoidStimulus(1.0, 1e3)))
+    ckt.add(Resistor("r1", "in", "out", 1e3))
+    ckt.add(Capacitor("c1", "out", ckt.GROUND, 100e-9))
+    return ckt
+
+
+@pytest.fixture
+def rc_lowpass_step():
+    """A DC source charging an RC (for step-response transient tests)."""
+    ckt = Circuit("rc step")
+    ckt.add(VoltageSource("vin", "in", ckt.GROUND, DCStimulus(1.0)))
+    ckt.add(Resistor("r1", "in", "out", 1e3))
+    ckt.add(Capacitor("c1", "out", ckt.GROUND, 1e-6))
+    return ckt
+
+
+@pytest.fixture
+def series_rlc():
+    """Series RLC driven by a sine at its resonance (~5.03 kHz)."""
+    ckt = Circuit("series rlc")
+    ckt.add(VoltageSource("vin", "in", ckt.GROUND, SinusoidStimulus(1.0, 5.033e3)))
+    ckt.add(Resistor("r1", "in", "a", 50.0))
+    ckt.add(Inductor("l1", "a", "b", 1e-3))
+    ckt.add(Capacitor("c1", "b", ckt.GROUND, 1e-6))
+    return ckt
+
+
+@pytest.fixture
+def diode_rectifier():
+    """Half-wave rectifier: sine source, diode, RC load."""
+    ckt = Circuit("half-wave rectifier")
+    ckt.add(VoltageSource("vin", "in", ckt.GROUND, SinusoidStimulus(5.0, 1e3)))
+    ckt.add(Diode("d1", "in", "out", DiodeParams(saturation_current=1e-12)))
+    ckt.add(Resistor("rload", "out", ckt.GROUND, 1e3))
+    ckt.add(Capacitor("cload", "out", ckt.GROUND, 10e-6))
+    return ckt
+
+
+@pytest.fixture
+def nmos_amplifier():
+    """Common-source NMOS stage with resistive load (DC + small sine drive)."""
+    ckt = Circuit("common source")
+    params = MOSFETParams(vto=0.6, kp=200e-6, w=20e-6, l=1e-6, lambda_=0.02)
+    ckt.add(VoltageSource("vdd", "vdd", ckt.GROUND, DCStimulus(3.0)))
+    ckt.add(
+        VoltageSource(
+            "vg",
+            "gate",
+            ckt.GROUND,
+            SumStimulus((DCStimulus(1.0), SinusoidStimulus(0.05, 10e3))),
+        )
+    )
+    ckt.add(Resistor("rd", "vdd", "drain", 5e3))
+    ckt.add(NMOS("m1", "drain", "gate", ckt.GROUND, params=params))
+    return ckt
+
+
+@pytest.fixture
+def scaled_ideal_mixer():
+    """Ideal multiplier mixer with laptop-friendly frequencies (1 MHz / 10 kHz)."""
+    return ideal_multiplier_mixer(lo_frequency=1e6, difference_frequency=10e3)
+
+
+@pytest.fixture
+def scaled_switching_mixer():
+    """Unbalanced switching mixer scaled to 2 MHz LO / 50 kHz baseband."""
+    return unbalanced_switching_mixer(lo_frequency=2e6, difference_frequency=50e3)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for tests that need random data."""
+    return np.random.default_rng(20020610)

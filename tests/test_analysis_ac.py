@@ -1,0 +1,96 @@
+"""Unit tests for small-signal AC analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ac_sweep, dc_operating_point, unit_excitation_pattern
+from repro.circuits import Circuit
+from repro.circuits.devices import Capacitor, CurrentSource, Resistor, VoltageSource
+from repro.signals import DCStimulus, SinusoidStimulus
+from repro.utils import AnalysisError
+
+
+class TestRCAnalysis:
+    def test_transfer_magnitude_and_corner(self, rc_lowpass):
+        mna = rc_lowpass.compile()
+        op = dc_operating_point(mna)
+        freqs = np.logspace(1, 6, 200)
+        result = ac_sweep(mna, op.x, freqs, "vin")
+        corner = 1.0 / (2 * np.pi * 1e3 * 100e-9)
+        assert result.corner_frequency("out") == pytest.approx(corner, rel=0.05)
+        # Low-frequency transfer ~ 1 (0 dB); high-frequency rolls off 20 dB/dec.
+        mags = result.magnitude_db("out")
+        assert mags[0] == pytest.approx(0.0, abs=0.1)
+        decade = mags[np.searchsorted(freqs, 1e5)] - mags[np.searchsorted(freqs, 1e4)]
+        assert decade == pytest.approx(-20.0, abs=1.5)
+
+    def test_phase_at_corner_is_minus_45_degrees(self, rc_lowpass):
+        mna = rc_lowpass.compile()
+        op = dc_operating_point(mna)
+        corner = 1.0 / (2 * np.pi * 1e3 * 100e-9)
+        result = ac_sweep(mna, op.x, np.array([corner]), "vin")
+        assert result.phase_deg("out")[0] == pytest.approx(-45.0, abs=1.0)
+
+    def test_divider_is_frequency_flat(self, voltage_divider):
+        mna = voltage_divider.compile()
+        op = dc_operating_point(mna)
+        result = ac_sweep(mna, op.x, np.logspace(1, 8, 20), "vin")
+        np.testing.assert_allclose(np.abs(result.transfer("mid")), 0.5, rtol=1e-9)
+
+    def test_ground_transfer_is_zero(self, rc_lowpass):
+        mna = rc_lowpass.compile()
+        op = dc_operating_point(mna)
+        result = ac_sweep(mna, op.x, np.array([1e3]), "vin")
+        np.testing.assert_allclose(result.transfer("0"), 0.0)
+
+    def test_never_dropping_response_raises_in_corner_search(self, voltage_divider):
+        mna = voltage_divider.compile()
+        op = dc_operating_point(mna)
+        result = ac_sweep(mna, op.x, np.logspace(1, 6, 30), "vin")
+        with pytest.raises(AnalysisError):
+            result.corner_frequency("mid")
+
+
+class TestExcitationPatterns:
+    def test_voltage_source_pattern(self, rc_lowpass):
+        mna = rc_lowpass.compile()
+        pattern = unit_excitation_pattern(mna, "vin")
+        assert pattern[mna.branch_index("vin")] == -1.0
+        assert np.count_nonzero(pattern) == 1
+
+    def test_current_source_pattern(self):
+        ckt = Circuit("t")
+        ckt.add(CurrentSource("iin", "a", "b", DCStimulus(1.0)))
+        ckt.add(Resistor("r1", "a", "b", 1e3))
+        ckt.add(Resistor("r2", "b", ckt.GROUND, 1e3))
+        mna = ckt.compile()
+        pattern = unit_excitation_pattern(mna, "iin")
+        assert pattern[mna.node_index("a")] == 1.0
+        assert pattern[mna.node_index("b")] == -1.0
+
+    def test_non_source_device_raises(self, rc_lowpass):
+        mna = rc_lowpass.compile()
+        with pytest.raises(AnalysisError):
+            unit_excitation_pattern(mna, "r1")
+
+    def test_negative_frequencies_rejected(self, rc_lowpass):
+        mna = rc_lowpass.compile()
+        op = dc_operating_point(mna)
+        with pytest.raises(AnalysisError):
+            ac_sweep(mna, op.x, np.array([-1.0]), "vin")
+
+    def test_current_source_driven_rc(self):
+        """AC of a current source into R || C: |Z| at the corner is R/sqrt(2)."""
+        ckt = Circuit("norton rc")
+        ckt.add(CurrentSource("iin", ckt.GROUND, "out", DCStimulus(0.0)))
+        ckt.add(Resistor("r1", "out", ckt.GROUND, 1e3))
+        ckt.add(Capacitor("c1", "out", ckt.GROUND, 1e-6))
+        mna = ckt.compile()
+        op = dc_operating_point(mna)
+        corner = 1.0 / (2 * np.pi * 1e3 * 1e-6)
+        result = ac_sweep(mna, op.x, np.array([corner / 100, corner]), "iin")
+        z = np.abs(result.transfer("out"))
+        assert z[0] == pytest.approx(1e3, rel=1e-3)
+        assert z[1] == pytest.approx(1e3 / np.sqrt(2), rel=1e-3)

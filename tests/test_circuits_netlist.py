@@ -1,0 +1,147 @@
+"""Unit tests for the Circuit netlist container and compilation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.devices import Capacitor, CurrentSource, Inductor, Resistor, VoltageSource
+from repro.signals import DCStimulus
+from repro.utils import CircuitError, NodeError
+
+
+class TestCircuitConstruction:
+    def test_nodes_registered_in_order(self):
+        ckt = Circuit("t")
+        ckt.add(Resistor("r1", "a", "b", 1.0))
+        ckt.add(Resistor("r2", "b", "c", 1.0))
+        assert ckt.nodes == ("a", "b", "c")
+        assert ckt.n_nodes == 3
+
+    @pytest.mark.parametrize("ground", ["0", "gnd", "GND", "ground"])
+    def test_ground_aliases_are_not_nodes(self, ground):
+        ckt = Circuit("t")
+        ckt.add(Resistor("r1", "a", ground, 1.0))
+        assert ckt.nodes == ("a",)
+        assert ckt.is_ground(ground)
+
+    def test_duplicate_device_names_rejected(self):
+        ckt = Circuit("t")
+        ckt.add(Resistor("r1", "a", "0", 1.0))
+        with pytest.raises(CircuitError, match="duplicate"):
+            ckt.add(Resistor("r1", "b", "0", 1.0))
+
+    def test_add_requires_device(self):
+        ckt = Circuit("t")
+        with pytest.raises(CircuitError):
+            ckt.add("not a device")  # type: ignore[arg-type]
+
+    def test_add_all(self):
+        ckt = Circuit("t")
+        ckt.add_all([Resistor("r1", "a", "0", 1.0), Resistor("r2", "a", "b", 1.0)])
+        assert len(ckt) == 2
+
+    def test_device_lookup(self):
+        ckt = Circuit("t")
+        r = ckt.add(Resistor("r1", "a", "0", 1.0))
+        assert ckt.device("r1") is r
+        with pytest.raises(CircuitError):
+            ckt.device("r9")
+
+    def test_has_node(self):
+        ckt = Circuit("t")
+        ckt.add(Resistor("r1", "a", "0", 1.0))
+        assert ckt.has_node("a")
+        assert ckt.has_node("0")
+        assert not ckt.has_node("z")
+
+    def test_source_enumeration(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("v1", "a", "0", DCStimulus(1.0)))
+        ckt.add(CurrentSource("i1", "a", "0", DCStimulus(1.0)))
+        ckt.add(Resistor("r1", "a", "0", 1.0))
+        assert len(ckt.voltage_sources()) == 1
+        assert len(ckt.current_sources()) == 1
+        assert len(ckt.independent_sources()) == 2
+
+    def test_is_nonlinear(self):
+        from repro.circuits.devices import Diode
+
+        linear = Circuit("lin")
+        linear.add(Resistor("r1", "a", "0", 1.0))
+        assert not linear.is_nonlinear()
+        nonlinear = Circuit("nl")
+        nonlinear.add(Diode("d1", "a", "0"))
+        assert nonlinear.is_nonlinear()
+
+    def test_iteration(self):
+        ckt = Circuit("t")
+        ckt.add(Resistor("r1", "a", "0", 1.0))
+        ckt.add(Resistor("r2", "a", "0", 1.0))
+        assert [d.name for d in ckt] == ["r1", "r2"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit("")
+
+
+class TestCompilation:
+    def test_unknown_ordering(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("v1", "in", ckt.GROUND, DCStimulus(1.0)))
+        ckt.add(Resistor("r1", "in", "out", 1.0))
+        ckt.add(Inductor("l1", "out", ckt.GROUND, 1e-3))
+        mna = ckt.compile()
+        # Node voltages first (in declaration order), then branch currents.
+        assert mna.unknown_names == ("v(in)", "v(out)", "i(v1)", "i(l1)")
+        assert mna.n_unknowns == 4
+        assert mna.n_nodes == 2
+
+    def test_branch_indices_follow_device_order(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("v1", "a", ckt.GROUND, DCStimulus(1.0)))
+        ckt.add(VoltageSource("v2", "b", ckt.GROUND, DCStimulus(1.0)))
+        ckt.add(Resistor("r1", "a", "b", 1.0))
+        mna = ckt.compile()
+        assert mna.branch_index("v1") == 2
+        assert mna.branch_index("v2") == 3
+
+    def test_compile_rejects_empty_circuit(self):
+        with pytest.raises(CircuitError):
+            Circuit("empty").compile()
+
+    def test_compile_rejects_all_ground_circuit(self):
+        ckt = Circuit("t")
+        ckt.add(Resistor("r1", "0", "gnd", 1.0))
+        with pytest.raises(CircuitError):
+            ckt.compile()
+
+    def test_ground_maps_to_negative_index(self):
+        ckt = Circuit("t")
+        ckt.add(Resistor("r1", "a", ckt.GROUND, 1.0))
+        mna = ckt.compile()
+        assert mna.node_index("a") == 0
+        assert mna.node_index("0") == -1
+        assert mna.node_index("gnd") == -1
+
+    def test_unknown_node_lookup_raises(self):
+        ckt = Circuit("t")
+        ckt.add(Resistor("r1", "a", ckt.GROUND, 1.0))
+        mna = ckt.compile()
+        with pytest.raises(NodeError):
+            mna.node_index("missing")
+
+    def test_branch_index_for_device_without_branch_raises(self):
+        ckt = Circuit("t")
+        ckt.add(Resistor("r1", "a", ckt.GROUND, 1.0))
+        mna = ckt.compile()
+        with pytest.raises(CircuitError):
+            mna.branch_index("r1")
+
+    def test_recompilation_is_consistent(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("v1", "a", ckt.GROUND, DCStimulus(1.0)))
+        ckt.add(Capacitor("c1", "a", ckt.GROUND, 1e-9))
+        first = ckt.compile()
+        second = ckt.compile()
+        assert first.unknown_names == second.unknown_names

@@ -1,0 +1,131 @@
+"""Unit tests for the periodic multi-time grid and its differentiation operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MultiTimeGrid
+from repro.utils import MPDEError
+
+
+@pytest.fixture
+def grid():
+    return MultiTimeGrid(period_fast=1e-9, period_slow=1e-4, n_fast=8, n_slow=6)
+
+
+class TestGeometry:
+    def test_point_count_and_axes(self, grid):
+        assert grid.n_points == 48
+        assert grid.fast_axis.shape == (8,)
+        assert grid.slow_axis.shape == (6,)
+        assert grid.fast_axis[-1] < grid.period_fast
+        assert grid.slow_axis[1] == pytest.approx(grid.period_slow / 6)
+
+    def test_paper_grid_size(self):
+        """The paper's 40 x 30 grid has 1200 points."""
+        grid = MultiTimeGrid(1 / 450e6, 1 / 15e3, 40, 30)
+        assert grid.n_points == 1200
+
+    def test_mesh_ordering_matches_point_index(self, grid):
+        t1, t2 = grid.mesh
+        for i in (0, 3, 7):
+            for j in (0, 2, 5):
+                p = grid.point_index(i, j)
+                assert t1[p] == pytest.approx(grid.fast_axis[i])
+                assert t2[p] == pytest.approx(grid.slow_axis[j])
+
+    def test_point_index_bounds(self, grid):
+        with pytest.raises(MPDEError):
+            grid.point_index(8, 0)
+        with pytest.raises(MPDEError):
+            grid.point_index(0, -1)
+
+    def test_reshape_roundtrip(self, grid):
+        flat = np.arange(grid.n_points * 3.0).reshape(grid.n_points, 3)
+        gridded = grid.reshape_to_grid(flat)
+        assert gridded.shape == (8, 6, 3)
+        np.testing.assert_allclose(grid.flatten_from_grid(gridded), flat)
+
+    def test_reshape_validates_sizes(self, grid):
+        with pytest.raises(MPDEError):
+            grid.reshape_to_grid(np.zeros(5))
+        with pytest.raises(MPDEError):
+            grid.flatten_from_grid(np.zeros((3, 3)))
+
+    def test_minimum_size(self):
+        from repro.utils import ConfigurationError, ReproError
+
+        with pytest.raises(MPDEError):
+            MultiTimeGrid(1.0, 1.0, 2, 8)
+        with pytest.raises((MPDEError, ConfigurationError, ReproError)):
+            MultiTimeGrid(1.0, -1.0, 8, 8)
+
+
+class TestDifferentiationOperators:
+    def _sample(self, grid, func):
+        t1, t2 = grid.mesh
+        return func(t1, t2)
+
+    @pytest.mark.parametrize("method", ["backward-euler", "bdf2", "central", "fourier"])
+    def test_fast_derivative_ignores_slow_variation(self, method):
+        grid = MultiTimeGrid(1.0, 1.0, 16, 12)
+        values = self._sample(grid, lambda t1, t2: np.sin(2 * np.pi * t2))
+        d = grid.fast_derivative(method) @ values
+        np.testing.assert_allclose(d, 0.0, atol=1e-9)
+
+    @pytest.mark.parametrize("method", ["backward-euler", "bdf2", "central", "fourier"])
+    def test_slow_derivative_ignores_fast_variation(self, method):
+        grid = MultiTimeGrid(1.0, 1.0, 16, 12)
+        values = self._sample(grid, lambda t1, t2: np.cos(2 * np.pi * t1))
+        d = grid.slow_derivative(method) @ values
+        np.testing.assert_allclose(d, 0.0, atol=1e-9)
+
+    def test_fast_derivative_fourier_exactness(self):
+        grid = MultiTimeGrid(2.0, 3.0, 16, 8)
+        omega = 2 * np.pi / grid.period_fast
+        values = self._sample(grid, lambda t1, t2: np.sin(omega * t1))
+        expected = self._sample(grid, lambda t1, t2: omega * np.cos(omega * t1))
+        d = grid.fast_derivative("fourier") @ values
+        np.testing.assert_allclose(d, expected, atol=1e-9)
+
+    def test_slow_derivative_fourier_exactness(self):
+        grid = MultiTimeGrid(2.0, 3.0, 8, 16)
+        omega = 2 * np.pi / grid.period_slow
+        values = self._sample(grid, lambda t1, t2: np.cos(omega * t2))
+        expected = self._sample(grid, lambda t1, t2: -omega * np.sin(omega * t2))
+        d = grid.slow_derivative("fourier") @ values
+        np.testing.assert_allclose(d, expected, atol=1e-9)
+
+    def test_combined_operator_is_sum(self):
+        grid = MultiTimeGrid(1.0, 2.0, 8, 8)
+        combined = grid.combined_derivative("bdf2", "central").toarray()
+        expected = (grid.fast_derivative("bdf2") + grid.slow_derivative("central")).toarray()
+        np.testing.assert_allclose(combined, expected)
+
+    def test_combined_derivative_on_mpde_warped_product(self):
+        """The MPDE operator applied to the warped product reproduces dz/dt on the diagonal.
+
+        With z_hat(t1, t2) = cos(w1 t1) * cos(w1 t1 - wd t2), the MPDE
+        identity says (d/dt1 + d/dt2) z_hat evaluated on the diagonal equals
+        the ordinary derivative of z(t) = z_hat(t, t).  We verify the
+        operator numerically at the grid origin where the diagonal intersects
+        the grid exactly.
+        """
+        grid = MultiTimeGrid(1.0, 10.0, 64, 64)
+        w1 = 2 * np.pi / grid.period_fast
+        wd = 2 * np.pi / grid.period_slow
+        t1, t2 = grid.mesh
+        values = np.cos(w1 * t1) * np.cos(w1 * t1 - wd * t2)
+        d = grid.combined_derivative("fourier", "fourier") @ values
+        # Analytic derivative of z(t) = cos(w1 t) cos((w1 - wd) t) at t = 0 is 0.
+        origin = grid.point_index(0, 0)
+        assert d[origin] == pytest.approx(0.0, abs=1e-6)
+
+    def test_unknown_method_rejected(self, grid):
+        with pytest.raises(MPDEError):
+            grid.fast_derivative("simpson")
+
+    def test_operator_shapes(self, grid):
+        assert grid.fast_derivative().shape == (48, 48)
+        assert grid.slow_derivative().shape == (48, 48)

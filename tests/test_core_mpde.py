@@ -1,0 +1,159 @@
+"""Unit tests for the MPDE discretisation (problem assembly, residual, Jacobian)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.devices import Capacitor, Resistor, VoltageSource
+from repro.core import MPDEProblem, ShearedTimeScales
+from repro.signals import ModulatedCarrierStimulus, SinusoidStimulus, SumStimulus
+from repro.utils import MPDEError, MPDEOptions
+
+
+F_FAST = 1e6
+F_DIFF = 10e3
+R = 1e3
+C = 50e-9  # RC corner ~3.2 kHz: attenuates both carriers strongly, passes fd partially
+
+
+def _two_tone_rc():
+    """R-C low-pass driven by the sum of an LO tone and a closely spaced carrier."""
+    scales = ShearedTimeScales.from_frequencies(F_FAST, F_FAST - F_DIFF)
+    ckt = Circuit("two-tone rc")
+    drive = SumStimulus(
+        (
+            SinusoidStimulus(1.0, F_FAST),
+            ModulatedCarrierStimulus(0.5, scales.carrier_frequency),
+        )
+    )
+    ckt.add(VoltageSource("vin", "in", ckt.GROUND, drive))
+    ckt.add(Resistor("r1", "in", "out", R))
+    ckt.add(Capacitor("c1", "out", ckt.GROUND, C))
+    return ckt.compile(), scales
+
+
+def _analytic_surface(mna, scales, grid):
+    """Closed-form bivariate solution of the linear two-tone RC circuit."""
+    t1, t2 = grid.mesh
+
+    def transfer(freq):
+        h = 1.0 / (1.0 + 2j * np.pi * freq * R * C)
+        return abs(h), np.angle(h)
+
+    mag1, ph1 = transfer(F_FAST)
+    mag2, ph2 = transfer(scales.carrier_frequency)
+    out = mag1 * 1.0 * np.cos(2 * np.pi * scales.fast_phase(t1) + ph1) + mag2 * 0.5 * np.cos(
+        2 * np.pi * scales.carrier_phase(t1, t2) + ph2
+    )
+    return out
+
+
+class TestProblemAssembly:
+    def test_sizes(self):
+        mna, scales = _two_tone_rc()
+        problem = MPDEProblem(mna, scales, MPDEOptions(n_fast=12, n_slow=8))
+        assert problem.n_circuit_unknowns == mna.n_unknowns
+        assert problem.n_grid_points == 96
+        assert problem.n_total_unknowns == 96 * mna.n_unknowns
+        assert problem.source_grid.shape == (96, mna.n_unknowns)
+
+    def test_grid_periods_follow_scales(self):
+        mna, scales = _two_tone_rc()
+        problem = MPDEProblem(mna, scales, MPDEOptions(n_fast=12, n_slow=8))
+        assert problem.grid.period_fast == pytest.approx(scales.fast_period)
+        assert problem.grid.period_slow == pytest.approx(scales.difference_period)
+
+    def test_reshape_states_validates_size(self):
+        mna, scales = _two_tone_rc()
+        problem = MPDEProblem(mna, scales, MPDEOptions(n_fast=8, n_slow=8))
+        with pytest.raises(MPDEError):
+            problem.reshape_states(np.zeros(7))
+
+    def test_initial_guess_helpers(self):
+        mna, scales = _two_tone_rc()
+        problem = MPDEProblem(mna, scales, MPDEOptions(n_fast=8, n_slow=8))
+        assert problem.initial_guess_zero().shape == (problem.n_total_unknowns,)
+        tiled = problem.initial_guess_from_state(np.arange(float(mna.n_unknowns)))
+        states = problem.reshape_states(tiled)
+        np.testing.assert_allclose(states[17], np.arange(float(mna.n_unknowns)))
+        with pytest.raises(MPDEError):
+            problem.initial_guess_from_state(np.zeros(mna.n_unknowns + 1))
+
+
+class TestResidualAndJacobian:
+    def test_manufactured_solution_has_small_residual(self):
+        """The analytic bivariate solution satisfies the discretised MPDE (Fourier mode)."""
+        mna, scales = _two_tone_rc()
+        problem = MPDEProblem(
+            mna,
+            scales,
+            MPDEOptions(n_fast=16, n_slow=16, fast_method="fourier", slow_method="fourier"),
+        )
+        out_surface = _analytic_surface(mna, scales, problem.grid)
+        # Build the full state: v(in) = drive, v(out) = analytic, i(vin) from KCL.
+        t1, t2 = problem.grid.mesh
+        b = problem.source_grid
+        v_in = -b[:, mna.branch_index("vin")]
+        states = np.zeros((problem.n_grid_points, mna.n_unknowns))
+        states[:, mna.node_index("in")] = v_in
+        states[:, mna.node_index("out")] = out_surface
+        states[:, mna.branch_index("vin")] = -(v_in - out_surface) / R
+        residual = problem.residual(states.ravel())
+        # Residual scale: the resistor currents are ~1 mA.
+        assert np.max(np.abs(residual)) < 5e-6
+
+    def test_jacobian_matches_finite_difference(self, rng):
+        mna, scales = _two_tone_rc()
+        problem = MPDEProblem(mna, scales, MPDEOptions(n_fast=4, n_slow=4))
+        x = rng.normal(scale=0.1, size=problem.n_total_unknowns)
+        jac = problem.jacobian(x).toarray()
+        fd = np.zeros_like(jac)
+        base = problem.residual(x)
+        h = 1e-7
+        for j in range(x.size):
+            xp = x.copy()
+            xp[j] += h
+            fd[:, j] = (problem.residual(xp) - base) / h
+        np.testing.assert_allclose(jac, fd, rtol=1e-4, atol=1e-6 * np.max(np.abs(jac)))
+
+    def test_residual_and_jacobian_consistent_with_separate_calls(self, rng):
+        mna, scales = _two_tone_rc()
+        problem = MPDEProblem(mna, scales, MPDEOptions(n_fast=5, n_slow=4))
+        x = rng.normal(scale=0.1, size=problem.n_total_unknowns)
+        r_combined, j_combined = problem.residual_and_jacobian(x)
+        np.testing.assert_allclose(r_combined, problem.residual(x))
+        np.testing.assert_allclose(j_combined.toarray(), problem.jacobian(x).toarray())
+
+
+class TestEmbeddedSource:
+    def test_embedding_endpoints(self):
+        mna, scales = _two_tone_rc()
+        problem = MPDEProblem(mna, scales, MPDEOptions(n_fast=8, n_slow=8))
+        relaxed = problem.embedded_source_grid(0.0)
+        full = problem.embedded_source_grid(1.0)
+        np.testing.assert_allclose(full, problem.source_grid)
+        # At lambda = 0 every grid point sees the same (mean) excitation.
+        np.testing.assert_allclose(relaxed, np.tile(relaxed[0], (problem.n_grid_points, 1)))
+
+    def test_embedding_is_linear_in_lambda(self):
+        mna, scales = _two_tone_rc()
+        problem = MPDEProblem(mna, scales, MPDEOptions(n_fast=8, n_slow=8))
+        mid = problem.embedded_source_grid(0.5)
+        expected = 0.5 * (problem.embedded_source_grid(0.0) + problem.source_grid)
+        np.testing.assert_allclose(mid, expected)
+
+    def test_invalid_lambda(self):
+        mna, scales = _two_tone_rc()
+        problem = MPDEProblem(mna, scales, MPDEOptions(n_fast=8, n_slow=8))
+        with pytest.raises(MPDEError):
+            problem.embedded_source_grid(1.5)
+
+    def test_residual_for_embedding_matches_manual(self, rng):
+        mna, scales = _two_tone_rc()
+        problem = MPDEProblem(mna, scales, MPDEOptions(n_fast=5, n_slow=5))
+        x = rng.normal(scale=0.05, size=problem.n_total_unknowns)
+        lam = 0.3
+        manual = problem.residual(x, source_grid=problem.embedded_source_grid(lam))
+        np.testing.assert_allclose(problem.residual_for_embedding(lam)(x), manual)

@@ -1,0 +1,120 @@
+"""Tests for envelope extraction and diagonal reconstruction helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    carrier_ripple,
+    diagonal_samples_per_period,
+    envelope_swing,
+    extract_envelope,
+    fast_slice_at_phase,
+    reconstruct_diagonal,
+    reconstruct_fast_cycles,
+)
+from repro.signals import BivariateWaveform
+from repro.utils import MPDEError
+
+
+@pytest.fixture
+def am_surface():
+    """An amplitude-modulated carrier surface: (1 + 0.5 cos(2 pi t2/T2)) * cos(2 pi t1/T1)."""
+    n1, n2 = 64, 48
+    period1, period2 = 1e-9, 1e-4
+    t1 = np.arange(n1) * period1 / n1
+    t2 = np.arange(n2) * period2 / n2
+    env = 1.0 + 0.5 * np.cos(2 * np.pi * t2 / period2)
+    values = env[None, :] * np.cos(2 * np.pi * t1 / period1)[:, None]
+    return BivariateWaveform(values, period1, period2, name="am")
+
+
+@pytest.fixture
+def offset_surface():
+    """A surface with a baseband (slow-axis) signal plus carrier ripple."""
+    n1, n2 = 32, 40
+    period1, period2 = 1e-9, 1e-4
+    t1 = np.arange(n1) * period1 / n1
+    t2 = np.arange(n2) * period2 / n2
+    baseband = 0.2 + 0.1 * np.sin(2 * np.pi * t2 / period2)
+    ripple = 0.02 * np.cos(2 * np.pi * t1 / period1)
+    values = baseband[None, :] + ripple[:, None]
+    return BivariateWaveform(values, period1, period2, name="mixed")
+
+
+class TestExtractEnvelope:
+    def test_mean_removes_carrier(self, offset_surface):
+        env = extract_envelope(offset_surface, "mean")
+        t2 = env.times
+        expected = 0.2 + 0.1 * np.sin(2 * np.pi * t2 / offset_surface.period2)
+        np.testing.assert_allclose(env.values, expected, atol=1e-9)
+
+    def test_max_envelope_of_am_carrier(self, am_surface):
+        env = extract_envelope(am_surface, "max")
+        expected = 1.0 + 0.5 * np.cos(2 * np.pi * env.times / am_surface.period2)
+        np.testing.assert_allclose(env.values, expected, rtol=1e-2)
+
+    def test_min_envelope_is_negative_of_max_for_symmetric_carrier(self, am_surface):
+        upper = extract_envelope(am_surface, "max")
+        lower = extract_envelope(am_surface, "min")
+        np.testing.assert_allclose(lower.values, -upper.values, atol=1e-9)
+
+    def test_rms_envelope(self, am_surface):
+        env = extract_envelope(am_surface, "rms")
+        expected = (1.0 + 0.5 * np.cos(2 * np.pi * env.times / am_surface.period2)) / np.sqrt(2)
+        np.testing.assert_allclose(env.values, expected, rtol=1e-2)
+
+    def test_unknown_mode(self, am_surface):
+        with pytest.raises(MPDEError):
+            extract_envelope(am_surface, "p99")
+
+    def test_envelope_swing(self, am_surface):
+        # AM index 0.5: the upper envelope swings from 0.5 to 1.5.
+        assert envelope_swing(am_surface, "max") == pytest.approx(1.0, rel=5e-2)
+
+
+class TestSlicesAndRipple:
+    def test_fast_slice_at_phase(self, am_surface):
+        slice_peak = fast_slice_at_phase(am_surface, 0.0)
+        expected = 1.0 + 0.5 * np.cos(2 * np.pi * slice_peak.times / am_surface.period2)
+        np.testing.assert_allclose(slice_peak.values, expected, atol=1e-9)
+
+    def test_fast_slice_phase_validation(self, am_surface):
+        with pytest.raises(MPDEError):
+            fast_slice_at_phase(am_surface, 1.2)
+
+    def test_carrier_ripple(self, offset_surface):
+        ripple = carrier_ripple(offset_surface)
+        np.testing.assert_allclose(ripple.values, 0.04, rtol=1e-2)
+
+
+class TestDiagonalReconstruction:
+    def test_reconstruct_diagonal_matches_closed_form(self, am_surface):
+        t = np.linspace(0, am_surface.period2, 3001)
+        diag = reconstruct_diagonal(am_surface, 0.0, am_surface.period2, 3001)
+        expected = (1.0 + 0.5 * np.cos(2 * np.pi * t / am_surface.period2)) * np.cos(
+            2 * np.pi * t / am_surface.period1
+        )
+        assert np.max(np.abs(diag.values - expected)) < 0.03
+
+    def test_reconstruct_fast_cycles_span(self, am_surface):
+        wave = reconstruct_fast_cycles(am_surface, t_center=2.22e-6, n_cycles=5)
+        assert wave.duration == pytest.approx(5 * am_surface.period1)
+        assert len(wave) == 5 * 64 + 1
+
+    def test_reconstruct_validation(self, am_surface):
+        with pytest.raises(MPDEError):
+            reconstruct_diagonal(am_surface, 1.0, 0.5)
+        with pytest.raises(MPDEError):
+            reconstruct_diagonal(am_surface, 0.0, 1.0, n_samples=1)
+        with pytest.raises(MPDEError):
+            reconstruct_fast_cycles(am_surface, 0.0, n_cycles=0)
+        with pytest.raises(MPDEError):
+            reconstruct_fast_cycles(am_surface, 0.0, samples_per_cycle=2)
+
+    def test_diagonal_samples_per_period(self, am_surface):
+        n = diagonal_samples_per_period(am_surface, oversampling=4)
+        assert n >= 4 * am_surface.period2 / am_surface.period1
+        with pytest.raises(MPDEError):
+            diagonal_samples_per_period(am_surface, oversampling=0)

@@ -1,0 +1,223 @@
+"""Tests for the MPDE solver and its result object (the paper's core method)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.devices import Capacitor, Resistor, VoltageSource
+from repro.core import MPDEProblem, MPDESolver, ShearedTimeScales, solve_mpde
+from repro.rf import difference_tone_amplitude, ideal_multiplier_mixer, unbalanced_switching_mixer
+from repro.signals import ModulatedCarrierStimulus, SinusoidStimulus, SumStimulus, TonePair
+from repro.signals.spectrum import fourier_coefficient
+from repro.utils import ConvergenceError, MPDEError, MPDEOptions, NewtonOptions
+
+
+class TestLinearTwoToneRC:
+    """The linear two-tone RC filter has a closed-form quasi-periodic solution."""
+
+    f_fast = 1e6
+    f_diff = 10e3
+    r = 1e3
+    c = 50e-9
+
+    def _solve(self, n_fast=16, n_slow=16, fast_method="fourier", slow_method="fourier"):
+        scales = ShearedTimeScales.from_frequencies(self.f_fast, self.f_fast - self.f_diff)
+        ckt = Circuit("two-tone rc")
+        drive = SumStimulus(
+            (
+                SinusoidStimulus(1.0, self.f_fast),
+                ModulatedCarrierStimulus(0.5, scales.carrier_frequency),
+            )
+        )
+        ckt.add(VoltageSource("vin", "in", ckt.GROUND, drive))
+        ckt.add(Resistor("r1", "in", "out", self.r))
+        ckt.add(Capacitor("c1", "out", ckt.GROUND, self.c))
+        mna = ckt.compile()
+        options = MPDEOptions(
+            n_fast=n_fast, n_slow=n_slow, fast_method=fast_method, slow_method=slow_method
+        )
+        return mna, scales, solve_mpde(mna, scales, options)
+
+    def test_surface_matches_analytic_solution(self):
+        mna, scales, result = self._solve()
+        surface = result.bivariate("out")
+        t1, t2 = result.grid.mesh
+
+        def transfer(freq):
+            h = 1.0 / (1.0 + 2j * np.pi * freq * self.r * self.c)
+            return abs(h), np.angle(h)
+
+        mag1, ph1 = transfer(self.f_fast)
+        mag2, ph2 = transfer(scales.carrier_frequency)
+        expected = mag1 * np.cos(2 * np.pi * scales.fast_phase(t1) + ph1) + 0.5 * mag2 * np.cos(
+            2 * np.pi * scales.carrier_phase(t1, t2) + ph2
+        )
+        np.testing.assert_allclose(
+            surface.values, result.grid.reshape_to_grid(expected), atol=2e-6
+        )
+
+    def test_linear_circuit_converges_in_few_iterations(self):
+        _, _, result = self._solve()
+        assert result.stats.converged
+        assert result.stats.newton_iterations <= 3
+        assert not result.stats.used_continuation
+
+    def test_diagonal_matches_direct_time_domain(self):
+        """x(t) = x_hat(t, t) reproduces the steady-state superposition."""
+        mna, scales, result = self._solve(n_fast=32, n_slow=32)
+        times = np.linspace(0.0, 2e-6, 300)
+        diag = result.diagonal_waveform("out", t_start=0.0, t_stop=2e-6, n_samples=300)
+
+        def transfer(freq):
+            h = 1.0 / (1.0 + 2j * np.pi * freq * self.r * self.c)
+            return abs(h), np.angle(h)
+
+        mag1, ph1 = transfer(self.f_fast)
+        mag2, ph2 = transfer(scales.carrier_frequency)
+        expected = mag1 * np.cos(2 * np.pi * self.f_fast * times + ph1) + 0.5 * mag2 * np.cos(
+            2 * np.pi * scales.carrier_frequency * times + ph2
+        )
+        # Bilinear interpolation of the coarse grid limits the accuracy here.
+        assert np.max(np.abs(diag.values - expected)) < 0.05
+
+    def test_bdf2_and_fourier_agree_on_smooth_problem(self):
+        _, scales, spectral = self._solve()
+        _, _, fd = self._solve(n_fast=48, n_slow=48, fast_method="bdf2", slow_method="bdf2")
+        env_spectral = spectral.baseband_envelope("out")
+        env_fd = fd.baseband_envelope("out")
+        a_spectral = 2 * abs(fourier_coefficient(env_spectral, self.f_diff))
+        a_fd = 2 * abs(fourier_coefficient(env_fd, self.f_diff))
+        # A linear circuit produces no difference tone; both must agree on ~0.
+        assert a_spectral == pytest.approx(a_fd, abs=1e-3)
+
+    def test_stats_record_problem_size(self):
+        _, _, result = self._solve(n_fast=16, n_slow=12)
+        assert result.stats.n_grid_points == 16 * 12
+        assert result.stats.n_total_unknowns == 16 * 12 * 3
+        assert result.stats.wall_time_seconds > 0.0
+
+
+class TestIdealMultiplierMixer:
+    """End-to-end check against the closed-form ideal mixing result of Section 2."""
+
+    def test_difference_tone_amplitude_matches_closed_form(self, scaled_ideal_mixer):
+        mix = scaled_ideal_mixer
+        result = solve_mpde(mix.compile(), mix.scales, MPDEOptions(n_fast=24, n_slow=24))
+        envelope = result.baseband_envelope(mix.output_pos)
+        fd = mix.scales.difference_frequency
+        measured = 2 * abs(fourier_coefficient(envelope, fd))
+        pair = TonePair.from_frequencies(mix.lo_frequency, mix.rf_frequency)
+        # Output voltage = R * gain * v_lo * v_rf; difference tone = R*gain*A1*A2/2.
+        expected = 1e3 * 1e-3 * difference_tone_amplitude(pair)
+        assert measured == pytest.approx(expected, rel=0.02)
+
+    def test_full_paper_frequencies_are_feasible(self):
+        """The actual 1 GHz / 10 kHz spacing of Section 2 runs in a small grid."""
+        mix = ideal_multiplier_mixer()  # 1 GHz LO, 10 kHz difference
+        result = solve_mpde(mix.compile(), mix.scales, MPDEOptions(n_fast=16, n_slow=16))
+        envelope = result.baseband_envelope("out")
+        measured = 2 * abs(fourier_coefficient(envelope, 10e3))
+        assert measured == pytest.approx(0.5, rel=0.02)
+        assert result.scales.disparity == pytest.approx(1e5)
+
+
+class TestSolverControls:
+    def test_accepts_single_state_initial_guess(self, scaled_ideal_mixer):
+        mix = scaled_ideal_mixer
+        mna = mix.compile()
+        x0 = np.zeros(mna.n_unknowns)
+        result = solve_mpde(mna, mix.scales, MPDEOptions(n_fast=12, n_slow=12), x0=x0)
+        assert result.stats.converged
+
+    def test_rejects_bad_initial_guess_size(self, scaled_ideal_mixer):
+        mix = scaled_ideal_mixer
+        mna = mix.compile()
+        with pytest.raises(MPDEError):
+            solve_mpde(mna, mix.scales, MPDEOptions(n_fast=12, n_slow=12), x0=np.zeros(17))
+
+    @pytest.mark.parametrize("guess", ["zero", "dc", "transient"])
+    def test_initial_guess_modes(self, scaled_ideal_mixer, guess):
+        mix = scaled_ideal_mixer
+        options = MPDEOptions(n_fast=12, n_slow=12, initial_guess=guess)
+        result = solve_mpde(mix.compile(), mix.scales, options)
+        assert result.stats.converged
+
+    def test_gmres_linear_solver(self, scaled_ideal_mixer):
+        mix = scaled_ideal_mixer
+        options = MPDEOptions(n_fast=12, n_slow=12, linear_solver="gmres")
+        result = solve_mpde(mix.compile(), mix.scales, options)
+        assert result.stats.converged
+
+    def test_failure_without_continuation_raises(self, scaled_switching_mixer):
+        mix = scaled_switching_mixer
+        options = MPDEOptions(
+            n_fast=16,
+            n_slow=12,
+            use_continuation=False,
+            initial_guess="zero",
+            newton=NewtonOptions(max_iterations=1),
+        )
+        with pytest.raises(ConvergenceError):
+            solve_mpde(mix.compile(), mix.scales, options)
+
+    def test_continuation_fallback_recovers(self, scaled_switching_mixer):
+        """With a tiny Newton budget the solver falls back to source stepping and still converges."""
+        mix = scaled_switching_mixer
+        options = MPDEOptions(
+            n_fast=16,
+            n_slow=12,
+            use_continuation=True,
+            initial_guess="dc",
+            newton=NewtonOptions(max_iterations=6),
+        )
+        result = solve_mpde(mix.compile(), mix.scales, options)
+        assert result.stats.converged
+        assert result.stats.used_continuation
+        assert result.stats.continuation_steps >= 1
+
+
+class TestResultAccessors:
+    @pytest.fixture(scope="class")
+    def switching_result(self):
+        mix = unbalanced_switching_mixer(lo_frequency=2e6, difference_frequency=50e3)
+        return mix, solve_mpde(mix.compile(), mix.scales, MPDEOptions(n_fast=24, n_slow=16))
+
+    def test_state_grid_shape(self, switching_result):
+        mix, result = switching_result
+        n = mix.compile().n_unknowns
+        assert result.state_grid().shape == (24, 16, n)
+
+    def test_bivariate_surface_periods(self, switching_result):
+        mix, result = switching_result
+        surface = result.bivariate("out")
+        assert surface.period1 == pytest.approx(mix.scales.fast_period)
+        assert surface.period2 == pytest.approx(mix.scales.difference_period)
+
+    def test_differential_surface_is_difference_of_nodes(self, switching_result):
+        _, result = switching_result
+        diff = result.bivariate_differential("in", "out")
+        np.testing.assert_allclose(
+            diff.values, result.bivariate("in").values - result.bivariate("out").values
+        )
+
+    def test_envelope_modes(self, switching_result):
+        _, result = switching_result
+        mean = result.baseband_envelope("out", mode="mean")
+        upper = result.baseband_envelope("out", mode="max")
+        lower = result.baseband_envelope("out", mode="min")
+        assert np.all(upper.values >= mean.values - 1e-12)
+        assert np.all(lower.values <= mean.values + 1e-12)
+        with pytest.raises(MPDEError):
+            result.baseband_envelope("out", mode="median")
+
+    def test_diagonal_waveform_defaults_to_one_slow_period(self, switching_result):
+        mix, result = switching_result
+        diag = result.diagonal_waveform("out", n_samples=501)
+        assert diag.duration == pytest.approx(mix.scales.difference_period)
+
+    def test_diagonal_waveform_validates_span(self, switching_result):
+        _, result = switching_result
+        with pytest.raises(MPDEError):
+            result.diagonal_waveform("out", t_start=1.0, t_stop=0.5)

@@ -1,0 +1,135 @@
+"""Unit tests for sheared / unsheared time scales (the paper's key construction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ShearedTimeScales, UnshearedTimeScales, verify_diagonal_property
+from repro.signals import ModulatedCarrierStimulus, SinusoidStimulus, TonePair
+from repro.utils import ShearError
+
+
+class TestShearedTimeScalesConstruction:
+    def test_paper_ideal_mixing(self):
+        scales = ShearedTimeScales.from_frequencies(1e9, 1e9 - 10e3)
+        assert scales.fast_frequency == pytest.approx(1e9)
+        assert scales.difference_frequency == pytest.approx(10e3)
+        assert scales.difference_period == pytest.approx(0.1e-3)  # the 0.1 ms of Fig. 2
+        assert scales.carrier_frequency == pytest.approx(1e9 - 10e3)
+        assert scales.lo_multiple == 1
+
+    def test_paper_balanced_mixer(self):
+        scales = ShearedTimeScales.paper_balanced_mixer()
+        assert scales.fast_frequency == pytest.approx(450e6)
+        assert scales.lo_multiple == 2
+        assert scales.difference_frequency == pytest.approx(15e3)
+        assert scales.carrier_frequency == pytest.approx(2 * 450e6 - 15e3)
+        # ~0.067 ms baseband period, matching the span of Figs. 3-4.
+        assert scales.difference_period == pytest.approx(1 / 15e3)
+
+    def test_carrier_above_harmonic(self):
+        scales = ShearedTimeScales.from_frequencies(1e9, 1e9 + 10e3)
+        assert scales.carrier_above_harmonic
+        assert scales.carrier_frequency == pytest.approx(1e9 + 10e3)
+        assert scales.difference_frequency == pytest.approx(10e3)
+
+    def test_from_tone_pair(self):
+        pair = TonePair.paper_balanced_mixer()
+        scales = ShearedTimeScales.from_tone_pair(pair)
+        assert scales.difference_frequency == pytest.approx(pair.difference_frequency)
+
+    def test_disparity(self):
+        scales = ShearedTimeScales.from_frequencies(450e6, 900e6 - 15e3, lo_multiple=2)
+        assert scales.disparity == pytest.approx(450e6 / 15e3)
+
+    def test_exactly_aligned_tones_rejected(self):
+        with pytest.raises(ShearError):
+            ShearedTimeScales.from_frequencies(1e9, 2e9, lo_multiple=2)
+
+    def test_not_closely_spaced_rejected(self):
+        with pytest.raises(ShearError):
+            ShearedTimeScales(fast_frequency=1e9, difference_frequency=2e9)
+
+    def test_invalid_lo_multiple(self):
+        with pytest.raises(ShearError):
+            ShearedTimeScales(1e9, 1e3, lo_multiple=0)
+
+
+class TestShearMap:
+    def test_carrier_phase_diagonal_identity(self):
+        """carrier_phase(t, t) == f2 * t — Eq. (11) of the paper."""
+        scales = ShearedTimeScales.from_frequencies(1e9, 1e9 - 10e3)
+        t = np.linspace(0.0, 5e-9, 101)
+        np.testing.assert_allclose(
+            scales.carrier_phase(t, t), scales.carrier_frequency * t, rtol=1e-12
+        )
+
+    def test_carrier_phase_diagonal_identity_lo_doubling(self):
+        """carrier_phase(t, t) == f2 * t with fd = 2 f1 - f2 — Eq. (13)."""
+        scales = ShearedTimeScales.from_frequencies(450e6, 900e6 - 15e3, lo_multiple=2)
+        t = np.linspace(0.0, 1e-8, 101)
+        np.testing.assert_allclose(
+            scales.carrier_phase(t, t), scales.carrier_frequency * t, rtol=1e-12
+        )
+
+    def test_carrier_phase_diagonal_identity_carrier_above(self):
+        scales = ShearedTimeScales.from_frequencies(1e6, 1e6 + 25e3)
+        t = np.linspace(0.0, 1e-5, 57)
+        np.testing.assert_allclose(
+            scales.carrier_phase(t, t), scales.carrier_frequency * t, rtol=1e-12
+        )
+
+    def test_periodicity_in_both_axes(self):
+        """The sheared phase changes by an integer number of cycles per axis period."""
+        scales = ShearedTimeScales.from_frequencies(1e9, 1e9 - 10e3)
+        t1, t2 = 0.3e-9, 0.2e-4
+        dp_fast = scales.carrier_phase(t1 + scales.fast_period, t2) - scales.carrier_phase(t1, t2)
+        dp_slow = scales.carrier_phase(t1, t2 + scales.difference_period) - scales.carrier_phase(t1, t2)
+        assert dp_fast == pytest.approx(round(dp_fast), abs=1e-9)
+        assert dp_slow == pytest.approx(round(dp_slow), abs=1e-9)
+
+    def test_fast_and_slow_phases(self):
+        scales = ShearedTimeScales.from_frequencies(1e6, 1e6 - 10e3)
+        assert scales.fast_phase(1e-6) == pytest.approx(1.0)
+        assert scales.slow_phase(1e-4) == pytest.approx(1.0)
+
+
+class TestUnshearedTimeScales:
+    def test_axes(self):
+        scales = UnshearedTimeScales.from_frequencies(1e9, 1e9 - 10e3)
+        assert scales.fast_period == pytest.approx(1e-9)
+        # The second axis carries the carrier itself, NOT the difference tone:
+        # this is exactly why Fig. 1 shows no slow variation.
+        assert scales.difference_period == pytest.approx(1.0 / (1e9 - 10e3))
+
+    def test_carrier_phase_lives_on_second_axis(self):
+        scales = UnshearedTimeScales.from_frequencies(1e9, 1e9 - 10e3)
+        t2 = np.linspace(0, 1e-9, 11)
+        np.testing.assert_allclose(
+            scales.carrier_phase(np.zeros_like(t2), t2), (1e9 - 10e3) * t2
+        )
+
+    def test_diagonal_identity_still_holds(self):
+        scales = UnshearedTimeScales.from_frequencies(1e9, 1e9 - 10e3)
+        t = np.linspace(0, 3e-9, 31)
+        np.testing.assert_allclose(scales.carrier_phase(t, t), (1e9 - 10e3) * t)
+
+
+class TestVerifyDiagonalProperty:
+    def test_passes_for_consistent_stimulus(self):
+        scales = ShearedTimeScales.from_frequencies(1e6, 1e6 - 10e3)
+        stim = ModulatedCarrierStimulus(0.3, scales.carrier_frequency)
+        times = np.linspace(0, 1e-4, 500)
+        assert verify_diagonal_property(stim, scales, times) < 1e-12
+
+    def test_raises_for_inconsistent_stimulus(self):
+        scales = ShearedTimeScales.from_frequencies(1e6, 1e6 - 10e3)
+
+        class Broken(SinusoidStimulus):
+            def bivariate_value(self, t1, t2, s):
+                return super().bivariate_value(t1, t2, s) + 0.5
+
+        stim = Broken(1.0, scales.fast_frequency)
+        with pytest.raises(ShearError):
+            verify_diagonal_property(stim, scales, np.linspace(0, 1e-5, 100))

@@ -1,0 +1,324 @@
+"""Unit tests for nonlinear devices: diode, MOSFET, BJT, behavioural elements.
+
+Beyond checking the analytic characteristics in each operating region, every
+device's stamped Jacobians are verified against finite differences of the
+stamped ``f`` / ``q`` vectors — the property Newton's convergence depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.devices import (
+    BJT,
+    BJTParams,
+    Diode,
+    DiodeParams,
+    MOSFET,
+    MOSFETParams,
+    MultiplierCurrentSource,
+    NMOS,
+    NPN,
+    PMOS,
+    PolynomialConductance,
+    Resistor,
+    SmoothSwitch,
+    VoltageSource,
+)
+from repro.signals import DCStimulus
+from repro.utils import DeviceError
+
+
+def finite_difference_check(mna, x, *, rtol=1e-5, atol=1e-8):
+    """Compare stamped Jacobians against central finite differences."""
+    x = np.asarray(x, dtype=float)
+    n = x.size
+    g_analytic = mna.conductance_matrix(x)
+    c_analytic = mna.capacitance_matrix(x)
+    g_fd = np.zeros((n, n))
+    c_fd = np.zeros((n, n))
+    for j in range(n):
+        h = 1e-7 * max(1.0, abs(x[j]))
+        xp, xm = x.copy(), x.copy()
+        xp[j] += h
+        xm[j] -= h
+        g_fd[:, j] = (mna.f(xp) - mna.f(xm)) / (2 * h)
+        c_fd[:, j] = (mna.q(xp) - mna.q(xm)) / (2 * h)
+    scale_g = max(np.max(np.abs(g_analytic)), 1e-12)
+    scale_c = max(np.max(np.abs(c_analytic)), 1e-12)
+    np.testing.assert_allclose(g_analytic, g_fd, rtol=rtol, atol=atol * scale_g + 1e-15)
+    np.testing.assert_allclose(c_analytic, c_fd, rtol=rtol, atol=atol * scale_c + 1e-15)
+
+
+def _probe_circuit(device, node_values: dict[str, float]):
+    """Compile a circuit with one probe voltage source per listed node."""
+    ckt = Circuit("probe")
+    for node, value in node_values.items():
+        ckt.add(VoltageSource(f"v_{node}", node, ckt.GROUND, DCStimulus(value)))
+    ckt.add(device)
+    mna = ckt.compile()
+    x = np.zeros(mna.n_unknowns)
+    for node, value in node_values.items():
+        x[mna.node_index(node)] = value
+    return mna, x
+
+
+class TestDiode:
+    def test_forward_current(self):
+        params = DiodeParams(saturation_current=1e-14, emission_coefficient=1.0)
+        diode = Diode("d1", "a", "0", params)
+        mna, x = _probe_circuit(diode, {"a": 0.6})
+        current = mna.f(x)[mna.node_index("a")]
+        vt = params.thermal_voltage
+        expected = 1e-14 * (np.exp(0.6 / vt) - 1.0)
+        assert current == pytest.approx(expected, rel=1e-9)
+
+    def test_reverse_current_saturates(self):
+        diode = Diode("d1", "a", "0", DiodeParams(saturation_current=1e-14))
+        mna, x = _probe_circuit(diode, {"a": -5.0})
+        current = mna.f(x)[mna.node_index("a")]
+        assert current == pytest.approx(-1e-14, rel=1e-6)
+
+    def test_exponent_limiting_keeps_values_finite(self):
+        diode = Diode("d1", "a", "0")
+        mna, x = _probe_circuit(diode, {"a": 50.0})
+        assert np.all(np.isfinite(mna.f(x)))
+        assert np.all(np.isfinite(mna.conductance_matrix(x)))
+
+    @pytest.mark.parametrize("vd", [-2.0, -0.3, 0.0, 0.45, 0.65, 0.75])
+    def test_jacobian_matches_finite_difference(self, vd):
+        diode = Diode(
+            "d1",
+            "a",
+            "0",
+            DiodeParams(junction_capacitance=1e-12, transit_time=1e-9),
+        )
+        mna, x = _probe_circuit(diode, {"a": vd})
+        finite_difference_check(mna, x)
+
+    def test_charge_is_continuous_across_depletion_crossover(self):
+        params = DiodeParams(junction_capacitance=1e-12, junction_potential=0.8)
+        diode = Diode("d1", "a", "0", params)
+        mna, _ = _probe_circuit(diode, {"a": 0.0})
+        idx = mna.node_index("a")
+        v_cross = 0.5 * params.junction_potential
+        below = np.zeros(mna.n_unknowns)
+        above = np.zeros(mna.n_unknowns)
+        below[idx] = v_cross - 1e-9
+        above[idx] = v_cross + 1e-9
+        assert mna.q(below)[idx] == pytest.approx(mna.q(above)[idx], rel=1e-6)
+
+    def test_series_resistance_reduces_current(self):
+        plain = Diode("d1", "a", "0", DiodeParams())
+        with_rs = Diode("d2", "a", "0", DiodeParams(series_resistance=10.0))
+        mna_a, xa = _probe_circuit(plain, {"a": 0.8})
+        mna_b, xb = _probe_circuit(with_rs, {"a": 0.8})
+        ia = mna_a.f(xa)[mna_a.node_index("a")]
+        ib = mna_b.f(xb)[mna_b.node_index("a")]
+        assert ib < ia
+
+    def test_has_dynamics_only_with_storage(self):
+        assert not Diode("d", "a", "0", DiodeParams()).has_dynamics()
+        assert Diode("d", "a", "0", DiodeParams(junction_capacitance=1e-12)).has_dynamics()
+
+
+class TestMOSFET:
+    params = MOSFETParams(vto=0.7, kp=100e-6, w=10e-6, l=1e-6, lambda_=0.02)
+
+    def _drain_current(self, vg, vd, vs=0.0, polarity=1):
+        device = MOSFET("m1", "d", "g", "s", params=self.params, polarity=polarity)
+        mna, x = _probe_circuit(device, {"d": vd, "g": vg, "s": vs})
+        return mna.f(x)[mna.node_index("d")]
+
+    def test_cutoff(self):
+        assert self._drain_current(vg=0.3, vd=1.0) == pytest.approx(0.0)
+
+    def test_saturation_current(self):
+        vgst = 1.5 - 0.7
+        beta = self.params.beta
+        expected = 0.5 * beta * vgst**2 * (1 + 0.02 * 2.0)
+        assert self._drain_current(vg=1.5, vd=2.0) == pytest.approx(expected, rel=1e-9)
+
+    def test_triode_current(self):
+        vgst = 1.5 - 0.7
+        vds = 0.2
+        beta = self.params.beta
+        expected = beta * (vgst * vds - 0.5 * vds**2) * (1 + 0.02 * vds)
+        assert self._drain_current(vg=1.5, vd=0.2) == pytest.approx(expected, rel=1e-9)
+
+    def test_current_is_zero_at_vds_zero(self):
+        assert self._drain_current(vg=1.5, vd=0.0) == pytest.approx(0.0, abs=1e-15)
+
+    def test_reverse_operation_is_antisymmetric(self):
+        """Exchanging the drain and source potentials flips the sign of the current."""
+        forward = self._drain_current(vg=1.5, vd=0.3, vs=0.0)
+        reverse = self._drain_current(vg=1.5, vd=0.0, vs=0.3)
+        assert reverse == pytest.approx(-forward, rel=1e-9)
+
+    def test_pmos_mirror(self):
+        nmos_current = self._drain_current(vg=1.5, vd=2.0)
+        pmos_params = MOSFETParams(vto=-0.7, kp=100e-6, w=10e-6, l=1e-6, lambda_=0.02)
+        device = MOSFET("m1", "d", "g", "s", params=pmos_params, polarity=-1)
+        mna, x = _probe_circuit(device, {"d": -2.0, "g": -1.5, "s": 0.0})
+        pmos_current = mna.f(x)[mna.node_index("d")]
+        assert pmos_current == pytest.approx(-nmos_current, rel=1e-9)
+
+    @pytest.mark.parametrize(
+        "vg,vd,vs",
+        [
+            (0.0, 1.0, 0.0),   # cutoff
+            (1.5, 0.1, 0.0),   # triode
+            (1.5, 2.0, 0.0),   # saturation
+            (1.5, -0.4, 0.0),  # reverse mode
+            (1.2, 0.8, 0.3),   # source lifted
+        ],
+    )
+    def test_jacobian_matches_finite_difference(self, vg, vd, vs):
+        params = MOSFETParams(
+            vto=0.7, kp=100e-6, w=10e-6, l=1e-6, lambda_=0.02, cgs=1e-15, cgd=1e-15, cdb=1e-15
+        )
+        device = MOSFET("m1", "d", "g", "s", params=params)
+        mna, x = _probe_circuit(device, {"d": vd, "g": vg, "s": vs})
+        finite_difference_check(mna, x)
+
+    def test_nmos_pmos_helpers(self):
+        assert NMOS("m", "d", "g", "s").polarity == 1
+        assert PMOS("m", "d", "g", "s").polarity == -1
+
+    def test_invalid_polarity(self):
+        with pytest.raises(DeviceError):
+            MOSFET("m", "d", "g", "s", polarity=2)
+
+    def test_default_bulk_is_source(self):
+        device = NMOS("m", "d", "g", "s")
+        assert device.node_names == ("d", "g", "s", "s")
+
+    def test_gate_draws_no_dc_current(self):
+        device = NMOS("m1", "d", "g", "s", params=self.params)
+        mna, x = _probe_circuit(device, {"d": 2.0, "g": 1.5, "s": 0.0})
+        assert mna.f(x)[mna.node_index("g")] == pytest.approx(0.0)
+
+    def test_kcl_drain_source_balance(self):
+        device = NMOS("m1", "d", "g", "s", params=self.params)
+        mna, x = _probe_circuit(device, {"d": 2.0, "g": 1.5, "s": 0.0})
+        f = mna.f(x)
+        assert f[mna.node_index("d")] == pytest.approx(-f[mna.node_index("s")])
+
+
+class TestBJT:
+    params = BJTParams(saturation_current=1e-16, beta_forward=100.0, beta_reverse=2.0)
+
+    def test_forward_active_collector_current(self):
+        device = NPN("q1", "c", "b", "e", params=self.params)
+        mna, x = _probe_circuit(device, {"c": 2.0, "b": 0.7, "e": 0.0})
+        ic = mna.f(x)[mna.node_index("c")]
+        vt = self.params.thermal_voltage
+        expected = 1e-16 * (np.exp(0.7 / vt) - 1.0) + 1e-16 / 2.0  # ict - ibc (vbc < 0)
+        assert ic == pytest.approx(expected, rel=1e-3)
+
+    def test_current_gain(self):
+        device = NPN("q1", "c", "b", "e", params=self.params)
+        mna, x = _probe_circuit(device, {"c": 2.0, "b": 0.7, "e": 0.0})
+        f = mna.f(x)
+        ic = f[mna.node_index("c")]
+        ib = f[mna.node_index("b")]
+        assert ic / ib == pytest.approx(100.0, rel=1e-2)
+
+    def test_kcl_balance(self):
+        device = NPN("q1", "c", "b", "e", params=self.params)
+        mna, x = _probe_circuit(device, {"c": 2.0, "b": 0.7, "e": 0.0})
+        f = mna.f(x)
+        total = (
+            f[mna.node_index("c")] + f[mna.node_index("b")] + f[mna.node_index("e")]
+        )
+        assert total == pytest.approx(0.0, abs=1e-12)
+
+    def test_pnp_mirror(self):
+        npn = NPN("q1", "c", "b", "e", params=self.params)
+        mna_n, x_n = _probe_circuit(npn, {"c": 2.0, "b": 0.7, "e": 0.0})
+        ic_n = mna_n.f(x_n)[mna_n.node_index("c")]
+        pnp = BJT("q2", "c", "b", "e", params=self.params, polarity=-1)
+        mna_p, x_p = _probe_circuit(pnp, {"c": -2.0, "b": -0.7, "e": 0.0})
+        ic_p = mna_p.f(x_p)[mna_p.node_index("c")]
+        assert ic_p == pytest.approx(-ic_n, rel=1e-9)
+
+    @pytest.mark.parametrize(
+        "vc,vb,ve",
+        [
+            (2.0, 0.7, 0.0),   # forward active
+            (0.05, 0.75, 0.0), # saturation
+            (0.0, 0.0, 0.0),   # off
+            (0.0, 0.7, 2.0),   # reverse active
+        ],
+    )
+    def test_jacobian_matches_finite_difference(self, vc, vb, ve):
+        device = NPN("q1", "c", "b", "e", params=BJTParams(cje=1e-13, cjc=1e-13))
+        mna, x = _probe_circuit(device, {"c": vc, "b": vb, "e": ve})
+        finite_difference_check(mna, x)
+
+    def test_invalid_polarity(self):
+        with pytest.raises(DeviceError):
+            BJT("q", "c", "b", "e", polarity=0)
+
+
+class TestBehaviouralDevices:
+    def test_multiplier_output_current(self):
+        device = MultiplierCurrentSource("mix", "0", "out", "a", "0", "b", "0", gain=2.0)
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("va", "a", ckt.GROUND, DCStimulus(3.0)))
+        ckt.add(VoltageSource("vb", "b", ckt.GROUND, DCStimulus(0.5)))
+        ckt.add(Resistor("rl", "out", ckt.GROUND, 1.0))
+        ckt.add(device)
+        mna = ckt.compile()
+        x = np.zeros(mna.n_unknowns)
+        x[mna.node_index("a")] = 3.0
+        x[mna.node_index("b")] = 0.5
+        f = mna.f(x)
+        # i = gain * va * vb = 3 A flows from ground into 'out' -> KCL row gets -3.
+        assert f[mna.node_index("out")] == pytest.approx(-3.0)
+
+    def test_multiplier_jacobian(self):
+        device = MultiplierCurrentSource("mix", "o", "0", "a", "0", "b", "0", gain=1.5)
+        mna, x = _probe_circuit(device, {"o": 0.1, "a": 0.8, "b": -0.4})
+        finite_difference_check(mna, x)
+
+    def test_smooth_switch_limits(self):
+        switch = SmoothSwitch(
+            "s1", "a", "0", "ctrl", "0", g_on=1e-2, g_off=1e-9, threshold=0.5, transition_width=0.01
+        )
+        mna, x_on = _probe_circuit(switch, {"a": 1.0, "ctrl": 1.0})
+        i_on = mna.f(x_on)[mna.node_index("a")]
+        assert i_on == pytest.approx(1e-2, rel=1e-3)
+        mna, x_off = _probe_circuit(switch, {"a": 1.0, "ctrl": 0.0})
+        i_off = mna.f(x_off)[mna.node_index("a")]
+        assert i_off == pytest.approx(1e-9, rel=1e-3)
+
+    def test_smooth_switch_jacobian(self):
+        switch = SmoothSwitch("s1", "a", "0", "ctrl", "0", transition_width=0.05)
+        mna, x = _probe_circuit(switch, {"a": 0.7, "ctrl": 0.02})
+        finite_difference_check(mna, x, rtol=1e-4)
+
+    def test_smooth_switch_validation(self):
+        with pytest.raises(DeviceError):
+            SmoothSwitch("s", "a", "0", "c", "0", g_on=1e-9, g_off=1e-2)
+
+    def test_polynomial_conductance_current(self):
+        device = PolynomialConductance("p1", "a", "0", [1e-3, 2e-3, 0.5e-3])
+        mna, x = _probe_circuit(device, {"a": 2.0})
+        expected = 1e-3 * 2 + 2e-3 * 4 + 0.5e-3 * 8
+        assert mna.f(x)[mna.node_index("a")] == pytest.approx(expected)
+
+    def test_polynomial_conductance_jacobian(self):
+        device = PolynomialConductance("p1", "a", "0", [1e-3, -2e-3, 0.5e-3])
+        mna, x = _probe_circuit(device, {"a": -1.3})
+        finite_difference_check(mna, x)
+
+    def test_polynomial_linear_is_not_nonlinear(self):
+        assert not PolynomialConductance("p", "a", "b", [1e-3]).is_nonlinear()
+        assert PolynomialConductance("p", "a", "b", [1e-3, 1e-3]).is_nonlinear()
+
+    def test_polynomial_requires_coefficients(self):
+        with pytest.raises(DeviceError):
+            PolynomialConductance("p", "a", "b", [])

@@ -1,0 +1,136 @@
+"""Unit tests for linear passive device stamps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.devices import Capacitor, Conductance, Inductor, Resistor, VoltageSource
+from repro.signals import DCStimulus
+from repro.utils import ConfigurationError, DeviceError
+
+
+def _single_device_system(device):
+    """Compile a tiny circuit: the device between node 'a' and ground, plus a driver."""
+    ckt = Circuit("probe")
+    ckt.add(VoltageSource("vdrive", "a", ckt.GROUND, DCStimulus(1.0)))
+    ckt.add(device)
+    return ckt.compile()
+
+
+class TestResistor:
+    def test_current_and_jacobian(self):
+        mna = _single_device_system(Resistor("r1", "a", "0", 100.0))
+        x = np.array([2.0, 0.0])  # v(a) = 2, branch current irrelevant here
+        f = mna.f(x)
+        assert f[0] == pytest.approx(2.0 / 100.0)
+        g = mna.conductance_matrix(x)
+        assert g[0, 0] == pytest.approx(1.0 / 100.0)
+
+    def test_between_two_nodes(self):
+        ckt = Circuit("two-node")
+        ckt.add(VoltageSource("v1", "a", ckt.GROUND, DCStimulus(1.0)))
+        ckt.add(VoltageSource("v2", "b", ckt.GROUND, DCStimulus(0.0)))
+        ckt.add(Resistor("r1", "a", "b", 50.0))
+        mna = ckt.compile()
+        ia, ib = mna.node_index("a"), mna.node_index("b")
+        x = np.zeros(mna.n_unknowns)
+        x[ia], x[ib] = 3.0, 1.0
+        f = mna.f(x)
+        assert f[ia] == pytest.approx((3.0 - 1.0) / 50.0)
+        assert f[ib] == pytest.approx(-(3.0 - 1.0) / 50.0)
+
+    def test_conductance_property(self):
+        assert Resistor("r", "a", "b", 4.0).conductance == pytest.approx(0.25)
+
+    def test_invalid_resistance(self):
+        with pytest.raises(ConfigurationError):
+            Resistor("r", "a", "b", 0.0)
+        with pytest.raises(ConfigurationError):
+            Resistor("r", "a", "b", -10.0)
+
+    def test_no_dynamics(self):
+        r = Resistor("r", "a", "b", 1.0)
+        assert not r.has_dynamics()
+        assert not r.is_nonlinear()
+
+
+class TestConductance:
+    def test_current(self):
+        mna = _single_device_system(Conductance("g1", "a", "0", 0.01))
+        x = np.array([2.0, 0.0])
+        assert mna.f(x)[0] == pytest.approx(0.02)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            Conductance("g", "a", "b", -1.0)
+
+
+class TestCapacitor:
+    def test_charge_and_capacitance(self):
+        mna = _single_device_system(Capacitor("c1", "a", "0", 1e-6))
+        x = np.array([3.0, 0.0])
+        q = mna.q(x)
+        assert q[0] == pytest.approx(3e-6)
+        c = mna.capacitance_matrix(x)
+        assert c[0, 0] == pytest.approx(1e-6)
+
+    def test_no_static_contribution(self):
+        mna = _single_device_system(Capacitor("c1", "a", "0", 1e-6))
+        x = np.array([3.0, 0.0])
+        assert mna.f(x)[0] == pytest.approx(0.0)
+
+    def test_has_dynamics(self):
+        assert Capacitor("c", "a", "b", 1e-9).has_dynamics()
+
+    def test_invalid_capacitance(self):
+        with pytest.raises(ConfigurationError):
+            Capacitor("c", "a", "b", 0.0)
+
+
+class TestInductor:
+    def test_adds_branch_unknown(self):
+        ind = Inductor("l1", "a", "0", 1e-3)
+        assert ind.n_branch_unknowns() == 1
+        assert ind.branch_labels() == ("i(l1)",)
+
+    def test_stamps(self):
+        mna = _single_device_system(Inductor("l1", "a", "0", 1e-3))
+        k = mna.branch_index("l1")
+        ia = mna.node_index("a")
+        x = np.zeros(mna.n_unknowns)
+        x[ia] = 2.0
+        x[k] = 0.5
+        f = mna.f(x)
+        # Branch current leaves node a.
+        assert f[ia] == pytest.approx(0.5)
+        # Branch equation static part: v_neg - v_pos = -2.0
+        assert f[k] == pytest.approx(-2.0)
+        # Flux q = L * i on the branch row.
+        q = mna.q(x)
+        assert q[k] == pytest.approx(1e-3 * 0.5)
+        c = mna.capacitance_matrix(x)
+        assert c[k, k] == pytest.approx(1e-3)
+
+    def test_invalid_inductance(self):
+        with pytest.raises(ConfigurationError):
+            Inductor("l", "a", "b", -1e-3)
+
+
+class TestDeviceBinding:
+    def test_unbound_device_raises_on_use(self):
+        r = Resistor("r1", "a", "b", 1.0)
+        with pytest.raises(DeviceError):
+            r.branch_voltage(np.zeros((1, 2)))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DeviceError):
+            Resistor("", "a", "b", 1.0)
+
+    def test_bind_validates_lengths(self):
+        r = Resistor("r1", "a", "b", 1.0)
+        with pytest.raises(DeviceError):
+            r.bind([0], [])
+        with pytest.raises(DeviceError):
+            r.bind([0, 1], [5])

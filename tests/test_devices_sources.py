@@ -1,0 +1,121 @@
+"""Unit tests for independent and controlled sources."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.devices import VCCS, VCVS, CurrentSource, Resistor, VoltageSource
+from repro.core import ShearedTimeScales
+from repro.signals import DCStimulus, SinusoidStimulus
+from repro.utils import DeviceError
+
+
+class TestVoltageSource:
+    def test_accepts_plain_number(self):
+        src = VoltageSource("v1", "a", "0", 5.0)
+        assert src.stimulus.value(0.0) == 5.0
+        assert not src.is_time_varying()
+
+    def test_rejects_garbage_stimulus(self):
+        with pytest.raises(DeviceError):
+            VoltageSource("v1", "a", "0", "5 volts")  # type: ignore[arg-type]
+
+    def test_branch_equation_enforces_voltage(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("v1", "a", ckt.GROUND, DCStimulus(2.0)))
+        ckt.add(Resistor("r1", "a", ckt.GROUND, 1.0))
+        mna = ckt.compile()
+        k = mna.branch_index("v1")
+        ia = mna.node_index("a")
+        x = np.zeros(mna.n_unknowns)
+        x[ia] = 2.0
+        residual = mna.f(x) + mna.source(0.0)
+        # Branch row: v(a) - V = 0 satisfied.
+        assert residual[k] == pytest.approx(0.0)
+        # Node row: resistor current 2 A must be balanced by the branch current.
+        assert residual[ia] == pytest.approx(2.0)  # branch current still zero in x
+
+    def test_source_vector_sign_convention(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("v1", "a", ckt.GROUND, DCStimulus(3.0)))
+        ckt.add(Resistor("r1", "a", ckt.GROUND, 1.0))
+        mna = ckt.compile()
+        b = mna.source(0.0)
+        assert b[mna.branch_index("v1")] == pytest.approx(-3.0)
+
+    def test_time_varying_source_vector(self):
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("v1", "a", ckt.GROUND, SinusoidStimulus(1.0, 1e3)))
+        ckt.add(Resistor("r1", "a", ckt.GROUND, 1.0))
+        mna = ckt.compile()
+        k = mna.branch_index("v1")
+        times = np.array([0.0, 0.25e-3, 0.5e-3])
+        b = mna.source(times)
+        np.testing.assert_allclose(b[:, k], [-1.0, 0.0, 1.0], atol=1e-9)
+
+    def test_bivariate_source_vector(self):
+        scales = ShearedTimeScales.from_frequencies(1e6, 1e6 - 10e3)
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("vlo", "a", ckt.GROUND, SinusoidStimulus(1.0, 1e6)))
+        ckt.add(Resistor("r1", "a", ckt.GROUND, 1.0))
+        mna = ckt.compile()
+        k = mna.branch_index("vlo")
+        b = mna.source_bivariate(0.0, 123.0e-6, scales)
+        # The LO lives on the fast axis only: value at t1=0 is the peak.
+        assert b[k] == pytest.approx(-1.0)
+
+
+class TestCurrentSource:
+    def test_dc_injection(self):
+        ckt = Circuit("t")
+        ckt.add(CurrentSource("i1", "a", ckt.GROUND, DCStimulus(2e-3)))
+        ckt.add(Resistor("r1", "a", ckt.GROUND, 1e3))
+        mna = ckt.compile()
+        b = mna.source(0.0)
+        assert b[mna.node_index("a")] == pytest.approx(2e-3)
+
+    def test_no_branch_unknown(self):
+        src = CurrentSource("i1", "a", "b", 1.0)
+        assert src.n_branch_unknowns() == 0
+
+    def test_dc_solution_with_current_source(self):
+        from repro.analysis import dc_operating_point
+
+        ckt = Circuit("t")
+        ckt.add(CurrentSource("i1", ckt.GROUND, "a", DCStimulus(1e-3)))
+        ckt.add(Resistor("r1", "a", ckt.GROUND, 1e3))
+        mna = ckt.compile()
+        solution = dc_operating_point(mna)
+        # 1 mA pushed into node a through 1 kOhm -> +1 V.
+        assert solution.voltage(mna, "a") == pytest.approx(1.0, rel=1e-6)
+
+
+class TestControlledSources:
+    def test_vccs_gain(self):
+        from repro.analysis import dc_operating_point
+
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("vc", "ctrl", ckt.GROUND, DCStimulus(0.5)))
+        ckt.add(VCCS("g1", ckt.GROUND, "out", "ctrl", ckt.GROUND, transconductance=2e-3))
+        ckt.add(Resistor("rl", "out", ckt.GROUND, 1e3))
+        mna = ckt.compile()
+        solution = dc_operating_point(mna)
+        # i = gm * v_ctrl = 1 mA flows from ground through the source into 'out'.
+        assert solution.voltage(mna, "out") == pytest.approx(1.0, rel=1e-6)
+
+    def test_vcvs_gain(self):
+        from repro.analysis import dc_operating_point
+
+        ckt = Circuit("t")
+        ckt.add(VoltageSource("vc", "ctrl", ckt.GROUND, DCStimulus(0.25)))
+        ckt.add(VCVS("e1", "out", ckt.GROUND, "ctrl", ckt.GROUND, gain=8.0))
+        ckt.add(Resistor("rl", "out", ckt.GROUND, 1e3))
+        mna = ckt.compile()
+        solution = dc_operating_point(mna)
+        assert solution.voltage(mna, "out") == pytest.approx(2.0, rel=1e-6)
+
+    def test_vcvs_has_branch_unknown(self):
+        assert VCVS("e1", "a", "b", "c", "d", 1.0).n_branch_unknowns() == 1
+        assert VCCS("g1", "a", "b", "c", "d", 1.0).n_branch_unknowns() == 0

@@ -1,0 +1,125 @@
+"""End-to-end integration tests on the paper's balanced LO-doubling mixer (Section 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import solve_mpde
+from repro.rf import balanced_lo_doubling_mixer, conversion_metrics, lo_feedthrough_ratio
+from repro.signals.spectrum import compute_spectrum, fourier_coefficient
+from repro.utils import MPDEOptions
+
+
+@pytest.fixture(scope="module")
+def bitstream_result():
+    """Bit-stream-driven balanced mixer at the paper's frequencies (reduced grid)."""
+    mix = balanced_lo_doubling_mixer()
+    result = solve_mpde(mix.compile(), mix.scales, MPDEOptions(n_fast=32, n_slow=24))
+    return mix, result
+
+
+@pytest.fixture(scope="module")
+def puretone_result():
+    """Pure-tone RF drive (for gain / distortion), reduced grid."""
+    mix = balanced_lo_doubling_mixer(use_bit_stream=False)
+    result = solve_mpde(mix.compile(), mix.scales, MPDEOptions(n_fast=32, n_slow=24))
+    return mix, result
+
+
+class TestBitStreamDownconversion:
+    def test_solver_converges_without_continuation_from_dc_guess(self, bitstream_result):
+        _, result = bitstream_result
+        assert result.stats.converged
+        # The paper reports 26 Newton iterations for its hardest run; our
+        # reduced-grid solve should be in the same ballpark or better.
+        assert result.stats.newton_iterations <= 40
+
+    def test_baseband_output_shows_bit_modulation(self, bitstream_result):
+        """The difference-frequency axis carries the bit-stream shape (Figs. 3-4)."""
+        mix, result = bitstream_result
+        envelope = result.baseband_envelope("outp", node_neg="outn")
+        # The modulated drive produces a baseband swing of at least tens of mV.
+        assert envelope.peak_to_peak() > 0.05
+        # The magnitude of the baseband signal differs strongly between the
+        # high-amplitude and low-amplitude bit intervals.
+        td = mix.difference_period
+        magnitude = np.abs(envelope.values - envelope.mean())
+        strong = magnitude[(envelope.times % td) < td / 4].max()
+        weak = magnitude[((envelope.times % td) >= td / 4) & ((envelope.times % td) < td / 2)].max()
+        assert strong > 2.0 * weak
+
+    def test_output_sits_within_supply_rails(self, bitstream_result):
+        _, result = bitstream_result
+        outp = result.bivariate("outp")
+        outn = result.bivariate("outn")
+        for surface in (outp, outn):
+            assert surface.values.min() > 0.0
+            assert surface.values.max() < 3.0
+
+    def test_doubler_node_carries_double_lo_frequency(self, bitstream_result):
+        """The tail (doubler) node waveform is dominated by the 2*LO component (Fig. 5)."""
+        mix, result = bitstream_result
+        tail = result.bivariate("tail")
+        fast_slice = tail.slice_fast(0.0)
+        spectrum = compute_spectrum(fast_slice, detrend=True)
+        f_lo = mix.lo_frequency
+        amp_lo = spectrum.amplitude_at(f_lo, tolerance=f_lo / 8)
+        amp_2lo = spectrum.amplitude_at(2 * f_lo, tolerance=f_lo / 8)
+        assert amp_2lo > amp_lo
+
+    def test_doubler_node_waveform_is_sharp(self, bitstream_result):
+        """The doubler produces non-sinusoidal, harmonic-rich waveforms."""
+        _, result = bitstream_result
+        tail = result.bivariate("tail")
+        fast_slice = tail.slice_fast(0.0)
+        spectrum = compute_spectrum(fast_slice, detrend=True)
+        fundamental = spectrum.dominant_frequency()
+        # Power above the dominant harmonic indicates sharp corners.
+        higher = spectrum.amplitudes[spectrum.frequencies > 1.5 * fundamental]
+        assert np.max(higher) > 0.05 * np.max(spectrum.amplitudes)
+
+    def test_differential_output_is_balanced(self, bitstream_result):
+        """Common-mode level is steady while the differential carries the signal."""
+        _, result = bitstream_result
+        outp = result.baseband_envelope("outp")
+        outn = result.baseband_envelope("outn")
+        common = 0.5 * (outp + outn)
+        differential = outp - outn
+        assert differential.peak_to_peak() > 0.3 * common.peak_to_peak()
+
+
+class TestPureToneMetrics:
+    def test_conversion_gain_and_distortion(self, puretone_result):
+        """Down-conversion gain and distortion figures from pure-tone drive (Section 3)."""
+        mix, result = puretone_result
+        metrics = conversion_metrics(result, "outp", "outn", mix.rf_amplitude)
+        # A balanced active mixer with resistive loads: gain of order unity.
+        assert 0.1 < metrics.gain < 50.0
+        assert np.isfinite(metrics.gain_db)
+        # The baseband tone should dominate its own harmonics.
+        assert metrics.distortion < 1.0
+
+    def test_baseband_tone_is_at_difference_frequency(self, puretone_result):
+        mix, result = puretone_result
+        envelope = result.baseband_envelope("outp", node_neg="outn")
+        spectrum = compute_spectrum(envelope, detrend=True)
+        assert spectrum.dominant_frequency() == pytest.approx(
+            mix.difference_frequency, rel=0.01
+        )
+
+    def test_gain_scales_linearly_with_rf_amplitude(self):
+        """In the small-signal regime the conversion gain is amplitude-independent."""
+        gains = []
+        for amplitude in (0.05, 0.1):
+            mix = balanced_lo_doubling_mixer(rf_amplitude=amplitude, use_bit_stream=False)
+            result = solve_mpde(mix.compile(), mix.scales, MPDEOptions(n_fast=24, n_slow=20))
+            metrics = conversion_metrics(result, "outp", "outn", amplitude)
+            gains.append(metrics.gain)
+        assert gains[0] == pytest.approx(gains[1], rel=0.2)
+
+    def test_lo_feedthrough_is_finite(self, puretone_result):
+        _, result = puretone_result
+        ratio = lo_feedthrough_ratio(result, "outp", "outn")
+        assert np.isfinite(ratio)
+        assert ratio >= 0.0

@@ -1,0 +1,91 @@
+"""Unit tests for the continuation (homotopy) driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg import continuation_solve
+from repro.utils import ContinuationOptions, ConvergenceError, NewtonOptions
+
+
+def _embedded_exponential(v, lam):
+    """F(x; lam) = x + lam * (exp(4 x) - 10).
+
+    At lam = 0 the solution is x = 0; at lam = 1 it is the root of
+    x + exp(4x) = 10 (~0.57), hard for plain Newton from 0 with a full step.
+    """
+    x = v[0]
+    return np.array([x + lam * (np.exp(4.0 * x) - 10.0)])
+
+
+def _embedded_exponential_jac(v, lam):
+    x = v[0]
+    return np.array([[1.0 + lam * 4.0 * np.exp(4.0 * x)]])
+
+
+class TestContinuationSolve:
+    def test_reaches_target_problem(self):
+        result = continuation_solve(
+            _embedded_exponential,
+            _embedded_exponential_jac,
+            np.array([0.0]),
+        )
+        # Verify the returned point solves the lam=1 problem.
+        res = _embedded_exponential(result.x, 1.0)
+        assert abs(res[0]) < 1e-7
+        assert result.lambdas[-1] == pytest.approx(1.0)
+        assert result.steps >= 1
+
+    def test_lambda_path_is_monotone(self):
+        result = continuation_solve(
+            _embedded_exponential, _embedded_exponential_jac, np.array([0.0])
+        )
+        lams = np.asarray(result.lambdas)
+        assert np.all(np.diff(lams) > 0)
+
+    def test_linear_problem_takes_few_steps(self):
+        result = continuation_solve(
+            lambda v, lam: np.array([v[0] - lam * 3.0]),
+            lambda v, lam: np.eye(1),
+            np.array([0.0]),
+        )
+        np.testing.assert_allclose(result.x, [3.0], rtol=1e-9)
+
+    def test_counts_newton_iterations(self):
+        result = continuation_solve(
+            _embedded_exponential, _embedded_exponential_jac, np.array([0.0])
+        )
+        assert result.newton_iterations > 0
+
+    def test_unreachable_problem_raises(self):
+        """x^2 + lam = 0 has no real solution for lam > 0: continuation must fail."""
+        with pytest.raises(ConvergenceError):
+            continuation_solve(
+                lambda v, lam: np.array([v[0] ** 2 + lam]),
+                lambda v, lam: np.array([[2.0 * v[0] + 1e-6]]),
+                np.array([0.0]),
+                NewtonOptions(max_iterations=15),
+                ContinuationOptions(max_steps=30),
+            )
+
+    def test_initial_problem_failure_raises(self):
+        """If even the lambda_start problem cannot be solved, raise immediately."""
+        with pytest.raises(ConvergenceError, match="initial problem"):
+            continuation_solve(
+                lambda v, lam: np.array([v[0] ** 2 + 1.0]),  # no root at lam=0 either
+                lambda v, lam: np.array([[2.0 * v[0] + 1e-6]]),
+                np.array([0.0]),
+                NewtonOptions(max_iterations=10),
+            )
+
+    def test_respects_max_steps(self):
+        with pytest.raises(ConvergenceError):
+            continuation_solve(
+                _embedded_exponential,
+                _embedded_exponential_jac,
+                np.array([0.0]),
+                continuation_options=ContinuationOptions(
+                    initial_step=1e-4, max_step=1e-4, max_steps=5
+                ),
+            )

@@ -1,0 +1,68 @@
+"""Unit tests for the GMRES / ILU helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg import gmres_solve, make_ilu_preconditioner
+from repro.utils import SingularMatrixError
+
+
+def _laplacian(n: int) -> sp.csr_matrix:
+    main = 2.0 * np.ones(n)
+    off = -1.0 * np.ones(n - 1)
+    return sp.diags([off, main, off], offsets=[-1, 0, 1]).tocsr()
+
+
+class TestGMRES:
+    def test_solves_spd_system(self):
+        a = _laplacian(50)
+        rng = np.random.default_rng(1)
+        x_true = rng.normal(size=50)
+        b = a @ x_true
+        x, report = gmres_solve(a, b, tol=1e-12)
+        np.testing.assert_allclose(x, x_true, rtol=1e-6, atol=1e-8)
+        assert report.converged
+        assert report.iterations > 0
+
+    def test_preconditioner_reduces_iterations(self):
+        a = _laplacian(200)
+        b = np.ones(200)
+        _, plain = gmres_solve(a, b, preconditioner=None, tol=1e-10)
+        ilu = make_ilu_preconditioner(a)
+        _, preconditioned = gmres_solve(a, b, preconditioner=ilu, tol=1e-10)
+        assert preconditioned.iterations <= plain.iterations
+
+    def test_non_convergence_raises(self):
+        # A badly conditioned system with a tiny iteration budget.
+        a = _laplacian(300)
+        b = np.ones(300)
+        with pytest.raises(SingularMatrixError):
+            gmres_solve(a, b, preconditioner=None, tol=1e-14, restart=2, maxiter=1)
+
+    def test_non_convergence_can_be_tolerated(self):
+        a = _laplacian(300)
+        b = np.ones(300)
+        x, report = gmres_solve(
+            a, b, preconditioner=None, tol=1e-14, restart=2, maxiter=1, raise_on_failure=False
+        )
+        assert not report.converged
+        assert x.shape == (300,)
+
+
+class TestILUPreconditioner:
+    def test_acts_as_approximate_inverse(self):
+        a = _laplacian(40)
+        ilu = make_ilu_preconditioner(a, drop_tol=0.0)
+        rng = np.random.default_rng(2)
+        v = rng.normal(size=40)
+        # With drop_tol=0 the ILU is an exact LU, so M(A v) ~= v.
+        np.testing.assert_allclose(ilu.matvec(a @ v), v, rtol=1e-8, atol=1e-10)
+
+    def test_falls_back_to_jacobi_for_singular_matrix(self):
+        singular = sp.csr_matrix(np.diag([1.0, 0.0, 2.0]))
+        precond = make_ilu_preconditioner(singular)
+        out = precond.matvec(np.ones(3))
+        assert np.all(np.isfinite(out))

@@ -1,0 +1,150 @@
+"""Unit tests for the damped Newton solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.linalg import newton_solve, solve_linear_system
+from repro.utils import ConvergenceError, NewtonOptions, SingularMatrixError
+
+
+class TestSolveLinearSystem:
+    def test_dense(self):
+        a = np.array([[2.0, 0.0], [0.0, 4.0]])
+        x = solve_linear_system(a, np.array([2.0, 8.0]))
+        np.testing.assert_allclose(x, [1.0, 2.0])
+
+    def test_sparse(self):
+        a = sp.diags([1.0, 2.0, 4.0]).tocsr()
+        x = solve_linear_system(a, np.array([1.0, 2.0, 4.0]))
+        np.testing.assert_allclose(x, [1.0, 1.0, 1.0])
+
+    def test_linear_operator_uses_gmres(self):
+        mat = np.diag([1.0, 2.0, 3.0])
+        op = spla.LinearOperator((3, 3), matvec=lambda v: mat @ v)
+        x = solve_linear_system(op, np.array([1.0, 4.0, 9.0]))
+        np.testing.assert_allclose(x, [1.0, 2.0, 3.0], rtol=1e-6)
+
+    def test_singular_dense_raises(self):
+        with pytest.raises(SingularMatrixError):
+            solve_linear_system(np.zeros((2, 2)), np.ones(2))
+
+    def test_singular_sparse_raises(self):
+        singular = sp.csr_matrix((2, 2))
+        with pytest.raises(SingularMatrixError):
+            solve_linear_system(singular, np.ones(2))
+
+
+class TestNewtonScalarProblems:
+    def test_linear_problem_converges_quickly(self):
+        result = newton_solve(
+            lambda x: 3.0 * x - 6.0, lambda x: np.array([[3.0]]), np.array([0.0])
+        )
+        assert result.converged
+        # One productive step plus (at most) one confirming step.
+        assert result.iterations <= 2
+        np.testing.assert_allclose(result.x, [2.0])
+
+    def test_sqrt_two(self):
+        result = newton_solve(
+            lambda x: x**2 - 2.0,
+            lambda x: np.array([[2.0 * x[0]]]),
+            np.array([1.0]),
+        )
+        assert result.converged
+        np.testing.assert_allclose(result.x, [np.sqrt(2.0)], rtol=1e-10)
+
+    def test_quadratic_convergence_rate(self):
+        """Residual history should shrink super-linearly near the root."""
+        result = newton_solve(
+            lambda x: x**3 - 8.0,
+            lambda x: np.array([[3.0 * x[0] ** 2]]),
+            np.array([3.0]),
+            NewtonOptions(abstol=1e-14),
+        )
+        history = result.residual_history
+        # After the first couple of steps the residual should collapse fast.
+        assert history[-1] < 1e-12
+        assert len(history) < 10
+
+    def test_exponential_needs_damping(self):
+        """exp(x) - 1e6 = 0 from x0=0 overflows without step limiting/damping."""
+        result = newton_solve(
+            lambda x: np.exp(x) - 1e6,
+            lambda x: np.array([[np.exp(x[0])]]),
+            np.array([0.0]),
+            NewtonOptions(max_iterations=200, max_step_norm=5.0),
+        )
+        assert result.converged
+        np.testing.assert_allclose(result.x, [np.log(1e6)], rtol=1e-8)
+
+    def test_already_converged_initial_guess(self):
+        result = newton_solve(
+            lambda x: x - 1.0, lambda x: np.eye(1), np.array([1.0])
+        )
+        assert result.converged
+        assert result.iterations == 0
+
+
+class TestNewtonVectorProblems:
+    def test_2d_nonlinear_system(self):
+        def residual(v):
+            x, y = v
+            return np.array([x**2 + y**2 - 4.0, x - y])
+
+        def jacobian(v):
+            x, y = v
+            return np.array([[2 * x, 2 * y], [1.0, -1.0]])
+
+        result = newton_solve(residual, jacobian, np.array([1.0, 0.5]))
+        assert result.converged
+        np.testing.assert_allclose(result.x, [np.sqrt(2.0), np.sqrt(2.0)], rtol=1e-9)
+
+    def test_sparse_jacobian(self):
+        def residual(v):
+            return v**2 - np.arange(1.0, 6.0)
+
+        def jacobian(v):
+            return sp.diags(2.0 * v).tocsr()
+
+        result = newton_solve(residual, jacobian, np.ones(5))
+        assert result.converged
+        np.testing.assert_allclose(result.x, np.sqrt(np.arange(1.0, 6.0)), rtol=1e-9)
+
+    def test_callback_is_invoked(self):
+        calls = []
+        newton_solve(
+            lambda x: x - 3.0,
+            lambda x: np.eye(1),
+            np.array([0.0]),
+            callback=lambda it, x, r: calls.append((it, float(x[0]), r)),
+        )
+        assert len(calls) >= 1
+        assert calls[0][0] == 1
+
+
+class TestNewtonFailures:
+    def test_exhausted_iterations_raise(self):
+        with pytest.raises(ConvergenceError) as excinfo:
+            newton_solve(
+                lambda x: np.array([np.cos(x[0]) + 2.0]),  # no root exists
+                lambda x: np.array([[-np.sin(x[0])]]),
+                np.array([0.5]),
+                NewtonOptions(max_iterations=10),
+            )
+        assert excinfo.value.iterations == 10
+
+    def test_raise_on_failure_false_returns_best_iterate(self):
+        result = newton_solve(
+            lambda x: np.array([np.cos(x[0]) + 2.0]),
+            lambda x: np.array([[-np.sin(x[0])]]),
+            np.array([0.5]),
+            NewtonOptions(max_iterations=5),
+            raise_on_failure=False,
+        )
+        assert not result.converged
+        assert result.iterations == 5
+        assert np.isfinite(result.residual_norm)

@@ -1,0 +1,295 @@
+"""Property-based tests (hypothesis) for the core invariants of the library.
+
+The single most important invariant of the paper's construction is the
+diagonal property ``b(t) == b_hat(t, t)`` — it is what guarantees that the
+multi-time solution solves the original circuit equations.  These tests
+exercise it (and a handful of other structural invariants) over randomly
+drawn parameters rather than hand-picked examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.circuits.devices import Diode, DiodeParams, MOSFETParams, NMOS, VoltageSource
+from repro.core import ShearedTimeScales
+from repro.linalg import (
+    periodic_backward_difference,
+    periodic_bdf2_difference,
+    periodic_central_difference,
+)
+from repro.signals import (
+    BitStreamEnvelope,
+    BivariateWaveform,
+    DCStimulus,
+    ModulatedCarrierStimulus,
+    SinusoidStimulus,
+    SumStimulus,
+    Waveform,
+    prbs_bits,
+)
+
+# Shared strategies -----------------------------------------------------------
+
+frequencies = st.floats(min_value=1e5, max_value=1e10, allow_nan=False, allow_infinity=False)
+ratios = st.floats(min_value=1e-4, max_value=0.04)
+amplitudes = st.floats(min_value=0.01, max_value=10.0)
+phases = st.floats(min_value=-np.pi, max_value=np.pi)
+lo_multiples = st.integers(min_value=1, max_value=3)
+
+
+def _scales(f1: float, ratio: float, k: int, above: bool) -> ShearedTimeScales:
+    fd = ratio * f1
+    f2 = k * f1 + fd if above else k * f1 - fd
+    return ShearedTimeScales.from_frequencies(f1, f2, lo_multiple=k)
+
+
+class TestDiagonalProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        f1=frequencies,
+        ratio=ratios,
+        k=lo_multiples,
+        above=st.booleans(),
+        amplitude=amplitudes,
+        phase=phases,
+    )
+    def test_modulated_carrier(self, f1, ratio, k, above, amplitude, phase):
+        scales = _scales(f1, ratio, k, above)
+        stim = ModulatedCarrierStimulus(amplitude, scales.carrier_frequency, phase=phase)
+        t = np.linspace(0.0, 3.0 / f1, 64)
+        np.testing.assert_allclose(
+            stim.bivariate_value(t, t, scales), stim.value(t), rtol=1e-9, atol=1e-9 * amplitude
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        f1=frequencies,
+        ratio=ratios,
+        k=lo_multiples,
+        amplitude=amplitudes,
+        phase=phases,
+        harmonic=st.integers(min_value=1, max_value=4),
+    )
+    def test_lo_harmonics(self, f1, ratio, k, amplitude, phase, harmonic):
+        scales = _scales(f1, ratio, k, False)
+        stim = SinusoidStimulus(amplitude, harmonic * f1, phase=phase)
+        t = np.linspace(0.0, 2.5 / f1, 48)
+        np.testing.assert_allclose(
+            stim.bivariate_value(t, t, scales), stim.value(t), rtol=1e-9, atol=1e-9 * amplitude
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        f1=frequencies,
+        ratio=ratios,
+        amplitude=amplitudes,
+        bias=st.floats(min_value=-5.0, max_value=5.0),
+        n_bits=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=1, max_value=2**20),
+    )
+    def test_bit_stream_modulated_sum(self, f1, ratio, amplitude, bias, n_bits, seed):
+        scales = _scales(f1, ratio, 1, False)
+        envelope = BitStreamEnvelope(
+            prbs_bits(7, n_bits, seed=seed),
+            bit_period=scales.difference_period / n_bits,
+            rise_fraction=0.05,
+        )
+        stim = SumStimulus(
+            (
+                DCStimulus(bias),
+                ModulatedCarrierStimulus(amplitude, scales.carrier_frequency, envelope=envelope),
+            )
+        )
+        t = np.linspace(0.0, scales.difference_period, 80)
+        np.testing.assert_allclose(
+            stim.bivariate_value(t, t, scales),
+            stim.value(t),
+            rtol=1e-9,
+            atol=1e-9 * (abs(bias) + amplitude),
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(f1=frequencies, ratio=ratios, k=lo_multiples, above=st.booleans())
+    def test_carrier_phase_identity(self, f1, ratio, k, above):
+        """carrier_phase(t, t) * 2*pi is the physical carrier phase (Eq. 11/13)."""
+        scales = _scales(f1, ratio, k, above)
+        t = np.linspace(0.0, 5.0 / f1, 50)
+        np.testing.assert_allclose(
+            scales.carrier_phase(t, t),
+            scales.carrier_frequency * t,
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+
+class TestPeriodicOperators:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=96),
+        period=st.floats(min_value=1e-9, max_value=1e3),
+        builder_index=st.integers(min_value=0, max_value=2),
+    )
+    def test_derivative_of_constant_vanishes(self, n, period, builder_index):
+        builder = [
+            periodic_backward_difference,
+            periodic_bdf2_difference,
+            periodic_central_difference,
+        ][builder_index]
+        matrix = builder(n, period)
+        result = np.asarray(matrix @ np.full(n, 3.7)).ravel()
+        np.testing.assert_allclose(result, 0.0, atol=1e-6 / period)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=8, max_value=64),
+        period=st.floats(min_value=1e-6, max_value=1e3),
+    )
+    def test_periodic_derivative_has_zero_mean(self, n, period):
+        """The mean of the derivative of any periodic sample vector is zero (telescoping)."""
+        rng = np.random.default_rng(7)
+        samples = rng.normal(size=n)
+        for builder in (periodic_backward_difference, periodic_bdf2_difference):
+            derivative = np.asarray(builder(n, period) @ samples).ravel()
+            assert abs(np.mean(derivative)) < 1e-6 * np.max(np.abs(derivative) + 1e-30)
+
+
+class TestBivariateWaveformProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n1=st.integers(min_value=4, max_value=24),
+        n2=st.integers(min_value=4, max_value=24),
+        shift1=st.integers(min_value=-3, max_value=3),
+        shift2=st.integers(min_value=-3, max_value=3),
+        u=st.floats(min_value=0.0, max_value=0.999),
+        v=st.floats(min_value=0.0, max_value=0.999),
+    )
+    def test_interpolation_is_periodic(self, n1, n2, shift1, shift2, u, v):
+        rng = np.random.default_rng(n1 * 100 + n2)
+        surface = BivariateWaveform(rng.normal(size=(n1, n2)), 1e-9, 1e-4)
+        t1 = u * surface.period1
+        t2 = v * surface.period2
+        base = surface(t1, t2)
+        shifted = surface(t1 + shift1 * surface.period1, t2 + shift2 * surface.period2)
+        assert shifted == pytest.approx(base, rel=1e-9, abs=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n1=st.integers(min_value=4, max_value=16),
+        n2=st.integers(min_value=4, max_value=16),
+        offset=st.floats(min_value=-10, max_value=10),
+    )
+    def test_envelope_mean_shifts_with_offset(self, n1, n2, offset):
+        rng = np.random.default_rng(n1 * 31 + n2)
+        values = rng.normal(size=(n1, n2))
+        base = BivariateWaveform(values, 1.0, 2.0).envelope_mean()
+        shifted = BivariateWaveform(values + offset, 1.0, 2.0).envelope_mean()
+        np.testing.assert_allclose(shifted.values, base.values + offset, atol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n1=st.integers(min_value=4, max_value=16),
+        n2=st.integers(min_value=4, max_value=16),
+    )
+    def test_envelope_ordering(self, n1, n2):
+        rng = np.random.default_rng(n1 * 7 + n2)
+        surface = BivariateWaveform(rng.normal(size=(n1, n2)), 1.0, 2.0)
+        lower = surface.envelope_min().values
+        mean = surface.envelope_mean().values
+        upper = surface.envelope_max().values
+        assert np.all(lower <= mean + 1e-12)
+        assert np.all(mean <= upper + 1e-12)
+
+
+class TestDeviceJacobians:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        vd=st.floats(min_value=-3.0, max_value=0.78),
+        isat=st.floats(min_value=1e-16, max_value=1e-10),
+        cj0=st.floats(min_value=0.0, max_value=1e-11),
+    )
+    def test_diode_conductance_matches_finite_difference(self, vd, isat, cj0):
+        ckt = Circuit("probe")
+        ckt.add(VoltageSource("v1", "a", ckt.GROUND, DCStimulus(vd)))
+        ckt.add(Diode("d1", "a", ckt.GROUND, DiodeParams(saturation_current=isat, junction_capacitance=cj0)))
+        mna = ckt.compile()
+        x = np.array([vd, 0.0])
+        idx = mna.node_index("a")
+        h = 1e-7
+        xp, xm = x.copy(), x.copy()
+        xp[idx] += h
+        xm[idx] -= h
+        fd = (mna.f(xp)[idx] - mna.f(xm)[idx]) / (2 * h)
+        analytic = mna.conductance_matrix(x)[idx, idx]
+        assert analytic == pytest.approx(fd, rel=1e-4, abs=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        vg=st.floats(min_value=0.0, max_value=3.0),
+        vd=st.floats(min_value=-1.0, max_value=3.0),
+        vs=st.floats(min_value=0.0, max_value=1.0),
+        vto=st.floats(min_value=0.3, max_value=1.0),
+    )
+    def test_mosfet_current_is_continuous_and_jacobian_consistent(self, vg, vd, vs, vto):
+        params = MOSFETParams(vto=vto, kp=150e-6, w=20e-6, l=1e-6, lambda_=0.03)
+        ckt = Circuit("probe")
+        ckt.add(VoltageSource("vgate", "g", ckt.GROUND, DCStimulus(vg)))
+        ckt.add(VoltageSource("vdrain", "d", ckt.GROUND, DCStimulus(vd)))
+        ckt.add(VoltageSource("vsource", "s", ckt.GROUND, DCStimulus(vs)))
+        ckt.add(NMOS("m1", "d", "g", "s", params=params))
+        mna = ckt.compile()
+        x = np.zeros(mna.n_unknowns)
+        x[mna.node_index("g")] = vg
+        x[mna.node_index("d")] = vd
+        x[mna.node_index("s")] = vs
+        d_idx = mna.node_index("d")
+        # Finite-difference check of d(Id)/d(vd); skip points too close to a
+        # region boundary where the one-sided derivative genuinely jumps.
+        h = 1e-6
+        vgst = vg - vs - vto
+        if abs((vd - vs) - vgst) < 1e-4 or abs(vd - vs) < 1e-4 or abs(vgst) < 1e-4:
+            return
+        xp, xm = x.copy(), x.copy()
+        xp[d_idx] += h
+        xm[d_idx] -= h
+        fd = (mna.f(xp)[d_idx] - mna.f(xm)[d_idx]) / (2 * h)
+        analytic = mna.conductance_matrix(x)[d_idx, d_idx]
+        assert analytic == pytest.approx(fd, rel=1e-3, abs=1e-9)
+
+
+class TestPRBSProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=1, max_value=2**20))
+    def test_prbs7_balance_and_period(self, seed):
+        bits = prbs_bits(7, 254, seed=seed)
+        assert bits[:127].sum() == 64  # maximal-length property
+        np.testing.assert_array_equal(bits[:127], bits[127:254])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_bits=st.integers(min_value=1, max_value=16),
+        bit_period=st.floats(min_value=1e-9, max_value=1e-3),
+        seed=st.integers(min_value=1, max_value=2**16),
+    )
+    def test_bit_envelope_periodicity(self, n_bits, bit_period, seed):
+        env = BitStreamEnvelope(prbs_bits(9, n_bits, seed=seed), bit_period, rise_fraction=0.1)
+        t = np.linspace(0.0, env.period, 37, endpoint=False)
+        np.testing.assert_allclose(env(t), env(t + 2 * env.period), atol=1e-9)
+
+
+class TestWaveformProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        scale=st.floats(min_value=0.01, max_value=100.0),
+        offset=st.floats(min_value=-10.0, max_value=10.0),
+    )
+    def test_mean_and_rms_transformations(self, scale, offset):
+        t = np.linspace(0.0, 1.0, 257)
+        base = Waveform(t, np.sin(2 * np.pi * 5 * t))
+        shifted = base * scale + offset
+        assert shifted.mean() == pytest.approx(offset + scale * base.mean(), abs=1e-9)
+        assert shifted.peak_to_peak() == pytest.approx(scale * base.peak_to_peak(), rel=1e-9)

@@ -1,0 +1,104 @@
+"""Tests for the ideal-mixing example of Section 2 (Figures 1 and 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rf import (
+    difference_tone_amplitude,
+    ideal_product_waveform,
+    scaled_bivariate_product,
+    zhat_sheared,
+    zhat_unsheared,
+)
+from repro.signals import TonePair
+from repro.signals.spectrum import fourier_coefficient
+from repro.utils import ConfigurationError
+
+
+@pytest.fixture
+def paper_pair():
+    return TonePair.paper_ideal_mixing()  # 1 GHz and 1 GHz - 10 kHz
+
+
+class TestScaledProduct:
+    def test_unit_periodicity(self):
+        u = np.linspace(0, 1, 13)
+        np.testing.assert_allclose(
+            scaled_bivariate_product(u, 0.3), scaled_bivariate_product(u + 1.0, 0.3), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            scaled_bivariate_product(0.2, u), scaled_bivariate_product(0.2, u - 2.0), atol=1e-12
+        )
+
+    def test_values(self):
+        assert scaled_bivariate_product(0.0, 0.0) == pytest.approx(1.0)
+        assert scaled_bivariate_product(0.5, 0.0) == pytest.approx(-1.0)
+
+
+class TestZhatSurfaces:
+    def test_unsheared_axes_are_both_nanosecond_scale(self, paper_pair):
+        surf = zhat_unsheared(paper_pair)
+        assert surf.period1 == pytest.approx(1e-9)
+        assert surf.period2 == pytest.approx(1.0 / (1e9 - 10e3))
+        # Both axes look essentially identical (Fig. 1): no slow variation.
+        assert surf.period2 / surf.period1 == pytest.approx(1.0, rel=1e-4)
+
+    def test_sheared_slow_axis_is_difference_period(self, paper_pair):
+        surf = zhat_sheared(paper_pair)
+        assert surf.period1 == pytest.approx(1e-9)
+        assert surf.period2 == pytest.approx(0.1e-3)  # 0.1 ms, the span of Fig. 2
+
+    def test_sheared_surface_exposes_difference_tone(self, paper_pair):
+        """The LO-cycle average of z_hat2 along t2 is the 10 kHz difference tone."""
+        surf = zhat_sheared(paper_pair, n_fast=64, n_slow=64)
+        envelope = surf.envelope_mean()
+        fd = paper_pair.difference_frequency
+        amplitude = 2 * abs(fourier_coefficient(envelope, fd))
+        assert amplitude == pytest.approx(difference_tone_amplitude(paper_pair), rel=1e-3)
+
+    def test_unsheared_surface_hides_difference_tone(self, paper_pair):
+        """Averaging z_hat1 over its first axis leaves no baseband signal at all."""
+        surf = zhat_unsheared(paper_pair, n_fast=64, n_slow=64)
+        envelope = surf.envelope_mean()
+        assert envelope.peak_to_peak() < 1e-9
+
+    def test_both_representations_satisfy_the_diagonal_property(self, paper_pair):
+        times = np.linspace(0.0, 3e-9, 200)
+        exact = ideal_product_waveform(paper_pair, times)
+        for surf in (zhat_unsheared(paper_pair, 256, 256), zhat_sheared(paper_pair, 256, 256)):
+            diag = surf.diagonal(times)
+            np.testing.assert_allclose(diag.values, exact.values, atol=2e-3)
+
+    def test_amplitudes_scale_with_tone_amplitudes(self):
+        pair = TonePair.from_frequencies(1e9, 1e9 - 10e3, lo_amplitude=2.0, rf_amplitude=3.0)
+        surf = zhat_sheared(pair, 32, 32)
+        assert np.max(np.abs(surf.values)) == pytest.approx(6.0, rel=1e-6)
+        assert difference_tone_amplitude(pair) == pytest.approx(3.0)
+
+    def test_lo_doubling_shear(self):
+        """For the balanced-mixer tones the sheared product exposes the 15 kHz tone."""
+        pair = TonePair.paper_balanced_mixer()
+        surf = zhat_sheared(pair, n_fast=64, n_slow=64)
+        envelope = surf.envelope_mean()
+        amplitude = 2 * abs(fourier_coefficient(envelope, 15e3))
+        assert amplitude == pytest.approx(0.5, rel=1e-3)
+
+    def test_grid_size_validation(self, paper_pair):
+        with pytest.raises(ConfigurationError):
+            zhat_sheared(paper_pair, n_fast=1)
+        with pytest.raises(ConfigurationError):
+            zhat_unsheared(paper_pair, n_slow=1)
+
+
+class TestIdealProductWaveform:
+    def test_against_trigonometric_identity(self, paper_pair):
+        """cos(a)cos(b) = [cos(a-b) + cos(a+b)] / 2."""
+        times = np.linspace(0.0, 2e-9, 500)
+        product = ideal_product_waveform(paper_pair, times)
+        f1, f2 = paper_pair.f1, paper_pair.f2
+        identity = 0.5 * (
+            np.cos(2 * np.pi * (f1 - f2) * times) + np.cos(2 * np.pi * (f1 + f2) * times)
+        )
+        np.testing.assert_allclose(product.values, identity, atol=1e-12)

@@ -1,0 +1,99 @@
+"""Tests for the RF metric helpers (on synthetic waveforms with known answers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rf.metrics import (
+    adjacent_channel_power_ratio,
+    baseband_distortion,
+    conversion_gain,
+    eye_opening,
+)
+from repro.signals import Waveform
+from repro.utils import AnalysisError, ConfigurationError
+
+
+def _baseband(fd=15e3, amplitude=0.2, offset=1.0, harmonics=(), n=4000):
+    td = 1 / fd
+    t = np.linspace(0, td, n)
+    v = offset + amplitude * np.cos(2 * np.pi * fd * t)
+    for k, a in harmonics:
+        v = v + a * np.cos(2 * np.pi * k * fd * t)
+    return Waveform(t, v)
+
+
+class TestConversionGain:
+    def test_known_gain(self):
+        env = _baseband(amplitude=0.25)
+        assert conversion_gain(env, 15e3, rf_amplitude=0.1) == pytest.approx(2.5, rel=1e-3)
+
+    def test_validation(self):
+        env = _baseband()
+        with pytest.raises(ConfigurationError):
+            conversion_gain(env, -1.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            conversion_gain(env, 15e3, 0.0)
+
+
+class TestBasebandDistortion:
+    def test_pure_tone_has_low_distortion(self):
+        assert baseband_distortion(_baseband(), 15e3) < 1e-3
+
+    def test_known_second_harmonic(self):
+        env = _baseband(amplitude=0.2, harmonics=[(2, 0.02)])
+        assert baseband_distortion(env, 15e3) == pytest.approx(0.1, rel=2e-2)
+
+
+class TestEyeOpening:
+    def _bit_envelope(self, levels, bit_period=1e-3, samples_per_bit=200, noise=0.0, rng=None):
+        values = []
+        for level in levels:
+            values.extend([level] * samples_per_bit)
+        values = np.asarray(values, dtype=float)
+        if noise and rng is not None:
+            values = values + rng.normal(scale=noise, size=values.size)
+        t = np.linspace(0, bit_period * len(levels), values.size)
+        return Waveform(t, values)
+
+    def test_clean_bits_have_open_eye(self):
+        env = self._bit_envelope([1.0, 0.0, 1.0, 1.0, 0.0])
+        assert eye_opening(env, 1e-3) == pytest.approx(1.0, abs=1e-6)
+
+    def test_noisy_bits_reduce_opening(self, rng):
+        clean = self._bit_envelope([1.0, 0.0, 1.0, 0.0] * 4)
+        noisy = self._bit_envelope([1.0, 0.0, 1.0, 0.0] * 4, noise=0.2, rng=rng)
+        assert eye_opening(noisy, 1e-3) < eye_opening(clean, 1e-3)
+
+    def test_constant_envelope_has_no_eye(self):
+        env = self._bit_envelope([1.0, 1.0, 1.0, 1.0])
+        assert eye_opening(env, 1e-3) == 0.0
+
+    def test_needs_at_least_two_bits(self):
+        env = self._bit_envelope([1.0])
+        with pytest.raises(AnalysisError):
+            eye_opening(env, 1e-3)
+
+
+class TestACPR:
+    def test_single_channel_signal_has_low_adjacent_power(self):
+        env = _baseband(fd=10e3, amplitude=0.3, offset=0.0)
+        ratio = adjacent_channel_power_ratio(
+            env, channel_frequency=10e3, channel_bandwidth=4e3, adjacent_offset=30e3
+        )
+        assert ratio < 1e-4
+
+    def test_interferer_raises_adjacent_power(self):
+        env = _baseband(fd=10e3, amplitude=0.3, offset=0.0, harmonics=[(4, 0.3)])
+        ratio = adjacent_channel_power_ratio(
+            env, channel_frequency=10e3, channel_bandwidth=4e3, adjacent_offset=30e3
+        )
+        assert ratio == pytest.approx(1.0, rel=0.2)
+
+    def test_empty_wanted_channel_raises(self):
+        env = _baseband(fd=10e3, amplitude=0.0, offset=0.0)
+        with pytest.raises(AnalysisError):
+            adjacent_channel_power_ratio(
+                env, channel_frequency=10e3, channel_bandwidth=4e3, adjacent_offset=30e3
+            )

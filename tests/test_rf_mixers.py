@@ -1,0 +1,160 @@
+"""Tests for the mixer circuit builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import dc_operating_point
+from repro.circuits.devices import MOSFETParams
+from repro.rf import (
+    balanced_lo_doubling_mixer,
+    default_bit_envelope,
+    ideal_multiplier_mixer,
+    unbalanced_switching_mixer,
+)
+from repro.signals import BitStreamEnvelope, ConstantEnvelope
+from repro.utils import ConfigurationError
+
+
+class TestDefaultBitEnvelope:
+    def test_spans_exactly_one_difference_period(self):
+        td = 1 / 15e3
+        env = default_bit_envelope(td)
+        assert env.period == pytest.approx(td)
+        assert env.n_bits == 4
+
+    def test_custom_pattern(self):
+        env = default_bit_envelope(1e-3, bits=(1, 0), low=0.0, high=2.0)
+        assert env.n_bits == 2
+        assert env(0.25e-3) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            default_bit_envelope(-1.0)
+        with pytest.raises(ConfigurationError):
+            default_bit_envelope(1e-3, bits=())
+
+
+class TestIdealMultiplierMixer:
+    def test_paper_defaults(self):
+        mix = ideal_multiplier_mixer()
+        assert mix.lo_frequency == pytest.approx(1e9)
+        assert mix.rf_frequency == pytest.approx(1e9 - 10e3)
+        assert mix.difference_frequency == pytest.approx(10e3)
+        assert mix.scales.lo_multiple == 1
+
+    def test_compiles_and_has_dc_solution(self):
+        mix = ideal_multiplier_mixer(lo_frequency=1e6, difference_frequency=1e3)
+        mna = mix.compile()
+        solution = dc_operating_point(mna)
+        assert np.all(np.isfinite(solution.x))
+
+    def test_optional_load_capacitance(self):
+        mix = ideal_multiplier_mixer(load_capacitance=1e-12)
+        names = [d.name for d in mix.circuit]
+        assert "cload" in names
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ConfigurationError):
+            ideal_multiplier_mixer(lo_frequency=1e6, difference_frequency=2e6)
+
+
+class TestUnbalancedSwitchingMixer:
+    def test_default_tones_are_closely_spaced(self):
+        mix = unbalanced_switching_mixer()
+        assert mix.lo_frequency == pytest.approx(450e6)
+        assert mix.difference_frequency == pytest.approx(15e3)
+        assert mix.scales.disparity == pytest.approx(450e6 / 15e3)
+
+    def test_contains_a_switching_transistor(self):
+        mix = unbalanced_switching_mixer()
+        assert mix.circuit.is_nonlinear()
+        assert mix.circuit.device("mswitch") is not None
+
+    def test_dc_operating_point(self, scaled_switching_mixer):
+        mna = scaled_switching_mixer.compile()
+        solution = dc_operating_point(mna)
+        # The output node is biased somewhere between ground and the RF bias.
+        v_out = solution.voltage(mna, "out")
+        assert 0.0 <= v_out <= 1.0
+
+    def test_custom_envelope_is_used(self):
+        env = BitStreamEnvelope([1, 0], bit_period=1 / 15e3 / 2)
+        mix = unbalanced_switching_mixer(envelope=env)
+        stim = mix.circuit.device("vrf").stimulus
+        carriers = [p for p in stim.parts if hasattr(p, "envelope")]
+        assert carriers and carriers[0].envelope is env
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ConfigurationError):
+            unbalanced_switching_mixer(lo_frequency=1e6, difference_frequency=1e6)
+
+
+class TestBalancedLODoublingMixer:
+    def test_paper_frequency_plan(self):
+        """450 MHz LO doubled internally, RF near 900 MHz, 15 kHz baseband (Eq. 12)."""
+        mix = balanced_lo_doubling_mixer()
+        assert mix.lo_frequency == pytest.approx(450e6)
+        assert mix.rf_frequency == pytest.approx(2 * 450e6 - 15e3)
+        assert mix.difference_frequency == pytest.approx(15e3)
+        assert mix.scales.lo_multiple == 2
+        assert mix.scales.carrier_frequency == pytest.approx(mix.rf_frequency)
+
+    def test_topology(self):
+        mix = balanced_lo_doubling_mixer()
+        names = {d.name for d in mix.circuit}
+        # Upper mixing pair, lower doubler pair, loads and drives all present.
+        assert {"m1", "m2", "m3", "m4", "rl1", "rl2", "vlop", "vlon", "vrfp", "vrfn"} <= names
+        assert mix.output_pos == "outp" and mix.output_neg == "outn"
+        assert "tail" in mix.monitor_nodes
+
+    def test_doubler_pair_shares_tail_node(self):
+        mix = balanced_lo_doubling_mixer()
+        m3 = mix.circuit.device("m3")
+        m4 = mix.circuit.device("m4")
+        m1 = mix.circuit.device("m1")
+        assert m3.node_names[0] == "tail" and m4.node_names[0] == "tail"
+        assert m1.node_names[2] == "tail"
+
+    def test_dc_operating_point_is_reasonable(self):
+        mix = balanced_lo_doubling_mixer()
+        mna = mix.compile()
+        solution = dc_operating_point(mna)
+        vdd = solution.voltage(mna, "vdd")
+        outp = solution.voltage(mna, "outp")
+        outn = solution.voltage(mna, "outn")
+        assert vdd == pytest.approx(3.0)
+        assert 0.0 < outp <= 3.0
+        assert 0.0 < outn <= 3.0
+
+    def test_bit_stream_drive_by_default(self):
+        mix = balanced_lo_doubling_mixer()
+        stim = mix.circuit.device("vrfp").stimulus
+        carriers = [p for p in stim.parts if hasattr(p, "envelope")]
+        assert isinstance(carriers[0].envelope, BitStreamEnvelope)
+
+    def test_pure_tone_drive_option(self):
+        mix = balanced_lo_doubling_mixer(use_bit_stream=False)
+        stim = mix.circuit.device("vrfp").stimulus
+        carriers = [p for p in stim.parts if hasattr(p, "envelope")]
+        assert isinstance(carriers[0].envelope, ConstantEnvelope)
+
+    def test_custom_mosfet_parameters(self):
+        params = MOSFETParams(vto=0.5, kp=100e-6, w=10e-6, l=0.5e-6)
+        mix = balanced_lo_doubling_mixer(upper_params=params)
+        assert mix.circuit.device("m1").params is params
+
+    def test_scaled_frequencies(self):
+        mix = balanced_lo_doubling_mixer(lo_frequency=5e6, difference_frequency=50e3)
+        assert mix.rf_frequency == pytest.approx(10e6 - 50e3)
+        assert mix.difference_period == pytest.approx(1 / 50e3)
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ConfigurationError):
+            balanced_lo_doubling_mixer(lo_frequency=1e6, difference_frequency=3e6)
+
+    def test_compile_shorthand(self):
+        mix = balanced_lo_doubling_mixer()
+        mna = mix.compile()
+        assert mna.n_unknowns == 13

@@ -1,0 +1,143 @@
+"""Unit tests for PRBS generation, pulse shaping and baseband envelopes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signals import (
+    BitStreamEnvelope,
+    ConstantEnvelope,
+    SinusoidalEnvelope,
+    alternating_bits,
+    prbs_bits,
+    rectangular_pulse,
+    smoothed_pulse,
+)
+from repro.utils import ConfigurationError
+
+
+class TestPRBS:
+    def test_prbs7_has_maximal_period(self):
+        bits = prbs_bits(7, 254)
+        first, second = bits[:127], bits[127:254]
+        np.testing.assert_array_equal(first, second)
+        # Within one period the sequence must not repeat earlier.
+        assert not np.array_equal(bits[:63], bits[63:126])
+
+    def test_prbs7_is_nearly_balanced(self):
+        bits = prbs_bits(7, 127)
+        ones = int(bits.sum())
+        # A maximal-length 7-bit LFSR produces 64 ones and 63 zeros.
+        assert ones in (63, 64)
+
+    def test_prbs9_period(self):
+        bits = prbs_bits(9, 2 * 511)
+        np.testing.assert_array_equal(bits[:511], bits[511:])
+
+    def test_values_are_binary(self):
+        bits = prbs_bits(7, 50)
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    def test_zero_seed_is_fixed_up(self):
+        bits = prbs_bits(7, 127, seed=0)
+        assert bits.sum() > 0  # not stuck in the all-zero state
+
+    def test_unsupported_order_raises(self):
+        with pytest.raises(ConfigurationError):
+            prbs_bits(8, 10)
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(ConfigurationError):
+            prbs_bits(7, 0)
+
+    def test_alternating_bits(self):
+        np.testing.assert_array_equal(alternating_bits(5), [1, 0, 1, 0, 1])
+        np.testing.assert_array_equal(alternating_bits(4, start=0), [0, 1, 0, 1])
+
+
+class TestPulses:
+    def test_rectangular_pulse_support(self):
+        assert rectangular_pulse(0.5) == 1.0
+        assert rectangular_pulse(-0.1) == 0.0
+        assert rectangular_pulse(1.0) == 0.0
+
+    def test_smoothed_pulse_reduces_to_rectangular(self):
+        u = np.linspace(-0.5, 1.5, 101)
+        np.testing.assert_allclose(smoothed_pulse(u, rise_fraction=0.0), rectangular_pulse(u))
+
+    def test_smoothed_pulse_edges(self):
+        assert smoothed_pulse(0.0, rise_fraction=0.1) == pytest.approx(0.0)
+        assert smoothed_pulse(0.05, rise_fraction=0.1) == pytest.approx(0.5)
+        assert smoothed_pulse(0.5, rise_fraction=0.1) == pytest.approx(1.0)
+
+    def test_smoothed_pulse_invalid_rise(self):
+        with pytest.raises(ConfigurationError):
+            smoothed_pulse(0.5, rise_fraction=0.5)
+
+
+class TestConstantAndSinusoidalEnvelopes:
+    def test_constant(self):
+        env = ConstantEnvelope(level=0.7)
+        assert env(0.0) == pytest.approx(0.7)
+        np.testing.assert_allclose(env(np.linspace(0, 1, 5)), 0.7)
+
+    def test_sinusoidal(self):
+        env = SinusoidalEnvelope(period=1e-3, amplitude=0.5, offset=1.0)
+        assert env(0.0) == pytest.approx(1.5)
+        assert env(0.5e-3) == pytest.approx(0.5)
+        # Periodicity
+        assert env(1.7e-3) == pytest.approx(env(0.7e-3))
+
+
+class TestBitStreamEnvelope:
+    def test_levels(self):
+        env = BitStreamEnvelope([1, 0], bit_period=1e-3, low=-1.0, high=1.0, rise_fraction=0.0)
+        assert env(0.5e-3) == pytest.approx(1.0)
+        assert env(1.5e-3) == pytest.approx(-1.0)
+
+    def test_period(self):
+        env = BitStreamEnvelope([1, 0, 1, 1], bit_period=2e-6)
+        assert env.period == pytest.approx(8e-6)
+        assert env.n_bits == 4
+
+    def test_periodicity(self):
+        env = BitStreamEnvelope([1, 0, 1], bit_period=1e-3, rise_fraction=0.1)
+        t = np.linspace(0, 3e-3, 301, endpoint=False)
+        np.testing.assert_allclose(env(t), env(t + env.period), atol=1e-12)
+
+    def test_bit_at(self):
+        env = BitStreamEnvelope([1, 0, 1, 1], bit_period=1.0, rise_fraction=0.0)
+        assert env.bit_at(0.5) == 1
+        assert env.bit_at(1.5) == 0
+        assert env.bit_at(4.5) == 1  # wraps around
+
+    def test_raised_cosine_transition_is_monotone(self):
+        env = BitStreamEnvelope([0, 1], bit_period=1.0, rise_fraction=0.2)
+        t = np.linspace(1.0, 1.2, 50)
+        values = np.asarray(env(t))
+        assert np.all(np.diff(values) >= -1e-12)
+        assert values[0] == pytest.approx(0.0, abs=1e-9)
+        assert values[-1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_prbs_constructor(self):
+        env = BitStreamEnvelope.prbs(7, 8, bit_period=1e-6)
+        assert env.n_bits == 8
+        assert env.period == pytest.approx(8e-6)
+
+    def test_invalid_bits_raise(self):
+        with pytest.raises(ConfigurationError):
+            BitStreamEnvelope([], bit_period=1e-6)
+        with pytest.raises(ConfigurationError):
+            BitStreamEnvelope([0, 2], bit_period=1e-6)
+
+    def test_invalid_rise_fraction(self):
+        with pytest.raises(ConfigurationError):
+            BitStreamEnvelope([0, 1], bit_period=1e-6, rise_fraction=0.6)
+
+    def test_scalar_and_array_evaluation_agree(self):
+        env = BitStreamEnvelope([1, 0, 1, 1], bit_period=1e-3, rise_fraction=0.05)
+        times = np.linspace(0, 4e-3, 17)
+        array_values = np.asarray(env(times))
+        scalar_values = np.array([env(float(t)) for t in times])
+        np.testing.assert_allclose(array_values, scalar_values)

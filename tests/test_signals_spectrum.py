@@ -1,0 +1,124 @@
+"""Unit tests for spectral analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signals import (
+    Waveform,
+    band_power,
+    compute_spectrum,
+    fourier_coefficient,
+    total_harmonic_distortion,
+)
+from repro.utils import WaveformError
+
+
+def _sine_waveform(freq=1e3, amplitude=1.0, offset=0.0, periods=4, n=4096):
+    duration = periods / freq
+    t = np.linspace(0.0, duration, n)
+    return Waveform(t, offset + amplitude * np.cos(2 * np.pi * freq * t))
+
+
+class TestComputeSpectrum:
+    def test_single_tone_amplitude(self):
+        spec = compute_spectrum(_sine_waveform(amplitude=2.0))
+        assert spec.amplitude_at(1e3) == pytest.approx(2.0, rel=1e-2)
+
+    def test_dc_component(self):
+        spec = compute_spectrum(_sine_waveform(amplitude=1.0, offset=3.0))
+        assert spec.amplitudes[0] == pytest.approx(3.0, rel=1e-2)
+
+    def test_dominant_frequency(self):
+        spec = compute_spectrum(_sine_waveform(freq=2.5e3, offset=10.0))
+        assert spec.dominant_frequency() == pytest.approx(2.5e3, rel=2e-2)
+
+    def test_detrend_removes_dc(self):
+        spec = compute_spectrum(_sine_waveform(offset=5.0), detrend=True)
+        assert spec.amplitudes[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_two_tones_resolved(self):
+        t = np.linspace(0, 10e-3, 8192)
+        w = Waveform(t, np.cos(2 * np.pi * 1e3 * t) + 0.5 * np.cos(2 * np.pi * 3e3 * t))
+        spec = compute_spectrum(w)
+        assert spec.amplitude_at(1e3) == pytest.approx(1.0, rel=2e-2)
+        assert spec.amplitude_at(3e3) == pytest.approx(0.5, rel=2e-2)
+
+    def test_amplitude_at_rejects_far_frequency(self):
+        spec = compute_spectrum(_sine_waveform())
+        # 1111 Hz is not a bin of the 250 Hz grid; a 1 Hz tolerance must reject it.
+        with pytest.raises(WaveformError):
+            spec.amplitude_at(1111.0, tolerance=1.0)
+
+    def test_requires_enough_samples(self):
+        with pytest.raises(WaveformError):
+            compute_spectrum(Waveform(np.array([0.0, 1.0]), np.array([0.0, 1.0])))
+
+    def test_resolution(self):
+        spec = compute_spectrum(_sine_waveform(periods=4))
+        assert spec.resolution == pytest.approx(250.0, rel=1e-6)
+
+
+class TestFourierCoefficient:
+    def test_cosine_amplitude_and_phase(self):
+        coeff = fourier_coefficient(_sine_waveform(amplitude=1.4), 1e3)
+        assert 2 * abs(coeff) == pytest.approx(1.4, rel=1e-3)
+        assert np.angle(coeff) == pytest.approx(0.0, abs=1e-2)
+
+    def test_sine_phase(self):
+        t = np.linspace(0, 4e-3, 4001)
+        w = Waveform(t, np.sin(2 * np.pi * 1e3 * t))
+        coeff = fourier_coefficient(w, 1e3)
+        assert np.angle(coeff) == pytest.approx(-np.pi / 2, abs=1e-2)
+
+    def test_orthogonality(self):
+        coeff = fourier_coefficient(_sine_waveform(freq=1e3), 2e3)
+        assert abs(coeff) < 1e-3
+
+    def test_non_bin_frequency(self):
+        """Direct projection works for frequencies that are not FFT bins."""
+        w = _sine_waveform(freq=1234.0, periods=10, n=8192)
+        assert 2 * abs(fourier_coefficient(w, 1234.0)) == pytest.approx(1.0, rel=1e-2)
+
+
+class TestTHD:
+    def test_pure_tone_has_negligible_thd(self):
+        assert total_harmonic_distortion(_sine_waveform(), 1e3) < 1e-3
+
+    def test_known_harmonic_content(self):
+        t = np.linspace(0, 4e-3, 8001)
+        w = Waveform(t, np.cos(2 * np.pi * 1e3 * t) + 0.1 * np.cos(2 * np.pi * 2e3 * t))
+        assert total_harmonic_distortion(w, 1e3) == pytest.approx(0.1, rel=5e-2)
+
+    def test_square_wave_thd(self):
+        """An ideal square wave has THD ~ sqrt(pi^2/8 - 1) ~ 0.483."""
+        t = np.linspace(0, 4e-3, 16001)
+        w = Waveform(t, np.sign(np.sin(2 * np.pi * 1e3 * t)))
+        assert total_harmonic_distortion(w, 1e3, n_harmonics=25) == pytest.approx(0.483, rel=5e-2)
+
+    def test_missing_fundamental_raises(self):
+        t = np.linspace(0, 1e-3, 1001)
+        w = Waveform(t, np.zeros_like(t))
+        with pytest.raises(WaveformError):
+            total_harmonic_distortion(w, 1e3)
+
+
+class TestBandPower:
+    def test_tone_power(self):
+        spec = compute_spectrum(_sine_waveform(amplitude=2.0))
+        power = band_power(spec, 900.0, 1100.0)
+        assert power == pytest.approx(2.0, rel=5e-2)  # A^2/2 = 2
+
+    def test_dc_power(self):
+        spec = compute_spectrum(_sine_waveform(amplitude=0.0, offset=3.0))
+        assert band_power(spec, 0.0, 10.0) == pytest.approx(9.0, rel=1e-2)
+
+    def test_empty_band(self):
+        spec = compute_spectrum(_sine_waveform())
+        assert band_power(spec, 40e3, 41e3) == pytest.approx(0.0, abs=1e-6)
+
+    def test_invalid_band(self):
+        spec = compute_spectrum(_sine_waveform())
+        with pytest.raises(WaveformError):
+            band_power(spec, 2e3, 1e3)

@@ -1,0 +1,219 @@
+"""Unit tests for stimulus (excitation) functions, including the diagonal property."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ShearedTimeScales
+from repro.signals import (
+    BitStreamEnvelope,
+    DCStimulus,
+    ModulatedCarrierStimulus,
+    PiecewiseLinearStimulus,
+    PulseStimulus,
+    SinusoidStimulus,
+    SumStimulus,
+)
+from repro.utils import ConfigurationError, ShearError
+
+
+@pytest.fixture
+def scales():
+    """1 MHz fast axis, 10 kHz difference frequency, plain (k=1) mixing."""
+    return ShearedTimeScales.from_frequencies(1e6, 1e6 - 10e3)
+
+
+@pytest.fixture
+def doubling_scales():
+    """450 MHz LO doubled against a carrier 15 kHz below 900 MHz."""
+    return ShearedTimeScales.from_frequencies(450e6, 900e6 - 15e3, lo_multiple=2)
+
+
+def _check_diagonal(stimulus, scales, t_max, n=400):
+    times = np.linspace(0.0, t_max, n)
+    direct = np.asarray(stimulus.value(times))
+    diagonal = np.asarray(stimulus.bivariate_value(times, times, scales))
+    np.testing.assert_allclose(diagonal, direct, rtol=1e-9, atol=1e-12)
+
+
+class TestDCStimulus:
+    def test_value(self):
+        assert DCStimulus(2.5).value(123.0) == 2.5
+
+    def test_is_not_time_varying(self):
+        assert not DCStimulus(1.0).is_time_varying()
+
+    def test_bivariate_shape(self, scales):
+        out = DCStimulus(1.5).bivariate_value(np.zeros(7), np.zeros(7), scales)
+        np.testing.assert_allclose(out, 1.5)
+
+    def test_diagonal_property(self, scales):
+        _check_diagonal(DCStimulus(-3.0), scales, 1e-4)
+
+
+class TestSinusoidStimulus:
+    def test_value(self):
+        stim = SinusoidStimulus(amplitude=2.0, frequency=1e3, offset=1.0)
+        assert stim.value(0.0) == pytest.approx(3.0)
+
+    def test_fast_axis_diagonal(self, scales):
+        _check_diagonal(SinusoidStimulus(1.0, scales.fast_frequency), scales, 5e-6)
+
+    def test_fast_harmonic_diagonal(self, scales):
+        _check_diagonal(SinusoidStimulus(1.0, 2 * scales.fast_frequency), scales, 5e-6)
+
+    def test_sheared_carrier_diagonal(self, scales):
+        _check_diagonal(SinusoidStimulus(0.5, scales.carrier_frequency), scales, 5e-6)
+
+    def test_slow_axis_diagonal(self, scales):
+        _check_diagonal(SinusoidStimulus(1.0, scales.difference_frequency), scales, 2e-4)
+
+    def test_sheared_carrier_for_doubling_scales(self, doubling_scales):
+        _check_diagonal(
+            SinusoidStimulus(0.1, doubling_scales.carrier_frequency), doubling_scales, 2e-8
+        )
+
+    def test_bivariate_is_constant_along_wrong_axis(self, scales):
+        """A fast-axis sinusoid must not vary along the slow axis."""
+        stim = SinusoidStimulus(1.0, scales.fast_frequency)
+        t2 = np.linspace(0, scales.difference_period, 13)
+        values = np.asarray(stim.bivariate_value(np.zeros_like(t2), t2, scales))
+        np.testing.assert_allclose(values, values[0])
+
+    def test_sheared_carrier_varies_along_slow_axis(self, scales):
+        stim = SinusoidStimulus(1.0, scales.carrier_frequency)
+        t2 = np.linspace(0, scales.difference_period, 50, endpoint=False)
+        values = np.asarray(stim.bivariate_value(np.zeros_like(t2), t2, scales))
+        assert values.max() - values.min() > 1.5  # full swing visible on slow axis
+
+    def test_unplaceable_frequency_raises(self, scales):
+        stim = SinusoidStimulus(1.0, 1.2345e5)
+        with pytest.raises(ShearError):
+            stim.bivariate_value(0.0, 0.0, scales)
+
+    def test_forced_axis_mismatch_raises(self, scales):
+        stim = SinusoidStimulus(1.0, scales.carrier_frequency, axis="fast")
+        with pytest.raises(ShearError):
+            stim.bivariate_value(0.0, 0.0, scales)
+        stim2 = SinusoidStimulus(1.0, scales.fast_frequency, axis="sheared")
+        with pytest.raises(ShearError):
+            stim2.bivariate_value(0.0, 0.0, scales)
+
+    def test_invalid_axis_name(self):
+        with pytest.raises(ConfigurationError):
+            SinusoidStimulus(1.0, 1e3, axis="diagonal")
+
+
+class TestModulatedCarrierStimulus:
+    def test_pure_tone_value(self, scales):
+        stim = ModulatedCarrierStimulus(amplitude=0.2, carrier_frequency=scales.carrier_frequency)
+        assert stim.value(0.0) == pytest.approx(0.2)
+
+    def test_diagonal_property_constant_envelope(self, scales):
+        stim = ModulatedCarrierStimulus(0.3, scales.carrier_frequency)
+        _check_diagonal(stim, scales, 3e-6)
+
+    def test_diagonal_property_bit_stream(self, scales):
+        envelope = BitStreamEnvelope(
+            [1, 0, 1, 1], bit_period=scales.difference_period / 4, rise_fraction=0.1
+        )
+        stim = ModulatedCarrierStimulus(0.3, scales.carrier_frequency, envelope=envelope)
+        _check_diagonal(stim, scales, scales.difference_period)
+
+    def test_envelope_appears_on_slow_axis(self, scales):
+        envelope = BitStreamEnvelope(
+            [1, 0], bit_period=scales.difference_period / 2, low=0.0, high=1.0, rise_fraction=0.0
+        )
+        stim = ModulatedCarrierStimulus(1.0, scales.carrier_frequency, envelope=envelope)
+        # Peak carrier amplitude over one fast period should follow the bits.
+        t1 = np.linspace(0.0, scales.fast_period, 64, endpoint=False)
+        t2_one = np.full_like(t1, 0.3 * scales.difference_period)
+        t2_zero = np.full_like(t1, 0.8 * scales.difference_period)
+        peak_one = np.max(np.abs(stim.bivariate_value(t1, t2_one, scales)))
+        peak_zero = np.max(np.abs(stim.bivariate_value(t1, t2_zero, scales)))
+        assert peak_one > 0.9
+        assert peak_zero < 1e-9
+
+    def test_carrier_mismatch_raises(self, scales):
+        stim = ModulatedCarrierStimulus(0.3, scales.carrier_frequency * 1.01)
+        with pytest.raises(ShearError):
+            stim.bivariate_value(0.0, 0.0, scales)
+
+    def test_requires_envelope_instance(self):
+        with pytest.raises(ConfigurationError):
+            ModulatedCarrierStimulus(1.0, 1e6, envelope=lambda t: t)  # type: ignore[arg-type]
+
+
+class TestPulseStimulus:
+    def test_levels(self):
+        stim = PulseStimulus(low=0.0, high=1.0, period=1e-6, width=0.4e-6, rise=0.0, fall=0.0)
+        assert stim.value(0.2e-6) == pytest.approx(1.0)
+        assert stim.value(0.7e-6) == pytest.approx(0.0)
+
+    def test_periodicity(self):
+        stim = PulseStimulus(low=-1.0, high=1.0, period=1e-6, width=0.5e-6, rise=0.1e-6, fall=0.1e-6)
+        t = np.linspace(0, 1e-6, 37, endpoint=False)
+        np.testing.assert_allclose(stim.value(t), stim.value(t + 3e-6), atol=1e-12)
+
+    def test_fast_axis_diagonal(self, scales):
+        stim = PulseStimulus(
+            low=0.0, high=1.0, period=scales.fast_period, width=0.4 * scales.fast_period,
+            rise=0.05 * scales.fast_period, fall=0.05 * scales.fast_period,
+        )
+        _check_diagonal(stim, scales, 3 * scales.fast_period)
+
+    def test_wrong_period_raises(self, scales):
+        stim = PulseStimulus(low=0.0, high=1.0, period=1e-3, width=0.4e-3)
+        with pytest.raises(ShearError):
+            stim.bivariate_value(0.0, 0.0, scales)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            PulseStimulus(low=0.0, high=1.0, period=1e-6, width=2e-6)
+        with pytest.raises(ConfigurationError):
+            PulseStimulus(low=0.0, high=1.0, period=1e-6, width=0.5e-6, rise=0.4e-6, fall=0.4e-6)
+
+
+class TestPWLAndSum:
+    def test_pwl_interpolation(self):
+        stim = PiecewiseLinearStimulus([0.0, 1.0, 2.0], [0.0, 2.0, 0.0])
+        assert stim.value(0.5) == pytest.approx(1.0)
+        assert stim.value(5.0) == pytest.approx(0.0)  # held constant beyond the last point
+
+    def test_pwl_has_no_bivariate_form(self, scales):
+        stim = PiecewiseLinearStimulus([0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ShearError):
+            stim.bivariate_value(0.0, 0.0, scales)
+
+    def test_pwl_validation(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseLinearStimulus([0.0], [1.0])
+        with pytest.raises(ConfigurationError):
+            PiecewiseLinearStimulus([0.0, 0.0], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            PiecewiseLinearStimulus([0.0, 1.0], [1.0])
+
+    def test_sum_value_and_diagonal(self, scales):
+        stim = SumStimulus(
+            (
+                DCStimulus(0.7),
+                SinusoidStimulus(0.4, scales.fast_frequency),
+                ModulatedCarrierStimulus(0.1, scales.carrier_frequency),
+            )
+        )
+        assert stim.value(0.0) == pytest.approx(0.7 + 0.4 + 0.1)
+        _check_diagonal(stim, scales, 5e-6)
+
+    def test_sum_operator(self):
+        combined = DCStimulus(1.0) + SinusoidStimulus(1.0, 1e3)
+        assert isinstance(combined, SumStimulus)
+        assert combined.value(0.0) == pytest.approx(2.0)
+        assert combined.is_time_varying()
+
+    def test_sum_of_dc_is_not_time_varying(self):
+        assert not SumStimulus((DCStimulus(1.0), DCStimulus(2.0))).is_time_varying()
+
+    def test_empty_sum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SumStimulus(())

@@ -1,0 +1,96 @@
+"""Unit tests for tone descriptions and closely-spaced tone pairs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signals import Tone, TonePair, difference_frequency, is_closely_spaced
+from repro.utils import ConfigurationError
+
+
+class TestTone:
+    def test_evaluation(self):
+        tone = Tone(frequency=1e3, amplitude=2.0)
+        assert tone(0.0) == pytest.approx(2.0)
+        assert tone(0.25e-3) == pytest.approx(0.0, abs=1e-12)
+
+    def test_period_and_omega(self):
+        tone = Tone(frequency=50.0)
+        assert tone.period == pytest.approx(0.02)
+        assert tone.omega == pytest.approx(2 * np.pi * 50.0)
+
+    def test_phase(self):
+        tone = Tone(frequency=1e3, amplitude=1.0, phase=np.pi / 2)
+        assert tone(0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_scaled(self):
+        tone = Tone(1e3, 1.0).scaled(0.5)
+        assert tone.amplitude == 0.5
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ConfigurationError):
+            Tone(frequency=0.0)
+
+    def test_vectorised_evaluation(self):
+        tone = Tone(frequency=1e3)
+        t = np.linspace(0, 1e-3, 11)
+        np.testing.assert_allclose(tone(t), np.cos(2 * np.pi * 1e3 * t))
+
+
+class TestDifferenceFrequency:
+    def test_simple_difference(self):
+        assert difference_frequency(1e9, 1e9 - 10e3) == pytest.approx(10e3)
+
+    def test_lo_multiple(self):
+        assert difference_frequency(450e6, 900e6 - 15e3, lo_multiple=2) == pytest.approx(15e3)
+
+    def test_absolute_value(self):
+        assert difference_frequency(1e9, 1e9 + 10e3) == pytest.approx(10e3)
+
+    def test_invalid_multiple(self):
+        with pytest.raises(ConfigurationError):
+            difference_frequency(1e9, 1e9, lo_multiple=0)
+
+    def test_is_closely_spaced(self):
+        assert is_closely_spaced(1e9, 1e9 - 10e3)
+        assert not is_closely_spaced(1e9, 0.5e9)
+
+
+class TestTonePair:
+    def test_paper_ideal_mixing_values(self):
+        pair = TonePair.paper_ideal_mixing()
+        assert pair.f1 == pytest.approx(1e9)
+        assert pair.difference_frequency == pytest.approx(10e3)
+        assert pair.difference_period == pytest.approx(0.1e-3)
+        assert pair.is_closely_spaced()
+
+    def test_paper_balanced_mixer_values(self):
+        pair = TonePair.paper_balanced_mixer()
+        assert pair.f1 == pytest.approx(450e6)
+        assert pair.lo_multiple == 2
+        assert pair.difference_frequency == pytest.approx(15e3)
+        # Baseband period ~66.7 us, consistent with the ~0.06 ms span of Fig. 4.
+        assert pair.difference_period == pytest.approx(1 / 15e3)
+
+    def test_disparity(self):
+        pair = TonePair.from_frequencies(1e9, 1e9 - 10e3)
+        assert pair.disparity == pytest.approx(1e5)
+
+    def test_disparity_infinite_for_identical_tones(self):
+        pair = TonePair.from_frequencies(1e9, 1e9)
+        assert pair.disparity == np.inf
+
+    def test_difference_period_raises_for_identical_tones(self):
+        pair = TonePair.from_frequencies(1e9, 1e9)
+        with pytest.raises(ConfigurationError):
+            _ = pair.difference_period
+
+    def test_invalid_lo_multiple(self):
+        with pytest.raises(ConfigurationError):
+            TonePair(Tone(1e9), Tone(2e9), lo_multiple=0)
+
+    def test_from_frequencies_amplitudes(self):
+        pair = TonePair.from_frequencies(1e6, 0.9e6, lo_amplitude=2.0, rf_amplitude=0.5)
+        assert pair.lo.amplitude == 2.0
+        assert pair.rf.amplitude == 0.5

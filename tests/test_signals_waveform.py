@@ -1,0 +1,173 @@
+"""Unit tests for Waveform and BivariateWaveform containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signals import BivariateWaveform, Waveform
+from repro.utils import WaveformError
+
+
+class TestWaveformConstruction:
+    def test_basic(self):
+        w = Waveform(np.array([0.0, 1.0, 2.0]), np.array([0.0, 1.0, 4.0]), name="x")
+        assert len(w) == 3
+        assert w.duration == pytest.approx(2.0)
+        assert w.name == "x"
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(WaveformError):
+            Waveform(np.array([0.0, 1.0]), np.array([0.0]))
+
+    def test_rejects_non_monotone_times(self):
+        with pytest.raises(WaveformError):
+            Waveform(np.array([0.0, 2.0, 1.0]), np.zeros(3))
+
+    def test_rejects_nan(self):
+        with pytest.raises(WaveformError):
+            Waveform(np.array([0.0, 1.0]), np.array([0.0, np.nan]))
+
+
+class TestWaveformEvaluation:
+    def test_interpolation(self):
+        w = Waveform(np.array([0.0, 1.0]), np.array([0.0, 2.0]))
+        assert w(0.5) == pytest.approx(1.0)
+
+    def test_resample(self):
+        w = Waveform(np.linspace(0, 1, 11), np.linspace(0, 1, 11) ** 1)
+        r = w.resample(np.linspace(0, 1, 5))
+        np.testing.assert_allclose(r.values, np.linspace(0, 1, 5))
+
+    def test_window(self):
+        w = Waveform(np.linspace(0, 10, 101), np.linspace(0, 10, 101))
+        sub = w.window(2.0, 4.0)
+        assert sub.times[0] >= 2.0
+        assert sub.times[-1] <= 4.0
+
+    def test_window_errors(self):
+        w = Waveform(np.linspace(0, 1, 11), np.zeros(11))
+        with pytest.raises(WaveformError):
+            w.window(0.5, 0.4)
+        with pytest.raises(WaveformError):
+            w.window(5.0, 6.0)
+
+    def test_from_function(self):
+        w = Waveform.from_function(np.sin, 0.0, np.pi, 101)
+        assert w(np.pi / 2) == pytest.approx(1.0, rel=1e-3)
+
+
+class TestWaveformSummaries:
+    def test_rms_of_sine(self):
+        t = np.linspace(0, 1.0, 2001)
+        w = Waveform(t, np.sin(2 * np.pi * 5 * t))
+        assert w.rms() == pytest.approx(1 / np.sqrt(2), rel=1e-3)
+
+    def test_mean_of_offset_sine(self):
+        t = np.linspace(0, 1.0, 2001)
+        w = Waveform(t, 3.0 + np.sin(2 * np.pi * 5 * t))
+        assert w.mean() == pytest.approx(3.0, rel=1e-3)
+
+    def test_peak_to_peak_and_amplitude(self):
+        w = Waveform(np.array([0.0, 1.0, 2.0]), np.array([-1.0, 0.0, 3.0]))
+        assert w.peak_to_peak() == pytest.approx(4.0)
+        assert w.amplitude() == pytest.approx(2.0)
+
+
+class TestWaveformArithmetic:
+    def test_add_scalar(self):
+        w = Waveform(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+        np.testing.assert_allclose((w + 1.0).values, [2.0, 3.0])
+
+    def test_add_waveforms_resamples(self):
+        a = Waveform(np.linspace(0, 1, 11), np.linspace(0, 1, 11))
+        b = Waveform(np.linspace(0, 1, 6), np.ones(6))
+        np.testing.assert_allclose((a + b).values, a.values + 1.0)
+
+    def test_subtract_and_negate(self):
+        a = Waveform(np.array([0.0, 1.0]), np.array([3.0, 5.0]))
+        np.testing.assert_allclose((a - 1.0).values, [2.0, 4.0])
+        np.testing.assert_allclose((-a).values, [-3.0, -5.0])
+
+    def test_multiply(self):
+        a = Waveform(np.array([0.0, 1.0]), np.array([3.0, 5.0]))
+        np.testing.assert_allclose((a * 2.0).values, [6.0, 10.0])
+
+
+def _product_surface(n1=32, n2=24, period1=1e-9, period2=1e-4):
+    """z(t1, t2) = cos(2 pi t1/T1) * cos(2 pi t2/T2) sampled on the grid."""
+    t1 = np.arange(n1) * (period1 / n1)
+    t2 = np.arange(n2) * (period2 / n2)
+    vals = np.cos(2 * np.pi * t1 / period1)[:, None] * np.cos(2 * np.pi * t2 / period2)[None, :]
+    return BivariateWaveform(vals, period1, period2, name="z")
+
+
+class TestBivariateWaveform:
+    def test_shapes_and_axes(self):
+        surf = _product_surface()
+        assert surf.shape == (32, 24)
+        assert surf.axis1[0] == 0.0
+        assert surf.axis1[-1] < surf.period1
+        assert len(surf.axis2) == 24
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(WaveformError):
+            BivariateWaveform(np.zeros(5), 1.0, 1.0)
+        with pytest.raises(WaveformError):
+            BivariateWaveform(np.zeros((1, 5)), 1.0, 1.0)
+        with pytest.raises(WaveformError):
+            BivariateWaveform(np.full((4, 4), np.nan), 1.0, 1.0)
+        with pytest.raises(WaveformError):
+            BivariateWaveform(np.zeros((4, 4)), -1.0, 1.0)
+
+    def test_interpolation_at_grid_points_is_exact(self):
+        surf = _product_surface()
+        i, j = 5, 7
+        assert surf(surf.axis1[i], surf.axis2[j]) == pytest.approx(surf.values[i, j])
+
+    def test_interpolation_is_periodic(self):
+        surf = _product_surface()
+        t1, t2 = 0.3 * surf.period1, 0.6 * surf.period2
+        assert surf(t1 + 3 * surf.period1, t2) == pytest.approx(surf(t1, t2), rel=1e-12)
+        assert surf(t1, t2 - 5 * surf.period2) == pytest.approx(surf(t1, t2), rel=1e-12)
+
+    def test_interpolation_accuracy(self):
+        surf = _product_surface(n1=64, n2=64)
+        t1 = 0.37 * surf.period1
+        t2 = 0.81 * surf.period2
+        exact = np.cos(2 * np.pi * t1 / surf.period1) * np.cos(2 * np.pi * t2 / surf.period2)
+        assert surf(t1, t2) == pytest.approx(exact, abs=5e-3)
+
+    def test_diagonal_property_for_separable_product(self):
+        surf = _product_surface(n1=128, n2=128)
+        times = np.linspace(0, surf.period2, 50)
+        diag = surf.diagonal(times)
+        exact = np.cos(2 * np.pi * times / surf.period1) * np.cos(2 * np.pi * times / surf.period2)
+        np.testing.assert_allclose(diag.values, exact, atol=2e-2)
+
+    def test_envelope_mean_of_product_is_zero(self):
+        surf = _product_surface()
+        env = surf.envelope_mean()
+        np.testing.assert_allclose(env.values, 0.0, atol=1e-12)
+
+    def test_envelope_max_tracks_slow_cosine(self):
+        surf = _product_surface(n1=64, n2=64)
+        env = surf.envelope_max()
+        expected = np.abs(np.cos(2 * np.pi * env.times / surf.period2))
+        np.testing.assert_allclose(env.values, expected, atol=5e-3)
+
+    def test_envelopes_cover_full_period(self):
+        surf = _product_surface()
+        env = surf.envelope_mean()
+        assert env.times[-1] == pytest.approx(surf.period2)
+        assert env.values[-1] == pytest.approx(env.values[0])
+
+    def test_slices(self):
+        surf = _product_surface()
+        fast = surf.slice_fast(0.0)
+        slow = surf.slice_slow(0.0)
+        assert fast.duration == pytest.approx(surf.period1)
+        assert slow.duration == pytest.approx(surf.period2)
+        np.testing.assert_allclose(
+            fast.values, np.cos(2 * np.pi * fast.times / surf.period1), atol=1e-9
+        )

@@ -1,0 +1,129 @@
+"""Unit tests for validation helpers and the exception hierarchy."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    AnalysisError,
+    CircuitError,
+    ConfigurationError,
+    ConvergenceError,
+    DeviceError,
+    MPDEError,
+    NodeError,
+    ReproError,
+    ShearError,
+    SingularMatrixError,
+    WaveformError,
+)
+from repro.utils.validation import (
+    as_float_array,
+    check_finite,
+    check_in,
+    check_nonnegative,
+    check_positive,
+    check_same_length,
+    check_vector,
+)
+
+
+class TestCheckers:
+    def test_check_positive_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, math.nan, math.inf])
+    def test_check_positive_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", value)
+
+    def test_check_nonnegative_accepts_zero(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+
+    @pytest.mark.parametrize("value", [-1e-12, math.nan])
+    def test_check_nonnegative_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_nonnegative("x", value)
+
+    def test_check_finite(self):
+        assert check_finite("x", -3.0) == -3.0
+        with pytest.raises(ConfigurationError):
+            check_finite("x", math.inf)
+
+    def test_check_in(self):
+        assert check_in("mode", "a", ("a", "b")) == "a"
+        with pytest.raises(ConfigurationError):
+            check_in("mode", "c", ("a", "b"))
+
+
+class TestArrayHelpers:
+    def test_as_float_array_converts_lists(self):
+        arr = as_float_array("x", [1, 2, 3])
+        assert arr.dtype == float
+        assert arr.shape == (3,)
+
+    def test_as_float_array_scalar_becomes_1d(self):
+        assert as_float_array("x", 5.0).shape == (1,)
+
+    def test_as_float_array_rejects_2d(self):
+        with pytest.raises(WaveformError):
+            as_float_array("x", np.zeros((2, 2)))
+
+    def test_as_float_array_rejects_nan(self):
+        with pytest.raises(WaveformError):
+            as_float_array("x", [1.0, math.nan])
+
+    def test_as_float_array_rejects_strings(self):
+        with pytest.raises(WaveformError):
+            as_float_array("x", ["a", "b"])
+
+    def test_check_vector_accepts_right_size(self):
+        assert check_vector("x", np.zeros(4), 4).shape == (4,)
+
+    def test_check_vector_rejects_wrong_size(self):
+        with pytest.raises(WaveformError):
+            check_vector("x", np.zeros(3), 4)
+
+    def test_check_same_length(self):
+        check_same_length("a", [1, 2], "b", [3, 4])
+        with pytest.raises(WaveformError):
+            check_same_length("a", [1], "b", [3, 4])
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            CircuitError,
+            NodeError,
+            DeviceError,
+            AnalysisError,
+            ConvergenceError,
+            SingularMatrixError,
+            MPDEError,
+            ShearError,
+            WaveformError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_node_and_device_errors_are_circuit_errors(self):
+        assert issubclass(NodeError, CircuitError)
+        assert issubclass(DeviceError, CircuitError)
+
+    def test_convergence_and_singular_are_analysis_errors(self):
+        assert issubclass(ConvergenceError, AnalysisError)
+        assert issubclass(SingularMatrixError, AnalysisError)
+
+    def test_shear_error_is_mpde_error(self):
+        assert issubclass(ShearError, MPDEError)
+
+    def test_convergence_error_carries_diagnostics(self):
+        err = ConvergenceError("failed", iterations=7, residual_norm=1e-3)
+        assert err.iterations == 7
+        assert err.residual_norm == 1e-3
