@@ -64,16 +64,25 @@ class DCSolution:
         return float(mna.voltage(self.x, node))
 
 
+def _with_gmin_diagonal(jacobian: np.ndarray, gmin_diag: np.ndarray) -> np.ndarray:
+    """Add the (sparse) gmin diagonal onto a dense conductance Jacobian."""
+    idx = np.arange(jacobian.shape[0])
+    jacobian[idx, idx] += gmin_diag
+    return jacobian
+
+
 def _plain_newton(
     mna: MNASystem, x0: np.ndarray, b0: np.ndarray, options: NewtonOptions
 ) -> NewtonResult:
-    gmin = mna.gmin_matrix(_GMIN_FINAL)
+    # ``gmin_matrix`` is a sparse diagonal; only its diagonal vector is needed
+    # here, so neither the residual nor the Jacobian ever densifies it.
+    gmin_diag = mna.gmin_matrix(_GMIN_FINAL).diagonal()
 
     def residual(x: np.ndarray) -> np.ndarray:
-        return mna.f(x) + b0 + gmin @ x
+        return mna.f(x) + b0 + gmin_diag * x
 
     def jacobian(x: np.ndarray) -> np.ndarray:
-        return mna.conductance_matrix(x) + gmin
+        return _with_gmin_diagonal(mna.conductance_matrix(x), gmin_diag)
 
     return newton_solve(residual, jacobian, x0, options, raise_on_failure=False)
 
@@ -88,15 +97,16 @@ def _gmin_stepping(
     """Sweep gmin from _GMIN_START down to _GMIN_FINAL (log-spaced embedding)."""
     log_start = np.log10(_GMIN_START)
     log_final = np.log10(_GMIN_FINAL)
+    unit_diag = mna.gmin_matrix(1.0).diagonal()
 
     def gmin_of(lam: float) -> float:
         return 10.0 ** (log_start + lam * (log_final - log_start))
 
     def residual(x: np.ndarray, lam: float) -> np.ndarray:
-        return mna.f(x) + b0 + mna.gmin_matrix(gmin_of(lam)) @ x
+        return mna.f(x) + b0 + (gmin_of(lam) * unit_diag) * x
 
     def jacobian(x: np.ndarray, lam: float) -> np.ndarray:
-        return mna.conductance_matrix(x) + mna.gmin_matrix(gmin_of(lam))
+        return _with_gmin_diagonal(mna.conductance_matrix(x), gmin_of(lam) * unit_diag)
 
     return continuation_solve(residual, jacobian, x0, newton_options, continuation_options)
 
@@ -109,14 +119,14 @@ def _source_stepping(
     continuation_options: ContinuationOptions,
 ):
     """Ramp the full excitation vector from zero up to its nominal value."""
-    gmin = mna.gmin_matrix(_GMIN_FINAL)
+    gmin_diag = mna.gmin_matrix(_GMIN_FINAL).diagonal()
 
     def residual(x: np.ndarray, lam: float) -> np.ndarray:
-        return mna.f(x) + lam * b0 + gmin @ x
+        return mna.f(x) + lam * b0 + gmin_diag * x
 
     def jacobian(x: np.ndarray, lam: float) -> np.ndarray:
         del lam
-        return mna.conductance_matrix(x) + gmin
+        return _with_gmin_diagonal(mna.conductance_matrix(x), gmin_diag)
 
     return continuation_solve(residual, jacobian, x0, newton_options, continuation_options)
 

@@ -24,8 +24,7 @@ import scipy.sparse as sp
 from ..circuits.mna import MNASystem
 from ..linalg.newton import newton_solve
 from ..linalg.sparse import (
-    block_diag_from_array,
-    kron_identity,
+    CollocationJacobianAssembler,
     periodic_backward_difference,
     periodic_bdf2_difference,
     periodic_central_difference,
@@ -153,7 +152,11 @@ def collocation_periodic_steady_state(
     times = t0 + np.arange(n_samples) * (period / n_samples)
     diff = _DIFFERENTIATION[method](n_samples, period)
     diff_sparse = sp.csr_matrix(diff)
-    diff_kron = kron_identity(diff_sparse, n)
+    # Symbolic-once assembly of the collocation Jacobian (same structure as
+    # the MPDE core: (D kron I_n) blockdiag(C) + blockdiag(G)).
+    assembler = CollocationJacobianAssembler(
+        diff_sparse, mna.dynamic_pattern, mna.static_pattern, n
+    )
 
     b_samples = mna.source(times)  # (N, n)
 
@@ -180,7 +183,7 @@ def collocation_periodic_steady_state(
     def residual_for(b_grid: np.ndarray):
         def _residual(x_flat: np.ndarray) -> np.ndarray:
             states = x_flat.reshape(n_samples, n)
-            evaluation = mna.evaluate(states)
+            evaluation = mna.evaluate(states, need_jacobian=False)
             dq = diff_sparse @ evaluation.q
             return (dq + evaluation.f + b_grid).ravel()
 
@@ -188,10 +191,8 @@ def collocation_periodic_steady_state(
 
     def jacobian(x_flat: np.ndarray):
         states = x_flat.reshape(n_samples, n)
-        evaluation = mna.evaluate(states)
-        c_block = block_diag_from_array(evaluation.capacitance)
-        g_block = block_diag_from_array(evaluation.conductance)
-        return (diff_kron @ c_block + g_block).tocsc()
+        evaluation = mna.evaluate_sparse(states)
+        return assembler.assemble(evaluation.c_data, evaluation.g_data)
 
     total_iterations = 0
     result = newton_solve(

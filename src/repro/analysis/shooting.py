@@ -26,13 +26,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..circuits.mna import MNASystem
-from ..linalg.newton import newton_solve, solve_linear_system
+from ..linalg.newton import solve_linear_system
 from ..signals.waveform import Waveform
 from ..utils.exceptions import AnalysisError, ConvergenceError
 from ..utils.logging import get_logger
 from ..utils.options import NewtonOptions, ShootingOptions
 from .dc import dc_operating_point
 from .integration import StepContext, make_integration_rule
+from .transient import ChordJacobianCache, solve_implicit_step
 
 __all__ = ["ShootingStats", "ShootingResult", "shooting_periodic_steady_state"]
 
@@ -96,10 +97,15 @@ def _transition_map(
     *,
     want_monodromy: bool,
     stats: ShootingStats,
+    cache: ChordJacobianCache | None = None,
 ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray, np.ndarray]:
     """Integrate one period and (optionally) accumulate the monodromy matrix.
 
-    Returns ``(x_final, monodromy, times, states)``.
+    Returns ``(x_final, monodromy, times, states)``.  The optional chord
+    cache is shared across all inner implicit steps (and, via the caller,
+    across shooting sweeps): the step Jacobian is refactored only when the
+    integration coefficient changes or convergence degrades, instead of once
+    per Newton iteration of every time step.
     """
     n = mna.n_unknowns
     h = period / n_steps
@@ -125,22 +131,15 @@ def _transition_map(
     for _step in range(n_steps):
         step_rule = first_rule if _step == 0 else rule
         t_new = t + h
-        alpha, r = step_rule.derivative_coefficients(h, context)
         b_new = mna.source(t_new)
-
-        def residual(xv: np.ndarray) -> np.ndarray:
-            return alpha * mna.q(xv) + r + mna.f(xv) + b_new
-
-        def jacobian(xv: np.ndarray) -> np.ndarray:
-            evaluation = mna.evaluate(xv.reshape(1, -1))
-            return alpha * evaluation.capacitance[0] + evaluation.conductance[0]
-
-        result = newton_solve(residual, jacobian, x, newton_options)
-        stats.newton_iterations += result.iterations
+        x_new, iterations = solve_implicit_step(
+            mna, x, t_new, h, context, step_rule, newton_options, cache=cache, b_new=b_new
+        )
+        stats.newton_iterations += iterations
         stats.total_time_steps += 1
-        x_new = result.x
 
         if want_monodromy:
+            alpha, _r = step_rule.derivative_coefficients(h, context)
             # Sensitivity propagation.  For the implicit step
             #   alpha * q(x_{k+1}) + r(x_k) + f(x_{k+1}) + b_{k+1} = 0
             # the chain rule gives
@@ -209,6 +208,7 @@ def shooting_periodic_steady_state(
         raise AnalysisError("period must be positive")
     rule = make_integration_rule(opts.integration_method)
     stats = ShootingStats()
+    cache = ChordJacobianCache(mna) if opts.chord_newton else None
 
     x_guess = dc_operating_point(mna).x if x0 is None else np.asarray(x0, dtype=float).copy()
 
@@ -223,6 +223,7 @@ def shooting_periodic_steady_state(
             opts.newton,
             want_monodromy=True,
             stats=stats,
+            cache=cache,
         )
         stats.shooting_iterations = iteration
         residual = x_final - x_guess

@@ -31,11 +31,30 @@ Sign conventions
 Vectorised evaluation
 ---------------------
 All stamps operate on arrays holding *many* evaluation points at once:
-``X`` has shape ``(P, n)`` (P evaluation points, n unknowns) and the
-accumulators have shapes ``Q, F, B: (P, n)`` and ``C, G: (P, n, n)``.  The
-MPDE discretisation evaluates the whole 2-D grid (the paper's 40 x 30 = 1200
-points) in a single call, which is what keeps the pure-Python reproduction
-fast; single-point analyses (DC, transient) simply pass ``P = 1``.
+``X`` has shape ``(P, n)`` (P evaluation points, n unknowns) and the vector
+accumulators have shapes ``Q, F, B: (P, n)``.  The MPDE discretisation
+evaluates the whole 2-D grid (the paper's 40 x 30 = 1200 points) in a single
+call, which is what keeps the pure-Python reproduction fast; single-point
+analyses (DC, transient) simply pass ``P = 1``.
+
+Jacobian accumulation
+---------------------
+Jacobian contributions MUST go through :meth:`Device._add_mat` — never index
+the Jacobian argument directly.  The argument may be a dense ``(P, n, n)``
+array (the legacy reference path) or a *stamp accumulator* object
+(:class:`PatternRecorder`, :class:`PatternValueFiller`, :class:`NullStamps`),
+which is how the compiled sparse-assembly pipeline works:
+
+* at ``Circuit.compile`` time each device's stamps are run once against a
+  :class:`PatternRecorder` to capture the sparsity pattern (the exact
+  sequence of ``_add_mat`` calls, which must not depend on ``x`` — only on
+  device parameters and topology);
+* at evaluation time a :class:`PatternValueFiller` writes the per-point
+  values of every contribution into a flat ``(P, nnz)`` buffer in that same
+  recorded order, from which CSR Jacobians are assembled without any dense
+  ``(P, n, n)`` intermediates;
+* residual-only evaluations pass :class:`NullStamps`, so no Jacobian storage
+  is allocated or written at all.
 """
 
 from __future__ import annotations
@@ -46,7 +65,85 @@ import numpy as np
 
 from ...utils.exceptions import DeviceError
 
-__all__ = ["Device", "TwoTerminal"]
+__all__ = [
+    "Device",
+    "TwoTerminal",
+    "NullStamps",
+    "PatternRecorder",
+    "PatternValueFiller",
+]
+
+
+class NullStamps:
+    """Jacobian accumulator that discards every contribution.
+
+    Passed to the stamps by residual-only evaluations
+    (``MNASystem.evaluate(..., need_jacobian=False)``) so that line searches,
+    continuation ramps and convergence checks skip all Jacobian storage.
+    """
+
+    __slots__ = ()
+
+    def add(self, row: int, col: int, value) -> None:
+        """Discard the contribution."""
+
+
+class PatternRecorder:
+    """Jacobian accumulator that records the (row, col) sequence of a stamp.
+
+    Used once per device at compile time to capture the stamp sparsity
+    pattern.  Values are ignored (and must not influence the pattern): a
+    contribution that happens to evaluate to zero at the probe point is still
+    a structural nonzero.
+    """
+
+    __slots__ = ("rows", "cols")
+
+    def __init__(self) -> None:
+        self.rows: list[int] = []
+        self.cols: list[int] = []
+
+    def add(self, row: int, col: int, value) -> None:
+        """Record the position of the contribution."""
+        self.rows.append(int(row))
+        self.cols.append(int(col))
+
+
+class PatternValueFiller:
+    """Jacobian accumulator that writes stamp values into a flat buffer.
+
+    ``buffer`` has shape ``(P, nnz_raw)``; contribution ``k`` (in recorded
+    pattern order) lands in column ``k``.  The expected (row, col) sequence
+    is verified against the recorded pattern so that a device whose stamp
+    structure silently depended on ``x`` fails loudly instead of corrupting
+    the assembled Jacobian.
+    """
+
+    __slots__ = ("buffer", "_rows", "_cols", "_cursor")
+
+    def __init__(self, buffer: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> None:
+        self.buffer = buffer
+        self._rows = rows
+        self._cols = cols
+        self._cursor = 0
+
+    def add(self, row: int, col: int, value) -> None:
+        """Store the contribution value at the next recorded pattern slot."""
+        k = self._cursor
+        if k >= self._rows.size or self._rows[k] != row or self._cols[k] != col:
+            raise DeviceError(
+                "device stamp structure changed between pattern compilation and "
+                "evaluation; stamps must make the same _add_mat calls in the same "
+                "order for every x (got entry "
+                f"({row}, {col}) at position {k})"
+            )
+        self.buffer[:, k] = value
+        self._cursor += 1
+
+    @property
+    def cursor(self) -> int:
+        """Number of contributions written so far."""
+        return self._cursor
 
 
 class Device:
@@ -125,10 +222,19 @@ class Device:
             vec[:, index] += value
 
     @staticmethod
-    def _add_mat(mat: np.ndarray, row: int, col: int, value: np.ndarray | float) -> None:
-        """Accumulate ``value`` into entry (row, col) of a (P, n, n) Jacobian array."""
+    def _add_mat(mat, row: int, col: int, value: np.ndarray | float) -> None:
+        """Accumulate ``value`` at (row, col) of a Jacobian accumulator.
+
+        ``mat`` is either a dense ``(P, n, n)`` array (reference path) or a
+        stamp accumulator (:class:`PatternRecorder`, :class:`PatternValueFiller`,
+        :class:`NullStamps`).  Ground rows/columns (negative indices) are
+        dropped here so device code never special-cases them.
+        """
         if row >= 0 and col >= 0:
-            mat[:, row, col] += value
+            if isinstance(mat, np.ndarray):
+                mat[:, row, col] += value
+            else:
+                mat.add(row, col, value)
 
     # -- stamps (defaults: contribute nothing) ---------------------------
     def stamp_static(self, X: np.ndarray, F: np.ndarray, G: np.ndarray) -> None:

@@ -16,6 +16,31 @@ Evaluation is vectorised over *evaluation points*: ``evaluate`` accepts an
 Jacobians for all ``P`` points in one call.  The MPDE discretisation uses
 this with ``P = n_fast * n_slow`` (the paper's 40 x 30 grid gives
 ``P = 1200``), the time-stepping analyses with ``P = 1``.
+
+Performance architecture (compiled stamp patterns)
+--------------------------------------------------
+Compilation precomputes, once per circuit, the *stamp sparsity patterns* of
+the conductance and capacitance Jacobians: the exact (row, col) sequence of
+contributions every device makes, deduplicated into CSR structures
+(:class:`~repro.linalg.sparse.StampPattern`).  Three evaluation modes build
+on them:
+
+* ``evaluate(x)`` — the dense reference path, unchanged semantics: stacked
+  ``(P, n, n)`` Jacobians, used by small single-point analyses and as the
+  ground truth the sparse path is property-tested against.
+* ``evaluate(x, need_jacobian=False)`` — residual-only fast path: devices
+  stamp into a no-op accumulator, so no ``(P, n, n)`` storage is ever
+  allocated or written.  Line searches, continuation ramps and convergence
+  checks run through this.
+* ``evaluate_sparse(x)`` — the sparse assembly path: devices write per-point
+  stamp values into flat ``(P, nnz_raw)`` buffers which a single vectorised
+  scatter reduces to per-point CSR data arrays.  The MPDE / collocation
+  Jacobian is then assembled purely numerically
+  (:class:`~repro.linalg.sparse.CollocationJacobianAssembler`), never
+  materialising dense per-point blocks.
+
+The sparse data arrays are bit-for-bit equal to the dense path (same values,
+same summation order), which the property tests assert on random circuits.
 """
 
 from __future__ import annotations
@@ -24,14 +49,18 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
-from ..utils.exceptions import CircuitError, NodeError
-from .devices.base import Device
+from ..linalg.sparse import StampPattern
+from ..utils.exceptions import CircuitError, DeviceError, NodeError
+from .devices.base import Device, NullStamps, PatternRecorder, PatternValueFiller
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from .netlist import Circuit
 
-__all__ = ["MNAEvaluation", "MNASystem"]
+__all__ = ["MNAEvaluation", "MNASparseEvaluation", "MNASystem"]
+
+_NULL_STAMPS = NullStamps()
 
 
 @dataclass(frozen=True)
@@ -45,15 +74,59 @@ class MNAEvaluation:
     f:
         Conductive currents, shape ``(P, n)``.
     capacitance:
-        ``dq/dx`` Jacobians, shape ``(P, n, n)``.
+        ``dq/dx`` Jacobians, shape ``(P, n, n)``; ``None`` when the
+        evaluation was requested with ``need_jacobian=False``.
     conductance:
-        ``df/dx`` Jacobians, shape ``(P, n, n)``.
+        ``df/dx`` Jacobians, shape ``(P, n, n)``; ``None`` when the
+        evaluation was requested with ``need_jacobian=False``.
     """
 
     q: np.ndarray
     f: np.ndarray
-    capacitance: np.ndarray
-    conductance: np.ndarray
+    capacitance: np.ndarray | None
+    conductance: np.ndarray | None
+
+
+@dataclass(frozen=True)
+class MNASparseEvaluation:
+    """Sparse-assembled evaluation of the circuit equations at ``P`` points.
+
+    The Jacobians are carried as deduplicated CSR *data arrays* aligned with
+    the system's compiled stamp patterns — one row of values per evaluation
+    point — so downstream consumers (the MPDE assembler, block-diagonal
+    operators, per-point factorisations) can do purely numeric work.
+
+    Attributes
+    ----------
+    q, f:
+        As in :class:`MNAEvaluation`, shape ``(P, n)``.
+    c_data:
+        Capacitance CSR data, shape ``(P, system.dynamic_pattern.nnz)``;
+        ``None`` for residual-only evaluations.
+    g_data:
+        Conductance CSR data, shape ``(P, system.static_pattern.nnz)``;
+        ``None`` for residual-only evaluations.
+    system:
+        The :class:`MNASystem` the patterns belong to.
+    """
+
+    q: np.ndarray
+    f: np.ndarray
+    c_data: np.ndarray | None
+    g_data: np.ndarray | None
+    system: "MNASystem"
+
+    def conductance_csr(self, point: int = 0) -> sp.csr_matrix:
+        """CSR conductance Jacobian ``G(x_p)`` of evaluation point ``point``."""
+        if self.g_data is None:
+            raise CircuitError("evaluation was residual-only; no Jacobian data available")
+        return self.system.static_pattern.csr_from_data(self.g_data[point])
+
+    def capacitance_csr(self, point: int = 0) -> sp.csr_matrix:
+        """CSR capacitance Jacobian ``C(x_p)`` of evaluation point ``point``."""
+        if self.c_data is None:
+            raise CircuitError("evaluation was residual-only; no Jacobian data available")
+        return self.system.dynamic_pattern.csr_from_data(self.c_data[point])
 
 
 class MNASystem:
@@ -80,6 +153,7 @@ class MNASystem:
             )
         self._devices: tuple[Device, ...] = circuit.devices
         self._branch_index = self._build_branch_index()
+        self._static_pattern, self._dynamic_pattern = self._compile_stamp_patterns()
 
     def _build_branch_index(self) -> dict[str, int]:
         index: dict[str, int] = {}
@@ -88,6 +162,26 @@ class MNASystem:
                 index[label] = idx
                 index.setdefault(device.name, idx)
         return index
+
+    def _compile_stamp_patterns(self) -> tuple[StampPattern, StampPattern]:
+        """Record every device's stamp sparsity pattern (once, at compile time).
+
+        Each device's stamps are executed against a recording accumulator; the
+        (row, col) call sequence — which by the stamping contract depends only
+        on topology and device parameters, never on ``x`` — becomes the
+        compiled pattern the sparse evaluation paths rely on.
+        """
+        n = self.n_unknowns
+        probe = np.full((1, n), 0.1)
+        scratch = np.zeros((1, n))
+        static_recorder = PatternRecorder()
+        dynamic_recorder = PatternRecorder()
+        for device in self._devices:
+            device.stamp_static(probe, scratch, static_recorder)
+            device.stamp_dynamic(probe, scratch, dynamic_recorder)
+        static = StampPattern(static_recorder.rows, static_recorder.cols, n)
+        dynamic = StampPattern(dynamic_recorder.rows, dynamic_recorder.cols, n)
+        return static, dynamic
 
     # -- bookkeeping -------------------------------------------------------
     @property
@@ -99,6 +193,27 @@ class MNASystem:
     def devices(self) -> tuple[Device, ...]:
         """Devices of the underlying circuit."""
         return self._devices
+
+    @property
+    def static_pattern(self) -> StampPattern:
+        """Compiled sparsity pattern of the conductance Jacobian ``G``."""
+        return self._static_pattern
+
+    @property
+    def dynamic_pattern(self) -> StampPattern:
+        """Compiled sparsity pattern of the capacitance Jacobian ``C``."""
+        return self._dynamic_pattern
+
+    def dynamic_unknowns_mask(self) -> np.ndarray:
+        """Boolean mask of unknowns that appear in ``q`` (structurally dynamic).
+
+        Derived from the compiled capacitance pattern, so it costs nothing at
+        run time; used e.g. by the transient LTE controller to restrict error
+        control to differential unknowns.
+        """
+        mask = np.zeros(self.n_unknowns, dtype=bool)
+        mask[self._dynamic_pattern.cols] = True
+        return mask
 
     def node_index(self, node: str) -> int:
         """Index of a node voltage in the unknown vector (-1 for ground)."""
@@ -152,30 +267,89 @@ class MNASystem:
             return x, False
         raise CircuitError(f"unknown array must be 1-D or 2-D, got shape {x.shape}")
 
-    def evaluate(self, x: np.ndarray) -> MNAEvaluation:
-        """Evaluate ``q``, ``f`` and their Jacobians at one or many points."""
+    def evaluate(self, x: np.ndarray, *, need_jacobian: bool = True) -> MNAEvaluation:
+        """Evaluate ``q``, ``f`` (and, optionally, dense Jacobians) at one or many points.
+
+        ``need_jacobian=False`` is the residual-only fast path: the stamps run
+        against a no-op accumulator, so no ``(P, n, n)`` Jacobian storage is
+        allocated — the dominant cost for large point counts.
+        """
         X, _ = self._as_points(x)
         n_points = X.shape[0]
         n = self.n_unknowns
         Q = np.zeros((n_points, n))
         F = np.zeros((n_points, n))
-        C = np.zeros((n_points, n, n))
-        G = np.zeros((n_points, n, n))
+        if need_jacobian:
+            C = np.zeros((n_points, n, n))
+            G = np.zeros((n_points, n, n))
+            c_acc: object = C
+            g_acc: object = G
+        else:
+            C = G = None
+            c_acc = g_acc = _NULL_STAMPS
         for device in self._devices:
-            device.stamp_static(X, F, G)
-            device.stamp_dynamic(X, Q, C)
+            device.stamp_static(X, F, g_acc)
+            device.stamp_dynamic(X, Q, c_acc)
         return MNAEvaluation(q=Q, f=F, capacitance=C, conductance=G)
+
+    def evaluate_sparse(self, x: np.ndarray, *, need_jacobian: bool = True) -> MNASparseEvaluation:
+        """Evaluate ``q``, ``f`` and sparse-assembled Jacobian data.
+
+        Devices write their per-point Jacobian values into flat
+        ``(P, nnz_raw)`` buffers in compiled pattern order; one vectorised
+        scatter then merges duplicates into per-point CSR data arrays.  No
+        dense ``(P, n, n)`` intermediates are ever formed.
+        """
+        X, _ = self._as_points(x)
+        n_points = X.shape[0]
+        n = self.n_unknowns
+        Q = np.zeros((n_points, n))
+        F = np.zeros((n_points, n))
+        if need_jacobian:
+            g_raw = np.zeros((n_points, self._static_pattern.nnz_raw))
+            c_raw = np.zeros((n_points, self._dynamic_pattern.nnz_raw))
+            g_acc: object = PatternValueFiller(
+                g_raw, self._static_pattern.raw_rows, self._static_pattern.raw_cols
+            )
+            c_acc: object = PatternValueFiller(
+                c_raw, self._dynamic_pattern.raw_rows, self._dynamic_pattern.raw_cols
+            )
+        else:
+            g_raw = c_raw = None
+            g_acc = c_acc = _NULL_STAMPS
+        for device in self._devices:
+            device.stamp_static(X, F, g_acc)
+            device.stamp_dynamic(X, Q, c_acc)
+        if need_jacobian:
+            # A filler validates every call it sees; a device that *skipped*
+            # trailing recorded calls would leave silent zeros behind, so the
+            # cursor must land exactly on the end of the pattern.
+            if (
+                g_acc.cursor != self._static_pattern.nnz_raw
+                or c_acc.cursor != self._dynamic_pattern.nnz_raw
+            ):
+                raise DeviceError(
+                    "device stamps made fewer Jacobian contributions than the compiled "
+                    "pattern records; stamp structure must not depend on x "
+                    f"(static {g_acc.cursor}/{self._static_pattern.nnz_raw}, "
+                    f"dynamic {c_acc.cursor}/{self._dynamic_pattern.nnz_raw})"
+                )
+            g_data = self._static_pattern.dedup(g_raw)
+            c_data = self._dynamic_pattern.dedup(c_raw)
+        else:
+            g_data = c_data = None
+        return MNASparseEvaluation(q=Q, f=F, c_data=c_data, g_data=g_data, system=self)
 
     def q(self, x: np.ndarray) -> np.ndarray:
         """Charge/flux vector ``q(x)`` for a single unknown vector."""
         X, single = self._as_points(x)
-        evaluation = self.evaluate(X)
+        evaluation = self.evaluate(X, need_jacobian=False)
         return evaluation.q[0] if single else evaluation.q
 
     def f(self, x: np.ndarray) -> np.ndarray:
         """Conductive current vector ``f(x)`` for a single unknown vector."""
         X, single = self._as_points(x)
-        evaluation = self.evaluate(X)
+        evaluation = self.evaluate(X, need_jacobian=False)
         return evaluation.f[0] if single else evaluation.f
 
     def capacitance_matrix(self, x: np.ndarray) -> np.ndarray:
@@ -189,6 +363,16 @@ class MNASystem:
         X, single = self._as_points(x)
         evaluation = self.evaluate(X)
         return evaluation.conductance[0] if single else evaluation.conductance
+
+    def conductance_csr(self, x: np.ndarray) -> sp.csr_matrix:
+        """Sparse-assembled conductance Jacobian ``G(x)`` at a single point."""
+        X, _ = self._as_points(np.asarray(x, dtype=float).ravel())
+        return self.evaluate_sparse(X).conductance_csr(0)
+
+    def capacitance_csr(self, x: np.ndarray) -> sp.csr_matrix:
+        """Sparse-assembled capacitance Jacobian ``C(x)`` at a single point."""
+        X, _ = self._as_points(np.asarray(x, dtype=float).ravel())
+        return self.evaluate_sparse(X).capacitance_csr(0)
 
     # -- sources --------------------------------------------------------------
     def source(self, times: float | np.ndarray) -> np.ndarray:
@@ -233,16 +417,19 @@ class MNASystem:
         """DC Jacobian ``G(x)``."""
         return self.conductance_matrix(x)
 
-    def gmin_matrix(self, gmin: float) -> np.ndarray:
-        """Diagonal conductance ``gmin`` from every node to ground.
+    def gmin_matrix(self, gmin: float) -> sp.csr_matrix:
+        """Sparse diagonal conductance ``gmin`` from every node to ground.
 
         Used by gmin-stepping continuation and as a convergence aid; branch
-        rows are left untouched.
+        rows are left untouched (their diagonal entries are structural
+        zeros).  Returned as CSR so it composes with both sparse and dense
+        Jacobians; callers that only need the diagonal can use
+        ``.diagonal()``.
         """
-        mat = np.zeros((self.n_unknowns, self.n_unknowns))
+        diag = np.zeros(self.n_unknowns)
         for idx in self._node_index.values():
-            mat[idx, idx] = gmin
-        return mat
+            diag[idx] = gmin
+        return sp.diags(diag, format="csr")
 
     def zero_state(self) -> np.ndarray:
         """An all-zero unknown vector of the right size."""

@@ -28,6 +28,28 @@ diagonal ``x(t) = x_hat(t, t)``.
 The ``"fourier"`` differentiation option on both axes turns the very same
 machinery into a two-tone harmonic-balance solver (spectral collocation in
 both artificial times), which the benchmarks use for the HB comparison.
+
+Performance architecture (symbolic-once assembly)
+-------------------------------------------------
+The Jacobian ``J = (D kron I_n) . blockdiag(C_p) + blockdiag(G_p)`` has a
+structure fixed by the grid operator ``D`` and the circuit's compiled stamp
+patterns; only the numeric values of the per-point blocks change between
+Newton iterations.  At construction the problem therefore precomputes
+
+* the merged CSC skeleton of ``J`` and the scatter map of every contribution
+  onto it (:class:`~repro.linalg.sparse.CollocationJacobianAssembler`), and
+* block-diagonal CSR index structures for ``blockdiag(C_p)`` /
+  ``blockdiag(G_p)`` (:class:`~repro.linalg.sparse.BlockDiagStructure`).
+
+Per Newton iteration, ``residual_and_jacobian`` runs one sparse device sweep
+(``MNASystem.evaluate_sparse``) and one vectorised scatter — no dense
+``(P, n, n)`` stacks, no ``kron`` products, no COO->CSR conversions.
+Residual-only calls (line search, continuation ramping) use the
+``need_jacobian=False`` device fast path.  ``jacobian_operator`` exposes the
+same Jacobian *matrix-free* as ``v -> (D kron I)(C_blk v) + G_blk v`` for the
+Krylov solver, with ``averaged_jacobian`` providing the frequency-independent
+(grid-averaged) preconditioner matrix in the spirit of
+Telichevesky/Kundert/White (DAC 1995).
 """
 
 from __future__ import annotations
@@ -37,9 +59,15 @@ from typing import Callable
 
 import numpy as np
 import scipy.sparse as sp
+import scipy.sparse.linalg as spla
 
 from ..circuits.mna import MNASystem
-from ..linalg.sparse import block_diag_from_array, kron_identity
+from ..linalg.sparse import (
+    BlockDiagStructure,
+    CollocationJacobianAssembler,
+    block_diag_from_array,
+    kron_identity,
+)
 from ..utils.exceptions import MPDEError
 from ..utils.logging import get_logger
 from ..utils.options import MPDEOptions
@@ -53,10 +81,13 @@ _LOG = get_logger("core.mpde")
 
 @dataclass
 class _DiscreteOperators:
-    """Cached sparse operators of the discretised MPDE."""
+    """Cached sparse operators and symbolic structures of the discretised MPDE."""
 
     derivative: sp.csr_matrix  # (P, P): D1 + D2 acting on grid-point index
     derivative_kron: sp.csr_matrix  # (P*n, P*n): (D1 + D2) kron I_n
+    assembler: CollocationJacobianAssembler  # symbolic structure of the Jacobian
+    c_blocks: BlockDiagStructure  # blockdiag(C_p) CSR skeleton
+    g_blocks: BlockDiagStructure  # blockdiag(G_p) CSR skeleton
 
 
 class MPDEProblem:
@@ -98,8 +129,20 @@ class MPDEProblem:
             fast_method=self.options.fast_method,
             slow_method=self.options.slow_method,
         )
-        derivative_kron = kron_identity(derivative, self.mna.n_unknowns)
-        return _DiscreteOperators(derivative=derivative, derivative_kron=derivative_kron)
+        n = self.mna.n_unknowns
+        derivative_kron = kron_identity(derivative, n)
+        assembler = CollocationJacobianAssembler(
+            derivative, self.mna.dynamic_pattern, self.mna.static_pattern, n
+        )
+        c_blocks = BlockDiagStructure(self.mna.dynamic_pattern, self.grid.n_points)
+        g_blocks = BlockDiagStructure(self.mna.static_pattern, self.grid.n_points)
+        return _DiscreteOperators(
+            derivative=derivative,
+            derivative_kron=derivative_kron,
+            assembler=assembler,
+            c_blocks=c_blocks,
+            g_blocks=g_blocks,
+        )
 
     def _build_source_grid(self) -> np.ndarray:
         t1, t2 = self.grid.mesh
@@ -145,15 +188,52 @@ class MPDEProblem:
         return x_flat.reshape(self.grid.n_points, self.mna.n_unknowns)
 
     def residual(self, x_flat: np.ndarray, *, source_grid: np.ndarray | None = None) -> np.ndarray:
-        """Residual of the discretised MPDE for the flattened state ``x_flat``."""
+        """Residual of the discretised MPDE for the flattened state ``x_flat``.
+
+        Uses the residual-only device fast path (no Jacobian storage), which
+        is what makes line searches and continuation ramps cheap.
+        """
         states = self.reshape_states(x_flat)
-        evaluation = self.mna.evaluate(states)
+        evaluation = self.mna.evaluate(states, need_jacobian=False)
         b_grid = self._source_grid if source_grid is None else source_grid
         dq = self._operators.derivative @ evaluation.q
         return (dq + evaluation.f + b_grid).ravel()
 
+    def residual_and_values(
+        self, x_flat: np.ndarray, *, source_grid: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Residual plus the per-point Jacobian data arrays, one device sweep.
+
+        Returns ``(residual, c_data, g_data)`` where the data arrays are
+        aligned with the circuit's compiled stamp patterns and feed either
+        :meth:`assemble_jacobian` (explicit sparse matrix) or
+        :meth:`jacobian_operator` (matrix-free).
+        """
+        states = self.reshape_states(x_flat)
+        evaluation = self.mna.evaluate_sparse(states)
+        b_grid = self._source_grid if source_grid is None else source_grid
+        dq = self._operators.derivative @ evaluation.q
+        residual = (dq + evaluation.f + b_grid).ravel()
+        return residual, evaluation.c_data, evaluation.g_data
+
+    def assemble_jacobian(self, c_data: np.ndarray, g_data: np.ndarray) -> sp.csc_matrix:
+        """Numeric-only CSC assembly of the Jacobian from per-point data."""
+        return self._operators.assembler.assemble(c_data, g_data)
+
     def jacobian(self, x_flat: np.ndarray) -> sp.csc_matrix:
         """Sparse Jacobian of :meth:`residual` (independent of the source grid)."""
+        states = self.reshape_states(x_flat)
+        evaluation = self.mna.evaluate_sparse(states)
+        return self.assemble_jacobian(evaluation.c_data, evaluation.g_data)
+
+    def jacobian_dense_reference(self, x_flat: np.ndarray) -> sp.csc_matrix:
+        """The seed's dense-stack Jacobian path, kept as a validation reference.
+
+        Builds dense ``(P, n, n)`` Jacobian stacks and converts them through
+        ``block_diag_from_array`` + the ``kron`` product — the hot path this
+        module used to run on every Newton iteration.  Property tests and the
+        assembly benchmark compare :meth:`jacobian` against it.
+        """
         states = self.reshape_states(x_flat)
         evaluation = self.mna.evaluate(states)
         c_block = block_diag_from_array(evaluation.capacitance)
@@ -164,15 +244,41 @@ class MPDEProblem:
         self, x_flat: np.ndarray, *, source_grid: np.ndarray | None = None
     ) -> tuple[np.ndarray, sp.csc_matrix]:
         """Evaluate residual and Jacobian with a single device sweep."""
-        states = self.reshape_states(x_flat)
-        evaluation = self.mna.evaluate(states)
-        b_grid = self._source_grid if source_grid is None else source_grid
-        dq = self._operators.derivative @ evaluation.q
-        residual = (dq + evaluation.f + b_grid).ravel()
-        c_block = block_diag_from_array(evaluation.capacitance)
-        g_block = block_diag_from_array(evaluation.conductance)
-        jacobian = (self._operators.derivative_kron @ c_block + g_block).tocsc()
-        return residual, jacobian
+        residual, c_data, g_data = self.residual_and_values(x_flat, source_grid=source_grid)
+        return residual, self.assemble_jacobian(c_data, g_data)
+
+    # -- matrix-free Jacobian ---------------------------------------------------
+    def jacobian_operator(self, c_data: np.ndarray, g_data: np.ndarray) -> spla.LinearOperator:
+        """Matrix-free Jacobian ``v -> (D kron I_n)(C_blk v) + G_blk v``.
+
+        The block-diagonal factors are rebuilt from the data arrays using
+        precomputed CSR skeletons (pure data relabelling); the full Jacobian
+        is never formed, which is the Krylov mode the paper's reference
+        (Telichevesky/Kundert/White, DAC 1995) advocates for large problems.
+        """
+        c_blk = self._operators.c_blocks.matrix(c_data)
+        g_blk = self._operators.g_blocks.matrix(g_data)
+        d_kron = self._operators.derivative_kron
+        size = self.n_total_unknowns
+
+        def matvec(v: np.ndarray) -> np.ndarray:
+            return d_kron @ (c_blk @ v) + g_blk @ v
+
+        return spla.LinearOperator((size, size), matvec=matvec, dtype=float)
+
+    def averaged_jacobian(self, c_data: np.ndarray, g_data: np.ndarray) -> sp.csc_matrix:
+        """Frequency-independent preconditioner matrix from grid-averaged blocks.
+
+        Replaces every per-point block by its grid average
+        ``C_bar = mean_p C_p`` / ``G_bar = mean_p G_p`` and assembles
+        ``(D kron I) blockdiag(C_bar) + blockdiag(G_bar)`` on the cached
+        symbolic structure.  Because the averages drift slowly between Newton
+        iterates, an ILU of this matrix can be reused across iterations.
+        """
+        n_points = self.grid.n_points
+        c_mean = np.broadcast_to(c_data.mean(axis=0), (n_points, c_data.shape[1]))
+        g_mean = np.broadcast_to(g_data.mean(axis=0), (n_points, g_data.shape[1]))
+        return self.assemble_jacobian(c_mean, g_mean)
 
     # -- continuation embedding -----------------------------------------------------
     def embedded_source_grid(self, lam: float) -> np.ndarray:

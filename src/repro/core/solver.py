@@ -49,6 +49,12 @@ class MPDEStats:
 
     newton_iterations: int = 0
     linear_solves: int = 0
+    #: Total inner Krylov iterations across all GMRES linear solves (0 for
+    #: the direct solver).
+    linear_iterations: int = 0
+    #: Number of ILU preconditioner factorisations performed (the reuse
+    #: policy keeps this far below ``linear_solves``).
+    preconditioner_builds: int = 0
     continuation_steps: int = 0
     used_continuation: bool = False
     converged: bool = False
@@ -174,16 +180,61 @@ class MPDEResult:
 
 
 class MPDESolver:
-    """Damped Newton (+ continuation) solver for an :class:`MPDEProblem`."""
+    """Damped Newton (+ continuation) solver for an :class:`MPDEProblem`.
+
+    Linear sub-solves come in three flavours, selected by the options:
+
+    * ``linear_solver="direct"`` — sparse LU on the assembled CSC Jacobian;
+    * ``linear_solver="gmres"`` — ILU-preconditioned GMRES on the assembled
+      Jacobian, with the ILU cached across Newton iterations;
+    * ``matrix_free=True`` — GMRES on the matrix-free Jacobian-vector-product
+      operator, preconditioned with an ILU of the grid-averaged
+      (frequency-independent) Jacobian.
+    """
 
     def __init__(self, problem: MPDEProblem, options: MPDEOptions | None = None) -> None:
         self.problem = problem
         self.options = options or problem.options
+        self._preconditioner = None
+
+    @property
+    def _matrix_free(self) -> bool:
+        return bool(self.options.matrix_free)
+
+    # -- residual/Jacobian evaluation -------------------------------------------
+    def _evaluate(self, x: np.ndarray, source_grid: np.ndarray | None):
+        """Residual plus whatever the linear solver needs at ``x``.
+
+        Returns ``(residual, jacobian_like, data)`` where ``jacobian_like``
+        is an assembled CSC matrix (direct / gmres modes) or a
+        ``LinearOperator`` (matrix-free), and ``data`` carries the per-point
+        Jacobian value arrays needed to build the averaged preconditioner in
+        matrix-free mode (``None`` otherwise).
+        """
+        if self._matrix_free:
+            residual, c_data, g_data = self.problem.residual_and_values(
+                x, source_grid=source_grid
+            )
+            operator = self.problem.jacobian_operator(c_data, g_data)
+            return residual, operator, (c_data, g_data)
+        residual, jacobian = self.problem.residual_and_jacobian(x, source_grid=source_grid)
+        return residual, jacobian, None
 
     # -- linear sub-solves -------------------------------------------------------
-    def _solve_linear(self, jacobian: sp.csc_matrix, rhs: np.ndarray, stats: MPDEStats) -> np.ndarray:
+    def _build_preconditioner(self, jacobian, data, stats: MPDEStats):
+        if data is not None:
+            matrix = self.problem.averaged_jacobian(*data)
+        else:
+            matrix = jacobian
+        stats.preconditioner_builds += 1
+        self._preconditioner = make_ilu_preconditioner(matrix)
+        return self._preconditioner
+
+    def _solve_linear(
+        self, jacobian, rhs: np.ndarray, stats: MPDEStats, data=None
+    ) -> np.ndarray:
         stats.linear_solves += 1
-        if self.options.linear_solver == "direct":
+        if self.options.linear_solver == "direct" and not self._matrix_free:
             try:
                 dx = spla.spsolve(jacobian, rhs)
             except RuntimeError as exc:
@@ -194,14 +245,35 @@ class MPDESolver:
                     "floating nodes or an all-capacitive cutset)"
                 )
             return dx
-        preconditioner = make_ilu_preconditioner(jacobian)
-        dx, _report = gmres_solve(
+
+        used_cached = self._preconditioner is not None and self.options.reuse_preconditioner
+        if used_cached:
+            preconditioner = self._preconditioner
+        else:
+            preconditioner = self._build_preconditioner(jacobian, data, stats)
+        dx, report = gmres_solve(
             jacobian,
             rhs,
             preconditioner=preconditioner,
             tol=self.options.gmres_tol,
             restart=self.options.gmres_restart,
+            raise_on_failure=not used_cached,
         )
+        stats.linear_iterations += report.iterations
+        if not report.converged:
+            # The cached (stale) preconditioner was not good enough: rebuild
+            # from the current Jacobian data and retry once before giving up.
+            # (A failure with a *fresh* preconditioner raised above — a
+            # rebuild would reproduce it identically.)
+            preconditioner = self._build_preconditioner(jacobian, data, stats)
+            dx, report = gmres_solve(
+                jacobian,
+                rhs,
+                preconditioner=preconditioner,
+                tol=self.options.gmres_tol,
+                restart=self.options.gmres_restart,
+            )
+            stats.linear_iterations += report.iterations
         return dx
 
     # -- Newton loop -----------------------------------------------------------------
@@ -217,7 +289,7 @@ class MPDESolver:
         max_iter = max_iterations if max_iterations is not None else opts.max_iterations
         x = np.asarray(x0, dtype=float).copy()
 
-        residual, jacobian = self.problem.residual_and_jacobian(x, source_grid=source_grid)
+        residual, jacobian, data = self._evaluate(x, source_grid)
         res_norm = float(np.max(np.abs(residual)))
         stats.residual_history.append(res_norm)
 
@@ -225,7 +297,7 @@ class MPDESolver:
             if res_norm <= opts.abstol:
                 stats.residual_norm = res_norm
                 return x, True
-            dx = self._solve_linear(jacobian, -residual, stats)
+            dx = self._solve_linear(jacobian, -residual, stats, data)
             step_norm = float(np.max(np.abs(dx)))
             if np.isfinite(opts.max_step_norm) and step_norm > opts.max_step_norm:
                 dx *= opts.max_step_norm / step_norm
@@ -264,7 +336,7 @@ class MPDESolver:
                 return x, True
 
             # Re-evaluate residual and Jacobian at the accepted iterate.
-            residual, jacobian = self.problem.residual_and_jacobian(x, source_grid=source_grid)
+            residual, jacobian, data = self._evaluate(x, source_grid)
             res_norm = float(np.max(np.abs(residual)))
 
         stats.residual_norm = res_norm

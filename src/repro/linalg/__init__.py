@@ -2,9 +2,12 @@
 
 from .continuation import ContinuationResult, continuation_solve
 from .krylov import GMRESReport, gmres_solve, make_ilu_preconditioner
-from .newton import NewtonResult, newton_solve, solve_linear_system
+from .newton import FactoredJacobian, NewtonResult, newton_solve, solve_linear_system
 from .sparse import (
+    BlockDiagStructure,
     COOBuilder,
+    CollocationJacobianAssembler,
+    StampPattern,
     block_diag_from_array,
     block_diagonal,
     identity_kron,
@@ -16,6 +19,7 @@ from .sparse import (
 )
 
 __all__ = [
+    "FactoredJacobian",
     "NewtonResult",
     "newton_solve",
     "solve_linear_system",
@@ -25,6 +29,9 @@ __all__ = [
     "gmres_solve",
     "make_ilu_preconditioner",
     "COOBuilder",
+    "StampPattern",
+    "BlockDiagStructure",
+    "CollocationJacobianAssembler",
     "block_diagonal",
     "block_diag_from_array",
     "kron_identity",

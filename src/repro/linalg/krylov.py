@@ -22,9 +22,27 @@ __all__ = ["GMRESReport", "gmres_solve", "make_ilu_preconditioner"]
 
 @dataclass
 class GMRESReport:
-    """Diagnostics from one preconditioned GMRES solve."""
+    """Diagnostics from one preconditioned GMRES solve.
+
+    Attributes
+    ----------
+    iterations:
+        Total *inner* Krylov iterations across all restart cycles.
+    restart_cycles:
+        Number of restart cycles spanned by those iterations (derived from
+        the restart length; a solve that converges inside the first cycle
+        reports 1).
+    converged:
+        Whether GMRES reached the requested tolerance.
+    residual_norm:
+        On converged solves, the solver's own final (preconditioned,
+        relative-scaled) residual norm estimate — no extra matvec is spent
+        re-verifying a converged solve.  On failed solves, the true residual
+        norm ``||b - A x||`` computed explicitly for diagnostics.
+    """
 
     iterations: int
+    restart_cycles: int
     converged: bool
     residual_norm: float
 
@@ -81,21 +99,46 @@ def gmres_solve(
         callback=counter,
         callback_type="pr_norm",
     )
-    residual = rhs - (matrix @ x if not callable(getattr(matrix, "matvec", None)) else matrix.matvec(x))
-    residual_norm = float(np.linalg.norm(residual))
-    report = GMRESReport(iterations=counter.count, converged=info == 0, residual_norm=residual_norm)
-    if info != 0 and raise_on_failure:
+    converged = info == 0
+    if converged and counter.last_norm is not None:
+        # GMRES's recurrence already carries the final (preconditioned,
+        # relative) residual norm — reuse it instead of spending another full
+        # matvec just to re-verify a converged solve.
+        residual_norm = counter.last_norm * float(np.linalg.norm(rhs))
+    else:
+        residual = rhs - (
+            matrix @ x if not callable(getattr(matrix, "matvec", None)) else matrix.matvec(x)
+        )
+        residual_norm = float(np.linalg.norm(residual))
+    restart_cycles = -(-counter.count // max(1, int(restart))) if counter.count else 0
+    report = GMRESReport(
+        iterations=counter.count,
+        restart_cycles=restart_cycles,
+        converged=converged,
+        residual_norm=residual_norm,
+    )
+    if not converged and raise_on_failure:
         raise SingularMatrixError(
-            f"GMRES did not converge (info={info}, residual={residual_norm:.3e})"
+            f"GMRES did not converge (info={info}, residual={residual_norm:.3e}, "
+            f"{report.iterations} inner iterations over {report.restart_cycles} restart cycles)"
         )
     return x, report
 
 
 class _IterationCounter:
-    """Counts GMRES callback invocations (one per inner iteration)."""
+    """Counts GMRES inner iterations and remembers the last residual norm.
+
+    With ``callback_type="pr_norm"`` SciPy invokes the callback once per
+    *inner* Krylov iteration with the preconditioned relative residual norm,
+    so the count is the total inner-iteration effort (restart cycles are
+    derived from it by the caller) and ``last_norm`` is the solver's own
+    final convergence measure.
+    """
 
     def __init__(self) -> None:
         self.count = 0
+        self.last_norm: float | None = None
 
-    def __call__(self, _norm: float) -> None:
+    def __call__(self, norm: float) -> None:
         self.count += 1
+        self.last_norm = float(norm)

@@ -26,9 +26,29 @@ from ..utils.exceptions import ConvergenceError, SingularMatrixError
 from ..utils.logging import get_logger
 from ..utils.options import NewtonOptions
 
-__all__ = ["NewtonResult", "newton_solve", "solve_linear_system"]
+__all__ = ["FactoredJacobian", "NewtonResult", "newton_solve", "solve_linear_system"]
 
 _LOG = get_logger("linalg.newton")
+
+
+class FactoredJacobian:
+    """A pre-factorised Jacobian usable wherever :func:`newton_solve` expects one.
+
+    Wraps a ``solve(rhs) -> dx`` callable (typically the ``solve`` method of a
+    cached LU factorisation).  Returning the *same* instance from the
+    ``jacobian`` callback on every iterate turns :func:`newton_solve` into a
+    chord-Newton iteration — the trick the transient and shooting analyses use
+    to reuse one factorisation across many implicit time steps.
+    """
+
+    __slots__ = ("_solve",)
+
+    def __init__(self, solve: Callable[[np.ndarray], np.ndarray]) -> None:
+        self._solve = solve
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Back-substitute ``rhs`` through the stored factorisation."""
+        return self._solve(rhs)
 
 
 @dataclass
@@ -70,6 +90,15 @@ def solve_linear_system(jacobian, rhs: np.ndarray, *, gmres_tol: float = 1e-10) 
         If the factorisation fails or the solution contains non-finite
         entries (the usual symptom of a structurally singular MNA matrix).
     """
+    if isinstance(jacobian, FactoredJacobian):
+        dx = np.asarray(jacobian.solve(rhs), dtype=float).reshape(rhs.shape)
+        if not np.all(np.isfinite(dx)):
+            raise SingularMatrixError(
+                "factored-Jacobian solve produced non-finite values (stale or singular "
+                "factorisation)"
+            )
+        return dx
+
     if isinstance(jacobian, spla.LinearOperator) and not sp.issparse(jacobian):
         dx, info = spla.gmres(jacobian, rhs, rtol=gmres_tol, atol=0.0)
         if info != 0:

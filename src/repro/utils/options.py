@@ -142,6 +142,20 @@ class TransientOptions:
     max_rejections: int = 20
     newton: NewtonOptions = field(default_factory=NewtonOptions)
     store_every: int = 1
+    #: Reuse the LU factorisation of the step Jacobian across accepted time
+    #: steps (chord Newton), refactoring only when the step size changes or
+    #: chord convergence degrades.  Falls back to full Newton per step when
+    #: the chord iteration fails, so robustness matches ``False``.  Off by
+    #: default: it pays when factorisation dominates an iteration (many
+    #: unknowns), while for the small MNA systems typical here the extra
+    #: (linearly converging) chord iterations cost more device sweeps than
+    #: the saved factorisations.
+    chord_newton: bool = False
+    #: Chord-iteration budget before the step falls back to full Newton.
+    chord_max_iterations: int = 12
+    #: Converged chord solves that needed more than this many iterations
+    #: trigger a refactorisation at the accepted state (for the next step).
+    chord_slow_iterations: int = 5
 
     _ALLOWED_METHODS = ("backward-euler", "trapezoidal", "gear2")
 
@@ -152,6 +166,8 @@ class TransientOptions:
         _require_positive("max_step", self.max_step)
         _require_positive("max_rejections", self.max_rejections)
         _require_positive("store_every", self.store_every)
+        _require_positive("chord_max_iterations", self.chord_max_iterations)
+        _require_positive("chord_slow_iterations", self.chord_slow_iterations)
         if self.min_step > self.max_step:
             raise ConfigurationError("min_step must be <= max_step")
 
@@ -168,6 +184,11 @@ class ShootingOptions:
     use_matrix_free: bool = False
     gmres_tol: float = 1e-8
     newton: NewtonOptions = field(default_factory=NewtonOptions)
+    #: Reuse the LU factorisation across the inner integration steps of every
+    #: shooting sweep (chord Newton); the monodromy accumulation is
+    #: unaffected.  Opt-in for the same reason as
+    #: ``TransientOptions.chord_newton``.
+    chord_newton: bool = False
 
     def __post_init__(self) -> None:
         _require_positive("steps_per_period", self.steps_per_period)
@@ -220,7 +241,16 @@ class MPDEOptions:
         Fall back to source-stepping continuation if plain Newton fails,
         mirroring the paper's use of continuation for hard starts.
     linear_solver:
-        "direct" (sparse LU) or "gmres" (matrix-free with ILU preconditioner).
+        "direct" (sparse LU on the assembled Jacobian) or "gmres"
+        (ILU-preconditioned Krylov on the assembled Jacobian).
+    matrix_free:
+        Solve the Newton linear systems with GMRES on a matrix-free
+        Jacobian-vector-product operator (the Jacobian is never assembled),
+        preconditioned with an ILU of the grid-averaged
+        (frequency-independent) Jacobian.  Overrides ``linear_solver``.
+    reuse_preconditioner:
+        Keep the ILU preconditioner across Newton iterations and rebuild it
+        only when GMRES fails to converge with the stale factorisation.
     """
 
     n_fast: int = 40
@@ -231,6 +261,8 @@ class MPDEOptions:
     use_continuation: bool = True
     continuation: ContinuationOptions = field(default_factory=ContinuationOptions)
     linear_solver: str = "direct"
+    matrix_free: bool = False
+    reuse_preconditioner: bool = True
     gmres_tol: float = 1e-9
     gmres_restart: int = 80
     initial_guess: str = "dc"

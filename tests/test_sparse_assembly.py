@@ -1,0 +1,308 @@
+"""Property tests for the compiled stamp-pattern / sparse assembly pipeline.
+
+The contract under test: the sparse-assembled Jacobian data produced by
+``MNASystem.evaluate_sparse`` must match the dense reference path
+(``MNASystem.evaluate``) *bit for bit* — same values, same duplicate
+summation order — on circuits mixing every device type, and the
+``need_jacobian=False`` residual-only fast path must return exactly the same
+``q``/``f`` vectors as a full evaluation.  On top of that sit the MPDE
+symbolic-once assembler, the matrix-free Jacobian operator and the
+chord-Newton transient path, each checked against its reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.circuits import Circuit
+from repro.circuits.devices import (
+    BJT,
+    VCCS,
+    VCVS,
+    BJTParams,
+    Capacitor,
+    Conductance,
+    CurrentSource,
+    Diode,
+    DiodeParams,
+    Inductor,
+    MOSFETParams,
+    MultiplierCurrentSource,
+    NMOS,
+    PMOS,
+    PolynomialConductance,
+    Resistor,
+    SmoothSwitch,
+    VoltageSource,
+)
+from repro.core import ShearedTimeScales, solve_mpde
+from repro.core.mpde import MPDEProblem
+from repro.linalg import gmres_solve
+from repro.signals import SinusoidStimulus
+from repro.utils import MPDEOptions, TransientOptions
+
+
+def _all_device_circuit() -> Circuit:
+    """A (non-physical) circuit that instantiates every device type once."""
+    ckt = Circuit("all devices")
+    g = ckt.GROUND
+    ckt.add(VoltageSource("vs", "a", g, SinusoidStimulus(1.0, 1e6)))
+    ckt.add(CurrentSource("is", "b", g, SinusoidStimulus(1e-3, 2e6)))
+    ckt.add(Resistor("r1", "a", "b", 1e3))
+    ckt.add(Conductance("g1", "b", "c", 1e-4))
+    ckt.add(Capacitor("c1", "c", g, 1e-9))
+    ckt.add(Inductor("l1", "a", "c", 1e-6))
+    ckt.add(Diode("d1", "b", "c", DiodeParams(junction_capacitance=1e-12, transit_time=1e-9)))
+    ckt.add(
+        Diode("d2", "c", g, DiodeParams(series_resistance=5.0, junction_capacitance=2e-12))
+    )
+    ckt.add(NMOS("mn", "a", "b", "c", params=MOSFETParams(cgs=1e-13, cgd=2e-13, cdb=1e-13)))
+    ckt.add(PMOS("mp", "c", "a", "b", params=MOSFETParams(vto=-0.7, csb=1e-13)))
+    ckt.add(BJT("qn", "a", "b", "c", BJTParams(cje=1e-13, cjc=1e-13)))
+    ckt.add(BJT("qp", "b", "c", "a", BJTParams(), polarity=-1))
+    ckt.add(VCCS("gmx", "a", g, "b", "c", 1e-3))
+    ckt.add(VCVS("ex", "d", g, "a", "b", 2.5))
+    ckt.add(MultiplierCurrentSource("mul", "d", g, "a", g, "b", g, gain=0.3))
+    ckt.add(SmoothSwitch("sw", "a", "d", "b", g, g_on=1e-2, g_off=1e-8))
+    ckt.add(PolynomialConductance("pc", "d", "c", (1e-3, 2e-4, 5e-5)))
+    return ckt
+
+
+def _random_circuit(rng: np.random.Generator) -> Circuit:
+    """A random mix of devices over a small node pool."""
+    ckt = Circuit("random")
+    nodes = ["0", "n1", "n2", "n3", "n4"]
+
+    def pick_two() -> tuple[str, str]:
+        a, b = rng.choice(len(nodes), size=2, replace=False)
+        return nodes[a], nodes[b]
+
+    ckt.add(VoltageSource("vs", "n1", "0", SinusoidStimulus(1.0, 1e6)))
+    for k in range(int(rng.integers(3, 8))):
+        p, n = pick_two()
+        kind = int(rng.integers(0, 6))
+        if kind == 0:
+            ckt.add(Resistor(f"r{k}", p, n, float(rng.uniform(10, 1e4))))
+        elif kind == 1:
+            ckt.add(Capacitor(f"c{k}", p, n, float(rng.uniform(1e-12, 1e-9))))
+        elif kind == 2:
+            ckt.add(Inductor(f"l{k}", p, n, float(rng.uniform(1e-9, 1e-6))))
+        elif kind == 3:
+            ckt.add(
+                Diode(
+                    f"d{k}",
+                    p,
+                    n,
+                    DiodeParams(junction_capacitance=float(rng.uniform(0, 1e-12))or 1e-13),
+                )
+            )
+        elif kind == 4:
+            third = nodes[int(rng.integers(0, len(nodes)))]
+            ckt.add(NMOS(f"m{k}", p, third, n, params=MOSFETParams(cgs=1e-13)))
+        else:
+            ckt.add(PolynomialConductance(f"p{k}", p, n, (1e-3, 1e-4)))
+    return ckt
+
+
+class TestSparseMatchesDense:
+    def test_all_device_types_bit_for_bit(self, rng):
+        mna = _all_device_circuit().compile()
+        X = rng.normal(scale=0.8, size=(6, mna.n_unknowns))
+        dense = mna.evaluate(X)
+        sparse = mna.evaluate_sparse(X)
+        np.testing.assert_array_equal(sparse.q, dense.q)
+        np.testing.assert_array_equal(sparse.f, dense.f)
+        for p in range(X.shape[0]):
+            np.testing.assert_array_equal(
+                sparse.conductance_csr(p).toarray(), dense.conductance[p]
+            )
+            np.testing.assert_array_equal(
+                sparse.capacitance_csr(p).toarray(), dense.capacitance[p]
+            )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_circuits_bit_for_bit(self, seed):
+        rng = np.random.default_rng(seed)
+        mna = _random_circuit(rng).compile()
+        X = rng.normal(scale=0.7, size=(4, mna.n_unknowns))
+        dense = mna.evaluate(X)
+        sparse = mna.evaluate_sparse(X)
+        for p in range(X.shape[0]):
+            np.testing.assert_array_equal(
+                sparse.conductance_csr(p).toarray(), dense.conductance[p]
+            )
+            np.testing.assert_array_equal(
+                sparse.capacitance_csr(p).toarray(), dense.capacitance[p]
+            )
+
+    def test_single_point_csr_accessors(self, rng):
+        mna = _all_device_circuit().compile()
+        x = rng.normal(size=mna.n_unknowns)
+        np.testing.assert_array_equal(
+            mna.conductance_csr(x).toarray(), mna.conductance_matrix(x)
+        )
+        np.testing.assert_array_equal(
+            mna.capacitance_csr(x).toarray(), mna.capacitance_matrix(x)
+        )
+
+
+class TestResidualOnlyFastPath:
+    def test_residuals_match_full_evaluation(self, rng):
+        mna = _all_device_circuit().compile()
+        X = rng.normal(scale=0.6, size=(5, mna.n_unknowns))
+        full = mna.evaluate(X)
+        fast = mna.evaluate(X, need_jacobian=False)
+        np.testing.assert_array_equal(fast.q, full.q)
+        np.testing.assert_array_equal(fast.f, full.f)
+        assert fast.capacitance is None and fast.conductance is None
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuits_residual_only(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        mna = _random_circuit(rng).compile()
+        X = rng.normal(size=(3, mna.n_unknowns))
+        full = mna.evaluate(X)
+        fast = mna.evaluate(X, need_jacobian=False)
+        np.testing.assert_array_equal(fast.q, full.q)
+        np.testing.assert_array_equal(fast.f, full.f)
+
+    def test_sparse_residual_only(self, rng):
+        mna = _all_device_circuit().compile()
+        X = rng.normal(size=(3, mna.n_unknowns))
+        fast = mna.evaluate_sparse(X, need_jacobian=False)
+        full = mna.evaluate(X)
+        np.testing.assert_array_equal(fast.q, full.q)
+        np.testing.assert_array_equal(fast.f, full.f)
+        assert fast.c_data is None and fast.g_data is None
+
+
+class TestDynamicMaskAndGmin:
+    def test_dynamic_mask_matches_dense_pattern(self, rng):
+        mna = _all_device_circuit().compile()
+        x = rng.normal(size=mna.n_unknowns)
+        dense_mask = np.any(mna.capacitance_matrix(x) != 0.0, axis=0)
+        structural = mna.dynamic_unknowns_mask()
+        # The structural mask may only be wider than the numeric one (a value
+        # can vanish at a particular x), never narrower.
+        assert np.all(dense_mask <= structural)
+
+    def test_gmin_matrix_is_sparse_diagonal(self):
+        mna = _all_device_circuit().compile()
+        gmin = mna.gmin_matrix(1e-9)
+        assert sp.issparse(gmin)
+        dense = gmin.toarray()
+        assert np.count_nonzero(dense - np.diag(np.diag(dense))) == 0
+        assert np.count_nonzero(np.diag(dense)) == mna.n_nodes
+
+
+def _mixer_problem(n_fast: int = 10, n_slow: int = 7) -> MPDEProblem:
+    from repro.rf import unbalanced_switching_mixer
+
+    mixer = unbalanced_switching_mixer(lo_frequency=1e6, difference_frequency=5e4)
+    return MPDEProblem(
+        mixer.compile(), mixer.scales, MPDEOptions(n_fast=n_fast, n_slow=n_slow)
+    )
+
+
+class TestMPDEJacobianAssembly:
+    def test_sparse_assembly_matches_dense_reference(self, rng):
+        problem = _mixer_problem()
+        x = rng.normal(scale=0.3, size=problem.n_total_unknowns)
+        new = problem.jacobian(x).toarray()
+        ref = problem.jacobian_dense_reference(x).toarray()
+        scale = np.max(np.abs(ref))
+        np.testing.assert_allclose(new, ref, rtol=1e-12, atol=1e-12 * scale)
+
+    def test_matrix_free_operator_matches_assembled(self, rng):
+        problem = _mixer_problem()
+        x = rng.normal(scale=0.3, size=problem.n_total_unknowns)
+        residual, c_data, g_data = problem.residual_and_values(x)
+        assembled = problem.assemble_jacobian(c_data, g_data)
+        operator = problem.jacobian_operator(c_data, g_data)
+        v = rng.normal(size=problem.n_total_unknowns)
+        ref = assembled @ v
+        np.testing.assert_allclose(operator @ v, ref, rtol=1e-12, atol=1e-12 * np.max(np.abs(ref)))
+        # The residual from the fused call matches the standalone one.
+        np.testing.assert_array_equal(residual, problem.residual(x))
+
+    def test_averaged_jacobian_has_same_structure(self, rng):
+        problem = _mixer_problem()
+        x = rng.normal(scale=0.3, size=problem.n_total_unknowns)
+        _, c_data, g_data = problem.residual_and_values(x)
+        averaged = problem.averaged_jacobian(c_data, g_data)
+        assert averaged.shape == (problem.n_total_unknowns,) * 2
+
+    def test_matrix_free_solve_matches_direct(self):
+        from repro.rf import unbalanced_switching_mixer
+
+        mixer = unbalanced_switching_mixer(lo_frequency=1e6, difference_frequency=5e4)
+        mna = mixer.compile()
+        direct = solve_mpde(mna, mixer.scales, MPDEOptions(n_fast=12, n_slow=9))
+        free = solve_mpde(
+            mna, mixer.scales, MPDEOptions(n_fast=12, n_slow=9, matrix_free=True)
+        )
+        assert free.stats.converged
+        assert free.stats.linear_iterations > 0
+        assert free.stats.preconditioner_builds >= 1
+        abstol = MPDEOptions().newton.abstol
+        assert free.stats.residual_norm <= abstol
+        np.testing.assert_allclose(free.states, direct.states, rtol=1e-6, atol=1e-8)
+
+
+class TestChordNewtonTransient:
+    def test_linear_circuit_chord_matches_full(self):
+        from repro.analysis import run_transient
+
+        ckt = Circuit("rc")
+        ckt.add(VoltageSource("vin", "in", ckt.GROUND, SinusoidStimulus(1.0, 1e5)))
+        ckt.add(Resistor("r1", "in", "out", 1e3))
+        ckt.add(Capacitor("c1", "out", ckt.GROUND, 1e-9))
+        mna = ckt.compile()
+        t_stop, dt = 2e-5, 1e-7
+        chord = run_transient(mna, t_stop, dt, options=TransientOptions(chord_newton=True))
+        full = run_transient(mna, t_stop, dt, options=TransientOptions(chord_newton=False))
+        np.testing.assert_allclose(chord.states, full.states, rtol=1e-9, atol=1e-12)
+        # The whole linear run needs O(1) factorisations (one up front, at
+        # most one more if the final step is shortened to land on t_stop),
+        # versus one per Newton iteration on the legacy path.
+        assert chord.stats.jacobian_refactorisations <= 3
+        assert chord.stats.newton_iterations > 10 * chord.stats.jacobian_refactorisations
+
+    def test_nonlinear_circuit_chord_matches_full(self):
+        from repro.analysis import run_transient
+
+        ckt = Circuit("rectifier")
+        ckt.add(VoltageSource("vin", "in", ckt.GROUND, SinusoidStimulus(2.0, 1e5)))
+        ckt.add(Resistor("r1", "in", "d", 100.0))
+        ckt.add(Diode("d1", "d", "out"))
+        ckt.add(Resistor("rl", "out", ckt.GROUND, 1e3))
+        ckt.add(Capacitor("cl", "out", ckt.GROUND, 1e-8))
+        mna = ckt.compile()
+        t_stop, dt = 3e-5, 5e-8
+        chord = run_transient(mna, t_stop, dt, options=TransientOptions(chord_newton=True))
+        full = run_transient(mna, t_stop, dt, options=TransientOptions(chord_newton=False))
+        # Both runs satisfy the same Newton tolerances; near diode turn-off
+        # the residual tolerance translates to ~1e-7 V on the floating node,
+        # so agreement is asserted at that level rather than bit-for-bit.
+        np.testing.assert_allclose(chord.states, full.states, rtol=1e-4, atol=1e-6)
+        assert chord.stats.jacobian_refactorisations < full.stats.newton_iterations
+
+
+class TestGMRESReport:
+    def test_reports_inner_iterations_and_restart_cycles(self):
+        n = 120
+        main = 2.0 * np.ones(n)
+        off = -1.0 * np.ones(n - 1)
+        a = sp.diags([off, main, off], offsets=[-1, 0, 1]).tocsr()
+        b = np.ones(n)
+        x, report = gmres_solve(a, b, preconditioner=None, tol=1e-10, restart=20)
+        assert report.converged
+        assert report.iterations > 0
+        assert report.restart_cycles >= 1
+        assert report.restart_cycles == -(-report.iterations // 20)
+        # The reported norm comes from the solver's own recurrence; it must
+        # still certify convergence to the requested tolerance.
+        assert report.residual_norm <= 1e-9 * np.linalg.norm(b) * 10
+        np.testing.assert_allclose(a @ x, b, rtol=1e-8, atol=1e-8)
