@@ -20,11 +20,20 @@ from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
+import scipy.sparse.linalg as spla
 
 from ..circuits.mna import MNASystem
-from ..linalg.newton import newton_solve
+from ..linalg.krylov import CachedPreconditionedGMRES
+from ..linalg.newton import FactoredJacobian, newton_solve
+from ..linalg.preconditioners import (
+    PRECONDITIONER_KINDS,
+    build_averaged_preconditioner,
+    circulant_eigenvalues,
+)
 from ..linalg.sparse import (
+    BlockDiagStructure,
     CollocationJacobianAssembler,
+    kron_identity,
     periodic_backward_difference,
     periodic_bdf2_difference,
     periodic_central_difference,
@@ -65,6 +74,12 @@ class CollocationPSSResult:
     mna: MNASystem
     newton_iterations: int = 0
     n_unknowns_total: int = 0
+    #: Total inner GMRES iterations across the Newton solve (0 for the
+    #: direct linear solver, i.e. ``matrix_free=False``).
+    linear_iterations: int = 0
+    #: True when any preconditioner build degraded to a weaker fallback
+    #: (e.g. an ILU factorisation failing over to Jacobi scaling).
+    preconditioner_degraded: bool = False
 
     def _closed(self, values: np.ndarray, name: str) -> Waveform:
         """Build a waveform spanning one full period (periodic endpoint repeated)."""
@@ -114,6 +129,9 @@ def collocation_periodic_steady_state(
     t0: float = 0.0,
     x0: np.ndarray | None = None,
     newton_options: NewtonOptions | None = None,
+    matrix_free: bool = False,
+    preconditioner: str = "block_circulant",
+    gmres_tol: float = 1e-10,
 ) -> CollocationPSSResult:
     """Solve for the periodic steady state on ``n_samples`` collocation points.
 
@@ -137,6 +155,18 @@ def collocation_periodic_steady_state(
         point at every sample.
     newton_options:
         Iteration controls for the global Newton solve.
+    matrix_free:
+        Solve the Newton linear systems with preconditioned GMRES on the
+        matrix-free operator ``v -> D (C_blk v) + G_blk v`` instead of a
+        direct factorisation of the assembled Jacobian.  This is the 1-D
+        specialisation of the MPDE matrix-free mode.
+    preconditioner:
+        Preconditioner mode for the matrix-free solves: ``"block_circulant"``
+        (the default — every 1-D periodic differentiation matrix is
+        circulant, so the averaged Jacobian splits into one complex ``(n, n)``
+        block per harmonic), ``"ilu"``, ``"jacobi"`` or ``"none"``.
+    gmres_tol:
+        Relative tolerance of the inner GMRES solves (matrix-free only).
     """
     if period <= 0:
         raise AnalysisError("period must be positive")
@@ -145,6 +175,11 @@ def collocation_periodic_steady_state(
     if method not in _DIFFERENTIATION:
         raise AnalysisError(
             f"unknown differentiation method {method!r}; available: {sorted(_DIFFERENTIATION)}"
+        )
+    if preconditioner not in PRECONDITIONER_KINDS:
+        raise AnalysisError(
+            f"unknown preconditioner {preconditioner!r}; available: "
+            f"{list(PRECONDITIONER_KINDS)}"
         )
     nopts = newton_options or NewtonOptions(max_iterations=100)
 
@@ -189,10 +224,66 @@ def collocation_periodic_steady_state(
 
         return _residual
 
-    def jacobian(x_flat: np.ndarray):
-        states = x_flat.reshape(n_samples, n)
-        evaluation = mna.evaluate_sparse(states)
-        return assembler.assemble(evaluation.c_data, evaluation.g_data)
+    linear_iterations = [0]
+    degraded = [False]
+    if matrix_free:
+        c_structure = BlockDiagStructure(mna.dynamic_pattern, n_samples)
+        g_structure = BlockDiagStructure(mna.static_pattern, n_samples)
+        d_kron = kron_identity(diff_sparse, n)
+        eigenvalues = circulant_eigenvalues(diff_sparse)
+
+        def _build_preconditioner(evaluation):
+            return build_averaged_preconditioner(
+                preconditioner,
+                size=n_samples * n,
+                dynamic_pattern=mna.dynamic_pattern,
+                static_pattern=mna.static_pattern,
+                c_data=evaluation.c_data,
+                g_data=evaluation.g_data,
+                eigenvalues_fast=eigenvalues,
+                assemble=assembler.assemble,
+            )
+
+        # The same caching / adaptive-refresh / retry-once discipline the
+        # MPDE solver uses, via the shared manager.
+        krylov = CachedPreconditionedGMRES(_build_preconditioner)
+
+        def jacobian(x_flat: np.ndarray):
+            states = x_flat.reshape(n_samples, n)
+            evaluation = mna.evaluate_sparse(states)
+            c_blk = c_structure.matrix(evaluation.c_data)
+            g_blk = g_structure.matrix(evaluation.g_data)
+            operator = spla.LinearOperator(
+                (n_samples * n, n_samples * n),
+                matvec=lambda v: d_kron @ (c_blk @ v) + g_blk @ v,
+                dtype=float,
+            )
+
+            def solve(rhs: np.ndarray) -> np.ndarray:
+                # raise_on_failure=False: a best-effort step on a hard solve
+                # lets the damped Newton loop (and ultimately the
+                # source-stepping fallback below) recover, matching the
+                # robustness of the direct path.
+                dx, reports = krylov.solve(
+                    operator,
+                    rhs,
+                    context=evaluation,
+                    tol=gmres_tol,
+                    raise_on_failure=False,
+                )
+                for report in reports:
+                    linear_iterations[0] += report.iterations
+                    degraded[0] |= report.preconditioner_degraded
+                return dx
+
+            return FactoredJacobian(solve)
+
+    else:
+
+        def jacobian(x_flat: np.ndarray):
+            states = x_flat.reshape(n_samples, n)
+            evaluation = mna.evaluate_sparse(states)
+            return assembler.assemble(evaluation.c_data, evaluation.g_data)
 
     total_iterations = 0
     result = newton_solve(
@@ -225,4 +316,6 @@ def collocation_periodic_steady_state(
         mna=mna,
         newton_iterations=total_iterations,
         n_unknowns_total=n_samples * n,
+        linear_iterations=linear_iterations[0],
+        preconditioner_degraded=degraded[0],
     )

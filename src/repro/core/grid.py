@@ -131,6 +131,16 @@ class MultiTimeGrid:
             return sp.csr_matrix(builder(self.n_slow, self.period_slow))
         raise MPDEError(f"axis must be 'fast' or 'slow', got {axis!r}")
 
+    def axis_matrix(self, axis: str, method: str) -> sp.csr_matrix:
+        """The 1-D periodic differentiation matrix of one axis.
+
+        ``axis`` is ``"fast"`` (shape ``(n_fast, n_fast)``) or ``"slow"``
+        (``(n_slow, n_slow)``).  On a uniform periodic grid every supported
+        rule produces a *circulant* matrix — the structure the per-harmonic
+        (block-circulant) preconditioner diagonalises by FFT.
+        """
+        return self._axis_matrix(axis, method)
+
     def fast_derivative(self, method: str = "backward-euler") -> sp.csr_matrix:
         """Sparse ``(n_points, n_points)`` operator for ``d/dt1`` on flattened data."""
         d_fast = self._axis_matrix("fast", method)

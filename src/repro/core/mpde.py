@@ -62,6 +62,17 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..circuits.mna import MNASystem
+from ..linalg.preconditioners import (
+    PRECONDITIONER_KINDS,
+    ILUPreconditioner,
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    Preconditioner,
+    averaged_dense_blocks,
+    averaged_matrix,
+    build_averaged_preconditioner,
+    circulant_eigenvalues,
+)
 from ..linalg.sparse import (
     BlockDiagStructure,
     CollocationJacobianAssembler,
@@ -122,6 +133,7 @@ class MPDEProblem:
         )
         self._operators = self._build_operators()
         self._source_grid = self._build_source_grid()
+        self._axis_eigenvalues: tuple[np.ndarray, np.ndarray] | None = None
 
     # -- assembly of constant pieces -------------------------------------------
     def _build_operators(self) -> _DiscreteOperators:
@@ -275,10 +287,89 @@ class MPDEProblem:
         symbolic structure.  Because the averages drift slowly between Newton
         iterates, an ILU of this matrix can be reused across iterations.
         """
-        n_points = self.grid.n_points
-        c_mean = np.broadcast_to(c_data.mean(axis=0), (n_points, c_data.shape[1]))
-        g_mean = np.broadcast_to(g_data.mean(axis=0), (n_points, g_data.shape[1]))
-        return self.assemble_jacobian(c_mean, g_mean)
+        return averaged_matrix(self.assemble_jacobian, c_data, g_data)
+
+    # -- preconditioning ---------------------------------------------------------
+    def averaged_dense_blocks(
+        self, c_data: np.ndarray, g_data: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Grid-averaged device Jacobians as dense ``(n, n)`` blocks.
+
+        ``(C_bar, G_bar)`` are the per-harmonic building blocks of the
+        block-circulant preconditioner: in the Fourier basis the averaged
+        Jacobian decouples into ``(lambda1_m + lambda2_k) C_bar + G_bar``
+        per harmonic ``(m, k)``.
+        """
+        return averaged_dense_blocks(
+            self.mna.dynamic_pattern, self.mna.static_pattern, c_data, g_data
+        )
+
+    def axis_eigenvalues(self) -> tuple[np.ndarray, np.ndarray]:
+        """Circulant eigenvalues of the fast- and slow-axis derivative operators.
+
+        Both 1-D periodic differentiation matrices are circulant on the
+        uniform multi-time grid, so each is diagonalised by the DFT along its
+        axis; the eigenvalue arrays (ordered as :func:`numpy.fft.fft` output)
+        are cached after the first call.
+        """
+        if self._axis_eigenvalues is None:
+            fast = circulant_eigenvalues(
+                self.grid.axis_matrix("fast", self.options.fast_method)
+            )
+            slow = circulant_eigenvalues(
+                self.grid.axis_matrix("slow", self.options.slow_method)
+            )
+            self._axis_eigenvalues = (fast, slow)
+        return self._axis_eigenvalues
+
+    def build_preconditioner(
+        self,
+        kind: str,
+        *,
+        c_data: np.ndarray | None = None,
+        g_data: np.ndarray | None = None,
+        matrix: sp.spmatrix | None = None,
+    ) -> Preconditioner:
+        """Build a preconditioner of the requested ``kind`` for this problem.
+
+        ``kind`` is one of ``"ilu"``, ``"block_circulant"``, ``"jacobi"`` or
+        ``"none"`` (see :class:`~repro.utils.options.MPDEOptions`).  The
+        ILU/Jacobi modes factor ``matrix`` when given (the assembled Jacobian
+        in the non-matrix-free GMRES mode) and otherwise the grid-averaged
+        Jacobian built from ``c_data``/``g_data``; the block-circulant mode
+        always works from the averaged dense blocks plus the circulant
+        eigenvalues of the two axis operators.
+        """
+        if kind not in PRECONDITIONER_KINDS:
+            raise MPDEError(
+                f"unknown preconditioner kind {kind!r}; use one of {PRECONDITIONER_KINDS}"
+            )
+        if kind == "none":
+            return IdentityPreconditioner(self.n_total_unknowns)
+        if kind in ("ilu", "jacobi") and matrix is not None:
+            return ILUPreconditioner(matrix) if kind == "ilu" else JacobiPreconditioner(matrix)
+        if c_data is None or g_data is None:
+            if kind == "block_circulant":
+                raise MPDEError(
+                    "the block-circulant preconditioner needs the per-point Jacobian "
+                    "data arrays (c_data/g_data)"
+                )
+            raise MPDEError(
+                f"preconditioner kind {kind!r} needs either an assembled matrix or "
+                "the per-point Jacobian data arrays"
+            )
+        lam_fast, lam_slow = self.axis_eigenvalues()
+        return build_averaged_preconditioner(
+            kind,
+            size=self.n_total_unknowns,
+            dynamic_pattern=self.mna.dynamic_pattern,
+            static_pattern=self.mna.static_pattern,
+            c_data=c_data,
+            g_data=g_data,
+            eigenvalues_fast=lam_fast,
+            eigenvalues_slow=lam_slow,
+            assemble=self.assemble_jacobian,
+        )
 
     # -- continuation embedding -----------------------------------------------------
     def embedded_source_grid(self, lam: float) -> np.ndarray:

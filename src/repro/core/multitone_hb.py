@@ -51,6 +51,17 @@ class TwoToneHBResult:
         """The time scales (tone frequencies) used."""
         return self.mpde.scales
 
+    @property
+    def stats(self):
+        """Solver statistics of the underlying MPDE solve.
+
+        Exposes the Newton/GMRES cost accounting (including the per-solve
+        ``linear_iteration_history`` and ``preconditioner_builds``) so HB
+        users can compare preconditioner modes without reaching into
+        ``result.mpde``.
+        """
+        return self.mpde.stats
+
     def mixing_product(self, node: str, m: int, k: int, *, node_neg: str | None = None) -> complex:
         """Complex amplitude of the mixing product ``m*f1 + k*fd`` of a node voltage.
 
@@ -92,6 +103,8 @@ def two_tone_harmonic_balance(
     n_harmonics_slow: int = 7,
     oversampling: int = 2,
     options: MPDEOptions | None = None,
+    matrix_free: bool | None = None,
+    preconditioner: str | None = None,
 ) -> TwoToneHBResult:
     """Run two-tone (box-truncated) harmonic balance for a closely-spaced-tone circuit.
 
@@ -109,6 +122,12 @@ def two_tone_harmonic_balance(
     options:
         Base :class:`MPDEOptions`; the grid size and differentiation methods
         are overridden to the spectral settings implied by the truncation.
+    matrix_free, preconditioner:
+        Optional overrides of the corresponding :class:`MPDEOptions` fields.
+        The spectral operators used here are exactly where the
+        ``"block_circulant"`` (per-harmonic) preconditioner shines, so large
+        truncations are best run with ``matrix_free=True,
+        preconditioner="block_circulant"``.
     """
     if n_harmonics_fast < 1 or n_harmonics_slow < 1:
         raise AnalysisError("harmonic truncations must be at least 1")
@@ -119,12 +138,18 @@ def two_tone_harmonic_balance(
     n_slow = max(4, oversampling * (2 * n_harmonics_slow + 1))
     import dataclasses
 
+    overrides: dict = {}
+    if matrix_free is not None:
+        overrides["matrix_free"] = bool(matrix_free)
+    if preconditioner is not None:
+        overrides["preconditioner"] = preconditioner
     spectral_options = dataclasses.replace(
         base,
         n_fast=n_fast,
         n_slow=n_slow,
         fast_method="fourier",
         slow_method="fourier",
+        **overrides,
     )
     result = solve_mpde(mna, scales, spectral_options)
     return TwoToneHBResult(

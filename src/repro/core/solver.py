@@ -30,7 +30,7 @@ import scipy.sparse.linalg as spla
 
 from ..analysis.dc import dc_operating_point
 from ..circuits.mna import MNASystem
-from ..linalg.krylov import gmres_solve, make_ilu_preconditioner
+from ..linalg.krylov import CachedPreconditionedGMRES
 from ..signals.waveform import BivariateWaveform, Waveform
 from ..utils.exceptions import ConvergenceError, MPDEError, SingularMatrixError
 from ..utils.logging import get_logger
@@ -52,9 +52,19 @@ class MPDEStats:
     #: Total inner Krylov iterations across all GMRES linear solves (0 for
     #: the direct solver).
     linear_iterations: int = 0
-    #: Number of ILU preconditioner factorisations performed (the reuse
-    #: policy keeps this far below ``linear_solves``).
+    #: Inner Krylov iterations of each GMRES solve in order — the per-solve
+    #: trace the convergence test harness and the adaptive refresh policy
+    #: assert on (empty for the direct solver).
+    linear_iteration_history: list[int] = field(default_factory=list)
+    #: Number of preconditioner factorisations performed (the reuse policy
+    #: keeps this far below ``linear_solves``).
     preconditioner_builds: int = 0
+    #: Preconditioner mode used for the GMRES solves ("" for the direct
+    #: solver).
+    preconditioner_kind: str = ""
+    #: True when any preconditioner build degraded to a weaker fallback
+    #: (e.g. an ILU factorisation failing over to Jacobi scaling).
+    preconditioner_degraded: bool = False
     continuation_steps: int = 0
     used_continuation: bool = False
     converged: bool = False
@@ -185,17 +195,30 @@ class MPDESolver:
     Linear sub-solves come in three flavours, selected by the options:
 
     * ``linear_solver="direct"`` — sparse LU on the assembled CSC Jacobian;
-    * ``linear_solver="gmres"`` — ILU-preconditioned GMRES on the assembled
-      Jacobian, with the ILU cached across Newton iterations;
+    * ``linear_solver="gmres"`` — preconditioned GMRES on the assembled
+      Jacobian, with the preconditioner cached across Newton iterations;
     * ``matrix_free=True`` — GMRES on the matrix-free Jacobian-vector-product
-      operator, preconditioned with an ILU of the grid-averaged
+      operator, preconditioned from the grid-averaged
       (frequency-independent) Jacobian.
+
+    The GMRES preconditioner mode — averaged-Jacobian ILU (the default), the
+    per-harmonic block-circulant preconditioner for the spectral operators,
+    Jacobi, or none — is selected by ``options.preconditioner`` and built
+    through :meth:`MPDEProblem.build_preconditioner`.  A cached
+    preconditioner is refreshed by an :class:`AdaptiveRefreshPolicy`: the
+    per-solve GMRES iteration trend triggers a rebuild *before* the stale
+    factorisation fails outright (an outright failure still rebuilds and
+    retries once, as before).
     """
 
     def __init__(self, problem: MPDEProblem, options: MPDEOptions | None = None) -> None:
         self.problem = problem
         self.options = options or problem.options
-        self._preconditioner = None
+        self._krylov = CachedPreconditionedGMRES(
+            self._build_preconditioner,
+            growth_factor=self.options.precond_refresh_growth,
+            slack=self.options.precond_refresh_slack,
+        )
 
     @property
     def _matrix_free(self) -> bool:
@@ -208,8 +231,9 @@ class MPDESolver:
         Returns ``(residual, jacobian_like, data)`` where ``jacobian_like``
         is an assembled CSC matrix (direct / gmres modes) or a
         ``LinearOperator`` (matrix-free), and ``data`` carries the per-point
-        Jacobian value arrays needed to build the averaged preconditioner in
-        matrix-free mode (``None`` otherwise).
+        Jacobian value arrays needed to build the averaged preconditioners in
+        the GMRES modes (``None`` in direct mode, where no preconditioner is
+        built).
         """
         if self._matrix_free:
             residual, c_data, g_data = self.problem.residual_and_values(
@@ -217,18 +241,29 @@ class MPDESolver:
             )
             operator = self.problem.jacobian_operator(c_data, g_data)
             return residual, operator, (c_data, g_data)
+        if self.options.linear_solver == "gmres":
+            residual, c_data, g_data = self.problem.residual_and_values(
+                x, source_grid=source_grid
+            )
+            jacobian = self.problem.assemble_jacobian(c_data, g_data)
+            return residual, jacobian, (c_data, g_data)
         residual, jacobian = self.problem.residual_and_jacobian(x, source_grid=source_grid)
         return residual, jacobian, None
 
     # -- linear sub-solves -------------------------------------------------------
-    def _build_preconditioner(self, jacobian, data, stats: MPDEStats):
-        if data is not None:
-            matrix = self.problem.averaged_jacobian(*data)
-        else:
-            matrix = jacobian
-        stats.preconditioner_builds += 1
-        self._preconditioner = make_ilu_preconditioner(matrix)
-        return self._preconditioner
+    def _build_preconditioner(self, context):
+        """Build callback for the :class:`CachedPreconditionedGMRES` manager."""
+        jacobian, data = context
+        c_data, g_data = data if data is not None else (None, None)
+        # ILU/Jacobi of the *assembled* Jacobian when one exists (it is a
+        # strictly better target than the grid average); the matrix-free mode
+        # has no assembled matrix, so those modes fall back to the averaged
+        # Jacobian there.  The block-circulant mode always works from the
+        # averaged blocks — that is its definition.
+        matrix = jacobian if sp.issparse(jacobian) else None
+        return self.problem.build_preconditioner(
+            self.options.preconditioner, c_data=c_data, g_data=g_data, matrix=matrix
+        )
 
     def _solve_linear(
         self, jacobian, rhs: np.ndarray, stats: MPDEStats, data=None
@@ -246,34 +281,23 @@ class MPDESolver:
                 )
             return dx
 
-        used_cached = self._preconditioner is not None and self.options.reuse_preconditioner
-        if used_cached:
-            preconditioner = self._preconditioner
-        else:
-            preconditioner = self._build_preconditioner(jacobian, data, stats)
-        dx, report = gmres_solve(
+        builds_before = self._krylov.builds
+        dx, reports = self._krylov.solve(
             jacobian,
             rhs,
-            preconditioner=preconditioner,
+            context=(jacobian, data),
             tol=self.options.gmres_tol,
             restart=self.options.gmres_restart,
-            raise_on_failure=not used_cached,
+            reuse=self.options.reuse_preconditioner,
         )
-        stats.linear_iterations += report.iterations
-        if not report.converged:
-            # The cached (stale) preconditioner was not good enough: rebuild
-            # from the current Jacobian data and retry once before giving up.
-            # (A failure with a *fresh* preconditioner raised above — a
-            # rebuild would reproduce it identically.)
-            preconditioner = self._build_preconditioner(jacobian, data, stats)
-            dx, report = gmres_solve(
-                jacobian,
-                rhs,
-                preconditioner=preconditioner,
-                tol=self.options.gmres_tol,
-                restart=self.options.gmres_restart,
-            )
+        stats.preconditioner_builds += self._krylov.builds - builds_before
+        stats.preconditioner_kind = self.options.preconditioner
+        # Every build is used by the solve that follows it, so the per-report
+        # degraded flags below cover all builds.
+        for report in reports:
             stats.linear_iterations += report.iterations
+            stats.linear_iteration_history.append(report.iterations)
+            stats.preconditioner_degraded |= report.preconditioner_degraded
         return dx
 
     # -- Newton loop -----------------------------------------------------------------

@@ -1,8 +1,22 @@
 """Numerical building blocks: Newton, continuation, sparse assembly, Krylov."""
 
 from .continuation import ContinuationResult, continuation_solve
-from .krylov import GMRESReport, gmres_solve, make_ilu_preconditioner
+from .krylov import (
+    CachedPreconditionedGMRES,
+    GMRESReport,
+    gmres_solve,
+    make_ilu_preconditioner,
+)
 from .newton import FactoredJacobian, NewtonResult, newton_solve, solve_linear_system
+from .preconditioners import (
+    AdaptiveRefreshPolicy,
+    BlockCirculantPreconditioner,
+    ILUPreconditioner,
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    Preconditioner,
+    circulant_eigenvalues,
+)
 from .sparse import (
     BlockDiagStructure,
     COOBuilder,
@@ -25,9 +39,17 @@ __all__ = [
     "solve_linear_system",
     "ContinuationResult",
     "continuation_solve",
+    "CachedPreconditionedGMRES",
     "GMRESReport",
     "gmres_solve",
     "make_ilu_preconditioner",
+    "Preconditioner",
+    "ILUPreconditioner",
+    "JacobiPreconditioner",
+    "BlockCirculantPreconditioner",
+    "IdentityPreconditioner",
+    "AdaptiveRefreshPolicy",
+    "circulant_eigenvalues",
     "COOBuilder",
     "StampPattern",
     "BlockDiagStructure",

@@ -1,23 +1,35 @@
-"""Krylov-subspace helpers (GMRES with ILU preconditioning).
+"""Krylov-subspace helpers (GMRES with pluggable preconditioning).
 
 The MPDE Jacobian for the paper's 40 x 30 grid and a handful of circuit
 unknowns is small enough for a direct sparse factorisation, but the paper
 (and its reference [10], Telichevesky/Kundert/White DAC 1995) emphasises
 matrix-free Krylov solution for larger problems.  This module wraps SciPy's
-GMRES with a drop-tolerance ILU preconditioner and an iteration counter so
-benchmarks can report linear-solver effort.
+GMRES with an iteration counter and per-solve residual history so benchmarks
+and the adaptive preconditioner-refresh policy can observe linear-solver
+effort.  Preconditioners are supplied either as plain
+:class:`scipy.sparse.linalg.LinearOperator` objects or as implementations of
+the :class:`~repro.linalg.preconditioners.Preconditioner` protocol (whose
+``degraded`` flag — e.g. an ILU that silently fell back to Jacobi — is
+surfaced on the :class:`GMRESReport`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..utils.exceptions import SingularMatrixError
+from .preconditioners import AdaptiveRefreshPolicy, ILUPreconditioner, Preconditioner
 
-__all__ = ["GMRESReport", "gmres_solve", "make_ilu_preconditioner"]
+__all__ = [
+    "CachedPreconditionedGMRES",
+    "GMRESReport",
+    "gmres_solve",
+    "make_ilu_preconditioner",
+]
 
 
 @dataclass
@@ -39,40 +51,57 @@ class GMRESReport:
         relative-scaled) residual norm estimate — no extra matvec is spent
         re-verifying a converged solve.  On failed solves, the true residual
         norm ``||b - A x||`` computed explicitly for diagnostics.
+    residual_history:
+        Preconditioned relative residual norm after every inner iteration —
+        the per-solve convergence trace used by the solver-convergence test
+        harness and the adaptive refresh policy.
+    preconditioner_degraded:
+        True when the preconditioner reported that a fallback weakened it
+        (e.g. :func:`make_ilu_preconditioner` degrading to Jacobi after a
+        failed ILU factorisation), so degraded preconditioning is detectable
+        from the solve report instead of only from iteration counts.
     """
 
     iterations: int
     restart_cycles: int
     converged: bool
     residual_norm: float
+    residual_history: list[float] = field(default_factory=list)
+    preconditioner_degraded: bool = False
 
 
-def make_ilu_preconditioner(matrix: sp.spmatrix, *, drop_tol: float = 1e-5, fill_factor: float = 20.0) -> spla.LinearOperator:
+def make_ilu_preconditioner(
+    matrix: sp.spmatrix, *, drop_tol: float = 1e-5, fill_factor: float = 20.0
+) -> ILUPreconditioner:
     """Build an incomplete-LU preconditioner for ``matrix``.
 
     Falls back to a Jacobi (diagonal) preconditioner if the ILU factorisation
-    fails, which can happen for badly scaled or nearly singular systems.
+    fails, which can happen for badly scaled or nearly singular systems.  The
+    fallback is no longer silent: a warning is logged and the returned
+    :class:`~repro.linalg.preconditioners.ILUPreconditioner` carries
+    ``degraded=True`` (propagated into
+    :attr:`GMRESReport.preconditioner_degraded` by :func:`gmres_solve`).
     """
-    csc = sp.csc_matrix(matrix)
-    try:
-        ilu = spla.spilu(csc, drop_tol=drop_tol, fill_factor=fill_factor)
-        return spla.LinearOperator(csc.shape, matvec=ilu.solve)
-    except RuntimeError:
-        diag = csc.diagonal()
-        safe = np.where(np.abs(diag) > 1e-300, diag, 1.0)
-        inv = 1.0 / safe
+    return ILUPreconditioner(matrix, drop_tol=drop_tol, fill_factor=fill_factor)
 
-        def jacobi(v: np.ndarray) -> np.ndarray:
-            return inv * v
 
-        return spla.LinearOperator(csc.shape, matvec=jacobi)
+def _as_operator(
+    preconditioner: Preconditioner | spla.LinearOperator | None,
+) -> spla.LinearOperator | None:
+    """Normalise a protocol implementation or raw operator for ``spla.gmres``."""
+    if preconditioner is None:
+        return None
+    as_operator = getattr(preconditioner, "as_operator", None)
+    if callable(as_operator):
+        return as_operator()
+    return preconditioner
 
 
 def gmres_solve(
     matrix: sp.spmatrix | spla.LinearOperator,
     rhs: np.ndarray,
     *,
-    preconditioner: spla.LinearOperator | None = None,
+    preconditioner: Preconditioner | spla.LinearOperator | None = None,
     tol: float = 1e-9,
     restart: int = 80,
     maxiter: int = 2000,
@@ -80,18 +109,22 @@ def gmres_solve(
 ) -> tuple[np.ndarray, GMRESReport]:
     """Solve ``matrix @ x = rhs`` with restarted, preconditioned GMRES.
 
-    Returns the solution and a :class:`GMRESReport`.  When
+    ``preconditioner`` may be ``None`` (a default ILU is built for sparse
+    matrices), a raw :class:`~scipy.sparse.linalg.LinearOperator`, or any
+    implementation of the :class:`~repro.linalg.preconditioners.Preconditioner`
+    protocol.  Returns the solution and a :class:`GMRESReport`.  When
     ``raise_on_failure`` is True a non-converged solve raises
     :class:`SingularMatrixError`.
     """
     counter = _IterationCounter()
     if preconditioner is None and sp.issparse(matrix):
         preconditioner = make_ilu_preconditioner(matrix)
+    degraded = bool(getattr(preconditioner, "degraded", False))
 
     x, info = spla.gmres(
         matrix,
         rhs,
-        M=preconditioner,
+        M=_as_operator(preconditioner),
         rtol=tol,
         atol=0.0,
         restart=restart,
@@ -116,6 +149,8 @@ def gmres_solve(
         restart_cycles=restart_cycles,
         converged=converged,
         residual_norm=residual_norm,
+        residual_history=counter.history,
+        preconditioner_degraded=degraded,
     )
     if not converged and raise_on_failure:
         raise SingularMatrixError(
@@ -125,20 +160,128 @@ def gmres_solve(
     return x, report
 
 
+class CachedPreconditionedGMRES:
+    """The cached-preconditioner discipline shared by the Krylov front ends.
+
+    Owns the one policy both the MPDE Newton solver and the matrix-free 1-D
+    collocation solver follow for every linear solve:
+
+    * preconditioners whose build costs no more than a few matvecs
+      (``cheap_rebuild``) are rebuilt from fresh Jacobian data every solve;
+      expensive factorisations (ILU) are cached across solves,
+    * a cached factorisation is refreshed when the
+      :class:`~repro.linalg.preconditioners.AdaptiveRefreshPolicy` flags the
+      GMRES iteration trend as degraded — *before* the stale cache fails,
+    * a solve that still fails against a cached factorisation rebuilds and
+      retries once (a failure against a *fresh* build would only repeat
+      itself, so it is reported or raised immediately).
+
+    ``build(context)`` produces a fresh
+    :class:`~repro.linalg.preconditioners.Preconditioner` from whatever
+    per-iterate state the front end carries (the MPDE solver passes its
+    Jacobian data arrays, the collocation solver its device evaluation).
+    :meth:`solve` returns ``(solution, reports)`` — one
+    :class:`GMRESReport` per GMRES attempt — so callers account iterations
+    and degraded-preconditioner flags from the reports (every build is used
+    by the solve that follows it, so the per-report flags cover all builds);
+    the ``builds`` counter aggregates build effort.
+    """
+
+    def __init__(
+        self,
+        build,
+        *,
+        growth_factor: float = 1.6,
+        slack: int = 8,
+    ) -> None:
+        self._build = build
+        self._policy = AdaptiveRefreshPolicy(growth_factor=growth_factor, slack=slack)
+        self.cached: Preconditioner | None = None
+        self.builds = 0
+
+    def _rebuild(self, context) -> Preconditioner:
+        self.cached = self._build(context)
+        self.builds += 1
+        self._policy.note_build()
+        return self.cached
+
+    def solve(
+        self,
+        matrix: sp.spmatrix | spla.LinearOperator,
+        rhs: np.ndarray,
+        *,
+        context,
+        tol: float = 1e-9,
+        restart: int = 80,
+        reuse: bool = True,
+        raise_on_failure: bool = True,
+    ) -> tuple[np.ndarray, list[GMRESReport]]:
+        """One preconditioned linear solve under the caching discipline.
+
+        With ``raise_on_failure=False`` a solve that stays non-converged even
+        after the rebuild-and-retry step returns the best-effort iterate with
+        ``reports[-1].converged`` False instead of raising, so outer Newton /
+        continuation fallbacks can recover.
+        """
+        fresh = (
+            self.cached is None
+            or not reuse
+            or self.cached.cheap_rebuild
+            or self._policy.should_rebuild()
+        )
+        if fresh:
+            self._rebuild(context)
+        solution, report = gmres_solve(
+            matrix,
+            rhs,
+            preconditioner=self.cached,
+            tol=tol,
+            restart=restart,
+            raise_on_failure=raise_on_failure and fresh,
+        )
+        if report.converged:
+            # A failed solve's (maxiter-capped) count must not seed the
+            # refresh baseline — it would raise the staleness threshold past
+            # anything a later solve can reach, disabling proactive refresh.
+            self._policy.record(report.iterations)
+        reports = [report]
+        if not report.converged and not fresh:
+            # The cached (stale) factorisation was not good enough even for
+            # the refresh policy to catch in time: rebuild from the current
+            # data and retry once before giving up.
+            self._rebuild(context)
+            solution, report = gmres_solve(
+                matrix,
+                rhs,
+                preconditioner=self.cached,
+                tol=tol,
+                restart=restart,
+                raise_on_failure=raise_on_failure,
+            )
+            if report.converged:
+                self._policy.record(report.iterations)
+            reports.append(report)
+        return solution, reports
+
+
 class _IterationCounter:
-    """Counts GMRES inner iterations and remembers the last residual norm.
+    """Counts GMRES inner iterations and records the residual-norm trace.
 
     With ``callback_type="pr_norm"`` SciPy invokes the callback once per
     *inner* Krylov iteration with the preconditioned relative residual norm,
     so the count is the total inner-iteration effort (restart cycles are
-    derived from it by the caller) and ``last_norm`` is the solver's own
-    final convergence measure.
+    derived from it by the caller), ``history`` is the full per-iteration
+    convergence trace and ``last_norm`` is the solver's own final convergence
+    measure.
     """
 
     def __init__(self) -> None:
         self.count = 0
+        self.history: list[float] = []
         self.last_norm: float | None = None
 
     def __call__(self, norm: float) -> None:
         self.count += 1
-        self.last_norm = float(norm)
+        norm = float(norm)
+        self.history.append(norm)
+        self.last_norm = norm

@@ -1,0 +1,507 @@
+"""Preconditioners for the matrix-free MPDE / harmonic-balance Krylov solves.
+
+The matrix-free Newton mode never assembles the MPDE Jacobian
+
+    J = (D kron I_n) . blockdiag(C_p) + blockdiag(G_p)
+
+so GMRES convergence is entirely determined by the preconditioner.  This
+module collects the available choices behind one small :class:`Preconditioner`
+protocol:
+
+* :class:`ILUPreconditioner` — drop-tolerance incomplete LU of an assembled
+  (typically grid-averaged) matrix; the general-purpose default.  When the
+  factorisation fails it degrades to Jacobi, emits a warning and flags itself
+  as ``degraded`` so callers can surface the weakened preconditioning.
+* :class:`BlockCirculantPreconditioner` — the structure-exploiting choice for
+  the periodic (circulant) differentiation operators.  Replacing every
+  per-point device block by its grid average turns the Jacobian into
+
+      J_avg = D kron C_bar + I_P kron G_bar
+
+  and because every periodic differentiation matrix on a uniform grid is
+  circulant, the multi-dimensional FFT diagonalises ``D`` exactly.  In the
+  Fourier basis ``J_avg`` falls apart into one small complex ``(n, n)`` block
+
+      B_{mk} = (lambda1_m + lambda2_k) C_bar + G_bar
+
+  per harmonic (mixing product) ``(m, k)`` — the frequency-domain
+  preconditioner classically used for harmonic balance.  Applying the
+  preconditioner is two FFTs plus ``P`` tiny back-substitutions, and unlike
+  an ILU it solves the averaged operator *exactly*, which is what makes it
+  effective for the spectral (``fourier``) MPDE operators where the averaged
+  matrix is dense-ish and drop-tolerance ILU degrades badly.
+* :class:`JacobiPreconditioner` — diagonal scaling; the cheap fallback.
+* :class:`IdentityPreconditioner` — no preconditioning (``"none"`` mode).
+
+:class:`AdaptiveRefreshPolicy` implements the staleness heuristic used by the
+MPDE solver to decide *when* to rebuild a cached preconditioner: instead of
+waiting for an outright GMRES failure, it tracks the per-solve inner
+iteration counts and requests a rebuild as soon as the trend degrades past a
+threshold relative to the first solve after the last build.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..utils.logging import get_logger
+from ..utils.options import PRECONDITIONER_KINDS
+
+__all__ = [
+    "PRECONDITIONER_KINDS",
+    "Preconditioner",
+    "ILUPreconditioner",
+    "JacobiPreconditioner",
+    "BlockCirculantPreconditioner",
+    "IdentityPreconditioner",
+    "AdaptiveRefreshPolicy",
+    "averaged_dense_blocks",
+    "averaged_matrix",
+    "build_averaged_preconditioner",
+    "circulant_eigenvalues",
+]
+
+_LOG = get_logger("linalg.preconditioners")
+
+
+@runtime_checkable
+class Preconditioner(Protocol):
+    """What the Krylov layer expects from a preconditioner.
+
+    A preconditioner approximates ``A^{-1}`` for the system matrix ``A``:
+    :meth:`solve` applies that approximation to a vector.  ``degraded`` is
+    True when a fallback weakened the approximation (e.g. an ILU that failed
+    to factor and fell back to Jacobi), so solvers and tests can detect
+    silently-degraded preconditioning through
+    :attr:`~repro.linalg.krylov.GMRESReport.preconditioner_degraded`.
+    """
+
+    kind: str
+    shape: tuple[int, int]
+    degraded: bool
+    cheap_rebuild: bool
+
+    def solve(self, vector: np.ndarray) -> np.ndarray:
+        """Apply the approximate inverse to ``vector``."""
+        ...
+
+    def as_operator(self) -> spla.LinearOperator:
+        """The preconditioner as a SciPy ``LinearOperator`` (for ``gmres``)."""
+        ...
+
+
+class _PreconditionerBase:
+    """Shared plumbing: shape bookkeeping and the ``LinearOperator`` view."""
+
+    kind: str = "base"
+    #: Whether rebuilding from fresh Jacobian data costs no more than a few
+    #: operator applications.  Caching a preconditioner across Newton
+    #: iterations trades accuracy (stale data) for factorisation time, so the
+    #: solver only caches when the build is expensive (``False``, e.g. ILU);
+    #: cheap preconditioners are rebuilt fresh at every Newton iterate.
+    cheap_rebuild: bool = True
+
+    def __init__(self, size: int) -> None:
+        self.shape = (int(size), int(size))
+        self.degraded = False
+
+    def solve(self, vector: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # ``matvec`` mirrors ``LinearOperator`` so existing call sites (and tests)
+    # that treated the ILU preconditioner as an operator keep working.
+    def matvec(self, vector: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`solve` (operator-style spelling)."""
+        return self.solve(vector)
+
+    def as_operator(self) -> spla.LinearOperator:
+        # The explicit dtype matters: without it LinearOperator probes the
+        # matvec with a full-size zero vector to infer one, i.e. a wasted
+        # preconditioner application per GMRES solve.
+        return spla.LinearOperator(self.shape, matvec=self.solve, dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flag = ", degraded" if self.degraded else ""
+        return f"{type(self).__name__}(size={self.shape[0]}{flag})"
+
+
+class JacobiPreconditioner(_PreconditionerBase):
+    """Diagonal (Jacobi) scaling ``v -> v / diag(A)``.
+
+    Zero (or denormal) diagonal entries are replaced by 1 so the
+    preconditioner stays finite on structurally singular rows; those rows are
+    then simply left unscaled.
+    """
+
+    kind = "jacobi"
+
+    def __init__(self, matrix_or_diagonal: sp.spmatrix | np.ndarray) -> None:
+        if sp.issparse(matrix_or_diagonal):
+            diagonal = matrix_or_diagonal.diagonal()
+        else:
+            arr = np.asarray(matrix_or_diagonal, dtype=float)
+            diagonal = np.diag(arr) if arr.ndim == 2 else arr
+        super().__init__(diagonal.size)
+        safe = np.where(np.abs(diagonal) > 1e-300, diagonal, 1.0)
+        self._inverse_diagonal = 1.0 / safe
+
+    def solve(self, vector: np.ndarray) -> np.ndarray:
+        return self._inverse_diagonal * vector
+
+
+class IdentityPreconditioner(_PreconditionerBase):
+    """No preconditioning (the ``"none"`` mode); :meth:`solve` is a copy."""
+
+    kind = "none"
+
+    def solve(self, vector: np.ndarray) -> np.ndarray:
+        return np.array(vector, copy=True)
+
+
+class ILUPreconditioner(_PreconditionerBase):
+    """Drop-tolerance incomplete LU of an assembled sparse matrix.
+
+    When ``spilu`` fails (structurally singular or badly scaled matrix), the
+    preconditioner degrades to Jacobi scaling of the same matrix: a warning
+    is logged, :attr:`degraded` is set, and :attr:`fallback` names the
+    replacement, so the weakened preconditioning is visible to callers (the
+    Krylov layer copies the flag into its solve report).
+    """
+
+    kind = "ilu"
+    cheap_rebuild = False
+
+    def __init__(
+        self,
+        matrix: sp.spmatrix,
+        *,
+        drop_tol: float = 1e-5,
+        fill_factor: float = 20.0,
+    ) -> None:
+        csc = sp.csc_matrix(matrix)
+        super().__init__(csc.shape[0])
+        self.fallback: str | None = None
+        self._jacobi: JacobiPreconditioner | None = None
+        try:
+            self._ilu = spla.spilu(csc, drop_tol=drop_tol, fill_factor=fill_factor)
+        except RuntimeError as exc:
+            _LOG.warning(
+                "ILU factorisation failed (%s); degrading to a Jacobi (diagonal) "
+                "preconditioner — expect higher GMRES iteration counts",
+                exc,
+            )
+            self._ilu = None
+            self._jacobi = JacobiPreconditioner(csc)
+            self.fallback = self._jacobi.kind
+            self.degraded = True
+
+    def solve(self, vector: np.ndarray) -> np.ndarray:
+        if self._ilu is not None:
+            return self._ilu.solve(vector)
+        assert self._jacobi is not None
+        return self._jacobi.solve(vector)
+
+
+def averaged_dense_blocks(
+    dynamic_pattern, static_pattern, c_data: np.ndarray, g_data: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Grid-averaged device Jacobians as dense ``(n, n)`` blocks.
+
+    ``(C_bar, G_bar)`` are the per-harmonic building blocks of the
+    block-circulant preconditioner; both collocation front ends (the 2-D MPDE
+    grid and the 1-D periodic steady state) share this recipe so the averaged
+    operator cannot silently diverge between them.  The patterns are the
+    circuit's compiled :class:`~repro.linalg.sparse.StampPattern` objects and
+    the data arrays come from ``MNASystem.evaluate_sparse``.
+    """
+    c_bar = dynamic_pattern.csr_from_data(
+        np.asarray(c_data, dtype=float).mean(axis=0)
+    ).toarray()
+    g_bar = static_pattern.csr_from_data(
+        np.asarray(g_data, dtype=float).mean(axis=0)
+    ).toarray()
+    return c_bar, g_bar
+
+
+def averaged_matrix(assemble, c_data: np.ndarray, g_data: np.ndarray) -> sp.spmatrix:
+    """Assemble the grid-averaged operator from per-point Jacobian data.
+
+    Broadcasts the grid-mean device blocks back over every point and hands
+    them to the front end's cached symbolic assembler (``assemble(c_mean,
+    g_mean)``), producing ``D kron C_bar + I kron G_bar`` without any
+    symbolic work.  This is the single definition of the averaged-operator
+    recipe shared by :meth:`MPDEProblem.averaged_jacobian` and the
+    ILU branch of :func:`build_averaged_preconditioner`.
+    """
+    c_data = np.asarray(c_data, dtype=float)
+    g_data = np.asarray(g_data, dtype=float)
+    c_mean = np.broadcast_to(c_data.mean(axis=0), c_data.shape)
+    g_mean = np.broadcast_to(g_data.mean(axis=0), g_data.shape)
+    return assemble(c_mean, g_mean)
+
+
+def build_averaged_preconditioner(
+    kind: str,
+    *,
+    size: int,
+    dynamic_pattern,
+    static_pattern,
+    c_data: np.ndarray,
+    g_data: np.ndarray,
+    eigenvalues_fast: np.ndarray | None = None,
+    eigenvalues_slow: np.ndarray | None = None,
+    assemble=None,
+) -> Preconditioner:
+    """Kind dispatch over the grid-averaged-operator preconditioner family.
+
+    Both collocation front ends (the 2-D MPDE solver and the 1-D periodic
+    steady state) build their matrix-free preconditioners through this one
+    factory so the construction recipes cannot drift apart:
+
+    * ``"none"`` — :class:`IdentityPreconditioner` of ``size``.
+    * ``"block_circulant"`` — per-harmonic blocks from the averaged dense
+      device Jacobians and the supplied circulant axis ``eigenvalues_*``.
+    * ``"jacobi"`` — the averaged operator's diagonal, computed in
+      ``O(size)`` from the averaged blocks (a circulant operator has a
+      constant diagonal, the mean of its eigenvalues) — no matrix assembly.
+    * ``"ilu"`` — drop-tolerance ILU of the assembled averaged matrix,
+      produced via :func:`averaged_matrix` and ``assemble`` (the front end's
+      cached :class:`~repro.linalg.sparse.CollocationJacobianAssembler`).
+    """
+    if kind == "none":
+        return IdentityPreconditioner(size)
+    if kind in ("block_circulant", "jacobi"):
+        if eigenvalues_fast is None:
+            raise ValueError(
+                f"preconditioner kind {kind!r} needs the circulant eigenvalues "
+                "of the (fast) axis differentiation operator"
+            )
+        c_bar, g_bar = averaged_dense_blocks(
+            dynamic_pattern, static_pattern, c_data, g_data
+        )
+        if kind == "block_circulant":
+            return BlockCirculantPreconditioner(
+                c_bar, g_bar, eigenvalues_fast, eigenvalues_slow
+            )
+        # diag(D kron C_bar + I kron G_bar): every circulant factor of D has
+        # the constant diagonal mean(eigenvalues), so the full diagonal is
+        # one (n,) block tiled over the grid — no sparse assembly needed.
+        d_diagonal = float(np.mean(eigenvalues_fast).real)
+        if eigenvalues_slow is not None:
+            d_diagonal += float(np.mean(eigenvalues_slow).real)
+        block_diagonal = d_diagonal * np.diag(c_bar) + np.diag(g_bar)
+        return JacobiPreconditioner(np.tile(block_diagonal, size // c_bar.shape[0]))
+    if kind == "ilu":
+        if assemble is None:
+            raise ValueError(
+                "preconditioner kind 'ilu' needs an `assemble` callable for the "
+                "averaged matrix"
+            )
+        return ILUPreconditioner(averaged_matrix(assemble, c_data, g_data))
+    raise ValueError(
+        f"unknown preconditioner kind {kind!r}; use one of {PRECONDITIONER_KINDS}"
+    )
+
+
+def circulant_eigenvalues(
+    matrix: sp.spmatrix | np.ndarray, *, check: bool = True, rtol: float = 1e-9
+) -> np.ndarray:
+    """Eigenvalues of a circulant matrix, ordered to match ``numpy.fft``.
+
+    A circulant matrix ``A`` with first column ``c`` (``A[j, k] = c[(j - k)
+    mod N]``) is diagonalised by the DFT: ``fft(A @ x) = fft(c) * fft(x)``.
+    Every periodic differentiation operator in this library (backward Euler,
+    BDF2, central, spectral Fourier) is circulant on a uniform grid, which is
+    the structural fact the block-circulant preconditioner exploits.
+
+    With ``check=True`` (the default) the matrix is verified to actually be
+    circulant; a non-circulant operator (e.g. from a non-uniform grid) raises
+    ``ValueError`` rather than silently producing a wrong preconditioner.
+    """
+    dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix, dtype=float)
+    if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+        raise ValueError(f"circulant operator must be square, got shape {dense.shape}")
+    n = dense.shape[0]
+    first_column = dense[:, 0]
+    if check:
+        # Column k of a circulant matrix is the first column rolled down by k.
+        indices = (np.arange(n)[:, None] - np.arange(n)[None, :]) % n
+        reconstructed = first_column[indices]
+        scale = max(np.abs(first_column).max(), 1e-300)
+        if not np.allclose(dense, reconstructed, rtol=0.0, atol=rtol * scale):
+            raise ValueError(
+                "matrix is not circulant (non-uniform grid or non-periodic "
+                "differentiation operator?)"
+            )
+    return np.fft.fft(first_column)
+
+
+class BlockCirculantPreconditioner(_PreconditionerBase):
+    """Per-harmonic (frequency-domain) preconditioner for circulant operators.
+
+    Solves the grid-averaged operator
+
+        J_avg = (D1 oplus D2) kron C_bar + I_P kron G_bar
+
+    *exactly* by FFT-diagonalising the periodic axes: for each harmonic pair
+    ``(m, k)`` the small complex block ``B_mk = (lambda1_m + lambda2_k) C_bar
+    + G_bar`` is inverted once at construction, and every application is two
+    FFTs plus a batched block multiply.
+
+    Parameters
+    ----------
+    c_bar, g_bar:
+        Grid-averaged dynamic / static device Jacobians, dense ``(n, n)``.
+    eigenvalues_fast:
+        Circulant eigenvalues of the fast-axis differentiation matrix
+        (length ``n_fast``), ordered as :func:`numpy.fft.fft` output.
+    eigenvalues_slow:
+        Circulant eigenvalues of the slow-axis operator (length ``n_slow``).
+        Pass the default (a single zero) for one-dimensional collocation
+        problems (single-tone periodic steady state).
+
+    Notes
+    -----
+    Harmonic blocks that are exactly singular (e.g. a singular ``G_bar`` at
+    the DC harmonic) are replaced by their pseudo-inverse; the instance is
+    then flagged ``degraded`` and a warning is logged.
+    """
+
+    kind = "block_circulant"
+
+    def __init__(
+        self,
+        c_bar: np.ndarray,
+        g_bar: np.ndarray,
+        eigenvalues_fast: np.ndarray,
+        eigenvalues_slow: np.ndarray | None = None,
+    ) -> None:
+        c_bar = np.asarray(c_bar, dtype=float)
+        g_bar = np.asarray(g_bar, dtype=float)
+        if c_bar.ndim != 2 or c_bar.shape[0] != c_bar.shape[1]:
+            raise ValueError(f"c_bar must be square, got shape {c_bar.shape}")
+        if g_bar.shape != c_bar.shape:
+            raise ValueError(
+                f"g_bar shape {g_bar.shape} does not match c_bar shape {c_bar.shape}"
+            )
+        lam_fast = np.asarray(eigenvalues_fast, dtype=complex).ravel()
+        lam_slow = (
+            np.zeros(1, dtype=complex)
+            if eigenvalues_slow is None
+            else np.asarray(eigenvalues_slow, dtype=complex).ravel()
+        )
+        if lam_fast.size == 0 or lam_slow.size == 0:
+            raise ValueError("eigenvalue arrays must be non-empty")
+        self.n_unknowns = c_bar.shape[0]
+        self.n_fast = lam_fast.size
+        self.n_slow = lam_slow.size
+        super().__init__(self.n_fast * self.n_slow * self.n_unknowns)
+
+        # One (n, n) complex block per harmonic (m, k).
+        lam = lam_fast[:, None] + lam_slow[None, :]
+        blocks = lam[:, :, None, None] * c_bar[None, None] + g_bar[None, None]
+        try:
+            self._inverse_blocks = np.linalg.inv(blocks)
+        except np.linalg.LinAlgError:
+            self._inverse_blocks = self._invert_with_fallback(blocks)
+
+    @property
+    def n_harmonics(self) -> int:
+        """Number of per-harmonic blocks (``n_fast * n_slow``)."""
+        return self.n_fast * self.n_slow
+
+    def _invert_with_fallback(self, blocks: np.ndarray) -> np.ndarray:
+        """Invert blocks one by one, pseudo-inverting the singular ones."""
+        flat = blocks.reshape(-1, self.n_unknowns, self.n_unknowns)
+        inverses = np.empty_like(flat)
+        singular = 0
+        for index, block in enumerate(flat):
+            try:
+                inverses[index] = np.linalg.inv(block)
+            except np.linalg.LinAlgError:
+                inverses[index] = np.linalg.pinv(block)
+                singular += 1
+        _LOG.warning(
+            "block-circulant preconditioner: %d of %d harmonic blocks are singular; "
+            "using pseudo-inverses (degraded preconditioning)",
+            singular,
+            flat.shape[0],
+        )
+        self.degraded = True
+        return inverses.reshape(blocks.shape)
+
+    def solve(self, vector: np.ndarray) -> np.ndarray:
+        grid = np.asarray(vector).reshape(self.n_fast, self.n_slow, self.n_unknowns)
+        spectrum = np.fft.fft2(grid, axes=(0, 1))
+        solved = np.einsum("fsij,fsj->fsi", self._inverse_blocks, spectrum)
+        result = np.fft.ifft2(solved, axes=(0, 1))
+        return np.ascontiguousarray(result.real).reshape(np.shape(vector))
+
+
+class AdaptiveRefreshPolicy:
+    """Iteration-trend staleness heuristic for cached preconditioners.
+
+    The first GMRES solve after a (re)build establishes a baseline iteration
+    count.  As the Newton iterate drifts, the cached preconditioner degrades
+    and the per-solve iteration counts creep up; once a solve exceeds
+    ``baseline * growth_factor + slack`` the policy reports the
+    preconditioner as stale so the solver can rebuild *before* GMRES fails
+    outright (the old rebuild-on-failure-only heuristic paid for a full
+    failed solve — ``maxiter`` wasted iterations — before reacting).
+
+    Usage::
+
+        policy.note_build()            # after every (re)factorisation
+        ...
+        policy.record(report.iterations)   # after every GMRES solve
+        if policy.should_rebuild():
+            ...                        # rebuild before the *next* solve
+    """
+
+    def __init__(self, growth_factor: float = 1.6, slack: int = 8) -> None:
+        if growth_factor <= 1.0:
+            raise ValueError(f"growth_factor must be > 1.0, got {growth_factor}")
+        if slack < 0:
+            raise ValueError(f"slack must be non-negative, got {slack}")
+        self.growth_factor = float(growth_factor)
+        self.slack = int(slack)
+        self._baseline: int | None = None
+        self._last: int | None = None
+
+    @property
+    def baseline(self) -> int | None:
+        """Iteration count of the first solve after the last build (or None)."""
+        return self._baseline
+
+    @property
+    def last(self) -> int | None:
+        """Iteration count of the most recent solve (or None)."""
+        return self._last
+
+    def note_build(self) -> None:
+        """Reset the trend: the next recorded solve sets a fresh baseline."""
+        self._baseline = None
+        self._last = None
+
+    def record(self, iterations: int) -> None:
+        """Record the inner-iteration count of a completed GMRES solve."""
+        iterations = int(iterations)
+        if self._baseline is None:
+            self._baseline = iterations
+        self._last = iterations
+
+    def should_rebuild(self) -> bool:
+        """Whether the iteration trend has degraded past the threshold."""
+        if self._baseline is None or self._last is None:
+            return False
+        return self._last > self._baseline * self.growth_factor + self.slack
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdaptiveRefreshPolicy(growth_factor={self.growth_factor}, "
+            f"slack={self.slack}, baseline={self._baseline}, last={self._last})"
+        )

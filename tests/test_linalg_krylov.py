@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.linalg import gmres_solve, make_ilu_preconditioner
+from repro.linalg import ILUPreconditioner, gmres_solve, make_ilu_preconditioner
 from repro.utils import SingularMatrixError
 
 
@@ -50,6 +52,45 @@ class TestGMRES:
         )
         assert not report.converged
         assert x.shape == (300,)
+        # The non-convergence must be fully reported: a true residual norm
+        # (computed explicitly on failure) and the per-iteration trace.
+        assert np.isfinite(report.residual_norm)
+        residual = np.linalg.norm(b - a @ x)
+        np.testing.assert_allclose(report.residual_norm, residual, rtol=1e-12)
+        assert len(report.residual_history) == report.iterations > 0
+        assert report.restart_cycles >= 1
+
+    def test_zero_rhs_converges_immediately(self):
+        a = _laplacian(25)
+        x, report = gmres_solve(a, np.zeros(25), tol=1e-12)
+        assert report.converged
+        assert report.iterations == 0
+        assert report.restart_cycles == 0
+        assert report.residual_history == []
+        assert report.residual_norm == 0.0
+        np.testing.assert_array_equal(x, np.zeros(25))
+
+    def test_records_per_solve_iteration_history(self):
+        a = _laplacian(60)
+        b = np.ones(60)
+        _, report = gmres_solve(a, b, preconditioner=None, tol=1e-10)
+        assert len(report.residual_history) == report.iterations
+        # The preconditioned residual norms must reach the requested tolerance.
+        assert report.residual_history[-1] <= 1e-10
+        assert min(report.residual_history) == report.residual_history[-1]
+
+    def test_degraded_preconditioner_is_surfaced_in_report(self):
+        singular = sp.csr_matrix(np.diag([1.0, 0.0, 2.0]))
+        precond = make_ilu_preconditioner(singular)
+        a = _laplacian(3)
+        _, report = gmres_solve(a, np.ones(3), preconditioner=precond, tol=1e-10)
+        assert report.converged
+        assert report.preconditioner_degraded
+
+    def test_healthy_preconditioner_is_not_flagged(self):
+        a = _laplacian(30)
+        _, report = gmres_solve(a, np.ones(30), tol=1e-10)
+        assert not report.preconditioner_degraded
 
 
 class TestILUPreconditioner:
@@ -60,9 +101,19 @@ class TestILUPreconditioner:
         v = rng.normal(size=40)
         # With drop_tol=0 the ILU is an exact LU, so M(A v) ~= v.
         np.testing.assert_allclose(ilu.matvec(a @ v), v, rtol=1e-8, atol=1e-10)
+        assert not ilu.degraded
+        assert ilu.fallback is None
 
-    def test_falls_back_to_jacobi_for_singular_matrix(self):
+    def test_falls_back_to_jacobi_for_singular_matrix(self, caplog):
         singular = sp.csr_matrix(np.diag([1.0, 0.0, 2.0]))
-        precond = make_ilu_preconditioner(singular)
+        with caplog.at_level(logging.WARNING, logger="repro.linalg.preconditioners"):
+            precond = make_ilu_preconditioner(singular)
         out = precond.matvec(np.ones(3))
         assert np.all(np.isfinite(out))
+        # The fallback is no longer silent: warning + degraded/fallback flags.
+        assert isinstance(precond, ILUPreconditioner)
+        assert precond.degraded
+        assert precond.fallback == "jacobi"
+        assert any(
+            "ILU factorisation failed" in record.message for record in caplog.records
+        )

@@ -1,0 +1,475 @@
+"""Solver-convergence test harness for the preconditioner subsystem.
+
+The matrix-free MPDE/HB Newton mode lives or dies by its preconditioner, so
+this module tests the :mod:`repro.linalg.preconditioners` subsystem the way a
+flow-level verification stage would: algebraic property tests (the FFT
+per-harmonic solve must equal a dense solve of the explicitly assembled
+block-circulant matrix), regression tests for the adaptive refresh policy,
+and end-to-end convergence assertions on the paper's balanced mixer — the
+headline being that the block-circulant mode cuts total GMRES inner
+iterations by >= 3x versus the averaged-Jacobian ILU on the spectral
+(``fourier``) operators while reaching the same solution as the direct path.
+
+The full paper-grid (40 x 30 spectral) check is marked ``slow`` and excluded
+from the default (tier-1) run; run it with ``pytest -m slow``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis.pss_fd import collocation_periodic_steady_state
+from repro.core.mpde import MPDEProblem
+from repro.core.multitone_hb import two_tone_harmonic_balance
+from repro.core.solver import solve_mpde
+from repro.linalg import gmres_solve, make_ilu_preconditioner
+from repro.linalg.preconditioners import (
+    AdaptiveRefreshPolicy,
+    BlockCirculantPreconditioner,
+    ILUPreconditioner,
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    Preconditioner,
+    circulant_eigenvalues,
+)
+from repro.linalg.sparse import (
+    periodic_bdf2_difference,
+    periodic_fourier_differentiation,
+)
+from repro.rf import balanced_lo_doubling_mixer, unbalanced_switching_mixer
+from repro.utils import MPDEError, MPDEOptions
+
+# The spectral (two-tone HB equivalent) configuration of the paper's balanced
+# mixer.  SMALL is cheap enough to afford a direct-solve reference; MEDIUM is
+# where the averaged-ILU mode visibly burns iterations (the >= 3x headline
+# assertion); the paper's 40 x 30 grid is exercised by the slow-marked test.
+SMALL_GRID = (20, 10)
+MEDIUM_GRID = (36, 18)
+PAPER_GRID = (40, 30)
+
+
+def _spectral_options(grid: tuple[int, int], **overrides) -> MPDEOptions:
+    return MPDEOptions(
+        n_fast=grid[0],
+        n_slow=grid[1],
+        fast_method="fourier",
+        slow_method="fourier",
+        **overrides,
+    )
+
+
+def _relative_state_error(states: np.ndarray, reference: np.ndarray) -> float:
+    scale = float(np.max(np.abs(reference)))
+    return float(np.max(np.abs(states - reference))) / max(scale, 1e-300)
+
+
+@pytest.fixture(scope="module")
+def balanced_mixer():
+    mixer = balanced_lo_doubling_mixer()
+    return mixer, mixer.compile()
+
+
+@pytest.fixture(scope="module")
+def spectral_small(balanced_mixer):
+    """Direct and matrix-free block-circulant solves at the SMALL grid."""
+    mixer, mna = balanced_mixer
+    direct = solve_mpde(mna, mixer.scales, _spectral_options(SMALL_GRID))
+    block = solve_mpde(
+        mna,
+        mixer.scales,
+        _spectral_options(
+            SMALL_GRID, matrix_free=True, preconditioner="block_circulant"
+        ),
+    )
+    return {"direct": direct, "block_circulant": block}
+
+
+@pytest.fixture(scope="module")
+def spectral_medium(balanced_mixer):
+    """Matrix-free solves at the MEDIUM grid, one per preconditioner mode."""
+    mixer, mna = balanced_mixer
+    results = {}
+    for mode in ("ilu", "block_circulant"):
+        results[mode] = solve_mpde(
+            mna,
+            mixer.scales,
+            _spectral_options(MEDIUM_GRID, matrix_free=True, preconditioner=mode),
+        )
+    return results
+
+
+# -- satellite: algebraic property tests ---------------------------------------------
+
+
+class TestBlockCirculantProperty:
+    """The FFT per-harmonic apply must equal a dense solve of the explicit matrix."""
+
+    @pytest.mark.parametrize(
+        "n_fast, n_slow",
+        [(8, 5), (9, 5), (8, 4), (9, 4)],
+        ids=["even-odd", "odd-odd", "even-even", "odd-even"],
+    )
+    @pytest.mark.parametrize("fast_rule", ["fourier", "bdf2"])
+    def test_apply_matches_dense_solve(self, rng, n_fast, n_slow, fast_rule):
+        n = 3
+        maker = (
+            periodic_fourier_differentiation
+            if fast_rule == "fourier"
+            else periodic_bdf2_difference
+        )
+        d_fast = np.asarray(sp.csr_matrix(maker(n_fast, 2.0e-6)).todense())
+        d_slow = np.asarray(sp.csr_matrix(maker(n_slow, 3.0e-5)).todense())
+        c_bar = rng.normal(size=(n, n)) * 1e-6
+        g_bar = rng.normal(size=(n, n)) + 4.0 * np.eye(n)
+
+        precond = BlockCirculantPreconditioner(
+            c_bar,
+            g_bar,
+            circulant_eigenvalues(d_fast),
+            circulant_eigenvalues(d_slow),
+        )
+        assert not precond.degraded
+        assert precond.n_harmonics == n_fast * n_slow
+
+        derivative = np.kron(d_fast, np.eye(n_slow)) + np.kron(np.eye(n_fast), d_slow)
+        explicit = np.kron(derivative, c_bar) + np.kron(np.eye(n_fast * n_slow), g_bar)
+        vector = rng.normal(size=n_fast * n_slow * n)
+        np.testing.assert_allclose(
+            precond.solve(vector),
+            np.linalg.solve(explicit, vector),
+            rtol=1e-9,
+            atol=1e-12 * np.abs(vector).max(),
+        )
+
+    @pytest.mark.parametrize("n_fast", [8, 9], ids=["even", "odd"])
+    def test_apply_matches_per_harmonic_complex_blocks(self, rng, n_fast):
+        """Harmonic-by-harmonic: each complex ``(n, n)`` block solves its own bin."""
+        n, n_slow = 2, 5
+        d_fast = np.asarray(
+            sp.csr_matrix(periodic_fourier_differentiation(n_fast, 1.0)).todense()
+        )
+        d_slow = np.asarray(sp.csr_matrix(periodic_bdf2_difference(n_slow, 7.0)).todense())
+        lam_fast = circulant_eigenvalues(d_fast)
+        lam_slow = circulant_eigenvalues(d_slow)
+        c_bar = rng.normal(size=(n, n))
+        g_bar = rng.normal(size=(n, n)) + 3.0 * np.eye(n)
+        precond = BlockCirculantPreconditioner(c_bar, g_bar, lam_fast, lam_slow)
+
+        vector = rng.normal(size=n_fast * n_slow * n)
+        spectrum = np.fft.fft2(vector.reshape(n_fast, n_slow, n), axes=(0, 1))
+        solved = np.empty_like(spectrum)
+        for m in range(n_fast):
+            for k in range(n_slow):
+                block = (lam_fast[m] + lam_slow[k]) * c_bar + g_bar
+                solved[m, k] = np.linalg.solve(block, spectrum[m, k])
+        expected = np.fft.ifft2(solved, axes=(0, 1)).real.ravel()
+        np.testing.assert_allclose(precond.solve(vector), expected, rtol=1e-10)
+
+    def test_one_dimensional_collocation_case(self, rng):
+        """Default slow axis (a single zero eigenvalue) covers 1-D collocation."""
+        n, n_samples = 3, 9
+        d = np.asarray(sp.csr_matrix(periodic_bdf2_difference(n_samples, 1e-3)).todense())
+        c_bar = rng.normal(size=(n, n)) * 1e-7
+        g_bar = rng.normal(size=(n, n)) + 2.0 * np.eye(n)
+        precond = BlockCirculantPreconditioner(c_bar, g_bar, circulant_eigenvalues(d))
+        explicit = np.kron(d, c_bar) + np.kron(np.eye(n_samples), g_bar)
+        vector = rng.normal(size=n_samples * n)
+        np.testing.assert_allclose(
+            precond.solve(vector), np.linalg.solve(explicit, vector), rtol=1e-9
+        )
+
+    def test_non_circulant_operator_is_rejected(self, rng):
+        matrix = rng.normal(size=(6, 6))
+        with pytest.raises(ValueError, match="not circulant"):
+            circulant_eigenvalues(matrix)
+
+    def test_circulant_eigenvalues_match_numpy_eigvals(self):
+        d = periodic_bdf2_difference(7, 2.5)
+        computed = np.sort_complex(circulant_eigenvalues(d))
+        reference = np.sort_complex(np.linalg.eigvals(d.toarray()))
+        np.testing.assert_allclose(computed, reference, rtol=1e-9, atol=1e-9)
+
+    def test_singular_harmonic_block_degrades_to_pseudoinverse(self, caplog):
+        # C = I, G = 0: the DC (lambda = 0) harmonic block is exactly singular.
+        d = periodic_fourier_differentiation(6, 1.0)
+        with caplog.at_level(logging.WARNING, logger="repro.linalg.preconditioners"):
+            precond = BlockCirculantPreconditioner(
+                np.eye(2), np.zeros((2, 2)), circulant_eigenvalues(d)
+            )
+        assert precond.degraded
+        assert any("singular" in record.message for record in caplog.records)
+        assert np.all(np.isfinite(precond.solve(np.ones(12))))
+
+
+# -- satellite: adaptive refresh policy ----------------------------------------------
+
+
+class TestAdaptiveRefreshPolicy:
+    def test_trend_thresholds(self):
+        policy = AdaptiveRefreshPolicy(growth_factor=2.0, slack=4)
+        assert not policy.should_rebuild()  # nothing recorded yet
+        policy.record(10)
+        assert policy.baseline == 10
+        assert not policy.should_rebuild()
+        policy.record(24)  # 24 <= 10 * 2 + 4
+        assert not policy.should_rebuild()
+        policy.record(25)  # 25 > 24
+        assert policy.should_rebuild()
+        policy.note_build()
+        assert policy.baseline is None
+        assert not policy.should_rebuild()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveRefreshPolicy(growth_factor=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveRefreshPolicy(slack=-1)
+
+    def test_drifting_jacobian_triggers_rebuild_before_failure(self, rng):
+        """A cached preconditioner on a drifting operator must be flagged stale
+        by the iteration trend *before* GMRES ever fails outright."""
+        n = 120
+        main = 2.0 + rng.uniform(0.5, 1.5, size=n)
+        off = -1.0 * np.ones(n - 1)
+        base = sp.diags([off, main, off], offsets=[-1, 0, 1]).tocsc()
+        drift = sp.diags(
+            [np.ones(n - 4), np.ones(n - 4)], offsets=[-4, 4], format="csc"
+        )
+        rhs = rng.normal(size=n)
+
+        policy = AdaptiveRefreshPolicy(growth_factor=1.5, slack=2)
+        preconditioner = make_ilu_preconditioner(base, drop_tol=0.0)  # exact at t=0
+        policy.note_build()
+
+        triggered_at = None
+        for step, t in enumerate(np.linspace(0.0, 0.9, 16)):
+            matrix = (base + t * drift).tocsc()
+            _, report = gmres_solve(
+                matrix,
+                rhs,
+                preconditioner=preconditioner,
+                tol=1e-10,
+                raise_on_failure=False,
+            )
+            assert report.converged, (
+                "GMRES failed outright before the refresh policy reacted "
+                f"(drift step {step}) — the policy is supposed to fire first"
+            )
+            policy.record(report.iterations)
+            if policy.should_rebuild():
+                triggered_at = step
+                break
+        assert triggered_at is not None, (
+            "the drifting Jacobian never triggered the adaptive refresh policy"
+        )
+        assert triggered_at > 0  # the fresh build itself must not be flagged
+
+    def test_mpde_stats_reflect_policy_rebuilds(self, balanced_mixer):
+        """End to end: the stale-ILU rebuilds show up in the solver stats."""
+        mixer, mna = balanced_mixer
+        result = solve_mpde(
+            mna,
+            mixer.scales,
+            _spectral_options(SMALL_GRID, matrix_free=True, preconditioner="ilu"),
+        )
+        stats = result.stats
+        assert stats.preconditioner_kind == "ilu"
+        # The Newton iterate moves far from the DC guess, so the policy must
+        # have rebuilt the cached ILU at least once beyond the initial build —
+        # and without a single GMRES failure (every solve converged, so the
+        # history has exactly one entry per linear solve).
+        assert stats.preconditioner_builds >= 2
+        assert len(stats.linear_iteration_history) == stats.linear_solves
+        assert sum(stats.linear_iteration_history) == stats.linear_iterations
+
+
+# -- tentpole: the solver-convergence harness ---------------------------------------
+
+
+class TestSpectralConvergence:
+    def test_block_circulant_matches_direct_solution(self, spectral_small):
+        direct = spectral_small["direct"]
+        block = spectral_small["block_circulant"]
+        assert direct.stats.converged and block.stats.converged
+        assert _relative_state_error(block.states, direct.states) < 1e-8
+
+    def test_block_circulant_cuts_gmres_iterations_3x(self, spectral_medium):
+        ilu = spectral_medium["ilu"].stats
+        block = spectral_medium["block_circulant"].stats
+        assert ilu.converged and block.converged
+        assert block.linear_iterations > 0
+        ratio = ilu.linear_iterations / block.linear_iterations
+        assert ratio >= 3.0, (
+            "block-circulant preconditioning should cut total GMRES inner "
+            f"iterations by >= 3x vs the averaged ILU, got {ratio:.2f}x "
+            f"({ilu.linear_iterations} vs {block.linear_iterations})"
+        )
+        # Both matrix-free modes must land on the same solution.
+        assert (
+            _relative_state_error(
+                spectral_medium["block_circulant"].states,
+                spectral_medium["ilu"].states,
+            )
+            < 1e-8
+        )
+
+    def test_block_circulant_is_rebuilt_fresh_each_newton_iterate(self, spectral_medium):
+        stats = spectral_medium["block_circulant"].stats
+        assert stats.preconditioner_kind == "block_circulant"
+        # cheap_rebuild preconditioners are never cached: one build per solve.
+        assert stats.preconditioner_builds == stats.linear_solves
+
+    def test_all_modes_reach_the_direct_solution(self):
+        mixer = unbalanced_switching_mixer(lo_frequency=2e6, difference_frequency=50e3)
+        mna = mixer.compile()
+        base = dict(n_fast=16, n_slow=8, fast_method="bdf2", slow_method="bdf2")
+        direct = solve_mpde(mna, mixer.scales, MPDEOptions(**base))
+        for mode in ("ilu", "block_circulant", "jacobi", "none"):
+            result = solve_mpde(
+                mna,
+                mixer.scales,
+                MPDEOptions(**base, matrix_free=True, preconditioner=mode),
+            )
+            assert result.stats.converged, mode
+            assert _relative_state_error(result.states, direct.states) < 1e-8, mode
+
+    @pytest.mark.slow
+    def test_paper_grid_acceptance(self, balanced_mixer):
+        """The acceptance criterion at the paper's 40 x 30 grid, end to end."""
+        mixer, mna = balanced_mixer
+        direct = solve_mpde(mna, mixer.scales, _spectral_options(PAPER_GRID))
+        ilu = solve_mpde(
+            mna,
+            mixer.scales,
+            _spectral_options(PAPER_GRID, matrix_free=True, preconditioner="ilu"),
+        )
+        block = solve_mpde(
+            mna,
+            mixer.scales,
+            _spectral_options(
+                PAPER_GRID, matrix_free=True, preconditioner="block_circulant"
+            ),
+        )
+        assert _relative_state_error(block.states, direct.states) < 1e-8
+        assert _relative_state_error(ilu.states, direct.states) < 1e-8
+        ratio = ilu.stats.linear_iterations / block.stats.linear_iterations
+        assert ratio >= 3.0, f"paper-grid iteration ratio regressed: {ratio:.2f}x"
+
+
+# -- wiring: HB and 1-D collocation front ends --------------------------------------
+
+
+class TestAnalysisWiring:
+    def test_two_tone_hb_with_block_circulant(self, scaled_ideal_mixer):
+        mna = scaled_ideal_mixer.compile()
+        reference = two_tone_harmonic_balance(
+            mna, scaled_ideal_mixer.scales, n_harmonics_fast=2, n_harmonics_slow=2
+        )
+        matrix_free = two_tone_harmonic_balance(
+            mna,
+            scaled_ideal_mixer.scales,
+            n_harmonics_fast=2,
+            n_harmonics_slow=2,
+            matrix_free=True,
+            preconditioner="block_circulant",
+        )
+        assert matrix_free.stats.preconditioner_kind == "block_circulant"
+        assert matrix_free.stats.linear_iterations > 0
+        ref = reference.mixing_product("out", 0, 1)
+        got = matrix_free.mixing_product("out", 0, 1)
+        np.testing.assert_allclose(got, ref, rtol=1e-6, atol=1e-12)
+
+    def test_collocation_pss_matrix_free_matches_direct(self, diode_rectifier):
+        mna = diode_rectifier.compile()
+        period = 1e-3
+        direct = collocation_periodic_steady_state(mna, period, 32, method="bdf2")
+        for mode in ("block_circulant", "ilu", "jacobi"):
+            krylov = collocation_periodic_steady_state(
+                mna,
+                period,
+                32,
+                method="bdf2",
+                matrix_free=True,
+                preconditioner=mode,
+            )
+            assert krylov.linear_iterations > 0, mode
+            np.testing.assert_allclose(
+                krylov.states, direct.states, rtol=1e-6, atol=1e-9
+            )
+        assert direct.linear_iterations == 0
+
+    def test_collocation_pss_rejects_unknown_preconditioner(self, diode_rectifier):
+        mna = diode_rectifier.compile()
+        with pytest.raises(Exception, match="preconditioner"):
+            collocation_periodic_steady_state(
+                mna, 1e-3, 16, matrix_free=True, preconditioner="cholesky"
+            )
+
+
+# -- protocol / factory edges --------------------------------------------------------
+
+
+class TestPreconditionerProtocol:
+    def test_implementations_satisfy_protocol(self):
+        matrix = sp.identity(4, format="csc") * 2.0
+        instances = [
+            ILUPreconditioner(matrix),
+            JacobiPreconditioner(matrix),
+            IdentityPreconditioner(4),
+            BlockCirculantPreconditioner(
+                np.zeros((2, 2)), np.eye(2), np.zeros(2, dtype=complex)
+            ),
+        ]
+        for instance in instances:
+            assert isinstance(instance, Preconditioner)
+            assert instance.shape == (4, 4)
+            operator = instance.as_operator()
+            vector = np.arange(4.0)
+            np.testing.assert_allclose(operator.matvec(vector), instance.solve(vector))
+
+    def test_ilu_is_the_only_expensive_rebuild(self):
+        matrix = sp.identity(3, format="csc")
+        assert ILUPreconditioner(matrix).cheap_rebuild is False
+        assert JacobiPreconditioner(matrix).cheap_rebuild is True
+        assert IdentityPreconditioner(3).cheap_rebuild is True
+        assert (
+            BlockCirculantPreconditioner(
+                np.zeros((1, 1)), np.eye(1), np.zeros(3, dtype=complex)
+            ).cheap_rebuild
+            is True
+        )
+
+    def test_jacobi_guards_zero_diagonal(self):
+        precond = JacobiPreconditioner(np.array([2.0, 0.0, 4.0]))
+        np.testing.assert_allclose(
+            precond.solve(np.array([2.0, 3.0, 4.0])), [1.0, 3.0, 1.0]
+        )
+
+    def test_factory_builds_every_kind(self, balanced_mixer, rng):
+        mixer, mna = balanced_mixer
+        problem = MPDEProblem(mna, mixer.scales, _spectral_options(SMALL_GRID))
+        x = problem.initial_guess_zero()
+        _, c_data, g_data = problem.residual_and_values(x)
+        for kind, expected in [
+            ("ilu", ILUPreconditioner),
+            ("block_circulant", BlockCirculantPreconditioner),
+            ("jacobi", JacobiPreconditioner),
+            ("none", IdentityPreconditioner),
+        ]:
+            built = problem.build_preconditioner(kind, c_data=c_data, g_data=g_data)
+            assert isinstance(built, expected)
+            assert built.shape == (problem.n_total_unknowns,) * 2
+
+    def test_factory_rejects_unknown_kind_and_missing_data(self, balanced_mixer):
+        mixer, mna = balanced_mixer
+        problem = MPDEProblem(mna, mixer.scales, _spectral_options(SMALL_GRID))
+        with pytest.raises(MPDEError, match="unknown preconditioner"):
+            problem.build_preconditioner(
+                "cholesky", matrix=sp.identity(problem.n_total_unknowns, format="csc")
+            )
+        with pytest.raises(MPDEError, match="block-circulant"):
+            problem.build_preconditioner("block_circulant")
