@@ -21,11 +21,17 @@ every analysis funnels through, on the paper's balanced mixer at the paper's
    balanced-mixer solve, where the per-harmonic block-circulant mode must cut
    iterations by >= 3x versus the averaged-Jacobian ILU (the PR-2 acceptance
    floor), plus all four modes on a small ``bdf2`` switching-mixer case.
+5. **Batched evaluation engine** — full and residual-only ``evaluate_sparse``
+   at the paper grid on the batched (gather/compute/scatter) backend versus
+   the per-device ``backend="loop"`` reference; the batched engine must be
+   >= 2x faster on the full evaluation (the PR-3 acceptance floor).  The two
+   backends are timed interleaved so CPU frequency drift cancels out of the
+   ratio.
 
 Results are written to ``BENCH_perf_assembly.json`` at the repository root so
 the perf trajectory is tracked from this PR onward.  ``--check`` exits
 non-zero when any performance floor (assembly speedup >= 3x, block-circulant
-iteration cut >= 3x) is violated, for CI use.
+iteration cut >= 3x, batched engine >= 2x) is violated, for CI use.
 """
 
 from __future__ import annotations
@@ -68,6 +74,63 @@ def _time_call(fn, *, repeats: int = 20, warmup: int = 3) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _time_interleaved(fns, *, repeats: int = 60, warmup: int = 10) -> list[float]:
+    """Best-of wall times of several callables, sampled round-robin.
+
+    Interleaving means slow CPU-frequency drift hits every callable equally,
+    so the *ratios* between the returned times are stable even on a noisy
+    machine — which is what the performance floors assert on.
+    """
+    for fn in fns:
+        for _ in range(warmup):
+            fn()
+    bests = [float("inf")] * len(fns)
+    for _ in range(repeats):
+        for i, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            bests[i] = min(bests[i], time.perf_counter() - start)
+    return bests
+
+
+def bench_evaluation_engine(problem: MPDEProblem) -> dict:
+    """Batched gather/compute/scatter engine vs the per-device loop path."""
+    mna = problem.mna
+    rng = np.random.default_rng(7)
+    states = rng.normal(scale=0.3, size=(problem.n_grid_points, mna.n_unknowns))
+
+    t_loop, t_batched = _time_interleaved(
+        [
+            lambda: mna.evaluate_sparse(states, backend="loop"),
+            lambda: mna.evaluate_sparse(states, backend="batched"),
+        ]
+    )
+    t_loop_res, t_batched_res = _time_interleaved(
+        [
+            lambda: mna.evaluate_sparse(states, need_jacobian=False, backend="loop"),
+            lambda: mna.evaluate_sparse(states, need_jacobian=False, backend="batched"),
+        ]
+    )
+
+    # Correctness gate: the floor is only meaningful for identical results.
+    loop_eval = mna.evaluate_sparse(states, backend="loop")
+    batched_eval = mna.evaluate_sparse(states, backend="batched")
+    for name in ("q", "f", "g_data", "c_data"):
+        if not np.array_equal(getattr(loop_eval, name), getattr(batched_eval, name)):
+            raise RuntimeError(f"batched/loop mismatch in {name}")
+
+    return {
+        "n_points": problem.n_grid_points,
+        "n_devices": len(mna.devices),
+        "loop_eval_sparse_ms": t_loop * 1e3,
+        "batched_eval_sparse_ms": t_batched * 1e3,
+        "batched_speedup": t_loop / t_batched,
+        "loop_residual_only_ms": t_loop_res * 1e3,
+        "batched_residual_only_ms": t_batched_res * 1e3,
+        "batched_residual_only_speedup": t_loop_res / t_batched_res,
+    }
 
 
 def bench_evaluation(problem: MPDEProblem) -> dict:
@@ -127,18 +190,32 @@ def bench_mpde_solves(mixer, mna) -> dict:
             "newton_iterations": int(stats.newton_iterations),
             "linear_solves": int(stats.linear_solves),
             "linear_iterations": int(stats.linear_iterations),
+            "jacobian_factorizations": int(stats.jacobian_factorizations),
             "preconditioner_builds": int(stats.preconditioner_builds),
             "wall_time_s": elapsed,
         }
 
     direct = run(MPDEOptions(n_fast=PAPER_GRID[0], n_slow=PAPER_GRID[1]))
+    direct_full_newton = run(
+        MPDEOptions(n_fast=PAPER_GRID[0], n_slow=PAPER_GRID[1], chord_newton=False)
+    )
     matrix_free = run(
         MPDEOptions(n_fast=PAPER_GRID[0], n_slow=PAPER_GRID[1], matrix_free=True)
     )
-    for mode, result in (("direct", direct), ("matrix_free", matrix_free)):
+    checks = (
+        ("direct", direct),
+        ("direct_full_newton", direct_full_newton),
+        ("matrix_free", matrix_free),
+    )
+    for mode, result in checks:
         if not (result["converged"] and result["residual_norm"] <= abstol):
             raise RuntimeError(f"{mode} MPDE solve did not reach the Newton tolerance")
-    return {"newton_abstol": abstol, "direct": direct, "matrix_free": matrix_free}
+    return {
+        "newton_abstol": abstol,
+        "direct": direct,
+        "direct_full_newton": direct_full_newton,
+        "matrix_free": matrix_free,
+    }
 
 
 def bench_preconditioners(mixer, mna) -> dict:
@@ -211,6 +288,7 @@ def main(check: bool = False) -> dict:
     )
 
     evaluation = bench_evaluation(problem)
+    engine = bench_evaluation_engine(problem)
     assembly = bench_assembly(problem)
     solves = bench_mpde_solves(mixer, mna)
     preconditioners = bench_preconditioners(mixer, mna)
@@ -219,6 +297,7 @@ def main(check: bool = False) -> dict:
         "bench": "jacobian_assembly",
         "circuit": mna.circuit.name,
         "evaluation": evaluation,
+        "evaluation_engine": engine,
         "assembly": assembly,
         "mpde_solves": solves,
         "preconditioners": preconditioners,
@@ -234,6 +313,23 @@ def main(check: bool = False) -> dict:
             evaluation["residual_only_speedup"],
         )
     )
+    print("== batched engine vs per-device loop (evaluate_sparse, P = %d) ==" % engine["n_points"])
+    print(
+        "  full: loop %.2f ms   batched %.2f ms   speedup %.2fx"
+        % (
+            engine["loop_eval_sparse_ms"],
+            engine["batched_eval_sparse_ms"],
+            engine["batched_speedup"],
+        )
+    )
+    print(
+        "  residual-only: loop %.2f ms   batched %.2f ms   speedup %.2fx"
+        % (
+            engine["loop_residual_only_ms"],
+            engine["batched_residual_only_ms"],
+            engine["batched_residual_only_speedup"],
+        )
+    )
     print("== MPDE Jacobian assembly at %dx%d ==" % PAPER_GRID)
     print(
         "  dense path %.1f ms   sparse path %.1f ms   speedup %.1fx"
@@ -243,14 +339,15 @@ def main(check: bool = False) -> dict:
             assembly["assembly_speedup"],
         )
     )
-    for mode in ("direct", "matrix_free"):
+    for mode in ("direct", "direct_full_newton", "matrix_free"):
         s = solves[mode]
         print(
-            "== %s solve ==  residual %.2e  newton %d  linear iters %d  %.2f s"
+            "== %s solve ==  residual %.2e  newton %d  factorizations %d  linear iters %d  %.2f s"
             % (
                 mode,
                 s["residual_norm"],
                 s["newton_iterations"],
+                s["jacobian_factorizations"],
                 s["linear_iterations"],
                 s["wall_time_s"],
             )
@@ -277,6 +374,11 @@ def main(check: bool = False) -> dict:
             "block-circulant GMRES iteration cut >= 3x vs averaged ILU",
             preconditioners["spectral_iteration_ratio_ilu_over_block_circulant"],
             preconditioners["spectral_iteration_ratio_ilu_over_block_circulant"] >= 3.0,
+        ),
+        (
+            "batched engine >= 2x vs per-device loop (full evaluate_sparse)",
+            engine["batched_speedup"],
+            engine["batched_speedup"] >= 2.0,
         ),
     ]
     failed = [name for name, _value, ok in floors if not ok]

@@ -1,7 +1,8 @@
 """Circuit substrate: netlists, device models and MNA compilation."""
 
 from . import devices
-from .mna import MNAEvaluation, MNASystem
+from .engine import BatchedEvaluationEngine
+from .mna import MNAEvaluation, MNASparseEvaluation, MNASystem
 from .netlist import GROUND_NAMES, Circuit
 from .parser import parse_netlist, parse_value
 
@@ -10,6 +11,8 @@ __all__ = [
     "GROUND_NAMES",
     "MNASystem",
     "MNAEvaluation",
+    "MNASparseEvaluation",
+    "BatchedEvaluationEngine",
     "devices",
     "parse_netlist",
     "parse_value",

@@ -59,18 +59,23 @@ which is how the compiled sparse-assembly pipeline works:
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import numpy as np
 
 from ...utils.exceptions import DeviceError
 
 __all__ = [
+    "BatchSpec",
     "Device",
+    "linear_capacitance_kernel",
+    "linear_capacitance_slots",
     "TwoTerminal",
     "NullStamps",
     "PatternRecorder",
     "PatternValueFiller",
+    "VectorRecorder",
 ]
 
 
@@ -86,6 +91,26 @@ class NullStamps:
 
     def add(self, row: int, col: int, value) -> None:
         """Discard the contribution."""
+
+
+class VectorRecorder:
+    """Residual accumulator that records the row sequence of a stamp.
+
+    The vector analogue of :class:`PatternRecorder`: passed as the ``F`` /
+    ``Q`` / ``B`` argument of a stamp, it captures the exact sequence of
+    ``_add_vec`` calls (ground rows are dropped before reaching it).  The
+    batched evaluation engine compiles these per-device row sequences into
+    its residual scatter maps.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self) -> None:
+        self.rows: list[int] = []
+
+    def add(self, index: int, value) -> None:
+        """Record the row of the contribution."""
+        self.rows.append(int(index))
 
 
 class PatternRecorder:
@@ -144,6 +169,99 @@ class PatternValueFiller:
     def cursor(self) -> int:
         """Number of contributions written so far."""
         return self._cursor
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """Declaration of a device's vectorised (batched) stamp evaluation.
+
+    The batched evaluation engine (:mod:`repro.circuits.engine`) groups the
+    devices of a circuit by :attr:`key` and evaluates each group with a
+    single elementwise *kernel* call over all ``(P, n_group)`` points at
+    once, instead of dispatching ``stamp_static`` / ``stamp_dynamic`` per
+    device.  A spec describes one device's membership in that scheme:
+
+    * :attr:`indices` — the device's *terminals*: the global unknown indices
+      it reads (node voltages first, then branch-current unknowns, in
+      whatever order the kernels expect them; ``-1`` denotes ground).
+    * ``static_params`` / ``dynamic_params`` — scalar parameters, stacked by
+      the engine into ``(n_group,)`` arrays handed to the respective kernel.
+      Any value derived from the device parameters must be computed here
+      *exactly* as the loop stamps compute it, so the kernels reproduce the
+      loop path bit for bit.
+    * ``static_vec`` / ``static_mat`` — the stamp slots of
+      ``stamp_static``: residual rows, and ``(row, col)`` Jacobian entries,
+      given as positions into :attr:`indices`, in the *same order* as the
+      device's ``_add_vec`` / ``_add_mat`` calls.  Slots that resolve to
+      ground are dropped by the engine exactly as the loop stamps drop them.
+    * ``dynamic_vec`` / ``dynamic_mat`` — likewise for ``stamp_dynamic``.
+    * ``static_kernel`` / ``dynamic_kernel`` — elementwise evaluators with
+      signature ``kernel(V, params, need_jacobian)`` where ``V[t]`` is the
+      ``(P, n_group)`` value of terminal ``t`` and ``params[j]`` the stacked
+      ``(n_group,)`` parameter ``j``.  They return
+      ``(vec_values, mat_values)`` aligned with the slot declarations
+      (``mat_values`` may be ``None`` when ``need_jacobian`` is false);
+      each value may be a scalar, an ``(n_group,)`` array (point-independent
+      stamps) or a full ``(P, n_group)`` array.
+
+    Devices in a group share the kernels of the group's first member, so
+    :attr:`key` must capture everything *structural*: the device class and
+    any parameter-dependent branching (a diode with and one without charge
+    storage stamp different slots and must not share a group).  The engine
+    validates every spec against the device's recorded stamp patterns at
+    compile time, so a spec that disagrees with the loop stamps fails loudly
+    rather than silently corrupting results.
+    """
+
+    key: tuple
+    indices: tuple[int, ...]
+    static_params: tuple[float, ...] = ()
+    dynamic_params: tuple[float, ...] = ()
+    static_vec: tuple[int, ...] = ()
+    static_mat: tuple[tuple[int, int], ...] = ()
+    dynamic_vec: tuple[int, ...] = ()
+    dynamic_mat: tuple[tuple[int, int], ...] = ()
+    static_kernel: Callable | None = field(default=None, compare=False)
+    dynamic_kernel: Callable | None = field(default=None, compare=False)
+    #: Declare the kernel's Jacobian values independent of ``x`` (linear
+    #: devices).  The engine then captures them once at compile time into a
+    #: per-point-count template buffer and never asks the kernel for them
+    #: again — per evaluation the kernel runs with ``need_jacobian=False``.
+    static_mat_constant: bool = False
+    dynamic_mat_constant: bool = False
+
+
+def linear_capacitance_kernel(active_slots):
+    """Batched kernel for the ``add_linear_cap`` pattern (MOSFET, BJT, ...).
+
+    ``active_slots`` lists (node_a, node_b) terminal positions of the
+    structurally present capacitances; one capacitance parameter array is
+    expected per active slot, in the same order.  The Jacobian values are
+    the capacitances themselves, so specs using this kernel should declare
+    ``dynamic_mat_constant=True``.
+    """
+
+    def kernel(V, params, need_jacobian):
+        vec = []
+        mat = [] if need_jacobian else None
+        for (a, b), cap in zip(active_slots, params):
+            charge = cap * (V[a] - V[b])
+            vec += [charge, -charge]
+            if need_jacobian:
+                mat += [cap, -cap, -cap, cap]
+        return tuple(vec), (tuple(mat) if need_jacobian else None)
+
+    return kernel
+
+
+def linear_capacitance_slots(active_slots):
+    """(vec, mat) slot declarations matching :func:`linear_capacitance_kernel`."""
+    vec: list[int] = []
+    mat: list[tuple[int, int]] = []
+    for a, b in active_slots:
+        vec += [a, b]
+        mat += [(a, a), (a, b), (b, a), (b, b)]
+    return tuple(vec), tuple(mat)
 
 
 class Device:
@@ -216,10 +334,21 @@ class Device:
         return X[:, index]
 
     @staticmethod
-    def _add_vec(vec: np.ndarray, index: int, value: np.ndarray | float) -> None:
-        """Accumulate ``value`` into column ``index`` of a (P, n) vector array."""
+    def _add_vec(vec, index: int, value: np.ndarray | float) -> None:
+        """Accumulate ``value`` into column ``index`` of a (P, n) vector array.
+
+        ``vec`` is normally a dense ``(P, n)`` accumulator; like
+        :meth:`_add_mat` it may also be a recording/filling accumulator
+        object (:class:`VectorRecorder` and the batched engine's value
+        fillers), which is how the residual scatter maps of the batched
+        evaluation engine are compiled.  Ground rows (negative indices) are
+        dropped here in both cases.
+        """
         if index >= 0:
-            vec[:, index] += value
+            if isinstance(vec, np.ndarray):
+                vec[:, index] += value
+            else:
+                vec.add(index, value)
 
     @staticmethod
     def _add_mat(mat, row: int, col: int, value: np.ndarray | float) -> None:
@@ -257,6 +386,16 @@ class Device:
         this.
         """
         self.stamp_source(np.asarray(t1, dtype=float), B)
+
+    def batch_spec(self) -> BatchSpec | None:
+        """Batched-evaluation declaration of this device (see :class:`BatchSpec`).
+
+        ``None`` (the default) means the device has no vectorised kernel;
+        the batched engine then falls back to running its loop stamps into
+        the group buffers, so correctness never depends on a spec existing.
+        Called once per engine compilation, after :meth:`bind`.
+        """
+        return None
 
     def is_nonlinear(self) -> bool:
         """Whether the device's ``f`` or ``q`` depend nonlinearly on ``x``."""

@@ -21,9 +21,56 @@ import numpy as np
 
 from ...utils.exceptions import DeviceError
 from ...utils.validation import check_finite, check_positive
-from .base import Device, TwoTerminal
+from .base import BatchSpec, Device, TwoTerminal
 
 __all__ = ["MultiplierCurrentSource", "SmoothSwitch", "PolynomialConductance"]
+
+
+def _multiplier_static_kernel(V, params, need_jacobian):
+    (gain,) = params
+    va = V[2] - V[3]
+    vb = V[4] - V[5]
+    current = gain * va * vb
+    vec = (current, -current)
+    if not need_jacobian:
+        return vec, None
+    dia = gain * vb
+    dib = gain * va
+    return vec, (dia, -dia, dib, -dib, -dia, dia, -dib, dib)
+
+
+def _smooth_switch_static_kernel(V, params, need_jacobian):
+    g_on, g_off, threshold, transition_width = params
+    v_sw = V[0] - V[1]
+    v_ctrl = V[2] - V[3]
+    u = (v_ctrl - threshold) / transition_width
+    s = np.tanh(u)
+    g = g_off + (g_on - g_off) * 0.5 * (1.0 + s)
+    current = g * v_sw
+    vec = (current, -current)
+    if not need_jacobian:
+        return vec, None
+    dg = (g_on - g_off) * 0.5 * (1.0 - s**2) / transition_width
+    di_dctrl = dg * v_sw
+    return vec, (g, -g, -g, g, di_dctrl, -di_dctrl, -di_dctrl, di_dctrl)
+
+
+def _polynomial_static_kernel(n_coefficients: int):
+    def kernel(V, params, need_jacobian):
+        v = V[0] - V[1]
+        current = np.zeros_like(v)
+        conductance = np.zeros_like(v)
+        for k in range(1, n_coefficients + 1):
+            coeff = params[k - 1]
+            current = current + coeff * v**k
+            if need_jacobian:
+                conductance = conductance + k * coeff * v ** (k - 1)
+        vec = (current, -current)
+        if not need_jacobian:
+            return vec, None
+        return vec, (conductance, -conductance, -conductance, conductance)
+
+    return kernel
 
 
 class MultiplierCurrentSource(Device):
@@ -69,6 +116,20 @@ class MultiplierCurrentSource(Device):
             self._add_mat(G, node, an, -sign * dia)
             self._add_mat(G, node, bp, sign * dib)
             self._add_mat(G, node, bn, -sign * dib)
+
+    def batch_spec(self) -> BatchSpec:
+        self._require_bound()
+        return BatchSpec(
+            key=("MultiplierCurrentSource",),
+            indices=self._node_idx,
+            static_params=(self.gain,),
+            static_vec=(0, 1),
+            static_mat=(
+                (0, 2), (0, 3), (0, 4), (0, 5),
+                (1, 2), (1, 3), (1, 4), (1, 5),
+            ),
+            static_kernel=_multiplier_static_kernel,
+        )
 
 
 class SmoothSwitch(Device):
@@ -138,6 +199,20 @@ class SmoothSwitch(Device):
         self._add_mat(G, n, cp, -di_dctrl)
         self._add_mat(G, n, cn, di_dctrl)
 
+    def batch_spec(self) -> BatchSpec:
+        self._require_bound()
+        return BatchSpec(
+            key=("SmoothSwitch",),
+            indices=self._node_idx,
+            static_params=(self.g_on, self.g_off, self.threshold, self.transition_width),
+            static_vec=(0, 1),
+            static_mat=(
+                (0, 0), (0, 1), (1, 0), (1, 1),
+                (0, 2), (0, 3), (1, 2), (1, 3),
+            ),
+            static_kernel=_smooth_switch_static_kernel,
+        )
+
 
 class PolynomialConductance(TwoTerminal):
     """Two-terminal element whose current is a polynomial in its voltage.
@@ -172,3 +247,14 @@ class PolynomialConductance(TwoTerminal):
         self._add_mat(G, p, n, -conductance)
         self._add_mat(G, n, p, -conductance)
         self._add_mat(G, n, n, conductance)
+
+    def batch_spec(self) -> BatchSpec:
+        p, n = self._terminal_indices()
+        return BatchSpec(
+            key=("PolynomialConductance", len(self.coefficients)),
+            indices=(p, n),
+            static_params=self.coefficients,
+            static_vec=(0, 1),
+            static_mat=((0, 0), (0, 1), (1, 0), (1, 1)),
+            static_kernel=_polynomial_static_kernel(len(self.coefficients)),
+        )

@@ -10,16 +10,21 @@ resistances; junction capacitances are constant.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ...utils.exceptions import DeviceError
 from ...utils.validation import check_nonnegative, check_positive
-from .base import Device
+from .base import BatchSpec, Device, linear_capacitance_kernel, linear_capacitance_slots
 from .diode import DEFAULT_THERMAL_VOLTAGE
 
 __all__ = ["BJTParams", "BJT", "NPN", "PNP"]
+
+# Terminal order inside a BJT BatchSpec: (collector, base, emitter).
+_C, _B, _E = 0, 1, 2
+#: The two junction capacitances in ``stamp_dynamic`` order.
+_CAP_SLOTS = ((_B, _E), (_B, _C))
 
 _MAX_EXPONENT = 40.0
 
@@ -67,6 +72,41 @@ def _limited_exp(arg: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     value = np.where(over, e * (1.0 + (arg - _MAX_EXPONENT)), e)
     derivative = np.where(over, e, e)
     return value, derivative
+
+
+def _bjt_static_kernel(V, params, need_jacobian):
+    """Batched :meth:`BJT._currents` plus the three-row stamp values."""
+    is_, beta_forward, beta_reverse, vt, pol = params
+    vc, vb, ve = V[_C], V[_B], V[_E]
+    vbe = pol * (vb - ve)
+    vbc = pol * (vb - vc)
+
+    ef, def_ = _limited_exp(vbe / vt)
+    er, der_ = _limited_exp(vbc / vt)
+    ict = is_ * (ef - er)
+    ibe = is_ / beta_forward * (ef - 1.0)
+    ibc = is_ / beta_reverse * (er - 1.0)
+    ic = ict - ibc
+    ib = ibe + ibc
+    ie = ic + ib
+
+    vec = (pol * ic, pol * ib, -pol * ie)
+    if not need_jacobian:
+        return vec, None
+
+    d_ic_dvbe = is_ * def_ / vt
+    d_ic_dvbc = -is_ * der_ / vt - is_ / beta_reverse * der_ / vt
+    d_ib_dvbe = is_ / beta_forward * def_ / vt
+    d_ib_dvbc = is_ / beta_reverse * der_ / vt
+
+    mat = []
+    for d_dvbe, d_dvbc, sign in (
+        (d_ic_dvbe, d_ic_dvbc, 1.0),
+        (d_ib_dvbe, d_ib_dvbc, 1.0),
+        (d_ic_dvbe + d_ib_dvbe, d_ic_dvbc + d_ib_dvbc, -1.0),
+    ):
+        mat += [sign * (d_dvbe + d_dvbc), sign * (-d_dvbe), sign * (-d_dvbc)]
+    return vec, tuple(mat)
 
 
 class BJT(Device):
@@ -169,6 +209,41 @@ class BJT(Device):
 
         add_linear_cap(b, e, p.cje, vb, ve)
         add_linear_cap(b, c, p.cjc, vb, vc)
+
+    def batch_spec(self) -> BatchSpec:
+        self._require_bound()
+        p = self.params
+        caps = (p.cje, p.cjc)
+        active = tuple(slot for slot, cap in zip(_CAP_SLOTS, caps) if cap > 0.0)
+        spec = BatchSpec(
+            key=("BJT", active),
+            indices=self._node_idx,
+            static_params=(
+                p.saturation_current,
+                p.beta_forward,
+                p.beta_reverse,
+                p.thermal_voltage,
+                float(self.polarity),
+            ),
+            dynamic_params=tuple(cap for cap in caps if cap > 0.0),
+            static_vec=(_C, _B, _E),
+            static_mat=(
+                (_C, _B), (_C, _E), (_C, _C),
+                (_B, _B), (_B, _E), (_B, _C),
+                (_E, _B), (_E, _E), (_E, _C),
+            ),
+            static_kernel=_bjt_static_kernel,
+        )
+        if active:
+            vec, mat = linear_capacitance_slots(active)
+            spec = replace(
+                spec,
+                dynamic_vec=vec,
+                dynamic_mat=mat,
+                dynamic_kernel=linear_capacitance_kernel(active),
+                dynamic_mat_constant=True,
+            )
+        return spec
 
 
 class NPN(BJT):

@@ -8,12 +8,12 @@ strongly nonlinear element in the library and is used heavily by the tests
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ...utils.validation import check_nonnegative, check_positive
-from .base import TwoTerminal
+from .base import BatchSpec, TwoTerminal
 
 __all__ = ["DiodeParams", "Diode"]
 
@@ -66,6 +66,84 @@ class DiodeParams:
         check_positive("grading_coefficient", self.grading_coefficient)
         check_nonnegative("transit_time", self.transit_time)
         check_positive("thermal_voltage", self.thermal_voltage)
+
+
+def _batched_current_and_conductance(vd, saturation_current, vt):
+    """Array-parameter version of :meth:`Diode._current_and_conductance`.
+
+    ``saturation_current`` / ``vt`` are ``(n_group,)`` arrays broadcasting
+    against the ``(P, n_group)`` junction voltage; every expression mirrors
+    the per-device method so the results are bit-for-bit identical.
+    """
+    arg = vd / vt
+    limited = np.minimum(arg, _MAX_EXPONENT)
+    exp_term = np.exp(limited)
+    over = arg > _MAX_EXPONENT
+    exp_full = np.where(over, exp_term * (1.0 + (arg - _MAX_EXPONENT)), exp_term)
+    current = saturation_current * (exp_full - 1.0)
+    conductance = saturation_current * exp_term / vt
+    return current, conductance
+
+
+def _diode_static_kernel(fold_series_resistance: bool):
+    def kernel(V, params, need_jacobian):
+        saturation_current, vt, series_resistance = params
+        vd = V[0] - V[1]
+        current, conductance = _batched_current_and_conductance(vd, saturation_current, vt)
+        if fold_series_resistance:
+            factor = 1.0 / (1.0 + conductance * series_resistance)
+            current = current * factor
+            conductance = conductance * factor
+        vec = (current, -current)
+        if not need_jacobian:
+            return vec, None
+        return vec, (conductance, -conductance, -conductance, conductance)
+
+    return kernel
+
+
+def _diode_dynamic_kernel(has_depletion: bool, has_transit: bool, grading_coefficient: float):
+    # The grading coefficient is captured as a *Python scalar* (and is part
+    # of the group key): `one_minus ** (1.0 - m)` takes NumPy's scalar-power
+    # fast path (sqrt/square for m = 0.5 / m = -1), which an array-valued
+    # exponent would not — and that fast path is not bit-identical to
+    # np.power.  Scalar capture keeps the kernel on exactly the loop stamp's
+    # arithmetic.
+    m = grading_coefficient
+
+    def kernel(V, params, need_jacobian):
+        saturation_current, vt, cj0, vj, tt = params
+        vd = V[0] - V[1]
+        charge = np.zeros_like(vd)
+        capacitance = np.zeros_like(vd)
+        if has_depletion:
+            fc = 0.5
+            v_cross = fc * vj
+            below = vd < v_cross
+            safe = np.minimum(vd, v_cross)
+            one_minus = 1.0 - safe / vj
+            q_dep_below = cj0 * vj / (1.0 - m) * (1.0 - one_minus ** (1.0 - m))
+            c_dep_below = cj0 * one_minus ** (-m)
+            f1 = cj0 * vj / (1.0 - m) * (1.0 - (1.0 - fc) ** (1.0 - m))
+            c_at_cross = cj0 * (1.0 - fc) ** (-m)
+            dcdv_at_cross = cj0 * m / vj * (1.0 - fc) ** (-m - 1.0)
+            dv = vd - v_cross
+            q_dep_above = f1 + c_at_cross * dv + 0.5 * dcdv_at_cross * dv**2
+            c_dep_above = c_at_cross + dcdv_at_cross * dv
+            charge = charge + np.where(below, q_dep_below, q_dep_above)
+            capacitance = capacitance + np.where(below, c_dep_below, c_dep_above)
+        if has_transit:
+            current, conductance = _batched_current_and_conductance(
+                vd, saturation_current, vt
+            )
+            charge = charge + tt * current
+            capacitance = capacitance + tt * conductance
+        vec = (charge, -charge)
+        if not need_jacobian:
+            return vec, None
+        return vec, (capacitance, -capacitance, -capacitance, capacitance)
+
+    return kernel
 
 
 class Diode(TwoTerminal):
@@ -171,3 +249,37 @@ class Diode(TwoTerminal):
         self._add_mat(C, p_idx, n_idx, -capacitance)
         self._add_mat(C, n_idx, p_idx, -capacitance)
         self._add_mat(C, n_idx, n_idx, capacitance)
+
+    def batch_spec(self) -> BatchSpec:
+        p = self.params
+        p_idx, n_idx = self._terminal_indices()
+        has_rs = p.series_resistance > 0.0
+        has_depletion = p.junction_capacitance > 0.0
+        has_transit = p.transit_time > 0.0
+        vt = p.emission_coefficient * p.thermal_voltage
+        two_terminal_mat = ((0, 0), (0, 1), (1, 0), (1, 1))
+        spec = BatchSpec(
+            key=("Diode", has_rs, has_depletion, has_transit, p.grading_coefficient),
+            indices=(p_idx, n_idx),
+            static_params=(p.saturation_current, vt, p.series_resistance),
+            dynamic_params=(
+                p.saturation_current,
+                vt,
+                p.junction_capacitance,
+                p.junction_potential,
+                p.transit_time,
+            ),
+            static_vec=(0, 1),
+            static_mat=two_terminal_mat,
+            static_kernel=_diode_static_kernel(has_rs),
+        )
+        if self.has_dynamics():
+            spec = replace(
+                spec,
+                dynamic_vec=(0, 1),
+                dynamic_mat=two_terminal_mat,
+                dynamic_kernel=_diode_dynamic_kernel(
+                    has_depletion, has_transit, p.grading_coefficient
+                ),
+            )
+        return spec

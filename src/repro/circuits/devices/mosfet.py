@@ -24,15 +24,139 @@ sharp waveforms at the circuit level.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ...utils.exceptions import DeviceError
 from ...utils.validation import check_nonnegative, check_positive
-from .base import Device
+from .base import BatchSpec, Device, linear_capacitance_kernel, linear_capacitance_slots
 
 __all__ = ["MOSFETParams", "MOSFET", "NMOS", "PMOS"]
+
+# Terminal order inside a MOSFET BatchSpec: (drain, gate, source, bulk).
+_D, _G, _S, _B = 0, 1, 2, 3
+#: The four overlap/junction capacitances in the order ``stamp_dynamic``
+#: stamps them, as (node_a, node_b) terminal positions.
+_CAP_SLOTS = ((_G, _S), (_G, _D), (_D, _B), (_S, _B))
+
+
+def _region_ids(vgst_sub, vds_sub, beta_sub, lam_sub, triode_sub):
+    """Loop-stamp triode/saturation formulas on one compacted region.
+
+    The inputs are the elements of ONE operating region (all triode or all
+    saturation, ``triode_sub`` says which); the expressions — and their
+    grouping — are copied from :meth:`MOSFET._ids`, so elementwise the
+    results are identical to the loop path's full-array evaluation.
+    """
+    clm = 1.0 + lam_sub * vds_sub
+    if triode_sub:
+        quad = beta_sub * (vgst_sub * vds_sub - 0.5 * vds_sub**2)
+        ids = quad * clm
+        gm = beta_sub * vds_sub * clm
+        gds = beta_sub * (vgst_sub - vds_sub) * clm + quad * lam_sub
+    else:
+        half_quad = 0.5 * beta_sub * vgst_sub**2
+        ids = half_quad * clm
+        gm = beta_sub * vgst_sub * clm
+        gds = half_quad * lam_sub
+    return ids, gm, gds
+
+
+def _mosfet_static_kernel(polarity: float):
+    """Masked batched :meth:`MOSFET._drain_current` plus the KCL stamp values.
+
+    Where the loop path evaluates the triode and saturation formulas of both
+    the forward and the swapped (reverse) device on every point and selects
+    afterwards with ``np.where`` chains, this kernel computes each of the
+    four (direction x region) branches only on the elements that actually
+    use it, scattering into zero-initialised outputs.  Switching circuits —
+    the paper's regime — spend most (point, device) pairs in cutoff, where
+    nothing is computed at all.  Elementwise the surviving values match the
+    loop path's exactly; cutoff entries are 0.0 either way.
+
+    The polarity is captured as a scalar (and is part of the group key) so
+    the all-NMOS / all-PMOS common case skips the frame-mapping multiplies —
+    multiplying by 1.0 is an exact no-op, so skipping it preserves values.
+    """
+    pol = polarity
+
+    def kernel(V, params, need_jacobian):
+        vto, beta, lam = params
+        vd, vg, vs = V[_D], V[_G], V[_S]
+        if pol == 1.0:
+            vgp, vdp, vsp = vg, vd, vs
+        else:
+            vgp, vdp, vsp = pol * vg, pol * vd, pol * vs
+        vds = vdp - vsp
+        forward = vds >= 0.0
+        vto_effective = pol * vto
+        vgst_f = (vgp - vsp) - vto_effective
+        vgst_r = (vgp - vdp) - vto_effective
+
+        shape = vds.shape
+        n_points = shape[1]
+        current = np.zeros(shape)
+        cur_flat = current.ravel()
+        if need_jacobian:
+            d_vg = np.zeros(shape)
+            d_vd = np.zeros(shape)
+            d_vs = np.zeros(shape)
+            d_vg_flat, d_vd_flat, d_vs_flat = d_vg.ravel(), d_vd.ravel(), d_vs.ravel()
+
+        beta_col = beta[:, 0]
+        lam_col = lam[:, 0]
+        reverse = ~forward
+        for direction_forward, vgst, needed in (
+            (True, vgst_f, forward),
+            (False, vgst_r, reverse),
+        ):
+            # Region predicates exactly as the loop path writes them (NaN
+            # voltages land in the saturation branch there; keep that).
+            active = needed & ~(vgst <= 0.0)
+            if not active.any():
+                continue
+            vds_sign = vds if direction_forward else -vds
+            in_triode = vds_sign < vgst
+            vgst_flat = vgst.ravel()
+            vds_flat = vds_sign.ravel()
+            for triode_region in (True, False):
+                mask = active & (in_triode if triode_region else ~in_triode)
+                index = np.flatnonzero(mask.ravel())
+                if index.size == 0:
+                    continue
+                member = index // n_points  # per-element device row
+                ids, gm, gds = _region_ids(
+                    vgst_flat.take(index),
+                    vds_flat.take(index),
+                    beta_col.take(member),
+                    lam_col.take(member),
+                    triode_region,
+                )
+                # IEEE negation is exact (and addition sign-symmetric), so
+                # region-filling is bit-identical to the loop path's
+                # where-selected full-array stamps.
+                if direction_forward:
+                    cur_flat[index] = pol * ids if pol != 1.0 else ids
+                    if need_jacobian:
+                        d_vg_flat[index] = gm
+                        d_vd_flat[index] = gds
+                        d_vs_flat[index] = -gm - gds
+                else:
+                    # Terminal roles swapped (MOSFET._drain_current): the
+                    # current into the drain is the negative of the swapped
+                    # device's, d/dvd picks up gm_r + gds_r.
+                    cur_flat[index] = pol * -ids if pol != 1.0 else -ids
+                    if need_jacobian:
+                        d_vg_flat[index] = -gm
+                        d_vd_flat[index] = gm + gds
+                        d_vs_flat[index] = -gds
+        vec = (current, -current)
+        if not need_jacobian:
+            return vec, None
+        return vec, (d_vg, d_vd, d_vs, -d_vg, -d_vd, -d_vs)
+
+    return kernel
 
 
 @dataclass(frozen=True)
@@ -231,6 +355,31 @@ class MOSFET(Device):
         add_linear_cap(g, d, p.cgd, vg, vd)
         add_linear_cap(d, b, p.cdb, vd, vb)
         add_linear_cap(s, b, p.csb, vs, vb)
+
+    def batch_spec(self) -> BatchSpec:
+        self._require_bound()
+        p = self.params
+        caps = (p.cgs, p.cgd, p.cdb, p.csb)
+        active = tuple(slot for slot, cap in zip(_CAP_SLOTS, caps) if cap > 0.0)
+        spec = BatchSpec(
+            key=("MOSFET", active, self.polarity),
+            indices=self._node_idx,
+            static_params=(p.vto, p.beta, p.lambda_),
+            dynamic_params=tuple(cap for cap in caps if cap > 0.0),
+            static_vec=(_D, _S),
+            static_mat=((_D, _G), (_D, _D), (_D, _S), (_S, _G), (_S, _D), (_S, _S)),
+            static_kernel=_mosfet_static_kernel(float(self.polarity)),
+        )
+        if active:
+            vec, mat = linear_capacitance_slots(active)
+            spec = replace(
+                spec,
+                dynamic_vec=vec,
+                dynamic_mat=mat,
+                dynamic_kernel=linear_capacitance_kernel(active),
+                dynamic_mat_constant=True,
+            )
+        return spec
 
 
 class NMOS(MOSFET):

@@ -1,7 +1,11 @@
 """Linear passive devices: resistors, conductances, capacitors, inductors.
 
 All follow the stamping conventions documented in
-:mod:`repro.circuits.devices.base`.
+:mod:`repro.circuits.devices.base`.  Each class also declares a
+:class:`~repro.circuits.devices.base.BatchSpec` so the batched evaluation
+engine can evaluate all instances of the class in one vectorised kernel
+call; the kernels repeat the loop-stamp arithmetic expression for
+expression, which is what keeps the two backends bit-for-bit equal.
 """
 
 from __future__ import annotations
@@ -9,9 +13,57 @@ from __future__ import annotations
 import numpy as np
 
 from ...utils.validation import check_positive
-from .base import TwoTerminal
+from .base import BatchSpec, TwoTerminal
 
 __all__ = ["Resistor", "Conductance", "Capacitor", "Inductor"]
+
+
+def _conductance_static_kernel(V, params, need_jacobian):
+    """Shared resistor/conductance kernel: ``i = g * (v_pos - v_neg)``."""
+    (g,) = params
+    current = g * (V[0] - V[1])
+    vec = (current, -current)
+    if not need_jacobian:
+        return vec, None
+    return vec, (g, -g, -g, g)
+
+
+def _capacitor_dynamic_kernel(V, params, need_jacobian):
+    (c,) = params
+    charge = c * (V[0] - V[1])
+    vec = (charge, -charge)
+    if not need_jacobian:
+        return vec, None
+    return vec, (c, -c, -c, c)
+
+
+def _inductor_static_kernel(V, params, need_jacobian):
+    current = V[2]
+    vec = (current, -current, -(V[0] - V[1]))
+    if not need_jacobian:
+        return vec, None
+    return vec, (1.0, -1.0, -1.0, 1.0)
+
+
+def _inductor_dynamic_kernel(V, params, need_jacobian):
+    (inductance,) = params
+    vec = (inductance * V[2],)
+    if not need_jacobian:
+        return vec, None
+    return vec, (inductance,)
+
+
+def _two_terminal_conductance_spec(device, conductance: float) -> BatchSpec:
+    p, n = device._terminal_indices()
+    return BatchSpec(
+        key=("linear_conductance",),
+        indices=(p, n),
+        static_params=(conductance,),
+        static_vec=(0, 1),
+        static_mat=((0, 0), (0, 1), (1, 0), (1, 1)),
+        static_kernel=_conductance_static_kernel,
+        static_mat_constant=True,
+    )
 
 
 class Resistor(TwoTerminal):
@@ -41,6 +93,11 @@ class Resistor(TwoTerminal):
         self._add_mat(G, n, p, -g)
         self._add_mat(G, n, n, g)
 
+    def batch_spec(self) -> BatchSpec:
+        # Resistors and Conductances share one kernel; the parameter handed
+        # over is the same ``1 / resistance`` value the loop stamp computes.
+        return _two_terminal_conductance_spec(self, self.conductance)
+
 
 class Conductance(TwoTerminal):
     """A linear conductance (admittance) — handy for gmin stamps and tests."""
@@ -59,6 +116,9 @@ class Conductance(TwoTerminal):
         self._add_mat(G, p, n, -g)
         self._add_mat(G, n, p, -g)
         self._add_mat(G, n, n, g)
+
+    def batch_spec(self) -> BatchSpec:
+        return _two_terminal_conductance_spec(self, self.conductance)
 
 
 class Capacitor(TwoTerminal):
@@ -86,6 +146,18 @@ class Capacitor(TwoTerminal):
         self._add_mat(C, p, n, -c)
         self._add_mat(C, n, p, -c)
         self._add_mat(C, n, n, c)
+
+    def batch_spec(self) -> BatchSpec:
+        p, n = self._terminal_indices()
+        return BatchSpec(
+            key=("Capacitor",),
+            indices=(p, n),
+            dynamic_params=(self.capacitance,),
+            dynamic_vec=(0, 1),
+            dynamic_mat=((0, 0), (0, 1), (1, 0), (1, 1)),
+            dynamic_kernel=_capacitor_dynamic_kernel,
+            dynamic_mat_constant=True,
+        )
 
 
 class Inductor(TwoTerminal):
@@ -135,3 +207,20 @@ class Inductor(TwoTerminal):
         current = X[:, k]
         self._add_vec(Q, k, self.inductance * current)
         self._add_mat(C, k, k, self.inductance)
+
+    def batch_spec(self) -> BatchSpec:
+        p, n = self._terminal_indices()
+        k = self._branch_index()
+        return BatchSpec(
+            key=("Inductor",),
+            indices=(p, n, k),
+            dynamic_params=(self.inductance,),
+            static_vec=(0, 1, 2),
+            static_mat=((0, 2), (1, 2), (2, 0), (2, 1)),
+            dynamic_vec=(2,),
+            dynamic_mat=((2, 2),),
+            static_kernel=_inductor_static_kernel,
+            dynamic_kernel=_inductor_dynamic_kernel,
+            static_mat_constant=True,
+            dynamic_mat_constant=True,
+        )

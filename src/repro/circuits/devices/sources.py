@@ -16,7 +16,7 @@ import numpy as np
 from ...signals.stimuli import DCStimulus, Stimulus
 from ...utils.exceptions import DeviceError
 from ...utils.validation import check_finite
-from .base import Device, TwoTerminal
+from .base import BatchSpec, Device, TwoTerminal
 
 __all__ = [
     "VoltageSource",
@@ -24,6 +24,35 @@ __all__ = [
     "VCCS",
     "VCVS",
 ]
+
+
+def _voltage_source_static_kernel(V, params, need_jacobian):
+    """Branch-current KCL rows plus the ``v_pos - v_neg`` branch relation."""
+    current = V[2]
+    vec = (current, -current, V[0] - V[1])
+    if not need_jacobian:
+        return vec, None
+    return vec, (1.0, -1.0, 1.0, -1.0)
+
+
+def _vccs_static_kernel(V, params, need_jacobian):
+    (gm,) = params
+    current = gm * (V[2] - V[3])
+    vec = (current, -current)
+    if not need_jacobian:
+        return vec, None
+    return vec, (gm, -gm, -gm, gm)
+
+
+def _vcvs_static_kernel(V, params, need_jacobian):
+    (gain,) = params
+    current = V[4]
+    v_out = V[0] - V[1]
+    v_ctrl = V[2] - V[3]
+    vec = (current, -current, v_out - gain * v_ctrl)
+    if not need_jacobian:
+        return vec, None
+    return vec, (1.0, -1.0, 1.0, -1.0, -gain, gain)
 
 
 def _coerce_stimulus(value: Stimulus | float | int) -> Stimulus:
@@ -93,6 +122,17 @@ class VoltageSource(TwoTerminal):
     def is_time_varying(self) -> bool:
         """Whether the source value changes with time."""
         return self.stimulus.is_time_varying()
+
+    def batch_spec(self) -> BatchSpec:
+        p, n = self._terminal_indices()
+        return BatchSpec(
+            key=("VoltageSource",),
+            indices=(p, n, self._branch_index()),
+            static_vec=(0, 1, 2),
+            static_mat=((0, 2), (1, 2), (2, 0), (2, 1)),
+            static_kernel=_voltage_source_static_kernel,
+            static_mat_constant=True,
+        )
 
 
 class CurrentSource(TwoTerminal):
@@ -164,6 +204,18 @@ class VCCS(Device):
         self._add_mat(G, on, cp, -gm)
         self._add_mat(G, on, cn, gm)
 
+    def batch_spec(self) -> BatchSpec:
+        self._require_bound()
+        return BatchSpec(
+            key=("VCCS",),
+            indices=self._node_idx,
+            static_params=(self.transconductance,),
+            static_vec=(0, 1),
+            static_mat=((0, 2), (0, 3), (1, 2), (1, 3)),
+            static_kernel=_vccs_static_kernel,
+            static_mat_constant=True,
+        )
+
 
 class VCVS(Device):
     """Voltage-controlled voltage source: ``v_out = gain * (v_cp - v_cn)``.
@@ -207,3 +259,15 @@ class VCVS(Device):
         self._add_mat(G, k, on, -1.0)
         self._add_mat(G, k, cp, -self.gain)
         self._add_mat(G, k, cn, self.gain)
+
+    def batch_spec(self) -> BatchSpec:
+        self._require_bound()
+        return BatchSpec(
+            key=("VCVS",),
+            indices=self._node_idx + (self._branch_idx[0],),
+            static_params=(self.gain,),
+            static_vec=(0, 1, 4),
+            static_mat=((0, 4), (1, 4), (4, 0), (4, 1), (4, 2), (4, 3)),
+            static_kernel=_vcvs_static_kernel,
+            static_mat_constant=True,
+        )

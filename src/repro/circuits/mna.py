@@ -41,6 +41,18 @@ on them:
 
 The sparse data arrays are bit-for-bit equal to the dense path (same values,
 same summation order), which the property tests assert on random circuits.
+
+Evaluation backends (batched engine)
+------------------------------------
+All three modes run, by default, on the *batched* device-class evaluation
+engine (:mod:`repro.circuits.engine`): devices are grouped by class at
+compile time and each group is evaluated by one vectorised
+gather/compute/scatter kernel over all ``(P, n_group)`` points — no
+per-device Python dispatch.  The per-device loop is retained as the
+``"loop"`` reference backend (``EvaluationOptions(evaluation_backend=...)``
+at :meth:`Circuit.compile`, or the per-call ``backend=`` override); the two
+are property-tested bit-for-bit equal, so the choice trades speed only.  See
+``docs/evaluation_engine.md``.
 """
 
 from __future__ import annotations
@@ -53,7 +65,9 @@ import scipy.sparse as sp
 
 from ..linalg.sparse import StampPattern
 from ..utils.exceptions import CircuitError, DeviceError, NodeError
+from ..utils.options import EVALUATION_BACKENDS
 from .devices.base import Device, NullStamps, PatternRecorder, PatternValueFiller
+from .engine import BatchedEvaluationEngine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from .netlist import Circuit
@@ -142,6 +156,7 @@ class MNASystem:
         node_index: Mapping[str, int],
         unknown_names: Sequence[str],
         n_unknowns: int,
+        evaluation_backend: str = "batched",
     ) -> None:
         self.circuit = circuit
         self._node_index = dict(node_index)
@@ -151,9 +166,12 @@ class MNASystem:
             raise CircuitError(
                 "internal error: unknown_names length does not match n_unknowns"
             )
+        self._validate_backend(evaluation_backend)
+        self.evaluation_backend = evaluation_backend
         self._devices: tuple[Device, ...] = circuit.devices
         self._branch_index = self._build_branch_index()
         self._static_pattern, self._dynamic_pattern = self._compile_stamp_patterns()
+        self._engine: BatchedEvaluationEngine | None = None
 
     def _build_branch_index(self) -> dict[str, int]:
         index: dict[str, int] = {}
@@ -267,42 +285,116 @@ class MNASystem:
             return x, False
         raise CircuitError(f"unknown array must be 1-D or 2-D, got shape {x.shape}")
 
-    def evaluate(self, x: np.ndarray, *, need_jacobian: bool = True) -> MNAEvaluation:
+    @property
+    def engine(self) -> BatchedEvaluationEngine:
+        """The compiled batched evaluation engine (built lazily, cached)."""
+        if self._engine is None:
+            self._engine = BatchedEvaluationEngine(self)
+        return self._engine
+
+    @staticmethod
+    def _validate_backend(backend: str) -> None:
+        if backend not in EVALUATION_BACKENDS:
+            raise CircuitError(
+                f"unknown evaluation backend {backend!r}; use one of {EVALUATION_BACKENDS}"
+            )
+
+    def _resolve_backend(self, backend: str | None) -> str:
+        if backend is None:
+            return self.evaluation_backend
+        self._validate_backend(backend)
+        return backend
+
+    @staticmethod
+    def _which_flags(which: str) -> tuple[bool, bool]:
+        """Map a ``which`` selector onto (conductance, capacitance) needs."""
+        if which == "both":
+            return True, True
+        if which == "conductance":
+            return True, False
+        if which == "capacitance":
+            return False, True
+        raise CircuitError(
+            f"which must be 'both', 'conductance' or 'capacitance', got {which!r}"
+        )
+
+    def evaluate(
+        self,
+        x: np.ndarray,
+        *,
+        need_jacobian: bool = True,
+        which: str = "both",
+        backend: str | None = None,
+    ) -> MNAEvaluation:
         """Evaluate ``q``, ``f`` (and, optionally, dense Jacobians) at one or many points.
 
-        ``need_jacobian=False`` is the residual-only fast path: the stamps run
-        against a no-op accumulator, so no ``(P, n, n)`` Jacobian storage is
-        allocated — the dominant cost for large point counts.
+        ``need_jacobian=False`` is the residual-only fast path: no Jacobian
+        storage of any kind is allocated — the dominant cost for large point
+        counts.  ``which`` restricts a Jacobian evaluation to one block
+        (``"conductance"`` or ``"capacitance"``): only the requested
+        ``(P, n, n)`` stack is allocated and filled, the other is ``None``.
+        ``backend`` overrides the system's evaluation backend for this call.
         """
         X, _ = self._as_points(x)
         n_points = X.shape[0]
         n = self.n_unknowns
+        need_g, need_c = self._which_flags(which)
+        need_g &= need_jacobian
+        need_c &= need_jacobian
+
+        if self._resolve_backend(backend) == "batched":
+            Q, F, c_data, g_data = self.engine.evaluate(
+                X, need_static_jacobian=need_g, need_dynamic_jacobian=need_c
+            )
+            G = C = None
+            if need_g:
+                G = np.zeros((n_points, n, n))
+                G[:, self._static_pattern.rows, self._static_pattern.cols] = g_data
+            if need_c:
+                C = np.zeros((n_points, n, n))
+                C[:, self._dynamic_pattern.rows, self._dynamic_pattern.cols] = c_data
+            return MNAEvaluation(q=Q, f=F, capacitance=C, conductance=G)
+
         Q = np.zeros((n_points, n))
         F = np.zeros((n_points, n))
-        if need_jacobian:
-            C = np.zeros((n_points, n, n))
-            G = np.zeros((n_points, n, n))
-            c_acc: object = C
-            g_acc: object = G
-        else:
-            C = G = None
-            c_acc = g_acc = _NULL_STAMPS
+        G = np.zeros((n_points, n, n)) if need_g else None
+        C = np.zeros((n_points, n, n)) if need_c else None
+        g_acc: object = G if need_g else _NULL_STAMPS
+        c_acc: object = C if need_c else _NULL_STAMPS
         for device in self._devices:
             device.stamp_static(X, F, g_acc)
             device.stamp_dynamic(X, Q, c_acc)
         return MNAEvaluation(q=Q, f=F, capacitance=C, conductance=G)
 
-    def evaluate_sparse(self, x: np.ndarray, *, need_jacobian: bool = True) -> MNASparseEvaluation:
+    def evaluate_sparse(
+        self,
+        x: np.ndarray,
+        *,
+        need_jacobian: bool = True,
+        backend: str | None = None,
+    ) -> MNASparseEvaluation:
         """Evaluate ``q``, ``f`` and sparse-assembled Jacobian data.
 
-        Devices write their per-point Jacobian values into flat
-        ``(P, nnz_raw)`` buffers in compiled pattern order; one vectorised
-        scatter then merges duplicates into per-point CSR data arrays.  No
-        dense ``(P, n, n)`` intermediates are ever formed.
+        On the batched backend (the default) the compiled engine gathers all
+        member terminal values per device class, evaluates each class kernel
+        over all ``(P, n_group)`` points at once and scatters straight into
+        the compiled pattern buffers — zero per-device Python dispatch.  The
+        ``"loop"`` backend is the per-device reference path; both produce
+        bit-for-bit identical results.  No dense ``(P, n, n)`` intermediates
+        are ever formed.
         """
         X, _ = self._as_points(x)
         n_points = X.shape[0]
         n = self.n_unknowns
+
+        if self._resolve_backend(backend) == "batched":
+            Q, F, c_data, g_data = self.engine.evaluate(
+                X,
+                need_static_jacobian=need_jacobian,
+                need_dynamic_jacobian=need_jacobian,
+            )
+            return MNASparseEvaluation(q=Q, f=F, c_data=c_data, g_data=g_data, system=self)
+
         Q = np.zeros((n_points, n))
         F = np.zeros((n_points, n))
         if need_jacobian:
@@ -353,15 +445,25 @@ class MNASystem:
         return evaluation.f[0] if single else evaluation.f
 
     def capacitance_matrix(self, x: np.ndarray) -> np.ndarray:
-        """Jacobian ``C(x) = dq/dx`` at a single point (dense ``(n, n)``)."""
+        """Jacobian ``C(x) = dq/dx`` at a single point (dense ``(n, n)``).
+
+        Uses the ``which="capacitance"`` fast path: only the capacitance
+        ``(P, n, n)`` stack is allocated and filled, never the conductance
+        block.
+        """
         X, single = self._as_points(x)
-        evaluation = self.evaluate(X)
+        evaluation = self.evaluate(X, which="capacitance")
         return evaluation.capacitance[0] if single else evaluation.capacitance
 
     def conductance_matrix(self, x: np.ndarray) -> np.ndarray:
-        """Jacobian ``G(x) = df/dx`` at a single point (dense ``(n, n)``)."""
+        """Jacobian ``G(x) = df/dx`` at a single point (dense ``(n, n)``).
+
+        Uses the ``which="conductance"`` fast path: only the conductance
+        ``(P, n, n)`` stack is allocated and filled, never the capacitance
+        block.
+        """
         X, single = self._as_points(x)
-        evaluation = self.evaluate(X)
+        evaluation = self.evaluate(X, which="conductance")
         return evaluation.conductance[0] if single else evaluation.conductance
 
     def conductance_csr(self, x: np.ndarray) -> sp.csr_matrix:
@@ -383,9 +485,12 @@ class MNASystem:
         """
         scalar = np.isscalar(times) or np.ndim(times) == 0
         t = np.atleast_1d(np.asarray(times, dtype=float))
-        B = np.zeros((t.shape[0], self.n_unknowns))
-        for device in self._devices:
-            device.stamp_source(t, B)
+        if self.evaluation_backend == "batched":
+            B = self.engine.source(t)
+        else:
+            B = np.zeros((t.shape[0], self.n_unknowns))
+            for device in self._devices:
+                device.stamp_source(t, B)
         return B[0] if scalar else B
 
     def source_bivariate(
@@ -403,9 +508,12 @@ class MNASystem:
         )
         t1_flat = t1_arr.ravel()
         t2_flat = t2_arr.ravel()
-        B = np.zeros((t1_flat.shape[0], self.n_unknowns))
-        for device in self._devices:
-            device.stamp_source_bivariate(t1_flat, t2_flat, scales, B)
+        if self.evaluation_backend == "batched":
+            B = self.engine.source_bivariate(t1_flat, t2_flat, scales)
+        else:
+            B = np.zeros((t1_flat.shape[0], self.n_unknowns))
+            for device in self._devices:
+                device.stamp_source_bivariate(t1_flat, t2_flat, scales, B)
         return B[0] if scalar else B
 
     # -- convenience residuals -------------------------------------------------

@@ -147,15 +147,24 @@ class Circuit:
         )
 
     # -- compilation --------------------------------------------------------
-    def compile(self) -> "MNASystem":
+    def compile(self, options: "EvaluationOptions | None" = None) -> "MNASystem":
         """Compile the netlist into an :class:`~repro.circuits.mna.MNASystem`.
 
         Binds every device to its positions in the global unknown vector
         (node voltages first, then branch currents in device insertion
         order) and runs basic sanity checks (at least one device, at least
         one non-ground node, every device node registered).
+
+        ``options`` (an :class:`~repro.utils.options.EvaluationOptions`)
+        selects the device-evaluation backend of the compiled system:
+        ``"batched"`` (default) routes all stamp evaluation through the
+        compiled gather/compute/scatter engine, ``"loop"`` keeps the
+        per-device reference path.
         """
+        from ..utils.options import EvaluationOptions
         from .mna import MNASystem  # local import to avoid a cycle
+
+        options = options or EvaluationOptions()
 
         if len(self._devices) == 0:
             raise CircuitError(f"circuit {self.name!r} has no devices")
@@ -187,4 +196,5 @@ class Circuit:
             node_index=node_index,
             unknown_names=tuple(unknown_names),
             n_unknowns=branch_cursor,
+            evaluation_backend=options.evaluation_backend,
         )

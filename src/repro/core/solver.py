@@ -31,6 +31,7 @@ import scipy.sparse.linalg as spla
 from ..analysis.dc import dc_operating_point
 from ..circuits.mna import MNASystem
 from ..linalg.krylov import CachedPreconditionedGMRES
+from ..linalg.preconditioners import AdaptiveRefreshPolicy
 from ..signals.waveform import BivariateWaveform, Waveform
 from ..utils.exceptions import ConvergenceError, MPDEError, SingularMatrixError
 from ..utils.logging import get_logger
@@ -49,6 +50,11 @@ class MPDEStats:
 
     newton_iterations: int = 0
     linear_solves: int = 0
+    #: Sparse LU factorisations of the full MPDE Jacobian (direct mode).
+    #: Without chord Newton this equals ``linear_solves``; with it the
+    #: adaptive reuse policy keeps it well below (0 for the GMRES modes,
+    #: whose factorisation effort is ``preconditioner_builds``).
+    jacobian_factorizations: int = 0
     #: Total inner Krylov iterations across all GMRES linear solves (0 for
     #: the direct solver).
     linear_iterations: int = 0
@@ -189,6 +195,63 @@ class MPDEResult:
         return self.states
 
 
+class _ChordLU:
+    """Cached sparse LU of the MPDE Jacobian for direct-mode chord Newton.
+
+    The refresh discipline mirrors the GMRES preconditioner cache
+    (:class:`~repro.linalg.krylov.CachedPreconditionedGMRES`): the first
+    Newton step after a factorisation records its observed
+    residual-reduction ratio as the
+    :class:`~repro.linalg.preconditioners.AdaptiveRefreshPolicy` baseline;
+    once the trend degrades past the policy threshold — or a line search
+    fails outright against the stale factorisation — the next linear solve
+    refactors at the current iterate.
+    """
+
+    #: Scale turning a residual-reduction ratio into the integer trend
+    #: metric the refresh policy expects (three decimal digits).
+    RATIO_SCALE = 1000.0
+    #: Ratios at or above this mean the chord step made no progress; the
+    #: recorded metric saturates here (the policy then flags a rebuild).
+    RATIO_CAP = 2.0
+    #: Absolute progress floor: a chord step that does not cut the residual
+    #: at least 4x marks the factorisation stale regardless of the trend.
+    #: The trend policy alone would accept an arbitrarily slow (but steady)
+    #: linear crawl whenever the first post-rebuild step was itself slow;
+    #: the floor bounds the extra chord iterations a stale factorisation can
+    #: cost before the solver refactors.
+    MAX_RATIO = 0.25
+
+    def __init__(self, growth_factor: float, slack: int) -> None:
+        self._policy = AdaptiveRefreshPolicy(growth_factor=growth_factor, slack=slack)
+        self.factor = None
+        self.just_built = False
+        self._stale = False
+
+    def needs_refresh(self) -> bool:
+        return self.factor is None or self._stale or self._policy.should_rebuild()
+
+    def store(self, factor) -> None:
+        self.factor = factor
+        self.just_built = True
+        self._stale = False
+        self._policy.note_build()
+
+    def invalidate(self) -> None:
+        self.factor = None
+
+    def record_step(self, ratio: float) -> None:
+        """Feed one accepted Newton step's residual-reduction ratio to the policy."""
+        self._policy.record(int(min(ratio, self.RATIO_CAP) * self.RATIO_SCALE))
+        if self.just_built:
+            # The first step after a rebuild is the reference full-Newton
+            # step; it sets the trend baseline but must not mark its own
+            # (fresh) factorisation stale even when Newton itself is slow.
+            self.just_built = False
+        elif ratio > self.MAX_RATIO:
+            self._stale = True
+
+
 class MPDESolver:
     """Damped Newton (+ continuation) solver for an :class:`MPDEProblem`.
 
@@ -219,10 +282,28 @@ class MPDESolver:
             growth_factor=self.options.precond_refresh_growth,
             slack=self.options.precond_refresh_slack,
         )
+        use_chord = (
+            self.options.chord_newton
+            and self.options.linear_solver == "direct"
+            and not self.options.matrix_free
+        )
+        self._chord = (
+            _ChordLU(
+                growth_factor=self.options.precond_refresh_growth,
+                slack=self.options.precond_refresh_slack,
+            )
+            if use_chord
+            else None
+        )
+        self._chord_suspended = False
 
     @property
     def _matrix_free(self) -> bool:
         return bool(self.options.matrix_free)
+
+    @property
+    def _chord_active(self) -> bool:
+        return self._chord is not None and not self._chord_suspended
 
     # -- residual/Jacobian evaluation -------------------------------------------
     def _evaluate(self, x: np.ndarray, source_grid: np.ndarray | None):
@@ -247,6 +328,12 @@ class MPDESolver:
             )
             jacobian = self.problem.assemble_jacobian(c_data, g_data)
             return residual, jacobian, (c_data, g_data)
+        if self._chord_active:
+            # Chord Newton: residual-only sweep; the (cached) factorisation
+            # is produced lazily inside the linear solve, at the iterate
+            # carried through ``data``, only when the refresh policy asks.
+            residual = self.problem.residual(x, source_grid=source_grid)
+            return residual, None, x
         residual, jacobian = self.problem.residual_and_jacobian(x, source_grid=source_grid)
         return residual, jacobian, None
 
@@ -265,11 +352,46 @@ class MPDESolver:
             self.options.preconditioner, c_data=c_data, g_data=g_data, matrix=matrix
         )
 
+    def _chord_refactor(self, x: np.ndarray, stats: MPDEStats) -> None:
+        jacobian = self.problem.jacobian(x)
+        try:
+            factor = spla.splu(jacobian)
+        except RuntimeError as exc:
+            raise SingularMatrixError(f"sparse LU failed on the MPDE Jacobian: {exc}") from exc
+        stats.jacobian_factorizations += 1
+        self._chord.store(factor)
+
+    def _chord_solve(self, rhs: np.ndarray, stats: MPDEStats, x: np.ndarray) -> np.ndarray:
+        chord = self._chord
+        if chord.needs_refresh():
+            self._chord_refactor(x, stats)
+        dx = chord.factor.solve(rhs)
+        if not np.all(np.isfinite(dx)):
+            if chord.just_built:
+                raise SingularMatrixError(
+                    "sparse LU produced non-finite values (singular MPDE Jacobian; check for "
+                    "floating nodes or an all-capacitive cutset)"
+                )
+            # A stale factorisation can go numerically bad even though a
+            # fresh one would not; rebuild at the current iterate and retry
+            # once before declaring the Jacobian singular.
+            self._chord_refactor(x, stats)
+            dx = chord.factor.solve(rhs)
+            if not np.all(np.isfinite(dx)):
+                raise SingularMatrixError(
+                    "sparse LU produced non-finite values (singular MPDE Jacobian; check for "
+                    "floating nodes or an all-capacitive cutset)"
+                )
+        return dx
+
     def _solve_linear(
         self, jacobian, rhs: np.ndarray, stats: MPDEStats, data=None
     ) -> np.ndarray:
         stats.linear_solves += 1
         if self.options.linear_solver == "direct" and not self._matrix_free:
+            if self._chord_active:
+                return self._chord_solve(rhs, stats, data)
+            stats.jacobian_factorizations += 1
             try:
                 dx = spla.spsolve(jacobian, rhs)
             except RuntimeError as exc:
@@ -313,6 +435,13 @@ class MPDESolver:
         max_iter = max_iterations if max_iterations is not None else opts.max_iterations
         x = np.asarray(x0, dtype=float).copy()
 
+        if self._chord_active:
+            # Every Newton run (the main solve, and each continuation stage)
+            # starts from a fresh factorisation: a factor left over from a
+            # different embedding is a poor chord matrix and can burn a tight
+            # iteration budget before the refresh policy notices.
+            self._chord.invalidate()
+
         residual, jacobian, data = self._evaluate(x, source_grid)
         res_norm = float(np.max(np.abs(residual)))
         stats.residual_history.append(res_norm)
@@ -341,6 +470,14 @@ class MPDESolver:
                 residual_trial = self.problem.residual(x_trial, source_grid=source_grid)
                 trial_norm = float(np.max(np.abs(residual_trial)))
 
+            if self._chord_active:
+                if accepted and res_norm > 0.0:
+                    self._chord.record_step(trial_norm / res_norm)
+                elif not accepted:
+                    # The stale factorisation failed to produce a descent
+                    # direction; force a refactorisation for the next step.
+                    self._chord.invalidate()
+
             update_norm = float(np.max(np.abs(x_trial - x)))
             x = x_trial
             stats.newton_iterations += 1
@@ -359,12 +496,37 @@ class MPDESolver:
                 stats.residual_norm = res_norm
                 return x, True
 
-            # Re-evaluate residual and Jacobian at the accepted iterate.
-            residual, jacobian, data = self._evaluate(x, source_grid)
+            # Re-evaluate residual and Jacobian at the accepted iterate.  In
+            # chord mode the line search already evaluated the residual at
+            # the accepted iterate and no Jacobian data is needed up front.
+            if self._chord_active:
+                residual, jacobian, data = residual_trial, None, x
+            else:
+                residual, jacobian, data = self._evaluate(x, source_grid)
             res_norm = float(np.max(np.abs(residual)))
 
         stats.residual_norm = res_norm
-        return x, res_norm <= opts.abstol
+        if res_norm <= opts.abstol:
+            return x, True
+        if self._chord_active:
+            # Part of the iteration budget went to stale-factorisation chord
+            # steps, which is not a fair convergence verdict.  Mirror the
+            # transient layer's chord fallback: retry the run with a fresh
+            # factorisation at every iterate before reporting failure, so
+            # robustness matches ``chord_newton=False`` exactly.
+            _LOG.debug(
+                "chord Newton run stalled (residual %.3e); retrying with per-iterate "
+                "factorisation",
+                res_norm,
+            )
+            self._chord_suspended = True
+            try:
+                return self._newton(
+                    x0, stats, source_grid=source_grid, max_iterations=max_iterations
+                )
+            finally:
+                self._chord_suspended = False
+        return x, False
 
     # -- continuation fallback -----------------------------------------------------------
     def _continuation(self, x0: np.ndarray, stats: MPDEStats) -> np.ndarray:
@@ -449,6 +611,8 @@ class MPDESolver:
             n_grid_points=self.problem.n_grid_points,
             n_total_unknowns=self.problem.n_total_unknowns,
         )
+        if self._chord is not None:
+            self._chord.invalidate()
         start = time.perf_counter()
 
         if x0 is None:

@@ -16,6 +16,7 @@ from .exceptions import (
 from .logging import configure_logging, get_logger, timed
 from .options import (
     ContinuationOptions,
+    EvaluationOptions,
     HarmonicBalanceOptions,
     MPDEOptions,
     NewtonOptions,
@@ -36,6 +37,7 @@ __all__ = [
     "MPDEError",
     "ShearError",
     "WaveformError",
+    "EvaluationOptions",
     "NewtonOptions",
     "ContinuationOptions",
     "TransientOptions",

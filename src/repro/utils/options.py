@@ -20,12 +20,14 @@ from typing import Any, Mapping
 from .exceptions import ConfigurationError
 
 __all__ = [
+    "EvaluationOptions",
     "NewtonOptions",
     "ContinuationOptions",
     "TransientOptions",
     "ShootingOptions",
     "HarmonicBalanceOptions",
     "MPDEOptions",
+    "EVALUATION_BACKENDS",
     "PRECONDITIONER_KINDS",
 ]
 
@@ -34,6 +36,12 @@ __all__ = [
 #: :mod:`repro.linalg.preconditioners` factory and the analysis front ends
 #: all share one source of truth.
 PRECONDITIONER_KINDS = ("ilu", "block_circulant", "jacobi", "none")
+
+#: Device-evaluation backends of :class:`~repro.circuits.mna.MNASystem`:
+#: ``"batched"`` routes stamps through the compiled gather/compute/scatter
+#: engine (:mod:`repro.circuits.engine`), ``"loop"`` is the per-device
+#: reference path the engine is property-tested against.
+EVALUATION_BACKENDS = ("batched", "loop")
 
 
 def _require_positive(name: str, value: float) -> None:
@@ -51,6 +59,27 @@ def _require_in(name: str, value: Any, allowed: tuple[Any, ...]) -> None:
         raise ConfigurationError(
             f"{name} must be one of {allowed!r}, got {value!r}"
         )
+
+
+@dataclass(frozen=True)
+class EvaluationOptions:
+    """Controls for circuit-equation evaluation (``Circuit.compile``).
+
+    Attributes
+    ----------
+    evaluation_backend:
+        ``"batched"`` (default) evaluates device stamps through the
+        compile-time batched engine — devices grouped by class, one
+        vectorised kernel per group, no per-device Python dispatch.
+        ``"loop"`` is the per-device reference path; the two are bit-for-bit
+        equal (property-tested) so the knob only trades speed, never
+        results.
+    """
+
+    evaluation_backend: str = "batched"
+
+    def __post_init__(self) -> None:
+        _require_in("evaluation_backend", self.evaluation_backend, EVALUATION_BACKENDS)
 
 
 @dataclass(frozen=True)
@@ -250,6 +279,20 @@ class MPDEOptions:
     linear_solver:
         "direct" (sparse LU on the assembled Jacobian) or "gmres"
         (ILU-preconditioned Krylov on the assembled Jacobian).
+    chord_newton:
+        Direct mode only: reuse the sparse LU factorisation across Newton
+        iterations (chord Newton) instead of refactoring every iterate,
+        refreshing it under the same
+        :class:`~repro.linalg.preconditioners.AdaptiveRefreshPolicy`
+        discipline the GMRES preconditioner cache uses — the observed
+        residual-reduction trend after a rebuild sets the baseline, and a
+        degraded trend (or a failed line search) triggers a refactorisation
+        at the current iterate.  Chord iterations cost one residual-only
+        device sweep plus a back-substitution, so trading a few of them for
+        a skipped ``P*n`` factorisation wins for every realistic grid; the
+        factorisation count is surfaced as
+        ``MPDEStats.jacobian_factorizations``.  Ignored by the GMRES /
+        matrix-free modes (their analogue is ``reuse_preconditioner``).
     matrix_free:
         Solve the Newton linear systems with GMRES on a matrix-free
         Jacobian-vector-product operator (the Jacobian is never assembled),
@@ -297,6 +340,7 @@ class MPDEOptions:
     use_continuation: bool = True
     continuation: ContinuationOptions = field(default_factory=ContinuationOptions)
     linear_solver: str = "direct"
+    chord_newton: bool = True
     matrix_free: bool = False
     preconditioner: str = "ilu"
     reuse_preconditioner: bool = True

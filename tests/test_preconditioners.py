@@ -75,9 +75,18 @@ def balanced_mixer():
 
 @pytest.fixture(scope="module")
 def spectral_small(balanced_mixer):
-    """Direct and matrix-free block-circulant solves at the SMALL grid."""
+    """Direct and matrix-free block-circulant solves at the SMALL grid.
+
+    The direct solve is the accuracy *reference*, so it refactors every
+    Newton iterate (``chord_newton=False``): the chord mode satisfies the
+    same residual tolerance but stops as soon as it crosses it, while the
+    plain quadratic final step overshoots well below — the sharper iterate
+    is what the 1e-8 state-gap assertions below are calibrated against.
+    """
     mixer, mna = balanced_mixer
-    direct = solve_mpde(mna, mixer.scales, _spectral_options(SMALL_GRID))
+    direct = solve_mpde(
+        mna, mixer.scales, _spectral_options(SMALL_GRID, chord_newton=False)
+    )
     block = solve_mpde(
         mna,
         mixer.scales,
@@ -341,7 +350,10 @@ class TestSpectralConvergence:
     def test_paper_grid_acceptance(self, balanced_mixer):
         """The acceptance criterion at the paper's 40 x 30 grid, end to end."""
         mixer, mna = balanced_mixer
-        direct = solve_mpde(mna, mixer.scales, _spectral_options(PAPER_GRID))
+        # Accuracy reference: per-iterate factorisation (see spectral_small).
+        direct = solve_mpde(
+            mna, mixer.scales, _spectral_options(PAPER_GRID, chord_newton=False)
+        )
         ilu = solve_mpde(
             mna,
             mixer.scales,
