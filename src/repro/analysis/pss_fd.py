@@ -164,7 +164,11 @@ def collocation_periodic_steady_state(
         Preconditioner mode for the matrix-free solves: ``"block_circulant"``
         (the default — every 1-D periodic differentiation matrix is
         circulant, so the averaged Jacobian splits into one complex ``(n, n)``
-        block per harmonic), ``"ilu"``, ``"jacobi"`` or ``"none"``.
+        block per harmonic), ``"block_circulant_fast"`` (the partially-
+        averaged mode; with a single time axis the averaging is a no-op, so
+        the one per-harmonic system is the exact Jacobian — GMRES converges
+        in a few iterations at the cost of one sparse LU per build),
+        ``"ilu"``, ``"jacobi"`` or ``"none"``.
     gmres_tol:
         Relative tolerance of the inner GMRES solves (matrix-free only).
     """
@@ -242,6 +246,11 @@ def collocation_periodic_steady_state(
                 g_data=evaluation.g_data,
                 eigenvalues_fast=eigenvalues,
                 assemble=assembler.assemble,
+                # 1-D collocation is the degenerate (n_slow = 1) case of the
+                # partially-averaged mode: slow-averaging is a no-op and the
+                # single per-harmonic system is the unaveraged Jacobian.
+                fast_operator=diff_sparse,
+                grid_shape=(n_samples, 1),
             )
 
         # The same caching / adaptive-refresh / retry-once discipline the

@@ -332,13 +332,16 @@ class MPDEProblem:
     ) -> Preconditioner:
         """Build a preconditioner of the requested ``kind`` for this problem.
 
-        ``kind`` is one of ``"ilu"``, ``"block_circulant"``, ``"jacobi"`` or
-        ``"none"`` (see :class:`~repro.utils.options.MPDEOptions`).  The
-        ILU/Jacobi modes factor ``matrix`` when given (the assembled Jacobian
-        in the non-matrix-free GMRES mode) and otherwise the grid-averaged
-        Jacobian built from ``c_data``/``g_data``; the block-circulant mode
-        always works from the averaged dense blocks plus the circulant
-        eigenvalues of the two axis operators.
+        ``kind`` is one of ``"ilu"``, ``"block_circulant"``,
+        ``"block_circulant_fast"``, ``"jacobi"`` or ``"none"`` (see
+        :class:`~repro.utils.options.MPDEOptions`).  The ILU/Jacobi modes
+        factor ``matrix`` when given (the assembled Jacobian in the
+        non-matrix-free GMRES mode) and otherwise the grid-averaged Jacobian
+        built from ``c_data``/``g_data``; the block-circulant mode always
+        works from the averaged dense blocks plus the circulant eigenvalues
+        of the two axis operators, and the partially-averaged
+        ``block_circulant_fast`` mode from the slow-axis means of the
+        per-point data plus the fast-axis differentiation matrix itself.
         """
         if kind not in PRECONDITIONER_KINDS:
             raise MPDEError(
@@ -349,10 +352,10 @@ class MPDEProblem:
         if kind in ("ilu", "jacobi") and matrix is not None:
             return ILUPreconditioner(matrix) if kind == "ilu" else JacobiPreconditioner(matrix)
         if c_data is None or g_data is None:
-            if kind == "block_circulant":
+            if kind in ("block_circulant", "block_circulant_fast"):
                 raise MPDEError(
-                    "the block-circulant preconditioner needs the per-point Jacobian "
-                    "data arrays (c_data/g_data)"
+                    f"the {kind.replace('_', '-')} preconditioner needs the per-point "
+                    "Jacobian data arrays (c_data/g_data)"
                 )
             raise MPDEError(
                 f"preconditioner kind {kind!r} needs either an assembled matrix or "
@@ -369,6 +372,8 @@ class MPDEProblem:
             eigenvalues_fast=lam_fast,
             eigenvalues_slow=lam_slow,
             assemble=self.assemble_jacobian,
+            fast_operator=self.grid.axis_matrix("fast", self.options.fast_method),
+            grid_shape=(self.grid.n_fast, self.grid.n_slow),
         )
 
     # -- continuation embedding -----------------------------------------------------

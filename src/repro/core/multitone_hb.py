@@ -124,10 +124,12 @@ def two_tone_harmonic_balance(
         are overridden to the spectral settings implied by the truncation.
     matrix_free, preconditioner:
         Optional overrides of the corresponding :class:`MPDEOptions` fields.
-        The spectral operators used here are exactly where the
-        ``"block_circulant"`` (per-harmonic) preconditioner shines, so large
-        truncations are best run with ``matrix_free=True,
-        preconditioner="block_circulant"``.
+        The spectral operators used here are exactly where the per-harmonic
+        preconditioners shine, so large truncations are best run with
+        ``matrix_free=True`` and ``preconditioner="block_circulant"`` — or
+        ``"block_circulant_fast"`` (slow-axis partially-averaged) for
+        strongly LO-switched circuits, where it cuts total GMRES iterations
+        by a further >= 1.5x.
     """
     if n_harmonics_fast < 1 or n_harmonics_slow < 1:
         raise AnalysisError("harmonic truncations must be at least 1")

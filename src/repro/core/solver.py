@@ -65,6 +65,11 @@ class MPDEStats:
     #: Number of preconditioner factorisations performed (the reuse policy
     #: keeps this far below ``linear_solves``).
     preconditioner_builds: int = 0
+    #: Lazy per-harmonic sparse LU factorisations performed by the
+    #: partially-averaged ``"block_circulant_fast"`` preconditioner across
+    #: the whole solve (all builds summed; conjugate symmetry keeps this at
+    #: ``n_slow // 2 + 1`` per build).  Zero for every other mode.
+    preconditioner_harmonic_builds: int = 0
     #: Preconditioner mode used for the GMRES solves ("" for the direct
     #: solver).
     preconditioner_kind: str = ""
@@ -404,6 +409,7 @@ class MPDESolver:
             return dx
 
         builds_before = self._krylov.builds
+        harmonic_before = self._krylov.harmonic_builds
         dx, reports = self._krylov.solve(
             jacobian,
             rhs,
@@ -413,6 +419,9 @@ class MPDESolver:
             reuse=self.options.reuse_preconditioner,
         )
         stats.preconditioner_builds += self._krylov.builds - builds_before
+        stats.preconditioner_harmonic_builds += (
+            self._krylov.harmonic_builds - harmonic_before
+        )
         stats.preconditioner_kind = self.options.preconditioner
         # Every build is used by the solve that follows it, so the per-report
         # degraded flags below cover all builds.

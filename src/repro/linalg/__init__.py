@@ -10,12 +10,14 @@ from .krylov import (
 from .newton import FactoredJacobian, NewtonResult, newton_solve, solve_linear_system
 from .preconditioners import (
     AdaptiveRefreshPolicy,
+    BlockCirculantFastPreconditioner,
     BlockCirculantPreconditioner,
     ILUPreconditioner,
     IdentityPreconditioner,
     JacobiPreconditioner,
     Preconditioner,
     circulant_eigenvalues,
+    slow_averaged_data,
 )
 from .sparse import (
     BlockDiagStructure,
@@ -47,9 +49,11 @@ __all__ = [
     "ILUPreconditioner",
     "JacobiPreconditioner",
     "BlockCirculantPreconditioner",
+    "BlockCirculantFastPreconditioner",
     "IdentityPreconditioner",
     "AdaptiveRefreshPolicy",
     "circulant_eigenvalues",
+    "slow_averaged_data",
     "COOBuilder",
     "StampPattern",
     "BlockDiagStructure",

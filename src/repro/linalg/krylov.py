@@ -119,7 +119,6 @@ def gmres_solve(
     counter = _IterationCounter()
     if preconditioner is None and sp.issparse(matrix):
         preconditioner = make_ilu_preconditioner(matrix)
-    degraded = bool(getattr(preconditioner, "degraded", False))
 
     x, info = spla.gmres(
         matrix,
@@ -133,6 +132,10 @@ def gmres_solve(
         callback_type="pr_norm",
     )
     converged = info == 0
+    # Read the degraded flag *after* the solve: lazily-factoring
+    # preconditioners (block_circulant_fast) may only discover a singular
+    # harmonic system during their first application.
+    degraded = bool(getattr(preconditioner, "degraded", False))
     if converged and counter.last_norm is not None:
         # GMRES's recurrence already carries the final (preconditioned,
         # relative) residual norm — reuse it instead of spending another full
@@ -198,8 +201,27 @@ class CachedPreconditionedGMRES:
         self._policy = AdaptiveRefreshPolicy(growth_factor=growth_factor, slack=slack)
         self.cached: Preconditioner | None = None
         self.builds = 0
+        self._retired_harmonic_builds = 0
+
+    @property
+    def harmonic_builds(self) -> int:
+        """Total lazy per-harmonic factorisations across all builds so far.
+
+        Preconditioners that factor per-harmonic systems lazily
+        (:class:`~repro.linalg.preconditioners.BlockCirculantFastPreconditioner`)
+        expose a ``harmonic_factorizations`` counter; this property sums it
+        over every instance this manager has owned, including replaced ones,
+        so front ends can report the factorisation effort
+        (``MPDEStats.preconditioner_harmonic_builds``).  Zero for modes
+        without lazy per-harmonic factorisation.
+        """
+        current = getattr(self.cached, "harmonic_factorizations", 0)
+        return self._retired_harmonic_builds + int(current)
 
     def _rebuild(self, context) -> Preconditioner:
+        self._retired_harmonic_builds += int(
+            getattr(self.cached, "harmonic_factorizations", 0)
+        )
         self.cached = self._build(context)
         self.builds += 1
         self._policy.note_build()

@@ -1,0 +1,94 @@
+"""Executable documentation: every fenced python snippet must actually run.
+
+Documentation snippets rot the moment an API drifts, so this module extracts
+every fenced ``python`` code block from ``README.md`` and ``docs/*.md`` and
+executes it.  Blocks within one file share a namespace and run top to bottom,
+so a document can build up an example progressively; snippets that are not
+meant to run must use a different fence language (``text``, ``console``,
+...).
+
+A second test checks every relative markdown link in the same files, so
+documents cannot point at renamed or deleted files.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The documentation set under snippet / link test.  New top-level documents
+#: must be added here (the glob covers everything inside docs/).
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")],
+    key=lambda path: path.name,
+)
+
+_FENCE = re.compile(
+    r"^```python[ \t]*\n(?P<body>.*?)^```[ \t]*$",
+    re.MULTILINE | re.DOTALL,
+)
+# [text](target) links, excluding images; target trimmed of #fragments.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def python_blocks(path: Path) -> list[tuple[int, str]]:
+    """All fenced ``python`` blocks of a file as ``(line_number, source)``."""
+    text = path.read_text()
+    blocks = []
+    for match in _FENCE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
+        blocks.append((line, match.group("body")))
+    return blocks
+
+
+def test_docs_files_exist():
+    """The documentation suite this module guards must be present."""
+    names = {path.name for path in DOC_FILES}
+    assert "README.md" in names
+    assert {"index.md", "architecture.md", "preconditioners.md"} <= names
+
+
+def test_there_are_snippets_to_test():
+    """Guard against a silently empty test (e.g. a fence-syntax change)."""
+    assert any(python_blocks(path) for path in DOC_FILES), (
+        "no fenced python blocks found in README.md / docs/*.md — "
+        "either the docs lost their examples or the fence regex broke"
+    )
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_python_snippets_execute(path: Path):
+    """Execute the file's fenced python blocks in one shared namespace."""
+    blocks = python_blocks(path)
+    if not blocks:
+        pytest.skip(f"{path.name} has no fenced python blocks")
+    namespace: dict = {"__name__": f"docs_snippet_{path.stem}"}
+    for line, source in blocks:
+        code = compile(source, f"{path.name}:{line}", "exec")
+        try:
+            exec(code, namespace)  # noqa: S102 - executing our own docs is the point
+        except Exception as exc:  # pragma: no cover - failure reporting
+            pytest.fail(
+                f"documentation snippet {path.name}:{line} raised "
+                f"{type(exc).__name__}: {exc}"
+            )
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_relative_links_resolve(path: Path):
+    """Every relative markdown link must point at an existing file."""
+    text = path.read_text()
+    broken = []
+    for match in _LINK.finditer(text):
+        target = match.group(1).split("#", 1)[0]
+        if not target or "://" in target or target.startswith("mailto:"):
+            continue  # external link (the CI link checker stays offline)
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            broken.append(f"{path.name}:{line} -> {target}")
+    assert not broken, "broken relative link(s): " + ", ".join(broken)
