@@ -29,12 +29,24 @@ every analysis funnels through, on the paper's balanced mixer at the paper's
    >= 2x faster on the full evaluation (the PR-3 acceptance floor).  The two
    backends are timed interleaved so CPU frequency drift cancels out of the
    ratio.
+6. **Parallel execution layer** (PR 5) — sharded vs serial ``evaluate_sparse``
+   wall time at a large synthetic grid (80 x 60, P = 4800 — where
+   ``P * n_group`` kernel work dominates the pool dispatch overhead), eager
+   vs lazy per-harmonic LU build wall time for the partially-averaged
+   preconditioner, and the ``MPDEStats`` wall-time breakdown of every solver
+   mode.  The sharded path must be >= 1.5x faster than serial with 4 workers
+   — a floor that is *asserted only where it is physically meaningful*: on a
+   single-CPU or fork-less runner the section records the resolution's
+   fallback reason and the floor is skipped (the same graceful degradation
+   the library itself performs).  ``--workers N`` (shared with the whole
+   benchmark suite via ``benchmarks/conftest.py``) overrides the worker
+   count.
 
 Results are written to ``BENCH_perf_assembly.json`` at the repository root so
 the perf trajectory is tracked from this PR onward.  ``--check`` exits
 non-zero when any performance floor (assembly speedup >= 3x, block-circulant
-iteration cut >= 3x, partially-averaged cut >= 1.5x, batched engine >= 2x)
-is violated, for CI use.
+iteration cut >= 3x, partially-averaged cut >= 1.5x, batched engine >= 2x,
+sharded evaluation >= 1.5x where applicable) is violated, for CI use.
 """
 
 from __future__ import annotations
@@ -47,12 +59,18 @@ from pathlib import Path
 
 import numpy as np
 
+from conftest import add_workers_argument
 from repro.core import solve_mpde
 from repro.core.mpde import MPDEProblem
+from repro.parallel import WorkerPool, detect_capabilities, resolve_execution
 from repro.rf import balanced_lo_doubling_mixer, unbalanced_switching_mixer
 from repro.utils import MPDEOptions
 
 PAPER_GRID = (40, 30)
+#: Large synthetic grid for the sharded-evaluation wall-time floor: P = 4800
+#: points is where kernel FLOPs clearly dominate the per-call pool dispatch
+#: (see the cost model in docs/parallel.md).
+LARGE_GRID = (80, 60)
 #: Spectral (fourier x fourier) grid for the preconditioner-mode comparison.
 #: Large enough that the averaged-ILU mode visibly degrades on stale caches;
 #: small enough to keep the bench (and the tier-1 convergence harness, which
@@ -179,6 +197,29 @@ def bench_assembly(problem: MPDEProblem) -> dict:
     }
 
 
+def _timing_breakdown(stats) -> dict:
+    """The MPDEStats wall-time buckets, validated against the total.
+
+    Every solver mode must populate the breakdown (non-zero) and the
+    buckets must sum to at most the measured wall time — the contract the
+    instrumentation pass guarantees; a violation is a bug, not a slow run.
+    """
+    breakdown = {
+        "eval_time_s": float(stats.eval_time_s),
+        "factorization_time_s": float(stats.factorization_time_s),
+        "preconditioner_build_time_s": float(stats.preconditioner_build_time_s),
+        "gmres_time_s": float(stats.gmres_time_s),
+    }
+    accounted = sum(breakdown.values())
+    if not 0.0 < accounted <= stats.wall_time_seconds:
+        raise RuntimeError(
+            f"MPDEStats timing breakdown inconsistent: buckets sum to "
+            f"{accounted:.6f}s of {stats.wall_time_seconds:.6f}s total"
+        )
+    breakdown["accounted_fraction"] = accounted / stats.wall_time_seconds
+    return breakdown
+
+
 def bench_mpde_solves(mixer, mna) -> dict:
     abstol = MPDEOptions().newton.abstol
 
@@ -196,6 +237,7 @@ def bench_mpde_solves(mixer, mna) -> dict:
             "jacobian_factorizations": int(stats.jacobian_factorizations),
             "preconditioner_builds": int(stats.preconditioner_builds),
             "wall_time_s": elapsed,
+            "timing": _timing_breakdown(stats),
         }
 
     direct = run(MPDEOptions(n_fast=PAPER_GRID[0], n_slow=PAPER_GRID[1]))
@@ -291,7 +333,123 @@ def bench_preconditioners(mixer, mna) -> dict:
     }
 
 
-def main(check: bool = False) -> dict:
+def bench_parallel(mixer, mna, workers: int | None) -> dict:
+    """Sharded vs serial evaluation and eager vs lazy harmonic builds.
+
+    The section always runs (recording the environment and the eager/lazy
+    build comparison); the sharded-vs-serial wall-time comparison runs only
+    where the execution layer actually shards, mirroring the library's own
+    graceful degradation.  ``speedup_floor_applicable`` tells ``--check``
+    whether the >= 1.5x floor is physically meaningful here (sharding can
+    only beat serial with a second core).
+    """
+    caps = detect_capabilities()
+    resolution = resolve_execution("sharded", workers)
+    record: dict = {
+        "cpu_count": caps.cpu_count,
+        "fork_available": caps.fork_available,
+        "requested_workers": workers,
+        "resolved_backend": resolution.backend,
+        "n_workers": resolution.n_workers,
+        "fallback_reason": resolution.fallback_reason,
+        "large_grid": list(LARGE_GRID),
+        # The >= 1.5x floor is documented (and modelled) at 4 workers; with
+        # only 2 the cost model itself predicts ~1.4x (docs/parallel.md), so
+        # asserting there would fail deterministically without any
+        # regression.  Require a host that can actually run >= 3 workers.
+        "speedup_floor_applicable": bool(
+            resolution.sharded
+            and caps.serial_only_reason is None
+            and resolution.n_workers >= 3
+        ),
+    }
+
+    rng = np.random.default_rng(23)
+    n_points = LARGE_GRID[0] * LARGE_GRID[1]
+    states = rng.normal(scale=0.3, size=(n_points, mna.n_unknowns))
+    if resolution.sharded:
+        n_workers = resolution.n_workers
+
+        def sharded_eval():
+            return mna.evaluate_sparse(
+                states, kernel_backend="sharded", n_workers=n_workers
+            )
+
+        # Correctness gate: the wall-time ratio is only meaningful for
+        # bit-for-bit identical results.
+        serial_result = mna.evaluate_sparse(states)
+        sharded_result = sharded_eval()
+        for name in ("q", "f", "g_data", "c_data"):
+            if not np.array_equal(
+                getattr(serial_result, name), getattr(sharded_result, name)
+            ):
+                raise RuntimeError(f"sharded/serial mismatch in {name}")
+        t_serial, t_sharded = _time_interleaved(
+            [lambda: mna.evaluate_sparse(states), sharded_eval],
+            repeats=40,
+            warmup=5,
+        )
+        record.update(
+            {
+                "serial_eval_sparse_ms": t_serial * 1e3,
+                "sharded_eval_sparse_ms": t_sharded * 1e3,
+                "sharded_speedup": t_serial / t_sharded,
+            }
+        )
+
+    # Eager vs lazy per-harmonic LU build wall time: one build + one apply
+    # covers all n_slow // 2 + 1 distinct factorisations on either path
+    # (lazy pays them inside the first apply, eager at construction).
+    problem = MPDEProblem(
+        mna,
+        mixer.scales,
+        MPDEOptions(
+            n_fast=SPECTRAL_GRID[0],
+            n_slow=SPECTRAL_GRID[1],
+            fast_method="fourier",
+            slow_method="fourier",
+        ),
+    )
+    x = rng.normal(scale=0.2, size=problem.n_total_unknowns)
+    evaluation = mna.evaluate_sparse(problem.reshape_states(x))
+    vector = rng.normal(size=problem.n_total_unknowns)
+    factor_pool = WorkerPool(resolution.n_workers) if resolution.sharded else None
+
+    def lazy_build_and_apply():
+        built = problem.build_preconditioner(
+            "block_circulant_fast",
+            c_data=evaluation.c_data,
+            g_data=evaluation.g_data,
+        )
+        built.solve(vector)
+
+    def eager_build_and_apply():
+        built = problem.build_preconditioner(
+            "block_circulant_fast",
+            c_data=evaluation.c_data,
+            g_data=evaluation.g_data,
+            eager=True,
+            factor_pool=factor_pool,
+        )
+        built.solve(vector)
+
+    t_lazy, t_eager = _time_interleaved(
+        [lazy_build_and_apply, eager_build_and_apply], repeats=10, warmup=2
+    )
+    if factor_pool is not None:
+        factor_pool.close()
+    record.update(
+        {
+            "harmonic_build_grid": list(SPECTRAL_GRID),
+            "lazy_build_apply_ms": t_lazy * 1e3,
+            "eager_build_apply_ms": t_eager * 1e3,
+            "eager_over_lazy": t_lazy / t_eager,
+        }
+    )
+    return record
+
+
+def main(check: bool = False, workers: int | None = None) -> dict:
     mixer = balanced_lo_doubling_mixer()
     mna = mixer.compile()
     problem = MPDEProblem(
@@ -303,6 +461,8 @@ def main(check: bool = False) -> dict:
     assembly = bench_assembly(problem)
     solves = bench_mpde_solves(mixer, mna)
     preconditioners = bench_preconditioners(mixer, mna)
+    parallel = bench_parallel(mixer, mna, workers)
+    mna.close()
 
     payload = {
         "bench": "jacobian_assembly",
@@ -312,6 +472,7 @@ def main(check: bool = False) -> dict:
         "assembly": assembly,
         "mpde_solves": solves,
         "preconditioners": preconditioners,
+        "parallel": parallel,
     }
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -383,6 +544,40 @@ def main(check: bool = False) -> dict:
         "  partially-averaged cut vs block_circulant: %.2fx (floor 1.5x)"
         % preconditioners["spectral_iteration_ratio_block_circulant_over_fast"]
     )
+    print("== wall-time breakdown (paper-grid solves) ==")
+    for mode in ("direct", "direct_full_newton", "matrix_free"):
+        timing = solves[mode]["timing"]
+        print(
+            "  %-20s eval %.3fs  factor %.3fs  precond %.3fs  gmres %.3fs  (%.0f%% of wall)"
+            % (
+                mode,
+                timing["eval_time_s"],
+                timing["factorization_time_s"],
+                timing["preconditioner_build_time_s"],
+                timing["gmres_time_s"],
+                100.0 * timing["accounted_fraction"],
+            )
+        )
+    print(
+        "== parallel layer (%d CPUs, backend %s, %d workers) =="
+        % (parallel["cpu_count"], parallel["resolved_backend"], parallel["n_workers"])
+    )
+    if "sharded_speedup" in parallel:
+        print(
+            "  sharded evaluate_sparse at %dx%d: serial %.2f ms   sharded %.2f ms   speedup %.2fx"
+            % (
+                *LARGE_GRID,
+                parallel["serial_eval_sparse_ms"],
+                parallel["sharded_eval_sparse_ms"],
+                parallel["sharded_speedup"],
+            )
+        )
+    else:
+        print("  sharded evaluation skipped: %s" % parallel["fallback_reason"])
+    print(
+        "  harmonic LU builds (build + first apply): lazy %.2f ms   eager %.2f ms"
+        % (parallel["lazy_build_apply_ms"], parallel["eager_build_apply_ms"])
+    )
     print(f"wrote {OUTPUT_PATH}")
 
     floors = [
@@ -407,6 +602,22 @@ def main(check: bool = False) -> dict:
             engine["batched_speedup"] >= 2.0,
         ),
     ]
+    if parallel["speedup_floor_applicable"]:
+        floors.append(
+            (
+                "sharded evaluate_sparse >= 1.5x vs serial at %dx%d" % LARGE_GRID,
+                parallel["sharded_speedup"],
+                parallel["sharded_speedup"] >= 1.5,
+            )
+        )
+    else:
+        print(
+            "  [SKIP] sharded-evaluation floor not applicable here (%s)"
+            % (
+                parallel["fallback_reason"]
+                or "fewer than 3 workers available — the floor is modelled at 4"
+            )
+        )
     failed = [name for name, _value, ok in floors if not ok]
     for name, value, ok in floors:
         print(f"  [{'PASS' if ok else 'FAIL'}] {name} (measured {value:.2f}x)")
@@ -430,4 +641,6 @@ if __name__ == "__main__":
         action="store_true",
         help="exit non-zero when a performance floor is violated (CI gate)",
     )
-    main(check=parser.parse_args().check)
+    add_workers_argument(parser)
+    arguments = parser.parse_args()
+    main(check=arguments.check, workers=arguments.workers)

@@ -39,6 +39,8 @@ from ..linalg.sparse import (
     periodic_central_difference,
     periodic_fourier_differentiation,
 )
+from ..parallel.backends import resolve_execution
+from ..parallel.pool import WorkerPool
 from ..signals.waveform import Waveform
 from ..utils.exceptions import AnalysisError
 from ..utils.logging import get_logger
@@ -80,6 +82,9 @@ class CollocationPSSResult:
     #: True when any preconditioner build degraded to a weaker fallback
     #: (e.g. an ILU factorisation failing over to Jacobi scaling).
     preconditioner_degraded: bool = False
+    #: Why a requested ``parallel=True`` run fell back to the serial paths
+    #: ("" when parallel was not requested or ran as requested).
+    parallel_fallback_reason: str = ""
 
     def _closed(self, values: np.ndarray, name: str) -> Waveform:
         """Build a waveform spanning one full period (periodic endpoint repeated)."""
@@ -132,6 +137,8 @@ def collocation_periodic_steady_state(
     matrix_free: bool = False,
     preconditioner: str = "block_circulant",
     gmres_tol: float = 1e-10,
+    parallel: bool = False,
+    n_workers: int | None = None,
 ) -> CollocationPSSResult:
     """Solve for the periodic steady state on ``n_samples`` collocation points.
 
@@ -171,6 +178,13 @@ def collocation_periodic_steady_state(
         ``"ilu"``, ``"jacobi"`` or ``"none"``.
     gmres_tol:
         Relative tolerance of the inner GMRES solves (matrix-free only).
+    parallel, n_workers:
+        Route the solve through the parallel execution layer
+        (:mod:`repro.parallel`): device evaluations over the ``N``
+        collocation points run on the sharded kernel backend, and the
+        ``"block_circulant_fast"`` preconditioner batch-factors eagerly on
+        a worker pool.  Degrades to the serial paths with the reason
+        recorded on ``result.parallel_fallback_reason``.
     """
     if period <= 0:
         raise AnalysisError("period must be positive")
@@ -186,6 +200,18 @@ def collocation_periodic_steady_state(
             f"{list(PRECONDITIONER_KINDS)}"
         )
     nopts = newton_options or NewtonOptions(max_iterations=100)
+
+    # Parallel execution layer: one resolution + one factor pool for the
+    # whole solve (the pools are reused across every Newton iteration).
+    resolution = resolve_execution("sharded", n_workers) if parallel else None
+    eval_kwargs: dict = (
+        {"kernel_backend": "sharded", "n_workers": n_workers} if parallel else {}
+    )
+    factor_pool = (
+        WorkerPool(resolution.n_workers)
+        if resolution is not None and resolution.sharded
+        else None
+    )
 
     n = mna.n_unknowns
     times = t0 + np.arange(n_samples) * (period / n_samples)
@@ -222,7 +248,7 @@ def collocation_periodic_steady_state(
     def residual_for(b_grid: np.ndarray):
         def _residual(x_flat: np.ndarray) -> np.ndarray:
             states = x_flat.reshape(n_samples, n)
-            evaluation = mna.evaluate(states, need_jacobian=False)
+            evaluation = mna.evaluate(states, need_jacobian=False, **eval_kwargs)
             dq = diff_sparse @ evaluation.q
             return (dq + evaluation.f + b_grid).ravel()
 
@@ -251,6 +277,8 @@ def collocation_periodic_steady_state(
                 # single per-harmonic system is the unaveraged Jacobian.
                 fast_operator=diff_sparse,
                 grid_shape=(n_samples, 1),
+                eager=factor_pool is not None,
+                factor_pool=factor_pool,
             )
 
         # The same caching / adaptive-refresh / retry-once discipline the
@@ -259,7 +287,7 @@ def collocation_periodic_steady_state(
 
         def jacobian(x_flat: np.ndarray):
             states = x_flat.reshape(n_samples, n)
-            evaluation = mna.evaluate_sparse(states)
+            evaluation = mna.evaluate_sparse(states, **eval_kwargs)
             c_blk = c_structure.matrix(evaluation.c_data)
             g_blk = g_structure.matrix(evaluation.g_data)
             operator = spla.LinearOperator(
@@ -291,7 +319,7 @@ def collocation_periodic_steady_state(
 
         def jacobian(x_flat: np.ndarray):
             states = x_flat.reshape(n_samples, n)
-            evaluation = mna.evaluate_sparse(states)
+            evaluation = mna.evaluate_sparse(states, **eval_kwargs)
             return assembler.assemble(evaluation.c_data, evaluation.g_data)
 
     total_iterations = 0
@@ -318,6 +346,11 @@ def collocation_periodic_steady_state(
         result = step
 
     states = result.x.reshape(n_samples, n)
+    fallback_reason = ""
+    if parallel:
+        fallback_reason = (
+            mna.parallel_fallback_reason or resolution.fallback_reason
+        )
     return CollocationPSSResult(
         times=times,
         states=states,
@@ -327,4 +360,5 @@ def collocation_periodic_steady_state(
         n_unknowns_total=n_samples * n,
         linear_iterations=linear_iterations[0],
         preconditioner_degraded=degraded[0],
+        parallel_fallback_reason=fallback_reason,
     )

@@ -105,6 +105,8 @@ def two_tone_harmonic_balance(
     options: MPDEOptions | None = None,
     matrix_free: bool | None = None,
     preconditioner: str | None = None,
+    parallel: bool | None = None,
+    n_workers: int | None = None,
 ) -> TwoToneHBResult:
     """Run two-tone (box-truncated) harmonic balance for a closely-spaced-tone circuit.
 
@@ -130,6 +132,13 @@ def two_tone_harmonic_balance(
         ``"block_circulant_fast"`` (slow-axis partially-averaged) for
         strongly LO-switched circuits, where it cuts total GMRES iterations
         by a further >= 1.5x.
+    parallel, n_workers:
+        Optional overrides of the parallel execution layer knobs (see
+        :class:`MPDEOptions` and ``docs/parallel.md``): sharded device
+        evaluation over the collocation grid plus eager concurrent
+        per-harmonic LU factorisation for ``"block_circulant_fast"``.  The
+        resulting ``result.stats.parallel_fallback_reason`` records any
+        degradation to the serial paths.
     """
     if n_harmonics_fast < 1 or n_harmonics_slow < 1:
         raise AnalysisError("harmonic truncations must be at least 1")
@@ -145,6 +154,10 @@ def two_tone_harmonic_balance(
         overrides["matrix_free"] = bool(matrix_free)
     if preconditioner is not None:
         overrides["preconditioner"] = preconditioner
+    if parallel is not None:
+        overrides["parallel"] = bool(parallel)
+    if n_workers is not None:
+        overrides["n_workers"] = int(n_workers)
     spectral_options = dataclasses.replace(
         base,
         n_fast=n_fast,

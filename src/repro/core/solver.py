@@ -32,6 +32,8 @@ from ..analysis.dc import dc_operating_point
 from ..circuits.mna import MNASystem
 from ..linalg.krylov import CachedPreconditionedGMRES
 from ..linalg.preconditioners import AdaptiveRefreshPolicy
+from ..parallel.backends import resolve_execution
+from ..parallel.pool import WorkerPool
 from ..signals.waveform import BivariateWaveform, Waveform
 from ..utils.exceptions import ConvergenceError, MPDEError, SingularMatrixError
 from ..utils.logging import get_logger
@@ -84,6 +86,34 @@ class MPDEStats:
     n_grid_points: int = 0
     n_total_unknowns: int = 0
     residual_history: list[float] = field(default_factory=list)
+    # -- wall-time breakdown (PR 5) --------------------------------------
+    # Populated by every solver mode; the four buckets cover the dominant
+    # phases and sum to (at most) ``wall_time_seconds`` — the remainder is
+    # Newton bookkeeping (norms, damping logic, result assembly).
+    #: Device evaluation + residual assembly time: every
+    #: ``evaluate`` / ``evaluate_sparse`` sweep the Newton loop and its
+    #: line searches issue, including the sparse Jacobian assembly of the
+    #: assembled-matrix modes (one fused evaluation call).  Non-zero in
+    #: every mode.
+    eval_time_s: float = 0.0
+    #: Sparse direct-solver time: LU factorisations of the full MPDE
+    #: Jacobian plus their back-substitutions (``linear_solver="direct"``
+    #: only; 0.0 for the GMRES modes).
+    factorization_time_s: float = 0.0
+    #: Preconditioner construction time across all (re)builds, including
+    #: eager per-harmonic batch factorisation when enabled (GMRES modes
+    #: only).  In the *lazy* partially-averaged mode the per-harmonic LUs
+    #: are factored inside the first GMRES apply instead, where they count
+    #: toward ``gmres_time_s`` — comparing the two placements is exactly
+    #: the eager-vs-lazy observable the bench reports.
+    preconditioner_build_time_s: float = 0.0
+    #: Time inside the GMRES solves (matvecs, preconditioner applies,
+    #: orthogonalisation; GMRES modes only).
+    gmres_time_s: float = 0.0
+    #: Why a requested parallel execution fell back to the serial path
+    #: ("" when parallel was not requested or ran as requested): the
+    #: environment constraint, ``n_workers=1``, or a worker failure.
+    parallel_fallback_reason: str = ""
 
 
 @dataclass
@@ -277,11 +307,36 @@ class MPDESolver:
     per-solve GMRES iteration trend triggers a rebuild *before* the stale
     factorisation fails outright (an outright failure still rebuilds and
     retries once, as before).
+
+    With ``options.parallel`` the solve runs on the parallel execution
+    layer (:mod:`repro.parallel`): device evaluations use the sharded
+    kernel backend and the partially-averaged preconditioner batch-factors
+    its per-harmonic LUs eagerly on a worker pool owned by this solver
+    instance (one pool per solver, reused across solves and continuation
+    stages).  Every solve also populates the :class:`MPDEStats` wall-time
+    breakdown (``eval_time_s``, ``factorization_time_s``,
+    ``preconditioner_build_time_s``, ``gmres_time_s``) so benchmarks can
+    see where the remaining time goes in any mode.
     """
 
     def __init__(self, problem: MPDEProblem, options: MPDEOptions | None = None) -> None:
         self.problem = problem
         self.options = options or problem.options
+        # Parallel execution layer: resolve once per solver so the pool (and
+        # its startup cost) is shared by every solve this instance runs.
+        # The factor pool drives the eager per-harmonic batch factorisation
+        # of the partially-averaged preconditioner; sharded device
+        # evaluation is resolved independently inside the MNA layer.
+        self._parallel_resolution = (
+            resolve_execution("sharded", self.options.n_workers)
+            if self.options.parallel
+            else None
+        )
+        self._factor_pool = (
+            WorkerPool(self._parallel_resolution.n_workers)
+            if self._parallel_resolution is not None and self._parallel_resolution.sharded
+            else None
+        )
         self._krylov = CachedPreconditionedGMRES(
             self._build_preconditioner,
             growth_factor=self.options.precond_refresh_growth,
@@ -354,15 +409,25 @@ class MPDESolver:
         # averaged blocks — that is its definition.
         matrix = jacobian if sp.issparse(jacobian) else None
         return self.problem.build_preconditioner(
-            self.options.preconditioner, c_data=c_data, g_data=g_data, matrix=matrix
+            self.options.preconditioner,
+            c_data=c_data,
+            g_data=g_data,
+            matrix=matrix,
+            eager=self._factor_pool is not None,
+            factor_pool=self._factor_pool,
         )
 
     def _chord_refactor(self, x: np.ndarray, stats: MPDEStats) -> None:
+        start = time.perf_counter()
         jacobian = self.problem.jacobian(x)
+        factor_start = time.perf_counter()
+        stats.eval_time_s += factor_start - start
         try:
             factor = spla.splu(jacobian)
         except RuntimeError as exc:
             raise SingularMatrixError(f"sparse LU failed on the MPDE Jacobian: {exc}") from exc
+        finally:
+            stats.factorization_time_s += time.perf_counter() - factor_start
         stats.jacobian_factorizations += 1
         self._chord.store(factor)
 
@@ -370,7 +435,9 @@ class MPDESolver:
         chord = self._chord
         if chord.needs_refresh():
             self._chord_refactor(x, stats)
+        start = time.perf_counter()
         dx = chord.factor.solve(rhs)
+        stats.factorization_time_s += time.perf_counter() - start
         if not np.all(np.isfinite(dx)):
             if chord.just_built:
                 raise SingularMatrixError(
@@ -381,7 +448,9 @@ class MPDESolver:
             # fresh one would not; rebuild at the current iterate and retry
             # once before declaring the Jacobian singular.
             self._chord_refactor(x, stats)
+            start = time.perf_counter()
             dx = chord.factor.solve(rhs)
+            stats.factorization_time_s += time.perf_counter() - start
             if not np.all(np.isfinite(dx)):
                 raise SingularMatrixError(
                     "sparse LU produced non-finite values (singular MPDE Jacobian; check for "
@@ -397,10 +466,13 @@ class MPDESolver:
             if self._chord_active:
                 return self._chord_solve(rhs, stats, data)
             stats.jacobian_factorizations += 1
+            start = time.perf_counter()
             try:
                 dx = spla.spsolve(jacobian, rhs)
             except RuntimeError as exc:
                 raise SingularMatrixError(f"sparse LU failed on the MPDE Jacobian: {exc}") from exc
+            finally:
+                stats.factorization_time_s += time.perf_counter() - start
             if not np.all(np.isfinite(dx)):
                 raise SingularMatrixError(
                     "sparse LU produced non-finite values (singular MPDE Jacobian; check for "
@@ -410,6 +482,8 @@ class MPDESolver:
 
         builds_before = self._krylov.builds
         harmonic_before = self._krylov.harmonic_builds
+        build_time_before = self._krylov.build_time_s
+        solve_time_before = self._krylov.solve_time_s
         dx, reports = self._krylov.solve(
             jacobian,
             rhs,
@@ -422,6 +496,8 @@ class MPDESolver:
         stats.preconditioner_harmonic_builds += (
             self._krylov.harmonic_builds - harmonic_before
         )
+        stats.preconditioner_build_time_s += self._krylov.build_time_s - build_time_before
+        stats.gmres_time_s += self._krylov.solve_time_s - solve_time_before
         stats.preconditioner_kind = self.options.preconditioner
         # Every build is used by the solve that follows it, so the per-report
         # degraded flags below cover all builds.
@@ -430,6 +506,27 @@ class MPDESolver:
             stats.linear_iteration_history.append(report.iterations)
             stats.preconditioner_degraded |= report.preconditioner_degraded
         return dx
+
+    # -- timed evaluation wrappers -----------------------------------------------
+    # The wall-time breakdown wants every device sweep accounted to
+    # ``eval_time_s`` regardless of which linear mode runs; wrapping here
+    # (rather than inside MPDEProblem) keeps the problem object free of
+    # stats plumbing.
+    def _timed_evaluate(self, x: np.ndarray, source_grid, stats: MPDEStats):
+        start = time.perf_counter()
+        try:
+            return self._evaluate(x, source_grid)
+        finally:
+            stats.eval_time_s += time.perf_counter() - start
+
+    def _timed_residual(
+        self, x: np.ndarray, source_grid, stats: MPDEStats
+    ) -> np.ndarray:
+        start = time.perf_counter()
+        try:
+            return self.problem.residual(x, source_grid=source_grid)
+        finally:
+            stats.eval_time_s += time.perf_counter() - start
 
     # -- Newton loop -----------------------------------------------------------------
     def _newton(
@@ -451,7 +548,7 @@ class MPDESolver:
             # iteration budget before the refresh policy notices.
             self._chord.invalidate()
 
-        residual, jacobian, data = self._evaluate(x, source_grid)
+        residual, jacobian, data = self._timed_evaluate(x, source_grid, stats)
         res_norm = float(np.max(np.abs(residual)))
         stats.residual_history.append(res_norm)
 
@@ -468,7 +565,7 @@ class MPDESolver:
             accepted = False
             while damping >= opts.min_damping:
                 x_trial = x + damping * dx
-                residual_trial = self.problem.residual(x_trial, source_grid=source_grid)
+                residual_trial = self._timed_residual(x_trial, source_grid, stats)
                 trial_norm = float(np.max(np.abs(residual_trial)))
                 if np.isfinite(trial_norm) and trial_norm < res_norm * (1.0 + 1e-12):
                     accepted = True
@@ -476,7 +573,7 @@ class MPDESolver:
                 damping *= 0.5
             if not accepted:
                 x_trial = x + opts.min_damping * dx
-                residual_trial = self.problem.residual(x_trial, source_grid=source_grid)
+                residual_trial = self._timed_residual(x_trial, source_grid, stats)
                 trial_norm = float(np.max(np.abs(residual_trial)))
 
             if self._chord_active:
@@ -511,7 +608,7 @@ class MPDESolver:
             if self._chord_active:
                 residual, jacobian, data = residual_trial, None, x
             else:
-                residual, jacobian, data = self._evaluate(x, source_grid)
+                residual, jacobian, data = self._timed_evaluate(x, source_grid, stats)
             res_norm = float(np.max(np.abs(residual)))
 
         stats.residual_norm = res_norm
@@ -620,6 +717,11 @@ class MPDESolver:
             n_grid_points=self.problem.n_grid_points,
             n_total_unknowns=self.problem.n_total_unknowns,
         )
+        if self._parallel_resolution is not None:
+            # Parallel was requested; record up front why it resolved to
+            # serial (if it did) — a mid-solve worker failure in the MNA
+            # layer overrides this after the solve.
+            stats.parallel_fallback_reason = self._parallel_resolution.fallback_reason
         if self._chord is not None:
             self._chord.invalidate()
         start = time.perf_counter()
@@ -650,6 +752,8 @@ class MPDESolver:
 
         stats.converged = converged
         stats.wall_time_seconds = time.perf_counter() - start
+        if self.options.parallel and self.problem.mna.parallel_fallback_reason:
+            stats.parallel_fallback_reason = self.problem.mna.parallel_fallback_reason
         if not converged:
             raise ConvergenceError(
                 "MPDE Newton iteration did not converge and continuation is disabled "

@@ -15,6 +15,7 @@ surfaced on the :class:`GMRESReport`).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -202,6 +203,12 @@ class CachedPreconditionedGMRES:
         self.cached: Preconditioner | None = None
         self.builds = 0
         self._retired_harmonic_builds = 0
+        #: Cumulative wall time spent building preconditioners (including
+        #: any eager per-harmonic factorisation inside the build callback).
+        self.build_time_s = 0.0
+        #: Cumulative wall time spent inside the GMRES solves themselves
+        #: (matvecs + preconditioner applies + orthogonalisation).
+        self.solve_time_s = 0.0
 
     @property
     def harmonic_builds(self) -> int:
@@ -222,10 +229,19 @@ class CachedPreconditionedGMRES:
         self._retired_harmonic_builds += int(
             getattr(self.cached, "harmonic_factorizations", 0)
         )
+        start = time.perf_counter()
         self.cached = self._build(context)
+        self.build_time_s += time.perf_counter() - start
         self.builds += 1
         self._policy.note_build()
         return self.cached
+
+    def _timed_gmres(self, *args, **kwargs):
+        start = time.perf_counter()
+        try:
+            return gmres_solve(*args, **kwargs)
+        finally:
+            self.solve_time_s += time.perf_counter() - start
 
     def solve(
         self,
@@ -253,7 +269,7 @@ class CachedPreconditionedGMRES:
         )
         if fresh:
             self._rebuild(context)
-        solution, report = gmres_solve(
+        solution, report = self._timed_gmres(
             matrix,
             rhs,
             preconditioner=self.cached,
@@ -272,7 +288,7 @@ class CachedPreconditionedGMRES:
             # the refresh policy to catch in time: rebuild from the current
             # data and retry once before giving up.
             self._rebuild(context)
-            solution, report = gmres_solve(
+            solution, report = self._timed_gmres(
                 matrix,
                 rhs,
                 preconditioner=self.cached,

@@ -50,7 +50,11 @@ protocol:
 
   which is LU-factored *lazily* on first use (and only for the first
   ``n_slow // 2 + 1`` harmonics — conjugate symmetry of real data supplies
-  the rest for free).  Like the fully-averaged mode it is rebuilt fresh at
+  the rest for free).  The PR-5 *eager* mode batch-factors the same
+  ``n_slow // 2 + 1`` independent systems at construction — optionally
+  fanned out over a :class:`~repro.parallel.pool.WorkerPool`, since the
+  factorisations share nothing — with applies and counts identical to the
+  lazy path.  Like the fully-averaged mode it is rebuilt fresh at
   every Newton iterate: a build is a handful of sparse LUs (a few GMRES
   iterations' worth of back-substitutions), while iterating against a stale
   instance costs far more — precisely *because* the mode is tailored to the
@@ -310,6 +314,8 @@ def build_averaged_preconditioner(
     assemble=None,
     fast_operator=None,
     grid_shape: tuple[int, int] | None = None,
+    eager: bool = False,
+    factor_pool=None,
 ) -> Preconditioner:
     """Kind dispatch over the grid-averaged-operator preconditioner family.
 
@@ -330,6 +336,11 @@ def build_averaged_preconditioner(
     * ``"ilu"`` — drop-tolerance ILU of the assembled averaged matrix,
       produced via :func:`averaged_matrix` and ``assemble`` (the front end's
       cached :class:`~repro.linalg.sparse.CollocationJacobianAssembler`).
+
+    ``eager`` / ``factor_pool`` select the partially-averaged mode's eager
+    batch factorisation (optionally fanned out over a
+    :class:`~repro.parallel.pool.WorkerPool`); both are ignored by every
+    other kind.
     """
     if kind == "none":
         return IdentityPreconditioner(size)
@@ -357,6 +368,8 @@ def build_averaged_preconditioner(
             static_pattern,
             fast_operator,
             eigenvalues_slow,
+            eager=eager,
+            factor_pool=factor_pool,
         )
     if kind in ("block_circulant", "jacobi"):
         if eigenvalues_fast is None:
@@ -565,14 +578,30 @@ class BlockCirculantFastPreconditioner(_PreconditionerBase):
         ``n_slow``), ordered as :func:`numpy.fft.fft` output.  Omit (or pass
         a single zero) for one-dimensional collocation problems, where the
         single ``B_0`` equals the unaveraged Jacobian itself.
+    eager:
+        Batch-factor all distinct harmonics at construction instead of
+        lazily on first touch (see Notes).
+    factor_pool:
+        Optional :class:`~repro.parallel.pool.WorkerPool` the eager batch
+        factorisation fans out over.  The per-harmonic systems are
+        independent, so the ``n_slow // 2 + 1`` sparse LUs can run
+        concurrently; a *thread* pool is the right vehicle because SuperLU
+        factor objects are process-local (they cannot be pickled back from
+        a process pool).  Ignored in lazy mode.
 
     Notes
     -----
-    Factorisations are *lazy*: ``B_k`` is LU-factored on the first solve that
-    touches harmonic ``k``, and for real vectors only the first
-    ``n_slow // 2 + 1`` harmonics are ever factored — conjugate symmetry
-    (``B_{n-k} = conj(B_k)``, real-input spectra obey ``v_{n-k} =
-    conj(v_k)``) supplies the mirrored solutions by conjugation.
+    Factorisations are *lazy* by default: ``B_k`` is LU-factored on the
+    first solve that touches harmonic ``k``, and for real vectors only the
+    first ``n_slow // 2 + 1`` harmonics are ever factored — conjugate
+    symmetry (``B_{n-k} = conj(B_k)``, real-input spectra obey ``v_{n-k} =
+    conj(v_k)``) supplies the mirrored solutions by conjugation.  The
+    *eager* mode factors exactly the same ``n_slow // 2 + 1`` systems up
+    front (conjugate symmetry preserved) through the same factorisation
+    routine, so its applies — and its factorisation counts, since every
+    apply touches every distinct harmonic anyway — are identical to the
+    lazy path's; the only difference is *when* (and, given a pool, on how
+    many threads) the factorisations run.
     :attr:`harmonic_factorizations` counts the sparse LU factorisations
     performed so far (surfaced as
     ``MPDEStats.preconditioner_harmonic_builds``).
@@ -602,6 +631,9 @@ class BlockCirculantFastPreconditioner(_PreconditionerBase):
         static_pattern,
         fast_operator: sp.spmatrix | np.ndarray,
         eigenvalues_slow: np.ndarray | None = None,
+        *,
+        eager: bool = False,
+        factor_pool=None,
     ) -> None:
         c_bar_fast = np.asarray(c_bar_fast, dtype=float)
         g_bar_fast = np.asarray(g_bar_fast, dtype=float)
@@ -639,33 +671,71 @@ class BlockCirculantFastPreconditioner(_PreconditionerBase):
         self._c_blk = c_blk.tocsc()
         self._lam_slow = lam_slow
         self._solvers: dict[int, Callable[[np.ndarray], np.ndarray]] = {}
-        #: Sparse LU factorisations performed so far (lazy, conjugate-symmetric).
+        #: Sparse LU factorisations performed so far (conjugate-symmetric:
+        #: at most ``n_slow // 2 + 1``, whether factored lazily or eagerly).
         self.harmonic_factorizations = 0
+        if eager:
+            self.factor_eagerly(pool=factor_pool)
 
     @property
     def n_harmonics(self) -> int:
         """Number of slow harmonics (distinct per-harmonic systems)."""
         return self.n_slow
 
+    def _factor_harmonic(
+        self, k: int
+    ) -> tuple[int, Callable[[np.ndarray], np.ndarray], bool]:
+        """Factor harmonic ``k``: returns ``(k, solver, degraded)``.
+
+        Pure function of the (immutable after construction) base matrices —
+        safe to fan out over worker threads; all bookkeeping mutation stays
+        with the caller.
+        """
+        matrix = (self._base + self._lam_slow[k] * self._c_blk).tocsc()
+        try:
+            return k, spla.splu(matrix).solve, False
+        except RuntimeError:
+            _LOG.warning(
+                "block-circulant-fast preconditioner: slow harmonic %d is "
+                "singular; using a dense pseudo-inverse (degraded "
+                "preconditioning)",
+                k,
+            )
+            return k, np.linalg.pinv(matrix.toarray()).__matmul__, True
+
+    def _store_factor(
+        self, k: int, solver: Callable[[np.ndarray], np.ndarray], degraded: bool
+    ) -> None:
+        self._solvers[k] = solver
+        self.harmonic_factorizations += 1
+        self.degraded |= degraded
+
+    def factor_eagerly(self, pool=None) -> None:
+        """Batch-factor every distinct harmonic not yet factored.
+
+        Only the first ``n_slow // 2 + 1`` harmonics are ever factored
+        (conjugate symmetry supplies the rest — same as the lazy path), so
+        the counts and the applies are identical to lazy factorisation.
+        With a :class:`~repro.parallel.pool.WorkerPool` the independent
+        factorisations fan out over its threads; without one they run
+        sequentially, which still front-loads the build cost into a single
+        measurable phase (``MPDEStats.preconditioner_build_time_s``).
+        """
+        pending = [
+            k for k in range(self.n_slow // 2 + 1) if k not in self._solvers
+        ]
+        if not pending:
+            return
+        runner = pool.map if pool is not None else lambda fn, items: map(fn, items)
+        for k, solver, degraded in runner(self._factor_harmonic, pending):
+            self._store_factor(k, solver, degraded)
+
     def _harmonic_solver(self, k: int) -> Callable[[np.ndarray], np.ndarray]:
         """The (lazily factored) solver for slow harmonic ``k``."""
         solver = self._solvers.get(k)
         if solver is None:
-            matrix = (self._base + self._lam_slow[k] * self._c_blk).tocsc()
-            try:
-                solver = spla.splu(matrix).solve
-            except RuntimeError:
-                _LOG.warning(
-                    "block-circulant-fast preconditioner: slow harmonic %d is "
-                    "singular; using a dense pseudo-inverse (degraded "
-                    "preconditioning)",
-                    k,
-                )
-                pinv = np.linalg.pinv(matrix.toarray())
-                solver = pinv.__matmul__
-                self.degraded = True
-            self._solvers[k] = solver
-            self.harmonic_factorizations += 1
+            self._store_factor(*self._factor_harmonic(k))
+            solver = self._solvers[k]
         return solver
 
     def solve(self, vector: np.ndarray) -> np.ndarray:

@@ -1,0 +1,46 @@
+"""Pluggable parallel execution layer (PR 5).
+
+The two independent work axes the MPDE/HB formulation exposes — the
+``P = n_fast * n_slow`` hyperplane grid points of the batched evaluation
+engine and the ``n_slow // 2 + 1`` per-slow-harmonic LU factorisations of
+the partially-averaged preconditioner — are embarrassingly parallel.  This
+package provides the execution machinery both hot paths share:
+
+* :mod:`~repro.parallel.backends` — environment capability detection and
+  the one resolution rule mapping ``(backend, n_workers)`` requests onto
+  what actually runs (with recorded fallback reasons);
+* :mod:`~repro.parallel.sharding` — shard geometry and the shared-memory
+  array protocol;
+* :mod:`~repro.parallel.pool` — the forked :class:`ShardedKernelPool` for
+  engine evaluation and the thread :class:`WorkerPool` for in-process
+  fan-out (LU factor objects cannot cross a process boundary).
+
+Entry points for users are the option knobs, not this package:
+``EvaluationOptions(kernel_backend="sharded", n_workers=...)`` at
+``Circuit.compile`` and ``MPDEOptions(parallel=True, n_workers=...)`` on the
+solvers.  See ``docs/parallel.md`` for when sharding pays.
+"""
+
+from .backends import (
+    KERNEL_BACKENDS,
+    Capabilities,
+    ResolvedExecution,
+    detect_capabilities,
+    resolve_execution,
+)
+from .pool import ShardedKernelPool, WorkerPool, WorkerPoolError
+from .sharding import SharedArray, attach_shared_array, shard_ranges
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "Capabilities",
+    "ResolvedExecution",
+    "SharedArray",
+    "ShardedKernelPool",
+    "WorkerPool",
+    "WorkerPoolError",
+    "attach_shared_array",
+    "detect_capabilities",
+    "resolve_execution",
+    "shard_ranges",
+]

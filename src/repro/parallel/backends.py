@@ -1,0 +1,197 @@
+"""Execution-backend detection and resolution for the parallel layer.
+
+The parallel execution layer has exactly two kernel backends:
+
+* ``"serial"`` — every hot path runs in the calling process (the behaviour
+  of every PR before this one).
+* ``"sharded"`` — the batched evaluation engine's ``(n_group, P)`` blocks
+  are sharded along the ``P`` (grid-point) axis across a pool of forked
+  worker processes (:class:`~repro.parallel.pool.ShardedKernelPool`), and
+  the partially-averaged preconditioner's independent per-slow-harmonic LU
+  factorisations fan out over a thread pool
+  (:class:`~repro.parallel.pool.WorkerPool`).
+
+Whether sharding can *work* at all depends on the environment: process
+sharding needs the ``fork`` start method (the engine's class kernels are
+closures — deliberately, see ``circuits/engine.py`` — so they cannot be
+pickled to ``spawn``-ed workers; forked workers inherit the compiled engine
+for free), and it only *pays* with more than one CPU.  This module owns that
+decision so every front end (``MNASystem``, the MPDE solver, the collocation
+solver, the benchmarks) degrades in exactly the same way:
+
+* capabilities are probed once (:func:`detect_capabilities`) and cached;
+* :func:`resolve_execution` maps a requested ``(backend, n_workers)`` pair
+  onto what will actually run, with a human-readable ``fallback_reason``
+  whenever the request could not be honoured — the string surfaced as
+  ``MPDEStats.parallel_fallback_reason``.
+
+The auto/explicit split matters on constrained runners: with
+``n_workers=None`` (auto) a single-CPU environment resolves to the serial
+backend — sharding cannot beat the serial path without a second core — while
+an *explicit* ``n_workers >= 2`` is honoured whenever ``fork`` exists, so
+correctness tests (and the ``n_workers=2`` CI job) exercise the real worker
+protocol even on one-core containers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+
+from ..utils.exceptions import ConfigurationError
+from ..utils.options import KERNEL_BACKENDS
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "Capabilities",
+    "ResolvedExecution",
+    "detect_capabilities",
+    "resolve_execution",
+]
+
+#: Auto mode never starts more workers than this — beyond a handful of
+#: shards the per-worker dispatch overhead dominates the kernel time for
+#: the problem sizes this library targets (see ``docs/parallel.md``).
+MAX_AUTO_WORKERS = 8
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What the current environment supports, probed once per process.
+
+    Attributes
+    ----------
+    cpu_count:
+        Usable CPUs — the scheduler affinity mask when the platform exposes
+        one (a cgroup-limited container may report fewer CPUs there than
+        ``os.cpu_count()``), otherwise ``os.cpu_count()``.
+    fork_available:
+        Whether the ``fork`` multiprocessing start method exists.  Process
+        sharding is fork-only: the engine kernels are closures and forked
+        workers inherit the compiled engine instead of unpickling it.
+    serial_only_reason:
+        ``None`` when auto-selected sharding is viable; otherwise the reason
+        the environment auto-selects the serial backend.
+    """
+
+    cpu_count: int
+    fork_available: bool
+    serial_only_reason: str | None
+
+
+_CAPABILITIES: Capabilities | None = None
+
+
+def _probe_capabilities() -> Capabilities:
+    try:
+        cpu_count = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux platforms
+        cpu_count = os.cpu_count() or 1
+    fork_available = "fork" in multiprocessing.get_all_start_methods()
+    if not fork_available:
+        reason = (
+            "the 'fork' multiprocessing start method is unavailable on this "
+            "platform (the engine kernels are closures and cannot be pickled "
+            "to spawn-ed workers)"
+        )
+    elif cpu_count <= 1:
+        # The count comes from the scheduler affinity mask where available
+        # (a cgroup-limited container may report 1 here while os.cpu_count()
+        # still sees the host's cores) — say so, or the diagnostic sends
+        # users to an API that will contradict it.
+        reason = (
+            f"only {cpu_count} usable CPU (scheduler affinity / cpu count): "
+            "sharding cannot beat the serial path"
+        )
+    else:
+        reason = None
+    return Capabilities(
+        cpu_count=cpu_count,
+        fork_available=fork_available,
+        serial_only_reason=reason,
+    )
+
+
+def detect_capabilities() -> Capabilities:
+    """The (cached) environment capabilities of this process."""
+    global _CAPABILITIES
+    if _CAPABILITIES is None:
+        _CAPABILITIES = _probe_capabilities()
+    return _CAPABILITIES
+
+
+@dataclass(frozen=True)
+class ResolvedExecution:
+    """What a ``(backend, n_workers)`` request actually resolves to.
+
+    ``fallback_reason`` is non-empty exactly when sharding was *requested*
+    but the serial backend was selected instead; explicit ``"serial"``
+    requests resolve with an empty reason (choosing serial is not a
+    fallback).
+    """
+
+    backend: str
+    n_workers: int
+    fallback_reason: str = ""
+
+    @property
+    def sharded(self) -> bool:
+        """Whether the sharded backend will actually run."""
+        return self.backend == "sharded"
+
+
+def _validated_workers(n_workers: int | None) -> int | None:
+    if n_workers is None:
+        return None
+    n_workers = int(n_workers)
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    return n_workers
+
+
+def resolve_execution(
+    backend: str, n_workers: int | None = None
+) -> ResolvedExecution:
+    """Resolve a requested execution mode against the environment.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` or ``"sharded"`` (anything else raises
+        :class:`~repro.utils.exceptions.ConfigurationError`).
+    n_workers:
+        ``None`` requests auto sizing (usable CPUs, capped at
+        :data:`MAX_AUTO_WORKERS`; resolves to serial on a single-CPU
+        machine).  An explicit count is honoured verbatim whenever ``fork``
+        is available — including on a single CPU, where the worker processes
+        simply timeshare — because correctness tests and benchmarks must be
+        able to exercise the real worker protocol anywhere.  ``n_workers=1``
+        explicitly selects the serial path (one shard is the serial path,
+        minus the dispatch overhead) and records that as the reason.
+    """
+    if backend not in KERNEL_BACKENDS:
+        raise ConfigurationError(
+            f"unknown kernel backend {backend!r}; use one of {KERNEL_BACKENDS}"
+        )
+    n_workers = _validated_workers(n_workers)
+    if backend == "serial":
+        return ResolvedExecution(backend="serial", n_workers=1)
+    caps = detect_capabilities()
+    if not caps.fork_available:
+        return ResolvedExecution(
+            backend="serial", n_workers=1, fallback_reason=caps.serial_only_reason
+        )
+    if n_workers == 1:
+        return ResolvedExecution(
+            backend="serial",
+            n_workers=1,
+            fallback_reason="n_workers=1 selects the serial path",
+        )
+    if n_workers is None:
+        if caps.serial_only_reason is not None:
+            return ResolvedExecution(
+                backend="serial", n_workers=1, fallback_reason=caps.serial_only_reason
+            )
+        n_workers = min(caps.cpu_count, MAX_AUTO_WORKERS)
+    return ResolvedExecution(backend="sharded", n_workers=n_workers)

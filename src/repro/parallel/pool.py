@@ -1,0 +1,384 @@
+"""Process/thread pools for the parallel execution layer.
+
+Two pool flavours, matched to what each hot path can physically ship across
+an execution boundary:
+
+* :class:`ShardedKernelPool` — persistent **forked worker processes** for
+  the batched evaluation engine.  Each worker inherits the compiled
+  :class:`~repro.circuits.engine.BatchedEvaluationEngine` through ``fork``
+  (the class kernels are closures, so they could never be pickled to a
+  ``spawn`` pool) and evaluates a contiguous shard of the ``P`` grid-point
+  axis.  State and results cross the boundary through the shared-memory
+  array protocol (:mod:`repro.parallel.sharding`): per evaluation the parent
+  copies ``X`` into a named block once, sends each worker a tiny command
+  tuple, and the workers write their ``(hi - lo, width)`` result rows
+  straight into the shared output blocks.  Because every engine operation is
+  elementwise along the ``P`` axis, a sharded evaluation is **bit-for-bit
+  equal** to the serial one — the shard boundaries cannot change a single
+  ulp (property-tested in ``tests/test_parallel.py``).
+* :class:`WorkerPool` — a small **thread** fan-out for work whose *results*
+  cannot cross a process boundary at all: SuperLU factor objects.  The
+  partially-averaged preconditioner's per-slow-harmonic factorisations are
+  independent, so they fan out over this pool in its eager mode; the factor
+  handles stay usable in the parent because threads share the heap.  (How
+  much the factorisations actually overlap depends on SciPy releasing the
+  GIL inside SuperLU; the semantics — counts, results — are identical either
+  way, which is what the tests pin down.)
+
+Pools are built once per owner (one :class:`ShardedKernelPool` per compiled
+``MNASystem``, one :class:`WorkerPool` per solver instance) and reused across
+evaluations, so the fork/startup cost is amortised over a whole Newton solve
+rather than paid per call.  Every failure path degrades, not crashes: a
+worker that raises (or dies) surfaces as :class:`WorkerPoolError`, which the
+``MNASystem`` wiring converts into a permanent, *recorded* fallback to the
+serial path (``MPDEStats.parallel_fallback_reason``).
+
+Importing this module probes the environment once
+(:func:`~repro.parallel.backends.detect_capabilities`) and logs a single
+warning when auto-selected sharding is off the table (single CPU, no
+``fork``) — constrained CI runners then run the serial backend everywhere
+without further noise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import weakref
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..utils.logging import get_logger
+from .backends import detect_capabilities
+from .sharding import SharedArray, attach_shared_array, shard_ranges
+
+__all__ = ["ShardedKernelPool", "WorkerPool", "WorkerPoolError"]
+
+_LOG = get_logger("parallel.pool")
+
+# Satellite requirement: constrained environments are detected *at import*
+# and warned about exactly once; every later auto resolution silently picks
+# the serial backend.
+_IMPORT_CAPABILITIES = detect_capabilities()
+if _IMPORT_CAPABILITIES.serial_only_reason is not None:
+    _LOG.warning(
+        "parallel execution layer: %s; auto-selected execution stays on the "
+        "serial backend (explicit n_workers >= 2 still forces worker pools)",
+        _IMPORT_CAPABILITIES.serial_only_reason,
+    )
+
+
+class WorkerPoolError(RuntimeError):
+    """A worker raised or died; the caller should fall back to serial."""
+
+
+class WorkerPool:
+    """Thread fan-out for tasks whose results must stay in-process.
+
+    The one consumer today is the eager batch-factorisation mode of
+    :class:`~repro.linalg.preconditioners.BlockCirculantFastPreconditioner`:
+    SuperLU factor objects are process-local, so the per-harmonic
+    factorisations run on threads sharing the parent heap.  :meth:`map`
+    preserves input order and re-raises the first worker exception in the
+    caller (factorisation errors keep their existing, tested handling).
+
+    The threads are spawned per :meth:`map` call and joined before it
+    returns — deliberately, not a kept-alive executor: no thread of this
+    pool ever outlives a call, so a later ``fork`` (another system starting
+    its :class:`ShardedKernelPool`) always happens from an effectively
+    single-threaded process.  Spawning a handful of threads costs
+    microseconds against the millisecond-scale factorisations they run.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        self.n_workers = max(1, int(n_workers))
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """``[fn(item) for item in items]``, fanned out, order preserved."""
+        items = list(items)
+        if self.n_workers == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        results: list = [None] * len(items)
+        errors: list[BaseException] = []
+
+        def run(lo: int, hi: int) -> None:
+            try:
+                for index in range(lo, hi):
+                    results[index] = fn(items[index])
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(lo, hi), daemon=True)
+            for lo, hi in shard_ranges(len(items), self.n_workers)
+            if hi > lo
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results
+
+    def close(self) -> None:
+        """Nothing to release — kept for a uniform pool interface."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WorkerPool(n_workers={self.n_workers})"
+
+
+def _worker_main(conn, engine) -> None:
+    """Worker loop: evaluate engine shards into shared-memory blocks.
+
+    Runs in a forked child that inherited ``engine`` (its scratch buffers
+    are now private copies, so the parent's engine is untouched).  Commands
+    are small picklable tuples; array payloads only ever travel through the
+    shared blocks.
+    """
+    attachments: dict[str, tuple[np.ndarray, object]] = {}
+
+    def view(name: str, shape) -> np.ndarray:
+        cached = attachments.get(name)
+        if cached is None:
+            cached = attach_shared_array(name, shape)
+            attachments[name] = cached
+        return cached[0]
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            break
+        command = message[0]
+        if command == "stop":
+            break
+        if command == "drop":
+            for name in message[1]:
+                cached = attachments.pop(name, None)
+                if cached is not None:
+                    cached[1].close()
+            conn.send(("ok",))
+            continue
+        try:
+            if command != "eval":
+                raise ValueError(f"unknown worker command {command!r}")
+            _, x_name, x_shape, lo, hi, out_specs, need_static, need_dynamic = message
+            states = view(x_name, x_shape)[lo:hi]
+            q, f, c_data, g_data = engine.evaluate(
+                states,
+                need_static_jacobian=need_static,
+                need_dynamic_jacobian=need_dynamic,
+            )
+            results = {"q": q, "f": f, "c": c_data, "g": g_data}
+            for key, name, shape in out_specs:
+                view(name, shape)[lo:hi] = results[key]
+            conn.send(("ok",))
+        except BaseException as exc:  # noqa: BLE001 - reported to the parent
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    for _array, shm in attachments.values():
+        shm.close()
+    conn.close()
+
+
+def _shutdown_pool(workers, buffers) -> None:
+    """Finalizer: stop worker processes and unlink the shared blocks."""
+    for process, conn in workers:
+        try:
+            conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+    for process, conn in workers:
+        process.join(timeout=1.0)
+        if process.is_alive():  # pragma: no cover - stuck worker safety net
+            process.terminate()
+        conn.close()
+    workers.clear()
+    for buffer in buffers.values():
+        buffer.close()
+    buffers.clear()
+
+
+class ShardedKernelPool:
+    """Fork-based process pool sharding engine evaluations along ``P``.
+
+    Parameters
+    ----------
+    engine:
+        The compiled :class:`~repro.circuits.engine.BatchedEvaluationEngine`
+        the workers inherit at fork time.  The pool must be created *after*
+        the engine (``MNASystem`` guarantees that by building it from the
+        ``engine`` property), and the circuit must not change afterwards —
+        which the compile contract already guarantees.
+    n_unknowns, nnz_dynamic, nnz_static:
+        Output widths: residual columns and the deduplicated Jacobian data
+        widths of the system's compiled stamp patterns.
+    n_workers:
+        Number of forked workers (>= 2; resolution happens upstream in
+        :func:`~repro.parallel.backends.resolve_execution`).
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        n_unknowns: int,
+        nnz_dynamic: int,
+        nnz_static: int,
+        n_workers: int,
+    ) -> None:
+        if n_workers < 2:
+            raise ValueError(f"a sharded pool needs n_workers >= 2, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self._widths = {
+            "q": int(n_unknowns),
+            "f": int(n_unknowns),
+            "c": int(nnz_dynamic),
+            "g": int(nnz_static),
+        }
+        # Start the parent's resource tracker *before* forking: the workers
+        # then inherit it, so their attach-side registrations (Python <=
+        # 3.12 tracks attachments too) land in the same tracker the parent's
+        # unlink notifies — otherwise every worker lazily spawns its own
+        # tracker and warns about "leaked" segments it never owned at exit.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker API variations
+            pass
+        context = multiprocessing.get_context("fork")
+        self._workers: list[tuple[object, object]] = []
+        self._buffers: dict[str, SharedArray] = {}
+        for index in range(self.n_workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, engine),
+                daemon=True,
+                name=f"repro-shard-{index}",
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append((process, parent_conn))
+        self._finalizer = weakref.finalize(
+            self, _shutdown_pool, self._workers, self._buffers
+        )
+
+    # -- buffer management -------------------------------------------------
+    def _buffer(self, tag: str, shape: tuple[int, int]) -> SharedArray:
+        """The shared block for ``tag``, reallocated when the shape changes."""
+        buffer = self._buffers.get(tag)
+        if buffer is not None and buffer.shape == shape:
+            return buffer
+        if buffer is not None:
+            retired = buffer.name
+            self._broadcast_and_check(("drop", (retired,)))
+            buffer.close()
+        buffer = SharedArray(shape)
+        self._buffers[tag] = buffer
+        return buffer
+
+    # -- worker protocol ---------------------------------------------------
+    def _broadcast_and_check(self, message) -> None:
+        """Send ``message`` to every worker and collect all acknowledgements."""
+        self._send([message] * len(self._workers))
+
+    def _send(self, messages: Sequence) -> None:
+        """One message per worker (``None`` skips a worker), then gather replies."""
+        active = []
+        try:
+            for (process, conn), message in zip(self._workers, messages):
+                if message is not None:
+                    conn.send(message)
+                    active.append(conn)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerPoolError(f"worker process died: {exc}") from exc
+        errors = []
+        for conn in active:
+            try:
+                reply = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerPoolError(f"worker process died: {exc}") from exc
+            if reply[0] == "error":
+                errors.append(reply[1])
+        if errors:
+            raise WorkerPoolError(errors[0])
+
+    # -- evaluation --------------------------------------------------------
+    def evaluate(
+        self,
+        X: np.ndarray,
+        *,
+        need_static_jacobian: bool = True,
+        need_dynamic_jacobian: bool = True,
+    ):
+        """Sharded ``engine.evaluate``: same signature, same bits.
+
+        Returns ``(Q, F, c_data, g_data)`` exactly like the serial engine
+        (``None`` for Jacobian blocks not requested).  The returned arrays
+        are fresh copies — never views of the reused shared blocks — so
+        callers may keep them across evaluations, matching the serial
+        engine's aliasing contract.
+        """
+        n_points = int(X.shape[0])
+        x_buffer = self._buffer("x", (n_points, X.shape[1]))
+        np.copyto(x_buffer.array, X)
+
+        out_keys = ["q", "f"]
+        if need_dynamic_jacobian:
+            out_keys.append("c")
+        if need_static_jacobian:
+            out_keys.append("g")
+        out_buffers = {
+            key: self._buffer(key, (n_points, self._widths[key])) for key in out_keys
+        }
+        out_specs = tuple(
+            (key, buffer.name, buffer.shape) for key, buffer in out_buffers.items()
+        )
+
+        messages = []
+        for lo, hi in shard_ranges(n_points, len(self._workers)):
+            if hi > lo:
+                messages.append(
+                    (
+                        "eval",
+                        x_buffer.name,
+                        x_buffer.shape,
+                        lo,
+                        hi,
+                        out_specs,
+                        need_static_jacobian,
+                        need_dynamic_jacobian,
+                    )
+                )
+            else:
+                messages.append(None)
+        self._send(messages)
+
+        results = {key: np.array(buffer.array, copy=True) for key, buffer in out_buffers.items()}
+        return (
+            results["q"],
+            results["f"],
+            results.get("c"),
+            results.get("g"),
+        )
+
+    def close(self) -> None:
+        """Stop the workers and unlink the shared blocks (idempotent)."""
+        self._finalizer()
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker processes are still running."""
+        return bool(self._workers) and all(
+            process.is_alive() for process, _conn in self._workers
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedKernelPool(n_workers={self.n_workers}, "
+            f"pid={os.getpid()}, alive={self.alive})"
+        )

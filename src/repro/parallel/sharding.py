@@ -1,0 +1,101 @@
+"""Shard geometry and the shared-memory array protocol.
+
+Two small building blocks the process pool is made of:
+
+* :func:`shard_ranges` — the one definition of how a ``P``-point axis is
+  split into contiguous worker shards.  Both the dispatcher and the tests
+  use it, so the "P not divisible by the shard count" case cannot drift
+  between them.
+* :class:`SharedArray` / :func:`attach_shared_array` — the shared-memory
+  array protocol.  The parent allocates named ``float64`` blocks
+  (:class:`SharedArray`); workers attach by name and view the same pages as
+  NumPy arrays, so a ``(P, n)`` state array crosses the process boundary as
+  one ``memcpy`` into the block plus a 60-byte command message — never a
+  pickle of the data.
+
+The parent owns every block's lifetime (it created it and unlinks it), so
+worker-side attachment must not enroll the segment in the worker's
+``resource_tracker``.  Before Python 3.13 attaching never tracks; from 3.13
+on, tracking on attach is switched off explicitly (``track=False``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from multiprocessing import shared_memory
+
+__all__ = ["SharedArray", "attach_shared_array", "shard_ranges"]
+
+
+def shard_ranges(n_items: int, n_shards: int) -> list[tuple[int, int]]:
+    """Split ``range(n_items)`` into ``n_shards`` balanced contiguous ranges.
+
+    Returns ``n_shards`` ``(lo, hi)`` half-open ranges covering
+    ``[0, n_items)`` in order; when ``n_items`` is not divisible by
+    ``n_shards`` the first ``n_items % n_shards`` ranges are one item
+    longer, and when ``n_items < n_shards`` the trailing ranges are empty
+    (``lo == hi``) — callers skip those.
+    """
+    n_items = int(n_items)
+    n_shards = int(n_shards)
+    if n_items < 0:
+        raise ValueError(f"n_items must be non-negative, got {n_items}")
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    base, extra = divmod(n_items, n_shards)
+    ranges = []
+    lo = 0
+    for shard in range(n_shards):
+        hi = lo + base + (1 if shard < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+class SharedArray:
+    """A parent-owned shared-memory ``float64`` array.
+
+    The parent creates the block and is responsible for unlinking it
+    (:meth:`close`); workers attach read/write views by ``name`` through
+    :func:`attach_shared_array`.  The wrapped :attr:`array` is an ordinary
+    C-contiguous NumPy array backed by the shared pages.
+    """
+
+    __slots__ = ("name", "shape", "array", "_shm")
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        n_bytes = max(1, int(np.prod(self.shape, dtype=np.int64)) * 8)
+        self._shm = shared_memory.SharedMemory(create=True, size=n_bytes)
+        self.name = self._shm.name
+        self.array = np.ndarray(self.shape, dtype=np.float64, buffer=self._shm.buf)
+
+    def close(self) -> None:
+        """Release the view and unlink the block (idempotent)."""
+        if self._shm is None:
+            return
+        self.array = None
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        self._shm = None
+
+
+def attach_shared_array(
+    name: str, shape: tuple[int, ...]
+) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Worker-side view of a parent-created :class:`SharedArray`.
+
+    Returns the NumPy view plus the attachment handle the caller must keep
+    alive (and :meth:`~multiprocessing.shared_memory.SharedMemory.close`
+    when done) — the view borrows the handle's buffer.
+    """
+    try:
+        # The parent owns (and unlinks) the block; see the module docstring.
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: attaching never tracks
+        shm = shared_memory.SharedMemory(name=name)
+    view = np.ndarray(tuple(int(s) for s in shape), dtype=np.float64, buffer=shm.buf)
+    return view, shm

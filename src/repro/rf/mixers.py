@@ -101,9 +101,14 @@ class MixerCircuit:
         """Baseband period ``Td`` in seconds."""
         return self.scales.difference_period
 
-    def compile(self):
-        """Shorthand for ``self.circuit.compile()``."""
-        return self.circuit.compile()
+    def compile(self, options=None):
+        """Shorthand for ``self.circuit.compile(options)``.
+
+        ``options`` is an optional
+        :class:`~repro.utils.options.EvaluationOptions` (evaluation backend,
+        kernel sharding / worker count).
+        """
+        return self.circuit.compile(options)
 
 
 def default_bit_envelope(

@@ -28,6 +28,7 @@ __all__ = [
     "HarmonicBalanceOptions",
     "MPDEOptions",
     "EVALUATION_BACKENDS",
+    "KERNEL_BACKENDS",
     "PRECONDITIONER_KINDS",
 ]
 
@@ -42,6 +43,15 @@ PRECONDITIONER_KINDS = ("ilu", "block_circulant", "block_circulant_fast", "jacob
 #: engine (:mod:`repro.circuits.engine`), ``"loop"`` is the per-device
 #: reference path the engine is property-tested against.
 EVALUATION_BACKENDS = ("batched", "loop")
+
+#: Kernel execution backends of the batched engine (the parallel execution
+#: layer, :mod:`repro.parallel`): ``"serial"`` runs the class kernels in the
+#: calling process, ``"sharded"`` splits the ``P`` grid-point axis across a
+#: pool of forked worker processes (bit-for-bit equal to serial; falls back
+#: to serial with a recorded reason when the environment cannot shard).
+#: Defined here (the bottom of the import graph) so the option validation
+#: and :mod:`repro.parallel.backends` share one source of truth.
+KERNEL_BACKENDS = ("serial", "sharded")
 
 
 def _require_positive(name: str, value: float) -> None:
@@ -74,12 +84,33 @@ class EvaluationOptions:
         ``"loop"`` is the per-device reference path; the two are bit-for-bit
         equal (property-tested) so the knob only trades speed, never
         results.
+    kernel_backend:
+        Execution backend of the batched engine's class kernels (the
+        parallel layer, :mod:`repro.parallel`): ``"serial"`` (default) runs
+        them in the calling process; ``"sharded"`` splits the ``P``
+        grid-point axis across a pool of forked worker processes sharing the
+        compiled engine, bit-for-bit equal to serial.  Sharding degrades
+        gracefully: on environments that cannot shard (single CPU with auto
+        worker count, no ``fork`` start method) or when a worker fails, the
+        system falls back to the serial path and records the reason
+        (``MNASystem.parallel_fallback_reason``).  Ignored by the ``"loop"``
+        evaluation backend.
+    n_workers:
+        Worker-process count for the sharded backend.  ``None`` (default)
+        auto-sizes from the usable CPU count — and resolves to serial on a
+        single-CPU machine; an explicit count >= 2 is honoured wherever
+        ``fork`` exists, ``1`` explicitly selects the serial path.
     """
 
     evaluation_backend: str = "batched"
+    kernel_backend: str = "serial"
+    n_workers: int | None = None
 
     def __post_init__(self) -> None:
         _require_in("evaluation_backend", self.evaluation_backend, EVALUATION_BACKENDS)
+        _require_in("kernel_backend", self.kernel_backend, KERNEL_BACKENDS)
+        if self.n_workers is not None:
+            _require_positive("n_workers", self.n_workers)
 
 
 @dataclass(frozen=True)
@@ -344,6 +375,24 @@ class MPDEOptions:
         iterations marks the cached preconditioner stale so it is rebuilt
         *before* the next solve (instead of only after an outright GMRES
         failure, which wasted a full failed solve).
+    parallel:
+        Route the solve through the parallel execution layer
+        (:mod:`repro.parallel`): device evaluations run on the *sharded*
+        kernel backend (the ``P`` grid-point axis split across forked
+        workers, bit-for-bit equal to serial), and the
+        ``"block_circulant_fast"`` preconditioner batch-factors its
+        independent per-slow-harmonic LUs *eagerly* on a shared worker pool
+        instead of lazily one by one.  Degrades gracefully: when the
+        environment cannot shard (or a worker fails mid-solve) everything
+        falls back to the serial paths and
+        ``MPDEStats.parallel_fallback_reason`` records why.  See
+        ``docs/parallel.md`` for the cost model — sharding pays only once
+        ``P * n_group`` kernel work dominates the per-evaluation dispatch
+        overhead.
+    n_workers:
+        Worker count for ``parallel=True``.  ``None`` auto-sizes from the
+        usable CPU count (and resolves to serial on one CPU); an explicit
+        count >= 2 forces real worker pools wherever ``fork`` exists.
     """
 
     n_fast: int = 40
@@ -363,6 +412,8 @@ class MPDEOptions:
     gmres_tol: float = 1e-9
     gmres_restart: int = 80
     initial_guess: str = "dc"
+    parallel: bool = False
+    n_workers: int | None = None
 
     _ALLOWED_FD = ("backward-euler", "bdf2", "central", "fourier")
     _ALLOWED_PRECONDITIONERS = PRECONDITIONER_KINDS
@@ -384,6 +435,8 @@ class MPDEOptions:
         _require_nonnegative("precond_refresh_slack", self.precond_refresh_slack)
         _require_positive("gmres_tol", self.gmres_tol)
         _require_positive("gmres_restart", self.gmres_restart)
+        if self.n_workers is not None:
+            _require_positive("n_workers", self.n_workers)
 
     def with_grid(self, n_fast: int, n_slow: int) -> "MPDEOptions":
         """Return a copy with a different multi-time grid resolution."""

@@ -1,6 +1,18 @@
-"""Shared fixtures: small reference circuits used across the test suite."""
+"""Shared fixtures: small reference circuits used across the test suite.
+
+Parallel tier-1 mode
+--------------------
+Setting ``REPRO_TIER1_WORKERS=N`` (N >= 2) reroutes every ``Circuit.compile``
+call that does not pass explicit options through the *sharded* kernel backend
+with ``N`` worker processes — the whole tier-1 suite then runs on the
+parallel execution layer and must pass identically (sharding is bit-for-bit
+equal to serial by contract).  The CI workflow runs one such job; tests that
+pin their own ``EvaluationOptions`` are deliberately left untouched.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -18,6 +30,29 @@ from repro.circuits.devices import (
 )
 from repro.rf import ideal_multiplier_mixer, unbalanced_switching_mixer
 from repro.signals import DCStimulus, SinusoidStimulus, SumStimulus
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _tier1_parallel_workers():
+    """Honour ``REPRO_TIER1_WORKERS`` (see the module docstring)."""
+    workers = int(os.environ.get("REPRO_TIER1_WORKERS", "0") or 0)
+    if workers < 2:
+        yield
+        return
+    from repro.utils import EvaluationOptions
+
+    original = Circuit.compile
+
+    def compile_with_workers(self, options=None):
+        if options is None:
+            options = EvaluationOptions(kernel_backend="sharded", n_workers=workers)
+        return original(self, options)
+
+    Circuit.compile = compile_with_workers
+    try:
+        yield
+    finally:
+        Circuit.compile = original
 
 
 @pytest.fixture

@@ -1,0 +1,493 @@
+"""Property tests for the parallel execution layer (PR 5).
+
+The contracts under test:
+
+* **Sharded == serial, bit for bit.**  Every engine operation is elementwise
+  along the ``P`` grid-point axis, so splitting ``P`` across forked workers
+  must reproduce the serial batched path exactly — same residuals, same
+  Jacobian data, for every device class, for worker counts that do and do
+  not divide ``P``.
+* **Eager == lazy per-harmonic factorisation.**  The partially-averaged
+  preconditioner's eager batch mode factors the same ``n_slow // 2 + 1``
+  systems through the same routine, so its applies and its factorisation
+  counts are identical to the lazy path, with or without a worker pool.
+* **Graceful degradation.**  Environments that cannot shard, explicit
+  ``n_workers=1``, and workers that raise all fall back to the serial path
+  with a recorded reason — never an exception, never different numbers.
+* **Wall-time instrumentation.**  Every solver mode populates the
+  ``MPDEStats`` timing breakdown, and the buckets sum to at most the total
+  wall time.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import solve_mpde
+from repro.linalg.preconditioners import BlockCirculantFastPreconditioner
+from repro.parallel import (
+    ShardedKernelPool,
+    WorkerPool,
+    WorkerPoolError,
+    detect_capabilities,
+    resolve_execution,
+    shard_ranges,
+)
+from repro.utils import ConfigurationError, EvaluationOptions, MPDEOptions
+from test_evaluation_engine import _all_device_circuit
+
+#: A point count that is not divisible by 2, 3 or 4 — every shard split in
+#: these tests exercises the uneven-remainder path.
+ODD_POINTS = 203
+
+pytestmark = pytest.mark.skipif(
+    not detect_capabilities().fork_available,
+    reason="process sharding requires the 'fork' start method",
+)
+
+
+def _random_states(mna, n_points: int, rng) -> np.ndarray:
+    return rng.normal(scale=0.4, size=(n_points, mna.n_unknowns))
+
+
+class TestShardRanges:
+    def test_covers_contiguously(self):
+        for n_items in (0, 1, 7, 203, 1200):
+            for n_shards in (1, 2, 3, 4, 7, 250):
+                ranges = shard_ranges(n_items, n_shards)
+                assert len(ranges) == n_shards
+                assert ranges[0][0] == 0 and ranges[-1][1] == n_items
+                for (lo, hi), (lo2, _hi2) in zip(ranges, ranges[1:]):
+                    assert lo <= hi == lo2
+                sizes = [hi - lo for lo, hi in ranges]
+                assert sum(sizes) == n_items
+                assert max(sizes) - min(sizes) <= 1  # balanced
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            shard_ranges(-1, 2)
+        with pytest.raises(ValueError):
+            shard_ranges(10, 0)
+
+
+class TestResolution:
+    def test_serial_is_never_a_fallback(self):
+        resolved = resolve_execution("serial")
+        assert not resolved.sharded and resolved.fallback_reason == ""
+
+    def test_explicit_single_worker_records_reason(self):
+        resolved = resolve_execution("sharded", 1)
+        assert not resolved.sharded
+        assert "n_workers=1" in resolved.fallback_reason
+
+    def test_explicit_worker_count_is_honoured(self):
+        resolved = resolve_execution("sharded", 3)
+        assert resolved.sharded and resolved.n_workers == 3
+
+    def test_auto_on_single_cpu_falls_back(self):
+        caps = detect_capabilities()
+        resolved = resolve_execution("sharded", None)
+        if caps.cpu_count <= 1:
+            assert not resolved.sharded
+            assert "usable CPU" in resolved.fallback_reason
+        else:
+            assert resolved.sharded and resolved.n_workers >= 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_execution("magic")
+        with pytest.raises(ConfigurationError):
+            resolve_execution("sharded", 0)
+
+    def test_evaluation_options_validate_kernel_backend(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationOptions(kernel_backend="magic")
+        with pytest.raises(ConfigurationError):
+            EvaluationOptions(n_workers=0)
+        with pytest.raises(ConfigurationError):
+            MPDEOptions(n_workers=-1)
+
+
+class TestShardedBitForBit:
+    """Sharded ``evaluate`` / ``evaluate_sparse`` equal serial exactly."""
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_every_device_class(self, rng, n_workers):
+        circuit = _all_device_circuit()
+        serial = circuit.compile()
+        sharded = circuit.compile(
+            EvaluationOptions(kernel_backend="sharded", n_workers=n_workers)
+        )
+        X = _random_states(serial, ODD_POINTS, rng)
+        try:
+            a = serial.evaluate_sparse(X)
+            b = sharded.evaluate_sparse(X)
+            for name in ("q", "f", "g_data", "c_data"):
+                np.testing.assert_array_equal(
+                    getattr(b, name), getattr(a, name), err_msg=name
+                )
+            dense_a = serial.evaluate(X)
+            dense_b = sharded.evaluate(X)
+            for name in ("q", "f", "capacitance", "conductance"):
+                np.testing.assert_array_equal(
+                    getattr(dense_b, name), getattr(dense_a, name), err_msg=name
+                )
+            # n_workers >= 2 really sharded; 1 is the recorded serial path.
+            if n_workers == 1:
+                assert "n_workers=1" in sharded.parallel_fallback_reason
+            else:
+                assert sharded.parallel_fallback_reason == ""
+        finally:
+            sharded.close()
+
+    def test_residual_only_and_repeated_calls(self, rng):
+        circuit = _all_device_circuit()
+        serial = circuit.compile()
+        sharded = circuit.compile(
+            EvaluationOptions(kernel_backend="sharded", n_workers=2)
+        )
+        try:
+            for n_points in (ODD_POINTS, 57, ODD_POINTS):  # exercises reshapes
+                X = _random_states(serial, n_points, rng)
+                a = serial.evaluate_sparse(X, need_jacobian=False)
+                b = sharded.evaluate_sparse(X, need_jacobian=False)
+                np.testing.assert_array_equal(b.q, a.q)
+                np.testing.assert_array_equal(b.f, a.f)
+                assert b.c_data is None and b.g_data is None
+        finally:
+            sharded.close()
+
+    def test_results_do_not_alias_shared_buffers(self, rng):
+        """Returned arrays must survive later evaluations (no shm views)."""
+        circuit = _all_device_circuit()
+        sharded = circuit.compile(
+            EvaluationOptions(kernel_backend="sharded", n_workers=2)
+        )
+        try:
+            X1 = _random_states(sharded, ODD_POINTS, rng)
+            first = sharded.evaluate_sparse(X1)
+            q_copy = first.q.copy()
+            X2 = _random_states(sharded, ODD_POINTS, rng)
+            sharded.evaluate_sparse(X2)
+            np.testing.assert_array_equal(first.q, q_copy)
+        finally:
+            sharded.close()
+
+    def test_per_call_override_on_serial_system(self, rng):
+        circuit = _all_device_circuit()
+        mna = circuit.compile()
+        try:
+            X = _random_states(mna, ODD_POINTS, rng)
+            a = mna.evaluate_sparse(X)
+            b = mna.evaluate_sparse(X, kernel_backend="sharded", n_workers=2)
+            np.testing.assert_array_equal(b.g_data, a.g_data)
+            np.testing.assert_array_equal(b.c_data, a.c_data)
+        finally:
+            mna.close()
+
+    def test_single_point_stays_serial(self, rng):
+        """P = 1 cannot be split; it must run serially without a fallback."""
+        circuit = _all_device_circuit()
+        mna = circuit.compile(
+            EvaluationOptions(kernel_backend="sharded", n_workers=2)
+        )
+        try:
+            x = _random_states(mna, 1, rng)
+            serial = circuit.compile().evaluate_sparse(x)
+            result = mna.evaluate_sparse(x)
+            np.testing.assert_array_equal(result.q, serial.q)
+            assert mna.parallel_fallback_reason == ""
+        finally:
+            mna.close()
+
+
+class TestWorkerFailure:
+    def test_worker_raise_records_reason_and_falls_back(self, rng):
+        circuit = _all_device_circuit()
+        serial = circuit.compile()
+        sharded = circuit.compile(
+            EvaluationOptions(kernel_backend="sharded", n_workers=2)
+        )
+        try:
+            engine = sharded.engine  # build before the pool forks
+            original = engine.evaluate
+            parent_pid = os.getpid()
+
+            def poisoned(*args, **kwargs):
+                if os.getpid() != parent_pid:
+                    raise RuntimeError("injected worker failure")
+                return original(*args, **kwargs)
+
+            engine.evaluate = poisoned
+            X = _random_states(serial, ODD_POINTS, rng)
+            reference = serial.evaluate_sparse(X)
+            result = sharded.evaluate_sparse(X)  # must not raise
+            for name in ("q", "f", "g_data", "c_data"):
+                np.testing.assert_array_equal(
+                    getattr(result, name), getattr(reference, name), err_msg=name
+                )
+            assert "injected worker failure" in sharded.parallel_fallback_reason
+            # The failure is sticky: later calls run serially, still correct.
+            again = sharded.evaluate_sparse(X)
+            np.testing.assert_array_equal(again.q, reference.q)
+            assert "injected worker failure" in sharded.parallel_fallback_reason
+        finally:
+            sharded.close()
+
+    def test_pool_surfaces_worker_errors(self, rng):
+        """The raw pool raises WorkerPoolError (the MNA layer catches it)."""
+        circuit = _all_device_circuit()
+        mna = circuit.compile()
+        engine = mna.engine
+        original = engine.evaluate
+        parent_pid = os.getpid()
+
+        def poisoned(*args, **kwargs):
+            if os.getpid() != parent_pid:
+                raise RuntimeError("kaboom")
+            return original(*args, **kwargs)
+
+        engine.evaluate = poisoned
+        pool = ShardedKernelPool(
+            engine,
+            n_unknowns=mna.n_unknowns,
+            nnz_dynamic=mna.dynamic_pattern.nnz,
+            nnz_static=mna.static_pattern.nnz,
+            n_workers=2,
+        )
+        try:
+            with pytest.raises(WorkerPoolError, match="kaboom"):
+                pool.evaluate(_random_states(mna, 20, rng))
+        finally:
+            pool.close()
+
+
+def _spectral_problem_data(scaled_switching_mixer):
+    """A spectral MPDE problem plus per-point Jacobian data at a random iterate."""
+    from repro.core.mpde import MPDEProblem
+
+    mna = scaled_switching_mixer.compile()
+    options = MPDEOptions(
+        n_fast=12, n_slow=8, fast_method="fourier", slow_method="fourier"
+    )
+    problem = MPDEProblem(mna, scaled_switching_mixer.scales, options)
+    rng = np.random.default_rng(11)
+    x = rng.normal(scale=0.2, size=problem.n_total_unknowns)
+    evaluation = mna.evaluate_sparse(problem.reshape_states(x))
+    return problem, evaluation
+
+
+class TestEagerHarmonicFactorisation:
+    def _build(self, problem, evaluation, **kwargs):
+        return problem.build_preconditioner(
+            "block_circulant_fast",
+            c_data=evaluation.c_data,
+            g_data=evaluation.g_data,
+            **kwargs,
+        )
+
+    def test_eager_counts_and_applies_match_lazy(self, scaled_switching_mixer, rng):
+        problem, evaluation = _spectral_problem_data(scaled_switching_mixer)
+        lazy = self._build(problem, evaluation)
+        pool = WorkerPool(2)
+        try:
+            eager = self._build(problem, evaluation, eager=True, factor_pool=pool)
+            distinct = problem.grid.n_slow // 2 + 1
+            # Eager factors everything up front; lazy only on first apply.
+            assert lazy.harmonic_factorizations == 0
+            assert eager.harmonic_factorizations == distinct
+            vector = rng.normal(size=problem.n_total_unknowns)
+            np.testing.assert_array_equal(eager.solve(vector), lazy.solve(vector))
+            # One apply touches every distinct harmonic: counts now agree.
+            assert lazy.harmonic_factorizations == distinct
+            assert eager.harmonic_factorizations == distinct
+            # And stay there — factorisations are never repeated.
+            vector2 = rng.normal(size=problem.n_total_unknowns)
+            np.testing.assert_array_equal(eager.solve(vector2), lazy.solve(vector2))
+            assert eager.harmonic_factorizations == distinct
+        finally:
+            pool.close()
+
+    def test_eager_without_pool_is_identical(self, scaled_switching_mixer, rng):
+        problem, evaluation = _spectral_problem_data(scaled_switching_mixer)
+        lazy = self._build(problem, evaluation)
+        eager = self._build(problem, evaluation, eager=True)
+        vector = rng.normal(size=problem.n_total_unknowns)
+        np.testing.assert_array_equal(eager.solve(vector), lazy.solve(vector))
+        assert eager.harmonic_factorizations == lazy.harmonic_factorizations
+
+    def test_parallel_solve_matches_serial_solve(self, scaled_switching_mixer):
+        mna = scaled_switching_mixer.compile()
+        base = MPDEOptions(
+            n_fast=16,
+            n_slow=8,
+            matrix_free=True,
+            preconditioner="block_circulant_fast",
+        )
+        serial = solve_mpde(mna, scaled_switching_mixer.scales, base)
+        from dataclasses import replace
+
+        parallel = solve_mpde(
+            mna,
+            scaled_switching_mixer.scales,
+            replace(base, parallel=True, n_workers=2),
+        )
+        np.testing.assert_array_equal(parallel.states, serial.states)
+        assert (
+            parallel.stats.preconditioner_harmonic_builds
+            == serial.stats.preconditioner_harmonic_builds
+        )
+        assert parallel.stats.parallel_fallback_reason == ""
+
+    def test_direct_eager_preconditioner_class(self, scaled_switching_mixer, rng):
+        """Eager construction through the class constructor itself."""
+        problem, evaluation = _spectral_problem_data(scaled_switching_mixer)
+        from repro.linalg.preconditioners import slow_averaged_data
+
+        n_fast, n_slow = problem.grid.n_fast, problem.grid.n_slow
+        args = (
+            slow_averaged_data(evaluation.c_data, n_fast, n_slow),
+            slow_averaged_data(evaluation.g_data, n_fast, n_slow),
+            problem.mna.dynamic_pattern,
+            problem.mna.static_pattern,
+            problem.grid.axis_matrix("fast", problem.options.fast_method),
+            problem.axis_eigenvalues()[1],
+        )
+        lazy = BlockCirculantFastPreconditioner(*args)
+        eager = BlockCirculantFastPreconditioner(*args, eager=True)
+        vector = rng.normal(size=problem.n_total_unknowns)
+        np.testing.assert_array_equal(eager.solve(vector), lazy.solve(vector))
+
+
+class TestMPDEStatsTimingBreakdown:
+    """Every solver mode populates the wall-time breakdown sensibly."""
+
+    @pytest.fixture(scope="class")
+    def mixer(self, request):
+        from repro.rf import unbalanced_switching_mixer
+
+        mixer = unbalanced_switching_mixer(
+            lo_frequency=2e6, difference_frequency=50e3
+        )
+        return mixer, mixer.compile()
+
+    def _stats(self, mixer, **kwargs):
+        mixer_obj, mna = mixer
+        options = MPDEOptions(n_fast=16, n_slow=8, **kwargs)
+        return solve_mpde(mna, mixer_obj.scales, options).stats
+
+    def _assert_bounded(self, stats):
+        total = (
+            stats.eval_time_s
+            + stats.factorization_time_s
+            + stats.preconditioner_build_time_s
+            + stats.gmres_time_s
+        )
+        assert 0.0 < total <= stats.wall_time_seconds
+
+    def test_direct_chord_mode(self, mixer):
+        stats = self._stats(mixer)
+        assert stats.eval_time_s > 0.0
+        assert stats.factorization_time_s > 0.0
+        assert stats.preconditioner_build_time_s == 0.0
+        assert stats.gmres_time_s == 0.0
+        self._assert_bounded(stats)
+
+    def test_direct_full_newton_mode(self, mixer):
+        stats = self._stats(mixer, chord_newton=False)
+        assert stats.eval_time_s > 0.0 and stats.factorization_time_s > 0.0
+        self._assert_bounded(stats)
+
+    def test_assembled_gmres_mode(self, mixer):
+        stats = self._stats(mixer, linear_solver="gmres")
+        assert stats.eval_time_s > 0.0
+        assert stats.factorization_time_s == 0.0
+        assert stats.preconditioner_build_time_s > 0.0
+        assert stats.gmres_time_s > 0.0
+        self._assert_bounded(stats)
+
+    @pytest.mark.parametrize(
+        "preconditioner", ["ilu", "block_circulant", "block_circulant_fast"]
+    )
+    def test_matrix_free_modes(self, mixer, preconditioner):
+        stats = self._stats(mixer, matrix_free=True, preconditioner=preconditioner)
+        assert stats.eval_time_s > 0.0
+        assert stats.preconditioner_build_time_s > 0.0
+        assert stats.gmres_time_s > 0.0
+        assert stats.factorization_time_s == 0.0
+        self._assert_bounded(stats)
+
+    def test_parallel_mode_populates_breakdown(self, mixer):
+        stats = self._stats(
+            mixer,
+            matrix_free=True,
+            preconditioner="block_circulant_fast",
+            parallel=True,
+            n_workers=2,
+        )
+        assert stats.eval_time_s > 0.0 and stats.gmres_time_s > 0.0
+        self._assert_bounded(stats)
+        assert stats.parallel_fallback_reason == ""
+
+
+class TestCollocationParallel:
+    def test_pss_parallel_matches_serial(self, diode_rectifier):
+        from repro.analysis.pss_fd import collocation_periodic_steady_state
+
+        mna = diode_rectifier.compile()
+        kwargs = dict(
+            matrix_free=True, preconditioner="block_circulant_fast"
+        )
+        serial = collocation_periodic_steady_state(mna, 1e-3, 41, **kwargs)
+        parallel = collocation_periodic_steady_state(
+            mna, 1e-3, 41, parallel=True, n_workers=2, **kwargs
+        )
+        np.testing.assert_array_equal(parallel.states, serial.states)
+        assert parallel.parallel_fallback_reason == ""
+
+    def test_pss_auto_fallback_records_reason_on_single_cpu(self, diode_rectifier):
+        from repro.analysis.pss_fd import collocation_periodic_steady_state
+
+        caps = detect_capabilities()
+        mna = diode_rectifier.compile()
+        result = collocation_periodic_steady_state(
+            mna,
+            1e-3,
+            41,
+            matrix_free=True,
+            preconditioner="block_circulant_fast",
+            parallel=True,
+        )
+        if caps.serial_only_reason is not None:
+            assert result.parallel_fallback_reason == caps.serial_only_reason
+        else:
+            assert result.parallel_fallback_reason == ""
+
+
+class TestWorkerPool:
+    def test_map_preserves_order_and_results(self):
+        pool = WorkerPool(3)
+        try:
+            items = list(range(23))
+            assert pool.map(lambda v: v * v, items) == [v * v for v in items]
+        finally:
+            pool.close()
+
+    def test_map_propagates_exceptions(self):
+        pool = WorkerPool(2)
+        try:
+            def boom(v):
+                raise ValueError(f"bad {v}")
+
+            with pytest.raises(ValueError, match="bad"):
+                pool.map(boom, [1, 2, 3])
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.close()
+        pool.close()
