@@ -22,7 +22,9 @@ import numpy as np
 from ..circuits.mna import MNASystem
 from ..linalg.continuation import continuation_solve
 from ..linalg.newton import NewtonResult, newton_solve
-from ..utils.exceptions import ConvergenceError
+from ..resilience.deadline import Deadline
+from ..resilience.diagnostics import attach_diagnostics, build_failure_diagnostics
+from ..utils.exceptions import ConvergenceError, SingularMatrixError
 from ..utils.logging import get_logger
 from ..utils.options import ContinuationOptions, NewtonOptions
 
@@ -84,7 +86,20 @@ def _plain_newton(
     def jacobian(x: np.ndarray) -> np.ndarray:
         return _with_gmin_diagonal(mna.conductance_matrix(x), gmin_diag)
 
-    return newton_solve(residual, jacobian, x0, options, raise_on_failure=False)
+    try:
+        return newton_solve(residual, jacobian, x0, options, raise_on_failure=False)
+    except SingularMatrixError as exc:
+        # A singular Jacobian at some iterate is exactly what gmin stepping
+        # exists to regularise; report a non-converged result so the caller
+        # falls through to the stepping strategies instead of aborting.
+        _LOG.info("plain DC Newton hit a singular Jacobian (%s)", exc)
+        return NewtonResult(
+            x=np.asarray(x0, dtype=float).copy(),
+            converged=False,
+            iterations=0,
+            residual_norm=float("inf"),
+            update_norm=float("inf"),
+        )
 
 
 def _gmin_stepping(
@@ -93,6 +108,7 @@ def _gmin_stepping(
     b0: np.ndarray,
     newton_options: NewtonOptions,
     continuation_options: ContinuationOptions,
+    deadline: Deadline | None = None,
 ):
     """Sweep gmin from _GMIN_START down to _GMIN_FINAL (log-spaced embedding)."""
     log_start = np.log10(_GMIN_START)
@@ -108,7 +124,9 @@ def _gmin_stepping(
     def jacobian(x: np.ndarray, lam: float) -> np.ndarray:
         return _with_gmin_diagonal(mna.conductance_matrix(x), gmin_of(lam) * unit_diag)
 
-    return continuation_solve(residual, jacobian, x0, newton_options, continuation_options)
+    return continuation_solve(
+        residual, jacobian, x0, newton_options, continuation_options, deadline=deadline
+    )
 
 
 def _source_stepping(
@@ -117,6 +135,7 @@ def _source_stepping(
     b0: np.ndarray,
     newton_options: NewtonOptions,
     continuation_options: ContinuationOptions,
+    deadline: Deadline | None = None,
 ):
     """Ramp the full excitation vector from zero up to its nominal value."""
     gmin_diag = mna.gmin_matrix(_GMIN_FINAL).diagonal()
@@ -128,7 +147,9 @@ def _source_stepping(
         del lam
         return _with_gmin_diagonal(mna.conductance_matrix(x), gmin_diag)
 
-    return continuation_solve(residual, jacobian, x0, newton_options, continuation_options)
+    return continuation_solve(
+        residual, jacobian, x0, newton_options, continuation_options, deadline=deadline
+    )
 
 
 def dc_operating_point(
@@ -138,6 +159,7 @@ def dc_operating_point(
     time: float = 0.0,
     newton_options: NewtonOptions | None = None,
     continuation_options: ContinuationOptions | None = None,
+    deadline_s: float | None = None,
 ) -> DCSolution:
     """Compute the DC operating point of a compiled circuit.
 
@@ -152,14 +174,24 @@ def dc_operating_point(
         evaluates sinusoidal sources at their ``t = 0`` value).
     newton_options, continuation_options:
         Iteration controls.
+    deadline_s:
+        Optional cooperative wall-clock budget for the whole analysis
+        (all strategies together); checked between strategies and at every
+        continuation step.
 
     Raises
     ------
     ConvergenceError
-        If plain Newton, gmin stepping and source stepping all fail.
+        If plain Newton, gmin stepping and source stepping all fail.  The
+        raised exception carries a
+        :class:`~repro.resilience.diagnostics.FailureDiagnostics` payload on
+        its ``diagnostics`` attribute when localisation is possible.
+    DeadlineExceededError
+        If ``deadline_s`` expires before a strategy succeeds.
     """
     nopts = newton_options or NewtonOptions()
     copts = continuation_options or ContinuationOptions()
+    deadline = Deadline(deadline_s)
     x_start = mna.zero_state() if x0 is None else np.asarray(x0, dtype=float).copy()
     b0 = mna.source(time)
 
@@ -172,9 +204,12 @@ def dc_operating_point(
             residual_norm=result.residual_norm,
         )
     _LOG.info("plain Newton failed for DC operating point; trying gmin stepping")
+    deadline.check("dc gmin stepping")
 
+    # Continuation embeddings can fail by divergence *or* by hitting a
+    # singular embedded Jacobian; both mean "try the next strategy".
     try:
-        cont = _gmin_stepping(mna, x_start, b0, nopts, copts)
+        cont = _gmin_stepping(mna, x_start, b0, nopts, copts, deadline)
         residual_norm = float(np.max(np.abs(mna.f(cont.x) + b0)))
         return DCSolution(
             x=cont.x,
@@ -182,11 +217,12 @@ def dc_operating_point(
             newton_iterations=cont.newton_iterations + result.iterations,
             residual_norm=residual_norm,
         )
-    except ConvergenceError:
+    except (ConvergenceError, SingularMatrixError):
         _LOG.info("gmin stepping failed for DC operating point; trying source stepping")
+    deadline.check("dc source stepping")
 
     try:
-        cont = _source_stepping(mna, x_start, b0, nopts, copts)
+        cont = _source_stepping(mna, x_start, b0, nopts, copts, deadline)
         residual_norm = float(np.max(np.abs(mna.f(cont.x) + b0)))
         return DCSolution(
             x=cont.x,
@@ -194,9 +230,15 @@ def dc_operating_point(
             newton_iterations=cont.newton_iterations + result.iterations,
             residual_norm=residual_norm,
         )
-    except ConvergenceError as exc:
-        raise ConvergenceError(
+    except (ConvergenceError, SingularMatrixError) as exc:
+        terminal = ConvergenceError(
             f"DC operating point of {mna.circuit.name!r} failed: plain Newton, gmin stepping "
             "and source stepping all diverged",
             residual_norm=result.residual_norm,
-        ) from exc
+        )
+        try:
+            residual = mna.f(result.x) + b0
+        except Exception:  # diagnostics must never mask the real failure
+            residual = None
+        diagnostics = build_failure_diagnostics(mna, result.x, residual, "divergence")
+        raise attach_diagnostics(terminal, diagnostics) from exc

@@ -41,8 +41,10 @@ from ..linalg.sparse import (
 )
 from ..parallel.backends import resolve_execution
 from ..parallel.pool import WorkerPool
+from ..resilience.deadline import Deadline
+from ..resilience.diagnostics import attach_diagnostics, build_failure_diagnostics
 from ..signals.waveform import Waveform
-from ..utils.exceptions import AnalysisError
+from ..utils.exceptions import AnalysisError, ConvergenceError
 from ..utils.logging import get_logger
 from ..utils.options import NewtonOptions
 from .dc import dc_operating_point
@@ -139,6 +141,7 @@ def collocation_periodic_steady_state(
     gmres_tol: float = 1e-10,
     parallel: bool = False,
     n_workers: int | None = None,
+    deadline_s: float | None = None,
 ) -> CollocationPSSResult:
     """Solve for the periodic steady state on ``n_samples`` collocation points.
 
@@ -185,6 +188,11 @@ def collocation_periodic_steady_state(
         ``"block_circulant_fast"`` preconditioner batch-factors eagerly on
         a worker pool.  Degrades to the serial paths with the reason
         recorded on ``result.parallel_fallback_reason``.
+    deadline_s:
+        Optional cooperative wall-clock budget for the whole analysis,
+        enforced at Newton iteration boundaries (including the
+        source-stepping stages); raises
+        :class:`~repro.utils.exceptions.DeadlineExceededError` on expiry.
     """
     if period <= 0:
         raise AnalysisError("period must be positive")
@@ -200,6 +208,11 @@ def collocation_periodic_steady_state(
             f"{list(PRECONDITIONER_KINDS)}"
         )
     nopts = newton_options or NewtonOptions(max_iterations=100)
+    deadline = Deadline(deadline_s)
+
+    def _deadline_callback(iteration: int, x: np.ndarray, residual_norm: float) -> None:
+        del iteration, x, residual_norm
+        deadline.check("collocation newton")
 
     # Parallel execution layer: one resolution + one factor pool for the
     # whole solve (the pools are reused across every Newton iteration).
@@ -324,7 +337,12 @@ def collocation_periodic_steady_state(
 
     total_iterations = 0
     result = newton_solve(
-        residual_for(b_samples), jacobian, x_init.ravel(), nopts, raise_on_failure=False
+        residual_for(b_samples),
+        jacobian,
+        x_init.ravel(),
+        nopts,
+        raise_on_failure=False,
+        callback=_deadline_callback,
     )
     total_iterations += result.iterations
     if not result.converged:
@@ -337,12 +355,28 @@ def collocation_periodic_steady_state(
             result.residual_norm,
         )
         x_current = x_init.ravel()
-        for lam in np.linspace(0.0, 1.0, 11):
-            step = newton_solve(
-                residual_for(embedded_source(lam)), jacobian, x_current, nopts
+        lam = 0.0
+        try:
+            for lam in np.linspace(0.0, 1.0, 11):
+                deadline.check("collocation source stepping")
+                step = newton_solve(
+                    residual_for(embedded_source(lam)),
+                    jacobian,
+                    x_current,
+                    nopts,
+                    callback=_deadline_callback,
+                )
+                total_iterations += step.iterations
+                x_current = step.x
+        except ConvergenceError as exc:
+            # Terminal failure: localise it before re-raising.
+            try:
+                residual = residual_for(embedded_source(lam))(x_current)
+            except Exception:
+                residual = None
+            raise attach_diagnostics(
+                exc, build_failure_diagnostics(mna, x_current, residual, "divergence")
             )
-            total_iterations += step.iterations
-            x_current = step.x
         result = step
 
     states = result.x.reshape(n_samples, n)

@@ -79,6 +79,7 @@ import scipy.sparse as sp
 from ..linalg.sparse import StampPattern
 from ..parallel.backends import KERNEL_BACKENDS, resolve_execution
 from ..parallel.pool import ShardedKernelPool, WorkerPoolError
+from ..resilience.faultinject import fault_site
 from ..utils.exceptions import CircuitError, DeviceError, NodeError
 from ..utils.logging import get_logger
 from ..utils.options import EVALUATION_BACKENDS
@@ -176,6 +177,7 @@ class MNASystem:
         evaluation_backend: str = "batched",
         kernel_backend: str = "serial",
         n_workers: int | None = None,
+        worker_timeout_s: float | None = 120.0,
     ) -> None:
         self.circuit = circuit
         self._node_index = dict(node_index)
@@ -190,9 +192,13 @@ class MNASystem:
         self.evaluation_backend = evaluation_backend
         self.kernel_backend = kernel_backend
         self.n_workers = n_workers
+        #: Per-reply watchdog budget of the sharded worker pool; ``None``
+        #: disables the watchdog (see ``EvaluationOptions.worker_timeout_s``).
+        self.worker_timeout_s = worker_timeout_s
         self._devices: tuple[Device, ...] = circuit.devices
         self._branch_index = self._build_branch_index()
         self._static_pattern, self._dynamic_pattern = self._compile_stamp_patterns()
+        self._row_owners: tuple[tuple[str, ...], ...] | None = None
         self._engine: BatchedEvaluationEngine | None = None
         #: One sharded pool per compiled system, reused across evaluations.
         #: A per-call ``n_workers`` override that differs from the pool's
@@ -264,6 +270,34 @@ class MNASystem:
         mask = np.zeros(self.n_unknowns, dtype=bool)
         mask[self._dynamic_pattern.cols] = True
         return mask
+
+    def residual_row_owners(self) -> tuple[tuple[str, ...], ...]:
+        """Device instance names stamping each residual row (``n`` tuples).
+
+        Derived from the same per-device pattern recording that compiles the
+        stamp patterns — the (row, device) incidence depends only on
+        topology, never on ``x`` — and cached after the first call.  This is
+        what lets terminal-failure diagnostics
+        (:mod:`repro.resilience.diagnostics`) attribute a NaN or dominant
+        residual row to the device instances that write it.  Rows nothing
+        stamps (e.g. a floating node) get an empty tuple, itself a useful
+        diagnostic.
+        """
+        if self._row_owners is None:
+            n = self.n_unknowns
+            probe = np.full((1, n), 0.1)
+            scratch = np.zeros((1, n))
+            owners: list[list[str]] = [[] for _ in range(n)]
+            for device in self._devices:
+                static_recorder = PatternRecorder()
+                dynamic_recorder = PatternRecorder()
+                device.stamp_static(probe, scratch, static_recorder)
+                device.stamp_dynamic(probe, scratch, dynamic_recorder)
+                rows = set(static_recorder.rows) | set(dynamic_recorder.rows)
+                for row in sorted(rows):
+                    owners[int(row)].append(device.name)
+            self._row_owners = tuple(tuple(names) for names in owners)
+        return self._row_owners
 
     def node_index(self, node: str) -> int:
         """Index of a node voltage in the unknown vector (-1 for ground)."""
@@ -371,6 +405,7 @@ class MNASystem:
                 nnz_dynamic=self._dynamic_pattern.nnz,
                 nnz_static=self._static_pattern.nnz,
                 n_workers=n_workers,
+                reply_timeout_s=self.worker_timeout_s,
             )
             self._kernel_pool_workers = n_workers
         return self._kernel_pool
@@ -427,12 +462,15 @@ class MNASystem:
                         # a success clears a reason left by an earlier call
                         # (e.g. a previous auto-resolved-serial solve).
                         self._parallel_fallback_reason = ""
+                        fault_site("mna.evaluate", f=result[1])
                         return result
-        return self.engine.evaluate(
+        result = self.engine.evaluate(
             X,
             need_static_jacobian=need_static_jacobian,
             need_dynamic_jacobian=need_dynamic_jacobian,
         )
+        fault_site("mna.evaluate", f=result[1])
+        return result
 
     @staticmethod
     def _which_flags(which: str) -> tuple[bool, bool]:

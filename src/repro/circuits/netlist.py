@@ -203,4 +203,5 @@ class Circuit:
             evaluation_backend=options.evaluation_backend,
             kernel_backend=options.kernel_backend,
             n_workers=options.n_workers,
+            worker_timeout_s=options.worker_timeout_s,
         )

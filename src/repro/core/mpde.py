@@ -79,6 +79,7 @@ from ..linalg.sparse import (
     block_diag_from_array,
     kron_identity,
 )
+from ..resilience.faultinject import fault_site
 from ..utils.exceptions import MPDEError
 from ..utils.logging import get_logger
 from ..utils.options import MPDEOptions
@@ -361,6 +362,7 @@ class MPDEProblem:
             raise MPDEError(
                 f"unknown preconditioner kind {kind!r}; use one of {PRECONDITIONER_KINDS}"
             )
+        fault_site("preconditioner.build", kind=kind)
         if kind == "none":
             return IdentityPreconditioner(self.n_total_unknowns)
         if kind in ("ilu", "jacobi") and matrix is not None:

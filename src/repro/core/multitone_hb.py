@@ -23,7 +23,7 @@ import numpy as np
 
 from ..circuits.mna import MNASystem
 from ..utils.exceptions import AnalysisError
-from ..utils.options import MPDEOptions
+from ..utils.options import MPDEOptions, RecoveryPolicy
 from .solver import MPDEResult, solve_mpde
 from .timescales import ShearedTimeScales
 
@@ -107,6 +107,8 @@ def two_tone_harmonic_balance(
     preconditioner: str | None = None,
     parallel: bool | None = None,
     n_workers: int | None = None,
+    deadline_s: float | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> TwoToneHBResult:
     """Run two-tone (box-truncated) harmonic balance for a closely-spaced-tone circuit.
 
@@ -139,6 +141,11 @@ def two_tone_harmonic_balance(
         per-harmonic LU factorisation for ``"block_circulant_fast"``.  The
         resulting ``result.stats.parallel_fallback_reason`` records any
         degradation to the serial paths.
+    deadline_s, recovery:
+        Optional overrides of the resilience knobs (see ``docs/resilience.md``):
+        a cooperative wall-clock budget for the underlying MPDE solve and the
+        :class:`~repro.utils.options.RecoveryPolicy` driving its failure
+        escalation ladder.
     """
     if n_harmonics_fast < 1 or n_harmonics_slow < 1:
         raise AnalysisError("harmonic truncations must be at least 1")
@@ -158,6 +165,10 @@ def two_tone_harmonic_balance(
         overrides["parallel"] = bool(parallel)
     if n_workers is not None:
         overrides["n_workers"] = int(n_workers)
+    if deadline_s is not None:
+        overrides["deadline_s"] = float(deadline_s)
+    if recovery is not None:
+        overrides["recovery"] = recovery
     spectral_options = dataclasses.replace(
         base,
         n_fast=n_fast,

@@ -30,20 +30,38 @@ import scipy.sparse.linalg as spla
 
 from ..analysis.dc import dc_operating_point
 from ..circuits.mna import MNASystem
+from ..linalg.continuation import continuation_sweep
 from ..linalg.krylov import CachedPreconditionedGMRES
-from ..linalg.preconditioners import AdaptiveRefreshPolicy
+from ..linalg.preconditioners import (
+    AdaptiveRefreshPolicy,
+    downgrade_preconditioner_kind,
+)
 from ..parallel.backends import resolve_execution
 from ..parallel.pool import WorkerPool
+from ..resilience.deadline import Deadline
+from ..resilience.diagnostics import attach_diagnostics, build_failure_diagnostics
+from ..resilience.faultinject import fault_site
+from ..resilience.taxonomy import RecoveryAttempt, classify_failure
 from ..signals.waveform import BivariateWaveform, Waveform
-from ..utils.exceptions import ConvergenceError, MPDEError, SingularMatrixError
+from ..utils.exceptions import (
+    AnalysisError,
+    ConvergenceError,
+    DeadlineExceededError,
+    MPDEError,
+    SingularMatrixError,
+)
 from ..utils.logging import get_logger
-from ..utils.options import MPDEOptions
+from ..utils.options import MPDEOptions, NewtonOptions
 from .mpde import MPDEProblem
 from .timescales import ShearedTimeScales, UnshearedTimeScales
 
 __all__ = ["MPDEStats", "MPDEResult", "MPDESolver", "solve_mpde"]
 
 _LOG = get_logger("core.solver")
+
+#: Marker distinguishing "rung never ran an attempt" from a real failure in
+#: the multi-attempt rungs (downgrade chain, guess retry).
+_sentinel_failure = object()
 
 
 @dataclass
@@ -114,6 +132,15 @@ class MPDEStats:
     #: ("" when parallel was not requested or ran as requested): the
     #: environment constraint, ``n_workers=1``, or a worker failure.
     parallel_fallback_reason: str = ""
+    # -- recovery ladder (resilience subsystem) ---------------------------
+    #: Every recovery attempt made by the escalation ladder, in order: the
+    #: failed baseline attempt first, then one
+    #: :class:`~repro.resilience.taxonomy.RecoveryAttempt` per rung tried
+    #: or skipped.  Empty when the baseline Newton run converged.
+    recovery_trace: list = field(default_factory=list)
+    #: Name of the ladder rung that produced the returned solution ("" when
+    #: the baseline attempt converged on its own).
+    recovered_by: str = ""
 
 
 @dataclass
@@ -356,6 +383,12 @@ class MPDESolver:
             else None
         )
         self._chord_suspended = False
+        # Resilience state: a no-op deadline until ``solve`` installs the
+        # real one, the recovery ladder's preconditioner downgrade override,
+        # and the last Newton iterate (for failure diagnostics).
+        self._deadline = Deadline(None)
+        self._preconditioner_override: str | None = None
+        self._last_iterate: np.ndarray | None = None
 
     @property
     def _matrix_free(self) -> bool:
@@ -364,6 +397,11 @@ class MPDESolver:
     @property
     def _chord_active(self) -> bool:
         return self._chord is not None and not self._chord_suspended
+
+    @property
+    def _active_preconditioner(self) -> str:
+        """Preconditioner mode in effect, honouring a ladder downgrade."""
+        return self._preconditioner_override or self.options.preconditioner
 
     # -- residual/Jacobian evaluation -------------------------------------------
     def _evaluate(self, x: np.ndarray, source_grid: np.ndarray | None):
@@ -409,7 +447,7 @@ class MPDESolver:
         # averaged blocks — that is its definition.
         matrix = jacobian if sp.issparse(jacobian) else None
         return self.problem.build_preconditioner(
-            self.options.preconditioner,
+            self._active_preconditioner,
             c_data=c_data,
             g_data=g_data,
             matrix=matrix,
@@ -480,6 +518,7 @@ class MPDESolver:
                 )
             return dx
 
+        fault_site("solver.gmres", preconditioner=self._active_preconditioner)
         builds_before = self._krylov.builds
         harmonic_before = self._krylov.harmonic_builds
         build_time_before = self._krylov.build_time_s
@@ -491,6 +530,7 @@ class MPDESolver:
             tol=self.options.gmres_tol,
             restart=self.options.gmres_restart,
             reuse=self.options.reuse_preconditioner,
+            deadline=self._deadline,
         )
         stats.preconditioner_builds += self._krylov.builds - builds_before
         stats.preconditioner_harmonic_builds += (
@@ -498,7 +538,7 @@ class MPDESolver:
         )
         stats.preconditioner_build_time_s += self._krylov.build_time_s - build_time_before
         stats.gmres_time_s += self._krylov.solve_time_s - solve_time_before
-        stats.preconditioner_kind = self.options.preconditioner
+        stats.preconditioner_kind = self._active_preconditioner
         # Every build is used by the solve that follows it, so the per-report
         # degraded flags below cover all builds.
         for report in reports:
@@ -536,10 +576,12 @@ class MPDESolver:
         *,
         source_grid: np.ndarray | None = None,
         max_iterations: int | None = None,
+        newton_options: NewtonOptions | None = None,
     ) -> tuple[np.ndarray, bool]:
-        opts = self.options.newton
+        opts = newton_options if newton_options is not None else self.options.newton
         max_iter = max_iterations if max_iterations is not None else opts.max_iterations
         x = np.asarray(x0, dtype=float).copy()
+        self._last_iterate = x
 
         if self._chord_active:
             # Every Newton run (the main solve, and each continuation stage)
@@ -553,9 +595,11 @@ class MPDESolver:
         stats.residual_history.append(res_norm)
 
         for _iteration in range(1, max_iter + 1):
+            self._deadline.check("newton", partial_stats=stats)
             if res_norm <= opts.abstol:
                 stats.residual_norm = res_norm
                 return x, True
+            fault_site("solver.linear_solve", iteration=_iteration - 1)
             dx = self._solve_linear(jacobian, -residual, stats, data)
             step_norm = float(np.max(np.abs(dx)))
             if np.isfinite(opts.max_step_norm) and step_norm > opts.max_step_norm:
@@ -586,6 +630,7 @@ class MPDESolver:
 
             update_norm = float(np.max(np.abs(x_trial - x)))
             x = x_trial
+            self._last_iterate = x
             stats.newton_iterations += 1
             res_norm = trial_norm
             stats.residual_history.append(res_norm)
@@ -628,59 +673,52 @@ class MPDESolver:
             self._chord_suspended = True
             try:
                 return self._newton(
-                    x0, stats, source_grid=source_grid, max_iterations=max_iterations
+                    x0,
+                    stats,
+                    source_grid=source_grid,
+                    max_iterations=max_iterations,
+                    newton_options=newton_options,
                 )
             finally:
                 self._chord_suspended = False
         return x, False
 
     # -- continuation fallback -----------------------------------------------------------
-    def _continuation(self, x0: np.ndarray, stats: MPDEStats) -> np.ndarray:
-        copts = self.options.continuation
-        stats.used_continuation = True
-        lam = copts.lambda_start
-        step = copts.initial_step
-        x = np.asarray(x0, dtype=float).copy()
+    class _SweepStage:
+        """Adapter giving :func:`continuation_sweep` its per-stage protocol."""
 
-        x, converged = self._newton(
-            x, stats, source_grid=self.problem.embedded_source_grid(lam)
+        __slots__ = ("x", "converged", "iterations", "residual_norm")
+
+        def __init__(self, x, converged, residual_norm):
+            self.x = x
+            self.converged = converged
+            # Newton iterations are accumulated directly into the solver's
+            # MPDEStats by ``_newton``; the sweep's own counter stays zero
+            # so the cost is not double-booked.
+            self.iterations = 0
+            self.residual_norm = residual_norm
+
+    def _continuation(self, x0: np.ndarray, stats: MPDEStats) -> np.ndarray:
+        """Source-stepping continuation via the shared adaptive sweep driver."""
+        stats.used_continuation = True
+
+        def solve_at(lam: float, x_guess: np.ndarray) -> "MPDESolver._SweepStage":
+            source_grid = self.problem.embedded_source_grid(lam)
+            x_sol, converged = self._newton(x_guess, stats, source_grid=source_grid)
+            return MPDESolver._SweepStage(x_sol, converged, stats.residual_norm)
+
+        result = continuation_sweep(
+            solve_at,
+            np.asarray(x0, dtype=float).copy(),
+            self.options.continuation,
+            deadline=self._deadline,
         )
-        if not converged:
-            raise ConvergenceError(
-                "MPDE continuation could not solve the relaxed (lambda=0) problem; the circuit "
-                "bias point itself appears to be intractable",
-                residual_norm=stats.residual_norm,
-            )
-        attempts = 0
-        while lam < 1.0:
-            attempts += 1
-            if attempts > copts.max_steps:
-                raise ConvergenceError(
-                    f"MPDE continuation exceeded max_steps={copts.max_steps}"
-                )
-            lam_trial = min(1.0, lam + step)
-            x_trial, converged = self._newton(
-                x, stats, source_grid=self.problem.embedded_source_grid(lam_trial)
-            )
-            if converged:
-                lam = lam_trial
-                x = x_trial
-                stats.continuation_steps += 1
-                step = min(copts.max_step, step * copts.growth)
-                _LOG.debug("MPDE continuation accepted lambda=%.4f", lam)
-            else:
-                step *= copts.shrink
-                _LOG.debug("MPDE continuation rejected lambda=%.4f, step -> %.3g", lam_trial, step)
-                if step < copts.min_step:
-                    raise ConvergenceError(
-                        f"MPDE continuation step underflow at lambda={lam:.4f}",
-                        residual_norm=stats.residual_norm,
-                    )
-        return x
+        stats.continuation_steps += result.steps
+        return result.x
 
     # -- initial guess -----------------------------------------------------------------------
-    def _initial_guess(self) -> np.ndarray:
-        mode = self.options.initial_guess
+    def _initial_guess(self, mode: str | None = None) -> np.ndarray:
+        mode = mode if mode is not None else self.options.initial_guess
         if mode == "zero":
             return self.problem.initial_guess_zero()
         if mode == "dc":
@@ -699,7 +737,7 @@ class MPDESolver:
                 dt=period / max(20, self.options.n_fast),
             )
             return self.problem.initial_guess_from_state(result.final_state())
-        raise MPDEError(f"unknown initial_guess mode {self.options.initial_guess!r}")
+        raise MPDEError(f"unknown initial_guess mode {mode!r}")
 
     # -- public API -------------------------------------------------------------------------------
     def solve(self, x0: np.ndarray | None = None) -> MPDEResult:
@@ -724,6 +762,9 @@ class MPDESolver:
             stats.parallel_fallback_reason = self._parallel_resolution.fallback_reason
         if self._chord is not None:
             self._chord.invalidate()
+        self._deadline = Deadline(self.options.deadline_s)
+        self._preconditioner_override = None
+        self._last_iterate = None
         start = time.perf_counter()
 
         if x0 is None:
@@ -740,6 +781,27 @@ class MPDESolver:
                         f"{self.problem.n_total_unknowns} (or {self.problem.n_circuit_unknowns})"
                     )
 
+        try:
+            if self.options.recovery.enabled:
+                x = self._solve_with_recovery(x_start, stats)
+            else:
+                x = self._solve_legacy(x_start, stats)
+        except DeadlineExceededError as exc:
+            if exc.partial_stats is None:
+                exc.partial_stats = stats
+            raise
+        finally:
+            stats.wall_time_seconds = time.perf_counter() - start
+            if self.options.parallel and self.problem.mna.parallel_fallback_reason:
+                stats.parallel_fallback_reason = self.problem.mna.parallel_fallback_reason
+
+        stats.converged = True
+        states = self.problem.reshape_states(x)
+        gridded = self.problem.grid.reshape_to_grid(states)
+        return MPDEResult(states=gridded, problem=self.problem, stats=stats)
+
+    def _solve_legacy(self, x_start: np.ndarray, stats: MPDEStats) -> np.ndarray:
+        """Pre-resilience solve path (``recovery.enabled=False``)."""
         x, converged = self._newton(x_start, stats)
         if not converged and self.options.use_continuation:
             _LOG.info(
@@ -749,22 +811,296 @@ class MPDESolver:
             )
             x = self._continuation(x_start, stats)
             converged = True
-
-        stats.converged = converged
-        stats.wall_time_seconds = time.perf_counter() - start
-        if self.options.parallel and self.problem.mna.parallel_fallback_reason:
-            stats.parallel_fallback_reason = self.problem.mna.parallel_fallback_reason
         if not converged:
-            raise ConvergenceError(
-                "MPDE Newton iteration did not converge and continuation is disabled "
-                f"(residual norm {stats.residual_norm:.3e})",
-                iterations=stats.newton_iterations,
-                residual_norm=stats.residual_norm,
+            raise self._attach_terminal_diagnostics(
+                ConvergenceError(
+                    "MPDE Newton iteration did not converge and continuation is disabled "
+                    f"(residual norm {stats.residual_norm:.3e})",
+                    iterations=stats.newton_iterations,
+                    residual_norm=stats.residual_norm,
+                ),
+                "divergence",
+            )
+        return x
+
+    # -- recovery escalation ladder ----------------------------------------------------
+    def _solve_with_recovery(self, x_start: np.ndarray, stats: MPDEStats) -> np.ndarray:
+        """Baseline Newton attempt plus the configured escalation ladder.
+
+        Every failed attempt is classified
+        (:func:`~repro.resilience.taxonomy.classify_failure`) and the ladder
+        rungs are tried in policy order, each recorded in
+        ``stats.recovery_trace``.  A rung that does not apply to the current
+        failure kind (or the solver configuration) is recorded as skipped.
+        :class:`DeadlineExceededError` is terminal and never recovered.
+        """
+        policy = self.options.recovery
+        x, failure = self._ladder_attempt(
+            stats, "baseline", "", lambda: self._newton(x_start, stats)
+        )
+        if failure is None:
+            return x
+        attempts = 0
+        for rung in policy.ladder:
+            if failure is None:
+                break
+            if attempts >= policy.max_attempts:
+                _LOG.info(
+                    "recovery ladder stopping: max_attempts=%d reached", policy.max_attempts
+                )
+                break
+            self._deadline.check("recovery", partial_stats=stats)
+            kind = classify_failure(failure)
+            applicable, why = self._rung_applicability(rung, kind)
+            if not applicable:
+                stats.recovery_trace.append(
+                    RecoveryAttempt(rung=rung, trigger=kind, outcome="skipped", detail=why)
+                )
+                continue
+            _LOG.info(
+                "recovery ladder: %s failure (%s); escalating to rung %r",
+                kind,
+                failure,
+                rung,
+            )
+            x, failure, attempts = self._execute_rung(
+                rung, kind, x_start, stats, attempts, policy
+            )
+        if failure is not None:
+            raise self._attach_terminal_diagnostics(failure, classify_failure(failure))
+        return x
+
+    def _ladder_attempt(self, stats, rung, trigger, runner, detail=""):
+        """Run one solve attempt, recording it in the recovery trace.
+
+        Returns ``(x, failure)``: on success ``failure`` is None and the
+        attempt is recorded as ``recovered`` (baseline successes are not
+        recorded — the trace documents failures and their handling); on
+        failure ``x`` is None and ``failure`` is the classified exception (a
+        non-raising non-converged Newton run is wrapped in a
+        :class:`ConvergenceError` so every failure has one representation).
+        """
+        started = time.perf_counter()
+        failure = None
+        x = None
+        try:
+            x, converged = runner()
+            if not converged:
+                failure = ConvergenceError(
+                    "MPDE Newton iteration did not converge "
+                    f"(residual norm {stats.residual_norm:.3e})",
+                    iterations=stats.newton_iterations,
+                    residual_norm=stats.residual_norm,
+                )
+        except DeadlineExceededError:
+            raise
+        except AnalysisError as exc:
+            failure = exc
+        duration = time.perf_counter() - started
+        if failure is not None:
+            stats.recovery_trace.append(
+                RecoveryAttempt(
+                    rung=rung,
+                    trigger=trigger,
+                    outcome="failed",
+                    detail=detail or str(failure),
+                    duration_s=duration,
+                )
+            )
+            return None, failure
+        if rung != "baseline":
+            stats.recovery_trace.append(
+                RecoveryAttempt(
+                    rung=rung,
+                    trigger=trigger,
+                    outcome="recovered",
+                    detail=detail,
+                    duration_s=duration,
+                )
+            )
+            stats.recovered_by = rung
+            _LOG.info("recovery ladder: rung %r recovered the solve", rung)
+        return x, None
+
+    def _rung_applicability(self, rung: str, kind: str) -> tuple[bool, str]:
+        """Whether ``rung`` can address a failure of ``kind`` here."""
+        gmres_mode = self.options.linear_solver == "gmres" or self._matrix_free
+        if rung == "newton_refresh":
+            if kind not in ("singular", "gmres_stagnation"):
+                return False, f"not applicable to {kind} failures"
+            if self._chord is None and not gmres_mode:
+                return False, "no cached factorisation or preconditioner to refresh"
+            return True, ""
+        if rung == "damping":
+            if kind in ("divergence", "singular", "gmres_stagnation", "non_finite"):
+                return True, ""
+            return False, f"not applicable to {kind} failures"
+        if rung == "preconditioner_downgrade":
+            if not gmres_mode:
+                return False, "direct solver uses no preconditioner"
+            if downgrade_preconditioner_kind(self._active_preconditioner) is None:
+                return False, f"no downgrade below {self._active_preconditioner!r}"
+            return True, ""
+        if rung == "continuation":
+            if not self.options.use_continuation:
+                return False, "use_continuation=False"
+            return True, ""
+        if rung == "guess_retry":
+            modes = [
+                m for m in self.options.recovery.guess_modes
+                if m != self.options.initial_guess
+            ]
+            if not modes:
+                return False, "no alternative initial-guess modes configured"
+            return True, ""
+        return False, f"unknown rung {rung!r}"  # unreachable: policy validates
+
+    def _execute_rung(self, rung, kind, x_start, stats, attempts, policy):
+        """Run one ladder rung; returns ``(x, failure, attempts)``."""
+        if rung == "newton_refresh":
+            attempts += 1
+
+            def run_refresh():
+                # Drop every cached factorisation and solve with full Newton
+                # (chord suspended → refactor at each iterate; GMRES cache
+                # cleared → fresh preconditioner at the current iterate).
+                if self._chord is not None:
+                    self._chord.invalidate()
+                self._krylov.cached = None
+                suspended = self._chord_suspended
+                self._chord_suspended = True
+                try:
+                    return self._newton(x_start, stats)
+                finally:
+                    self._chord_suspended = suspended
+
+            return (
+                *self._ladder_attempt(
+                    stats,
+                    rung,
+                    kind,
+                    run_refresh,
+                    detail="caches dropped; full Newton refresh",
+                ),
+                attempts,
             )
 
-        states = self.problem.reshape_states(x)
-        gridded = self.problem.grid.reshape_to_grid(states)
-        return MPDEResult(states=gridded, problem=self.problem, stats=stats)
+        if rung == "damping":
+            attempts += 1
+            base = self.options.newton
+            damping = base.damping * policy.damping_factor
+            damped = base.with_(
+                damping=damping,
+                min_damping=min(base.min_damping, damping / 1024.0),
+                max_iterations=base.max_iterations + policy.damping_extra_iterations,
+            )
+            return (
+                *self._ladder_attempt(
+                    stats,
+                    rung,
+                    kind,
+                    lambda: self._newton(x_start, stats, newton_options=damped),
+                    detail=(
+                        f"damping {base.damping:g} -> {damping:g}, "
+                        f"max_iterations {base.max_iterations} -> {damped.max_iterations}"
+                    ),
+                ),
+                attempts,
+            )
+
+        if rung == "preconditioner_downgrade":
+            # Walk the downgrade chain one step per attempt until the solve
+            # recovers, the chain bottoms out, or the attempt budget is spent.
+            x, failure = None, _sentinel_failure
+            while attempts < policy.max_attempts:
+                current = self._active_preconditioner
+                weaker = downgrade_preconditioner_kind(current)
+                if weaker is None:
+                    break
+                attempts += 1
+                self._preconditioner_override = weaker
+                self._krylov.cached = None
+                x, failure = self._ladder_attempt(
+                    stats,
+                    rung,
+                    kind,
+                    lambda: self._newton(x_start, stats),
+                    detail=f"preconditioner {current} -> {weaker}",
+                )
+                if failure is None:
+                    return x, None, attempts
+                kind = classify_failure(failure)
+            if failure is _sentinel_failure:  # chain already exhausted
+                return None, ConvergenceError("preconditioner downgrade chain exhausted"), attempts
+            return x, failure, attempts
+
+        if rung == "continuation":
+            attempts += 1
+
+            def run_continuation():
+                return self._continuation(x_start, stats), True
+
+            return (
+                *self._ladder_attempt(
+                    stats, rung, kind, run_continuation, detail="source-stepping continuation"
+                ),
+                attempts,
+            )
+
+        if rung == "guess_retry":
+            modes = [
+                m for m in self.options.recovery.guess_modes
+                if m != self.options.initial_guess
+            ]
+            x, failure = None, _sentinel_failure
+            for mode in modes:
+                if attempts >= policy.max_attempts:
+                    break
+                attempts += 1
+                try:
+                    x_retry = self._initial_guess(mode)
+                except AnalysisError as exc:
+                    stats.recovery_trace.append(
+                        RecoveryAttempt(
+                            rung=rung,
+                            trigger=kind,
+                            outcome="failed",
+                            detail=f"initial guess {mode!r} failed: {exc}",
+                        )
+                    )
+                    failure = exc
+                    continue
+                x, failure = self._ladder_attempt(
+                    stats,
+                    rung,
+                    kind,
+                    lambda: self._newton(x_retry, stats),
+                    detail=f"retry from {mode!r} initial guess",
+                )
+                if failure is None:
+                    return x, None, attempts
+                kind = classify_failure(failure)
+            if failure is _sentinel_failure:
+                return None, ConvergenceError("no alternative initial guesses left"), attempts
+            return x, failure, attempts
+
+        raise MPDEError(f"unknown recovery rung {rung!r}")  # pragma: no cover
+
+    def _attach_terminal_diagnostics(self, exc, kind: str):
+        """Best-effort failure localisation attached to the terminal error."""
+        try:
+            x_last = self._last_iterate
+            residual = (
+                self.problem.residual(x_last, source_grid=None)
+                if x_last is not None
+                else None
+            )
+            diagnostics = build_failure_diagnostics(
+                self.problem.mna, x_last, residual, kind
+            )
+        except Exception:  # diagnostics must never mask the real failure
+            diagnostics = None
+        return attach_diagnostics(exc, diagnostics)
 
 
 def solve_mpde(

@@ -7,25 +7,35 @@ continuation versus ~1 minute for a converged plain Newton run).  The same
 technique — classically "source stepping" — is also what SPICE-family DC
 solvers fall back to.
 
-:func:`continuation_solve` implements an adaptive-step embedding sweep:
-a family of problems ``F(x; lambda) = 0`` is solved for ``lambda`` moving from
-``lambda_start`` to 1, each solve warm-started from the previous solution.
-The step in ``lambda`` grows after successes and shrinks after failures.
+:func:`continuation_sweep` implements the adaptive-step embedding sweep
+itself: a family of problems ``F(x; lambda) = 0`` is solved for ``lambda``
+moving from ``lambda_start`` to 1, each solve warm-started from the previous
+solution.  The step in ``lambda`` grows after successes and shrinks after
+failures.  It is the *one* continuation driver in the library — the
+gmin/source-stepping fallbacks of :func:`repro.analysis.dc.dc_operating_point`
+(via :func:`continuation_solve`) and the MPDE solver's source-stepping
+recovery rung both run on it, so step control, failure classification and
+deadline behaviour cannot drift apart between the two.
+
+:func:`continuation_solve` is the dense-Newton front end: it adapts a
+``(x, lam)`` residual/Jacobian pair onto the sweep via
+:func:`~repro.linalg.newton.newton_solve`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Protocol
 
 import numpy as np
 
+from ..resilience.deadline import Deadline
 from ..utils.exceptions import ConvergenceError
 from ..utils.logging import get_logger
 from ..utils.options import ContinuationOptions, NewtonOptions
-from .newton import NewtonResult, newton_solve
+from .newton import newton_solve
 
-__all__ = ["ContinuationResult", "continuation_solve"]
+__all__ = ["ContinuationResult", "continuation_solve", "continuation_sweep"]
 
 _LOG = get_logger("linalg.continuation")
 
@@ -55,33 +65,54 @@ class ContinuationResult:
     rejected_steps: int = 0
 
 
-def continuation_solve(
-    residual: Callable[[np.ndarray, float], np.ndarray],
-    jacobian: Callable[[np.ndarray, float], object],
+class SweepStep(Protocol):
+    """What a :func:`continuation_sweep` per-lambda solve must return.
+
+    :class:`~repro.linalg.newton.NewtonResult` satisfies it; so does the
+    MPDE solver's internal Newton result.
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+
+
+def continuation_sweep(
+    solve_at: Callable[[float, np.ndarray], SweepStep],
     x0: np.ndarray,
-    newton_options: NewtonOptions | None = None,
     continuation_options: ContinuationOptions | None = None,
+    *,
+    deadline: Deadline | None = None,
 ) -> ContinuationResult:
-    """Solve ``residual(x, 1.0) = 0`` by sweeping the embedding parameter.
+    """Sweep the embedding parameter from ``lambda_start`` to 1.
+
+    This is the single continuation driver shared by the DC gmin/source
+    stepping fallbacks and the MPDE solver's source-stepping recovery rung.
 
     Parameters
     ----------
-    residual, jacobian:
-        Callables taking ``(x, lam)``.  At ``lam = lambda_start`` the problem
-        should be easy (typically linear: sources off, or a heavily
-        gmin-loaded system); at ``lam = 1`` it is the original problem.
+    solve_at:
+        ``solve_at(lam, x_guess)`` solves the embedded problem at ``lam``
+        warm-started from ``x_guess`` and returns a :class:`SweepStep`
+        (must *not* raise on plain non-convergence — return
+        ``converged=False`` so the sweep can shrink the step; genuinely
+        unrecoverable errors may propagate).
     x0:
-        Initial guess for the first (easy) problem.
-    newton_options, continuation_options:
-        Iteration controls.
+        Initial guess for the first (easy) problem at ``lambda_start``.
+    continuation_options:
+        Step-control knobs.
+    deadline:
+        Optional started :class:`~repro.resilience.deadline.Deadline`,
+        checked before every embedding step.
 
     Raises
     ------
     ConvergenceError
-        If the sweep cannot reach ``lambda = 1`` within ``max_steps`` or the
-        step size under-runs ``min_step``.
+        If even the ``lambda_start`` problem fails ("initial problem"), the
+        sweep cannot reach ``lambda = 1`` within ``max_steps``, or the step
+        size under-runs ``min_step``.
     """
-    nopts = newton_options or NewtonOptions()
     copts = continuation_options or ContinuationOptions()
 
     lam = copts.lambda_start
@@ -91,42 +122,32 @@ def continuation_solve(
     result = ContinuationResult(x=x)
 
     # Solve the easy problem first so the sweep starts from a consistent point.
-    start = newton_solve(
-        lambda v: residual(v, lam),
-        lambda v: jacobian(v, lam),
-        x,
-        nopts,
-        raise_on_failure=False,
-    )
+    start = solve_at(lam, x)
     if not start.converged:
         raise ConvergenceError(
             f"continuation could not solve the initial problem at lambda={lam}",
             iterations=start.iterations,
             residual_norm=start.residual_norm,
         )
-    x = start.x
+    x = np.asarray(start.x, dtype=float)
     result.newton_iterations += start.iterations
     result.lambdas.append(lam)
 
     attempts = 0
     while lam < 1.0:
+        if deadline is not None:
+            deadline.check("continuation")
         attempts += 1
         if attempts > copts.max_steps:
             raise ConvergenceError(
                 f"continuation exceeded max_steps={copts.max_steps} before reaching lambda=1"
             )
         lam_trial = min(1.0, lam + step)
-        trial: NewtonResult = newton_solve(
-            lambda v: residual(v, lam_trial),
-            lambda v: jacobian(v, lam_trial),
-            x,
-            nopts,
-            raise_on_failure=False,
-        )
+        trial = solve_at(lam_trial, x)
         result.newton_iterations += trial.iterations
         if trial.converged:
             lam = lam_trial
-            x = trial.x
+            x = np.asarray(trial.x, dtype=float)
             result.lambdas.append(lam)
             result.steps += 1
             step = min(copts.max_step, step * copts.growth)
@@ -146,3 +167,52 @@ def continuation_solve(
 
     result.x = x
     return result
+
+
+def continuation_solve(
+    residual: Callable[[np.ndarray, float], np.ndarray],
+    jacobian: Callable[[np.ndarray, float], object],
+    x0: np.ndarray,
+    newton_options: NewtonOptions | None = None,
+    continuation_options: ContinuationOptions | None = None,
+    *,
+    deadline: Deadline | None = None,
+) -> ContinuationResult:
+    """Solve ``residual(x, 1.0) = 0`` by sweeping the embedding parameter.
+
+    The dense-Newton front end of :func:`continuation_sweep`.
+
+    Parameters
+    ----------
+    residual, jacobian:
+        Callables taking ``(x, lam)``.  At ``lam = lambda_start`` the problem
+        should be easy (typically linear: sources off, or a heavily
+        gmin-loaded system); at ``lam = 1`` it is the original problem.
+    x0:
+        Initial guess for the first (easy) problem.
+    newton_options, continuation_options:
+        Iteration controls.
+    deadline:
+        Optional started :class:`~repro.resilience.deadline.Deadline`,
+        checked before every embedding step.
+
+    Raises
+    ------
+    ConvergenceError
+        If the sweep cannot reach ``lambda = 1`` within ``max_steps`` or the
+        step size under-runs ``min_step``.
+    """
+    nopts = newton_options or NewtonOptions()
+
+    def solve_at(lam: float, x_guess: np.ndarray) -> SweepStep:
+        return newton_solve(
+            lambda v: residual(v, lam),
+            lambda v: jacobian(v, lam),
+            x_guess,
+            nopts,
+            raise_on_failure=False,
+        )
+
+    return continuation_sweep(
+        solve_at, x0, continuation_options, deadline=deadline
+    )

@@ -22,7 +22,9 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from ..utils.exceptions import SingularMatrixError
+from ..resilience.deadline import Deadline
+from ..resilience.faultinject import fault_site
+from ..utils.exceptions import GMRESStagnationError, SingularMatrixError
 from .preconditioners import AdaptiveRefreshPolicy, ILUPreconditioner, Preconditioner
 
 __all__ = [
@@ -61,6 +63,13 @@ class GMRESReport:
         (e.g. :func:`make_ilu_preconditioner` degrading to Jacobi after a
         failed ILU factorisation), so degraded preconditioning is detectable
         from the solve report instead of only from iteration counts.
+    stagnated:
+        True when a non-converged solve made essentially no progress over
+        its last full restart cycle (relative residual improvement below
+        the stagnation threshold) — a *stuck* solve, as opposed to one that
+        was merely *slow* (ran out of ``maxiter`` while still converging).
+        The recovery ladder treats the two differently: stagnation wants a
+        preconditioner refresh/downgrade, slowness wants a larger budget.
     """
 
     iterations: int
@@ -69,6 +78,7 @@ class GMRESReport:
     residual_norm: float
     residual_history: list[float] = field(default_factory=list)
     preconditioner_degraded: bool = False
+    stagnated: bool = False
 
 
 def make_ilu_preconditioner(
@@ -107,6 +117,8 @@ def gmres_solve(
     restart: int = 80,
     maxiter: int = 2000,
     raise_on_failure: bool = True,
+    stagnation_ratio: float = 0.99,
+    deadline: Deadline | None = None,
 ) -> tuple[np.ndarray, GMRESReport]:
     """Solve ``matrix @ x = rhs`` with restarted, preconditioned GMRES.
 
@@ -115,9 +127,17 @@ def gmres_solve(
     implementation of the :class:`~repro.linalg.preconditioners.Preconditioner`
     protocol.  Returns the solution and a :class:`GMRESReport`.  When
     ``raise_on_failure`` is True a non-converged solve raises
-    :class:`SingularMatrixError`.
+    :class:`SingularMatrixError` — or its subclass
+    :class:`GMRESStagnationError` when the solve *stagnated*: the
+    preconditioned residual improved by less than
+    ``1 - stagnation_ratio`` over the last full restart cycle, so more
+    iterations would not have helped.  ``deadline`` (a started
+    :class:`~repro.resilience.deadline.Deadline`) is checked after every
+    inner iteration and aborts the solve with
+    :class:`~repro.utils.exceptions.DeadlineExceededError` on expiry.
     """
-    counter = _IterationCounter()
+    fault_site("krylov.solve", raise_on_failure=raise_on_failure)
+    counter = _IterationCounter(deadline=deadline)
     if preconditioner is None and sp.issparse(matrix):
         preconditioner = make_ilu_preconditioner(matrix)
 
@@ -148,6 +168,18 @@ def gmres_solve(
         )
         residual_norm = float(np.linalg.norm(residual))
     restart_cycles = -(-counter.count // max(1, int(restart))) if counter.count else 0
+    stagnated = False
+    if not converged:
+        # No-progress detector: compare the preconditioned residual across
+        # the last *full* restart cycle.  A solve that never completed a
+        # cycle is "slow", not "stuck" — only a whole cycle of no progress
+        # is evidence that more iterations would not help.
+        cycle = max(1, int(restart))
+        history = counter.history
+        if len(history) > cycle:
+            start_norm = history[-cycle - 1]
+            end_norm = history[-1]
+            stagnated = start_norm > 0.0 and end_norm > stagnation_ratio * start_norm
     report = GMRESReport(
         iterations=counter.count,
         restart_cycles=restart_cycles,
@@ -155,12 +187,19 @@ def gmres_solve(
         residual_norm=residual_norm,
         residual_history=counter.history,
         preconditioner_degraded=degraded,
+        stagnated=stagnated,
     )
     if not converged and raise_on_failure:
-        raise SingularMatrixError(
-            f"GMRES did not converge (info={info}, residual={residual_norm:.3e}, "
+        detail = (
+            f"(info={info}, residual={residual_norm:.3e}, "
             f"{report.iterations} inner iterations over {report.restart_cycles} restart cycles)"
         )
+        if stagnated:
+            raise GMRESStagnationError(
+                f"GMRES stagnated: relative residual improved less than "
+                f"{1.0 - stagnation_ratio:.2g} over the last restart cycle {detail}"
+            )
+        raise SingularMatrixError(f"GMRES did not converge {detail}")
     return x, report
 
 
@@ -253,13 +292,15 @@ class CachedPreconditionedGMRES:
         restart: int = 80,
         reuse: bool = True,
         raise_on_failure: bool = True,
+        deadline: Deadline | None = None,
     ) -> tuple[np.ndarray, list[GMRESReport]]:
         """One preconditioned linear solve under the caching discipline.
 
         With ``raise_on_failure=False`` a solve that stays non-converged even
         after the rebuild-and-retry step returns the best-effort iterate with
         ``reports[-1].converged`` False instead of raising, so outer Newton /
-        continuation fallbacks can recover.
+        continuation fallbacks can recover.  ``deadline`` is forwarded to
+        every GMRES attempt (checked per inner iteration).
         """
         fresh = (
             self.cached is None
@@ -276,6 +317,7 @@ class CachedPreconditionedGMRES:
             tol=tol,
             restart=restart,
             raise_on_failure=raise_on_failure and fresh,
+            deadline=deadline,
         )
         if report.converged:
             # A failed solve's (maxiter-capped) count must not seed the
@@ -295,6 +337,7 @@ class CachedPreconditionedGMRES:
                 tol=tol,
                 restart=restart,
                 raise_on_failure=raise_on_failure,
+                deadline=deadline,
             )
             if report.converged:
                 self._policy.record(report.iterations)
@@ -311,15 +354,24 @@ class _IterationCounter:
     derived from it by the caller), ``history`` is the full per-iteration
     convergence trace and ``last_norm`` is the solver's own final convergence
     measure.
+
+    The callback is also where the cooperative per-solve deadline is
+    enforced for GMRES: an expired :class:`Deadline` raises
+    :class:`~repro.utils.exceptions.DeadlineExceededError` from inside the
+    callback, which SciPy propagates out of ``spla.gmres`` — the iteration
+    boundary is the only safe interruption point of a Krylov solve.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, deadline: Deadline | None = None) -> None:
         self.count = 0
         self.history: list[float] = []
         self.last_norm: float | None = None
+        self._deadline = deadline
 
     def __call__(self, norm: float) -> None:
         self.count += 1
         norm = float(norm)
         self.history.append(norm)
         self.last_norm = norm
+        if self._deadline is not None:
+            self._deadline.check("gmres")

@@ -22,6 +22,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from ..resilience.faultinject import fault_site
 from ..utils.exceptions import ConvergenceError, SingularMatrixError
 from ..utils.logging import get_logger
 from ..utils.options import NewtonOptions
@@ -192,6 +193,7 @@ def newton_solve(
 
     for iteration in range(1, opts.max_iterations + 1):
         jac = jacobian(x)
+        fault_site("newton.linear_solve", iteration=iteration - 1)
         dx = solve_linear_system(jac, -fx)
 
         step_norm = _norm(dx)

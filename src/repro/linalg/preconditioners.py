@@ -88,6 +88,8 @@ from .sparse import BlockDiagStructure, kron_identity
 
 __all__ = [
     "PRECONDITIONER_KINDS",
+    "PRECONDITIONER_DOWNGRADES",
+    "downgrade_preconditioner_kind",
     "Preconditioner",
     "ILUPreconditioner",
     "JacobiPreconditioner",
@@ -103,6 +105,23 @@ __all__ = [
 ]
 
 _LOG = get_logger("linalg.preconditioners")
+
+#: The recovery ladder's preconditioner downgrade chain: each mode maps to
+#: the *more robust but slower* mode the ``"preconditioner_downgrade"``
+#: rung retries with.  The partially-averaged mode falls back to the fully
+#: averaged one (less aggressive approximation), which falls back to ILU
+#: (no structural assumptions at all).  Modes absent from the map have no
+#: meaningful downgrade.
+PRECONDITIONER_DOWNGRADES = {
+    "block_circulant_fast": "block_circulant",
+    "block_circulant": "ilu",
+    "jacobi": "ilu",
+}
+
+
+def downgrade_preconditioner_kind(kind: str) -> str | None:
+    """Next rung of the downgrade chain for ``kind``, or ``None`` at the end."""
+    return PRECONDITIONER_DOWNGRADES.get(kind)
 
 
 @runtime_checkable

@@ -45,11 +45,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 import weakref
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..resilience.faultinject import fault_site
 from ..utils.logging import get_logger
 from .backends import detect_capabilities
 from .sharding import SharedArray, attach_shared_array, shard_ranges
@@ -130,13 +132,17 @@ class WorkerPool:
         return f"WorkerPool(n_workers={self.n_workers})"
 
 
-def _worker_main(conn, engine) -> None:
+def _worker_main(conn, engine, worker_index: int = 0) -> None:
     """Worker loop: evaluate engine shards into shared-memory blocks.
 
     Runs in a forked child that inherited ``engine`` (its scratch buffers
     are now private copies, so the parent's engine is untouched).  Commands
     are small picklable tuples; array payloads only ever travel through the
     shared blocks.
+
+    The child also inherits any armed fault-injection plan through ``fork``
+    — the ``"worker.eval"`` site is how the crash/hang watchdog tests put a
+    deterministic failure *inside* a real forked worker.
     """
     attachments: dict[str, tuple[np.ndarray, object]] = {}
 
@@ -166,6 +172,7 @@ def _worker_main(conn, engine) -> None:
             if command != "eval":
                 raise ValueError(f"unknown worker command {command!r}")
             _, x_name, x_shape, lo, hi, out_specs, need_static, need_dynamic = message
+            fault_site("worker.eval", worker=worker_index, lo=lo, hi=hi)
             states = view(x_name, x_shape)[lo:hi]
             q, f, c_data, g_data = engine.evaluate(
                 states,
@@ -184,7 +191,17 @@ def _worker_main(conn, engine) -> None:
 
 
 def _shutdown_pool(workers, buffers) -> None:
-    """Finalizer: stop worker processes and unlink the shared blocks."""
+    """Finalizer: stop worker processes and unlink the shared blocks.
+
+    Escalates per worker: cooperative ``stop`` -> ``join`` ->
+    ``terminate`` (SIGTERM) -> ``kill`` (SIGKILL), with a bounded join
+    after every signal.  A worker stuck in uninterruptible kernel state is
+    the only thing that can survive SIGKILL, so this never leaves a zombie
+    behind under normal operating systems — the old single
+    ``join(timeout=1.0)`` + fire-and-forget ``terminate()`` could (the
+    terminated child was never reaped, and its shared-memory attachments
+    were never observed to close).
+    """
     for process, conn in workers:
         try:
             conn.send(("stop",))
@@ -192,9 +209,17 @@ def _shutdown_pool(workers, buffers) -> None:
             pass
     for process, conn in workers:
         process.join(timeout=1.0)
-        if process.is_alive():  # pragma: no cover - stuck worker safety net
+        if process.is_alive():
             process.terminate()
+            process.join(timeout=1.0)
+        if process.is_alive():  # pragma: no cover - SIGTERM-proof worker
+            process.kill()
+            process.join(timeout=5.0)
         conn.close()
+        try:
+            process.close()
+        except Exception:  # pragma: no cover - interpreter-dependent
+            pass
     workers.clear()
     for buffer in buffers.values():
         buffer.close()
@@ -218,6 +243,13 @@ class ShardedKernelPool:
     n_workers:
         Number of forked workers (>= 2; resolution happens upstream in
         :func:`~repro.parallel.backends.resolve_execution`).
+    reply_timeout_s:
+        Watchdog budget (seconds) for gathering *all* worker replies of one
+        evaluation.  A worker that has not answered when the budget runs
+        out is treated as hung: the whole pool is torn down (hung workers
+        get SIGTERM/SIGKILL, shared blocks are unlinked) and
+        :class:`WorkerPoolError` is raised so the owner retries serially.
+        ``None`` keeps the pre-watchdog blocking reads.
     """
 
     def __init__(
@@ -228,10 +260,12 @@ class ShardedKernelPool:
         nnz_dynamic: int,
         nnz_static: int,
         n_workers: int,
+        reply_timeout_s: float | None = None,
     ) -> None:
         if n_workers < 2:
             raise ValueError(f"a sharded pool needs n_workers >= 2, got {n_workers}")
         self.n_workers = int(n_workers)
+        self.reply_timeout_s = reply_timeout_s
         self._widths = {
             "q": int(n_unknowns),
             "f": int(n_unknowns),
@@ -256,7 +290,7 @@ class ShardedKernelPool:
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=_worker_main,
-                args=(child_conn, engine),
+                args=(child_conn, engine, index),
                 daemon=True,
                 name=f"repro-shard-{index}",
             )
@@ -287,7 +321,18 @@ class ShardedKernelPool:
         self._send([message] * len(self._workers))
 
     def _send(self, messages: Sequence) -> None:
-        """One message per worker (``None`` skips a worker), then gather replies."""
+        """One message per worker (``None`` skips a worker), then gather replies.
+
+        Replies are gathered with bounded ``poll()`` reads when
+        ``reply_timeout_s`` is set (one shared wall-clock budget for the
+        whole gather — the shards run concurrently, so every reply should
+        land within roughly one evaluation time).  A dead worker is
+        detected immediately either way: its pipe end closes, ``poll``
+        returns ready and ``recv`` raises ``EOFError``.  A hung or dead
+        worker leaves the reply protocol out of sync, so both paths tear
+        the pool down (reaping the workers and unlinking the shared
+        blocks) before raising :class:`WorkerPoolError`.
+        """
         active = []
         try:
             for (process, conn), message in zip(self._workers, messages):
@@ -295,12 +340,27 @@ class ShardedKernelPool:
                     conn.send(message)
                     active.append(conn)
         except (BrokenPipeError, OSError) as exc:
+            self.close()
             raise WorkerPoolError(f"worker process died: {exc}") from exc
+        reply_deadline = (
+            None
+            if self.reply_timeout_s is None
+            else time.monotonic() + self.reply_timeout_s
+        )
         errors = []
         for conn in active:
             try:
+                if reply_deadline is not None:
+                    remaining = reply_deadline - time.monotonic()
+                    if remaining <= 0.0 or not conn.poll(remaining):
+                        self.close()
+                        raise WorkerPoolError(
+                            f"worker reply timed out after {self.reply_timeout_s:.3g}s "
+                            "(hung worker); pool torn down"
+                        )
                 reply = conn.recv()
             except (EOFError, OSError) as exc:
+                self.close()
                 raise WorkerPoolError(f"worker process died: {exc}") from exc
             if reply[0] == "error":
                 errors.append(reply[1])

@@ -1,0 +1,76 @@
+"""Cooperative per-solve deadlines.
+
+A :class:`Deadline` is a started wall-clock budget that solve loops poll at
+iteration boundaries — after a Newton iterate, inside a GMRES progress
+callback, between continuation steps, between recovery-ladder rungs.  It is
+*cooperative*: nothing is interrupted mid-factorisation, so a single
+oversized LU can still overshoot the budget; what the deadline guarantees
+is that no solve loops forever and that expiry surfaces as a structured
+:class:`~repro.utils.exceptions.DeadlineExceededError` carrying whatever
+partial statistics the solve had accumulated.
+
+``Deadline(None)`` is a started-but-infinite deadline whose ``check`` is a
+cheap no-op, so callers never need ``if deadline is not None`` guards.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..utils.exceptions import DeadlineExceededError
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A started wall-clock budget for one solve.
+
+    Parameters
+    ----------
+    seconds:
+        Budget in seconds, or ``None`` for an infinite deadline (every
+        query reports unexpired; ``check`` never raises).
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    __slots__ = ("seconds", "_clock", "_start")
+
+    def __init__(self, seconds: float | None, *, clock=time.monotonic) -> None:
+        self.seconds = seconds
+        self._clock = clock
+        self._start = clock()
+
+    def elapsed(self) -> float:
+        """Wall time since the deadline was started."""
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` for an infinite deadline; can go negative)."""
+        if self.seconds is None:
+            return float("inf")
+        return self.seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        """True once the budget is spent."""
+        return self.seconds is not None and self.elapsed() >= self.seconds
+
+    def check(self, stage: str, *, partial_stats=None) -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent.
+
+        ``stage`` names the loop that observed the expiry (``"newton"``,
+        ``"gmres"``, ``"continuation"``, ``"recovery"``); ``partial_stats``
+        travels on the exception so callers can report work done so far.
+        """
+        if self.seconds is None:
+            return
+        elapsed = self.elapsed()
+        if elapsed >= self.seconds:
+            raise DeadlineExceededError(
+                f"solve deadline of {self.seconds:.3g}s exceeded after "
+                f"{elapsed:.3g}s (at {stage} boundary)",
+                deadline_s=self.seconds,
+                elapsed_s=elapsed,
+                stage=stage,
+                partial_stats=partial_stats,
+            )

@@ -1,0 +1,203 @@
+"""Structured terminal-failure diagnostics.
+
+When a solve fails for good, "Newton did not converge" is not actionable.
+This module localises the failure: NaN/Inf entries and the dominant
+residual rows are mapped back to *unknown names* (node voltages, branch
+currents) and — via the compiled stamp patterns of
+:class:`~repro.circuits.mna.MNASystem` — to the *device instances* that
+stamp those rows.  The result is a :class:`FailureDiagnostics` payload
+attached to the raised exception's ``diagnostics`` attribute
+(:func:`attach_diagnostics`), so callers and service layers can log or
+surface it without parsing message strings.
+
+Multi-time (MPDE) residuals are defined over a ``P x n`` collocation grid;
+grid rows fold back onto the ``n`` base unknowns, and the report counts how
+many grid points implicate each unknown instead of listing thousands of
+grid rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "FailureDiagnostics",
+    "attach_diagnostics",
+    "build_failure_diagnostics",
+]
+
+#: How many worst offenders each category reports.
+_TOP_K = 5
+
+
+@dataclass(frozen=True)
+class FailureDiagnostics:
+    """Localised post-mortem of a terminal solve failure.
+
+    Attributes
+    ----------
+    failure_kind:
+        Classification from
+        :func:`~repro.resilience.taxonomy.classify_failure`.
+    residual_norm:
+        Max-norm of the final residual (``nan`` if non-finite entries
+        poisoned it).
+    non_finite_unknowns:
+        Names of base unknowns with NaN/Inf in the residual or iterate,
+        each paired with the number of grid points affected (1 for
+        non-grid solves).  Worst (most affected) first, top-:data:`_TOP_K`.
+    dominant_unknowns:
+        ``(name, |residual|)`` for the largest-magnitude finite residual
+        rows, folded to base unknowns, largest first.
+    suspect_devices:
+        Device instance names that stamp the offending rows (non-finite
+        rows if any, else the dominant ones), in stamp order.
+    grid_shape:
+        ``(P, n)`` for multi-time solves, ``None`` for plain ones.
+    """
+
+    failure_kind: str
+    residual_norm: float
+    non_finite_unknowns: tuple[tuple[str, int], ...] = ()
+    dominant_unknowns: tuple[tuple[str, float], ...] = ()
+    suspect_devices: tuple[str, ...] = ()
+    grid_shape: tuple[int, int] | None = field(default=None)
+
+    def summary(self) -> str:
+        """One-line human-readable digest for log messages."""
+        parts = [f"kind={self.failure_kind}", f"|F|max={self.residual_norm:.3g}"]
+        if self.non_finite_unknowns:
+            names = ", ".join(
+                f"{name} ({hits} pts)" if hits > 1 else name
+                for name, hits in self.non_finite_unknowns
+            )
+            parts.append(f"non-finite at: {names}")
+        elif self.dominant_unknowns:
+            names = ", ".join(
+                f"{name} ({value:.3g})" for name, value in self.dominant_unknowns
+            )
+            parts.append(f"dominant residual at: {names}")
+        if self.suspect_devices:
+            parts.append(f"suspect devices: {', '.join(self.suspect_devices)}")
+        return "; ".join(parts)
+
+
+def _fold_rows(size: int, n: int) -> tuple[int, int] | None:
+    """Return ``(P, n)`` if ``size`` is a whole multi-time grid, else None."""
+    if n > 0 and size > n and size % n == 0:
+        return size // n, n
+    return None
+
+
+def build_failure_diagnostics(
+    system,
+    x,
+    residual,
+    failure_kind: str,
+) -> FailureDiagnostics | None:
+    """Localise a failure against an MNA system.
+
+    Parameters
+    ----------
+    system:
+        Object exposing ``unknown_names`` (tuple of ``n`` names) and,
+        optionally, ``residual_row_owners()`` (per-row device-name tuples);
+        :class:`~repro.circuits.mna.MNASystem` provides both.  ``None``
+        (or a system without names) yields ``None`` — diagnostics are
+        best-effort and never mask the original failure.
+    x, residual:
+        Final iterate and residual.  Sizes must be ``n`` or ``P * n``
+        (grid layout: point-major, row ``p * n + j`` is unknown ``j`` at
+        grid point ``p``).  ``None`` entries are tolerated.
+    failure_kind:
+        Classification string stored on the payload.
+    """
+    names = getattr(system, "unknown_names", None)
+    if not names:
+        return None
+    n = len(names)
+
+    res = None if residual is None else np.asarray(residual, dtype=float).ravel()
+    vec = None if x is None else np.asarray(x, dtype=float).ravel()
+
+    grid_shape = None
+    for arr in (res, vec):
+        if arr is not None and arr.size != n:
+            grid_shape = _fold_rows(arr.size, n)
+            if grid_shape is None:
+                return None  # layout we don't understand: stay silent
+            break
+
+    # --- non-finite localisation (residual first, iterate as fallback) ---
+    nonfinite_hits = np.zeros(n, dtype=int)
+    for arr in (res, vec):
+        if arr is None:
+            continue
+        bad = ~np.isfinite(arr)
+        if not bad.any():
+            continue
+        idx = np.nonzero(bad)[0] % n
+        nonfinite_hits += np.bincount(idx, minlength=n)
+    bad_order = np.argsort(nonfinite_hits)[::-1]
+    non_finite = tuple(
+        (names[j], int(nonfinite_hits[j]))
+        for j in bad_order[:_TOP_K]
+        if nonfinite_hits[j] > 0
+    )
+
+    # --- dominant finite residual rows, folded to base unknowns ---
+    dominant: tuple[tuple[str, float], ...] = ()
+    residual_norm = float("nan")
+    if res is not None and res.size:
+        finite = np.where(np.isfinite(res), np.abs(res), 0.0)
+        if np.isfinite(res).all():
+            residual_norm = float(np.max(np.abs(res))) if res.size else 0.0
+        per_unknown = finite.reshape(-1, n).max(axis=0) if finite.size > n else finite
+        order = np.argsort(per_unknown)[::-1]
+        dominant = tuple(
+            (names[j], float(per_unknown[j]))
+            for j in order[:_TOP_K]
+            if per_unknown[j] > 0.0
+        )
+
+    # --- device attribution via compiled stamp patterns ---
+    suspect_rows = [j for j, _ in (non_finite or dominant)]
+    suspects: tuple[str, ...] = ()
+    owners_fn = getattr(system, "residual_row_owners", None)
+    if owners_fn is not None and suspect_rows:
+        try:
+            owners = owners_fn()
+        except Exception:  # best-effort: never mask the original failure
+            owners = None
+        if owners:
+            name_to_row = {name: j for j, name in enumerate(names)}
+            seen: list[str] = []
+            for unknown in suspect_rows:
+                row = name_to_row.get(unknown) if isinstance(unknown, str) else unknown
+                if row is None or row >= len(owners):
+                    continue
+                for device in owners[row]:
+                    if device not in seen:
+                        seen.append(device)
+            suspects = tuple(seen[: 2 * _TOP_K])
+
+    return FailureDiagnostics(
+        failure_kind=failure_kind,
+        residual_norm=residual_norm,
+        non_finite_unknowns=non_finite,
+        dominant_unknowns=dominant,
+        suspect_devices=suspects,
+        grid_shape=grid_shape,
+    )
+
+
+def attach_diagnostics(exc: BaseException, diagnostics) -> BaseException:
+    """Attach a payload to ``exc.diagnostics`` (best-effort) and return it."""
+    if diagnostics is not None:
+        try:
+            exc.diagnostics = diagnostics
+        except Exception:
+            pass
+    return exc

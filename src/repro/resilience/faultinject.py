@@ -1,0 +1,299 @@
+"""Deterministic fault injection for the solver stack.
+
+Real solver failures — singular Jacobians, stalled Krylov solves, crashed
+or hung forked workers, NaN device evaluations — are far too rare to
+exercise in CI, so the recovery paths that handle them would otherwise ship
+untested.  This module lets tests *schedule* those failures at named sites
+in the production code:
+
+>>> from repro.resilience import inject_faults, singular_jacobian
+>>> with inject_faults(singular_jacobian(at_iteration=2)):
+...     solver.solve()  # doctest: +SKIP
+
+Production code marks injection points with :func:`fault_site`::
+
+    fault_site("solver.linear_solve", iteration=iteration)
+
+which is a no-op (one global read, no allocation) unless a plan is active,
+so the hooks cost nothing in normal operation.  The registry is a plain
+module global: forked worker processes inherit the active plan, which is
+what lets tests inject ``worker.eval`` faults into children without any
+IPC.  Injection is process-wide and not thread-safe by design — it is a
+test harness, not a production feature.
+
+Sites currently compiled into the stack:
+
+=========================  ====================================================
+site                       context keys
+=========================  ====================================================
+``solver.linear_solve``    ``iteration`` (MPDE Newton iterate, 0-based)
+``solver.gmres``           ``preconditioner`` (active mode name)
+``newton.linear_solve``    ``iteration`` (dense Newton iterate, 0-based)
+``krylov.solve``           ``raise_on_failure`` (caller wants exceptions?)
+``preconditioner.build``   ``kind`` (preconditioner mode name)
+``worker.eval``            ``worker`` (shard index; runs in the child)
+``mna.evaluate``           ``f`` (residual vector, mutable, poison in place)
+=========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from ..utils.exceptions import GMRESStagnationError, SingularMatrixError
+
+__all__ = [
+    "FaultInjected",
+    "FaultSpec",
+    "active_fault_plan",
+    "build_profile_specs",
+    "fault_site",
+    "inject_faults",
+    "singular_jacobian",
+    "gmres_stall",
+    "worker_crash",
+    "worker_hang",
+    "nan_evaluation",
+]
+
+
+class FaultInjected(Exception):
+    """Raised by injected faults that model *unclassified* errors.
+
+    Most convenience faults raise the production exception type they
+    emulate (``SingularMatrixError``, ``GMRESStagnationError``, ...) so the
+    real handling paths are exercised; this type exists for tests that want
+    a failure nothing in the stack claims to understand.
+    """
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    site:
+        Name of the :func:`fault_site` this fault attaches to.
+    action:
+        Callable invoked with the site's context dict when the fault fires.
+        Raising an exception is the usual payload; mutating a context value
+        (e.g. poisoning the ``f`` array of ``mna.evaluate``) also works.
+    at_call:
+        Fire starting from the Nth *matching* visit to the site (1-based).
+        ``None`` means from the first.
+    count:
+        Maximum number of firings.  ``None`` means unlimited.
+    predicate:
+        Optional extra gate ``predicate(context) -> bool``; visits it
+        rejects do not advance the call counter.
+    """
+
+    site: str
+    action: Callable[[dict[str, Any]], None]
+    at_call: int | None = None
+    count: int | None = 1
+    predicate: Callable[[dict[str, Any]], bool] | None = None
+    calls: int = field(default=0, init=False)
+    fired: int = field(default=0, init=False)
+
+    def visit(self, context: dict[str, Any]) -> bool:
+        """Record a matching visit; return True if the fault should fire."""
+        if self.predicate is not None and not self.predicate(context):
+            return False
+        self.calls += 1
+        if self.at_call is not None and self.calls < self.at_call:
+            return False
+        if self.count is not None and self.fired >= self.count:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultPlan:
+    """The set of :class:`FaultSpec` objects currently armed."""
+
+    def __init__(self, specs: tuple[FaultSpec, ...]) -> None:
+        self.specs = specs
+
+    def visit(self, site: str, context: dict[str, Any]) -> None:
+        for spec in self.specs:
+            if spec.site == site and spec.visit(context):
+                spec.action(context)
+
+
+#: The active plan, or ``None``.  A module global (not a contextvar) so
+#: forked workers inherit it and ``fault_site`` stays one attribute read in
+#: the common case.
+_ACTIVE: FaultPlan | None = None
+
+
+def active_fault_plan() -> FaultPlan | None:
+    """Return the currently armed plan, or ``None``."""
+    return _ACTIVE
+
+
+def fault_site(site: str, **context: Any) -> None:
+    """Production-code injection hook; no-op unless a plan is armed."""
+    plan = _ACTIVE
+    if plan is not None:
+        plan.visit(site, context)
+
+
+@contextmanager
+def inject_faults(*specs: FaultSpec) -> Iterator[FaultPlan]:
+    """Arm ``specs`` for the duration of the ``with`` block.
+
+    Plans do not nest: arming a new plan while one is active replaces it
+    for the block and restores the outer plan afterwards (the outer plan's
+    counters keep their values).
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    plan = FaultPlan(tuple(specs))
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+
+
+# ---------------------------------------------------------------------------
+# Convenience fault constructors
+# ---------------------------------------------------------------------------
+
+
+def singular_jacobian(
+    *,
+    at_iteration: int | None = None,
+    count: int | None = 1,
+    site: str = "solver.linear_solve",
+) -> FaultSpec:
+    """Inject a :class:`SingularMatrixError` from a Newton linear solve.
+
+    ``at_iteration`` gates on the site's 0-based ``iteration`` context key
+    (e.g. ``at_iteration=2`` emulates a Jacobian going singular at the
+    third Newton iterate); ``None`` fires on any iterate.
+    """
+
+    def _raise(context: dict[str, Any]) -> None:
+        iteration = context.get("iteration")
+        raise SingularMatrixError(
+            f"injected singular Jacobian (site={site!r}, iteration={iteration!r})"
+        )
+
+    predicate = None
+    if at_iteration is not None:
+        predicate = lambda ctx: ctx.get("iteration") == at_iteration  # noqa: E731
+    return FaultSpec(site=site, action=_raise, count=count, predicate=predicate)
+
+
+def gmres_stall(
+    *,
+    at_call: int | None = None,
+    count: int | None = 1,
+    site: str = "krylov.solve",
+) -> FaultSpec:
+    """Inject a stagnated GMRES solve (no progress over a restart cycle).
+
+    The default site fires on *every* Krylov solve (including direct unit
+    tests of :func:`~repro.linalg.krylov.gmres_solve`, which have no retry
+    machinery above them); pass ``site="solver.gmres"`` to hit only the MPDE
+    solver's GMRES linear solves, where the recovery ladder can absorb it.
+    """
+
+    def _raise(context: dict[str, Any]) -> None:
+        raise GMRESStagnationError(
+            "injected GMRES stagnation (no residual progress over a restart cycle)"
+        )
+
+    return FaultSpec(site=site, action=_raise, at_call=at_call, count=count)
+
+
+def worker_crash(*, worker: int | None = None, count: int | None = 1) -> FaultSpec:
+    """Kill a forked shard worker mid-evaluation (models a segfault/OOM kill).
+
+    Fires inside the child process (the plan is inherited across ``fork``);
+    ``os._exit`` skips all cleanup, exactly like a real crash, so the
+    parent sees the reply pipe close.
+    """
+
+    def _die(context: dict[str, Any]) -> None:
+        os._exit(17)
+
+    predicate = None
+    if worker is not None:
+        predicate = lambda ctx: ctx.get("worker") == worker  # noqa: E731
+    return FaultSpec(site="worker.eval", action=_die, count=count, predicate=predicate)
+
+
+def worker_hang(*, hang_s: float = 60.0, count: int | None = 1) -> FaultSpec:
+    """Make a forked shard worker sleep through its evaluation (models a hang).
+
+    The sleep must exceed the configured ``worker_timeout_s`` for the
+    watchdog to classify the worker as hung.
+    """
+
+    def _sleep(context: dict[str, Any]) -> None:
+        time.sleep(hang_s)
+
+    return FaultSpec(site="worker.eval", action=_sleep, count=count)
+
+
+def nan_evaluation(*, count: int | None = 1, entry: int = 0) -> FaultSpec:
+    """Poison a device-evaluation residual with NaN (models a bad model eval)."""
+
+    def _poison(context: dict[str, Any]) -> None:
+        f = context.get("f")
+        if f is not None and np.size(f) > entry:
+            f[entry] = np.nan
+
+    return FaultSpec(site="mna.evaluate", action=_poison, count=count)
+
+
+# ---------------------------------------------------------------------------
+# Named CI profiles
+# ---------------------------------------------------------------------------
+
+#: Profiles selectable via the ``REPRO_FAULT_PROFILE`` environment variable
+#: (comma-separated).  Each profile is *recoverable by design* — the suite
+#: must still pass with it armed, proving the recovery paths end-to-end.
+_PROFILES: dict[str, Callable[[], FaultSpec]] = {
+    # First sharded worker evaluation crashes; the pool must fall back to
+    # the serial path and the test must still see correct results.
+    "worker_crash": lambda: worker_crash(count=1),
+    # First MPDE-solver GMRES solve stalls; the recovery ladder must absorb
+    # it.  Scoped to the solver-level site so direct unit tests of the
+    # Krylov layer (which have no recovery machinery above them) still pass.
+    "gmres_stall": lambda: gmres_stall(count=1, site="solver.gmres"),
+    # First Newton linear solve hits a singular Jacobian; the ladder or the
+    # analysis-level stepping fallbacks must recover.
+    "singular_jacobian": lambda: singular_jacobian(count=1),
+}
+
+
+def build_profile_specs(profile: str) -> tuple[FaultSpec, ...]:
+    """Build fresh specs for a comma-separated profile string.
+
+    Unknown names raise ``ValueError`` (catches typos in CI config).
+    Returns new spec objects each call so per-test counters start at zero.
+    """
+    specs = []
+    for name in profile.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        try:
+            factory = _PROFILES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown fault profile {name!r}; known: {sorted(_PROFILES)}"
+            ) from None
+        specs.append(factory())
+    return tuple(specs)

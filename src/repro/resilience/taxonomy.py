@@ -1,0 +1,113 @@
+"""Failure taxonomy: classify solve failures and record recovery attempts.
+
+Every failure a solve can hit maps to exactly one *failure kind* — a short
+stable string the recovery ladder keys its applicability rules on and the
+diagnostics payloads carry.  The classification is deliberately coarse:
+rungs care about *what class of trouble* occurred, not about the precise
+call stack.
+
+==========================  ==================================================
+kind                        raised as / meaning
+==========================  ==================================================
+``"divergence"``            :class:`ConvergenceError` — iteration budget
+                            exhausted without converging.
+``"singular"``              :class:`SingularMatrixError` — a linearisation
+                            was structurally or numerically singular.
+``"gmres_stagnation"``      :class:`GMRESStagnationError` — a Krylov solve
+                            made no progress over a restart cycle (stuck,
+                            not slow).
+``"deadline"``              :class:`DeadlineExceededError` — the per-solve
+                            deadline expired.  Terminal: never recovered.
+``"worker_pool"``           :class:`WorkerPoolError` — a forked shard
+                            worker crashed, hung, or mis-answered.
+``"non_finite"``            NaN/Inf contaminated a residual or iterate.
+``"unknown"``               anything else derived from :class:`ReproError`.
+==========================  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.exceptions import (
+    ConvergenceError,
+    DeadlineExceededError,
+    GMRESStagnationError,
+    SingularMatrixError,
+)
+
+__all__ = ["FAILURE_KINDS", "RecoveryAttempt", "classify_failure"]
+
+#: The enumerated failure model (see the module docstring for semantics).
+FAILURE_KINDS = (
+    "divergence",
+    "singular",
+    "gmres_stagnation",
+    "deadline",
+    "worker_pool",
+    "non_finite",
+    "unknown",
+)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map an exception from a solve to its failure kind.
+
+    Order matters: the most specific subclasses are tested first
+    (``GMRESStagnationError`` subclasses ``SingularMatrixError`` so
+    existing ``except SingularMatrixError`` handlers keep catching it, but
+    it classifies as its own kind).
+    """
+    # Imported lazily: repro.parallel imports repro.utils, and taxonomy
+    # must stay importable from anywhere in the stack.
+    from ..parallel.pool import WorkerPoolError
+
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline"
+    if isinstance(exc, GMRESStagnationError):
+        return "gmres_stagnation"
+    if isinstance(exc, SingularMatrixError):
+        return "singular"
+    if isinstance(exc, WorkerPoolError):
+        return "worker_pool"
+    if isinstance(exc, ConvergenceError):
+        return "divergence"
+    if isinstance(exc, (FloatingPointError, OverflowError)):
+        return "non_finite"
+    return "unknown"
+
+
+@dataclass(frozen=True)
+class RecoveryAttempt:
+    """One entry of ``MPDEStats.recovery_trace``.
+
+    The trace starts with the failed baseline attempt (``rung="baseline"``)
+    and then records every ladder rung the solver executed or skipped, so a
+    recovered solve reports *how* it recovered and a failed one reports
+    everything that was tried.
+
+    Attributes
+    ----------
+    rung:
+        ``"baseline"`` or a :data:`~repro.utils.options.RECOVERY_RUNGS`
+        name.
+    trigger:
+        Failure kind (:data:`FAILURE_KINDS`) that caused this attempt —
+        i.e. the classification of the *previous* attempt's failure.
+    outcome:
+        ``"recovered"`` (this attempt produced the returned solution),
+        ``"failed"`` (it ran and failed), or ``"skipped"`` (the rung did
+        not apply to this failure kind / solver configuration).
+    detail:
+        Human-readable specifics: the failure message, what the rung
+        changed (``"preconditioner block_circulant_fast -> block_circulant"``),
+        or why it was skipped.
+    duration_s:
+        Wall time this attempt consumed (0.0 for skipped rungs).
+    """
+
+    rung: str
+    trigger: str
+    outcome: str
+    detail: str = ""
+    duration_s: float = 0.0

@@ -10,18 +10,33 @@ The hierarchy mirrors the package layout:
 * netlist / device construction problems raise :class:`CircuitError` (or the
   more specific :class:`DeviceError` / :class:`NodeError`),
 * numerical analyses raise :class:`AnalysisError`, with
-  :class:`ConvergenceError` reserved for iterations that ran out of budget and
+  :class:`ConvergenceError` reserved for iterations that ran out of budget,
   :class:`SingularMatrixError` for structurally or numerically singular
-  linearisations,
+  linearisations, :class:`GMRESStagnationError` for Krylov solves that made
+  no progress over a restart cycle (a *stuck* solve, as opposed to a merely
+  *slow* one) and :class:`DeadlineExceededError` for solves cut off by a
+  cooperative per-solve deadline,
 * the multi-time (MPDE) core raises :class:`MPDEError`, with
   :class:`ShearError` flagging invalid difference-frequency time-scale maps.
+
+Terminal solve failures may carry a structured
+:class:`~repro.resilience.diagnostics.FailureDiagnostics` payload on their
+``diagnostics`` attribute (``None`` when no localisation was possible) —
+see :mod:`repro.resilience`.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for every error raised by the :mod:`repro` library."""
+    """Base class for every error raised by the :mod:`repro` library.
+
+    ``diagnostics`` is an optional structured-failure payload
+    (:class:`~repro.resilience.diagnostics.FailureDiagnostics`) attached by
+    the resilience layer on terminal solve failures.
+    """
+
+    diagnostics = None
 
 
 class ConfigurationError(ReproError):
@@ -75,6 +90,59 @@ class SingularMatrixError(AnalysisError):
     Typically indicates a floating node, a loop of ideal voltage sources, or a
     device stamped with degenerate parameters.
     """
+
+
+class GMRESStagnationError(SingularMatrixError):
+    """A GMRES solve made essentially no progress over a whole restart cycle.
+
+    Distinguishes a *stuck* Krylov solve (no-progress: the preconditioned
+    residual barely moved across the last restart cycle, so more iterations
+    would not help) from a merely *slow* one that ran out of ``maxiter``
+    while still converging.  Subclasses :class:`SingularMatrixError` so
+    existing failure handling keeps working; the recovery ladder classifies
+    the two differently (a stagnated solve wants a preconditioner downgrade
+    or refresh, a slow one wants a larger budget).
+    """
+
+
+class DeadlineExceededError(AnalysisError):
+    """A cooperative per-solve deadline expired before the solve finished.
+
+    Raised at Newton / GMRES iteration boundaries (never mid-factorisation),
+    so the work completed before the deadline is accounted for in
+    ``partial_stats``.
+
+    Parameters
+    ----------
+    message:
+        Human readable description.
+    deadline_s:
+        The configured deadline in seconds.
+    elapsed_s:
+        Wall time elapsed when the deadline fired.
+    stage:
+        Name of the solve stage that observed the expiry (e.g. ``"newton"``,
+        ``"gmres"``, ``"continuation"``, ``"recovery"``).
+    partial_stats:
+        Whatever statistics object the failing solve had accumulated so far
+        (an :class:`~repro.core.solver.MPDEStats` for MPDE solves), or
+        ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        deadline_s: float | None = None,
+        elapsed_s: float | None = None,
+        stage: str = "",
+        partial_stats=None,
+    ) -> None:
+        super().__init__(message)
+        self.deadline_s = deadline_s
+        self.elapsed_s = elapsed_s
+        self.stage = stage
+        self.partial_stats = partial_stats
 
 
 class MPDEError(ReproError):

@@ -23,6 +23,7 @@ __all__ = [
     "EvaluationOptions",
     "NewtonOptions",
     "ContinuationOptions",
+    "RecoveryPolicy",
     "TransientOptions",
     "ShootingOptions",
     "HarmonicBalanceOptions",
@@ -30,6 +31,7 @@ __all__ = [
     "EVALUATION_BACKENDS",
     "KERNEL_BACKENDS",
     "PRECONDITIONER_KINDS",
+    "RECOVERY_RUNGS",
 ]
 
 #: The canonical preconditioner mode names.  Defined here (the bottom of the
@@ -52,6 +54,18 @@ EVALUATION_BACKENDS = ("batched", "loop")
 #: Defined here (the bottom of the import graph) so the option validation
 #: and :mod:`repro.parallel.backends` share one source of truth.
 KERNEL_BACKENDS = ("serial", "sharded")
+
+#: The canonical recovery-ladder rung names, in default escalation order.
+#: Defined here (the bottom of the import graph) so :class:`RecoveryPolicy`
+#: validation and the ladder driver in :mod:`repro.core.solver` share one
+#: source of truth.  See ``docs/resilience.md`` for what each rung does.
+RECOVERY_RUNGS = (
+    "newton_refresh",
+    "damping",
+    "preconditioner_downgrade",
+    "continuation",
+    "guess_retry",
+)
 
 
 def _require_positive(name: str, value: float) -> None:
@@ -100,17 +114,28 @@ class EvaluationOptions:
         auto-sizes from the usable CPU count — and resolves to serial on a
         single-CPU machine; an explicit count >= 2 is honoured wherever
         ``fork`` exists, ``1`` explicitly selects the serial path.
+    worker_timeout_s:
+        Watchdog deadline (seconds) on every reply read from a sharded
+        worker.  A worker that does not answer within the timeout is treated
+        as hung: the pool is torn down (``terminate()`` escalating to
+        ``kill()``), shared memory is released, and the evaluation retries
+        on the serial path with the reason recorded in
+        ``MNASystem.parallel_fallback_reason``.  ``None`` disables the
+        watchdog (blocking reads, pre-watchdog behaviour).
     """
 
     evaluation_backend: str = "batched"
     kernel_backend: str = "serial"
     n_workers: int | None = None
+    worker_timeout_s: float | None = 120.0
 
     def __post_init__(self) -> None:
         _require_in("evaluation_backend", self.evaluation_backend, EVALUATION_BACKENDS)
         _require_in("kernel_backend", self.kernel_backend, KERNEL_BACKENDS)
         if self.n_workers is not None:
             _require_positive("n_workers", self.n_workers)
+        if self.worker_timeout_s is not None:
+            _require_positive("worker_timeout_s", self.worker_timeout_s)
 
 
 @dataclass(frozen=True)
@@ -195,6 +220,73 @@ class ContinuationOptions:
         if not 0.0 < self.shrink < 1.0:
             raise ConfigurationError("shrink must be in (0, 1)")
         _require_positive("max_steps", self.max_steps)
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Controls for the solve-failure recovery escalation ladder.
+
+    When an MPDE solve fails (Newton divergence, singular or stagnating
+    linear solves, preconditioner degradation, worker-pool trouble) the
+    solver classifies the failure (:mod:`repro.resilience.taxonomy`) and
+    walks the ``ladder`` of recovery rungs in order, retrying the solve
+    under each rung's adjusted configuration until one succeeds or the
+    ladder is exhausted.  Every attempt — including the failed baseline —
+    is recorded in ``MPDEStats.recovery_trace``.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  ``False`` restores the pre-resilience behaviour:
+        plain Newton, then (if ``MPDEOptions.use_continuation``) one
+        source-stepping fallback, then raise.
+    ladder:
+        Ordered tuple of rung names to try, drawn from
+        :data:`RECOVERY_RUNGS`.  Rungs that do not apply to a failure kind
+        or solver configuration (e.g. ``"preconditioner_downgrade"`` in
+        direct mode) are skipped and recorded as such.
+    max_attempts:
+        Hard cap on recovery attempts (ladder rungs actually executed) per
+        solve, independent of ladder length.
+    damping_factor:
+        The ``"damping"`` rung multiplies the Newton damping by this factor
+        (and relaxes ``min_damping`` accordingly) before retrying.
+    damping_extra_iterations:
+        Extra Newton iterations granted by the ``"damping"`` rung, since a
+        heavily damped iteration makes less progress per step.
+    guess_modes:
+        Initial-guess modes the ``"guess_retry"`` rung cycles through
+        (skipping the one already in use).
+    """
+
+    enabled: bool = True
+    ladder: tuple[str, ...] = RECOVERY_RUNGS
+    max_attempts: int = 8
+    damping_factor: float = 0.25
+    damping_extra_iterations: int = 40
+    guess_modes: tuple[str, ...] = ("zero", "dc")
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.ladder, tuple):
+            object.__setattr__(self, "ladder", tuple(self.ladder))
+        for rung in self.ladder:
+            _require_in("ladder entry", rung, RECOVERY_RUNGS)
+        if len(set(self.ladder)) != len(self.ladder):
+            raise ConfigurationError(f"ladder has duplicate rungs: {self.ladder!r}")
+        _require_positive("max_attempts", self.max_attempts)
+        if not 0.0 < self.damping_factor < 1.0:
+            raise ConfigurationError(
+                f"damping_factor must be in (0, 1), got {self.damping_factor!r}"
+            )
+        _require_nonnegative("damping_extra_iterations", self.damping_extra_iterations)
+        if not isinstance(self.guess_modes, tuple):
+            object.__setattr__(self, "guess_modes", tuple(self.guess_modes))
+        for mode in self.guess_modes:
+            _require_in("guess_modes entry", mode, ("dc", "zero", "transient"))
+
+    def with_(self, **changes: Any) -> "RecoveryPolicy":
+        """Return a copy with ``changes`` applied."""
+        return replace(self, **changes)
 
 
 @dataclass(frozen=True)
@@ -393,6 +485,22 @@ class MPDEOptions:
         Worker count for ``parallel=True``.  ``None`` auto-sizes from the
         usable CPU count (and resolves to serial on one CPU); an explicit
         count >= 2 forces real worker pools wherever ``fork`` exists.
+    recovery:
+        The :class:`RecoveryPolicy` escalation ladder applied when a solve
+        fails.  The default policy retries through Newton refresh, extra
+        damping, preconditioner downgrade, source-stepping continuation and
+        an initial-guess change, recording every attempt in
+        ``MPDEStats.recovery_trace``.  ``RecoveryPolicy(enabled=False)``
+        restores the pre-resilience raise-on-first-failure behaviour
+        (modulo the legacy ``use_continuation`` fallback).
+    deadline_s:
+        Cooperative wall-clock budget (seconds) for one ``solve()`` call,
+        recovery attempts included.  Checked at Newton/GMRES iteration
+        boundaries and between recovery rungs — never mid-factorisation —
+        and enforced by raising
+        :class:`~repro.utils.exceptions.DeadlineExceededError` carrying the
+        partial :class:`~repro.core.solver.MPDEStats`.  ``None`` (default)
+        disables the deadline.
     """
 
     n_fast: int = 40
@@ -414,6 +522,8 @@ class MPDEOptions:
     initial_guess: str = "dc"
     parallel: bool = False
     n_workers: int | None = None
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    deadline_s: float | None = None
 
     _ALLOWED_FD = ("backward-euler", "bdf2", "central", "fourier")
     _ALLOWED_PRECONDITIONERS = PRECONDITIONER_KINDS
@@ -437,6 +547,12 @@ class MPDEOptions:
         _require_positive("gmres_restart", self.gmres_restart)
         if self.n_workers is not None:
             _require_positive("n_workers", self.n_workers)
+        if not isinstance(self.recovery, RecoveryPolicy):
+            raise ConfigurationError(
+                f"recovery must be a RecoveryPolicy, got {type(self.recovery).__name__}"
+            )
+        if self.deadline_s is not None:
+            _require_positive("deadline_s", self.deadline_s)
 
     def with_grid(self, n_fast: int, n_slow: int) -> "MPDEOptions":
         """Return a copy with a different multi-time grid resolution."""

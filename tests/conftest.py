@@ -8,6 +8,16 @@ with ``N`` worker processes — the whole tier-1 suite then runs on the
 parallel execution layer and must pass identically (sharding is bit-for-bit
 equal to serial by contract).  The CI workflow runs one such job; tests that
 pin their own ``EvaluationOptions`` are deliberately left untouched.
+
+Fault-injected tier-1 mode
+--------------------------
+Setting ``REPRO_FAULT_PROFILE`` to a comma-separated list of named fault
+profiles (see :func:`repro.resilience.build_profile_specs`) arms a *fresh*
+fault plan around every test — each profile is recoverable by design, so the
+suite must pass identically with it armed, proving the recovery machinery
+end-to-end.  The CI workflow runs one such job (``tier1-faults``).  Tests
+that manage their own fault plans or assert on exact solver effort opt out
+with ``@pytest.mark.no_fault_injection``.
 """
 
 from __future__ import annotations
@@ -53,6 +63,19 @@ def _tier1_parallel_workers():
         yield
     finally:
         Circuit.compile = original
+
+
+@pytest.fixture(autouse=True)
+def _fault_profile(request):
+    """Honour ``REPRO_FAULT_PROFILE`` (see the module docstring)."""
+    profile = os.environ.get("REPRO_FAULT_PROFILE", "").strip()
+    if not profile or request.node.get_closest_marker("no_fault_injection"):
+        yield
+        return
+    from repro.resilience import build_profile_specs, inject_faults
+
+    with inject_faults(*build_profile_specs(profile)):
+        yield
 
 
 @pytest.fixture

@@ -2,11 +2,19 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 import pytest
 
-from repro.linalg import continuation_solve
-from repro.utils import ContinuationOptions, ConvergenceError, NewtonOptions
+from repro.linalg import continuation_solve, continuation_sweep
+from repro.resilience import Deadline
+from repro.utils import (
+    ContinuationOptions,
+    ConvergenceError,
+    DeadlineExceededError,
+    NewtonOptions,
+)
 
 
 def _embedded_exponential(v, lam):
@@ -89,3 +97,91 @@ class TestContinuationSolve:
                     initial_step=1e-4, max_step=1e-4, max_steps=5
                 ),
             )
+
+    def test_step_halving_floor_raises_underflow(self):
+        """Every step beyond lambda_start fails: the step size must shrink
+        to the ``min_step`` floor and raise, not loop forever."""
+        with pytest.raises(ConvergenceError, match="underflow"):
+            continuation_solve(
+                # Root only at lam = 0 (x = 0); no real root for any lam > 0.
+                lambda v, lam: np.array([v[0] ** 2 + lam]),
+                lambda v, lam: np.array([[2.0 * v[0] + 1e-6]]),
+                np.array([0.0]),
+                NewtonOptions(max_iterations=15),
+                ContinuationOptions(min_step=1e-3),
+            )
+
+
+@dataclass
+class _Step:
+    """Minimal SweepStep implementation for driving the sweep directly."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int = 1
+    residual_norm: float = 0.0
+
+
+class TestContinuationSweep:
+    """Edge cases of the shared sweep driver itself."""
+
+    def test_non_monotone_embedding_recovers_mid_sweep(self):
+        """Difficulty spiking in the *middle* of the sweep (not at the end)
+        must shrink the step through the hard region and regrow after it."""
+        calls: list[float] = []
+
+        def solve_at(lam, x_guess):
+            calls.append(lam)
+            previous = x_guess[0]
+            # The hard band [0.4, 0.6] only admits tiny steps: any step
+            # landing in or crossing it fails unless it is small.  (x tracks
+            # lambda, so the warm start is the previous accepted lambda.)
+            touches_hard_band = previous < 0.6 and lam > 0.4
+            if touches_hard_band and lam - previous > 0.05:
+                return _Step(x=x_guess, converged=False)
+            return _Step(x=np.array([lam]), converged=True)
+
+        result = continuation_sweep(
+            solve_at,
+            np.array([0.0]),
+            ContinuationOptions(initial_step=0.25, min_step=1e-6),
+        )
+        assert result.lambdas[-1] == pytest.approx(1.0)
+        lams = np.asarray(result.lambdas)
+        assert np.all(np.diff(lams) > 0)  # lambda itself stays monotone
+        assert result.rejected_steps >= 1  # the hard band forced shrinks
+        steps = np.diff(lams)
+        hard = steps[(lams[1:] > 0.4) & (lams[1:] <= 0.6)]
+        easy_after = steps[lams[1:] > 0.7]
+        assert hard.size and easy_after.size
+        # Steps through the hard band are small; the sweep regrows afterwards.
+        assert hard.max() <= 0.05 + 1e-12
+        assert easy_after.max() > hard.max()
+
+    def test_failure_at_lambda_start_is_immediate(self):
+        attempts = []
+
+        def solve_at(lam, x_guess):
+            attempts.append(lam)
+            return _Step(x=x_guess, converged=False, residual_norm=1.0)
+
+        with pytest.raises(ConvergenceError, match="initial problem"):
+            continuation_sweep(solve_at, np.array([0.0]))
+        assert attempts == [0.0]  # no embedding steps were attempted
+
+    def test_deadline_checked_between_steps(self):
+        now = [0.0]
+
+        def solve_at(lam, x_guess):
+            now[0] += 1.0  # each embedded solve costs one fake second
+            return _Step(x=np.array([lam]), converged=True)
+
+        deadline = Deadline(1.5, clock=lambda: now[0])
+        with pytest.raises(DeadlineExceededError) as info:
+            continuation_sweep(
+                solve_at,
+                np.array([0.0]),
+                ContinuationOptions(initial_step=0.05, max_step=0.05),
+                deadline=deadline,
+            )
+        assert info.value.stage == "continuation"

@@ -43,10 +43,15 @@ from test_evaluation_engine import _all_device_circuit
 #: these tests exercises the uneven-remainder path.
 ODD_POINTS = 203
 
-pytestmark = pytest.mark.skipif(
-    not detect_capabilities().fork_available,
-    reason="process sharding requires the 'fork' start method",
-)
+pytestmark = [
+    pytest.mark.skipif(
+        not detect_capabilities().fork_available,
+        reason="process sharding requires the 'fork' start method",
+    ),
+    # These tests assert bit-for-bit sharded == serial equality and poison
+    # engines themselves; an ambient fault plan would break both.
+    pytest.mark.no_fault_injection,
+]
 
 
 def _random_states(mna, n_points: int, rng) -> np.ndarray:

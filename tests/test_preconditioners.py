@@ -503,6 +503,7 @@ class TestAdaptiveRefreshPolicy:
         )
         assert triggered_at > 0  # the fresh build itself must not be flagged
 
+    @pytest.mark.no_fault_injection  # asserts one history entry per solve
     def test_mpde_stats_reflect_policy_rebuilds(self, balanced_mixer):
         """End to end: the stale-ILU rebuilds show up in the solver stats."""
         mixer, mna = balanced_mixer

@@ -1,0 +1,676 @@
+"""Tests for the solver resilience subsystem.
+
+Every recovery-ladder rung, both watchdogs (per-solve deadlines and the
+worker-pool reply timeout) and the structured failure diagnostics are
+exercised here through the deterministic fault-injection registry
+(:mod:`repro.resilience.faultinject`) — no reliance on rare real failures.
+
+The ladder tests use a *count-walk*: each injected ``SingularMatrixError``
+aborts exactly one solve attempt, so ``count=N`` deterministically selects
+which rung recovers (count=1 fails only the baseline, count=2 also fails
+the first rung, and so on).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.analysis import dc_operating_point
+from repro.circuits import Circuit
+from repro.circuits.devices import Capacitor, Resistor, VoltageSource
+from repro.core import ShearedTimeScales, solve_mpde
+from repro.linalg.krylov import gmres_solve
+from repro.parallel import ShardedKernelPool, WorkerPoolError, detect_capabilities
+from repro.resilience import (
+    Deadline,
+    FaultInjected,
+    FaultSpec,
+    active_fault_plan,
+    build_profile_specs,
+    classify_failure,
+    fault_site,
+    gmres_stall,
+    inject_faults,
+    nan_evaluation,
+    singular_jacobian,
+    worker_crash,
+    worker_hang,
+)
+from repro.rf import balanced_lo_doubling_mixer
+from repro.signals import ModulatedCarrierStimulus, SinusoidStimulus, SumStimulus
+from repro.utils import (
+    ConfigurationError,
+    ConvergenceError,
+    DeadlineExceededError,
+    EvaluationOptions,
+    GMRESStagnationError,
+    MPDEOptions,
+    NewtonOptions,
+    RecoveryPolicy,
+    SingularMatrixError,
+)
+
+pytestmark = pytest.mark.no_fault_injection
+
+
+def _linear_rc():
+    """A linear two-tone RC filter: converges in 2-3 Newton iterations.
+
+    Because the circuit is linear, *any* retry converges, so the fault
+    count alone decides which ladder rung ends up recovering the solve.
+    """
+    scales = ShearedTimeScales.from_frequencies(1e6, 1e6 - 10e3)
+    ckt = Circuit("two-tone rc")
+    drive = SumStimulus(
+        (
+            SinusoidStimulus(1.0, 1e6),
+            ModulatedCarrierStimulus(0.5, scales.carrier_frequency),
+        )
+    )
+    ckt.add(VoltageSource("vin", "in", ckt.GROUND, drive))
+    ckt.add(Resistor("r1", "in", "out", 1e3))
+    ckt.add(Capacitor("c1", "out", ckt.GROUND, 50e-9))
+    return ckt.compile(), scales
+
+
+def _solve_rc(count=None, spec=None, **option_overrides):
+    mna, scales = _linear_rc()
+    options = MPDEOptions(n_fast=8, n_slow=8, **option_overrides)
+    if spec is None and count is not None:
+        spec = singular_jacobian(count=count)
+    if spec is not None:
+        with inject_faults(spec):
+            return solve_mpde(mna, scales, options)
+    return solve_mpde(mna, scales, options)
+
+
+def _trace(result):
+    return [(a.rung, a.outcome) for a in result.stats.recovery_trace]
+
+
+# ---------------------------------------------------------------------------
+# Deadline
+# ---------------------------------------------------------------------------
+
+
+class TestDeadline:
+    def test_infinite_deadline_is_a_noop(self):
+        deadline = Deadline(None)
+        assert deadline.remaining() == float("inf")
+        assert not deadline.expired()
+        deadline.check("newton")  # must not raise
+
+    def test_expiry_with_injected_clock(self):
+        now = [100.0]
+        deadline = Deadline(5.0, clock=lambda: now[0])
+        assert deadline.remaining() == pytest.approx(5.0)
+        assert not deadline.expired()
+        now[0] += 4.0
+        deadline.check("newton")
+        now[0] += 2.0
+        assert deadline.expired()
+        assert deadline.remaining() == pytest.approx(-1.0)
+        with pytest.raises(DeadlineExceededError) as info:
+            deadline.check("gmres", partial_stats={"newton_iterations": 3})
+        exc = info.value
+        assert exc.stage == "gmres"
+        assert exc.deadline_s == pytest.approx(5.0)
+        assert exc.elapsed_s == pytest.approx(6.0)
+        assert exc.partial_stats == {"newton_iterations": 3}
+        assert "gmres" in str(exc)
+
+
+# ---------------------------------------------------------------------------
+# Failure taxonomy
+# ---------------------------------------------------------------------------
+
+
+class TestClassifyFailure:
+    def test_known_exception_kinds(self):
+        assert classify_failure(ConvergenceError("x")) == "divergence"
+        assert classify_failure(SingularMatrixError("x")) == "singular"
+        assert classify_failure(GMRESStagnationError("x")) == "gmres_stagnation"
+        assert classify_failure(DeadlineExceededError("x")) == "deadline"
+        assert classify_failure(WorkerPoolError("x")) == "worker_pool"
+        assert classify_failure(OverflowError("x")) == "non_finite"
+        assert classify_failure(FaultInjected("x")) == "unknown"
+        assert classify_failure(RuntimeError("x")) == "unknown"
+
+    def test_stagnation_stays_catchable_as_singular(self):
+        """Existing ``except SingularMatrixError`` handlers must keep working."""
+        assert issubclass(GMRESStagnationError, SingularMatrixError)
+        # ...but classification is by the most specific type first.
+        assert classify_failure(GMRESStagnationError("x")) == "gmres_stagnation"
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection registry
+# ---------------------------------------------------------------------------
+
+
+class TestFaultInjection:
+    def test_no_plan_is_a_noop(self):
+        assert active_fault_plan() is None
+        fault_site("solver.linear_solve", iteration=0)  # must not raise
+
+    def test_count_caps_firings(self):
+        fired = []
+        spec = FaultSpec(site="s", action=lambda ctx: fired.append(ctx), count=2)
+        with inject_faults(spec):
+            for i in range(5):
+                fault_site("s", i=i)
+        assert [ctx["i"] for ctx in fired] == [0, 1]
+        assert spec.calls == 5 and spec.fired == 2
+
+    def test_at_call_delays_the_first_firing(self):
+        fired = []
+        spec = FaultSpec(
+            site="s", action=lambda ctx: fired.append(ctx["i"]), at_call=3, count=None
+        )
+        with inject_faults(spec):
+            for i in range(5):
+                fault_site("s", i=i)
+        assert fired == [2, 3, 4]
+
+    def test_predicate_rejections_do_not_advance_calls(self):
+        spec = FaultSpec(
+            site="s",
+            action=lambda ctx: None,
+            at_call=2,
+            predicate=lambda ctx: ctx["i"] % 2 == 0,
+        )
+        with inject_faults(spec):
+            for i in range(4):  # matching visits: i=0, i=2
+                fault_site("s", i=i)
+        assert spec.calls == 2 and spec.fired == 1
+
+    def test_plans_replace_and_restore(self):
+        outer = FaultSpec(site="s", action=lambda ctx: None, count=None)
+        inner = FaultSpec(site="s", action=lambda ctx: None, count=None)
+        with inject_faults(outer) as outer_plan:
+            fault_site("s")
+            with inject_faults(inner) as inner_plan:
+                assert active_fault_plan() is inner_plan
+                fault_site("s")
+            assert active_fault_plan() is outer_plan
+            fault_site("s")
+        assert active_fault_plan() is None
+        assert outer.fired == 2 and inner.fired == 1
+
+    def test_build_profile_specs_known_profiles(self):
+        specs = build_profile_specs("worker_crash, gmres_stall,singular_jacobian")
+        assert [s.site for s in specs] == [
+            "worker.eval",
+            "solver.gmres",
+            "solver.linear_solve",
+        ]
+        # Fresh objects with zeroed counters on every call.
+        again = build_profile_specs("worker_crash")
+        assert again[0] is not specs[0]
+        assert again[0].calls == 0 and again[0].fired == 0
+
+    def test_build_profile_specs_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            build_profile_specs("worker_crash,typo_profile")
+        assert build_profile_specs("") == ()
+
+
+# ---------------------------------------------------------------------------
+# GMRES stagnation detector
+# ---------------------------------------------------------------------------
+
+_IDENTITY_40 = spla.LinearOperator((40, 40), matvec=lambda v: v, dtype=float)
+
+
+class TestGMRESStagnation:
+    """Stuck (no progress over a restart cycle) vs merely slow solves."""
+
+    def _permutation_system(self):
+        # GMRES on a cyclic permutation matrix with rhs = e1 makes *zero*
+        # residual progress until the full Krylov space is built: the
+        # canonical stuck solve.
+        n = 40
+        matrix = sp.eye(n, format="csr")[list(range(1, n)) + [0], :]
+        rhs = np.zeros(n)
+        rhs[0] = 1.0
+        return matrix, rhs
+
+    def test_stuck_solve_is_flagged_stagnated(self):
+        matrix, rhs = self._permutation_system()
+        _, report = gmres_solve(
+            matrix, rhs, preconditioner=_IDENTITY_40, restart=10, maxiter=3,
+            raise_on_failure=False,
+        )
+        assert not report.converged
+        assert report.stagnated
+
+    def test_stuck_solve_raises_stagnation_error(self):
+        matrix, rhs = self._permutation_system()
+        with pytest.raises(GMRESStagnationError, match="stagnated"):
+            gmres_solve(matrix, rhs, preconditioner=_IDENTITY_40, restart=10, maxiter=3)
+
+    def test_slow_but_progressing_solve_is_not_stagnated(self):
+        # A spread-spectrum diagonal under an impossible tolerance: the
+        # solve fails by budget but the residual keeps shrinking.
+        matrix = sp.diags(np.logspace(0, 6, 40)).tocsr()
+        rhs = np.ones(40)
+        _, report = gmres_solve(
+            matrix, rhs, preconditioner=_IDENTITY_40, restart=10, maxiter=3,
+            tol=1e-30, raise_on_failure=False,
+        )
+        assert not report.converged
+        assert not report.stagnated
+
+    def test_short_solve_never_counts_as_stagnated(self):
+        # A flat residual over no more than one restart cycle is "slow",
+        # not "stuck": the detector needs a full cycle of history *beyond*
+        # the comparison point before it may flag stagnation.
+        n = 100
+        matrix = sp.eye(n, format="csr")[list(range(1, n)) + [0], :]
+        rhs = np.zeros(n)
+        rhs[0] = 1.0
+        identity = spla.LinearOperator((n, n), matvec=lambda v: v, dtype=float)
+        _, report = gmres_solve(
+            matrix, rhs, preconditioner=identity, restart=80, maxiter=1,
+            raise_on_failure=False,
+        )
+        assert not report.converged
+        assert report.iterations == 80  # exactly one cycle of flat residual
+        assert not report.stagnated
+
+    def test_deadline_aborts_gmres_at_iteration_boundary(self):
+        matrix = sp.diags(np.logspace(0, 6, 40)).tocsr()
+        with pytest.raises(DeadlineExceededError) as info:
+            gmres_solve(
+                matrix,
+                np.ones(40),
+                preconditioner=_IDENTITY_40,
+                deadline=Deadline(1e-12),
+            )
+        assert info.value.stage == "gmres"
+
+
+# ---------------------------------------------------------------------------
+# Recovery escalation ladder (MPDE solver)
+# ---------------------------------------------------------------------------
+
+
+class TestRecoveryLadder:
+    def test_clean_solve_records_no_trace(self):
+        result = _solve_rc()
+        assert result.stats.converged
+        assert result.stats.recovery_trace == []
+        assert result.stats.recovered_by == ""
+
+    def test_count1_recovers_via_newton_refresh(self):
+        reference = _solve_rc()
+        result = _solve_rc(count=1)
+        assert result.stats.converged
+        assert result.stats.recovered_by == "newton_refresh"
+        assert _trace(result) == [("baseline", "failed"), ("newton_refresh", "recovered")]
+        assert result.stats.recovery_trace[-1].trigger == "singular"
+        np.testing.assert_allclose(
+            result.bivariate("out").values, reference.bivariate("out").values, atol=1e-9
+        )
+
+    def test_count2_escalates_to_damping(self):
+        result = _solve_rc(count=2)
+        assert result.stats.recovered_by == "damping"
+        assert _trace(result) == [
+            ("baseline", "failed"),
+            ("newton_refresh", "failed"),
+            ("damping", "recovered"),
+        ]
+        assert "damping" in result.stats.recovery_trace[-1].detail
+
+    def test_count3_escalates_to_continuation(self):
+        result = _solve_rc(count=3)
+        assert result.stats.recovered_by == "continuation"
+        assert result.stats.used_continuation
+        assert result.stats.continuation_steps >= 1
+        # The direct solver has no preconditioner to downgrade: that rung
+        # must be recorded as skipped, not silently dropped.
+        assert ("preconditioner_downgrade", "skipped") in _trace(result)
+
+    def test_count4_escalates_to_guess_retry(self):
+        result = _solve_rc(count=4)
+        assert result.stats.recovered_by == "guess_retry"
+        assert _trace(result)[-1] == ("guess_retry", "recovered")
+        assert "zero" in result.stats.recovery_trace[-1].detail
+
+    def test_exhausted_ladder_raises_with_diagnostics(self):
+        with pytest.raises(SingularMatrixError, match="injected") as info:
+            _solve_rc(count=5)
+        diagnostics = getattr(info.value, "diagnostics", None)
+        assert diagnostics is not None
+        assert diagnostics.failure_kind == "singular"
+        assert diagnostics.dominant_unknowns  # localised to named unknowns
+
+    def test_max_attempts_caps_the_ladder(self):
+        # count=2 needs two executed rungs to recover; a budget of one
+        # attempt must therefore fail even though the ladder could succeed.
+        with pytest.raises(SingularMatrixError) as info:
+            _solve_rc(count=2, recovery=RecoveryPolicy(max_attempts=1))
+        assert "injected" in str(info.value)
+
+    def test_disabled_recovery_restores_legacy_behaviour(self):
+        with pytest.raises(SingularMatrixError, match="injected"):
+            _solve_rc(count=1, recovery=RecoveryPolicy(enabled=False))
+
+    def test_restricted_ladder_goes_straight_to_continuation(self):
+        result = _solve_rc(count=1, recovery=RecoveryPolicy(ladder=("continuation",)))
+        assert result.stats.recovered_by == "continuation"
+        assert _trace(result) == [("baseline", "failed"), ("continuation", "recovered")]
+
+    def test_inapplicable_rung_is_recorded_as_skipped(self):
+        with pytest.raises(SingularMatrixError):
+            _solve_rc(
+                count=1,
+                use_continuation=False,
+                recovery=RecoveryPolicy(ladder=("continuation",)),
+            )
+
+    def test_divergence_skips_refresh_and_uses_damping_budget(self):
+        # A divergence failure (not singular) must skip newton_refresh: a
+        # cache refresh cannot help a solve that ran out of budget.
+        diverge = FaultSpec(
+            site="solver.linear_solve",
+            action=lambda ctx: (_ for _ in ()).throw(
+                ConvergenceError("injected divergence")
+            ),
+            count=1,
+        )
+        result = _solve_rc(
+            spec=diverge,
+            recovery=RecoveryPolicy(ladder=("newton_refresh", "damping")),
+        )
+        assert result.stats.recovered_by == "damping"
+        assert _trace(result) == [
+            ("baseline", "failed"),
+            ("newton_refresh", "skipped"),
+            ("damping", "recovered"),
+        ]
+        assert result.stats.recovery_trace[-1].trigger == "divergence"
+
+
+class TestRecoveryLadderGMRES:
+    def test_injected_stall_recovers_via_refresh(self):
+        result = _solve_rc(
+            spec=gmres_stall(site="solver.gmres", count=1),
+            linear_solver="gmres",
+        )
+        assert result.stats.converged
+        assert result.stats.recovered_by == "newton_refresh"
+        trace = result.stats.recovery_trace
+        assert trace[0].rung == "baseline"
+        assert trace[-1].trigger == "gmres_stagnation"
+
+    def test_broken_preconditioner_downgrades_one_step(self):
+        broken = FaultSpec(
+            site="preconditioner.build",
+            action=lambda ctx: (_ for _ in ()).throw(
+                SingularMatrixError("injected preconditioner build failure")
+            ),
+            predicate=lambda ctx: ctx.get("kind") == "block_circulant_fast",
+            count=None,  # this mode is broken for the whole solve
+        )
+        result = _solve_rc(
+            spec=broken,
+            matrix_free=True,
+            preconditioner="block_circulant_fast",
+            recovery=RecoveryPolicy(ladder=("preconditioner_downgrade",)),
+        )
+        assert result.stats.recovered_by == "preconditioner_downgrade"
+        assert result.stats.preconditioner_kind == "block_circulant"
+        detail = result.stats.recovery_trace[-1].detail
+        assert "block_circulant_fast -> block_circulant" in detail
+
+
+class TestBalancedMixerAcceptance:
+    """The ISSUE acceptance scenario: the paper's balanced mixer recovers
+    from a Jacobian going singular at the third Newton iterate."""
+
+    def test_singular_jacobian_at_iterate_2_recovers(self):
+        mix = balanced_lo_doubling_mixer()
+        options = MPDEOptions(n_fast=32, n_slow=24)
+        with inject_faults(singular_jacobian(at_iteration=2, count=1)):
+            result = solve_mpde(mix.compile(), mix.scales, options)
+        stats = result.stats
+        assert stats.converged
+        assert stats.recovered_by != ""
+        recovered = [a for a in stats.recovery_trace if a.outcome == "recovered"]
+        assert len(recovered) == 1
+        assert recovered[0].rung == stats.recovered_by
+        assert stats.recovery_trace[0].rung == "baseline"
+        assert stats.recovery_trace[0].outcome == "failed"
+        # The recovered solution is physical: outputs inside the rails.
+        outp = result.bivariate("outp")
+        assert 0.0 < outp.values.min() and outp.values.max() < 3.0
+
+
+# ---------------------------------------------------------------------------
+# Per-solve deadlines (integration)
+# ---------------------------------------------------------------------------
+
+
+class TestSolveDeadlines:
+    def test_mpde_deadline_carries_partial_stats(self):
+        mna, scales = _linear_rc()
+        with pytest.raises(DeadlineExceededError) as info:
+            solve_mpde(mna, scales, MPDEOptions(n_fast=8, n_slow=8, deadline_s=1e-9))
+        exc = info.value
+        assert exc.partial_stats is not None
+        assert exc.partial_stats.n_grid_points == 64
+        assert not exc.partial_stats.converged
+        assert exc.stage  # names the loop that observed the expiry
+
+    def test_deadline_option_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            MPDEOptions(deadline_s=0.0)
+        with pytest.raises(ConfigurationError):
+            MPDEOptions(deadline_s=-1.0)
+
+    def test_dc_deadline_checked_between_strategies(self, nmos_amplifier):
+        mna = nmos_amplifier.compile()
+        # Force plain Newton to fail so the analysis reaches the first
+        # between-strategy deadline checkpoint.
+        with inject_faults(singular_jacobian(site="newton.linear_solve", count=1)):
+            with pytest.raises(DeadlineExceededError) as info:
+                dc_operating_point(mna, deadline_s=1e-9)
+        assert "gmin" in info.value.stage
+
+
+# ---------------------------------------------------------------------------
+# DC analysis resilience (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestDCRecovery:
+    def test_gmin_stepping_recovers_from_singular_jacobian(self, nmos_amplifier):
+        mna = nmos_amplifier.compile()
+        reference = dc_operating_point(mna)
+        with inject_faults(singular_jacobian(site="newton.linear_solve", count=1)):
+            solution = dc_operating_point(mna)
+        assert solution.strategy in ("gmin-stepping", "source-stepping")
+        np.testing.assert_allclose(solution.x, reference.x, atol=1e-4)
+
+    def test_terminal_dc_failure_carries_diagnostics(self, nmos_amplifier):
+        mna = nmos_amplifier.compile()
+        with inject_faults(
+            singular_jacobian(site="newton.linear_solve", count=None)
+        ):
+            with pytest.raises(ConvergenceError, match="all diverged") as info:
+                dc_operating_point(mna)
+        diagnostics = getattr(info.value, "diagnostics", None)
+        assert diagnostics is not None
+        assert diagnostics.failure_kind == "divergence"
+        assert diagnostics.dominant_unknowns
+        assert "kind=divergence" in diagnostics.summary()
+
+
+# ---------------------------------------------------------------------------
+# Structured diagnostics
+# ---------------------------------------------------------------------------
+
+
+class TestFailureDiagnostics:
+    def test_nan_poisoning_is_localised_to_named_unknowns(self):
+        # Empty ladder: the poisoned baseline failure is terminal, and the
+        # post-mortem re-evaluation sees the same NaN.
+        with pytest.raises(SingularMatrixError) as info:
+            _solve_rc(
+                spec=nan_evaluation(count=None),
+                initial_guess="zero",  # keep the DC guess solve out of the blast radius
+                recovery=RecoveryPolicy(ladder=()),
+                use_continuation=False,
+            )
+        diagnostics = getattr(info.value, "diagnostics", None)
+        assert diagnostics is not None
+        assert diagnostics.non_finite_unknowns
+        names = [name for name, _hits in diagnostics.non_finite_unknowns]
+        mna, _scales = _linear_rc()
+        assert set(names) <= set(mna.unknown_names)
+        assert diagnostics.suspect_devices  # mapped back to device instances
+        assert "non-finite at" in diagnostics.summary()
+        assert diagnostics.grid_shape == (64, 3)
+
+    def test_residual_row_owners_names_stamping_devices(self):
+        mna, _scales = _linear_rc()
+        owners = mna.residual_row_owners()
+        assert len(owners) == mna.n_unknowns
+        out_row = mna.unknown_names.index("v(out)")
+        assert {"r1", "c1"} <= set(owners[out_row])
+
+
+# ---------------------------------------------------------------------------
+# Worker-pool watchdogs (satellite)
+# ---------------------------------------------------------------------------
+
+_fork_only = pytest.mark.skipif(
+    not detect_capabilities().fork_available,
+    reason="process sharding requires the 'fork' start method",
+)
+
+
+@_fork_only
+class TestWorkerWatchdogs:
+    def _pool(self, mna, **kwargs):
+        return ShardedKernelPool(
+            mna.engine,
+            n_unknowns=mna.n_unknowns,
+            nnz_dynamic=mna.dynamic_pattern.nnz,
+            nnz_static=mna.static_pattern.nnz,
+            n_workers=2,
+            **kwargs,
+        )
+
+    def test_hung_worker_times_out_and_pool_tears_down(self, rng):
+        mna, _scales = _linear_rc()
+        X = rng.normal(size=(20, mna.n_unknowns))
+        start = time.monotonic()
+        # The plan must be armed before the pool forks: children inherit
+        # the module-global registry at fork time.
+        with inject_faults(worker_hang(hang_s=60.0, count=None)):
+            pool = self._pool(mna, reply_timeout_s=0.5)
+            processes = [process for process, _conn in pool._workers]
+            with pytest.raises(WorkerPoolError, match="timed out"):
+                pool.evaluate(X)
+        assert time.monotonic() - start < 30.0  # watchdog, not the 60 s hang
+        # Tear-down escalation must reap every child and release the
+        # shared-memory buffers: no zombies, no shm leaks.
+        assert not pool.alive
+        assert pool._workers == []
+        assert pool._buffers == {}
+        for process in processes:
+            try:
+                assert not process.is_alive()
+            except ValueError:
+                pass  # process object already closed: reaped, by definition
+
+    def test_crashed_worker_surfaces_as_pool_error(self, rng):
+        mna, _scales = _linear_rc()
+        with inject_faults(worker_crash(count=1)):
+            pool = self._pool(mna)
+            try:
+                with pytest.raises(WorkerPoolError):
+                    pool.evaluate(rng.normal(size=(20, mna.n_unknowns)))
+            finally:
+                pool.close()
+        assert pool._workers == [] and pool._buffers == {}
+
+    def test_worker_crash_falls_back_to_correct_serial_result(self, rng):
+        serial = _linear_rc()[0]
+        sharded = serial.circuit.compile(
+            EvaluationOptions(kernel_backend="sharded", n_workers=2)
+        )
+        try:
+            X = rng.normal(size=(20, serial.n_unknowns))
+            reference = serial.evaluate_sparse(X)
+            with inject_faults(worker_crash(count=1)):
+                result = sharded.evaluate_sparse(X)  # must not raise
+            np.testing.assert_array_equal(result.f, reference.f)
+            np.testing.assert_array_equal(result.q, reference.q)
+            assert sharded.parallel_fallback_reason != ""
+            # The degradation is sticky and stays correct.
+            again = sharded.evaluate_sparse(X)
+            np.testing.assert_array_equal(again.f, reference.f)
+        finally:
+            sharded.close()
+
+    def test_hung_worker_resolves_to_serial_result_within_timeout(self, rng):
+        serial = _linear_rc()[0]
+        sharded = serial.circuit.compile(
+            EvaluationOptions(
+                kernel_backend="sharded", n_workers=2, worker_timeout_s=0.5
+            )
+        )
+        try:
+            X = rng.normal(size=(20, serial.n_unknowns))
+            reference = serial.evaluate_sparse(X)
+            start = time.monotonic()
+            with inject_faults(worker_hang(hang_s=60.0, count=None)):
+                result = sharded.evaluate_sparse(X)  # watchdog + serial retry
+            assert time.monotonic() - start < 30.0
+            np.testing.assert_array_equal(result.f, reference.f)
+            np.testing.assert_array_equal(result.q, reference.q)
+            assert "timed out" in sharded.parallel_fallback_reason
+        finally:
+            sharded.close()
+
+
+# ---------------------------------------------------------------------------
+# Policy plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestRecoveryPolicyOptions:
+    def test_ladder_entries_are_validated(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(ladder=("not_a_rung",))
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(ladder=("damping", "damping"))
+
+    def test_numeric_knobs_are_validated(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(damping_factor=1.0)
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(guess_modes=("warp",))
+
+    def test_with_returns_modified_copy(self):
+        policy = RecoveryPolicy()
+        tightened = policy.with_(max_attempts=2, ladder=("damping",))
+        assert tightened.max_attempts == 2
+        assert tightened.ladder == ("damping",)
+        assert policy.max_attempts == 8  # original untouched
+
+    def test_mpde_options_reject_non_policy(self):
+        with pytest.raises(ConfigurationError):
+            MPDEOptions(recovery="always")
