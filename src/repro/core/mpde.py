@@ -341,6 +341,7 @@ class MPDEProblem:
         matrix: sp.spmatrix | None = None,
         eager: bool = False,
         factor_pool=None,
+        factor_service=None,
     ) -> Preconditioner:
         """Build a preconditioner of the requested ``kind`` for this problem.
 
@@ -355,8 +356,11 @@ class MPDEProblem:
         ``block_circulant_fast`` mode from the slow-axis means of the
         per-point data plus the fast-axis differentiation matrix itself.
         ``eager`` / ``factor_pool`` select that mode's eager (optionally
-        concurrent) batch factorisation of the per-slow-harmonic LUs; other
-        kinds ignore them.
+        concurrent) batch factorisation of the per-slow-harmonic LUs, and
+        ``factor_service`` hands it a worker-resident
+        :class:`~repro.parallel.factor_service.ResidentFactorPool` that
+        factors *and applies* the harmonics in forked workers
+        (``factor_backend="resident"``); other kinds ignore them.
         """
         if kind not in PRECONDITIONER_KINDS:
             raise MPDEError(
@@ -392,6 +396,7 @@ class MPDEProblem:
             grid_shape=(self.grid.n_fast, self.grid.n_slow),
             eager=eager,
             factor_pool=factor_pool,
+            factor_service=factor_service,
         )
 
     # -- continuation embedding -----------------------------------------------------

@@ -107,6 +107,7 @@ def two_tone_harmonic_balance(
     preconditioner: str | None = None,
     parallel: bool | None = None,
     n_workers: int | None = None,
+    factor_backend: str | None = None,
     deadline_s: float | None = None,
     recovery: RecoveryPolicy | None = None,
 ) -> TwoToneHBResult:
@@ -134,13 +135,16 @@ def two_tone_harmonic_balance(
         ``"block_circulant_fast"`` (slow-axis partially-averaged) for
         strongly LO-switched circuits, where it cuts total GMRES iterations
         by a further >= 1.5x.
-    parallel, n_workers:
+    parallel, n_workers, factor_backend:
         Optional overrides of the parallel execution layer knobs (see
         :class:`MPDEOptions` and ``docs/parallel.md``): sharded device
         evaluation over the collocation grid plus eager concurrent
-        per-harmonic LU factorisation for ``"block_circulant_fast"``.  The
-        resulting ``result.stats.parallel_fallback_reason`` records any
-        degradation to the serial paths.
+        per-harmonic LU factorisation for ``"block_circulant_fast"`` —
+        or, with ``factor_backend="resident"``, worker-resident factors
+        whose batched back-substitutions parallelise the preconditioner
+        applies themselves.  The resulting
+        ``result.stats.parallel_fallback_reason`` records any degradation
+        to the serial paths.
     deadline_s, recovery:
         Optional overrides of the resilience knobs (see ``docs/resilience.md``):
         a cooperative wall-clock budget for the underlying MPDE solve and the
@@ -165,6 +169,8 @@ def two_tone_harmonic_balance(
         overrides["parallel"] = bool(parallel)
     if n_workers is not None:
         overrides["n_workers"] = int(n_workers)
+    if factor_backend is not None:
+        overrides["factor_backend"] = factor_backend
     if deadline_s is not None:
         overrides["deadline_s"] = float(deadline_s)
     if recovery is not None:

@@ -37,6 +37,7 @@ from ..linalg.preconditioners import (
     downgrade_preconditioner_kind,
 )
 from ..parallel.backends import resolve_execution
+from ..parallel.factor_service import ResidentFactorPool
 from ..parallel.pool import WorkerPool
 from ..resilience.deadline import Deadline
 from ..resilience.diagnostics import attach_diagnostics, build_failure_diagnostics
@@ -128,6 +129,17 @@ class MPDEStats:
     #: Time inside the GMRES solves (matvecs, preconditioner applies,
     #: orthogonalisation; GMRES modes only).
     gmres_time_s: float = 0.0
+    #: Apply-dispatch overhead of the worker-resident factor service
+    #: (``factor_backend="resident"``): packing spectra into shared memory,
+    #: pipe commands, and gathering replies.  A *subdivision* of
+    #: ``gmres_time_s``, not an additional top-level bucket; 0.0 for
+    #: in-process applies.
+    gmres_apply_dispatch_time_s: float = 0.0
+    #: Per-harmonic back-substitution time inside the preconditioner
+    #: applies — summed solver-call durations in-process, or the critical
+    #: path (slowest worker shard) per apply on the resident service.  Also
+    #: a subdivision of ``gmres_time_s``.
+    gmres_backsub_time_s: float = 0.0
     #: Why a requested parallel execution fell back to the serial path
     #: ("" when parallel was not requested or ran as requested): the
     #: environment constraint, ``n_workers=1``, or a worker failure.
@@ -359,9 +371,25 @@ class MPDESolver:
             if self.options.parallel
             else None
         )
+        sharded = (
+            self._parallel_resolution is not None and self._parallel_resolution.sharded
+        )
+        # factor_backend picks how the per-harmonic LU work is fanned out:
+        # "threads" batch-factors eagerly on an in-process pool (applies
+        # stay serial); "resident" forks workers that own harmonic slices
+        # and serve the applies too (see parallel/factor_service.py).
+        use_resident = sharded and self.options.factor_backend == "resident"
+        self._factor_service = (
+            ResidentFactorPool(
+                self._parallel_resolution.n_workers,
+                reply_timeout_s=self.options.worker_timeout_s,
+            )
+            if use_resident
+            else None
+        )
         self._factor_pool = (
             WorkerPool(self._parallel_resolution.n_workers)
-            if self._parallel_resolution is not None and self._parallel_resolution.sharded
+            if sharded and not use_resident
             else None
         )
         self._krylov = CachedPreconditionedGMRES(
@@ -389,6 +417,19 @@ class MPDESolver:
         self._deadline = Deadline(None)
         self._preconditioner_override: str | None = None
         self._last_iterate: np.ndarray | None = None
+
+    def close(self) -> None:
+        """Release the solver's parallel resources (idempotent).
+
+        Stops the worker-resident factor service's processes and unlinks
+        their shared-memory blocks.  A solver is safe to keep using after
+        ``close()`` — a healthy service re-forks on the next build — but
+        callers that are done with the instance should close it rather than
+        rely on garbage collection (the solver participates in a reference
+        cycle with its Krylov manager, so finalizers may run late).
+        """
+        if self._factor_service is not None:
+            self._factor_service.close()
 
     @property
     def _matrix_free(self) -> bool:
@@ -453,6 +494,7 @@ class MPDESolver:
             matrix=matrix,
             eager=self._factor_pool is not None,
             factor_pool=self._factor_pool,
+            factor_service=self._factor_service,
         )
 
     def _chord_refactor(self, x: np.ndarray, stats: MPDEStats) -> None:
@@ -523,6 +565,8 @@ class MPDESolver:
         harmonic_before = self._krylov.harmonic_builds
         build_time_before = self._krylov.build_time_s
         solve_time_before = self._krylov.solve_time_s
+        dispatch_before = self._krylov.apply_dispatch_time_s
+        backsub_before = self._krylov.apply_backsub_time_s
         dx, reports = self._krylov.solve(
             jacobian,
             rhs,
@@ -538,6 +582,10 @@ class MPDESolver:
         )
         stats.preconditioner_build_time_s += self._krylov.build_time_s - build_time_before
         stats.gmres_time_s += self._krylov.solve_time_s - solve_time_before
+        stats.gmres_apply_dispatch_time_s += (
+            self._krylov.apply_dispatch_time_s - dispatch_before
+        )
+        stats.gmres_backsub_time_s += self._krylov.apply_backsub_time_s - backsub_before
         stats.preconditioner_kind = self._active_preconditioner
         # Every build is used by the solve that follows it, so the per-report
         # degraded flags below cover all builds.
@@ -792,6 +840,11 @@ class MPDESolver:
             raise
         finally:
             stats.wall_time_seconds = time.perf_counter() - start
+            if (
+                self._factor_service is not None
+                and self._factor_service.fallback_reason
+            ):
+                stats.parallel_fallback_reason = self._factor_service.fallback_reason
             if self.options.parallel and self.problem.mna.parallel_fallback_reason:
                 stats.parallel_fallback_reason = self.problem.mna.parallel_fallback_reason
 
@@ -1120,4 +1173,11 @@ def solve_mpde(
     """
     problem = MPDEProblem(mna, scales, options)
     solver = MPDESolver(problem, options)
-    return solver.solve(x0=x0)
+    try:
+        return solver.solve(x0=x0)
+    finally:
+        # The one-call driver abandons the solver on return, so release its
+        # worker-resident factor service deterministically instead of
+        # waiting for the garbage collector to break the solver/krylov
+        # reference cycle.
+        solver.close()

@@ -76,6 +76,7 @@ threshold relative to the first solve after the last build.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
@@ -101,6 +102,7 @@ __all__ = [
     "averaged_matrix",
     "build_averaged_preconditioner",
     "circulant_eigenvalues",
+    "factor_harmonic_system",
     "slow_averaged_data",
 ]
 
@@ -320,6 +322,48 @@ def averaged_matrix(assemble, c_data: np.ndarray, g_data: np.ndarray) -> sp.spma
     return assemble(c_mean, g_mean)
 
 
+def factor_harmonic_system(
+    base: sp.spmatrix, c_blk: sp.spmatrix, lam: complex, *, harmonic: int = 0
+) -> tuple[Callable[[np.ndarray], np.ndarray], bool]:
+    """Factor one per-slow-harmonic system ``B_k = base + lam * c_blk``.
+
+    Returns ``(solve, degraded)``: a callable back-substituting 1-D or 2-D
+    (multi-column) right-hand sides, and whether the factorisation degraded
+    to a dense pseudo-inverse (singular harmonic system).  This is the *one*
+    definition of the factorisation recipe — the in-process
+    :class:`BlockCirculantFastPreconditioner` path and the worker-resident
+    factor service (:mod:`repro.parallel.factor_service`) both call it, so
+    their factors (and therefore their applies) cannot drift apart: given
+    bitwise-identical ``base`` / ``c_blk`` / ``lam`` inputs the SuperLU
+    factorisation and its back-substitutions are deterministic, which is
+    what makes resident applies bitwise equal to in-process ones.
+    """
+    matrix = (base + lam * c_blk).tocsc()
+    try:
+        return spla.splu(matrix).solve, False
+    except RuntimeError:
+        _LOG.warning(
+            "block-circulant-fast preconditioner: slow harmonic %d is "
+            "singular; using a dense pseudo-inverse (degraded "
+            "preconditioning)",
+            harmonic,
+        )
+        pinv = np.linalg.pinv(matrix.toarray())
+
+        def solve_degraded(rhs: np.ndarray, _pinv=pinv) -> np.ndarray:
+            # Column-wise on 2-D RHS so a batched apply stays bitwise
+            # equal to per-column applies (dense GEMM picks different
+            # kernels than GEMV; SuperLU back-substitution does not).
+            if rhs.ndim == 1:
+                return _pinv @ rhs
+            out = np.empty((_pinv.shape[0], rhs.shape[1]), dtype=complex)
+            for column in range(rhs.shape[1]):
+                out[:, column] = _pinv @ rhs[:, column]
+            return out
+
+        return solve_degraded, True
+
+
 def build_averaged_preconditioner(
     kind: str,
     *,
@@ -335,6 +379,7 @@ def build_averaged_preconditioner(
     grid_shape: tuple[int, int] | None = None,
     eager: bool = False,
     factor_pool=None,
+    factor_service=None,
 ) -> Preconditioner:
     """Kind dispatch over the grid-averaged-operator preconditioner family.
 
@@ -358,8 +403,11 @@ def build_averaged_preconditioner(
 
     ``eager`` / ``factor_pool`` select the partially-averaged mode's eager
     batch factorisation (optionally fanned out over a
-    :class:`~repro.parallel.pool.WorkerPool`); both are ignored by every
-    other kind.
+    :class:`~repro.parallel.pool.WorkerPool`); ``factor_service`` hands that
+    mode a worker-resident factor service
+    (:class:`~repro.parallel.factor_service.ResidentFactorPool`) that
+    factors and applies the per-harmonic systems in forked workers instead.
+    All three are ignored by every other kind.
     """
     if kind == "none":
         return IdentityPreconditioner(size)
@@ -389,6 +437,7 @@ def build_averaged_preconditioner(
             eigenvalues_slow,
             eager=eager,
             factor_pool=factor_pool,
+            factor_service=factor_service,
         )
     if kind in ("block_circulant", "jacobi"):
         if eigenvalues_fast is None:
@@ -607,14 +656,31 @@ class BlockCirculantFastPreconditioner(_PreconditionerBase):
         concurrently; a *thread* pool is the right vehicle because SuperLU
         factor objects are process-local (they cannot be pickled back from
         a process pool).  Ignored in lazy mode.
+    factor_service:
+        Optional worker-resident factor service
+        (:class:`~repro.parallel.factor_service.ResidentFactorPool`).  When
+        given (and healthy) the per-harmonic systems are factored *inside
+        forked worker processes* from shared-memory copies of the base
+        matrices at construction, and every apply dispatches one batched
+        back-substitution broadcast to the workers — FFT in the parent,
+        per-harmonic solves in parallel in the workers, IFFT in the parent
+        — bitwise equal to the in-process path (both sides factor through
+        :func:`factor_harmonic_system`).  A worker failure or watchdog
+        timeout disables the service *stickily* (reason recorded on the
+        service) and the instance falls back to lazy in-process
+        factorisation mid-flight.
 
     Notes
     -----
     Factorisations are *lazy* by default: ``B_k`` is LU-factored on the
-    first solve that touches harmonic ``k``, and for real vectors only the
-    first ``n_slow // 2 + 1`` harmonics are ever factored — conjugate
-    symmetry (``B_{n-k} = conj(B_k)``, real-input spectra obey ``v_{n-k} =
-    conj(v_k)``) supplies the mirrored solutions by conjugation.  The
+    first solve that touches harmonic ``k``, and only the first
+    ``n_slow // 2 + 1`` harmonics are ever factored — conjugate symmetry
+    (``B_{n-k} = conj(B_k)``, real-input spectra obey ``v_{n-k} =
+    conj(v_k)``) supplies the mirrored solutions by conjugation.  A complex
+    vector splits into its real and imaginary parts, which share one FFT
+    call and one sweep over the harmonic solvers (two-column RHS), bitwise
+    equal to — and half the cost of — applying the preconditioner to each
+    part separately.  The
     *eager* mode factors exactly the same ``n_slow // 2 + 1`` systems up
     front (conjugate symmetry preserved) through the same factorisation
     routine, so its applies — and its factorisation counts, since every
@@ -653,6 +719,7 @@ class BlockCirculantFastPreconditioner(_PreconditionerBase):
         *,
         eager: bool = False,
         factor_pool=None,
+        factor_service=None,
     ) -> None:
         c_bar_fast = np.asarray(c_bar_fast, dtype=float)
         g_bar_fast = np.asarray(g_bar_fast, dtype=float)
@@ -693,7 +760,40 @@ class BlockCirculantFastPreconditioner(_PreconditionerBase):
         #: Sparse LU factorisations performed so far (conjugate-symmetric:
         #: at most ``n_slow // 2 + 1``, whether factored lazily or eagerly).
         self.harmonic_factorizations = 0
-        if eager:
+        #: Harmonic back-substitutions dispatched so far: one per distinct
+        #: harmonic per :meth:`solve` call — a complex apply shares a single
+        #: sweep (it does not double-count against a real apply).
+        self.harmonic_applies = 0
+        #: Wall time spent inside the per-harmonic back-substitutions of
+        #: every apply: the solver calls themselves in-process, the
+        #: workers' critical-path (slowest shard) solve time when resident.
+        self.apply_backsub_time_s = 0.0
+        #: Wall time the resident factor service spends *around* the
+        #: back-substitutions of every apply — packing the spectrum into
+        #: shared memory, the command broadcast / reply gather, unpacking —
+        #: i.e. the dispatch overhead the parallel applies pay.  0.0 on the
+        #: in-process path.
+        self.apply_dispatch_time_s = 0.0
+        self._service = None
+        if factor_service is not None and factor_service.active:
+            try:
+                degraded = factor_service.configure(
+                    self._base, self._c_blk, self._lam_slow
+                )
+            except Exception as exc:  # worker died/hung: service disabled itself
+                _LOG.warning(
+                    "resident factor service unavailable (%s); falling back "
+                    "to in-process factorisation",
+                    exc,
+                )
+            else:
+                self._service = factor_service
+                # The workers factored every distinct harmonic of their
+                # ranges — the same ``n_slow // 2 + 1`` systems the lazy and
+                # eager in-process paths factor, so the counts agree.
+                self.harmonic_factorizations = self.n_slow // 2 + 1
+                self.degraded |= degraded
+        if eager and self._service is None:
             self.factor_eagerly(pool=factor_pool)
 
     @property
@@ -710,17 +810,10 @@ class BlockCirculantFastPreconditioner(_PreconditionerBase):
         safe to fan out over worker threads; all bookkeeping mutation stays
         with the caller.
         """
-        matrix = (self._base + self._lam_slow[k] * self._c_blk).tocsc()
-        try:
-            return k, spla.splu(matrix).solve, False
-        except RuntimeError:
-            _LOG.warning(
-                "block-circulant-fast preconditioner: slow harmonic %d is "
-                "singular; using a dense pseudo-inverse (degraded "
-                "preconditioning)",
-                k,
-            )
-            return k, np.linalg.pinv(matrix.toarray()).__matmul__, True
+        solver, degraded = factor_harmonic_system(
+            self._base, self._c_blk, self._lam_slow[k], harmonic=k
+        )
+        return k, solver, degraded
 
     def _store_factor(
         self, k: int, solver: Callable[[np.ndarray], np.ndarray], degraded: bool
@@ -761,25 +854,97 @@ class BlockCirculantFastPreconditioner(_PreconditionerBase):
         values = np.asarray(vector)
         if np.iscomplexobj(values):
             # The apply is linear, so a complex vector splits exactly into
-            # two real applies (each keeping the conjugate-symmetry shortcut
-            # below); the normal GMRES path only ever passes real vectors.
-            return self.solve(values.real) + 1j * self.solve(values.imag)
-        grid = values.reshape(self.n_fast, self.n_slow, self.n_unknowns)
-        spectrum = np.fft.fft(grid, axis=1)
+            # real and imaginary applies — but those share one FFT call and
+            # one sweep over the harmonic solvers (two-column RHS; SuperLU
+            # back-substitutes columns independently), so the result is
+            # bitwise what the former two-pass
+            # ``solve(real) + 1j * solve(imag)`` recursion produced at half
+            # the FFT and solver-sweep cost.
+            grids = np.stack([values.real, values.imag]).reshape(
+                2, self.n_fast, self.n_slow, self.n_unknowns
+            )
+            solved = self._solve_real_grids(grids)
+            return (solved[0] + 1j * solved[1]).reshape(np.shape(vector))
+        grid = values.reshape(1, self.n_fast, self.n_slow, self.n_unknowns)
+        return self._solve_real_grids(grid)[0].reshape(np.shape(vector))
+
+    def _solve_real_grids(self, grids: np.ndarray) -> np.ndarray:
+        """Apply the preconditioner to ``m`` stacked real grids at once.
+
+        ``grids`` has shape ``(m, n_fast, n_slow, n_unknowns)``; the slow
+        axis of every grid is FFT-transformed in one call and each distinct
+        harmonic system is solved once with an ``m``-column RHS.
+        """
+        m = grids.shape[0]
+        spectrum = np.fft.fft(grids, axis=2)
         solved = np.empty_like(spectrum)
         # Real input: the slow-axis spectrum is conjugate-symmetric and the
         # per-harmonic systems satisfy B_{n-k} = conj(B_k), so the upper half
         # of the harmonics is solved by conjugating the lower half.
         half = self.n_slow // 2
-        for k in range(half + 1):
-            rhs = np.ascontiguousarray(spectrum[:, k, :]).ravel()
-            solved[:, k, :] = self._harmonic_solver(k)(rhs).reshape(
-                self.n_fast, self.n_unknowns
-            )
+        size = self.n_fast * self.n_unknowns
+        if not self._solve_harmonics_resident(spectrum, solved, m, half, size):
+            for k in range(half + 1):
+                solver = self._harmonic_solver(k)
+                self.harmonic_applies += 1
+                if m == 1:
+                    rhs = np.ascontiguousarray(spectrum[0, :, k, :]).ravel()
+                    start = time.perf_counter()
+                    solution = solver(rhs)
+                    self.apply_backsub_time_s += time.perf_counter() - start
+                    solved[0, :, k, :] = solution.reshape(
+                        self.n_fast, self.n_unknowns
+                    )
+                else:
+                    rhs = np.ascontiguousarray(
+                        spectrum[:, :, k, :].reshape(m, size).T
+                    )
+                    start = time.perf_counter()
+                    solution = solver(rhs)
+                    self.apply_backsub_time_s += time.perf_counter() - start
+                    solved[:, :, k, :] = solution.T.reshape(
+                        m, self.n_fast, self.n_unknowns
+                    )
         for k in range(half + 1, self.n_slow):
-            solved[:, k, :] = np.conj(solved[:, self.n_slow - k, :])
-        result = np.fft.ifft(solved, axis=1)
-        return np.ascontiguousarray(result.real).reshape(np.shape(vector))
+            solved[:, :, k, :] = np.conj(solved[:, :, self.n_slow - k, :])
+        return np.ascontiguousarray(np.fft.ifft(solved, axis=2).real)
+
+    def _solve_harmonics_resident(self, spectrum, solved, m, half, size) -> bool:
+        """Dispatch the distinct-harmonic solves to the resident service.
+
+        Fills ``solved[:, :, :half + 1, :]`` and returns True on success;
+        returns False when no (healthy) service is attached so the caller
+        runs the in-process loop instead.  A service failure mid-apply is
+        *sticky*: the service records the reason and disables itself, this
+        instance detaches from it, and the apply — like every later one —
+        completes on lazily-factored in-process solvers.
+        """
+        service = self._service
+        if service is None or not service.active:
+            return False
+        start = time.perf_counter()
+        # One (half + 1, m, size) block: row k carries the m spectrum
+        # columns of harmonic k, exactly the values the in-process loop
+        # hands its solver for that harmonic (worker-side transposition
+        # restores the (size, m) column layout bitwise).
+        packed = np.ascontiguousarray(
+            np.moveaxis(spectrum[:, :, : half + 1, :], 2, 0).reshape(
+                half + 1, m, size
+            )
+        )
+        try:
+            solutions, backsub_s = service.solve(packed)
+        except Exception:  # service disabled itself with the reason recorded
+            self._service = None
+            return False
+        self.harmonic_applies += half + 1
+        solved[:, :, : half + 1, :] = np.moveaxis(
+            solutions.reshape(half + 1, m, self.n_fast, self.n_unknowns), 0, 2
+        )
+        elapsed = time.perf_counter() - start
+        self.apply_backsub_time_s += backsub_s
+        self.apply_dispatch_time_s += max(0.0, elapsed - backsub_s)
+        return True
 
 
 class AdaptiveRefreshPolicy:

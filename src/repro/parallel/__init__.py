@@ -13,7 +13,12 @@ package provides the execution machinery both hot paths share:
   array protocol;
 * :mod:`~repro.parallel.pool` — the forked :class:`ShardedKernelPool` for
   engine evaluation and the thread :class:`WorkerPool` for in-process
-  fan-out (LU factor objects cannot cross a process boundary).
+  fan-out (LU factor objects cannot cross a process boundary);
+* :mod:`~repro.parallel.factor_service` — the worker-resident
+  :class:`ResidentFactorPool` that sidesteps that pickling limit by having
+  each forked worker *own* (factor and back-substitute) a slice of the
+  preconditioner's slow harmonics, parallelising the applies too
+  (``MPDEOptions(factor_backend="resident")``).
 
 Entry points for users are the option knobs, not this package:
 ``EvaluationOptions(kernel_backend="sharded", n_workers=...)`` at
@@ -28,12 +33,14 @@ from .backends import (
     detect_capabilities,
     resolve_execution,
 )
+from .factor_service import ResidentFactorPool
 from .pool import ShardedKernelPool, WorkerPool, WorkerPoolError
 from .sharding import SharedArray, attach_shared_array, shard_ranges
 
 __all__ = [
     "KERNEL_BACKENDS",
     "Capabilities",
+    "ResidentFactorPool",
     "ResolvedExecution",
     "SharedArray",
     "ShardedKernelPool",

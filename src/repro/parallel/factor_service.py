@@ -1,0 +1,441 @@
+"""Worker-resident factor service for the partially-averaged preconditioner.
+
+The PR-5 parallel layer parallelised the *builds* of
+:class:`~repro.linalg.preconditioners.BlockCirculantFastPreconditioner`
+(eager batch factorisation on a thread pool) but left every *apply* serial:
+SuperLU factor objects cannot cross a process boundary, so the
+``n_slow // 2 + 1`` per-harmonic back-substitutions of each GMRES
+preconditioner apply ran one after another in the parent.  This module
+inverts the ownership instead of shipping the factors:
+
+* each forked worker **owns** a contiguous slice of the distinct slow
+  harmonics (``shard_ranges(n_slow // 2 + 1, n_workers)``),
+* the worker factors its slice *in-worker* from shared-memory copies of the
+  two real base matrices (``B_k = base + mu_k * C_blk``; only the CSC
+  ``data`` arrays cross per rebuild — the sparsity structure is inherited
+  once through ``fork``), through the same
+  :func:`~repro.linalg.preconditioners.factor_harmonic_system` recipe the
+  in-process path uses, so the factors are bitwise identical,
+* one preconditioner apply becomes one broadcast: the parent FFTs, writes
+  the distinct-harmonic spectrum into a shared block, sends every worker a
+  tiny ``("solve", m)`` command, the workers back-substitute their harmonic
+  ranges concurrently into the shared solution block, and the parent
+  mirrors the conjugate harmonics and IFFTs.
+
+Because the preconditioner is rebuilt at every Newton iterate
+(``cheap_rebuild``), the workers are *resident*: they persist across
+rebuilds (and solves) and refactor in place from the refreshed shared data,
+so the fork cost is paid once per solver, not once per iterate.
+
+Failure handling mirrors the sharded evaluation pool
+(:class:`~repro.parallel.pool.ShardedKernelPool`): every reply gather runs
+under the ``reply_timeout_s`` watchdog, a crashed worker is detected
+immediately through its closed pipe, and any failure tears the pool down
+(SIGTERM escalating to SIGKILL, shared blocks unlinked) and disables the
+service *stickily* with the reason recorded in :attr:`fallback_reason` —
+the consuming preconditioner then finishes on lazily-factored in-process
+solvers and ``MPDEStats.parallel_fallback_reason`` surfaces the reason.
+The ``"worker.eval"`` fault-injection site is visited (with
+``role="factor"``) before every factor/solve command, so the
+``worker_crash`` / ``worker_hang`` profiles exercise these paths inside
+real forked workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import weakref
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..resilience.faultinject import fault_site
+from ..utils.logging import get_logger
+from .pool import WorkerPoolError, _shutdown_pool
+from .sharding import SharedArray, attach_shared_array, shard_ranges
+
+__all__ = ["ResidentFactorPool"]
+
+_LOG = get_logger("parallel.factor_service")
+
+
+def _factor_worker_main(
+    conn,
+    index: int,
+    lo: int,
+    hi: int,
+    shape,
+    base_structure,
+    c_structure,
+    lam_slow,
+    block_names,
+    block_shapes,
+) -> None:
+    """Worker loop: own harmonics ``[lo, hi)``, factor and back-substitute.
+
+    Runs in a forked child.  The CSC structure arrays and the slow
+    eigenvalues arrive through ``fork`` inheritance (they never change for
+    a given service generation); the matrix *values* and the per-apply
+    spectra cross through the named shared-memory blocks.  Commands are
+    tiny picklable tuples; replies are ``("ok", payload)`` /
+    ``("error", message)``.
+
+    Like the sharded evaluation workers, the child inherits any armed
+    fault-injection plan — the ``"worker.eval"`` site (``role="factor"``)
+    runs before every command, so crash/hang faults fire inside a real
+    worker.
+    """
+    # Defer the linalg import to the child's first use?  No — resolve it at
+    # startup: the parent already imported it (the service is handed base
+    # matrices built by the preconditioner), so fork shares the module.
+    from ..linalg.preconditioners import factor_harmonic_system
+
+    attachments = {}
+    try:
+        views = {}
+        for tag in ("base", "c", "rhs", "sol"):
+            view, shm = attach_shared_array(block_names[tag], block_shapes[tag])
+            attachments[tag] = shm
+            views[tag] = view
+        base_indices, base_indptr = base_structure
+        c_indices, c_indptr = c_structure
+        solvers = {}
+
+        def refactor() -> tuple[bool, float]:
+            # Fresh CSC wrappers around the shared data views: the add in
+            # factor_harmonic_system allocates new arrays, so no factor ever
+            # aliases the shared pages the parent overwrites on the next
+            # rebuild.
+            base = sp.csc_matrix(
+                (views["base"], base_indices, base_indptr), shape=shape
+            )
+            c_blk = sp.csc_matrix((views["c"], c_indices, c_indptr), shape=shape)
+            degraded = False
+            started = time.perf_counter()
+            for k in range(lo, hi):
+                solvers[k], harmonic_degraded = factor_harmonic_system(
+                    base, c_blk, lam_slow[k], harmonic=k
+                )
+                degraded |= harmonic_degraded
+            return degraded, time.perf_counter() - started
+
+        def solve(m: int) -> float:
+            started = time.perf_counter()
+            for k in range(lo, hi):
+                # The float block stores complex values as interleaved
+                # re/im pairs along the last axis; the contiguous copy +
+                # complex view reproduces the exact (m, size) spectrum rows
+                # the parent packed, and the transposition below restores
+                # the (size, m) column layout the in-process loop feeds its
+                # solver — bitwise the same back-substitution inputs.
+                rhs = np.ascontiguousarray(views["rhs"][k, :m, :]).view(
+                    np.complex128
+                )
+                if m == 1:
+                    solution = solvers[k](rhs[0])
+                    views["sol"][k, 0, :] = solution.view(np.float64)
+                else:
+                    solution = solvers[k](np.ascontiguousarray(rhs.T))
+                    views["sol"][k, :m, :] = np.ascontiguousarray(
+                        solution.T
+                    ).view(np.float64)
+            return time.perf_counter() - started
+
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):  # parent went away
+                break
+            command = message[0]
+            if command == "stop":
+                break
+            try:
+                fault_site(
+                    "worker.eval", worker=index, lo=lo, hi=hi, role="factor"
+                )
+                if command == "factor":
+                    conn.send(("ok", refactor()))
+                elif command == "solve":
+                    conn.send(("ok", solve(message[1])))
+                else:
+                    raise ValueError(f"unknown factor-worker command {command!r}")
+            except BaseException as exc:  # noqa: BLE001 - reported to the parent
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        for shm in attachments.values():
+            shm.close()
+        conn.close()
+
+
+class ResidentFactorPool:
+    """Forked workers owning (and applying) the per-harmonic LU factors.
+
+    A lightweight handle at construction — no processes, no shared memory.
+    The first :meth:`configure` call forks the workers (one per non-empty
+    harmonic shard, at most ``n_workers``) and has them factor their
+    slices; later ``configure`` calls with the same sparsity structure just
+    refresh the shared data blocks and broadcast a refactor, so the
+    per-Newton-iterate rebuild of the consuming preconditioner reuses the
+    resident processes.  :meth:`solve` serves one batched apply.
+
+    The service is *sticky-failing*: the first worker crash, hang (reply
+    watchdog expiry) or error reply tears the pool down, records why in
+    :attr:`fallback_reason`, flips :attr:`active` off permanently and
+    raises :class:`~repro.parallel.pool.WorkerPoolError` — consumers fall
+    back to their in-process path and report the reason
+    (``MPDEStats.parallel_fallback_reason``), mirroring the sharded
+    evaluation pool's contract.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker-process budget (>= 1; resolution against the environment
+        happens upstream in
+        :func:`~repro.parallel.backends.resolve_execution`).  At most
+        ``n_slow // 2 + 1`` workers are actually forked — a worker with an
+        empty harmonic shard would only cost dispatch time.
+    reply_timeout_s:
+        Watchdog budget (seconds) for gathering *all* worker replies of one
+        command broadcast, shared across the gather like the evaluation
+        pool's.  ``None`` disables the watchdog (blocking reads).
+    """
+
+    def __init__(self, n_workers: int, *, reply_timeout_s: float | None = 120.0) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self.reply_timeout_s = reply_timeout_s
+        #: Why the service disabled itself ("" while healthy).
+        self.fallback_reason = ""
+        #: Worker generations forked so far.  Each :meth:`configure` whose
+        #: CSC sparsity structure differs from the resident one tears the
+        #: workers down and reforks (the structure arrays are inherited
+        #: through ``fork``, so they cannot be refreshed in place).  Note
+        #: the structure *can* legitimately drift between Newton iterates:
+        #: scipy's sparse add prunes exactly-zero entries, so e.g. a MOSFET
+        #: crossing into cutoff changes ``base``'s pattern.  A refork costs
+        #: a few milliseconds against the ``half + 1`` LU factorisations
+        #: that follow it, so this stays cheap; the counter makes it
+        #: observable.
+        self.restarts = 0
+        self._disabled = False
+        self._structure = None
+        self._workers: list[tuple[object, object]] = []
+        self._buffers: dict[str, SharedArray] = {}
+        self._finalizer = weakref.finalize(
+            self, _shutdown_pool, self._workers, self._buffers
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether the service may (still) be used.
+
+        True from construction until the first failure — including before
+        the first :meth:`configure`, which is what forks the workers.
+        """
+        return not self._disabled
+
+    @property
+    def resident(self) -> bool:
+        """Whether worker processes are currently running."""
+        return bool(self._workers)
+
+    def close(self) -> None:
+        """Stop the workers and unlink the shared blocks (idempotent).
+
+        A closed-but-healthy service may be configured again (it re-forks);
+        a *failed* service stays disabled.
+        """
+        self._structure = None
+        _shutdown_pool(self._workers, self._buffers)
+
+    def _disable(self, reason: str) -> None:
+        self._disabled = True
+        self.fallback_reason = reason
+        _LOG.warning("resident factor service disabled: %s", reason)
+        self.close()
+
+    # -- worker protocol ---------------------------------------------------
+    def _broadcast(self, message) -> list:
+        """Send ``message`` to every worker; gather payloads under the watchdog.
+
+        Returns one ``("ok", payload)`` payload per worker.  Any failure —
+        broken pipe on send, watchdog expiry, closed pipe (dead worker) or
+        an ``("error", ...)`` reply — disables the service and raises
+        :class:`WorkerPoolError`.
+        """
+        try:
+            for _process, conn in self._workers:
+                conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            self._disable(f"factor-service worker died: {exc!r}")
+            raise WorkerPoolError(self.fallback_reason) from exc
+        reply_deadline = (
+            None
+            if self.reply_timeout_s is None
+            else time.monotonic() + self.reply_timeout_s
+        )
+        payloads = []
+        errors = []
+        for _process, conn in self._workers:
+            try:
+                if reply_deadline is not None:
+                    remaining = reply_deadline - time.monotonic()
+                    if remaining <= 0.0 or not conn.poll(remaining):
+                        self._disable(
+                            "factor-service worker reply timed out after "
+                            f"{self.reply_timeout_s:.3g}s (hung worker); "
+                            "pool torn down"
+                        )
+                        raise WorkerPoolError(self.fallback_reason)
+                reply = conn.recv()
+            except (EOFError, OSError) as exc:
+                self._disable(f"factor-service worker died: {exc!r}")
+                raise WorkerPoolError(self.fallback_reason) from exc
+            if reply[0] == "error":
+                errors.append(reply[1])
+            else:
+                payloads.append(reply[1])
+        if errors:
+            self._disable(f"factor-service worker error: {errors[0]}")
+            raise WorkerPoolError(errors[0])
+        return payloads
+
+    # -- configuration -----------------------------------------------------
+    def _matches(self, base: sp.csc_matrix, c_blk: sp.csc_matrix, lam_slow) -> bool:
+        """Whether the resident workers' inherited structure still applies.
+
+        The data blocks can be refreshed in place only when the CSC
+        sparsity structures and the eigenvalue set are unchanged — compared
+        exactly (an O(nnz) memcmp, trivial against a factorisation) so a
+        cancellation-induced structure change can never silently corrupt
+        the factors.
+        """
+        s = self._structure
+        return (
+            s is not None
+            and s["shape"] == base.shape
+            and np.array_equal(s["lam"], lam_slow)
+            and np.array_equal(s["base_indices"], base.indices)
+            and np.array_equal(s["base_indptr"], base.indptr)
+            and np.array_equal(s["c_indices"], c_blk.indices)
+            and np.array_equal(s["c_indptr"], c_blk.indptr)
+        )
+
+    def _restart(self, base: sp.csc_matrix, c_blk: sp.csc_matrix, lam_slow) -> None:
+        """(Re)fork the workers for a new matrix structure."""
+        self.close()
+        self.restarts += 1
+        n_slow = int(np.asarray(lam_slow).size)
+        half = n_slow // 2
+        n_unknowns_total = int(base.shape[0])
+        # Private copies of the structure arrays: the workers inherit them
+        # through fork and the parent compares later rebuilds against them,
+        # so neither side may alias the caller's (mutable) matrices.
+        structure = {
+            "shape": base.shape,
+            "lam": np.array(lam_slow, dtype=complex, copy=True),
+            "base_indices": base.indices.copy(),
+            "base_indptr": base.indptr.copy(),
+            "c_indices": c_blk.indices.copy(),
+            "c_indptr": c_blk.indptr.copy(),
+        }
+        self._buffers["base"] = SharedArray((int(base.data.size),))
+        self._buffers["c"] = SharedArray((int(c_blk.data.size),))
+        # Complex values live in the float64 blocks as interleaved re/im
+        # pairs (complex128 viewed as float64 doubles the last axis); the
+        # middle axis holds up to two RHS columns — the real/imaginary
+        # parts of a complex apply share one sweep.
+        spectra_shape = (half + 1, 2, 2 * n_unknowns_total)
+        self._buffers["rhs"] = SharedArray(spectra_shape)
+        self._buffers["sol"] = SharedArray(spectra_shape)
+        block_names = {tag: buf.name for tag, buf in self._buffers.items()}
+        block_shapes = {tag: buf.shape for tag, buf in self._buffers.items()}
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker API variations
+            pass
+        context = multiprocessing.get_context("fork")
+        for index, (lo, hi) in enumerate(
+            shard_ranges(half + 1, min(self.n_workers, half + 1))
+        ):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_factor_worker_main,
+                args=(
+                    child_conn,
+                    index,
+                    lo,
+                    hi,
+                    structure["shape"],
+                    (structure["base_indices"], structure["base_indptr"]),
+                    (structure["c_indices"], structure["c_indptr"]),
+                    structure["lam"],
+                    block_names,
+                    block_shapes,
+                ),
+                daemon=True,
+                name=f"repro-factor-{index}",
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append((process, parent_conn))
+        self._structure = structure
+
+    def configure(self, base, c_blk, lam_slow) -> bool:
+        """Point the workers at fresh base matrices and have them refactor.
+
+        ``base`` / ``c_blk`` are the consuming preconditioner's real CSC
+        matrices (``B_k = base + mu_k * c_blk``), ``lam_slow`` its slow
+        eigenvalues.  Workers are forked on first use (or when the sparsity
+        structure changes); otherwise only the CSC ``data`` arrays cross —
+        one memcpy each into the shared blocks plus a broadcast.  Returns
+        whether any worker's factorisation degraded to the dense
+        pseudo-inverse fallback.  Raises :class:`WorkerPoolError` (after
+        disabling the service) on any worker failure.
+        """
+        if self._disabled:
+            raise WorkerPoolError(
+                self.fallback_reason or "resident factor service is disabled"
+            )
+        base = sp.csc_matrix(base)
+        c_blk = sp.csc_matrix(c_blk)
+        if not self._matches(base, c_blk, lam_slow):
+            self._restart(base, c_blk, lam_slow)
+        np.copyto(self._buffers["base"].array, base.data)
+        np.copyto(self._buffers["c"].array, c_blk.data)
+        payloads = self._broadcast(("factor",))
+        return any(degraded for degraded, _elapsed in payloads)
+
+    # -- application -------------------------------------------------------
+    def solve(self, packed: np.ndarray) -> tuple[np.ndarray, float]:
+        """One batched apply: back-substitute every distinct harmonic.
+
+        ``packed`` is the C-contiguous complex ``(half + 1, m, size)``
+        block of distinct-harmonic spectra (``m`` = 1 for a real apply, 2
+        for the shared real/imaginary sweep of a complex one).  Returns
+        ``(solutions, backsub_s)`` of the same shape plus the workers'
+        critical-path (slowest shard) back-substitution time — the caller
+        books the rest of the wall clock as dispatch overhead.
+        """
+        if self._disabled or not self._workers:
+            raise WorkerPoolError(
+                self.fallback_reason or "resident factor service is not configured"
+            )
+        m = int(packed.shape[1])
+        self._buffers["rhs"].array[:, :m, :] = packed.view(np.float64)
+        payloads = self._broadcast(("solve", m))
+        solutions = np.array(self._buffers["sol"].array[:, :m, :], copy=True).view(
+            np.complex128
+        )
+        return solutions, max(payloads)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResidentFactorPool(n_workers={self.n_workers}, "
+            f"resident={self.resident}, active={self.active})"
+        )

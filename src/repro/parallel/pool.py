@@ -83,8 +83,11 @@ class WorkerPool:
     :class:`~repro.linalg.preconditioners.BlockCirculantFastPreconditioner`:
     SuperLU factor objects are process-local, so the per-harmonic
     factorisations run on threads sharing the parent heap.  :meth:`map`
-    preserves input order and re-raises the first worker exception in the
-    caller (factorisation errors keep their existing, tested handling).
+    preserves input order; on failure it re-raises the exception of the
+    *lowest failing item index* (deterministic, not thread-timing-dependent),
+    annotated with that index — a ``failed_item_index`` attribute plus an
+    exception note — so diagnostics can name e.g. the failing harmonic.
+    Failures from other shards are logged, never silently discarded.
 
     The threads are spawned per :meth:`map` call and joined before it
     returns — deliberately, not a kept-alive executor: no thread of this
@@ -97,20 +100,44 @@ class WorkerPool:
     def __init__(self, n_workers: int) -> None:
         self.n_workers = max(1, int(n_workers))
 
+    @staticmethod
+    def _call_one(fn: Callable, items: list, index: int):
+        """``fn(items[index])`` with the item index attached on failure."""
+        try:
+            return fn(items[index])
+        except BaseException as exc:  # noqa: BLE001 - annotated and re-raised
+            try:
+                exc.failed_item_index = index
+            except Exception:  # pragma: no cover - __slots__ exceptions
+                pass
+            add_note = getattr(exc, "add_note", None)
+            if add_note is not None:
+                add_note(f"WorkerPool.map: item index {index} of {len(items)} failed")
+            raise
+
     def map(self, fn: Callable, items: Iterable) -> list:
-        """``[fn(item) for item in items]``, fanned out, order preserved."""
+        """``[fn(item) for item in items]``, fanned out, order preserved.
+
+        Failures carry their item index: the raised exception gains a
+        ``failed_item_index`` attribute and an explanatory note, and when
+        several shards fail concurrently the exception of the lowest
+        failing index is re-raised while the others are logged as
+        suppressed (a shard stops at its first failure, exactly like the
+        serial path stops at its first failing item).
+        """
         items = list(items)
         if self.n_workers == 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            return [self._call_one(fn, items, index) for index in range(len(items))]
         results: list = [None] * len(items)
-        errors: list[BaseException] = []
+        errors: list[tuple[int, BaseException]] = []
 
         def run(lo: int, hi: int) -> None:
-            try:
-                for index in range(lo, hi):
-                    results[index] = fn(items[index])
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                errors.append(exc)
+            for index in range(lo, hi):
+                try:
+                    results[index] = self._call_one(fn, items, index)
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    errors.append((index, exc))
+                    return
 
         threads = [
             threading.Thread(target=run, args=(lo, hi), daemon=True)
@@ -122,7 +149,18 @@ class WorkerPool:
         for thread in threads:
             thread.join()
         if errors:
-            raise errors[0]
+            errors.sort(key=lambda pair: pair[0])
+            first_index, first_exc = errors[0]
+            for index, suppressed in errors[1:]:
+                _LOG.warning(
+                    "WorkerPool.map: suppressing error from item index %d "
+                    "(re-raising item index %d): %s: %s",
+                    index,
+                    first_index,
+                    type(suppressed).__name__,
+                    suppressed,
+                )
+            raise first_exc
         return results
 
     def close(self) -> None:

@@ -18,8 +18,12 @@ which is a no-op (one global read, no allocation) unless a plan is active,
 so the hooks cost nothing in normal operation.  The registry is a plain
 module global: forked worker processes inherit the active plan, which is
 what lets tests inject ``worker.eval`` faults into children without any
-IPC.  Injection is process-wide and not thread-safe by design — it is a
-test harness, not a production feature.
+IPC.  Injection is process-wide; the per-spec ``calls``/``fired`` counters
+are guarded by a lock because some sites are visited from concurrent
+threads (e.g. ``preconditioner.build`` under an eager
+:class:`~repro.parallel.WorkerPool` fan-out) — a fault scheduled to fire
+``count`` times fires exactly ``count`` times no matter how the visits
+interleave.
 
 Sites currently compiled into the stack:
 
@@ -39,6 +43,7 @@ site                       context keys
 from __future__ import annotations
 
 import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -102,18 +107,29 @@ class FaultSpec:
     predicate: Callable[[dict[str, Any]], bool] | None = None
     calls: int = field(default=0, init=False)
     fired: int = field(default=0, init=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def visit(self, context: dict[str, Any]) -> bool:
-        """Record a matching visit; return True if the fault should fire."""
+        """Record a matching visit; return True if the fault should fire.
+
+        The ``calls``/``fired`` bookkeeping is atomic under ``_lock``: sites
+        visited from concurrent threads (eager harmonic factorisation drives
+        ``preconditioner.build`` from a thread fan-out) advance the counters
+        without interleaving, so ``at_call``/``count`` schedules stay exact.
+        The predicate runs outside the lock — it only reads the context.
+        """
         if self.predicate is not None and not self.predicate(context):
             return False
-        self.calls += 1
-        if self.at_call is not None and self.calls < self.at_call:
-            return False
-        if self.count is not None and self.fired >= self.count:
-            return False
-        self.fired += 1
-        return True
+        with self._lock:
+            self.calls += 1
+            if self.at_call is not None and self.calls < self.at_call:
+                return False
+            if self.count is not None and self.fired >= self.count:
+                return False
+            self.fired += 1
+            return True
 
 
 class FaultPlan:
@@ -275,6 +291,11 @@ _PROFILES: dict[str, Callable[[], FaultSpec]] = {
     # First Newton linear solve hits a singular Jacobian; the ladder or the
     # analysis-level stepping fallbacks must recover.
     "singular_jacobian": lambda: singular_jacobian(count=1),
+    # First worker evaluation hangs; the reply watchdog must time out (the
+    # consuming pool's ``worker_timeout_s`` has to sit below the sleep),
+    # tear the pool down without zombies or leaked shared memory, and fall
+    # back to the serial path.
+    "worker_hang": lambda: worker_hang(count=1),
 }
 
 

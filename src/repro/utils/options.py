@@ -29,6 +29,7 @@ __all__ = [
     "HarmonicBalanceOptions",
     "MPDEOptions",
     "EVALUATION_BACKENDS",
+    "FACTOR_BACKENDS",
     "KERNEL_BACKENDS",
     "PRECONDITIONER_KINDS",
     "RECOVERY_RUNGS",
@@ -54,6 +55,19 @@ EVALUATION_BACKENDS = ("batched", "loop")
 #: Defined here (the bottom of the import graph) so the option validation
 #: and :mod:`repro.parallel.backends` share one source of truth.
 KERNEL_BACKENDS = ("serial", "sharded")
+
+#: How ``parallel=True`` factors (and applies) the per-slow-harmonic LUs of
+#: the ``"block_circulant_fast"`` preconditioner: ``"threads"`` batch-factors
+#: eagerly on an in-process thread pool (the factors live in the parent and
+#: applies run serially there); ``"resident"`` keeps the factors *in forked
+#: worker processes* — each worker owns a contiguous slice of the harmonics,
+#: factors it from shared-memory copies of the base matrices, and serves
+#: batched back-substitutions so one preconditioner apply becomes one
+#: broadcast (FFT in the parent, per-harmonic solves in parallel in the
+#: workers, IFFT in the parent).  Bit-for-bit equal either way.  Defined here
+#: (the bottom of the import graph) so option validation and
+#: :mod:`repro.parallel.factor_service` share one source of truth.
+FACTOR_BACKENDS = ("threads", "resident")
 
 #: The canonical recovery-ladder rung names, in default escalation order.
 #: Defined here (the bottom of the import graph) so :class:`RecoveryPolicy`
@@ -485,6 +499,33 @@ class MPDEOptions:
         Worker count for ``parallel=True``.  ``None`` auto-sizes from the
         usable CPU count (and resolves to serial on one CPU); an explicit
         count >= 2 forces real worker pools wherever ``fork`` exists.
+    factor_backend:
+        How ``parallel=True`` runs the ``"block_circulant_fast"``
+        per-harmonic factorisations and applies:
+
+        * ``"threads"`` (default) — eager batch factorisation on an
+          in-process thread pool; the SuperLU factors live in the parent
+          and every apply back-substitutes serially there.
+        * ``"resident"`` — a worker-resident factor service
+          (:class:`~repro.parallel.factor_service.ResidentFactorPool`):
+          each forked worker *owns* a contiguous slice of the
+          ``n_slow // 2 + 1`` distinct harmonics, factors it in-worker from
+          shared-memory copies of the base matrices (SuperLU objects never
+          cross the process boundary), and serves batched back-substitutions
+          so the per-harmonic solves of one preconditioner apply run
+          concurrently.  Bit-for-bit equal to ``"threads"``; falls back to
+          the in-process path (sticky, with the reason recorded in
+          ``MPDEStats.parallel_fallback_reason``) when a worker fails or
+          hangs.  Ignored by every other preconditioner mode and by
+          ``parallel=False``.
+    worker_timeout_s:
+        Watchdog deadline (seconds) on every reply the resident factor
+        service gathers from its workers.  A worker that does not answer in
+        time is treated as hung: the service tears its pool down (SIGTERM
+        escalating to SIGKILL, shared memory unlinked) and the solve
+        continues on the in-process factor path.  ``None`` disables the
+        watchdog.  The sharded *evaluation* pool has its own knob of the
+        same name on :class:`EvaluationOptions`.
     recovery:
         The :class:`RecoveryPolicy` escalation ladder applied when a solve
         fails.  The default policy retries through Newton refresh, extra
@@ -522,6 +563,8 @@ class MPDEOptions:
     initial_guess: str = "dc"
     parallel: bool = False
     n_workers: int | None = None
+    factor_backend: str = "threads"
+    worker_timeout_s: float | None = 120.0
     recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
     deadline_s: float | None = None
 
@@ -547,6 +590,9 @@ class MPDEOptions:
         _require_positive("gmres_restart", self.gmres_restart)
         if self.n_workers is not None:
             _require_positive("n_workers", self.n_workers)
+        _require_in("factor_backend", self.factor_backend, FACTOR_BACKENDS)
+        if self.worker_timeout_s is not None:
+            _require_positive("worker_timeout_s", self.worker_timeout_s)
         if not isinstance(self.recovery, RecoveryPolicy):
             raise ConfigurationError(
                 f"recovery must be a RecoveryPolicy, got {type(self.recovery).__name__}"

@@ -1,0 +1,413 @@
+"""Worker-resident factor service: equivalence, failure and lifecycle tests.
+
+The service's contract (see ``src/repro/parallel/factor_service.py``) is
+three-fold and every clause is load-bearing for the tier-1 reroute mode
+(``REPRO_TIER1_FACTOR_BACKEND=resident``):
+
+* **bit-for-bit equality** — resident applies must equal the in-process
+  per-harmonic back-substitutions exactly, for real and complex vectors,
+  across preconditioner rebuilds, and through whole MPDE / collocation
+  solves;
+* **identical observable effort** — ``harmonic_factorizations`` must agree
+  between the lazy, eager-threaded and resident paths, and the new
+  ``gmres_apply_dispatch_time_s`` / ``gmres_backsub_time_s`` stats must
+  subdivide (never exceed) ``gmres_time_s``;
+* **sticky, clean degradation** — a crashed or hung worker disables the
+  service, records why, finishes the solve in-process with the *same*
+  answer, and leaves no zombie processes or shared-memory blocks behind.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import solve_mpde
+from repro.parallel import (
+    ResidentFactorPool,
+    WorkerPoolError,
+    detect_capabilities,
+)
+from repro.resilience import FaultSpec, build_profile_specs, inject_faults
+from repro.utils import MPDEOptions
+
+from test_parallel import _spectral_problem_data
+
+pytestmark = [
+    pytest.mark.skipif(
+        not detect_capabilities().fork_available,
+        reason="the resident factor service requires the 'fork' start method",
+    ),
+    # Every test below asserts bit-for-bit resident == in-process equality
+    # and several arm their own fault plans; an ambient plan would break both.
+    pytest.mark.no_fault_injection,
+]
+
+#: The paper-style spectral grid options every solve-level test shares.
+_SOLVE_OPTIONS = MPDEOptions(
+    n_fast=16,
+    n_slow=8,
+    matrix_free=True,
+    preconditioner="block_circulant_fast",
+)
+
+#: A guaranteed-serial baseline: pinning ``n_workers`` opts out of the
+#: ``REPRO_TIER1_FACTOR_BACKEND`` conftest reroute (which only rewrites
+#: solves left entirely on default execution knobs), so these options stay
+#: in-process even when the whole suite runs over the resident backend.
+#: ``n_workers`` is inert while ``parallel=False``.
+_SERIAL_OPTIONS = replace(_SOLVE_OPTIONS, n_workers=1)
+
+
+def _factor_children() -> list:
+    return [p for p in multiprocessing.active_children() if "factor" in p.name]
+
+
+def _shm_blocks() -> set:
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # non-Linux: cannot snapshot, degrade gracefully
+        return set()
+
+
+def _build(problem, evaluation, **kwargs):
+    return problem.build_preconditioner(
+        "block_circulant_fast",
+        c_data=evaluation.c_data,
+        g_data=evaluation.g_data,
+        **kwargs,
+    )
+
+
+class TestResidentPoolUnit:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ResidentFactorPool(0)
+
+    def test_solve_before_configure_raises(self):
+        service = ResidentFactorPool(2)
+        with pytest.raises(WorkerPoolError, match="not configured"):
+            service.solve(np.zeros((1, 1, 4), dtype=complex))
+        assert service.active  # not configured is not a failure
+
+    def test_idle_harmonic_shards_fork_no_workers(self, scaled_switching_mixer):
+        """More workers than distinct harmonics must not fork idle processes
+        (an idle worker would still be charged a pipe round-trip per apply)."""
+        problem, evaluation = _spectral_problem_data(scaled_switching_mixer)
+        distinct = problem.grid.n_slow // 2 + 1
+        service = ResidentFactorPool(distinct + 5)
+        try:
+            _build(problem, evaluation, factor_service=service)
+            assert len(service._workers) == distinct
+        finally:
+            service.close()
+
+    def test_close_then_reconfigure_reforks(self, scaled_switching_mixer, rng):
+        """``close()`` on a *healthy* service is a pause, not a failure."""
+        problem, evaluation = _spectral_problem_data(scaled_switching_mixer)
+        service = ResidentFactorPool(2)
+        try:
+            reference = _build(problem, evaluation)
+            resident = _build(problem, evaluation, factor_service=service)
+            vector = rng.normal(size=problem.n_total_unknowns)
+            np.testing.assert_array_equal(
+                resident.solve(vector), reference.solve(vector)
+            )
+            service.close()
+            assert not service.resident
+            assert service.active and service.fallback_reason == ""
+            resident = _build(problem, evaluation, factor_service=service)
+            assert service.resident
+            np.testing.assert_array_equal(
+                resident.solve(vector), reference.solve(vector)
+            )
+        finally:
+            service.close()
+
+
+class TestResidentParity:
+    def test_applies_bitwise_equal_in_process(self, scaled_switching_mixer, rng):
+        problem, evaluation = _spectral_problem_data(scaled_switching_mixer)
+        reference = _build(problem, evaluation)
+        service = ResidentFactorPool(2)
+        try:
+            resident = _build(problem, evaluation, factor_service=service)
+            size = problem.n_total_unknowns
+            v_real = rng.normal(size=size)
+            v_complex = rng.normal(size=size) + 1j * rng.normal(size=size)
+            np.testing.assert_array_equal(
+                resident.solve(v_real), reference.solve(v_real)
+            )
+            np.testing.assert_array_equal(
+                resident.solve(v_complex), reference.solve(v_complex)
+            )
+            # The apply-time split is populated on both sides; only the
+            # resident path pays dispatch.
+            assert resident.apply_backsub_time_s > 0.0
+            assert resident.apply_dispatch_time_s > 0.0
+            assert reference.apply_backsub_time_s > 0.0
+            assert reference.apply_dispatch_time_s == 0.0
+        finally:
+            service.close()
+
+    def test_counts_lazy_eager_resident_agree(self, scaled_switching_mixer, rng):
+        """The three factorisation paths report identical observable effort."""
+        problem, evaluation = _spectral_problem_data(scaled_switching_mixer)
+        distinct = problem.grid.n_slow // 2 + 1
+        lazy = _build(problem, evaluation)
+        eager = _build(problem, evaluation, eager=True)
+        service = ResidentFactorPool(2)
+        try:
+            resident = _build(problem, evaluation, factor_service=service)
+            # Resident factors at configure time, like eager; lazy on first
+            # apply.  After one apply everything agrees.
+            assert lazy.harmonic_factorizations == 0
+            assert eager.harmonic_factorizations == distinct
+            assert resident.harmonic_factorizations == distinct
+            vector = rng.normal(size=problem.n_total_unknowns)
+            lazy.solve(vector)
+            resident.solve(vector)
+            assert (
+                lazy.harmonic_factorizations
+                == eager.harmonic_factorizations
+                == resident.harmonic_factorizations
+                == distinct
+            )
+            # Applies are counted per distinct harmonic on both paths.
+            assert resident.harmonic_applies == lazy.harmonic_applies == distinct
+        finally:
+            service.close()
+
+    def test_rebuild_reuses_workers_and_stays_bitwise(
+        self, scaled_switching_mixer, rng
+    ):
+        """A same-structure rebuild (the common per-Newton-iterate case) must
+        reuse the resident processes — refork would repay the startup cost
+        the service exists to amortise — and stay bit-for-bit equal.
+
+        The rebuild uses *scaled* Jacobian data: scaling preserves which
+        entries are exactly zero, hence the assembled sparsity structure
+        (scipy's sparse add prunes exact zeros, so arbitrary re-evaluations
+        can change it — see the refork test below)."""
+        problem, evaluation = _spectral_problem_data(scaled_switching_mixer)
+        service = ResidentFactorPool(2)
+        try:
+            _build(problem, evaluation, factor_service=service)
+            workers = list(service._workers)
+            scaled = dict(
+                c_data=evaluation.c_data * 1.01, g_data=evaluation.g_data * 0.99
+            )
+            reference = problem.build_preconditioner(
+                "block_circulant_fast", **scaled
+            )
+            resident = problem.build_preconditioner(
+                "block_circulant_fast", factor_service=service, **scaled
+            )
+            assert list(service._workers) == workers
+            assert service.restarts == 1
+            vector = rng.normal(size=problem.n_total_unknowns)
+            np.testing.assert_array_equal(
+                resident.solve(vector), reference.solve(vector)
+            )
+        finally:
+            service.close()
+
+    def test_structure_change_reforks_and_stays_bitwise(
+        self, scaled_switching_mixer, rng
+    ):
+        """A rebuild whose assembled sparsity differs (devices crossing
+        operating regions prune/grow exact-zero entries) must restart the
+        workers — stale inherited structure arrays would corrupt the factors
+        — and still match the in-process path bit for bit."""
+        problem, evaluation = _spectral_problem_data(scaled_switching_mixer)
+        service = ResidentFactorPool(2)
+        try:
+            first = _build(problem, evaluation, factor_service=service)
+            x2 = np.random.default_rng(7).normal(
+                scale=0.3, size=problem.n_total_unknowns
+            )
+            evaluation2 = problem.mna.evaluate_sparse(problem.reshape_states(x2))
+            reference = _build(problem, evaluation2)
+            if reference._base.nnz == first._base.nnz:
+                pytest.skip("iterates assembled identical structures on this host")
+            resident = _build(problem, evaluation2, factor_service=service)
+            assert service.restarts == 2
+            vector = rng.normal(size=problem.n_total_unknowns)
+            np.testing.assert_array_equal(
+                resident.solve(vector), reference.solve(vector)
+            )
+        finally:
+            service.close()
+
+
+class TestResidentSolve:
+    def test_solve_matches_serial_bitwise(self, scaled_switching_mixer):
+        mna = scaled_switching_mixer.compile()
+        serial = solve_mpde(mna, scaled_switching_mixer.scales, _SERIAL_OPTIONS)
+        resident = solve_mpde(
+            mna,
+            scaled_switching_mixer.scales,
+            replace(
+                _SOLVE_OPTIONS, parallel=True, n_workers=2, factor_backend="resident"
+            ),
+        )
+        np.testing.assert_array_equal(resident.states, serial.states)
+        assert resident.stats.parallel_fallback_reason == ""
+        assert (
+            resident.stats.preconditioner_harmonic_builds
+            == serial.stats.preconditioner_harmonic_builds
+        )
+        # The one-call driver must not strand worker processes.
+        assert _factor_children() == []
+
+    def test_stats_buckets_subdivide_gmres_time(self, scaled_switching_mixer):
+        mna = scaled_switching_mixer.compile()
+        serial = solve_mpde(mna, scaled_switching_mixer.scales, _SERIAL_OPTIONS)
+        resident = solve_mpde(
+            mna,
+            scaled_switching_mixer.scales,
+            replace(
+                _SOLVE_OPTIONS, parallel=True, n_workers=2, factor_backend="resident"
+            ),
+        )
+        stats = resident.stats
+        assert stats.gmres_apply_dispatch_time_s > 0.0
+        assert stats.gmres_backsub_time_s > 0.0
+        assert (
+            stats.gmres_apply_dispatch_time_s + stats.gmres_backsub_time_s
+            <= stats.gmres_time_s
+        )
+        # The serial path back-substitutes in-process: no dispatch bucket.
+        assert serial.stats.gmres_apply_dispatch_time_s == 0.0
+        assert serial.stats.gmres_backsub_time_s > 0.0
+        assert serial.stats.gmres_backsub_time_s <= serial.stats.gmres_time_s
+
+    def test_pss_resident_matches_serial(self, diode_rectifier):
+        from repro.analysis.pss_fd import collocation_periodic_steady_state
+
+        mna = diode_rectifier.compile()
+        kwargs = dict(matrix_free=True, preconditioner="block_circulant_fast")
+        serial = collocation_periodic_steady_state(mna, 1e-3, 41, **kwargs)
+        resident = collocation_periodic_steady_state(
+            mna,
+            1e-3,
+            41,
+            parallel=True,
+            n_workers=2,
+            factor_backend="resident",
+            **kwargs,
+        )
+        np.testing.assert_array_equal(resident.states, serial.states)
+        assert resident.parallel_fallback_reason == ""
+        assert _factor_children() == []
+
+    def test_two_tone_override_plumbs_through(self, scaled_switching_mixer):
+        from repro.core.multitone_hb import two_tone_harmonic_balance
+
+        serial = two_tone_harmonic_balance(
+            scaled_switching_mixer.compile(),
+            scaled_switching_mixer.scales,
+            n_harmonics_fast=2,
+            n_harmonics_slow=2,
+            matrix_free=True,
+            preconditioner="block_circulant_fast",
+        )
+        resident = two_tone_harmonic_balance(
+            scaled_switching_mixer.compile(),
+            scaled_switching_mixer.scales,
+            n_harmonics_fast=2,
+            n_harmonics_slow=2,
+            matrix_free=True,
+            preconditioner="block_circulant_fast",
+            parallel=True,
+            n_workers=2,
+            factor_backend="resident",
+        )
+        np.testing.assert_array_equal(
+            resident.mpde.states, serial.mpde.states
+        )
+        assert resident.mpde.stats.parallel_fallback_reason == ""
+
+
+class TestResidentFaults:
+    """Crash/hang degradation: same answer, reason recorded, nothing leaked."""
+
+    def _resident_options(self, **kwargs):
+        return replace(
+            _SOLVE_OPTIONS,
+            parallel=True,
+            n_workers=2,
+            factor_backend="resident",
+            **kwargs,
+        )
+
+    def test_worker_crash_falls_back_to_serial_results(
+        self, scaled_switching_mixer
+    ):
+        mna = scaled_switching_mixer.compile()
+        serial = solve_mpde(mna, scaled_switching_mixer.scales, _SERIAL_OPTIONS)
+        # Prime the MNA shard pool (owned by ``mna``, lives with it) so the
+        # shared-memory snapshot below only sees factor-service blocks.
+        solve_mpde(
+            mna, scaled_switching_mixer.scales, self._resident_options()
+        )
+        shm_before = _shm_blocks()
+        crash = FaultSpec(
+            site="worker.eval",
+            action=lambda ctx: os._exit(17),
+            count=1,
+            predicate=lambda ctx: ctx.get("role") == "factor",
+        )
+        with inject_faults(crash):
+            result = solve_mpde(
+                mna,
+                scaled_switching_mixer.scales,
+                self._resident_options(worker_timeout_s=5.0),
+            )
+        np.testing.assert_array_equal(result.states, serial.states)
+        assert "died" in result.stats.parallel_fallback_reason
+        assert _factor_children() == []
+        assert _shm_blocks() - shm_before == set()
+
+    def test_worker_hang_watchdog_falls_back(self, scaled_switching_mixer):
+        mna = scaled_switching_mixer.compile()
+        serial = solve_mpde(mna, scaled_switching_mixer.scales, _SERIAL_OPTIONS)
+        hang = FaultSpec(
+            site="worker.eval",
+            action=lambda ctx: time.sleep(60.0),
+            count=1,
+            predicate=lambda ctx: ctx.get("role") == "factor",
+        )
+        start = time.monotonic()
+        with inject_faults(hang):
+            result = solve_mpde(
+                mna,
+                scaled_switching_mixer.scales,
+                self._resident_options(worker_timeout_s=1.0),
+            )
+        # The watchdog, not the 60 s sleep, must bound the stall.
+        assert time.monotonic() - start < 30.0
+        np.testing.assert_array_equal(result.states, serial.states)
+        assert "timed out" in result.stats.parallel_fallback_reason
+        assert _factor_children() == []
+
+    def test_crash_profile_leaves_no_zombies(self, scaled_switching_mixer):
+        """The named ``worker_crash`` profile (the CI fault job's hammer) may
+        kill *any* worker — factor or MNA shard — and the solve must still
+        return the serial answer with every child reaped."""
+        mna = scaled_switching_mixer.compile()
+        serial = solve_mpde(mna, scaled_switching_mixer.scales, _SERIAL_OPTIONS)
+        with inject_faults(*build_profile_specs("worker_crash")):
+            result = solve_mpde(
+                mna,
+                scaled_switching_mixer.scales,
+                self._resident_options(worker_timeout_s=5.0),
+            )
+        np.testing.assert_array_equal(result.states, serial.states)
+        assert result.stats.parallel_fallback_reason != ""
+        assert _factor_children() == []

@@ -270,6 +270,96 @@ class TestWorkerFailure:
             pool.close()
 
 
+class TestEmptyShards:
+    """``P < n_workers`` / ``P == 0``: idle workers and the reply protocol.
+
+    ``shard_ranges(n, workers)`` with ``n < workers`` yields empty
+    ``(lo, lo)`` trailing shards; ``ShardedKernelPool.evaluate`` maps those
+    to ``None`` messages, which ``_send`` must skip entirely — an idle
+    worker receives no command, owes no acknowledgement, and must not be
+    charged against the reply watchdog budget.  These tests pin that
+    contract down, including that the command protocol stays in sync on the
+    evaluation *after* an idle round.
+    """
+
+    def _pool(self, mna, n_workers, **kwargs):
+        return ShardedKernelPool(
+            mna.engine,
+            n_unknowns=mna.n_unknowns,
+            nnz_dynamic=mna.dynamic_pattern.nnz,
+            nnz_static=mna.static_pattern.nnz,
+            n_workers=n_workers,
+            **kwargs,
+        )
+
+    def test_fewer_points_than_workers_bitwise(self, rng):
+        mna = _all_device_circuit().compile()
+        pool = self._pool(mna, 4)
+        try:
+            for n_points in (1, 2, 3):
+                states = _random_states(mna, n_points, rng)
+                expected = mna.engine.evaluate(states)
+                got = pool.evaluate(states)
+                for reference, result in zip(expected, got):
+                    np.testing.assert_array_equal(result, reference)
+            # The round after an idle round must still be in protocol sync.
+            states = _random_states(mna, ODD_POINTS, rng)
+            expected = mna.engine.evaluate(states)
+            got = pool.evaluate(states)
+            for reference, result in zip(expected, got):
+                np.testing.assert_array_equal(result, reference)
+        finally:
+            pool.close()
+
+    def test_zero_points_round_trips(self, rng):
+        mna = _all_device_circuit().compile()
+        pool = self._pool(mna, 2)
+        try:
+            empty = np.empty((0, mna.n_unknowns))
+            q, f, c_data, g_data = pool.evaluate(empty)
+            assert q.shape == f.shape == (0, mna.n_unknowns)
+            assert c_data.shape == (0, mna.dynamic_pattern.nnz)
+            assert g_data.shape == (0, mna.static_pattern.nnz)
+            # A real evaluation afterwards still matches serial exactly.
+            states = _random_states(mna, 7, rng)
+            expected = mna.engine.evaluate(states)
+            for reference, result in zip(expected, pool.evaluate(states)):
+                np.testing.assert_array_equal(result, reference)
+        finally:
+            pool.close()
+
+    def test_idle_worker_is_not_charged_to_the_watchdog(self, rng):
+        """A worker that *would* hang never stalls a round it has no work in.
+
+        Worker index 3 is armed to sleep far past the watchdog budget on
+        its first evaluation; with only 2 points, shards (0,1) (1,2) (2,2)
+        (2,2) leave workers 2 and 3 idle, so the evaluation must succeed
+        well inside the budget — proving idle workers are neither sent a
+        command, nor awaited, nor charged against ``reply_timeout_s``.
+        """
+        from repro.resilience import FaultSpec, inject_faults
+        import time as time_module
+
+        hang = FaultSpec(
+            site="worker.eval",
+            action=lambda ctx: time_module.sleep(60.0),
+            predicate=lambda ctx: ctx.get("worker") == 3,
+        )
+        mna = _all_device_circuit().compile()
+        with inject_faults(hang):  # armed pre-fork so the children inherit it
+            pool = self._pool(mna, 4, reply_timeout_s=5.0)
+        try:
+            states = _random_states(mna, 2, rng)
+            expected = mna.engine.evaluate(states)
+            start = time_module.monotonic()
+            got = pool.evaluate(states)
+            assert time_module.monotonic() - start < 5.0
+            for reference, result in zip(expected, got):
+                np.testing.assert_array_equal(result, reference)
+        finally:
+            pool.close()
+
+
 def _spectral_problem_data(scaled_switching_mixer):
     """A spectral MPDE problem plus per-point Jacobian data at a random iterate."""
     from repro.core.mpde import MPDEProblem
@@ -489,6 +579,70 @@ class TestWorkerPool:
 
             with pytest.raises(ValueError, match="bad"):
                 pool.map(boom, [1, 2, 3])
+        finally:
+            pool.close()
+
+    def test_map_failure_names_the_item_index(self):
+        """Regression: failures used to carry no record of *which* item."""
+        pool = WorkerPool(2)
+        try:
+            def boom_on_5(k):
+                if k == 5:
+                    raise ValueError("harmonic factorisation failed")
+                return k
+
+            with pytest.raises(ValueError) as excinfo:
+                pool.map(boom_on_5, list(range(8)))
+            assert excinfo.value.failed_item_index == 5
+            notes = getattr(excinfo.value, "__notes__", [])
+            assert any("item index 5" in note for note in notes)
+        finally:
+            pool.close()
+
+    def test_map_two_failures_deterministic_and_logged(self, caplog):
+        """Two shards fail: lowest item index wins, the other is logged.
+
+        Regression: ``map`` re-raised ``errors[0]`` in thread-completion
+        order (nondeterministic) and silently discarded the rest.  A
+        barrier forces both failing shards to race, so pre-fix the raised
+        index depended on scheduling and the second error vanished.
+        """
+        import threading
+
+        barrier = threading.Barrier(2)
+
+        def boom(k):
+            if k in (2, 5):
+                barrier.wait(timeout=10.0)  # both failures in flight at once
+                raise ValueError(f"boom {k}")
+            return k
+
+        pool = WorkerPool(4)  # shards of 8 items: (0,2) (2,4) (4,6) (6,8)
+        try:
+            with caplog.at_level("WARNING", logger="repro.parallel.pool"):
+                with pytest.raises(ValueError, match="boom 2") as excinfo:
+                    pool.map(boom, list(range(8)))
+            assert excinfo.value.failed_item_index == 2
+            suppressed = [
+                record for record in caplog.records if "suppressing" in record.message
+            ]
+            assert len(suppressed) == 1
+            assert "item index 5" in suppressed[0].getMessage()
+            assert "boom 5" in suppressed[0].getMessage()
+        finally:
+            pool.close()
+
+    def test_map_serial_path_names_the_item_index(self):
+        pool = WorkerPool(1)
+        try:
+            def boom(k):
+                if k == 3:
+                    raise RuntimeError("nope")
+                return k
+
+            with pytest.raises(RuntimeError) as excinfo:
+                pool.map(boom, list(range(6)))
+            assert excinfo.value.failed_item_index == 3
         finally:
             pool.close()
 

@@ -396,6 +396,50 @@ class TestBlockCirculantFastProperty:
             precond.solve(vector), np.linalg.solve(explicit, vector), rtol=1e-9
         )
 
+    def test_complex_apply_is_a_single_pass(self, rng):
+        """Regression: a complex apply recursed into two full real applies.
+
+        The fixed path shares one FFT call and one sweep over the harmonic
+        solvers (two-column RHS) — so per complex apply the per-harmonic
+        dispatch count is ``n_slow // 2 + 1``, not twice that — and its
+        result stays bitwise equal to the former two-pass
+        ``solve(real) + 1j * solve(imag)`` recursion.
+        """
+        n, n_fast, n_slow = 3, 6, 8
+        d_fast = np.asarray(
+            sp.csr_matrix(periodic_bdf2_difference(n_fast, 1.0)).todense()
+        )
+        d_slow = np.asarray(
+            sp.csr_matrix(periodic_bdf2_difference(n_slow, 3.0)).todense()
+        )
+        pattern = _random_pattern(rng, n, density=1.0)
+        c_bar = rng.normal(size=(n_fast, pattern.nnz)) * 1e-3
+        g_bar = rng.normal(size=(n_fast, pattern.nnz))
+        g_bar[:, np.nonzero(pattern.rows == pattern.cols)[0]] += 4.0
+        build = lambda: BlockCirculantFastPreconditioner(  # noqa: E731
+            c_bar, g_bar, pattern, pattern, d_fast, circulant_eigenvalues(d_slow)
+        )
+        precond = build()
+        vector = rng.normal(size=n_fast * n_slow * n) + 1j * rng.normal(
+            size=n_fast * n_slow * n
+        )
+        distinct = n_slow // 2 + 1
+
+        single_pass = precond.solve(vector)
+        # One complex apply dispatches each distinct harmonic solver once.
+        assert precond.harmonic_applies == distinct
+        assert precond.harmonic_factorizations == distinct
+
+        # Bitwise equality to the two-pass recursion the fix replaced.
+        reference = build()
+        two_pass = reference.solve(vector.real) + 1j * reference.solve(vector.imag)
+        assert reference.harmonic_applies == 2 * distinct
+        np.testing.assert_array_equal(single_pass, two_pass)
+
+        # A real apply still dispatches one sweep.
+        precond.solve(vector.real)
+        assert precond.harmonic_applies == 2 * distinct
+
     def test_shape_validation(self, rng):
         pattern = _random_pattern(rng, 2, density=1.0)
         data = rng.normal(size=(4, pattern.nnz))

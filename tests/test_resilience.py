@@ -220,6 +220,55 @@ class TestFaultInjection:
             build_profile_specs("worker_crash,typo_profile")
         assert build_profile_specs("") == ()
 
+    def test_build_profile_specs_worker_hang(self):
+        (spec,) = build_profile_specs("worker_hang")
+        assert spec.site == "worker.eval"
+        assert spec.count == 1
+
+    def test_threaded_visits_keep_counters_exact(self):
+        """Regression: ``calls``/``fired`` raced under concurrent visits.
+
+        Eager harmonic factorisation drives the ``preconditioner.build``
+        site from concurrent ``WorkerPool`` threads; before the per-spec
+        lock, the unsynchronised ``+=`` bookkeeping could lose visits or
+        fire a ``count``-capped fault more than ``count`` times.
+        """
+        import sys
+        import threading
+
+        n_threads, visits_each, cap = 16, 400, 7
+        fired: list[int] = []
+        spec = FaultSpec(
+            site="s",
+            action=lambda ctx: fired.append(ctx["t"]),
+            at_call=3,
+            count=cap,
+        )
+        barrier = threading.Barrier(n_threads)
+
+        def visit_many(t: int) -> None:
+            barrier.wait()
+            for _ in range(visits_each):
+                fault_site("s", t=t)
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)  # maximise preemption between bytecodes
+        try:
+            with inject_faults(spec):
+                threads = [
+                    threading.Thread(target=visit_many, args=(t,))
+                    for t in range(n_threads)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert spec.calls == n_threads * visits_each
+        assert spec.fired == cap
+        assert len(fired) == cap
+
 
 # ---------------------------------------------------------------------------
 # GMRES stagnation detector
