@@ -16,6 +16,7 @@ this library — which is why the MPDE tests cross-validate against it.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,10 +43,15 @@ from ..linalg.sparse import (
 from ..parallel.backends import resolve_execution
 from ..parallel.factor_service import ResidentFactorPool
 from ..parallel.pool import WorkerPool
+from ..resilience.checkpoint import SolveCheckpoint, solve_fingerprint
 from ..resilience.deadline import Deadline
 from ..resilience.diagnostics import attach_diagnostics, build_failure_diagnostics
 from ..signals.waveform import Waveform
-from ..utils.exceptions import AnalysisError, ConvergenceError
+from ..utils.exceptions import (
+    AnalysisError,
+    ConvergenceError,
+    DeadlineExceededError,
+)
 from ..utils.logging import get_logger
 from ..utils.options import FACTOR_BACKENDS, NewtonOptions
 from .dc import dc_operating_point
@@ -145,6 +151,8 @@ def collocation_periodic_steady_state(
     factor_backend: str = "threads",
     worker_timeout_s: float | None = 120.0,
     deadline_s: float | None = None,
+    resume_from: SolveCheckpoint | str | os.PathLike | None = None,
+    checkpoint_path: str | os.PathLike | None = None,
 ) -> CollocationPSSResult:
     """Solve for the periodic steady state on ``n_samples`` collocation points.
 
@@ -206,6 +214,19 @@ def collocation_periodic_steady_state(
         enforced at Newton iteration boundaries (including the
         source-stepping stages); raises
         :class:`~repro.utils.exceptions.DeadlineExceededError` on expiry.
+        The raised error carries the latest iteration-boundary
+        :class:`~repro.resilience.checkpoint.SolveCheckpoint` on its
+        ``checkpoint`` attribute.
+    resume_from:
+        A checkpoint (or path of one persisted via ``checkpoint_path``)
+        recorded by an interrupted run of *this same analysis*; the
+        fingerprint is validated and the stored iterate becomes the initial
+        guess (unless an explicit ``x0`` overrides it).  In the direct
+        (``matrix_free=False``) mode a deadline-split solve resumed this way
+        converges bit-for-bit to the uninterrupted answer.
+    checkpoint_path:
+        Persist iteration-boundary checkpoints to this path (atomic
+        rename), in addition to the in-memory copy on the raised error.
     """
     if period <= 0:
         raise AnalysisError("period must be positive")
@@ -228,9 +249,45 @@ def collocation_periodic_steady_state(
     nopts = newton_options or NewtonOptions(max_iterations=100)
     deadline = Deadline(deadline_s)
 
+    fingerprint = solve_fingerprint(
+        "pss",
+        circuit=mna.circuit.name,
+        unknowns=list(mna.unknown_names),
+        period=period,
+        n_samples=n_samples,
+        method=method,
+        t0=t0,
+        matrix_free=matrix_free,
+        preconditioner=preconditioner,
+    )
+    latest_checkpoint: list[SolveCheckpoint | None] = [None]
+
+    def _checked_deadline(stage: str) -> None:
+        try:
+            deadline.check(stage)
+        except DeadlineExceededError as exc:
+            if exc.checkpoint is None:
+                exc.checkpoint = latest_checkpoint[0]
+            raise
+
     def _deadline_callback(iteration: int, x: np.ndarray, residual_norm: float) -> None:
+        # The main Newton run records an iteration-boundary checkpoint at
+        # every accepted iterate (the source-stepping stages do not — their
+        # embedded iterates are not resume points of the real problem).
+        latest_checkpoint[0] = SolveCheckpoint(
+            fingerprint=fingerprint,
+            stage="collocation",
+            iterate=np.array(x, copy=True),
+            newton_iterations=int(iteration),
+            residual_norm=float(residual_norm),
+        )
+        if checkpoint_path is not None:
+            latest_checkpoint[0].save(checkpoint_path)
+        _checked_deadline("collocation newton")
+
+    def _stage_callback(iteration: int, x: np.ndarray, residual_norm: float) -> None:
         del iteration, x, residual_norm
-        deadline.check("collocation newton")
+        _checked_deadline("collocation newton")
 
     # Parallel execution layer: one resolution + one factor pool for the
     # whole solve (the pools are reused across every Newton iteration).
@@ -261,6 +318,13 @@ def collocation_periodic_steady_state(
         )
 
         b_samples = mna.source(times)  # (N, n)
+
+        if resume_from is not None:
+            if isinstance(resume_from, (str, os.PathLike)):
+                resume_from = SolveCheckpoint.load(resume_from)
+            resume_from.validate(fingerprint)
+            if x0 is None:
+                x0 = np.array(resume_from.iterate, copy=True).reshape(n_samples, n)
 
         if x0 is None:
             x_dc = dc_operating_point(mna).x
@@ -383,13 +447,13 @@ def collocation_periodic_steady_state(
             lam = 0.0
             try:
                 for lam in np.linspace(0.0, 1.0, 11):
-                    deadline.check("collocation source stepping")
+                    _checked_deadline("collocation source stepping")
                     step = newton_solve(
                         residual_for(embedded_source(lam)),
                         jacobian,
                         x_current,
                         nopts,
-                        callback=_deadline_callback,
+                        callback=_stage_callback,
                     )
                     total_iterations += step.iterations
                     x_current = step.x

@@ -63,8 +63,14 @@ inherited the compiled engine (:mod:`repro.parallel`), with state and
 results crossing the process boundary through shared memory.  Every engine
 operation is elementwise along ``P``, so the sharded path is bit-for-bit
 equal to the serial one.  The pool is built lazily on first use and reused
-for the lifetime of the compiled system; any environment or worker failure
-falls back permanently to the serial path with the reason recorded on
+for the lifetime of the compiled system.  Environment constraints (no
+``fork``, a single usable CPU with auto worker count) fall back serially up
+front; worker *failures* are handed to a
+:class:`~repro.resilience.supervisor.PoolSupervisor`, which restarts the
+pool with exponential backoff and a bit-for-bit parity health-probe, and
+only disables sharding permanently once the
+:class:`~repro.utils.options.RestartPolicy` budget is exhausted.  The
+reason for whichever serial fallback happened last is recorded on
 :attr:`MNASystem.parallel_fallback_reason`.
 """
 
@@ -80,6 +86,7 @@ from ..linalg.sparse import StampPattern
 from ..parallel.backends import KERNEL_BACKENDS, resolve_execution
 from ..parallel.pool import ShardedKernelPool, WorkerPoolError
 from ..resilience.faultinject import fault_site
+from ..resilience.supervisor import PoolSupervisor
 from ..utils.exceptions import CircuitError, DeviceError, NodeError
 from ..utils.logging import get_logger
 from ..utils.options import EVALUATION_BACKENDS
@@ -178,6 +185,7 @@ class MNASystem:
         kernel_backend: str = "serial",
         n_workers: int | None = None,
         worker_timeout_s: float | None = 120.0,
+        restart_policy=None,
     ) -> None:
         self.circuit = circuit
         self._node_index = dict(node_index)
@@ -206,8 +214,13 @@ class MNASystem:
         #: free, so alternating override values per call is an anti-pattern.
         self._kernel_pool: ShardedKernelPool | None = None
         self._kernel_pool_workers = 0
-        #: Sticky disable: once a worker fails, every later sharded request
-        #: runs serially (retrying against a broken pool would fail again).
+        #: Supervised healing of the sharded pool: worker failures restart
+        #: the pool (with backoff and a parity probe) instead of disabling
+        #: it; only an exhausted restart budget goes sticky-serial.
+        self.supervisor = PoolSupervisor("kernel_shard", restart_policy)
+        #: Sticky disable, set only once the supervisor's restart budget is
+        #: exhausted (or for unsupervisable failures); every later sharded
+        #: request then runs serially.
         self._sharding_disabled_reason: str | None = None
         self._parallel_fallback_reason = ""
 
@@ -386,15 +399,50 @@ class MNASystem:
         Set whenever sharding was *requested* but the serial path ran
         instead — environment constraints (single CPU with auto worker
         count, no ``fork``), an explicit ``n_workers=1``, or a worker
-        failure (which disables sharding permanently for this system).
+        failure whose supervised healing exhausted the restart budget.
+
+        Reason lifecycle
+        ----------------
+        This property has *last-request* semantics: a later sharded success
+        clears a reason left by an earlier call (and a later fallback
+        overwrites it).  It deliberately does **not** remember history — for
+        that, a per-solve view with *first-reason-wins* semantics is
+        snapshotted onto ``MPDEStats.parallel_fallback_reason`` (reset at
+        the start of every solve, frozen at its end), and the full healing
+        history lives on ``MPDEStats.supervisor_trace`` /
+        :attr:`MNASystem.supervisor` ``.trace``.
         """
         return self._parallel_fallback_reason
+
+    @property
+    def sharding_disabled_reason(self) -> str:
+        """The sticky reason sharding is disabled for this system ("" if live).
+
+        Non-empty only once the supervisor's restart budget is exhausted
+        (``"disabled (budget exhausted): ..."``) — transient healed
+        failures never set it.
+        """
+        return self._sharding_disabled_reason or ""
 
     def _disable_sharding(self, reason: str) -> None:
         self._sharding_disabled_reason = reason
         self._parallel_fallback_reason = reason
         self.close()
         _LOG.warning("%s; falling back to serial kernel evaluation", reason)
+
+    def _probe_sharded_parity(self, pool: ShardedKernelPool) -> bool:
+        """Health-probe a restarted pool: a tiny sharded evaluation must
+        match the in-process serial engine bit-for-bit (the sharded path's
+        core contract) before the pool is re-admitted to the solve path."""
+        X = np.full((2, self.n_unknowns), 0.1)
+        sharded = pool.evaluate(X, need_static_jacobian=True, need_dynamic_jacobian=True)
+        serial = self.engine.evaluate(X, need_static_jacobian=True, need_dynamic_jacobian=True)
+        for got, want in zip(sharded, serial):
+            if (got is None) != (want is None):
+                return False
+            if got is not None and not np.array_equal(got, want):
+                return False
+        return True
 
     def _kernel_pool_for(self, n_workers: int) -> ShardedKernelPool:
         if self._kernel_pool is None or self._kernel_pool_workers != n_workers:
@@ -449,21 +497,46 @@ class MNASystem:
                     pass
                 else:
                     pool = self._kernel_pool_for(resolved.n_workers)
-                    try:
-                        result = pool.evaluate(
-                            X,
-                            need_static_jacobian=need_static_jacobian,
-                            need_dynamic_jacobian=need_dynamic_jacobian,
-                        )
-                    except WorkerPoolError as exc:
-                        self._disable_sharding(f"sharded evaluation failed ({exc})")
-                    else:
-                        # The property reflects the *last* sharded request:
-                        # a success clears a reason left by an earlier call
-                        # (e.g. a previous auto-resolved-serial solve).
-                        self._parallel_fallback_reason = ""
-                        fault_site("mna.evaluate", f=result[1])
-                        return result
+                    while True:
+                        try:
+                            result = pool.evaluate(
+                                X,
+                                need_static_jacobian=need_static_jacobian,
+                                need_dynamic_jacobian=need_dynamic_jacobian,
+                            )
+                        except WorkerPoolError as exc:
+                            # The pool tore itself down on the failed
+                            # exchange; the supervisor restarts it (with
+                            # backoff and a parity probe) and we retry, or —
+                            # budget exhausted — sharding goes sticky-serial.
+                            self._kernel_pool = None
+                            self._kernel_pool_workers = 0
+                            healed_pool: list[ShardedKernelPool] = []
+
+                            def _restart() -> None:
+                                self.close()
+                                healed_pool.append(
+                                    self._kernel_pool_for(resolved.n_workers)
+                                )
+
+                            disabled = self.supervisor.handle_failure(
+                                f"sharded evaluation failed ({exc})",
+                                restart=_restart,
+                                probe=lambda: self._probe_sharded_parity(
+                                    healed_pool[-1]
+                                ),
+                            )
+                            if disabled is not None:
+                                self._disable_sharding(disabled)
+                                break
+                            pool = healed_pool[-1]
+                        else:
+                            # The property reflects the *last* sharded request:
+                            # a success clears a reason left by an earlier call
+                            # (e.g. a previous auto-resolved-serial solve).
+                            self._parallel_fallback_reason = ""
+                            fault_site("mna.evaluate", f=result[1])
+                            return result
         result = self.engine.evaluate(
             X,
             need_static_jacobian=need_static_jacobian,

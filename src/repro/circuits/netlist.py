@@ -204,4 +204,5 @@ class Circuit:
             kernel_backend=options.kernel_backend,
             n_workers=options.n_workers,
             worker_timeout_s=options.worker_timeout_s,
+            restart_policy=options.restart,
         )

@@ -110,6 +110,8 @@ def two_tone_harmonic_balance(
     factor_backend: str | None = None,
     deadline_s: float | None = None,
     recovery: RecoveryPolicy | None = None,
+    resume_from=None,
+    checkpoint_path: str | None = None,
 ) -> TwoToneHBResult:
     """Run two-tone (box-truncated) harmonic balance for a closely-spaced-tone circuit.
 
@@ -150,6 +152,14 @@ def two_tone_harmonic_balance(
         a cooperative wall-clock budget for the underlying MPDE solve and the
         :class:`~repro.utils.options.RecoveryPolicy` driving its failure
         escalation ladder.
+    resume_from, checkpoint_path:
+        Crash-consistent checkpointing of the underlying MPDE solve (see
+        :func:`~repro.core.solver.solve_mpde`): ``checkpoint_path``
+        persists iteration-boundary
+        :class:`~repro.resilience.checkpoint.SolveCheckpoint` snapshots,
+        ``resume_from`` continues an interrupted run (fingerprint
+        validated) — a deadline-split spectral HB solve resumes to the
+        uninterrupted answer.
     """
     if n_harmonics_fast < 1 or n_harmonics_slow < 1:
         raise AnalysisError("harmonic truncations must be at least 1")
@@ -183,7 +193,13 @@ def two_tone_harmonic_balance(
         slow_method="fourier",
         **overrides,
     )
-    result = solve_mpde(mna, scales, spectral_options)
+    result = solve_mpde(
+        mna,
+        scales,
+        spectral_options,
+        resume_from=resume_from,
+        checkpoint_path=checkpoint_path,
+    )
     return TwoToneHBResult(
         mpde=result,
         n_harmonics_fast=n_harmonics_fast,

@@ -21,6 +21,8 @@ used by the speed-up benchmarks.
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -39,6 +41,7 @@ from ..linalg.preconditioners import (
 from ..parallel.backends import resolve_execution
 from ..parallel.factor_service import ResidentFactorPool
 from ..parallel.pool import WorkerPool
+from ..resilience.checkpoint import SolveCheckpoint, solve_fingerprint
 from ..resilience.deadline import Deadline
 from ..resilience.diagnostics import attach_diagnostics, build_failure_diagnostics
 from ..resilience.faultinject import fault_site
@@ -140,10 +143,22 @@ class MPDEStats:
     #: path (slowest worker shard) per apply on the resident service.  Also
     #: a subdivision of ``gmres_time_s``.
     gmres_backsub_time_s: float = 0.0
-    #: Why a requested parallel execution fell back to the serial path
-    #: ("" when parallel was not requested or ran as requested): the
-    #: environment constraint, ``n_workers=1``, or a worker failure.
+    #: Why a requested parallel execution fell back to (or degraded
+    #: through) the serial path ("" when parallel was not requested or ran
+    #: as requested): the environment constraint, ``n_workers=1``, a healed
+    #: worker failure (``"degraded (healing): ..."``) or an exhausted
+    #: restart budget (``"disabled (budget exhausted): ..."``).  Per-solve,
+    #: *first-reason-wins* semantics: reset at the start of every solve,
+    #: set to the chronologically first reason of that solve, frozen at its
+    #: end (the live ``MNASystem.parallel_fallback_reason`` property has
+    #: *last-request* semantics instead, and is cleared by later
+    #: successes).
     parallel_fallback_reason: str = ""
+    #: Every :class:`~repro.resilience.supervisor.SupervisorEvent` recorded
+    #: by the pool supervisors (sharded evaluation pool and resident factor
+    #: service) during this solve, merged chronologically.  Empty when no
+    #: worker failed.
+    supervisor_trace: list = field(default_factory=list)
     # -- recovery ladder (resilience subsystem) ---------------------------
     #: Every recovery attempt made by the escalation ladder, in order: the
     #: failed baseline attempt first, then one
@@ -299,6 +314,11 @@ class _ChordLU:
     def __init__(self, growth_factor: float, slack: int) -> None:
         self._policy = AdaptiveRefreshPolicy(growth_factor=growth_factor, slack=slack)
         self.factor = None
+        #: Iterate the resident factorisation was produced at — part of a
+        #: checkpoint's chord state, because refactoring the same matrix
+        #: data is bitwise deterministic (that is what makes chord-mode
+        #: resume land exactly on the uninterrupted trajectory).
+        self.factored_at: np.ndarray | None = None
         self.just_built = False
         self._stale = False
 
@@ -313,6 +333,33 @@ class _ChordLU:
 
     def invalidate(self) -> None:
         self.factor = None
+
+    def capture_state(self) -> dict | None:
+        """Chord cache state for a :class:`SolveCheckpoint` (None when cold)."""
+        if self.factor is None or self.factored_at is None:
+            return None
+        return {
+            "factored_at": np.array(self.factored_at, copy=True),
+            "baseline": self._policy.baseline,
+            "last": self._policy.last,
+            "just_built": self.just_built,
+            "stale": self._stale,
+        }
+
+    def restore_state(self, state: dict, refactor) -> None:
+        """Rebuild the cached factorisation exactly as a checkpoint recorded it.
+
+        ``refactor`` is a callable refactoring at a given iterate (the
+        solver's ``_chord_refactor``); the refresh-policy counters and
+        staleness flags are then replayed on top of the fresh build.
+        """
+        refactor(np.asarray(state["factored_at"], dtype=float))
+        if state.get("baseline") is not None:
+            self._policy.record(int(state["baseline"]))
+        if state.get("last") is not None:
+            self._policy.record(int(state["last"]))
+        self.just_built = bool(state.get("just_built", False))
+        self._stale = bool(state.get("stale", False))
 
     def record_step(self, ratio: float) -> None:
         """Feed one accepted Newton step's residual-reduction ratio to the policy."""
@@ -383,6 +430,7 @@ class MPDESolver:
             ResidentFactorPool(
                 self._parallel_resolution.n_workers,
                 reply_timeout_s=self.options.worker_timeout_s,
+                restart_policy=self.options.restart,
             )
             if use_resident
             else None
@@ -417,6 +465,13 @@ class MPDESolver:
         self._deadline = Deadline(None)
         self._preconditioner_override: str | None = None
         self._last_iterate: np.ndarray | None = None
+        # Checkpoint state: the latest iteration-boundary snapshot (attached
+        # to deadline / terminal failures), the fingerprint it is recorded
+        # under, and a chord state waiting to be restored by ``_newton``
+        # when resuming.
+        self._checkpoint: SolveCheckpoint | None = None
+        self._solve_fingerprint = ""
+        self._pending_chord_state: dict | None = None
 
     def close(self) -> None:
         """Release the solver's parallel resources (idempotent).
@@ -510,6 +565,7 @@ class MPDESolver:
             stats.factorization_time_s += time.perf_counter() - factor_start
         stats.jacobian_factorizations += 1
         self._chord.store(factor)
+        self._chord.factored_at = np.array(x, dtype=float, copy=True)
 
     def _chord_solve(self, rhs: np.ndarray, stats: MPDEStats, x: np.ndarray) -> np.ndarray:
         chord = self._chord
@@ -632,15 +688,31 @@ class MPDESolver:
         self._last_iterate = x
 
         if self._chord_active:
-            # Every Newton run (the main solve, and each continuation stage)
-            # starts from a fresh factorisation: a factor left over from a
-            # different embedding is a poor chord matrix and can burn a tight
-            # iteration budget before the refresh policy notices.
-            self._chord.invalidate()
+            if source_grid is None and self._pending_chord_state is not None:
+                # Resuming from a checkpoint: rebuild the chord cache exactly
+                # as the interrupted solve left it, so the resumed trajectory
+                # is bitwise identical to the uninterrupted one.
+                state = self._pending_chord_state
+                self._pending_chord_state = None
+                self._chord.restore_state(
+                    state, lambda x_at: self._chord_refactor(x_at, stats)
+                )
+            else:
+                # Every Newton run (the main solve, and each continuation
+                # stage) starts from a fresh factorisation: a factor left
+                # over from a different embedding is a poor chord matrix and
+                # can burn a tight iteration budget before the refresh
+                # policy notices.
+                self._chord.invalidate()
 
         residual, jacobian, data = self._timed_evaluate(x, source_grid, stats)
         res_norm = float(np.max(np.abs(residual)))
         stats.residual_history.append(res_norm)
+        if source_grid is None:
+            # Iteration-boundary checkpoint (the continuation stages solve
+            # embedded problems whose iterates are not resume points of the
+            # real one, so only the un-embedded runs record).
+            self._record_checkpoint(x, stats, res_norm)
 
         for _iteration in range(1, max_iter + 1):
             self._deadline.check("newton", partial_stats=stats)
@@ -682,6 +754,8 @@ class MPDESolver:
             stats.newton_iterations += 1
             res_norm = trial_norm
             stats.residual_history.append(res_norm)
+            if source_grid is None:
+                self._record_checkpoint(x, stats, res_norm)
             _LOG.debug(
                 "MPDE newton iter=%d residual=%.3e update=%.3e damping=%.3g",
                 stats.newton_iterations,
@@ -787,8 +861,57 @@ class MPDESolver:
             return self.problem.initial_guess_from_state(result.final_state())
         raise MPDEError(f"unknown initial_guess mode {mode!r}")
 
+    # -- checkpoint/resume -------------------------------------------------------------------
+    def _fingerprint(self) -> str:
+        """Identity hash of this solve (circuit, grid, discretisation, solver)."""
+        opts = self.options
+        grid = self.problem.grid
+        return solve_fingerprint(
+            "mpde",
+            circuit=self.problem.mna.circuit.name,
+            unknowns=list(self.problem.mna.unknown_names),
+            n_fast=opts.n_fast,
+            n_slow=opts.n_slow,
+            period_fast=grid.period_fast,
+            period_slow=grid.period_slow,
+            fast_method=opts.fast_method,
+            slow_method=opts.slow_method,
+            linear_solver=opts.linear_solver,
+            matrix_free=opts.matrix_free,
+            preconditioner=opts.preconditioner,
+            chord_newton=opts.chord_newton,
+        )
+
+    def _record_checkpoint(
+        self, x: np.ndarray, stats: MPDEStats, residual_norm: float
+    ) -> None:
+        """Snapshot the accepted iterate (iteration-boundary consistency).
+
+        Always kept in memory (attached to deadline / terminal failures);
+        additionally persisted atomically when ``options.checkpoint_path``
+        is set.
+        """
+        chord_state = self._chord.capture_state() if self._chord_active else None
+        self._checkpoint = SolveCheckpoint(
+            fingerprint=self._solve_fingerprint,
+            stage="newton",
+            iterate=np.array(x, copy=True),
+            newton_iterations=stats.newton_iterations,
+            residual_norm=float(residual_norm),
+            chord_state=chord_state,
+            recovery_trace=list(stats.recovery_trace),
+            stats=dataclasses.asdict(stats),
+        )
+        if self.options.checkpoint_path:
+            self._checkpoint.save(self.options.checkpoint_path)
+
     # -- public API -------------------------------------------------------------------------------
-    def solve(self, x0: np.ndarray | None = None) -> MPDEResult:
+    def solve(
+        self,
+        x0: np.ndarray | None = None,
+        *,
+        resume_from: "SolveCheckpoint | str | os.PathLike | None" = None,
+    ) -> MPDEResult:
         """Solve the MPDE and return an :class:`MPDEResult`.
 
         Parameters
@@ -798,6 +921,15 @@ class MPDESolver:
             circuit state of length ``n``, which is tiled over the grid).
             When omitted, the guess selected by ``options.initial_guess`` is
             used.
+        resume_from:
+            A :class:`~repro.resilience.checkpoint.SolveCheckpoint` (or the
+            path of one persisted via ``options.checkpoint_path``) recorded
+            by an interrupted solve of *this same problem*.  The checkpoint
+            fingerprint is validated (:class:`CheckpointError` on mismatch),
+            its iterate becomes the initial guess (unless an explicit ``x0``
+            overrides it) and, in chord-Newton mode, the chord cache state
+            is restored — so a deadline-split direct-mode solve converges
+            bit-for-bit to the uninterrupted answer.
         """
         stats = MPDEStats(
             n_grid_points=self.problem.n_grid_points,
@@ -805,14 +937,31 @@ class MPDESolver:
         )
         if self._parallel_resolution is not None:
             # Parallel was requested; record up front why it resolved to
-            # serial (if it did) — a mid-solve worker failure in the MNA
-            # layer overrides this after the solve.
+            # serial (if it did) — a supervised pool failure during the
+            # solve overrides this after the solve (first reason wins).
             stats.parallel_fallback_reason = self._parallel_resolution.fallback_reason
         if self._chord is not None:
             self._chord.invalidate()
         self._deadline = Deadline(self.options.deadline_s)
         self._preconditioner_override = None
         self._last_iterate = None
+        self._solve_fingerprint = self._fingerprint()
+        self._checkpoint = None
+        self._pending_chord_state = None
+        if resume_from is not None:
+            if isinstance(resume_from, (str, os.PathLike)):
+                resume_from = SolveCheckpoint.load(resume_from)
+            resume_from.validate(self._solve_fingerprint)
+            if x0 is None:
+                x0 = np.array(resume_from.iterate, copy=True)
+            if resume_from.chord_state is not None and self._chord is not None:
+                self._pending_chord_state = dict(resume_from.chord_state)
+        # Per-solve supervisor episode: snapshot each pool supervisor's
+        # trace length now, slice the new events off afterwards.
+        supervisors = [self.problem.mna.supervisor]
+        if self._factor_service is not None:
+            supervisors.append(self._factor_service.supervisor)
+        trace_marks = [len(sup.trace) for sup in supervisors]
         start = time.perf_counter()
 
         if x0 is None:
@@ -837,16 +986,43 @@ class MPDESolver:
         except DeadlineExceededError as exc:
             if exc.partial_stats is None:
                 exc.partial_stats = stats
+            if exc.checkpoint is None:
+                exc.checkpoint = self._checkpoint
+            raise
+        except AnalysisError as exc:
+            # Exhausted-ladder / terminal failures carry the latest
+            # iteration-boundary checkpoint too, so even a failed solve's
+            # progress can seed a retry.
+            if exc.checkpoint is None:
+                exc.checkpoint = self._checkpoint
             raise
         finally:
             stats.wall_time_seconds = time.perf_counter() - start
-            if (
-                self._factor_service is not None
-                and self._factor_service.fallback_reason
-            ):
-                stats.parallel_fallback_reason = self._factor_service.fallback_reason
-            if self.options.parallel and self.problem.mna.parallel_fallback_reason:
-                stats.parallel_fallback_reason = self.problem.mna.parallel_fallback_reason
+            # Merge this solve's supervisor events chronologically and
+            # derive the per-solve fallback reason: the *first* reason any
+            # healing / disabling event implied wins; with no events, the
+            # sticky pool states (a budget exhausted in an earlier solve)
+            # override the upfront environment reason.
+            events = []
+            for sup, mark in zip(supervisors, trace_marks):
+                events.extend(sup.trace[mark:])
+            events.sort(key=lambda event: event.at_s)
+            stats.supervisor_trace = events
+            first_reason = next(
+                (event.reason for event in events if event.reason), ""
+            )
+            if first_reason:
+                stats.parallel_fallback_reason = first_reason
+            else:
+                if (
+                    self._factor_service is not None
+                    and self._factor_service.fallback_reason
+                ):
+                    stats.parallel_fallback_reason = self._factor_service.fallback_reason
+                if self.options.parallel and self.problem.mna.sharding_disabled_reason:
+                    stats.parallel_fallback_reason = (
+                        self.problem.mna.sharding_disabled_reason
+                    )
 
         stats.converged = True
         states = self.problem.reshape_states(x)
@@ -1162,6 +1338,8 @@ def solve_mpde(
     options: MPDEOptions | None = None,
     *,
     x0: np.ndarray | None = None,
+    resume_from: "SolveCheckpoint | str | os.PathLike | None" = None,
+    checkpoint_path: str | os.PathLike | None = None,
 ) -> MPDEResult:
     """One-call driver: discretise the MPDE and solve it.
 
@@ -1170,11 +1348,22 @@ def solve_mpde(
         scales = ShearedTimeScales.from_frequencies(f_lo, f_rf, lo_multiple=2)
         result = solve_mpde(circuit.compile(), scales, MPDEOptions(n_fast=40, n_slow=30))
         baseband = result.baseband_envelope("outp", node_neg="outn")
+
+    ``checkpoint_path`` persists iteration-boundary
+    :class:`~repro.resilience.checkpoint.SolveCheckpoint` snapshots there
+    (atomic rename; shorthand for ``MPDEOptions.checkpoint_path``);
+    ``resume_from`` continues an interrupted solve from a checkpoint object
+    or persisted file — see :meth:`MPDESolver.solve`.
     """
+    if checkpoint_path is not None:
+        options = dataclasses.replace(
+            options if options is not None else MPDEOptions(),
+            checkpoint_path=os.fspath(checkpoint_path),
+        )
     problem = MPDEProblem(mna, scales, options)
     solver = MPDESolver(problem, options)
     try:
-        return solver.solve(x0=x0)
+        return solver.solve(x0=x0, resume_from=resume_from)
     finally:
         # The one-call driver abandons the solver on return, so release its
         # worker-resident factor service deterministically instead of

@@ -914,10 +914,13 @@ class BlockCirculantFastPreconditioner(_PreconditionerBase):
 
         Fills ``solved[:, :, :half + 1, :]`` and returns True on success;
         returns False when no (healthy) service is attached so the caller
-        runs the in-process loop instead.  A service failure mid-apply is
-        *sticky*: the service records the reason and disables itself, this
-        instance detaches from it, and the apply — like every later one —
-        completes on lazily-factored in-process solvers.
+        runs the in-process loop instead.  Worker failures are healed
+        *inside* the service (supervised restart + parity probe, see
+        :class:`~repro.resilience.supervisor.PoolSupervisor`), so a raise
+        only reaches here once the restart budget is exhausted and the
+        service has disabled itself with the reason recorded; this instance
+        then detaches, and the apply — like every later one — completes on
+        lazily-factored in-process solvers.
         """
         service = self._service
         if service is None or not service.active:

@@ -31,14 +31,22 @@ Failure handling mirrors the sharded evaluation pool
 (:class:`~repro.parallel.pool.ShardedKernelPool`): every reply gather runs
 under the ``reply_timeout_s`` watchdog, a crashed worker is detected
 immediately through its closed pipe, and any failure tears the pool down
-(SIGTERM escalating to SIGKILL, shared blocks unlinked) and disables the
-service *stickily* with the reason recorded in :attr:`fallback_reason` —
-the consuming preconditioner then finishes on lazily-factored in-process
-solvers and ``MPDEStats.parallel_fallback_reason`` surfaces the reason.
-The ``"worker.eval"`` fault-injection site is visited (with
-``role="factor"``) before every factor/solve command, so the
-``worker_crash`` / ``worker_hang`` profiles exercise these paths inside
-real forked workers.
+(SIGTERM escalating to SIGKILL, shared blocks unlinked).  Failures are then
+**supervised** rather than sticky-fatal: a
+:class:`~repro.resilience.supervisor.PoolSupervisor` (driven by the
+:class:`~repro.utils.options.RestartPolicy` handed to the constructor)
+re-forks the workers after an exponential backoff, refactors them from the
+last configured matrices, runs a parity health-probe (harmonic 0 solved
+in-worker must match the in-process factorisation bit-for-bit) and retries
+the failed command — the consuming preconditioner never observes a healed
+failure.  Only once the restart budget is exhausted does the service
+disable itself *stickily* with the reason recorded in
+:attr:`fallback_reason` (``"disabled (budget exhausted): ..."``); the
+consumer then finishes on lazily-factored in-process solvers and
+``MPDEStats.parallel_fallback_reason`` surfaces the reason.  The
+``"worker.eval"`` fault-injection site is visited (with ``role="factor"``)
+before every factor/solve command, so the ``worker_crash`` /
+``worker_hang`` profiles exercise these paths inside real forked workers.
 """
 
 from __future__ import annotations
@@ -51,7 +59,9 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..resilience.faultinject import fault_site
+from ..resilience.supervisor import PoolSupervisor
 from ..utils.logging import get_logger
+from ..utils.options import RestartPolicy
 from .pool import WorkerPoolError, _shutdown_pool
 from .sharding import SharedArray, attach_shared_array, shard_ranges
 
@@ -179,10 +189,15 @@ class ResidentFactorPool:
     per-Newton-iterate rebuild of the consuming preconditioner reuses the
     resident processes.  :meth:`solve` serves one batched apply.
 
-    The service is *sticky-failing*: the first worker crash, hang (reply
-    watchdog expiry) or error reply tears the pool down, records why in
-    :attr:`fallback_reason`, flips :attr:`active` off permanently and
-    raises :class:`~repro.parallel.pool.WorkerPoolError` — consumers fall
+    The service is *supervised-failing*: a worker crash, hang (reply
+    watchdog expiry) or error reply tears the pool down and hands the
+    failure to the :class:`~repro.resilience.supervisor.PoolSupervisor`,
+    which re-forks, refactors, parity-probes and retries transparently
+    (recorded on :attr:`supervisor` ``.trace``).  Only once the
+    :class:`~repro.utils.options.RestartPolicy` budget is exhausted does
+    the service record why in :attr:`fallback_reason`, flip :attr:`active`
+    off permanently and raise
+    :class:`~repro.parallel.pool.WorkerPoolError` — consumers then fall
     back to their in-process path and report the reason
     (``MPDEStats.parallel_fallback_reason``), mirroring the sharded
     evaluation pool's contract.
@@ -199,33 +214,58 @@ class ResidentFactorPool:
         Watchdog budget (seconds) for gathering *all* worker replies of one
         command broadcast, shared across the gather like the evaluation
         pool's.  ``None`` disables the watchdog (blocking reads).
+    restart_policy:
+        :class:`~repro.utils.options.RestartPolicy` for the supervised
+        self-healing (``None`` uses the policy defaults;
+        ``RestartPolicy(max_restarts=0)`` restores the pre-supervision
+        first-failure-disables behaviour).
     """
 
-    def __init__(self, n_workers: int, *, reply_timeout_s: float | None = 120.0) -> None:
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        reply_timeout_s: float | None = 120.0,
+        restart_policy: RestartPolicy | None = None,
+    ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = int(n_workers)
         self.reply_timeout_s = reply_timeout_s
         #: Why the service disabled itself ("" while healthy).
         self.fallback_reason = ""
-        #: Worker generations forked so far.  Each :meth:`configure` whose
-        #: CSC sparsity structure differs from the resident one tears the
-        #: workers down and reforks (the structure arrays are inherited
-        #: through ``fork``, so they cannot be refreshed in place).  Note
-        #: the structure *can* legitimately drift between Newton iterates:
-        #: scipy's sparse add prunes exactly-zero entries, so e.g. a MOSFET
-        #: crossing into cutoff changes ``base``'s pattern.  A refork costs
-        #: a few milliseconds against the ``half + 1`` LU factorisations
-        #: that follow it, so this stays cheap; the counter makes it
-        #: observable.
+        #: Worker generations forked for *structural* reasons: the first
+        #: :meth:`configure`, and each later one whose CSC sparsity
+        #: structure differs from the resident one (the structure arrays
+        #: are inherited through ``fork``, so they cannot be refreshed in
+        #: place).  Note the structure *can* legitimately drift between
+        #: Newton iterates: scipy's sparse add prunes exactly-zero entries,
+        #: so e.g. a MOSFET crossing into cutoff changes ``base``'s
+        #: pattern.  A refork costs a few milliseconds against the
+        #: ``half + 1`` LU factorisations that follow it, so this stays
+        #: cheap; the counter makes it observable.  Fault-recovery reforks
+        #: are counted separately on :attr:`heals` — telemetry must not
+        #: conflate "the problem changed shape" with "a worker died".
         self.restarts = 0
+        #: Supervised self-healing state: restart policy, attempt budget
+        #: and the :class:`~repro.resilience.supervisor.SupervisorEvent`
+        #: trace of every heal / exhaustion episode.
+        self.supervisor = PoolSupervisor("factor_service", restart_policy)
         self._disabled = False
         self._structure = None
+        self._last_config = None
         self._workers: list[tuple[object, object]] = []
         self._buffers: dict[str, SharedArray] = {}
         self._finalizer = weakref.finalize(
             self, _shutdown_pool, self._workers, self._buffers
         )
+
+    @property
+    def heals(self) -> int:
+        """Successful supervised heals (fault-recovery re-forks that passed
+        the parity probe), as opposed to the structure-change re-forks
+        counted by :attr:`restarts`."""
+        return self.supervisor.heals
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -263,15 +303,16 @@ class ResidentFactorPool:
 
         Returns one ``("ok", payload)`` payload per worker.  Any failure —
         broken pipe on send, watchdog expiry, closed pipe (dead worker) or
-        an ``("error", ...)`` reply — disables the service and raises
-        :class:`WorkerPoolError`.
+        an ``("error", ...)`` reply — tears the pool down and raises
+        :class:`WorkerPoolError`; the *public* entry points route that
+        through the supervisor (heal or, budget exhausted, sticky disable).
         """
         try:
             for _process, conn in self._workers:
                 conn.send(message)
         except (BrokenPipeError, OSError) as exc:
-            self._disable(f"factor-service worker died: {exc!r}")
-            raise WorkerPoolError(self.fallback_reason) from exc
+            self.close()
+            raise WorkerPoolError(f"factor-service worker died: {exc!r}") from exc
         reply_deadline = (
             None
             if self.reply_timeout_s is None
@@ -284,23 +325,23 @@ class ResidentFactorPool:
                 if reply_deadline is not None:
                     remaining = reply_deadline - time.monotonic()
                     if remaining <= 0.0 or not conn.poll(remaining):
-                        self._disable(
+                        self.close()
+                        raise WorkerPoolError(
                             "factor-service worker reply timed out after "
                             f"{self.reply_timeout_s:.3g}s (hung worker); "
                             "pool torn down"
                         )
-                        raise WorkerPoolError(self.fallback_reason)
                 reply = conn.recv()
             except (EOFError, OSError) as exc:
-                self._disable(f"factor-service worker died: {exc!r}")
-                raise WorkerPoolError(self.fallback_reason) from exc
+                self.close()
+                raise WorkerPoolError(f"factor-service worker died: {exc!r}") from exc
             if reply[0] == "error":
                 errors.append(reply[1])
             else:
                 payloads.append(reply[1])
         if errors:
-            self._disable(f"factor-service worker error: {errors[0]}")
-            raise WorkerPoolError(errors[0])
+            self.close()
+            raise WorkerPoolError(f"factor-service worker error: {errors[0]}")
         return payloads
 
     # -- configuration -----------------------------------------------------
@@ -324,10 +365,18 @@ class ResidentFactorPool:
             and np.array_equal(s["c_indptr"], c_blk.indptr)
         )
 
-    def _restart(self, base: sp.csc_matrix, c_blk: sp.csc_matrix, lam_slow) -> None:
-        """(Re)fork the workers for a new matrix structure."""
+    def _restart(
+        self, base: sp.csc_matrix, c_blk: sp.csc_matrix, lam_slow, *, heal: bool = False
+    ) -> None:
+        """(Re)fork the workers for a new matrix structure.
+
+        ``heal=True`` marks a supervised fault-recovery refork (counted via
+        :attr:`heals` on probe success); the default marks a
+        structure-change refork (counted on :attr:`restarts`).
+        """
         self.close()
-        self.restarts += 1
+        if not heal:
+            self.restarts += 1
         n_slow = int(np.asarray(lam_slow).size)
         half = n_slow // 2
         n_unknowns_total = int(base.shape[0])
@@ -408,7 +457,15 @@ class ResidentFactorPool:
             self._restart(base, c_blk, lam_slow)
         np.copyto(self._buffers["base"].array, base.data)
         np.copyto(self._buffers["c"].array, c_blk.data)
-        payloads = self._broadcast(("factor",))
+        try:
+            payloads = self._broadcast(("factor",))
+        except WorkerPoolError as exc:
+            payloads = self._heal(str(exc), base, c_blk, lam_slow)
+        self._last_config = (
+            base,
+            c_blk,
+            np.array(lam_slow, dtype=complex, copy=True),
+        )
         return any(degraded for degraded, _elapsed in payloads)
 
     # -- application -------------------------------------------------------
@@ -427,12 +484,82 @@ class ResidentFactorPool:
                 self.fallback_reason or "resident factor service is not configured"
             )
         m = int(packed.shape[1])
-        self._buffers["rhs"].array[:, :m, :] = packed.view(np.float64)
-        payloads = self._broadcast(("solve", m))
+        while True:
+            self._buffers["rhs"].array[:, :m, :] = packed.view(np.float64)
+            try:
+                payloads = self._broadcast(("solve", m))
+                break
+            except WorkerPoolError as exc:
+                if self._last_config is None:
+                    self._disable(f"factor-service solve failed unconfigured: {exc}")
+                    raise WorkerPoolError(self.fallback_reason) from exc
+                # _heal raises (after disabling) once the restart budget is
+                # exhausted; on success the loop rewrites the rhs block (the
+                # refork reallocated the shared buffers) and retries.
+                self._heal(str(exc), *self._last_config)
         solutions = np.array(self._buffers["sol"].array[:, :m, :], copy=True).view(
             np.complex128
         )
         return solutions, max(payloads)
+
+    # -- supervised healing ------------------------------------------------
+    def _heal(self, reason: str, base, c_blk, lam_slow) -> list:
+        """Route a pool failure through the supervisor.
+
+        Each restart attempt re-forks the workers (``heal=True`` — counted
+        apart from structure reforks), refreshes the shared matrix data,
+        broadcasts a refactor and parity-probes the result; any step
+        failing burns the attempt.  Returns the factor payloads of the
+        healed generation, or — once the
+        :class:`~repro.utils.options.RestartPolicy` budget is spent —
+        disables the service stickily and raises :class:`WorkerPoolError`.
+        """
+        state = {}
+
+        def restart() -> None:
+            self._restart(base, c_blk, lam_slow, heal=True)
+            np.copyto(self._buffers["base"].array, base.data)
+            np.copyto(self._buffers["c"].array, c_blk.data)
+            state["payloads"] = self._broadcast(("factor",))
+
+        def probe() -> bool:
+            return self._probe_parity(base, c_blk, lam_slow)
+
+        disabled_reason = self.supervisor.handle_failure(
+            reason, restart=restart, probe=probe
+        )
+        if disabled_reason is not None:
+            self._disable(disabled_reason)
+            raise WorkerPoolError(disabled_reason)
+        return state["payloads"]
+
+    def _probe_parity(self, base, c_blk, lam_slow) -> bool:
+        """Cheap parity health-probe of a freshly healed pool.
+
+        Broadcasts one single-column solve whose harmonic-0 right-hand side
+        is all-ones (the other harmonics solve zeros — just back-
+        substitution) and demands the worker's solution match the
+        in-process :func:`~repro.linalg.preconditioners
+        .factor_harmonic_system` factorisation **bit-for-bit** — the same
+        parity contract the service is admitted to the solve path under.
+        One in-parent LU of harmonic 0 is the probe's whole cost, paid only
+        on the (rare) heal events.
+        """
+        from ..linalg.preconditioners import factor_harmonic_system
+
+        size = int(base.shape[0])
+        probe_rhs = np.ones(size, dtype=np.complex128)
+        rhs_block = self._buffers["rhs"].array
+        rhs_block[:, :1, :] = 0.0
+        rhs_block[0, 0, :] = probe_rhs.view(np.float64)
+        self._broadcast(("solve", 1))  # raises on failure -> probe failed
+        got = np.array(self._buffers["sol"].array[0, :1, :], copy=True).view(
+            np.complex128
+        )[0]
+        solver, _degraded = factor_harmonic_system(
+            base, c_blk, lam_slow[0], harmonic=0
+        )
+        return np.array_equal(got, solver(probe_rhs))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -29,9 +29,14 @@ Pools are built once per owner (one :class:`ShardedKernelPool` per compiled
 ``MNASystem``, one :class:`WorkerPool` per solver instance) and reused across
 evaluations, so the fork/startup cost is amortised over a whole Newton solve
 rather than paid per call.  Every failure path degrades, not crashes: a
-worker that raises (or dies) surfaces as :class:`WorkerPoolError`, which the
-``MNASystem`` wiring converts into a permanent, *recorded* fallback to the
-serial path (``MPDEStats.parallel_fallback_reason``).
+worker that raises (or dies) surfaces as :class:`WorkerPoolError` after the
+pool has torn itself down, and the ``MNASystem`` wiring hands the failure to
+a :class:`~repro.resilience.supervisor.PoolSupervisor` — the pool is
+restarted with exponential backoff and re-admitted after a bit-for-bit
+parity health-probe, and only an exhausted
+:class:`~repro.utils.options.RestartPolicy` budget falls back *permanently*
+to the serial path (both outcomes recorded on
+``MPDEStats.parallel_fallback_reason`` / ``MPDEStats.supervisor_trace``).
 
 Importing this module probes the environment once
 (:func:`~repro.parallel.backends.detect_capabilities`) and logs a single
@@ -73,7 +78,11 @@ if _IMPORT_CAPABILITIES.serial_only_reason is not None:
 
 
 class WorkerPoolError(RuntimeError):
-    """A worker raised or died; the caller should fall back to serial."""
+    """A worker raised or died (the pool has already torn itself down).
+
+    Callers route this through their :class:`PoolSupervisor` — heal and
+    retry, or fall back to serial once the restart budget is exhausted.
+    """
 
 
 class WorkerPool:
@@ -210,7 +219,7 @@ def _worker_main(conn, engine, worker_index: int = 0) -> None:
             if command != "eval":
                 raise ValueError(f"unknown worker command {command!r}")
             _, x_name, x_shape, lo, hi, out_specs, need_static, need_dynamic = message
-            fault_site("worker.eval", worker=worker_index, lo=lo, hi=hi)
+            fault_site("worker.eval", worker=worker_index, lo=lo, hi=hi, role="shard")
             states = view(x_name, x_shape)[lo:hi]
             q, f, c_data, g_data = engine.evaluate(
                 states,

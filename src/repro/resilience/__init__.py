@@ -23,12 +23,27 @@ This subpackage gives those failures a single structured treatment:
 * :mod:`~repro.resilience.faultinject` — a deterministic fault-injection
   registry (:func:`~repro.resilience.faultinject.inject_faults`) so every
   recovery rung and watchdog is exercised by ``tests/test_resilience.py``
-  instead of waiting for rare real failures.
+  instead of waiting for rare real failures, plus seeded random chaos
+  schedules (:func:`~repro.resilience.faultinject.chaos_specs`) for the
+  soak harness.
+* :mod:`~repro.resilience.supervisor` — supervised self-healing of the
+  forked worker pools (:class:`~repro.resilience.supervisor.PoolSupervisor`
+  driven by :class:`~repro.utils.options.RestartPolicy`): restart with
+  exponential backoff, parity health-probe, sticky-serial only once the
+  restart budget is exhausted, every step on
+  ``MPDEStats.supervisor_trace``.
+* :mod:`~repro.resilience.checkpoint` — crash-consistent
+  checkpoint/resume
+  (:class:`~repro.resilience.checkpoint.SolveCheckpoint`): iteration-
+  boundary snapshots of the Newton iterate (in-memory always, atomic-rename
+  ``.npz`` persistence with ``checkpoint_path=``), fingerprint-validated
+  resume via ``solve_mpde(resume_from=...)``.
 
 The modules are deliberately leaf-level (stdlib + numpy + ``repro.utils``
 only) so every layer of the solver stack can import them.
 """
 
+from .checkpoint import SolveCheckpoint, solve_fingerprint
 from .deadline import Deadline
 from .diagnostics import (
     FailureDiagnostics,
@@ -40,6 +55,7 @@ from .faultinject import (
     FaultSpec,
     active_fault_plan,
     build_profile_specs,
+    chaos_specs,
     fault_site,
     gmres_stall,
     inject_faults,
@@ -48,6 +64,7 @@ from .faultinject import (
     worker_crash,
     worker_hang,
 )
+from .supervisor import PoolSupervisor, RestartPolicy, SupervisorEvent
 from .taxonomy import (
     FAILURE_KINDS,
     RecoveryAttempt,
@@ -63,6 +80,7 @@ __all__ = [
     "FaultSpec",
     "active_fault_plan",
     "build_profile_specs",
+    "chaos_specs",
     "fault_site",
     "inject_faults",
     "singular_jacobian",
@@ -70,6 +88,11 @@ __all__ = [
     "worker_crash",
     "worker_hang",
     "nan_evaluation",
+    "PoolSupervisor",
+    "RestartPolicy",
+    "SupervisorEvent",
+    "SolveCheckpoint",
+    "solve_fingerprint",
     "FAILURE_KINDS",
     "RecoveryAttempt",
     "classify_failure",

@@ -58,6 +58,7 @@ __all__ = [
     "FaultSpec",
     "active_fault_plan",
     "build_profile_specs",
+    "chaos_specs",
     "fault_site",
     "inject_faults",
     "singular_jacobian",
@@ -98,6 +99,15 @@ class FaultSpec:
     predicate:
         Optional extra gate ``predicate(context) -> bool``; visits it
         rejects do not advance the call counter.
+    shared:
+        Keep the ``calls``/``fired`` counters in fork-shared memory
+        (``multiprocessing.Value``) instead of per-process ints.  Essential
+        for child-firing faults under *supervised healing*: a plain-int
+        ``count=1`` crash would re-fire in every freshly re-forked worker
+        generation (each child inherits the pre-crash counter state), so
+        "one crash" would mean "one crash per generation" and no pool could
+        ever heal.  With ``shared=True`` the firing is recorded where every
+        generation sees it, so ``count=1`` means one firing globally.
     """
 
     site: str
@@ -105,23 +115,49 @@ class FaultSpec:
     at_call: int | None = None
     count: int | None = 1
     predicate: Callable[[dict[str, Any]], bool] | None = None
+    shared: bool = False
     calls: int = field(default=0, init=False)
     fired: int = field(default=0, init=False)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
+    _shared_counters: Any = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.shared:
+            import multiprocessing
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - no fork on this platform
+                context = multiprocessing
+            # [calls, fired] in fork-shared memory; the Array's embedded
+            # lock makes the visit bookkeeping atomic across processes.
+            self._shared_counters = context.Array("q", [0, 0])
 
     def visit(self, context: dict[str, Any]) -> bool:
         """Record a matching visit; return True if the fault should fire.
 
-        The ``calls``/``fired`` bookkeeping is atomic under ``_lock``: sites
-        visited from concurrent threads (eager harmonic factorisation drives
+        The ``calls``/``fired`` bookkeeping is atomic under ``_lock`` (or
+        the shared Array's cross-process lock): sites visited from
+        concurrent threads (eager harmonic factorisation drives
         ``preconditioner.build`` from a thread fan-out) advance the counters
         without interleaving, so ``at_call``/``count`` schedules stay exact.
         The predicate runs outside the lock — it only reads the context.
         """
         if self.predicate is not None and not self.predicate(context):
             return False
+        if self._shared_counters is not None:
+            with self._shared_counters.get_lock():
+                self._shared_counters[0] += 1
+                self.calls = int(self._shared_counters[0])
+                if self.at_call is not None and self.calls < self.at_call:
+                    return False
+                if self.count is not None and self._shared_counters[1] >= self.count:
+                    return False
+                self._shared_counters[1] += 1
+                self.fired = int(self._shared_counters[1])
+                return True
         with self._lock:
             self.calls += 1
             if self.at_call is not None and self.calls < self.at_call:
@@ -130,6 +166,21 @@ class FaultSpec:
                 return False
             self.fired += 1
             return True
+
+    def observed_calls(self) -> int:
+        """Visits observed across every process (for ``shared`` specs the
+        plain ``calls`` attribute only reflects *this* process's visits —
+        a crash that fired in a forked child never updates the parent's
+        mirror)."""
+        if self._shared_counters is not None:
+            return int(self._shared_counters[0])
+        return self.calls
+
+    def observed_fired(self) -> int:
+        """Firings observed across every process (see :meth:`observed_calls`)."""
+        if self._shared_counters is not None:
+            return int(self._shared_counters[1])
+        return self.fired
 
 
 class FaultPlan:
@@ -232,45 +283,187 @@ def gmres_stall(
     return FaultSpec(site=site, action=_raise, at_call=at_call, count=count)
 
 
-def worker_crash(*, worker: int | None = None, count: int | None = 1) -> FaultSpec:
+def _worker_predicate(worker: int | None, role: str | None):
+    """Predicate matching ``worker.eval`` context by worker index and/or pool role.
+
+    ``role`` distinguishes the two worker families that visit the site:
+    shard evaluators pass ``role="shard"`` and resident factor workers pass
+    ``role="factor"``.
+    """
+    if worker is None and role is None:
+        return None
+
+    def _match(ctx: dict[str, Any]) -> bool:
+        if worker is not None and ctx.get("worker") != worker:
+            return False
+        if role is not None and ctx.get("role") != role:
+            return False
+        return True
+
+    return _match
+
+
+def worker_crash(
+    *,
+    worker: int | None = None,
+    role: str | None = None,
+    at_call: int | None = None,
+    count: int | None = 1,
+) -> FaultSpec:
     """Kill a forked shard worker mid-evaluation (models a segfault/OOM kill).
 
     Fires inside the child process (the plan is inherited across ``fork``);
     ``os._exit`` skips all cleanup, exactly like a real crash, so the
-    parent sees the reply pipe close.
+    parent sees the reply pipe close.  The spec's counters live in
+    fork-shared memory (``shared=True``): ``count=1`` means one crash
+    *globally*, so a supervised pool restart gets a healthy new generation
+    instead of one that inherits a not-yet-fired crash and dies again —
+    and ``at_call`` schedules against the global visit sequence.
+    ``role="shard"`` / ``role="factor"`` targets one worker family (shard
+    evaluators vs. resident factor workers) when both pools are live.
     """
 
     def _die(context: dict[str, Any]) -> None:
         os._exit(17)
 
-    predicate = None
-    if worker is not None:
-        predicate = lambda ctx: ctx.get("worker") == worker  # noqa: E731
-    return FaultSpec(site="worker.eval", action=_die, count=count, predicate=predicate)
+    return FaultSpec(
+        site="worker.eval",
+        action=_die,
+        at_call=at_call,
+        count=count,
+        predicate=_worker_predicate(worker, role),
+        shared=True,
+    )
 
 
-def worker_hang(*, hang_s: float = 60.0, count: int | None = 1) -> FaultSpec:
+def worker_hang(
+    *,
+    hang_s: float = 60.0,
+    worker: int | None = None,
+    role: str | None = None,
+    at_call: int | None = None,
+    count: int | None = 1,
+) -> FaultSpec:
     """Make a forked shard worker sleep through its evaluation (models a hang).
 
     The sleep must exceed the configured ``worker_timeout_s`` for the
-    watchdog to classify the worker as hung.
+    watchdog to classify the worker as hung.  Counters are fork-shared
+    (``shared=True``) like :func:`worker_crash`, so one scheduled hang
+    fires once globally and a supervised restart can heal past it.
+    ``worker`` / ``role`` filter by worker index and pool family as in
+    :func:`worker_crash`.
     """
 
     def _sleep(context: dict[str, Any]) -> None:
         time.sleep(hang_s)
 
-    return FaultSpec(site="worker.eval", action=_sleep, count=count)
+    return FaultSpec(
+        site="worker.eval",
+        action=_sleep,
+        at_call=at_call,
+        count=count,
+        predicate=_worker_predicate(worker, role),
+        shared=True,
+    )
 
 
-def nan_evaluation(*, count: int | None = 1, entry: int = 0) -> FaultSpec:
-    """Poison a device-evaluation residual with NaN (models a bad model eval)."""
+def nan_evaluation(
+    *,
+    at_call: int | None = None,
+    count: int | None = 1,
+    entry: int = 0,
+    min_points: int = 0,
+) -> FaultSpec:
+    """Poison a device-evaluation residual with NaN (models a bad model eval).
+
+    ``min_points`` gates the fault on batched evaluations of at least that
+    many grid points — the chaos profile uses it to hit only the multi-time
+    / collocation solves (which own recovery machinery for non-finite
+    residuals) while sparing single-point DC / transient evaluations that
+    have no retry ladder above them.
+    """
 
     def _poison(context: dict[str, Any]) -> None:
         f = context.get("f")
         if f is not None and np.size(f) > entry:
             f[entry] = np.nan
 
-    return FaultSpec(site="mna.evaluate", action=_poison, count=count)
+    predicate = None
+    if min_points > 0:
+        predicate = (
+            lambda ctx: ctx.get("f") is not None
+            and np.ndim(ctx["f"]) >= 1
+            and np.shape(ctx["f"])[0] >= min_points
+        )  # noqa: E731
+    return FaultSpec(
+        site="mna.evaluate",
+        action=_poison,
+        at_call=at_call,
+        count=count,
+        predicate=predicate,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Randomized chaos schedules
+# ---------------------------------------------------------------------------
+
+
+def chaos_specs(
+    seed: int,
+    *,
+    n_faults: int | None = None,
+    include_hangs: bool = False,
+    hang_s: float = 30.0,
+) -> tuple[FaultSpec, ...]:
+    """Build a seeded random fault schedule for chaos-soak runs.
+
+    Draws ``n_faults`` (default: 1–3, seed-dependent) faults across the
+    registered sites — forked-worker crashes (``worker.eval``), solver-level
+    GMRES stalls (``solver.gmres``), singular Newton linear solves
+    (``solver.linear_solve``) and NaN-poisoned batched evaluations
+    (``mna.evaluate``) — each with a randomized ``at_call`` / iteration
+    offset and ``count=1``.  Every draw is *recoverable by design*: crashes
+    heal through the pool supervisor, stalls and singular solves through
+    the recovery ladder, NaN poison (gated to multi-point evaluations)
+    through the ladder's damping/retry rungs — so a suite run under a chaos
+    schedule must still pass, and a chaos-soak loop can assert the answers
+    against the fault-free solve.
+
+    Hangs are opt-in (``include_hangs=True``): a hang only manifests as a
+    fault when the consuming pool's ``worker_timeout_s`` sits *below*
+    ``hang_s``, and it costs real wall-clock time, so the CI-wide
+    ``chaos:<seed>`` profile leaves them out while the dedicated soak
+    harness (which pins short worker timeouts) opts in.
+
+    The same ``seed`` always yields the same schedule (``numpy``
+    ``default_rng`` determinism), so a failing chaos run is replayable.
+    """
+    rng = np.random.default_rng(seed)
+    kinds = ["worker_crash", "gmres_stall", "singular_jacobian", "nan_evaluation"]
+    if include_hangs:
+        kinds.append("worker_hang")
+    if n_faults is None:
+        n_faults = int(rng.integers(1, 4))
+    if n_faults < 1:
+        raise ValueError(f"n_faults must be >= 1, got {n_faults}")
+    specs: list[FaultSpec] = []
+    for _ in range(n_faults):
+        kind = kinds[int(rng.integers(len(kinds)))]
+        at_call = int(rng.integers(1, 4))
+        if kind == "worker_crash":
+            specs.append(worker_crash(at_call=at_call, count=1))
+        elif kind == "worker_hang":
+            specs.append(worker_hang(hang_s=hang_s, at_call=at_call, count=1))
+        elif kind == "gmres_stall":
+            specs.append(gmres_stall(at_call=at_call, count=1, site="solver.gmres"))
+        elif kind == "singular_jacobian":
+            specs.append(
+                singular_jacobian(at_iteration=int(rng.integers(0, 3)), count=1)
+            )
+        else:
+            specs.append(nan_evaluation(at_call=at_call, count=1, min_points=4))
+    return tuple(specs)
 
 
 # ---------------------------------------------------------------------------
@@ -281,8 +474,10 @@ def nan_evaluation(*, count: int | None = 1, entry: int = 0) -> FaultSpec:
 #: (comma-separated).  Each profile is *recoverable by design* — the suite
 #: must still pass with it armed, proving the recovery paths end-to-end.
 _PROFILES: dict[str, Callable[[], FaultSpec]] = {
-    # First sharded worker evaluation crashes; the pool must fall back to
-    # the serial path and the test must still see correct results.
+    # First sharded worker evaluation crashes; the pool supervisor must
+    # heal it (restart + parity probe) — or, once the restart budget is
+    # spent, fall back to the serial path — and the test must still see
+    # correct results either way.
     "worker_crash": lambda: worker_crash(count=1),
     # First MPDE-solver GMRES solve stalls; the recovery ladder must absorb
     # it.  Scoped to the solver-level site so direct unit tests of the
@@ -302,19 +497,33 @@ _PROFILES: dict[str, Callable[[], FaultSpec]] = {
 def build_profile_specs(profile: str) -> tuple[FaultSpec, ...]:
     """Build fresh specs for a comma-separated profile string.
 
-    Unknown names raise ``ValueError`` (catches typos in CI config).
-    Returns new spec objects each call so per-test counters start at zero.
+    Besides the named profiles, ``chaos:<seed>`` expands to the seeded
+    random schedule of :func:`chaos_specs` — the CI ``tier1-chaos`` job
+    arms one per test, so the whole suite soaks under (replayable) random
+    recoverable faults.  Unknown names raise ``ValueError`` (catches typos
+    in CI config).  Returns new spec objects each call so per-test counters
+    start at zero.
     """
     specs = []
     for name in profile.split(","):
         name = name.strip()
         if not name:
             continue
+        if name.startswith("chaos:"):
+            try:
+                seed = int(name.partition(":")[2])
+            except ValueError:
+                raise ValueError(
+                    f"chaos profile needs an integer seed, got {name!r}"
+                ) from None
+            specs.extend(chaos_specs(seed))
+            continue
         try:
             factory = _PROFILES[name]
         except KeyError:
             raise ValueError(
-                f"unknown fault profile {name!r}; known: {sorted(_PROFILES)}"
+                f"unknown fault profile {name!r}; known: "
+                f"{sorted(_PROFILES)} or 'chaos:<seed>'"
             ) from None
         specs.append(factory())
     return tuple(specs)

@@ -1,0 +1,258 @@
+"""Supervised self-healing for the parallel worker pools.
+
+PRs 5 and 7 gave the simulator two forked-worker pools — the sharded
+evaluation pool (:class:`~repro.parallel.pool.ShardedKernelPool`) and the
+worker-resident factor service
+(:class:`~repro.parallel.factor_service.ResidentFactorPool`) — and both
+originally degraded *sticky-permanently*: the first crash, hang or error
+reply disabled the parallel path for the lifetime of the process.  That is
+the wrong trade for long-lived operation (the ROADMAP's
+simulation-as-a-service north star): a transient fault — an OOM-killed
+worker, a supervisor-restarted container, one poisoned evaluation — should
+cost one restart, not all future parallelism.
+
+:class:`PoolSupervisor` owns the restart policy those pools now share:
+
+* on a failure, tear the pool down and **restart** it after an exponential
+  backoff (``min(backoff_base_s * 2**(attempt - 1), backoff_cap_s)``),
+* run a cheap **parity health-probe** before re-admitting the pool to the
+  solve path (a restarted-but-broken pool must not corrupt results — the
+  probe recomputes a tiny reference problem in-process and demands a
+  bit-for-bit match),
+* only go **sticky-serial** after ``max_restarts`` attempts have been
+  spent, with the reason recorded as ``"disabled (budget exhausted): ..."``
+  so telemetry can distinguish it from a transient
+  ``"degraded (healing): ..."`` episode,
+* record every step as a :class:`SupervisorEvent` on :attr:`trace`
+  (rung-trace style, mirroring ``MPDEStats.recovery_trace``); the solver
+  surfaces the per-solve slice as ``MPDEStats.supervisor_trace``.
+
+The module is deliberately leaf-level (stdlib + ``repro.utils`` only) so
+both :mod:`repro.parallel` and :mod:`repro.circuits` can import it.
+:class:`~repro.utils.options.RestartPolicy` itself lives in
+:mod:`repro.utils.options` with the other option bundles and is re-exported
+here for convenience.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..utils.logging import get_logger
+from ..utils.options import RestartPolicy
+
+__all__ = ["PoolSupervisor", "RestartPolicy", "SupervisorEvent"]
+
+_LOG = get_logger("resilience.supervisor")
+
+
+@dataclass(frozen=True)
+class SupervisorEvent:
+    """One step of a supervised pool-recovery episode.
+
+    Immutable (like :class:`~repro.resilience.taxonomy.RecoveryAttempt`):
+    events are appended to :attr:`PoolSupervisor.trace` as they happen and
+    sliced per-solve onto ``MPDEStats.supervisor_trace``; nothing may
+    rewrite history afterwards.
+
+    Attributes
+    ----------
+    pool:
+        Which pool the supervisor watches (``"kernel_shard"`` for the
+        sharded evaluation pool, ``"factor_service"`` for the resident
+        factor service).
+    action:
+        One of ``"failure"`` (the triggering fault), ``"backoff"`` (sleep
+        before a restart attempt), ``"restarted"`` (the pool re-forked),
+        ``"probe_passed"`` / ``"probe_failed"`` (parity health-probe
+        verdict), ``"healed"`` (pool re-admitted to the solve path) or
+        ``"disabled"`` (restart budget exhausted, sticky-serial from here).
+    attempt:
+        1-based restart attempt the event belongs to (0 for the initial
+        ``"failure"`` event).
+    detail:
+        Human-readable specifics (the failure reason, probe mismatch, ...).
+    reason:
+        The formatted fallback reason this event implies for
+        ``parallel_fallback_reason`` — set on ``"healed"``
+        (``"degraded (healing): ..."``) and ``"disabled"``
+        (``"disabled (budget exhausted): ..."``) events, empty otherwise.
+    backoff_s:
+        Backoff slept before this attempt (``"backoff"`` events only).
+    duration_s:
+        Wall-clock cost of the step (restart / probe events).
+    at_s:
+        Monotonic timestamp of the event, so traces from several
+        supervisors can be merged chronologically.
+    """
+
+    pool: str
+    action: str
+    attempt: int
+    detail: str = ""
+    reason: str = ""
+    backoff_s: float = 0.0
+    duration_s: float = 0.0
+    at_s: float = 0.0
+
+
+class PoolSupervisor:
+    """Restart policy and healing trace for one worker pool.
+
+    The owning pool calls :meth:`handle_failure` from its failure path with
+    two callables: ``restart`` (tear down / re-fork / re-arm the pool;
+    raising means the attempt failed) and ``probe`` (cheap parity check of
+    the restarted pool; returning ``False`` or raising means the pool is
+    not trustworthy).  The supervisor sleeps the exponential backoff,
+    restarts, probes, and either *heals* (returns ``None``; the caller
+    retries its operation on the restarted pool) or — once the restart
+    budget is spent — returns the sticky ``"disabled (budget exhausted)"``
+    reason for the caller to record and act on.
+
+    ``clock`` / ``sleep`` are injectable so tests can assert the backoff
+    schedule without real waiting.
+    """
+
+    def __init__(
+        self,
+        pool_name: str,
+        policy: RestartPolicy | None = None,
+        *,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        self.pool_name = pool_name
+        self.policy = policy if policy is not None else RestartPolicy()
+        #: Every :class:`SupervisorEvent` of this supervisor's lifetime, in
+        #: order.  Consumers snapshot ``len(trace)`` before an operation and
+        #: slice afterwards to get the per-operation episode.
+        self.trace: list[SupervisorEvent] = []
+        #: Restart attempts consumed (monotone; never reset — the budget is
+        #: per pool lifetime, not per solve, so a flapping worker cannot
+        #: grind a long solve into endless restart cycles).
+        self.attempts = 0
+        #: Successful heals (restart + probe passed).
+        self.heals = 0
+        self._clock = clock
+        self._sleep = sleep
+        self._disabled_reason: str | None = None
+
+    # -- state -------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        """Whether the restart budget is spent (sticky-serial from here)."""
+        return self._disabled_reason is not None
+
+    @property
+    def disabled_reason(self) -> str:
+        """The sticky ``"disabled (budget exhausted)"`` reason, or ``""``."""
+        return self._disabled_reason or ""
+
+    # -- event plumbing ----------------------------------------------------
+    def _record(self, action: str, attempt: int, **fields) -> SupervisorEvent:
+        event = SupervisorEvent(
+            pool=self.pool_name,
+            action=action,
+            attempt=attempt,
+            at_s=self._clock(),
+            **fields,
+        )
+        self.trace.append(event)
+        return event
+
+    # -- the policy --------------------------------------------------------
+    def handle_failure(self, reason: str, *, restart, probe=None) -> str | None:
+        """Heal the pool after a failure, or exhaust the restart budget.
+
+        Parameters
+        ----------
+        reason:
+            Why the pool failed (recorded on the ``"failure"`` event and
+            embedded in the formatted fallback reasons).
+        restart:
+            Zero-argument callable that re-forks / re-arms the pool.  Any
+            exception it raises marks the attempt failed (and consumes it).
+        probe:
+            Optional zero-argument parity check of the restarted pool;
+            skipped when ``RestartPolicy.health_probe`` is off.  Must
+            return truthy for the pool to be re-admitted; returning falsy
+            or raising marks the attempt failed.
+
+        Returns
+        -------
+        ``None`` when the pool healed (restart + probe passed) — the caller
+        should retry the failed operation on it.  The sticky
+        ``"disabled (budget exhausted): ..."`` reason string once the
+        budget is spent — the caller must disable its parallel path.
+        """
+        if self._disabled_reason is not None:
+            return self._disabled_reason
+        self._record("failure", 0, detail=reason)
+        last_detail = reason
+        while self.attempts < self.policy.max_restarts:
+            self.attempts += 1
+            attempt = self.attempts
+            backoff = self.policy.backoff_s(attempt)
+            self._record("backoff", attempt, backoff_s=backoff)
+            if backoff > 0.0:
+                self._sleep(backoff)
+            started = self._clock()
+            try:
+                restart()
+            except Exception as exc:  # noqa: BLE001 - any restart failure burns the attempt
+                last_detail = f"restart failed: {type(exc).__name__}: {exc}"
+                self._record(
+                    "probe_failed",
+                    attempt,
+                    detail=last_detail,
+                    duration_s=self._clock() - started,
+                )
+                continue
+            self._record("restarted", attempt, duration_s=self._clock() - started)
+            if self.policy.health_probe and probe is not None:
+                probe_started = self._clock()
+                try:
+                    healthy = bool(probe())
+                    probe_detail = "" if healthy else "parity probe mismatched"
+                except Exception as exc:  # noqa: BLE001 - a raising probe is a failed probe
+                    healthy = False
+                    probe_detail = f"parity probe raised: {type(exc).__name__}: {exc}"
+                probe_elapsed = self._clock() - probe_started
+                if not healthy:
+                    last_detail = probe_detail
+                    self._record(
+                        "probe_failed",
+                        attempt,
+                        detail=probe_detail,
+                        duration_s=probe_elapsed,
+                    )
+                    continue
+                self._record("probe_passed", attempt, duration_s=probe_elapsed)
+            self.heals += 1
+            healed_reason = f"degraded (healing): {reason}"
+            self._record("healed", attempt, detail=reason, reason=healed_reason)
+            _LOG.warning(
+                "%s pool healed on restart attempt %d (%s)",
+                self.pool_name,
+                attempt,
+                reason,
+            )
+            return None
+        self._disabled_reason = (
+            f"disabled (budget exhausted): {last_detail} "
+            f"(after {self.attempts} restart(s))"
+        )
+        self._record(
+            "disabled",
+            self.attempts,
+            detail=last_detail,
+            reason=self._disabled_reason,
+        )
+        _LOG.warning(
+            "%s pool disabled: restart budget exhausted after %d attempt(s) (%s)",
+            self.pool_name,
+            self.attempts,
+            last_detail,
+        )
+        return self._disabled_reason

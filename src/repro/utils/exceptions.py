@@ -22,7 +22,12 @@ The hierarchy mirrors the package layout:
 Terminal solve failures may carry a structured
 :class:`~repro.resilience.diagnostics.FailureDiagnostics` payload on their
 ``diagnostics`` attribute (``None`` when no localisation was possible) —
-see :mod:`repro.resilience`.
+see :mod:`repro.resilience`.  Deadline expiries and exhausted-ladder
+failures of checkpointing solves additionally carry the latest
+crash-consistent :class:`~repro.resilience.checkpoint.SolveCheckpoint` on
+their ``checkpoint`` attribute, so callers can resume instead of restarting
+from zero; :class:`CheckpointError` flags checkpoints that cannot be
+trusted (corrupt file, fingerprint mismatch).
 """
 
 from __future__ import annotations
@@ -33,10 +38,13 @@ class ReproError(Exception):
 
     ``diagnostics`` is an optional structured-failure payload
     (:class:`~repro.resilience.diagnostics.FailureDiagnostics`) attached by
-    the resilience layer on terminal solve failures.
+    the resilience layer on terminal solve failures.  ``checkpoint`` is an
+    optional :class:`~repro.resilience.checkpoint.SolveCheckpoint` attached
+    by checkpointing solves so the failed work can be resumed.
     """
 
     diagnostics = None
+    checkpoint = None
 
 
 class ConfigurationError(ReproError):
@@ -127,6 +135,12 @@ class DeadlineExceededError(AnalysisError):
         Whatever statistics object the failing solve had accumulated so far
         (an :class:`~repro.core.solver.MPDEStats` for MPDE solves), or
         ``None``.
+    checkpoint:
+        The latest crash-consistent
+        :class:`~repro.resilience.checkpoint.SolveCheckpoint` the failing
+        solve recorded (``None`` for non-checkpointing solves) — pass it
+        back as ``resume_from=`` to continue from the interrupted iterate
+        instead of restarting from zero.
     """
 
     def __init__(
@@ -137,12 +151,28 @@ class DeadlineExceededError(AnalysisError):
         elapsed_s: float | None = None,
         stage: str = "",
         partial_stats=None,
+        checkpoint=None,
     ) -> None:
         super().__init__(message)
         self.deadline_s = deadline_s
         self.elapsed_s = elapsed_s
         self.stage = stage
         self.partial_stats = partial_stats
+        self.checkpoint = checkpoint
+
+
+class CheckpointError(ReproError):
+    """A solve checkpoint could not be loaded, validated, or resumed.
+
+    Raised when a persisted checkpoint file is unreadable or corrupt (torn
+    writes cannot happen — persistence is write-temporary + atomic rename —
+    but truncation or tampering after the fact can), and when a
+    checkpoint's problem fingerprint does not match the solve it is being
+    resumed into (different circuit, grid, discretisation or solver
+    configuration).  Resuming a mismatched checkpoint would converge — to
+    the *wrong problem's* answer — so the mismatch is an error, never a
+    warning.
+    """
 
 
 class MPDEError(ReproError):

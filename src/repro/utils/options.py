@@ -24,6 +24,7 @@ __all__ = [
     "NewtonOptions",
     "ContinuationOptions",
     "RecoveryPolicy",
+    "RestartPolicy",
     "TransientOptions",
     "ShootingOptions",
     "HarmonicBalanceOptions",
@@ -100,6 +101,63 @@ def _require_in(name: str, value: Any, allowed: tuple[Any, ...]) -> None:
 
 
 @dataclass(frozen=True)
+class RestartPolicy:
+    """Controls for supervised self-healing of the forked worker pools.
+
+    Both worker pools — the sharded evaluation pool and the resident factor
+    service — hand their failure paths to a
+    :class:`~repro.resilience.supervisor.PoolSupervisor` driven by this
+    policy: on a crash/hang the pool is torn down, restarted after an
+    exponential backoff, health-probed for bit-for-bit parity, and only
+    disabled *stickily* (serial for the rest of the process) once the
+    restart budget is exhausted.  Every step lands on
+    ``MPDEStats.supervisor_trace``.
+
+    Attributes
+    ----------
+    max_restarts:
+        Restart budget per pool lifetime (not per solve — a flapping worker
+        must not grind a long solve into endless restart cycles).  ``0``
+        restores the pre-supervision behaviour: the first failure disables
+        the parallel path permanently.
+    backoff_base_s:
+        Backoff before the first restart attempt; attempt ``k`` sleeps
+        ``min(backoff_base_s * 2**(k - 1), backoff_cap_s)``.
+    backoff_cap_s:
+        Ceiling on the exponential backoff.
+    health_probe:
+        Run the cheap parity probe before re-admitting a restarted pool to
+        the solve path.  Leave on: a restarted-but-broken pool that skipped
+        its probe could corrupt results silently.
+    """
+
+    max_restarts: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    health_probe: bool = True
+
+    def __post_init__(self) -> None:
+        _require_nonnegative("max_restarts", self.max_restarts)
+        _require_nonnegative("backoff_base_s", self.backoff_base_s)
+        _require_nonnegative("backoff_cap_s", self.backoff_cap_s)
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ConfigurationError(
+                f"backoff_cap_s ({self.backoff_cap_s!r}) must be >= "
+                f"backoff_base_s ({self.backoff_base_s!r})"
+            )
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff (seconds) before 1-based restart ``attempt``."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return min(self.backoff_base_s * 2.0 ** (attempt - 1), self.backoff_cap_s)
+
+    def with_(self, **changes: Any) -> "RestartPolicy":
+        """Return a copy with ``changes`` applied."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class EvaluationOptions:
     """Controls for circuit-equation evaluation (``Circuit.compile``).
 
@@ -136,12 +194,20 @@ class EvaluationOptions:
         on the serial path with the reason recorded in
         ``MNASystem.parallel_fallback_reason``.  ``None`` disables the
         watchdog (blocking reads, pre-watchdog behaviour).
+    restart:
+        :class:`RestartPolicy` driving the supervised self-healing of the
+        sharded worker pool: a failed pool is restarted with exponential
+        backoff and parity-probed before re-admission; only an exhausted
+        restart budget disables sharding stickily.
+        ``RestartPolicy(max_restarts=0)`` restores the pre-supervision
+        first-failure-disables behaviour.
     """
 
     evaluation_backend: str = "batched"
     kernel_backend: str = "serial"
     n_workers: int | None = None
     worker_timeout_s: float | None = 120.0
+    restart: RestartPolicy = field(default_factory=RestartPolicy)
 
     def __post_init__(self) -> None:
         _require_in("evaluation_backend", self.evaluation_backend, EVALUATION_BACKENDS)
@@ -150,6 +216,10 @@ class EvaluationOptions:
             _require_positive("n_workers", self.n_workers)
         if self.worker_timeout_s is not None:
             _require_positive("worker_timeout_s", self.worker_timeout_s)
+        if not isinstance(self.restart, RestartPolicy):
+            raise ConfigurationError(
+                f"restart must be a RestartPolicy, got {type(self.restart).__name__}"
+            )
 
 
 @dataclass(frozen=True)
@@ -526,6 +596,17 @@ class MPDEOptions:
         continues on the in-process factor path.  ``None`` disables the
         watchdog.  The sharded *evaluation* pool has its own knob of the
         same name on :class:`EvaluationOptions`.
+    restart:
+        :class:`RestartPolicy` driving supervised self-healing of the
+        resident factor service (and of any sharded evaluation pool the
+        solve routes through): a crashed/hung pool is restarted with
+        exponential backoff and parity-probed before re-admission, and only
+        an exhausted restart budget flips the solve to the sticky serial
+        path.  Heals and exhaustions land on
+        ``MPDEStats.supervisor_trace``, and
+        ``MPDEStats.parallel_fallback_reason`` distinguishes
+        ``"degraded (healing): ..."`` from
+        ``"disabled (budget exhausted): ..."``.
     recovery:
         The :class:`RecoveryPolicy` escalation ladder applied when a solve
         fails.  The default policy retries through Newton refresh, extra
@@ -542,6 +623,17 @@ class MPDEOptions:
         :class:`~repro.utils.exceptions.DeadlineExceededError` carrying the
         partial :class:`~repro.core.solver.MPDEStats`.  ``None`` (default)
         disables the deadline.
+    checkpoint_path:
+        Optional filesystem path for crash-consistent checkpoint
+        persistence.  The solver always keeps an in-memory
+        :class:`~repro.resilience.checkpoint.SolveCheckpoint` of the latest
+        accepted Newton iterate (surfaced on the ``.checkpoint`` attribute
+        of :class:`~repro.utils.exceptions.DeadlineExceededError` and of
+        exhausted-ladder terminal failures); with a path set, every
+        checkpoint is additionally written as an ``.npz`` file via
+        write-to-temporary + atomic rename, so a killed process leaves
+        either the previous consistent checkpoint or the new one — never a
+        torn file.  Resume with ``solve_mpde(..., resume_from=...)``.
     """
 
     n_fast: int = 40
@@ -565,8 +657,10 @@ class MPDEOptions:
     n_workers: int | None = None
     factor_backend: str = "threads"
     worker_timeout_s: float | None = 120.0
+    restart: RestartPolicy = field(default_factory=RestartPolicy)
     recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
     deadline_s: float | None = None
+    checkpoint_path: str | None = None
 
     _ALLOWED_FD = ("backward-euler", "bdf2", "central", "fourier")
     _ALLOWED_PRECONDITIONERS = PRECONDITIONER_KINDS
@@ -593,12 +687,18 @@ class MPDEOptions:
         _require_in("factor_backend", self.factor_backend, FACTOR_BACKENDS)
         if self.worker_timeout_s is not None:
             _require_positive("worker_timeout_s", self.worker_timeout_s)
+        if not isinstance(self.restart, RestartPolicy):
+            raise ConfigurationError(
+                f"restart must be a RestartPolicy, got {type(self.restart).__name__}"
+            )
         if not isinstance(self.recovery, RecoveryPolicy):
             raise ConfigurationError(
                 f"recovery must be a RecoveryPolicy, got {type(self.recovery).__name__}"
             )
         if self.deadline_s is not None:
             _require_positive("deadline_s", self.deadline_s)
+        if self.checkpoint_path is not None and not str(self.checkpoint_path):
+            raise ConfigurationError("checkpoint_path must be a non-empty path or None")
 
     def with_grid(self, n_fast: int, n_slow: int) -> "MPDEOptions":
         """Return a copy with a different multi-time grid resolution."""

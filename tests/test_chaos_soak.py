@@ -1,0 +1,180 @@
+"""Randomized chaos-soak harness (the PR-8 tentpole, part 3).
+
+Each soak cycle arms a seeded random fault schedule
+(:func:`repro.resilience.chaos_specs`), forks a fresh supervised worker
+pool *inside* the armed plan (forked children inherit the plan, so
+worker-side faults really fire), runs a full MPDE solve through it, and
+requires the answer to match the fault-free serial reference — the chaos
+schedules are recoverable by design, so "mostly works" is a failure.
+
+The harness then asserts the operational part of the contract: after 25+
+cycles (plus dedicated hung-worker cycles under a short watchdog timeout)
+there are **zero zombie workers and zero leaked shared-memory segments**.
+
+A failing cycle prints its seed; ``chaos_specs(seed)`` is deterministic,
+so every failure is replayable in isolation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import solve_mpde
+from repro.parallel import detect_capabilities
+from repro.resilience import chaos_specs, inject_faults, worker_hang
+from repro.utils import EvaluationOptions, MPDEOptions, RestartPolicy
+
+from test_resilience import _linear_rc
+
+pytestmark = pytest.mark.no_fault_injection
+
+_fork_only = pytest.mark.skipif(
+    not detect_capabilities().fork_available,
+    reason="worker pools require the 'fork' start method",
+)
+
+#: Base seed for the soak schedules (cycle ``i`` uses ``_SEED + i``).
+_SEED = 20020610
+#: Soak length required by the acceptance criteria.
+_CYCLES = 25
+
+#: Ample heal budget with near-zero backoffs: the soak wants many healed
+#: crashes per pool lifetime, not wall-clock-realistic recovery pacing.
+_SOAK_POLICY = RestartPolicy(max_restarts=50, backoff_base_s=0.001, backoff_cap_s=0.01)
+
+_OPTIONS = MPDEOptions(n_fast=8, n_slow=8)
+
+
+def _repro_children() -> list[str]:
+    """Names of live worker processes spawned by the library."""
+    return sorted(
+        p.name
+        for p in multiprocessing.active_children()
+        if p.name.startswith("repro-")
+    )
+
+
+def _wait_for_no_children(baseline: list[str], timeout_s: float = 10.0) -> list[str]:
+    """Poll until every soak-spawned worker is reaped (or timeout).
+
+    Returns the workers that outlived the soak beyond the ``baseline`` set
+    (pools owned by session fixtures, e.g. the tier-1 execution-rewriting
+    lanes, legitimately stay up).  ``active_children()`` joins finished
+    children as a side effect, so the poll also guarantees no zombies
+    survive.
+    """
+    deadline = time.monotonic() + timeout_s
+    leftovers = [name for name in _repro_children() if name not in baseline]
+    while leftovers and time.monotonic() < deadline:
+        time.sleep(0.05)
+        leftovers = [name for name in _repro_children() if name not in baseline]
+    return leftovers
+
+
+def _shm_entries() -> set[str]:
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-tmpfs platforms
+        return set()
+
+
+@_fork_only
+class TestChaosSoak:
+    def test_chaos_cycles_recover_and_leak_nothing(self):
+        shm_before = _shm_entries()
+        children_before = _repro_children()
+
+        # Under the tier-1 execution-rewriting lanes this compile itself
+        # gets a (supervised, bit-for-bit-equal) shard pool, so the
+        # reference system is closed before the leak sweep below.
+        serial, scales = _linear_rc()
+        reference = solve_mpde(serial, scales, replace(_OPTIONS, n_workers=1))
+        assert reference.stats.converged
+
+        heals = 0
+        for cycle in range(_CYCLES):
+            seed = _SEED + cycle
+            specs = chaos_specs(seed)
+            with inject_faults(*specs):
+                # Fork the pool inside the armed plan: children inherit it,
+                # so worker-side faults fire in this generation.
+                sharded = serial.circuit.compile(
+                    EvaluationOptions(
+                        kernel_backend="sharded",
+                        n_workers=2,
+                        worker_timeout_s=30.0,
+                        restart=_SOAK_POLICY,
+                    )
+                )
+                try:
+                    result = solve_mpde(
+                        sharded, scales, replace(_OPTIONS, parallel=True, n_workers=2)
+                    )
+                    assert result.stats.converged, f"chaos seed {seed} did not converge"
+                    # Crash-heal cycles replay the exact trajectory (bitwise;
+                    # asserted by test_selfhealing.py); ladder-recovered
+                    # cycles re-run Newton under an adjusted rung, so the
+                    # soak asserts agreement to solver tolerance instead.
+                    np.testing.assert_allclose(
+                        result.states,
+                        reference.states,
+                        rtol=1e-6,
+                        atol=1e-8,
+                        err_msg=f"chaos seed {seed} diverged from the reference",
+                    )
+                    heals += sharded.supervisor.heals
+                finally:
+                    sharded.close()
+
+        # The seeded schedules draw worker crashes with positive probability;
+        # over 25 cycles at least one must have actually healed through the
+        # supervisor (a zero here means the faults never reached the pool).
+        assert heals > 0
+
+        serial.close()
+        leftovers = _wait_for_no_children(children_before)
+        assert leftovers == [], f"zombie workers after soak: {leftovers}"
+        leaked = _shm_entries() - shm_before
+        assert leaked == set(), f"leaked /dev/shm segments: {sorted(leaked)}"
+
+    def test_hung_worker_cycles_heal_under_short_watchdog(self):
+        shm_before = _shm_entries()
+        children_before = _repro_children()
+        serial, scales = _linear_rc()
+        reference = solve_mpde(serial, scales, replace(_OPTIONS, n_workers=1))
+
+        for cycle in range(2):
+            with inject_faults(worker_hang(hang_s=2.0, count=1, role="shard")):
+                sharded = serial.circuit.compile(
+                    EvaluationOptions(
+                        kernel_backend="sharded",
+                        n_workers=2,
+                        worker_timeout_s=0.5,
+                        restart=_SOAK_POLICY,
+                    )
+                )
+                try:
+                    result = solve_mpde(
+                        sharded, scales, replace(_OPTIONS, parallel=True, n_workers=2)
+                    )
+                    assert result.stats.converged
+                    np.testing.assert_allclose(
+                        result.states, reference.states, rtol=1e-6, atol=1e-8
+                    )
+                    # The watchdog classified the hang as a pool failure and
+                    # the supervisor healed it (hang_s > worker_timeout_s).
+                    assert sharded.supervisor.heals >= 1
+                finally:
+                    sharded.close()
+
+        serial.close()
+        leftovers = _wait_for_no_children(children_before)
+        assert leftovers == [], f"zombie workers after hang cycles: {leftovers}"
+        leaked = _shm_entries() - shm_before
+        assert leaked == set(), f"leaked /dev/shm segments: {sorted(leaked)}"

@@ -1,0 +1,343 @@
+"""Crash-consistent checkpoint/resume (the PR-8 tentpole, part 2).
+
+The contract under test (see ``src/repro/resilience/checkpoint.py``):
+
+* **Consistency** — checkpoints snapshot accepted iteration boundaries
+  only; persistence is write-temporary + atomic rename; a corrupt or
+  truncated file raises :class:`~repro.utils.exceptions.CheckpointError`,
+  never garbage.
+* **Identity** — a checkpoint carries a fingerprint of the solve it
+  belongs to; resuming into a different circuit/grid/discretisation is a
+  :class:`CheckpointError`, never a silently wrong answer.
+* **Bitwise resume** — a deadline-interrupted direct-mode solve, resumed
+  via ``resume_from=`` (in memory or from a persisted ``.npz``), lands on
+  exactly the iterate trajectory of the uninterrupted solve: the final
+  states match **bit for bit** for MPDE, collocation PSS and two-tone HB.
+* **Failures carry progress** — deadline expiries *and* exhausted-ladder
+  terminal failures expose the latest checkpoint on ``exc.checkpoint``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro.analysis.pss_fd as pss_fd_mod
+import repro.core.solver as solver_mod
+from repro.analysis.pss_fd import collocation_periodic_steady_state
+from repro.core import solve_mpde
+from repro.core.multitone_hb import two_tone_harmonic_balance
+from repro.resilience import SolveCheckpoint, inject_faults, singular_jacobian, solve_fingerprint
+from repro.rf import gilbert_cell_mixer, unbalanced_switching_mixer
+from repro.utils import (
+    CheckpointError,
+    DeadlineExceededError,
+    MPDEOptions,
+    RecoveryPolicy,
+    SingularMatrixError,
+)
+
+from test_resilience import _linear_rc
+
+pytestmark = pytest.mark.no_fault_injection
+
+_OPTIONS = MPDEOptions(n_fast=8, n_slow=8)
+
+
+def _gilbert():
+    """Nonlinear two-tone problem whose chord-mode solve converges inside a
+    single main Newton run (~13 iterations on the 8x8 grid) — enough
+    trajectory for a counting deadline to split, without tripping the
+    budget-exhaustion chord fallback (whose retry stage is budget-relative
+    and therefore not a bitwise-resumable trajectory)."""
+    mix = gilbert_cell_mixer(lo_frequency=2e6, difference_frequency=50e3)
+    return mix.circuit.compile(), mix.scales
+
+
+def _switching():
+    """Strongly LO-switched two-tone problem; converges in ~7 iterations
+    under full Newton (``chord_newton=False``)."""
+    mix = unbalanced_switching_mixer(lo_frequency=2e6, difference_frequency=50e3)
+    return mix.circuit.compile(), mix.scales
+
+
+class _CountingDeadline:
+    """Deadline double that expires after a fixed number of ``check`` calls.
+
+    Wall-clock deadlines cannot split a solve at a *deterministic* Newton
+    iteration; counting checks can.  A budget of ``None`` (the solver's
+    idle ``Deadline(None)``) never expires, mirroring the real class.
+    """
+
+    #: Check budget for the next constructed instance (class-level so the
+    #: solver's internal construction picks it up).
+    budget = 3
+
+    def __init__(self, seconds, *, clock=None):
+        self.seconds = seconds
+        self._checks = 0
+
+    def elapsed(self) -> float:
+        return 0.0
+
+    def remaining(self) -> float:
+        return float("inf")
+
+    def expired(self) -> bool:
+        return False
+
+    def check(self, stage: str, *, partial_stats=None) -> None:
+        if self.seconds is None:
+            return
+        self._checks += 1
+        if self._checks > type(self).budget:
+            raise DeadlineExceededError(
+                f"injected deadline expiry (at {stage} boundary)",
+                deadline_s=float(self.seconds),
+                elapsed_s=0.0,
+                stage=stage,
+                partial_stats=partial_stats,
+            )
+
+
+@pytest.fixture
+def counting_deadline(monkeypatch):
+    """Patch the MPDE solver's Deadline; yields the class to tune ``budget``."""
+    monkeypatch.setattr(solver_mod, "Deadline", _CountingDeadline)
+    _CountingDeadline.budget = 3
+    yield _CountingDeadline
+    monkeypatch.undo()
+
+
+def _interrupt(mna, scales, options, budget=3):
+    """Run a solve to its injected deadline; return the carried checkpoint."""
+    _CountingDeadline.budget = budget
+    with pytest.raises(DeadlineExceededError) as info:
+        solve_mpde(mna, scales, replace(options, deadline_s=60.0))
+    checkpoint = info.value.checkpoint
+    assert checkpoint is not None
+    assert checkpoint.stage == "newton"
+    assert info.value.partial_stats is not None
+    return checkpoint
+
+
+class TestFingerprint:
+    def test_is_order_insensitive(self):
+        assert solve_fingerprint("mpde", a=1, b=2.5) == solve_fingerprint(
+            "mpde", b=2.5, a=1
+        )
+
+    def test_distinguishes_kind_and_parts(self):
+        base = solve_fingerprint("mpde", n_fast=8)
+        assert solve_fingerprint("pss", n_fast=8) != base
+        assert solve_fingerprint("mpde", n_fast=16) != base
+
+
+class TestPersistence:
+    def _checkpoint(self, **overrides):
+        fields = dict(
+            fingerprint="f" * 64,
+            stage="newton",
+            iterate=np.linspace(0.0, 1.0, 7),
+            newton_iterations=4,
+            residual_norm=1.25e-7,
+            chord_state={
+                "factored_at": np.arange(7.0),
+                "baseline": 3,
+                "last": 5,
+                "just_built": False,
+                "stale": True,
+            },
+            recovery_trace=[{"rung": "baseline", "outcome": "failed"}],
+            stats={"newton_iterations": 4},
+        )
+        fields.update(overrides)
+        return SolveCheckpoint(**fields)
+
+    def test_roundtrip_preserves_every_field(self, tmp_path):
+        path = tmp_path / "solve.npz"
+        original = self._checkpoint()
+        original.save(path)
+        loaded = SolveCheckpoint.load(path)
+        assert loaded.fingerprint == original.fingerprint
+        assert loaded.stage == original.stage
+        np.testing.assert_array_equal(loaded.iterate, original.iterate)
+        assert loaded.newton_iterations == original.newton_iterations
+        assert loaded.residual_norm == original.residual_norm
+        np.testing.assert_array_equal(
+            loaded.chord_state["factored_at"], original.chord_state["factored_at"]
+        )
+        for key in ("baseline", "last", "just_built", "stale"):
+            assert loaded.chord_state[key] == original.chord_state[key]
+        assert loaded.recovery_trace == original.recovery_trace
+        assert loaded.stats == original.stats
+
+    def test_roundtrip_without_chord_state(self, tmp_path):
+        path = tmp_path / "solve.npz"
+        self._checkpoint(chord_state=None).save(path)
+        assert SolveCheckpoint.load(path).chord_state is None
+
+    def test_save_leaves_no_temporary_behind(self, tmp_path):
+        path = tmp_path / "solve.npz"
+        self._checkpoint().save(path)
+        self._checkpoint().save(path)  # overwrite is atomic, not append
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["solve.npz"]
+
+    def test_corrupt_file_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "solve.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            SolveCheckpoint.load(path)
+
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            SolveCheckpoint.load(tmp_path / "never-written.npz")
+
+    def test_truncated_file_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "solve.npz"
+        self._checkpoint().save(path)
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(CheckpointError):
+            SolveCheckpoint.load(path)
+
+    def test_fingerprint_mismatch_raises(self):
+        checkpoint = self._checkpoint()
+        checkpoint.validate("f" * 64)  # matching fingerprint passes
+        with pytest.raises(CheckpointError, match="fingerprint mismatch"):
+            checkpoint.validate("0" * 64)
+
+
+class TestMPDEResume:
+    def test_deadline_split_solve_is_bitwise(self, counting_deadline):
+        mna, scales = _gilbert()
+        reference = solve_mpde(mna, scales, _OPTIONS)
+        checkpoint = _interrupt(mna, scales, _OPTIONS)
+        assert checkpoint.newton_iterations < reference.stats.newton_iterations
+        resumed = solve_mpde(mna, scales, _OPTIONS, resume_from=checkpoint)
+        np.testing.assert_array_equal(resumed.states, reference.states)
+        assert resumed.stats.newton_iterations < reference.stats.newton_iterations
+
+    def test_resume_from_persisted_path_is_bitwise(self, counting_deadline, tmp_path):
+        mna, scales = _gilbert()
+        path = tmp_path / "mpde.npz"
+        options = replace(_OPTIONS, checkpoint_path=str(path))
+        reference = solve_mpde(mna, scales, _OPTIONS)
+        _interrupt(mna, scales, options)
+        assert path.exists()
+        resumed = solve_mpde(mna, scales, _OPTIONS, resume_from=str(path))
+        np.testing.assert_array_equal(resumed.states, reference.states)
+
+    def test_checkpoint_path_kwarg_persists_during_success(self, tmp_path):
+        mna, scales = _linear_rc()
+        path = tmp_path / "mpde.npz"
+        result = solve_mpde(mna, scales, _OPTIONS, checkpoint_path=path)
+        assert result.stats.converged
+        final = SolveCheckpoint.load(path)
+        # The last persisted snapshot is the converged trajectory's tail:
+        # resuming from it reproduces the answer immediately.
+        resumed = solve_mpde(mna, scales, _OPTIONS, resume_from=final)
+        np.testing.assert_array_equal(resumed.states, result.states)
+
+    def test_mismatched_options_refuse_to_resume(self, counting_deadline):
+        mna, scales = _gilbert()
+        checkpoint = _interrupt(mna, scales, _OPTIONS)
+        with pytest.raises(CheckpointError, match="fingerprint mismatch"):
+            solve_mpde(
+                mna, scales, _OPTIONS.with_grid(12, 8), resume_from=checkpoint
+            )
+
+    def test_full_newton_mode_resumes_bitwise(self, counting_deadline):
+        """No chord cache in play: the iterate alone carries the state."""
+        mna, scales = _switching()
+        options = replace(_OPTIONS, chord_newton=False)
+        reference = solve_mpde(mna, scales, options)
+        checkpoint = _interrupt(mna, scales, options)
+        assert checkpoint.chord_state is None
+        resumed = solve_mpde(mna, scales, options, resume_from=checkpoint)
+        np.testing.assert_array_equal(resumed.states, reference.states)
+
+    def test_exhausted_ladder_failure_carries_checkpoint(self):
+        mna, scales = _gilbert()
+        options = replace(
+            _OPTIONS,
+            recovery=RecoveryPolicy(enabled=False),
+            use_continuation=False,
+        )
+        reference = solve_mpde(mna, scales, options)
+        with inject_faults(singular_jacobian(at_iteration=3, count=None)):
+            with pytest.raises(SingularMatrixError) as info:
+                solve_mpde(mna, scales, options)
+        checkpoint = info.value.checkpoint
+        assert checkpoint is not None
+        assert checkpoint.newton_iterations > 0
+        resumed = solve_mpde(mna, scales, options, resume_from=checkpoint)
+        np.testing.assert_array_equal(resumed.states, reference.states)
+
+
+class TestCollocationPSSResume:
+    def _solve(self, mna, **kwargs):
+        return collocation_periodic_steady_state(mna, 1e-3, 41, **kwargs)
+
+    def test_deadline_split_pss_is_bitwise(self, diode_rectifier, monkeypatch):
+        mna = diode_rectifier.compile()
+        reference = self._solve(mna)
+        monkeypatch.setattr(pss_fd_mod, "Deadline", _CountingDeadline)
+        _CountingDeadline.budget = 2
+        with pytest.raises(DeadlineExceededError) as info:
+            self._solve(mna, deadline_s=60.0)
+        monkeypatch.undo()
+        checkpoint = info.value.checkpoint
+        assert checkpoint is not None
+        assert checkpoint.stage == "collocation"
+        resumed = self._solve(mna, resume_from=checkpoint)
+        np.testing.assert_array_equal(resumed.states, reference.states)
+
+    def test_pss_checkpoint_persists_and_resumes_from_path(
+        self, diode_rectifier, monkeypatch, tmp_path
+    ):
+        mna = diode_rectifier.compile()
+        path = tmp_path / "pss.npz"
+        reference = self._solve(mna)
+        monkeypatch.setattr(pss_fd_mod, "Deadline", _CountingDeadline)
+        _CountingDeadline.budget = 2
+        with pytest.raises(DeadlineExceededError):
+            self._solve(mna, deadline_s=60.0, checkpoint_path=path)
+        monkeypatch.undo()
+        assert path.exists()
+        resumed = self._solve(mna, resume_from=str(path))
+        np.testing.assert_array_equal(resumed.states, reference.states)
+
+    def test_pss_rejects_foreign_checkpoint(self, diode_rectifier):
+        mna = diode_rectifier.compile()
+        foreign = SolveCheckpoint(
+            fingerprint="0" * 64,
+            stage="collocation",
+            iterate=np.zeros(41 * mna.n_unknowns),
+        )
+        with pytest.raises(CheckpointError, match="fingerprint mismatch"):
+            self._solve(mna, resume_from=foreign)
+
+
+class TestTwoToneHBResume:
+    def _solve(self, mixer, **kwargs):
+        return two_tone_harmonic_balance(
+            mixer.circuit.compile(),
+            mixer.scales,
+            n_harmonics_fast=2,
+            n_harmonics_slow=2,
+            **kwargs,
+        )
+
+    def test_deadline_split_hb_is_bitwise(self, scaled_switching_mixer, counting_deadline):
+        counting_deadline.budget = 10**9  # reference runs uninterrupted
+        reference = self._solve(scaled_switching_mixer)
+        counting_deadline.budget = 2
+        with pytest.raises(DeadlineExceededError) as info:
+            self._solve(scaled_switching_mixer, deadline_s=60.0)
+        checkpoint = info.value.checkpoint
+        assert checkpoint is not None
+        counting_deadline.budget = 10**9
+        resumed = self._solve(scaled_switching_mixer, resume_from=checkpoint)
+        np.testing.assert_array_equal(resumed.mpde.states, reference.mpde.states)

@@ -34,7 +34,7 @@ from repro.parallel import (
     detect_capabilities,
 )
 from repro.resilience import FaultSpec, build_profile_specs, inject_faults
-from repro.utils import MPDEOptions
+from repro.utils import MPDEOptions, RestartPolicy
 
 from test_parallel import _spectral_problem_data
 
@@ -363,11 +363,15 @@ class TestResidentFaults:
             count=1,
             predicate=lambda ctx: ctx.get("role") == "factor",
         )
+        # max_restarts=0 pins the sticky serial degradation this test is
+        # about; the supervised heal path is covered by test_selfhealing.py.
         with inject_faults(crash):
             result = solve_mpde(
                 mna,
                 scaled_switching_mixer.scales,
-                self._resident_options(worker_timeout_s=5.0),
+                self._resident_options(
+                    worker_timeout_s=5.0, restart=RestartPolicy(max_restarts=0)
+                ),
             )
         np.testing.assert_array_equal(result.states, serial.states)
         assert "died" in result.stats.parallel_fallback_reason
@@ -384,11 +388,15 @@ class TestResidentFaults:
             predicate=lambda ctx: ctx.get("role") == "factor",
         )
         start = time.monotonic()
+        # max_restarts=0: assert the sticky watchdog fallback (healing after
+        # a hang is covered by the chaos-soak harness).
         with inject_faults(hang):
             result = solve_mpde(
                 mna,
                 scaled_switching_mixer.scales,
-                self._resident_options(worker_timeout_s=1.0),
+                self._resident_options(
+                    worker_timeout_s=1.0, restart=RestartPolicy(max_restarts=0)
+                ),
             )
         # The watchdog, not the 60 s sleep, must bound the stall.
         assert time.monotonic() - start < 30.0

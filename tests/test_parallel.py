@@ -36,7 +36,7 @@ from repro.parallel import (
     resolve_execution,
     shard_ranges,
 )
-from repro.utils import ConfigurationError, EvaluationOptions, MPDEOptions
+from repro.utils import ConfigurationError, EvaluationOptions, MPDEOptions, RestartPolicy
 from test_evaluation_engine import _all_device_circuit
 
 #: A point count that is not divisible by 2, 3 or 4 — every shard split in
@@ -213,8 +213,15 @@ class TestWorkerFailure:
     def test_worker_raise_records_reason_and_falls_back(self, rng):
         circuit = _all_device_circuit()
         serial = circuit.compile()
+        # max_restarts=0: the poisoned engine travels into every healed
+        # generation, so a restart budget would only burn probe attempts
+        # before landing on the same sticky fallback.
         sharded = circuit.compile(
-            EvaluationOptions(kernel_backend="sharded", n_workers=2)
+            EvaluationOptions(
+                kernel_backend="sharded",
+                n_workers=2,
+                restart=RestartPolicy(max_restarts=0),
+            )
         )
         try:
             engine = sharded.engine  # build before the pool forks

@@ -53,6 +53,7 @@ from repro.utils import (
     MPDEOptions,
     NewtonOptions,
     RecoveryPolicy,
+    RestartPolicy,
     SingularMatrixError,
 )
 
@@ -655,8 +656,15 @@ class TestWorkerWatchdogs:
 
     def test_worker_crash_falls_back_to_correct_serial_result(self, rng):
         serial = _linear_rc()[0]
+        # max_restarts=0 pins the sticky serial degradation this test is
+        # about; with restart budget the crash would *heal* and clear the
+        # fallback reason (covered by test_selfhealing.py).
         sharded = serial.circuit.compile(
-            EvaluationOptions(kernel_backend="sharded", n_workers=2)
+            EvaluationOptions(
+                kernel_backend="sharded",
+                n_workers=2,
+                restart=RestartPolicy(max_restarts=0),
+            )
         )
         try:
             X = rng.normal(size=(20, serial.n_unknowns))
@@ -676,7 +684,12 @@ class TestWorkerWatchdogs:
         serial = _linear_rc()[0]
         sharded = serial.circuit.compile(
             EvaluationOptions(
-                kernel_backend="sharded", n_workers=2, worker_timeout_s=0.5
+                kernel_backend="sharded",
+                n_workers=2,
+                worker_timeout_s=0.5,
+                # Sticky watchdog fallback, without the supervised restarts
+                # re-hitting the infinite hang (count=None) first.
+                restart=RestartPolicy(max_restarts=0),
             )
         )
         try:

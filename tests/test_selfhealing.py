@@ -1,0 +1,501 @@
+"""Supervised self-healing of the forked worker pools (the PR-8 tentpole).
+
+The contract under test (see ``src/repro/resilience/supervisor.py``):
+
+* **Policy mechanics** — exponential backoff ``min(base * 2**(k-1), cap)``,
+  a parity health-probe gating re-admission, restart/probe failures burning
+  attempts, a per-pool-*lifetime* (never reset) attempt budget, and an
+  already-disabled supervisor short-circuiting without recording events.
+* **Crash-heal is invisible in the numbers** — a worker crash mid-solve
+  heals through restart + probe and the solve still matches the serial
+  reference *bit for bit*, with the heal recorded on
+  ``MPDEStats.supervisor_trace`` and reported as
+  ``"degraded (healing): ..."``.
+* **Budget exhaustion is sticky** — only a spent
+  :class:`~repro.utils.options.RestartPolicy` budget disables a parallel
+  path permanently, reported as ``"disabled (budget exhausted): ..."``.
+* **Reason lifecycle** (documented on
+  ``MNASystem.parallel_fallback_reason``) — the MNA property carries
+  *last-request* semantics (cleared by a later success), while
+  ``MPDEStats.parallel_fallback_reason`` is *per-solve first-reason-wins*
+  and resets on every solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import solve_mpde
+from repro.parallel import ResidentFactorPool, detect_capabilities
+from repro.resilience import (
+    FaultSpec,
+    PoolSupervisor,
+    RestartPolicy,
+    inject_faults,
+    worker_crash,
+)
+from repro.utils import ConfigurationError, EvaluationOptions, MPDEOptions
+
+from test_resilience import _linear_rc
+
+pytestmark = pytest.mark.no_fault_injection
+
+_fork_only = pytest.mark.skipif(
+    not detect_capabilities().fork_available,
+    reason="worker pools require the 'fork' start method",
+)
+
+#: Fast-healing policy for the integration tests: real backoffs would only
+#: slow the suite down without changing what is asserted.
+_FAST_POLICY = RestartPolicy(max_restarts=2, backoff_base_s=0.001, backoff_cap_s=0.01)
+
+
+def _make(policy, **kwargs):
+    """A supervisor on a fake clock, with every backoff sleep recorded."""
+    sleeps: list[float] = []
+    now = [0.0]
+
+    def clock() -> float:
+        now[0] += 1.0
+        return now[0]
+
+    supervisor = PoolSupervisor(
+        kwargs.pop("pool_name", "kernel_shard"),
+        policy,
+        clock=clock,
+        sleep=sleeps.append,
+    )
+    return supervisor, sleeps
+
+
+class TestRestartPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RestartPolicy(backoff_base_s=0.05, backoff_cap_s=0.4)
+        assert [policy.backoff_s(k) for k in range(1, 6)] == [
+            0.05,
+            0.1,
+            0.2,
+            0.4,
+            0.4,
+        ]
+        with pytest.raises(ValueError):
+            policy.backoff_s(0)
+
+    def test_knobs_are_validated(self):
+        with pytest.raises(ConfigurationError):
+            RestartPolicy(max_restarts=-1)
+        with pytest.raises(ConfigurationError):
+            RestartPolicy(backoff_base_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            RestartPolicy(backoff_base_s=1.0, backoff_cap_s=0.5)
+        with pytest.raises(ConfigurationError):
+            EvaluationOptions(restart="never")
+        with pytest.raises(ConfigurationError):
+            MPDEOptions(restart="never")
+
+    def test_with_returns_modified_copy(self):
+        policy = RestartPolicy()
+        relaxed = policy.with_(max_restarts=7)
+        assert relaxed.max_restarts == 7
+        assert policy.max_restarts == 2  # original untouched
+
+
+class TestPoolSupervisorUnit:
+    def test_heals_on_first_attempt(self):
+        supervisor, sleeps = _make(RestartPolicy(backoff_base_s=0.01))
+        restarted = []
+        outcome = supervisor.handle_failure(
+            "worker died", restart=lambda: restarted.append(True), probe=lambda: True
+        )
+        assert outcome is None
+        assert restarted == [True]
+        assert supervisor.heals == 1 and supervisor.attempts == 1
+        assert not supervisor.exhausted
+        assert [e.action for e in supervisor.trace] == [
+            "failure",
+            "backoff",
+            "restarted",
+            "probe_passed",
+            "healed",
+        ]
+        healed = supervisor.trace[-1]
+        assert healed.reason == "degraded (healing): worker died"
+        assert sleeps == [0.01]
+
+    def test_backoff_schedule_and_exhaustion(self):
+        supervisor, sleeps = _make(
+            RestartPolicy(max_restarts=5, backoff_base_s=0.01, backoff_cap_s=0.04)
+        )
+        reason = supervisor.handle_failure(
+            "boom", restart=lambda: None, probe=lambda: False
+        )
+        assert sleeps == [0.01, 0.02, 0.04, 0.04, 0.04]
+        assert supervisor.attempts == 5 and supervisor.heals == 0
+        assert supervisor.exhausted
+        assert reason.startswith("disabled (budget exhausted):")
+        assert "after 5 restart(s)" in reason
+        assert "parity probe mismatched" in reason
+        assert supervisor.trace[-1].action == "disabled"
+        assert supervisor.disabled_reason == reason
+
+    def test_restart_exception_burns_the_attempt(self):
+        supervisor, _sleeps = _make(RestartPolicy(max_restarts=2))
+        calls = [0]
+
+        def flaky_restart() -> None:
+            calls[0] += 1
+            if calls[0] == 1:
+                raise OSError("fork refused")
+
+        outcome = supervisor.handle_failure(
+            "worker died", restart=flaky_restart, probe=lambda: True
+        )
+        assert outcome is None
+        assert supervisor.attempts == 2 and supervisor.heals == 1
+        failed = [e for e in supervisor.trace if e.action == "probe_failed"]
+        assert len(failed) == 1
+        assert "restart failed: OSError: fork refused" in failed[0].detail
+
+    def test_raising_probe_burns_the_attempt(self):
+        supervisor, _sleeps = _make(RestartPolicy(max_restarts=2))
+        verdicts = iter([RuntimeError("probe blew up"), True])
+
+        def probe():
+            verdict = next(verdicts)
+            if isinstance(verdict, Exception):
+                raise verdict
+            return verdict
+
+        outcome = supervisor.handle_failure("boom", restart=lambda: None, probe=probe)
+        assert outcome is None
+        assert supervisor.attempts == 2 and supervisor.heals == 1
+        failed = [e for e in supervisor.trace if e.action == "probe_failed"]
+        assert "parity probe raised: RuntimeError: probe blew up" in failed[0].detail
+
+    def test_probe_skipped_when_policy_disables_it(self):
+        supervisor, _sleeps = _make(RestartPolicy(health_probe=False))
+        outcome = supervisor.handle_failure(
+            "boom", restart=lambda: None, probe=lambda: False  # would fail
+        )
+        assert outcome is None and supervisor.heals == 1
+        assert not any("probe" in e.action for e in supervisor.trace)
+
+    def test_zero_budget_restores_first_failure_disables(self):
+        supervisor, sleeps = _make(RestartPolicy(max_restarts=0))
+        reason = supervisor.handle_failure("boom", restart=lambda: None)
+        assert reason.startswith("disabled (budget exhausted):")
+        assert "after 0 restart(s)" in reason
+        assert sleeps == []
+        assert [e.action for e in supervisor.trace] == ["failure", "disabled"]
+
+    def test_already_disabled_short_circuits_without_events(self):
+        supervisor, _sleeps = _make(RestartPolicy(max_restarts=0))
+        first = supervisor.handle_failure("boom", restart=lambda: None)
+        recorded = len(supervisor.trace)
+        again = supervisor.handle_failure("boom again", restart=lambda: None)
+        assert again == first
+        assert len(supervisor.trace) == recorded  # nothing new recorded
+
+    def test_budget_is_per_lifetime_not_per_failure(self):
+        """Two heals spend the whole budget; the third failure disables
+        immediately — a flapping worker cannot grind a solve forever."""
+        supervisor, sleeps = _make(RestartPolicy(max_restarts=2))
+        assert supervisor.handle_failure("f1", restart=lambda: None) is None
+        assert supervisor.handle_failure("f2", restart=lambda: None) is None
+        assert supervisor.heals == 2 and supervisor.attempts == 2
+        reason = supervisor.handle_failure("f3", restart=lambda: None)
+        assert reason is not None and reason.startswith("disabled")
+        assert len(sleeps) == 2  # no backoff was slept for the third failure
+
+
+@_fork_only
+class TestShardedHealing:
+    """Kernel-shard pool: crash-heal and budget exhaustion, bit for bit."""
+
+    def _sharded(self, serial, policy=_FAST_POLICY):
+        return serial.circuit.compile(
+            EvaluationOptions(kernel_backend="sharded", n_workers=2, restart=policy)
+        )
+
+    def test_crash_heals_and_evaluation_stays_bitwise(self, rng):
+        serial = _linear_rc()[0]
+        sharded = self._sharded(serial)
+        try:
+            X = rng.normal(size=(20, serial.n_unknowns))
+            reference = serial.evaluate_sparse(X)
+            with inject_faults(worker_crash(count=1)):
+                result = sharded.evaluate_sparse(X)
+            np.testing.assert_array_equal(result.f, reference.f)
+            np.testing.assert_array_equal(result.q, reference.q)
+            assert sharded.supervisor.heals == 1
+            assert [e.action for e in sharded.supervisor.trace] == [
+                "failure",
+                "backoff",
+                "restarted",
+                "probe_passed",
+                "healed",
+            ]
+            # The healed retry succeeded, so the last-request property is
+            # clean and nothing is sticky: later evaluations stay sharded.
+            assert sharded.parallel_fallback_reason == ""
+            assert sharded.sharding_disabled_reason == ""
+            again = sharded.evaluate_sparse(X)
+            np.testing.assert_array_equal(again.f, reference.f)
+            assert sharded.supervisor.heals == 1  # no further episodes
+        finally:
+            sharded.close()
+
+    def test_solve_heals_and_records_supervisor_trace(self):
+        mna, scales = _linear_rc()
+        options = MPDEOptions(n_fast=8, n_slow=8)
+        reference = solve_mpde(mna, scales, options)
+        sharded = self._sharded(mna)
+        try:
+            with inject_faults(worker_crash(count=1)):
+                result = solve_mpde(
+                    sharded, scales, replace(options, parallel=True, n_workers=2)
+                )
+            np.testing.assert_array_equal(result.states, reference.states)
+            trace = result.stats.supervisor_trace
+            assert [e.action for e in trace].count("healed") == 1
+            assert all(e.pool == "kernel_shard" for e in trace)
+            assert result.stats.parallel_fallback_reason.startswith(
+                "degraded (healing):"
+            )
+        finally:
+            sharded.close()
+
+    def test_exhausted_budget_disables_stickily(self, rng):
+        serial = _linear_rc()[0]
+        sharded = self._sharded(serial, RestartPolicy(max_restarts=0))
+        try:
+            X = rng.normal(size=(20, serial.n_unknowns))
+            reference = serial.evaluate_sparse(X)
+            with inject_faults(worker_crash(count=1)):
+                result = sharded.evaluate_sparse(X)  # serial fallback
+            np.testing.assert_array_equal(result.f, reference.f)
+            assert sharded.sharding_disabled_reason.startswith(
+                "disabled (budget exhausted):"
+            )
+            assert "after 0 restart(s)" in sharded.sharding_disabled_reason
+            # Sticky: the next evaluation never re-enters the pool path, and
+            # the per-request property keeps reporting the disable reason.
+            again = sharded.evaluate_sparse(X)
+            np.testing.assert_array_equal(again.f, reference.f)
+            assert sharded.parallel_fallback_reason.startswith(
+                "disabled (budget exhausted):"
+            )
+        finally:
+            sharded.close()
+
+    def test_exhausted_budget_reason_reaches_solve_stats(self):
+        mna, scales = _linear_rc()
+        options = MPDEOptions(n_fast=8, n_slow=8)
+        reference = solve_mpde(mna, scales, options)
+        sharded = self._sharded(mna, RestartPolicy(max_restarts=0))
+        try:
+            parallel = replace(options, parallel=True, n_workers=2)
+            with inject_faults(worker_crash(count=1)):
+                result = solve_mpde(sharded, scales, parallel)
+            np.testing.assert_array_equal(result.states, reference.states)
+            assert result.stats.parallel_fallback_reason.startswith(
+                "disabled (budget exhausted):"
+            )
+            assert [e.action for e in result.stats.supervisor_trace] == [
+                "failure",
+                "disabled",
+            ]
+            # A later fault-free solve records *no* new supervisor events,
+            # yet still reports the sticky disable on its fresh stats.
+            again = solve_mpde(sharded, scales, parallel)
+            np.testing.assert_array_equal(again.states, reference.states)
+            assert again.stats.supervisor_trace == []
+            assert again.stats.parallel_fallback_reason.startswith(
+                "disabled (budget exhausted):"
+            )
+        finally:
+            sharded.close()
+
+
+@_fork_only
+class TestFactorServiceHealing:
+    """Resident factor service: heals counted apart from structure reforks."""
+
+    _OPTIONS = MPDEOptions(
+        n_fast=16,
+        n_slow=8,
+        matrix_free=True,
+        preconditioner="block_circulant_fast",
+    )
+
+    def test_factor_crash_heals_and_solve_stays_bitwise(self, scaled_switching_mixer):
+        mna = scaled_switching_mixer.compile()
+        # ``n_workers`` pinned: opts out of the tier-1 reroute, inert serially.
+        reference = solve_mpde(
+            mna, scaled_switching_mixer.scales, replace(self._OPTIONS, n_workers=1)
+        )
+        with inject_faults(worker_crash(role="factor", count=1)):
+            result = solve_mpde(
+                mna,
+                scaled_switching_mixer.scales,
+                replace(
+                    self._OPTIONS,
+                    parallel=True,
+                    n_workers=2,
+                    factor_backend="resident",
+                    worker_timeout_s=10.0,
+                    restart=_FAST_POLICY,
+                ),
+            )
+        np.testing.assert_array_equal(result.states, reference.states)
+        healed = [e for e in result.stats.supervisor_trace if e.action == "healed"]
+        assert len(healed) == 1
+        assert healed[0].pool == "factor_service"
+        assert result.stats.parallel_fallback_reason.startswith("degraded (healing):")
+
+    def test_heals_counted_apart_from_structure_restarts(
+        self, scaled_switching_mixer, rng
+    ):
+        """Satellite (a): ``.restarts`` counts structure reforks only; a
+        supervised fault-recovery refork lands on ``.heals`` instead."""
+        from test_parallel import _spectral_problem_data
+
+        problem, evaluation = _spectral_problem_data(scaled_switching_mixer)
+        reference = problem.build_preconditioner(
+            "block_circulant_fast",
+            c_data=evaluation.c_data,
+            g_data=evaluation.g_data,
+        )
+        service = ResidentFactorPool(2, restart_policy=_FAST_POLICY)
+        try:
+            # Armed before the first configure forks the workers; the first
+            # worker visit crashes, the supervised heal refactors in a fresh
+            # generation and configure returns as if nothing happened.
+            with inject_faults(worker_crash(role="factor", count=1)):
+                resident = problem.build_preconditioner(
+                    "block_circulant_fast",
+                    c_data=evaluation.c_data,
+                    g_data=evaluation.g_data,
+                    factor_service=service,
+                )
+            assert service.restarts == 1  # the initial structural fork only
+            assert service.heals == 1  # the crash recovery
+            assert service.active and service.fallback_reason == ""
+            vector = rng.normal(size=problem.n_total_unknowns)
+            np.testing.assert_array_equal(
+                resident.solve(vector), reference.solve(vector)
+            )
+        finally:
+            service.close()
+
+    def test_exhausted_budget_disables_service_and_falls_back(
+        self, scaled_switching_mixer, rng
+    ):
+        from test_parallel import _spectral_problem_data
+
+        problem, evaluation = _spectral_problem_data(scaled_switching_mixer)
+        reference = problem.build_preconditioner(
+            "block_circulant_fast",
+            c_data=evaluation.c_data,
+            g_data=evaluation.g_data,
+        )
+        service = ResidentFactorPool(2, restart_policy=RestartPolicy(max_restarts=0))
+        try:
+            with inject_faults(worker_crash(role="factor", count=1)):
+                resident = problem.build_preconditioner(
+                    "block_circulant_fast",
+                    c_data=evaluation.c_data,
+                    g_data=evaluation.g_data,
+                    factor_service=service,
+                )
+            assert not service.active
+            assert service.heals == 0
+            assert service.fallback_reason.startswith("disabled (budget exhausted):")
+            # The consumer finished its build on the in-process path and the
+            # applies still match bit for bit.
+            vector = rng.normal(size=problem.n_total_unknowns)
+            np.testing.assert_array_equal(
+                resident.solve(vector), reference.solve(vector)
+            )
+        finally:
+            service.close()
+
+
+@_fork_only
+class TestReasonLifecycle:
+    """Satellite (b): the documented two-tier reason semantics, pinned."""
+
+    def test_mna_property_is_last_request_wins(self, rng):
+        serial = _linear_rc()[0]
+        sharded = serial.circuit.compile(
+            EvaluationOptions(kernel_backend="sharded", n_workers=2)
+        )
+        try:
+            X = rng.normal(size=(20, serial.n_unknowns))
+            sharded.evaluate_sparse(X)
+            assert sharded.parallel_fallback_reason == ""
+            # A per-call serial override records its reason...
+            sharded.evaluate_sparse(X, n_workers=1)
+            assert "n_workers=1" in sharded.parallel_fallback_reason
+            # ...and the next sharded success clears it again.
+            sharded.evaluate_sparse(X)
+            assert sharded.parallel_fallback_reason == ""
+        finally:
+            sharded.close()
+
+    def test_stats_reason_is_per_solve_and_resets(self):
+        mna, scales = _linear_rc()
+        sharded = mna.circuit.compile(
+            EvaluationOptions(kernel_backend="sharded", n_workers=2, restart=_FAST_POLICY)
+        )
+        try:
+            options = MPDEOptions(n_fast=8, n_slow=8, parallel=True, n_workers=2)
+            with inject_faults(worker_crash(count=1)):
+                degraded = solve_mpde(sharded, scales, options)
+            assert degraded.stats.parallel_fallback_reason.startswith(
+                "degraded (healing):"
+            )
+            episodes = len(sharded.supervisor.trace)
+            # The next solve starts with a clean per-solve reason even though
+            # the supervisor's lifetime trace still holds the old episode.
+            clean = solve_mpde(sharded, scales, options)
+            assert clean.stats.parallel_fallback_reason == ""
+            assert clean.stats.supervisor_trace == []
+            assert len(sharded.supervisor.trace) == episodes
+            np.testing.assert_array_equal(clean.states, degraded.states)
+        finally:
+            sharded.close()
+
+    def test_first_reason_wins_across_both_pools(self, scaled_switching_mixer):
+        """Crash both pools in one solve: the chronologically first healed
+        episode's reason is the one the stats report."""
+        mna = scaled_switching_mixer.compile(
+            EvaluationOptions(kernel_backend="sharded", n_workers=2, restart=_FAST_POLICY)
+        )
+        try:
+            options = MPDEOptions(
+                n_fast=16,
+                n_slow=8,
+                matrix_free=True,
+                preconditioner="block_circulant_fast",
+                parallel=True,
+                n_workers=2,
+                factor_backend="resident",
+                worker_timeout_s=10.0,
+                restart=_FAST_POLICY,
+            )
+            with inject_faults(
+                worker_crash(role="shard", count=1),
+                worker_crash(role="factor", count=1),
+            ):
+                result = solve_mpde(mna, scaled_switching_mixer.scales, options)
+            trace = result.stats.supervisor_trace
+            assert {e.pool for e in trace} == {"kernel_shard", "factor_service"}
+            assert sorted(e.at_s for e in trace) == [e.at_s for e in trace]
+            first_reason = next(e.reason for e in trace if e.reason)
+            assert result.stats.parallel_fallback_reason == first_reason
+        finally:
+            mna.close()
