@@ -541,6 +541,32 @@ def bench_resident_apply(mixer, mna, workers: int | None) -> dict:
     return record
 
 
+def bench_scenario_enumeration() -> dict:
+    """Wall time of one smoke solve per registered scenario (first case only).
+
+    Mirrors what the ``REPRO_TIER1_SCENARIO_SMOKE=1`` conftest pre-flight and
+    the ``tier1-scenarios`` CI job pay per scenario.  Recorded for trend
+    tracking only — no floor is asserted, since the set of scenarios is
+    expected to grow.
+    """
+    from repro.scenarios import build_scenario_smoke, run_scenario, scenario_names
+
+    record: dict = {}
+    for name in scenario_names():
+        scenario = build_scenario_smoke(name)
+        start = time.perf_counter()
+        run_scenario(scenario, first_case_only=True)
+        elapsed = time.perf_counter() - start
+        case = scenario.cases[0]
+        record[name] = {
+            "wall_time_s": elapsed,
+            "n_cases": len(scenario.cases),
+            "grid": list(case.grid),
+            "analysis": case.analysis,
+        }
+    return record
+
+
 def main(check: bool = False, workers: int | None = None) -> dict:
     mixer = balanced_lo_doubling_mixer()
     mna = mixer.compile()
@@ -556,6 +582,7 @@ def main(check: bool = False, workers: int | None = None) -> dict:
     parallel = bench_parallel(mixer, mna, workers)
     resident_apply = bench_resident_apply(mixer, mna, workers)
     mna.close()
+    scenario_enumeration = bench_scenario_enumeration()
 
     payload = {
         "bench": "jacobian_assembly",
@@ -567,6 +594,7 @@ def main(check: bool = False, workers: int | None = None) -> dict:
         "preconditioners": preconditioners,
         "parallel": parallel,
         "resident_apply": resident_apply,
+        "scenario_enumeration": scenario_enumeration,
     }
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -691,6 +719,19 @@ def main(check: bool = False, workers: int | None = None) -> dict:
         )
     else:
         print("  resident-apply comparison skipped: %s" % resident_apply["skip_reason"])
+    print("== scenario enumeration (smoke config, first case) ==")
+    for name, entry in scenario_enumeration.items():
+        print(
+            "  %-26s %-4s %3dx%-3d %d case(s)  %.2f s"
+            % (
+                name,
+                entry["analysis"],
+                entry["grid"][0],
+                entry["grid"][1],
+                entry["n_cases"],
+                entry["wall_time_s"],
+            )
+        )
     print(f"wrote {OUTPUT_PATH}")
 
     floors = [

@@ -11,7 +11,10 @@ full circuit-simulation substrate the method runs on:
   difference-frequency time scales and the multi-time (MPDE) solver;
 * :mod:`repro.signals` — tones, bit streams, stimuli, waveforms, spectra;
 * :mod:`repro.rf` — mixer circuits (including the paper's balanced
-  LO-doubling mixer), a direct-conversion receiver, and RF metrics.
+  LO-doubling mixer), a direct-conversion receiver, and RF metrics;
+* :mod:`repro.scenarios` — a registry of named, parameterised RF workloads
+  (QAM/PSK/OFDM streams, receiver chains, conversion-gain and IP3 sweeps)
+  with automatic grid selection and golden-pinned cross-validation.
 
 Quick start::
 
@@ -24,7 +27,7 @@ Quick start::
     baseband = result.baseband_envelope("outp", node_neg="outn")
 """
 
-from . import analysis, circuits, core, linalg, rf, signals, utils
+from . import analysis, circuits, core, linalg, rf, scenarios, signals, utils
 
 __version__ = "1.0.0"
 
@@ -34,6 +37,7 @@ __all__ = [
     "core",
     "linalg",
     "rf",
+    "scenarios",
     "signals",
     "utils",
     "__version__",

@@ -10,11 +10,19 @@ from .grid import MultiTimeGrid
 from .mpde import MPDEProblem
 from .multitone_hb import TwoToneHBResult, two_tone_harmonic_balance
 from .solver import MPDEResult, MPDESolver, MPDEStats, solve_mpde
-from .timescales import ShearedTimeScales, UnshearedTimeScales, verify_diagonal_property
+from .timescales import (
+    ShearedTimeScales,
+    TimescaleBandwidths,
+    UnshearedTimeScales,
+    recommend_grid,
+    verify_diagonal_property,
+)
 
 __all__ = [
     "ShearedTimeScales",
     "UnshearedTimeScales",
+    "TimescaleBandwidths",
+    "recommend_grid",
     "verify_diagonal_property",
     "MultiTimeGrid",
     "MPDEProblem",

@@ -47,7 +47,20 @@ from ..signals.tones import TonePair
 from ..utils.exceptions import ShearError
 from ..utils.validation import check_positive
 
-__all__ = ["ShearedTimeScales", "UnshearedTimeScales", "verify_diagonal_property"]
+__all__ = [
+    "ShearedTimeScales",
+    "UnshearedTimeScales",
+    "TimescaleBandwidths",
+    "recommend_grid",
+    "verify_diagonal_property",
+]
+
+#: Default collocation oversampling margin used by :func:`recommend_grid`.
+#: The Nyquist minimum for resolving ``h`` harmonics on a periodic axis is
+#: ``2*h + 1`` samples; the default margin of 2 doubles that so the sharp
+#: device nonlinearities the paper emphasises (switching mixers, doublers) do
+#: not alias their mixing products onto retained harmonics.
+GRID_OVERSAMPLING = 2.0
 
 
 @dataclass(frozen=True)
@@ -239,6 +252,92 @@ class UnshearedTimeScales:
     def from_frequencies(f1: float, f2: float) -> "UnshearedTimeScales":
         """Build the unsheared axes for tones at ``f1`` and ``f2``."""
         return UnshearedTimeScales(fast_frequency=f1, carrier_frequency_value=f2)
+
+
+@dataclass(frozen=True)
+class TimescaleBandwidths:
+    """Declared spectral content of a two-timescale excitation/circuit pair.
+
+    ``fast_harmonics`` is the highest harmonic of the fast (LO) frequency the
+    solution is expected to carry — a smooth behavioural multiplier needs 2-3,
+    a hard-switched MOS mixer 8-10.  ``slow_harmonics`` is the highest
+    harmonic of the difference frequency carried by the baseband envelope —
+    for an ``n``-symbol stream over one difference period, ``2*n`` resolves
+    the symbol transitions; for a pure-tone envelope, the tone's harmonic
+    index plus headroom for its mixing products.
+
+    The scenario registry (:mod:`repro.scenarios`) attaches one of these to
+    every case it builds, and :func:`recommend_grid` converts it into an MPDE
+    collocation grid — the "automatic fast/slow timescale + grid selection"
+    that makes scenarios zero-config.
+    """
+
+    fast_harmonics: int
+    slow_harmonics: int
+
+    def __post_init__(self) -> None:
+        if self.fast_harmonics < 1 or int(self.fast_harmonics) != self.fast_harmonics:
+            raise ShearError(
+                f"fast_harmonics must be a positive integer, got {self.fast_harmonics!r}"
+            )
+        if self.slow_harmonics < 1 or int(self.slow_harmonics) != self.slow_harmonics:
+            raise ShearError(
+                f"slow_harmonics must be a positive integer, got {self.slow_harmonics!r}"
+            )
+
+    @staticmethod
+    def for_symbol_stream(
+        n_symbols: int, *, fast_harmonics: int = 8
+    ) -> "TimescaleBandwidths":
+        """Bandwidths for an ``n_symbols``-per-period modulated drive.
+
+        Two slow harmonics per symbol slot resolve the raised-cosine symbol
+        transitions (the paper's own Fig. 3/4 grid uses ~7.5 slow points per
+        bit, i.e. just under 2 harmonics per bit at 2x oversampling).
+        """
+        if n_symbols < 1:
+            raise ShearError("n_symbols must be >= 1")
+        return TimescaleBandwidths(
+            fast_harmonics=fast_harmonics, slow_harmonics=2 * int(n_symbols)
+        )
+
+
+def recommend_grid(
+    bandwidths: TimescaleBandwidths,
+    *,
+    oversampling: float = GRID_OVERSAMPLING,
+    min_fast: int = 8,
+    min_slow: int = 8,
+) -> tuple[int, int]:
+    """Choose an MPDE collocation grid ``(n_fast, n_slow)`` for the bandwidths.
+
+    Each axis gets ``n = max(min_axis, 2 * ceil(oversampling * harmonics))``
+    points: ``2*h`` samples is the Nyquist minimum for ``h`` harmonics of a
+    periodic signal, and the ``oversampling`` factor (default
+    :data:`GRID_OVERSAMPLING` = 2) is the documented margin on top of it, so
+    the guarantee tested by ``tests/test_core_timescales.py`` is
+
+        ``n_fast >= 2 * oversampling * fast_harmonics`` (and likewise slow).
+
+    The result is always even (convenient for the FFT-based preconditioners)
+    and never below the ``min_fast`` / ``min_slow`` floors, which keep
+    degenerate declarations (e.g. a constant envelope with 1 slow harmonic)
+    on grids where the Newton solver's finite differences remain well
+    conditioned.
+    """
+    if oversampling < 1.0:
+        raise ShearError(f"oversampling must be >= 1, got {oversampling!r}")
+    if min_fast < 2 or min_slow < 2:
+        raise ShearError("grid floors must be >= 2 points per axis")
+
+    def axis(harmonics: int, floor: int) -> int:
+        n = 2 * int(np.ceil(oversampling * harmonics))
+        n = max(n, floor)
+        return n + (n % 2)  # keep it even
+
+    return axis(bandwidths.fast_harmonics, min_fast), axis(
+        bandwidths.slow_harmonics, min_slow
+    )
 
 
 def verify_diagonal_property(

@@ -17,21 +17,25 @@ from .metrics import (
     lo_feedthrough_ratio,
 )
 from .mixers import (
+    DoublerCircuit,
     MixerCircuit,
     balanced_lo_doubling_mixer,
     default_bit_envelope,
     gilbert_cell_mixer,
     ideal_multiplier_mixer,
+    lo_frequency_doubler,
     unbalanced_switching_mixer,
 )
 from .receiver import BitRecovery, DirectConversionReceiver, recover_bits
 
 __all__ = [
     "MixerCircuit",
+    "DoublerCircuit",
     "ideal_multiplier_mixer",
     "unbalanced_switching_mixer",
     "balanced_lo_doubling_mixer",
     "gilbert_cell_mixer",
+    "lo_frequency_doubler",
     "default_bit_envelope",
     "ConversionMetrics",
     "conversion_gain",

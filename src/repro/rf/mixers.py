@@ -51,11 +51,13 @@ from ..utils.validation import check_positive
 
 __all__ = [
     "MixerCircuit",
+    "DoublerCircuit",
     "default_bit_envelope",
     "ideal_multiplier_mixer",
     "unbalanced_switching_mixer",
     "balanced_lo_doubling_mixer",
     "gilbert_cell_mixer",
+    "lo_frequency_doubler",
 ]
 
 
@@ -144,17 +146,39 @@ def _rf_stimulus(
     envelope: Envelope | None,
     bias: float,
     phase: float,
+    envelope_q: Envelope | None = None,
 ) -> SumStimulus | ModulatedCarrierStimulus:
-    """Bias + (possibly modulated) carrier drive used by the mixer builders."""
+    """Bias + (possibly modulated) carrier drive used by the mixer builders.
+
+    With ``envelope_q`` set, the drive becomes a quadrature-modulated carrier
+
+        ``A * [ I(t) * cos(w t + phase) + Q(t) * sin(w t + phase) ]``
+
+    built as the sum of two modulated carriers 90 degrees apart
+    (``cos(theta - pi/2) = sin(theta)``), which is how the scenario library
+    transmits complex (QAM/PSK/OFDM) constellations through the real-valued
+    mixer netlists.
+    """
     carrier = ModulatedCarrierStimulus(
         amplitude=amplitude,
         carrier_frequency=carrier_frequency,
         envelope=envelope if envelope is not None else ConstantEnvelope(),
         phase=phase,
     )
-    if bias == 0.0:
-        return carrier
-    return SumStimulus((DCStimulus(bias), carrier))
+    parts: list = [] if bias == 0.0 else [DCStimulus(bias)]
+    parts.append(carrier)
+    if envelope_q is not None:
+        parts.append(
+            ModulatedCarrierStimulus(
+                amplitude=amplitude,
+                carrier_frequency=carrier_frequency,
+                envelope=envelope_q,
+                phase=phase - 0.5 * math.pi,
+            )
+        )
+    if len(parts) == 1:
+        return parts[0]
+    return SumStimulus(tuple(parts))
 
 
 def ideal_multiplier_mixer(
@@ -167,6 +191,7 @@ def ideal_multiplier_mixer(
     load_resistance: float = 1e3,
     load_capacitance: float = 0.0,
     envelope: Envelope | None = None,
+    envelope_q: Envelope | None = None,
 ) -> MixerCircuit:
     """Behavioural multiplier mixer (the Section 2 ideal mixing example).
 
@@ -191,7 +216,9 @@ def ideal_multiplier_mixer(
             "vrf",
             "rf",
             ckt.GROUND,
-            _rf_stimulus(rf_frequency, rf_amplitude, envelope, bias=0.0, phase=0.0),
+            _rf_stimulus(
+                rf_frequency, rf_amplitude, envelope, bias=0.0, phase=0.0, envelope_q=envelope_q
+            ),
         )
     )
     ckt.add(
@@ -228,6 +255,7 @@ def unbalanced_switching_mixer(
     load_resistance: float = 2.0e3,
     load_capacitance: float = 0.5e-12,
     envelope: Envelope | None = None,
+    envelope_q: Envelope | None = None,
     mosfet_params: MOSFETParams | None = None,
 ) -> MixerCircuit:
     """Single-transistor switching mixer (unbalanced).
@@ -254,7 +282,14 @@ def unbalanced_switching_mixer(
             "vrf",
             "rf",
             ckt.GROUND,
-            _rf_stimulus(rf_frequency, rf_amplitude, envelope, bias=rf_bias, phase=0.0),
+            _rf_stimulus(
+                rf_frequency,
+                rf_amplitude,
+                envelope,
+                bias=rf_bias,
+                phase=0.0,
+                envelope_q=envelope_q,
+            ),
         )
     )
     ckt.add(Resistor("rs", "rf", "in", source_resistance))
@@ -296,6 +331,7 @@ def balanced_lo_doubling_mixer(
     load_capacitance: float = 1.0e-12,
     tail_capacitance: float = 150e-15,
     envelope: Envelope | None = None,
+    envelope_q: Envelope | None = None,
     upper_params: MOSFETParams | None = None,
     lower_params: MOSFETParams | None = None,
     use_bit_stream: bool = True,
@@ -377,7 +413,14 @@ def balanced_lo_doubling_mixer(
             "vrfp",
             "rfp",
             ckt.GROUND,
-            _rf_stimulus(rf_frequency, rf_amplitude, envelope, bias=rf_bias, phase=0.0),
+            _rf_stimulus(
+                rf_frequency,
+                rf_amplitude,
+                envelope,
+                bias=rf_bias,
+                phase=0.0,
+                envelope_q=envelope_q,
+            ),
         )
     )
     ckt.add(
@@ -385,7 +428,14 @@ def balanced_lo_doubling_mixer(
             "vrfn",
             "rfn",
             ckt.GROUND,
-            _rf_stimulus(rf_frequency, rf_amplitude, envelope, bias=rf_bias, phase=math.pi),
+            _rf_stimulus(
+                rf_frequency,
+                rf_amplitude,
+                envelope,
+                bias=rf_bias,
+                phase=math.pi,
+                envelope_q=envelope_q,
+            ),
         )
     )
 
@@ -520,4 +570,95 @@ def gilbert_cell_mixer(
         rf_frequency=rf_frequency,
         rf_amplitude=rf_amplitude,
         monitor_nodes=("c1", "c2", "etail"),
+    )
+
+
+@dataclass(frozen=True)
+class DoublerCircuit:
+    """A single-tone (periodic, not multi-time) RF building block.
+
+    Returned by :func:`lo_frequency_doubler`: the netlist, the drive
+    frequency, the output node, and the nodes worth plotting.  The natural
+    analysis is single-period PSS (shooting or collocation) over
+    ``1/lo_frequency``.
+    """
+
+    circuit: Circuit
+    lo_frequency: float
+    output: str
+    monitor_nodes: tuple[str, ...] = ()
+
+    @property
+    def period(self) -> float:
+        """The drive period ``1/f1`` (the output is dominated by ``2*f1``)."""
+        return 1.0 / self.lo_frequency
+
+    def compile(self, options=None):
+        """Shorthand for ``self.circuit.compile(options)``."""
+        return self.circuit.compile(options)
+
+
+def lo_frequency_doubler(
+    lo_frequency: float = 450.0e6,
+    *,
+    supply_voltage: float = 3.0,
+    lo_amplitude: float = 1.0,
+    lo_bias: float = 0.3,
+    load_resistance: float = 2.0e3,
+    load_capacitance: float | None = None,
+    mosfet_params: MOSFETParams | None = None,
+) -> DoublerCircuit:
+    """The lower (doubler) half of the paper's balanced mixer, stood alone.
+
+    A grounded-source NMOS pair driven by the differential LO at ``f1`` with
+    drains tied at a common output node loaded to the supply: each transistor
+    conducts on alternating half cycles, so the combined drain current — and
+    hence the output voltage — carries a strong component at ``2*f1`` while
+    the balance cancels the fundamental.  This is exactly the mechanism that
+    lets the paper's Section 3 mixer down-convert a carrier near ``2*f1``,
+    isolated so PSS analyses (and the scenario registry's ``frequency_doubler``
+    scenario) can characterise it on its own.
+
+    ``load_capacitance`` defaults to a time constant of 5% of the LO period
+    (``0.05 / (f1 * load_resistance)``), small enough not to swamp the second
+    harmonic.
+    """
+    check_positive("lo_frequency", lo_frequency)
+    check_positive("load_resistance", load_resistance)
+    if load_capacitance is None:
+        load_capacitance = 0.05 / (lo_frequency * load_resistance)
+    params = mosfet_params or MOSFETParams(
+        vto=0.6, kp=170e-6, w=20e-6, l=0.35e-6, lambda_=0.03, cgs=30e-15, cgd=10e-15
+    )
+
+    ckt = Circuit("LO frequency doubler")
+    ckt.add(VoltageSource("vdd", "vdd", ckt.GROUND, DCStimulus(supply_voltage)))
+    ckt.add(Resistor("rload", "vdd", "out", load_resistance))
+    ckt.add(Capacitor("cload", "out", ckt.GROUND, load_capacitance))
+    ckt.add(
+        VoltageSource(
+            "vlop",
+            "lop",
+            ckt.GROUND,
+            SumStimulus((DCStimulus(lo_bias), SinusoidStimulus(lo_amplitude, lo_frequency))),
+        )
+    )
+    ckt.add(
+        VoltageSource(
+            "vlon",
+            "lon",
+            ckt.GROUND,
+            SumStimulus(
+                (DCStimulus(lo_bias), SinusoidStimulus(lo_amplitude, lo_frequency, phase=math.pi))
+            ),
+        )
+    )
+    ckt.add(NMOS("m3", "out", "lop", ckt.GROUND, params=params))
+    ckt.add(NMOS("m4", "out", "lon", ckt.GROUND, params=params))
+
+    return DoublerCircuit(
+        circuit=ckt,
+        lo_frequency=lo_frequency,
+        output="out",
+        monitor_nodes=("lop", "lon"),
     )

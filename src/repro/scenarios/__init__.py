@@ -1,0 +1,84 @@
+"""Scenario registry and modulation-scheme library.
+
+A *scenario* is a named, parameterised RF workload: a compiled circuit, its
+stimulus, the analysis to run (MPDE, PSS or harmonic balance) and a
+collocation grid derived automatically from the excitation's declared
+bandwidths — so ``run_scenario(build_scenario("qam16_mixer"))`` needs zero
+numerical configuration.  Importing this package loads the built-in library
+(:mod:`repro.scenarios.library`); user code registers additional scenarios
+with the :func:`register_scenario` decorator.
+
+Every built-in scenario is cross-validated against brute-force transient
+integration and pinned to golden metrics in ``tests/goldens/scenarios.json``
+(see ``tests/test_scenarios.py`` and :mod:`repro.scenarios.goldens`).
+"""
+
+from .modulation import (
+    ModulationScheme,
+    demodulate_symbols,
+    error_vector_magnitude,
+    get_scheme,
+    iq_symbol_envelopes,
+    ofdm_demodulate,
+    ofdm_envelopes,
+    psk_scheme,
+    qam_scheme,
+    scheme_names,
+)
+from .registry import (
+    ANALYSES,
+    BuiltScenario,
+    CaseRun,
+    CrossValidationPlan,
+    CrossValidationReport,
+    ScenarioCase,
+    ScenarioRun,
+    ScenarioSpec,
+    build_scenario,
+    build_scenario_smoke,
+    case_baseband,
+    cross_validate,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    run_scenario,
+    scenario_fingerprint,
+    scenario_names,
+    solve_case,
+    unregister_scenario,
+)
+
+from . import library  # noqa: E402,F401  (imported for its registration side effects)
+
+__all__ = [
+    "ANALYSES",
+    "ScenarioCase",
+    "ScenarioSpec",
+    "ScenarioRun",
+    "CaseRun",
+    "BuiltScenario",
+    "CrossValidationPlan",
+    "CrossValidationReport",
+    "register_scenario",
+    "unregister_scenario",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+    "build_scenario",
+    "build_scenario_smoke",
+    "run_scenario",
+    "solve_case",
+    "case_baseband",
+    "cross_validate",
+    "scenario_fingerprint",
+    "ModulationScheme",
+    "psk_scheme",
+    "qam_scheme",
+    "get_scheme",
+    "scheme_names",
+    "iq_symbol_envelopes",
+    "ofdm_envelopes",
+    "demodulate_symbols",
+    "ofdm_demodulate",
+    "error_vector_magnitude",
+]

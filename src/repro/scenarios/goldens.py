@@ -1,0 +1,87 @@
+"""Golden-metric computation and regeneration for the scenario library.
+
+The goldens pin every registered scenario's metrics at its *smoke*
+configuration (the same downsized builds the tier-1 suite solves), so a
+behavioural regression anywhere in the stack — device models, MPDE/PSS/HB
+solvers, grid selection, demodulation — shows up as a metric drift against
+``tests/goldens/scenarios.json``.
+
+Regenerate deliberately after an intentional physics change::
+
+    PYTHONPATH=src python -m repro.scenarios.goldens --out tests/goldens/scenarios.json
+
+CI diffs the freshly computed metrics against the pinned file on failure, so
+the delta is visible in the job log without rerunning anything locally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from .registry import (
+    build_scenario_smoke,
+    iter_scenarios,
+    run_scenario,
+    scenario_fingerprint,
+)
+
+__all__ = ["compute_golden_metrics", "compute_all_goldens", "main"]
+
+
+def compute_golden_metrics(name: str) -> dict[str, Any]:
+    """Solve one scenario at its smoke configuration and collect its goldens."""
+    from .registry import get_scenario
+
+    spec = get_scenario(name)
+    scenario = build_scenario_smoke(name)
+    run = run_scenario(scenario)
+    return {
+        "params": {key: repr(value) for key, value in sorted(scenario.params.items())},
+        "fingerprint": scenario_fingerprint(scenario),
+        "grids": {case.label: list(case.grid) for case in scenario.cases},
+        "analyses": {case.label: case.analysis for case in scenario.cases},
+        "metrics": run.all_metrics(),
+        "tolerance": {"rtol": spec.golden_rtol, "atol": spec.golden_atol},
+    }
+
+
+def compute_all_goldens() -> dict[str, Any]:
+    """Goldens for every registered scenario, keyed by name."""
+    return {spec.name: compute_golden_metrics(spec.name) for spec in iter_scenarios()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: compute goldens and write (or print) the JSON document."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path for the goldens JSON (default: print to stdout)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="restrict to the named scenario(s); repeatable",
+    )
+    options = parser.parse_args(argv)
+
+    if options.scenario:
+        document = {name: compute_golden_metrics(name) for name in options.scenario}
+    else:
+        document = compute_all_goldens()
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if options.out:
+        with open(options.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote goldens for {len(document)} scenario(s) to {options.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

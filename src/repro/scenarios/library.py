@@ -1,0 +1,656 @@
+"""The built-in scenario library: ten registered RF workloads.
+
+Every scenario here follows the same recipe:
+
+1. derive the transmitted waveform from the parameters (a modulation scheme
+   plus a deterministic PRBS bit source, a pure tone, or a two-tone
+   intermodulation envelope),
+2. build the circuit through the :mod:`repro.rf.mixers` builders,
+3. declare the excitation's spectral content as a
+   :class:`~repro.core.timescales.TimescaleBandwidths` and let
+   :func:`~repro.core.timescales.recommend_grid` pick the collocation grid —
+   no scenario hard-codes ``(n_fast, n_slow)``,
+4. attach metric extractors (conversion gain, EVM, eye opening, spectral
+   peaks) and a :class:`~repro.scenarios.registry.CrossValidationPlan`.
+
+Default parameters are paper-scale (hundreds of MHz, disparity 10^4+);
+``smoke`` overrides downsize every scenario to disparity ~40 so brute-force
+transient cross-validation stays tractable — that downsized configuration is
+also what the goldens in ``tests/goldens/scenarios.json`` pin.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.timescales import TimescaleBandwidths, recommend_grid
+from ..rf.metrics import conversion_metrics, eye_opening
+from ..rf.receiver import recover_bits
+from ..rf.mixers import (
+    balanced_lo_doubling_mixer,
+    default_bit_envelope,
+    ideal_multiplier_mixer,
+    lo_frequency_doubler,
+    unbalanced_switching_mixer,
+)
+from ..signals.bitstream import ConstantEnvelope, FourierEnvelope, prbs_bits
+from ..signals.spectrum import fourier_coefficient
+from ..signals.waveform import Waveform
+from .modulation import (
+    demodulate_symbols,
+    error_vector_magnitude,
+    get_scheme,
+    iq_symbol_envelopes,
+    ofdm_demodulate,
+    ofdm_envelopes,
+)
+from .registry import (
+    BuiltScenario,
+    CrossValidationPlan,
+    ScenarioCase,
+    case_baseband,
+    register_scenario,
+)
+
+__all__: list[str] = []  # scenarios are reached through the registry, not imports
+
+#: Fast-axis harmonic content by mixer nonlinearity: the behavioural
+#: multiplier is quadratic (its products stop at the second mixing order),
+#: hard-switched single-MOS mixers carry rich LO harmonics, and the
+#: LO-doubling topologies add the doubled line on top.
+_FAST_HARMONICS = {"ideal": 3, "switching": 8, "balanced": 10, "doubler": 16}
+
+
+def _amplitude_at(waveform: Waveform, frequency: float) -> float:
+    """Peak amplitude of one spectral line."""
+    return 2.0 * abs(fourier_coefficient(waveform, frequency))
+
+
+def _bit_decision_metrics(
+    baseband: Waveform, bits: tuple[int, ...]
+) -> dict[str, float]:
+    """Detect an amplitude-keyed bit pattern non-coherently from the fd beat.
+
+    The differential baseband is ``env(t2) * cos(2*pi*fd*t2 + phi)`` plus
+    mixer distortion, so the decision waveform is the rectified magnitude
+    ``|bb - mean|`` sliced in peak mode (the :mod:`repro.rf.receiver` flow).
+    Peak detection is only unconditionally valid with four bit slots per
+    beat period — each slot then contains a beat maximum — which is why both
+    bitstream scenarios run their smoke/golden configuration at 4 bits.
+    """
+    magnitude = Waveform(
+        baseband.times, np.abs(baseband.values - baseband.mean()), name=baseband.name
+    )
+    n_bits = len(bits)
+    recovery = recover_bits(magnitude, n_bits, mode="peak")
+    bit_period = magnitude.duration / n_bits
+    return {
+        "bit_match": 1.0 if recovery.matches(bits) else 0.0,
+        "eye_opening": eye_opening(magnitude, bit_period, n_bits=n_bits),
+    }
+
+
+#: PRBS-7 seed used by every scenario's bit source.  The default LFSR seed
+#: starts with a six-one run, which would make the short smoke patterns
+#: degenerate (all-ones); this seed mixes from the first bit.
+_PRBS_SEED = 0b0110100
+
+
+def _scenario_bits(n_bits: int) -> np.ndarray:
+    """The deterministic bit source every scenario transmits."""
+    return prbs_bits(7, n_bits, seed=_PRBS_SEED)
+
+
+def _prbs_symbol_bits(scheme_name: str, n_symbols: int) -> np.ndarray:
+    """Bits for ``n_symbols`` symbols of the named modulation scheme."""
+    scheme = get_scheme(scheme_name)
+    return _scenario_bits(n_symbols * scheme.bits_per_symbol)
+
+
+def _modulated_mixer_scenario(
+    name: str,
+    params: dict,
+    *,
+    scheme_name: str,
+    mixer_kind: str,
+) -> BuiltScenario:
+    """Shared factory body for the single-carrier modulation scenarios."""
+    scheme = get_scheme(scheme_name)
+    n_symbols = int(params["n_symbols"])
+    fd = float(params["difference_frequency"])
+    period = 1.0 / fd
+    bits = _prbs_symbol_bits(scheme_name, n_symbols)
+    envelope_i, envelope_q, symbols = iq_symbol_envelopes(scheme, bits, period)
+
+    if mixer_kind == "ideal":
+        mixer = ideal_multiplier_mixer(
+            lo_frequency=float(params["lo_frequency"]),
+            difference_frequency=fd,
+            rf_amplitude=float(params["rf_amplitude"]),
+            envelope=envelope_i,
+            envelope_q=envelope_q,
+        )
+    else:
+        mixer = unbalanced_switching_mixer(
+            lo_frequency=float(params["lo_frequency"]),
+            difference_frequency=fd,
+            rf_amplitude=float(params["rf_amplitude"]),
+            envelope=envelope_i,
+            envelope_q=envelope_q,
+        )
+    bandwidths = TimescaleBandwidths.for_symbol_stream(
+        n_symbols, fast_harmonics=_FAST_HARMONICS[mixer_kind]
+    )
+
+    def metrics(case: ScenarioCase, result) -> dict[str, float]:
+        baseband = case_baseband(case, result)
+        estimated = demodulate_symbols(baseband, fd, n_symbols)
+        return {
+            "evm": error_vector_magnitude(estimated, symbols),
+            "baseband_fd_amplitude": _amplitude_at(baseband, fd),
+            "dc_level": baseband.mean(),
+        }
+
+    case = ScenarioCase(
+        label="modulated",
+        circuit=mixer.circuit,
+        analysis="mpde",
+        output_pos=mixer.output_pos,
+        output_neg=mixer.output_neg,
+        bandwidths=bandwidths,
+        grid=recommend_grid(bandwidths),
+        compute_metrics=metrics,
+        scales=mixer.scales,
+    )
+    return BuiltScenario(
+        name=name,
+        params=params,
+        cases=(case,),
+        cross_validation=CrossValidationPlan(frequency=fd),
+    )
+
+
+@register_scenario(
+    "bpsk_mixer",
+    params=dict(
+        lo_frequency=450.0e6, difference_frequency=15.0e3, n_symbols=8, rf_amplitude=0.05
+    ),
+    description="BPSK symbol stream through the unbalanced switching mixer",
+    tags=("modulation", "mixer"),
+    smoke=dict(lo_frequency=2.0e6, difference_frequency=50.0e3, n_symbols=4),
+)
+def _bpsk_mixer(name: str, params: dict) -> BuiltScenario:
+    return _modulated_mixer_scenario(
+        name, params, scheme_name="bpsk", mixer_kind="switching"
+    )
+
+
+@register_scenario(
+    "qpsk_mixer",
+    params=dict(
+        lo_frequency=1.0e9, difference_frequency=10.0e3, n_symbols=8, rf_amplitude=1.0
+    ),
+    description="QPSK I/Q stream through the ideal multiplier mixer",
+    tags=("modulation", "mixer"),
+    smoke=dict(lo_frequency=1.0e6, difference_frequency=25.0e3, n_symbols=4),
+)
+def _qpsk_mixer(name: str, params: dict) -> BuiltScenario:
+    return _modulated_mixer_scenario(name, params, scheme_name="qpsk", mixer_kind="ideal")
+
+
+@register_scenario(
+    "psk8_mixer",
+    params=dict(
+        lo_frequency=450.0e6, difference_frequency=15.0e3, n_symbols=8, rf_amplitude=0.05
+    ),
+    description="8-PSK I/Q stream through the unbalanced switching mixer",
+    tags=("modulation", "mixer"),
+    smoke=dict(lo_frequency=2.0e6, difference_frequency=50.0e3, n_symbols=4),
+)
+def _psk8_mixer(name: str, params: dict) -> BuiltScenario:
+    return _modulated_mixer_scenario(
+        name, params, scheme_name="psk8", mixer_kind="switching"
+    )
+
+
+@register_scenario(
+    "qam16_mixer",
+    params=dict(
+        lo_frequency=1.0e9, difference_frequency=10.0e3, n_symbols=8, rf_amplitude=1.0
+    ),
+    description="16-QAM I/Q stream through the ideal multiplier mixer",
+    tags=("modulation", "mixer"),
+    smoke=dict(lo_frequency=1.0e6, difference_frequency=25.0e3, n_symbols=4),
+)
+def _qam16_mixer(name: str, params: dict) -> BuiltScenario:
+    return _modulated_mixer_scenario(name, params, scheme_name="qam16", mixer_kind="ideal")
+
+
+@register_scenario(
+    "ofdm_mixer",
+    params=dict(
+        lo_frequency=1.0e9,
+        difference_frequency=10.0e3,
+        n_subcarriers=4,
+        rf_amplitude=1.0,
+    ),
+    description="One QPSK-loaded OFDM symbol through the ideal multiplier mixer",
+    tags=("modulation", "mixer", "ofdm"),
+    smoke=dict(lo_frequency=1.0e6, difference_frequency=25.0e3),
+)
+def _ofdm_mixer(name: str, params: dict) -> BuiltScenario:
+    scheme = get_scheme("qpsk")
+    n_subcarriers = int(params["n_subcarriers"])
+    fd = float(params["difference_frequency"])
+    period = 1.0 / fd
+    bits = prbs_bits(7, n_subcarriers * scheme.bits_per_symbol)
+    envelope_i, envelope_q, symbols = ofdm_envelopes(scheme, bits, n_subcarriers, period)
+    mixer = ideal_multiplier_mixer(
+        lo_frequency=float(params["lo_frequency"]),
+        difference_frequency=fd,
+        rf_amplitude=float(params["rf_amplitude"]),
+        envelope=envelope_i,
+        envelope_q=envelope_q,
+    )
+    # After the fd beat, subcarrier k reaches baseband at (k+1)*fd: the
+    # slow-axis content tops out at n_subcarriers + 1 harmonics, plus one of
+    # headroom for the mixer's own products.
+    bandwidths = TimescaleBandwidths(
+        fast_harmonics=_FAST_HARMONICS["ideal"], slow_harmonics=n_subcarriers + 2
+    )
+
+    def metrics(case: ScenarioCase, result) -> dict[str, float]:
+        baseband = case_baseband(case, result)
+        estimated = ofdm_demodulate(baseband, fd, n_subcarriers)
+        return {
+            "evm": error_vector_magnitude(estimated, symbols, allow_cyclic_shift=False),
+            "subcarrier1_amplitude": _amplitude_at(baseband, 2.0 * fd),
+            "dc_level": baseband.mean(),
+        }
+
+    case = ScenarioCase(
+        label="ofdm_symbol",
+        circuit=mixer.circuit,
+        analysis="mpde",
+        output_pos=mixer.output_pos,
+        output_neg=mixer.output_neg,
+        bandwidths=bandwidths,
+        grid=recommend_grid(bandwidths),
+        compute_metrics=metrics,
+        scales=mixer.scales,
+    )
+    return BuiltScenario(
+        name=name,
+        params=params,
+        cases=(case,),
+        cross_validation=CrossValidationPlan(frequency=2.0 * fd),
+    )
+
+
+@register_scenario(
+    "prbs_balanced_mixer",
+    params=dict(lo_frequency=450.0e6, difference_frequency=15.0e3, n_bits=8),
+    description="PRBS-7 bit stream through the paper's balanced LO-doubling mixer",
+    tags=("bitstream", "mixer", "paper"),
+    smoke=dict(lo_frequency=2.0e6, difference_frequency=50.0e3, n_bits=4),
+)
+def _prbs_balanced_mixer(name: str, params: dict) -> BuiltScenario:
+    fd = float(params["difference_frequency"])
+    n_bits = int(params["n_bits"])
+    bits = tuple(int(b) for b in _scenario_bits(n_bits))
+    envelope = default_bit_envelope(1.0 / fd, bits=bits)
+    mixer = balanced_lo_doubling_mixer(
+        lo_frequency=float(params["lo_frequency"]),
+        difference_frequency=fd,
+        envelope=envelope,
+    )
+    bandwidths = TimescaleBandwidths.for_symbol_stream(
+        n_bits, fast_harmonics=_FAST_HARMONICS["balanced"]
+    )
+
+    def metrics(case: ScenarioCase, result) -> dict[str, float]:
+        baseband = case_baseband(case, result)
+        return {
+            **_bit_decision_metrics(baseband, bits),
+            "baseband_fd_amplitude": _amplitude_at(baseband, fd),
+            "dc_level": baseband.mean(),
+        }
+
+    case = ScenarioCase(
+        label="prbs",
+        circuit=mixer.circuit,
+        analysis="mpde",
+        output_pos=mixer.output_pos,
+        output_neg=mixer.output_neg,
+        bandwidths=bandwidths,
+        grid=recommend_grid(bandwidths),
+        compute_metrics=metrics,
+        scales=mixer.scales,
+    )
+    return BuiltScenario(
+        name=name,
+        params=params,
+        cases=(case,),
+        cross_validation=CrossValidationPlan(frequency=fd),
+    )
+
+
+@register_scenario(
+    "multi_lo_receiver",
+    params=dict(
+        lo_frequency=450.0e6,
+        difference_frequency=15.0e3,
+        n_bits=4,
+        filter_resistance=2.0e3,
+    ),
+    description=(
+        "Receiver chain: LO fundamental drives the doubler, the doubled LO "
+        "mixes the bit stream, an RC post-filter cleans the baseband"
+    ),
+    tags=("receiver", "mixer", "chain"),
+    smoke=dict(lo_frequency=2.0e6, difference_frequency=50.0e3),
+)
+def _multi_lo_receiver(name: str, params: dict) -> BuiltScenario:
+    from ..circuits.devices import Capacitor, Resistor
+
+    fd = float(params["difference_frequency"])
+    n_bits = int(params["n_bits"])
+    bits = tuple(int(b) for b in _scenario_bits(n_bits))
+    envelope = default_bit_envelope(1.0 / fd, bits=bits)
+    mixer = balanced_lo_doubling_mixer(
+        lo_frequency=float(params["lo_frequency"]),
+        difference_frequency=fd,
+        envelope=envelope,
+    )
+    # Baseband post-filter on each output rail: corner at twice the bit rate
+    # passes the symbol transitions while stripping residual LO products.
+    resistance = float(params["filter_resistance"])
+    corner = 2.0 * n_bits * fd
+    capacitance = 1.0 / (2.0 * math.pi * resistance * corner)
+    ckt = mixer.circuit
+    ckt.add(Resistor("rbb1", "outp", "bbp", resistance))
+    ckt.add(Resistor("rbb2", "outn", "bbn", resistance))
+    ckt.add(Capacitor("cbb1", "bbp", ckt.GROUND, capacitance))
+    ckt.add(Capacitor("cbb2", "bbn", ckt.GROUND, capacitance))
+
+    bandwidths = TimescaleBandwidths.for_symbol_stream(
+        n_bits, fast_harmonics=_FAST_HARMONICS["balanced"]
+    )
+
+    def metrics(case: ScenarioCase, result) -> dict[str, float]:
+        baseband = case_baseband(case, result)
+        return {
+            **_bit_decision_metrics(baseband, bits),
+            "baseband_fd_amplitude": _amplitude_at(baseband, fd),
+            "dc_level": baseband.mean(),
+        }
+
+    case = ScenarioCase(
+        label="receive_chain",
+        circuit=ckt,
+        analysis="mpde",
+        output_pos="bbp",
+        output_neg="bbn",
+        bandwidths=bandwidths,
+        grid=recommend_grid(bandwidths),
+        compute_metrics=metrics,
+        scales=mixer.scales,
+    )
+    return BuiltScenario(
+        name=name,
+        params=params,
+        cases=(case,),
+        cross_validation=CrossValidationPlan(frequency=fd),
+    )
+
+
+@register_scenario(
+    "frequency_doubler",
+    params=dict(lo_frequency=450.0e6),
+    description="The balanced mixer's lower pair as a standalone 2x frequency doubler (PSS)",
+    tags=("doubler", "pss"),
+    smoke=dict(lo_frequency=2.0e6),
+)
+def _frequency_doubler(name: str, params: dict) -> BuiltScenario:
+    doubler = lo_frequency_doubler(lo_frequency=float(params["lo_frequency"]))
+    f1 = doubler.lo_frequency
+    # Output content is harmonics of 2*f1 (plus residual odd lines the
+    # balance cancels).  The hard-switched waveform converges slowly with
+    # the collocation grid, so the doubler declares 16 fast harmonics — the
+    # resulting 64-point grid keeps the discretisation error of the doubled
+    # line well inside the cross-validation tolerance.
+    bandwidths = TimescaleBandwidths(
+        fast_harmonics=_FAST_HARMONICS["doubler"], slow_harmonics=1
+    )
+
+    def metrics(case: ScenarioCase, result) -> dict[str, float]:
+        waveform = result.waveform(doubler.output)
+        return {
+            "fundamental_amplitude": _amplitude_at(waveform, f1),
+            "doubled_amplitude": _amplitude_at(waveform, 2.0 * f1),
+            "fourth_harmonic_amplitude": _amplitude_at(waveform, 4.0 * f1),
+            "dc_level": waveform.mean(),
+        }
+
+    case = ScenarioCase(
+        label="doubler_pss",
+        circuit=doubler.circuit,
+        analysis="pss",
+        output_pos=doubler.output,
+        output_neg=None,
+        bandwidths=bandwidths,
+        grid=recommend_grid(bandwidths),
+        compute_metrics=metrics,
+        period=doubler.period,
+    )
+    return BuiltScenario(
+        name=name,
+        params=params,
+        cases=(case,),
+        cross_validation=CrossValidationPlan(
+            frequency=2.0 * f1, points_per_cycle=128, settle_periods=6.0
+        ),
+    )
+
+
+@register_scenario(
+    "swept_lo_conversion_gain",
+    params=dict(
+        lo_frequency=1.0e9,
+        difference_frequency=10.0e3,
+        rf_amplitude=0.5,
+        sweep_ratios=(0.8, 1.0, 1.25),
+    ),
+    description="Conversion gain of the ideal multiplier mixer swept across LO frequencies (HB)",
+    tags=("sweep", "mixer", "hb"),
+    smoke=dict(lo_frequency=1.0e6, difference_frequency=25.0e3),
+)
+def _swept_lo_conversion_gain(name: str, params: dict) -> BuiltScenario:
+    fd = float(params["difference_frequency"])
+    rf_amplitude = float(params["rf_amplitude"])
+    bandwidths = TimescaleBandwidths(fast_harmonics=3, slow_harmonics=3)
+
+    def make_case(ratio: float) -> ScenarioCase:
+        mixer = ideal_multiplier_mixer(
+            lo_frequency=float(params["lo_frequency"]) * float(ratio),
+            difference_frequency=fd,
+            rf_amplitude=rf_amplitude,
+            envelope=ConstantEnvelope(),
+        )
+
+        def metrics(case: ScenarioCase, result) -> dict[str, float]:
+            summary = conversion_metrics(
+                result.mpde, case.output_pos, None, rf_amplitude
+            )
+            return {
+                "gain": summary.gain,
+                "gain_db": summary.gain_db,
+                "baseband_amplitude": summary.baseband_amplitude,
+                "distortion": summary.distortion,
+            }
+
+        return ScenarioCase(
+            label=f"lo_x{float(ratio):g}",
+            circuit=mixer.circuit,
+            analysis="hb",
+            output_pos=mixer.output_pos,
+            output_neg=mixer.output_neg,
+            bandwidths=bandwidths,
+            grid=recommend_grid(bandwidths),
+            compute_metrics=metrics,
+            scales=mixer.scales,
+        )
+
+    cases = tuple(make_case(ratio) for ratio in params["sweep_ratios"])
+
+    def aggregate(per_case: dict[str, dict[str, float]]) -> dict[str, float]:
+        gains = [per_case[case.label]["gain"] for case in cases]
+        return {
+            "gain_mean": float(np.mean(gains)),
+            "gain_flatness": float(max(gains) / min(gains)),
+        }
+
+    return BuiltScenario(
+        name=name,
+        params=params,
+        cases=cases,
+        cross_validation=CrossValidationPlan(frequency=fd),
+        aggregate=aggregate,
+    )
+
+
+@register_scenario(
+    "ip3_sweep",
+    params=dict(
+        lo_frequency=1.0e9,
+        difference_frequency=10.0e3,
+        rf_amplitude=0.1,
+        amplitude_ratios=(0.5, 1.0, 2.0),
+        source_resistance=100.0,
+        linear_conductance=5.0e-3,
+        cubic_coefficient=2.5e-2,
+    ),
+    description=(
+        "Two-tone third-order intercept sweep: a cubic RF front end "
+        "(single-sideband tones at 3*fd and 4*fd) downconverted by the "
+        "multiplier mixer, amplitude-swept"
+    ),
+    tags=("sweep", "mixer", "distortion"),
+    smoke=dict(lo_frequency=2.0e6, difference_frequency=50.0e3),
+)
+def _ip3_sweep(name: str, params: dict) -> BuiltScenario:
+    from ..circuits import Circuit
+    from ..circuits.devices import Resistor, VoltageSource
+    from ..circuits.devices.behavioral import (
+        MultiplierCurrentSource,
+        PolynomialConductance,
+    )
+    from ..core import ShearedTimeScales
+    from ..rf.mixers import _rf_stimulus
+    from ..signals import SinusoidStimulus
+
+    lo_frequency = float(params["lo_frequency"])
+    fd = float(params["difference_frequency"])
+    period = 1.0 / fd
+    base_amplitude = float(params["rf_amplitude"])
+    ratios = tuple(float(r) for r in params["amplitude_ratios"])
+    # Single-sideband I/Q two-tone: complex envelope lines at 3*fd and 4*fd
+    # with no image, so after the fd carrier beat the real baseband carries
+    # the fundamentals at bins 4 and 5 only.  The cubic element contributes
+    # |env|^2 * env products: IM3 lands cleanly at bins 3 (2*fa - fb) and 6
+    # (2*fb - fa) with no second-order content anywhere near them — the
+    # front end has no square term and the mixer itself is bilinear.
+    envelope_i = FourierEnvelope(period, {3: 0.5, 4: 0.5}, part="real")
+    envelope_q = FourierEnvelope(period, {3: 0.5, 4: 0.5}, part="imag")
+    # Fast content: LO line, carrier, and the cubic's 3rd carrier harmonic;
+    # slow content tops out at the 5th-order products around bin 7.
+    bandwidths = TimescaleBandwidths(fast_harmonics=4, slow_harmonics=8)
+    scales = ShearedTimeScales.from_frequencies(
+        lo_frequency, lo_frequency - fd, lo_multiple=1
+    )
+
+    def make_case(ratio: float) -> ScenarioCase:
+        amplitude = base_amplitude * ratio
+        ckt = Circuit(f"ip3 front end (A={amplitude:g})")
+        ckt.add(VoltageSource("vlo", "lo", ckt.GROUND, SinusoidStimulus(1.0, lo_frequency)))
+        ckt.add(
+            VoltageSource(
+                "vrf",
+                "rfsrc",
+                ckt.GROUND,
+                _rf_stimulus(
+                    lo_frequency - fd,
+                    amplitude,
+                    envelope_i,
+                    bias=0.0,
+                    phase=0.0,
+                    envelope_q=envelope_q,
+                ),
+            )
+        )
+        ckt.add(Resistor("rs", "rfsrc", "rfin", float(params["source_resistance"])))
+        ckt.add(
+            PolynomialConductance(
+                "gnl",
+                "rfin",
+                ckt.GROUND,
+                (float(params["linear_conductance"]), 0.0, float(params["cubic_coefficient"])),
+            )
+        )
+        ckt.add(
+            MultiplierCurrentSource(
+                "mix", ckt.GROUND, "out", "lo", ckt.GROUND, "rfin", ckt.GROUND, gain=1e-3
+            )
+        )
+        ckt.add(Resistor("rload", "out", ckt.GROUND, 1e3))
+
+        def metrics(case: ScenarioCase, result) -> dict[str, float]:
+            baseband = case_baseband(case, result)
+            return {
+                "fund_low_amplitude": _amplitude_at(baseband, 4.0 * fd),
+                "fund_high_amplitude": _amplitude_at(baseband, 5.0 * fd),
+                "im3_low_amplitude": _amplitude_at(baseband, 3.0 * fd),
+                "im3_high_amplitude": _amplitude_at(baseband, 6.0 * fd),
+                "rf_amplitude": amplitude,
+            }
+
+        return ScenarioCase(
+            label=f"a{amplitude:g}",
+            circuit=ckt,
+            analysis="mpde",
+            output_pos="out",
+            output_neg=None,
+            bandwidths=bandwidths,
+            grid=recommend_grid(bandwidths),
+            compute_metrics=metrics,
+            scales=scales,
+        )
+
+    cases = tuple(make_case(ratio) for ratio in ratios)
+
+    def aggregate(per_case: dict[str, dict[str, float]]) -> dict[str, float]:
+        ordered = [per_case[case.label] for case in cases]
+        lowest, middle, highest = ordered[0], ordered[len(ordered) // 2], ordered[-1]
+        # Amplitude-domain IP3 extrapolation, referred to the per-tone input
+        # amplitude (each envelope tone carries half the RF amplitude): the
+        # fundamental grows as A while IM3 grows as A^3, so the two lines
+        # intercept at A * sqrt(fund / im3).
+        tone_amplitude = 0.5 * middle["rf_amplitude"]
+        iip3 = tone_amplitude * math.sqrt(
+            middle["fund_high_amplitude"] / max(middle["im3_high_amplitude"], 1e-30)
+        )
+        slope = math.log(
+            max(highest["im3_high_amplitude"], 1e-30)
+            / max(lowest["im3_high_amplitude"], 1e-30)
+        ) / math.log(highest["rf_amplitude"] / lowest["rf_amplitude"])
+        return {"iip3_tone_amplitude": iip3, "im3_slope": slope}
+
+    return BuiltScenario(
+        name=name,
+        params=params,
+        cases=cases,
+        cross_validation=CrossValidationPlan(frequency=4.0 * fd),
+        aggregate=aggregate,
+    )

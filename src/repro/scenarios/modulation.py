@@ -1,0 +1,348 @@
+"""Modulation schemes: constellations, I/Q envelopes, demodulation and EVM.
+
+The scenario library transmits digital constellations through the mixer
+netlists by amplitude-modulating the I and Q rails of a quadrature carrier
+(see ``envelope_q`` on the mixer builders).  This module provides
+
+* :class:`ModulationScheme` — a named constellation (BPSK/QPSK/8-PSK/16-QAM/
+  64-QAM) with bit-to-symbol mapping,
+* :func:`iq_symbol_envelopes` / :func:`ofdm_envelopes` — the periodic I/Q
+  baseband envelopes carrying a symbol sequence (one
+  :class:`~repro.signals.bitstream.SymbolStreamEnvelope` per rail, or one
+  :class:`~repro.signals.bitstream.FourierEnvelope` per rail for OFDM),
+* :func:`demodulate_symbols` / :func:`ofdm_demodulate` — recover the complex
+  symbols from a solved baseband envelope, and
+* :func:`error_vector_magnitude` — the RMS EVM after a least-squares complex
+  gain/phase fit.
+
+Demodulation detail: with the RF carrier ``fd`` below the LO (or its
+harmonic), the down-converted output is not the symbol envelope itself but
+``Re[(I + jQ)(t) * e^{j 2 pi fd t}]`` times a conversion gain — a
+difference-frequency *beat* multiplies the symbols.  Per-slot averaging
+cannot undo this (a symbol slot spans only a fraction of a beat cycle, so the
+conjugate image does not integrate away); instead :func:`demodulate_symbols`
+solves one joint linear least-squares system, per slot ``k``:
+
+    ``bb(t) = a_k cos(2 pi fd t) - b_k sin(2 pi fd t) + c``   for t in slot k
+
+whose solution gives the complex symbol estimate ``s_k = a_k + j b_k`` and a
+shared DC offset ``c``.  The residual phase/gain ambiguity (the MPDE slow
+axis has an arbitrary phase origin, which cyclically rotates the sequence and
+rotates every symbol by a common phase) is then removed by
+:func:`error_vector_magnitude`'s gain fit minimised over cyclic shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..signals.bitstream import FourierEnvelope, SymbolStreamEnvelope
+from ..signals.spectrum import fourier_coefficient
+from ..signals.waveform import Waveform
+from ..utils.exceptions import AnalysisError, ConfigurationError
+from ..utils.validation import check_positive
+
+__all__ = [
+    "ModulationScheme",
+    "psk_scheme",
+    "qam_scheme",
+    "get_scheme",
+    "scheme_names",
+    "iq_symbol_envelopes",
+    "ofdm_envelopes",
+    "demodulate_symbols",
+    "ofdm_demodulate",
+    "error_vector_magnitude",
+]
+
+
+@dataclass(frozen=True)
+class ModulationScheme:
+    """A named constellation mapping bit groups to complex symbols.
+
+    ``constellation[i]`` is the symbol for the ``bits_per_symbol``-bit group
+    with MSB-first integer value ``i``.  Constellations are peak-normalised
+    (``max |c| = 1``) so the RF drive amplitude bounds the instantaneous
+    envelope for every scheme alike.
+    """
+
+    name: str
+    bits_per_symbol: int
+    constellation: tuple[complex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.constellation) != 2**self.bits_per_symbol:
+            raise ConfigurationError(
+                f"scheme {self.name!r}: constellation size "
+                f"{len(self.constellation)} != 2**{self.bits_per_symbol}"
+            )
+
+    @property
+    def order(self) -> int:
+        """Number of constellation points."""
+        return len(self.constellation)
+
+    def symbols_from_bits(self, bits) -> np.ndarray:
+        """Map a bit sequence (length a multiple of ``bits_per_symbol``) to symbols."""
+        bits = np.asarray(bits, dtype=int)
+        if bits.size == 0 or bits.size % self.bits_per_symbol != 0:
+            raise ConfigurationError(
+                f"bit count {bits.size} is not a positive multiple of "
+                f"bits_per_symbol={self.bits_per_symbol}"
+            )
+        if np.any((bits != 0) & (bits != 1)):
+            raise ConfigurationError("bits must contain only 0s and 1s")
+        groups = bits.reshape(-1, self.bits_per_symbol)
+        weights = 2 ** np.arange(self.bits_per_symbol - 1, -1, -1)
+        indices = groups @ weights
+        table = np.asarray(self.constellation, dtype=complex)
+        return table[indices]
+
+
+def psk_scheme(order: int, name: str | None = None) -> ModulationScheme:
+    """Phase-shift keying: ``order`` unit-magnitude symbols, Gray-free mapping.
+
+    For ``order >= 4`` points sit at ``exp(j*(2*pi*k/order + pi/order))`` —
+    the half-step offset keeps QPSK symbols off the I/Q axes (the familiar
+    ``(+-1 +-j)/sqrt(2)`` constellation) so both rails always carry signal.
+    BPSK keeps the classic real ``+-1`` pair.
+    """
+    if order < 2 or order & (order - 1):
+        raise ConfigurationError(f"PSK order must be a power of two >= 2, got {order}")
+    bits_per_symbol = int(order).bit_length() - 1
+    offset = np.pi / order if order > 2 else 0.0
+    angles = 2.0 * np.pi * np.arange(order) / order + offset
+    constellation = tuple(complex(np.cos(a), np.sin(a)) for a in angles)
+    return ModulationScheme(
+        name=name or f"psk{order}",
+        bits_per_symbol=bits_per_symbol,
+        constellation=constellation,
+    )
+
+
+def qam_scheme(order: int, name: str | None = None) -> ModulationScheme:
+    """Square quadrature amplitude modulation, peak-normalised.
+
+    ``order`` must be an even power of two (16, 64, ...); symbols lie on the
+    ``sqrt(order) x sqrt(order)`` grid with levels ``+-1, +-3, ...`` scaled so
+    the corner points have unit magnitude.
+    """
+    side = int(round(np.sqrt(order)))
+    if side * side != order or side < 2 or side & (side - 1):
+        raise ConfigurationError(
+            f"QAM order must be an even power of two (16, 64, ...), got {order}"
+        )
+    bits_per_symbol = int(order).bit_length() - 1
+    levels = np.arange(-(side - 1), side, 2, dtype=float)
+    scale = float(np.hypot(levels[-1], levels[-1]))
+    constellation = tuple(
+        complex(i_level / scale, q_level / scale) for i_level in levels for q_level in levels
+    )
+    return ModulationScheme(
+        name=name or f"qam{order}",
+        bits_per_symbol=bits_per_symbol,
+        constellation=constellation,
+    )
+
+
+_SCHEMES = {
+    scheme.name: scheme
+    for scheme in (
+        psk_scheme(2, "bpsk"),
+        psk_scheme(4, "qpsk"),
+        psk_scheme(8),
+        qam_scheme(16),
+        qam_scheme(64),
+    )
+}
+
+
+def get_scheme(name: str) -> ModulationScheme:
+    """Look up a built-in modulation scheme by name."""
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown modulation scheme {name!r}; available: {sorted(_SCHEMES)}"
+        ) from None
+
+
+def scheme_names() -> tuple[str, ...]:
+    """Names of the built-in modulation schemes."""
+    return tuple(sorted(_SCHEMES))
+
+
+def iq_symbol_envelopes(
+    scheme: ModulationScheme,
+    bits,
+    period: float,
+    *,
+    rise_fraction: float = 0.15,
+) -> tuple[SymbolStreamEnvelope, SymbolStreamEnvelope, np.ndarray]:
+    """The I/Q envelope pair transmitting ``bits`` over one slow period.
+
+    Returns ``(envelope_i, envelope_q, symbols)`` where the envelopes step
+    through the real and imaginary symbol coordinates with raised-cosine
+    transitions, and ``symbols`` is the transmitted complex sequence (the EVM
+    reference).
+    """
+    check_positive("period", period)
+    symbols = scheme.symbols_from_bits(bits)
+    symbol_period = period / symbols.size
+    envelope_i = SymbolStreamEnvelope(
+        symbols.real, symbol_period, rise_fraction=rise_fraction
+    )
+    envelope_q = SymbolStreamEnvelope(
+        symbols.imag, symbol_period, rise_fraction=rise_fraction
+    )
+    return envelope_i, envelope_q, symbols
+
+
+def ofdm_envelopes(
+    scheme: ModulationScheme,
+    bits,
+    n_subcarriers: int,
+    period: float,
+) -> tuple[FourierEnvelope, FourierEnvelope, np.ndarray]:
+    """I/Q envelopes of one OFDM symbol: ``n_subcarriers`` modulated harmonics.
+
+    Subcarrier ``k`` (1-based) is the ``k``-th harmonic of ``period`` carrying
+    one constellation point; the complex envelope is
+    ``sum_k c_k e^{j 2 pi k t / period} / n_subcarriers`` (normalised by the
+    subcarrier count so the peak envelope stays bounded by 1).  Returns
+    ``(envelope_i, envelope_q, symbols)`` with ``symbols`` the per-subcarrier
+    constellation points.
+    """
+    check_positive("period", period)
+    if n_subcarriers < 1:
+        raise ConfigurationError("n_subcarriers must be >= 1")
+    symbols = scheme.symbols_from_bits(bits)
+    if symbols.size != n_subcarriers:
+        raise ConfigurationError(
+            f"bit count maps to {symbols.size} symbols but {n_subcarriers} "
+            "subcarriers were requested"
+        )
+    harmonics = {
+        k + 1: complex(symbols[k]) / n_subcarriers for k in range(n_subcarriers)
+    }
+    envelope_i = FourierEnvelope(period, harmonics, part="real")
+    envelope_q = FourierEnvelope(period, harmonics, part="imag")
+    return envelope_i, envelope_q, symbols
+
+
+def demodulate_symbols(
+    baseband: Waveform,
+    difference_frequency: float,
+    n_symbols: int,
+    *,
+    guard_fraction: float = 0.25,
+) -> np.ndarray:
+    """Recover complex symbols from a down-converted baseband waveform.
+
+    Solves the joint least-squares model described in the module docstring:
+    per slot ``k``, ``bb(t) = a_k cos(w t) - b_k sin(w t) + c`` with
+    ``w = 2 pi fd``, sharing one DC offset ``c`` across slots; returns
+    ``a + j b`` per slot.  ``guard_fraction`` excludes samples near the slot
+    boundaries where the raised-cosine symbol transitions smear adjacent
+    symbols together.
+    """
+    check_positive("difference_frequency", difference_frequency)
+    if n_symbols < 1:
+        raise AnalysisError("n_symbols must be >= 1")
+    if not 0.0 <= guard_fraction < 0.5:
+        raise AnalysisError("guard_fraction must be in [0, 0.5)")
+    times = np.asarray(baseband.times, dtype=float)
+    values = np.asarray(baseband.values, dtype=float)
+    duration = baseband.duration
+    if duration <= 0.0:
+        raise AnalysisError("baseband waveform must span a positive duration")
+    slot = duration / n_symbols
+    local = (times - times[0]) / slot
+    index = np.minimum(np.floor(local).astype(int), n_symbols - 1)
+    frac = local - np.floor(local)
+    keep = (frac >= guard_fraction) & (frac <= 1.0 - guard_fraction)
+    if np.count_nonzero(keep) < 2 * n_symbols + 1:
+        raise AnalysisError(
+            f"only {np.count_nonzero(keep)} guarded samples for "
+            f"{2 * n_symbols + 1} unknowns; use a finer baseband waveform or a "
+            "smaller guard_fraction"
+        )
+    theta = 2.0 * np.pi * difference_frequency * times[keep]
+    rows = np.count_nonzero(keep)
+    design = np.zeros((rows, 2 * n_symbols + 1))
+    slot_of_row = index[keep]
+    design[np.arange(rows), 2 * slot_of_row] = np.cos(theta)
+    design[np.arange(rows), 2 * slot_of_row + 1] = -np.sin(theta)
+    design[:, -1] = 1.0
+    solution, *_ = np.linalg.lstsq(design, values[keep], rcond=None)
+    return solution[0:-1:2] + 1j * solution[1:-1:2]
+
+
+def ofdm_demodulate(
+    baseband: Waveform,
+    difference_frequency: float,
+    n_subcarriers: int,
+) -> np.ndarray:
+    """Recover per-subcarrier complex amplitudes from a baseband waveform.
+
+    After the difference-frequency beat, transmitted subcarrier ``k`` (the
+    ``k``-th harmonic of the envelope period) appears in the real baseband at
+    ``(k + 1) * fd``; its complex Fourier coefficient there is
+    ``gain * c_k / 2``, so projecting each line recovers the symbol vector up
+    to one common complex gain (removed by the EVM fit).
+    """
+    check_positive("difference_frequency", difference_frequency)
+    if n_subcarriers < 1:
+        raise AnalysisError("n_subcarriers must be >= 1")
+    return np.asarray(
+        [
+            2.0 * fourier_coefficient(baseband, (k + 1) * difference_frequency)
+            for k in range(1, n_subcarriers + 1)
+        ],
+        dtype=complex,
+    )
+
+
+def error_vector_magnitude(
+    estimated: np.ndarray,
+    reference: np.ndarray,
+    *,
+    allow_cyclic_shift: bool = True,
+) -> float:
+    """RMS error vector magnitude after a least-squares complex gain fit.
+
+    For each candidate alignment (cyclic shifts of ``reference`` when
+    ``allow_cyclic_shift`` — the MPDE slow axis fixes an arbitrary phase
+    origin, exactly as in ``BitRecovery.matches``), fit the single complex
+    gain ``g`` minimising ``|estimated - g * reference|`` and return the best
+
+        ``EVM = ||estimated - g ref|| / ||g ref||``
+
+    (RMS error normalised by the RMS of the fitted constellation).
+    """
+    estimated = np.asarray(estimated, dtype=complex).ravel()
+    reference = np.asarray(reference, dtype=complex).ravel()
+    if estimated.size != reference.size or estimated.size == 0:
+        raise AnalysisError(
+            f"estimated and reference must have equal nonzero length "
+            f"(got {estimated.size} and {reference.size})"
+        )
+    shifts = range(estimated.size) if allow_cyclic_shift else (0,)
+    best = np.inf
+    for shift in shifts:
+        candidate = np.roll(reference, shift)
+        denom = np.vdot(candidate, candidate).real
+        if denom <= 0.0:
+            continue
+        gain = np.vdot(candidate, estimated) / denom
+        fitted = gain * candidate
+        scale = float(np.linalg.norm(fitted))
+        if scale <= 0.0:
+            continue
+        evm = float(np.linalg.norm(estimated - fitted)) / scale
+        best = min(best, evm)
+    if not np.isfinite(best):
+        raise AnalysisError("EVM fit failed: reference constellation has no energy")
+    return best

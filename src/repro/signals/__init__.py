@@ -4,7 +4,9 @@ from .bitstream import (
     BitStreamEnvelope,
     ConstantEnvelope,
     Envelope,
+    FourierEnvelope,
     SinusoidalEnvelope,
+    SymbolStreamEnvelope,
     alternating_bits,
     prbs_bits,
     rectangular_pulse,
@@ -41,6 +43,8 @@ __all__ = [
     "ConstantEnvelope",
     "SinusoidalEnvelope",
     "BitStreamEnvelope",
+    "SymbolStreamEnvelope",
+    "FourierEnvelope",
     "prbs_bits",
     "alternating_bits",
     "rectangular_pulse",

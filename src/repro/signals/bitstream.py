@@ -38,6 +38,8 @@ __all__ = [
     "ConstantEnvelope",
     "SinusoidalEnvelope",
     "BitStreamEnvelope",
+    "SymbolStreamEnvelope",
+    "FourierEnvelope",
 ]
 
 _PRBS_TAPS = {
@@ -280,3 +282,125 @@ class BitStreamEnvelope(Envelope):
             high=high,
             rise_fraction=rise_fraction,
         )
+
+
+@dataclass(frozen=True)
+class SymbolStreamEnvelope(Envelope):
+    """Periodic envelope stepping through arbitrary real levels.
+
+    The generalisation of :class:`BitStreamEnvelope` needed by the modulation
+    schemes in :mod:`repro.scenarios.modulation`: each slot holds one real
+    *level* (an I or Q coordinate of a constellation point, not a 0/1 bit),
+    with the same raised-cosine transition from the previous level at the
+    start of each slot.  The pattern repeats with period
+    ``symbol_period * len(levels)``.
+    """
+
+    levels: tuple[float, ...]
+    symbol_period: float
+    rise_fraction: float = 0.15
+
+    def __init__(
+        self,
+        levels: Sequence[float],
+        symbol_period: float,
+        *,
+        rise_fraction: float = 0.15,
+    ) -> None:
+        levels_tuple = tuple(float(v) for v in levels)
+        if len(levels_tuple) < 1:
+            raise ConfigurationError("SymbolStreamEnvelope needs at least one level")
+        if not all(np.isfinite(levels_tuple)):
+            raise ConfigurationError("levels must be finite")
+        check_positive("symbol_period", symbol_period)
+        check_nonnegative("rise_fraction", rise_fraction)
+        if rise_fraction >= 0.5:
+            raise ConfigurationError("rise_fraction must be < 0.5")
+        object.__setattr__(self, "levels", levels_tuple)
+        object.__setattr__(self, "symbol_period", float(symbol_period))
+        object.__setattr__(self, "rise_fraction", float(rise_fraction))
+
+    @property
+    def period(self) -> float:  # type: ignore[override]
+        """Repetition period of the whole level pattern."""
+        return self.symbol_period * len(self.levels)
+
+    @property
+    def n_symbols(self) -> int:
+        """Number of slots in the repeating pattern."""
+        return len(self.levels)
+
+    def value(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        local = np.mod(t, self.period)
+        index = np.floor(local / self.symbol_period).astype(int) % self.n_symbols
+        frac = local / self.symbol_period - np.floor(local / self.symbol_period)
+        levels_arr = np.asarray(self.levels, dtype=float)
+        current = levels_arr[index]
+        previous = levels_arr[(index - 1) % self.n_symbols]
+        if self.rise_fraction == 0.0:
+            return current
+        r = self.rise_fraction
+        blend = np.where(frac < r, 0.5 * (1.0 - np.cos(np.pi * frac / r)), 1.0)
+        return previous + (current - previous) * blend
+
+
+@dataclass(frozen=True)
+class FourierEnvelope(Envelope):
+    """Periodic envelope given directly by a few Fourier harmonics.
+
+    ``value(t) = offset + Re/Im [ sum_k c_k * exp(2j*pi*k*t/period) ]``
+
+    with ``harmonics`` a sequence of ``(k, c_k)`` pairs (``k >= 1``).  This is
+    the natural container for OFDM-style multi-subcarrier envelopes (each
+    subcarrier is one harmonic of the symbol period) and for multi-tone
+    intermodulation stimuli (two pure envelope tones at harmonics ``ka`` and
+    ``kb``).  ``part`` selects the real part (the I rail) or the imaginary
+    part (the Q rail) of the complex sum, so an I/Q pair built from the same
+    coefficients transmits the complex envelope ``sum_k c_k e^{j k w t}``.
+    """
+
+    period: float
+    harmonics: tuple[tuple[int, complex], ...]
+    offset: float = 0.0
+    part: str = "real"
+
+    def __init__(
+        self,
+        period: float,
+        harmonics,
+        *,
+        offset: float = 0.0,
+        part: str = "real",
+    ) -> None:
+        check_positive("period", period)
+        if part not in ("real", "imag"):
+            raise ConfigurationError(f"part must be 'real' or 'imag', got {part!r}")
+        if isinstance(harmonics, dict):
+            pairs = sorted(harmonics.items())
+        else:
+            pairs = sorted((int(k), c) for k, c in harmonics)
+        normalised = tuple((int(k), complex(c)) for k, c in pairs)
+        if len(normalised) < 1:
+            raise ConfigurationError("FourierEnvelope needs at least one harmonic")
+        if any(k < 1 for k, _ in normalised):
+            raise ConfigurationError("harmonic indices must be >= 1")
+        if len({k for k, _ in normalised}) != len(normalised):
+            raise ConfigurationError("harmonic indices must be unique")
+        object.__setattr__(self, "period", float(period))
+        object.__setattr__(self, "harmonics", normalised)
+        object.__setattr__(self, "offset", float(offset))
+        object.__setattr__(self, "part", part)
+
+    @property
+    def max_harmonic(self) -> int:
+        """The highest harmonic index carried by the envelope."""
+        return max(k for k, _ in self.harmonics)
+
+    def value(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        total = np.zeros(np.shape(t), dtype=complex)
+        for k, coefficient in self.harmonics:
+            total = total + coefficient * np.exp(2j * np.pi * k * t / self.period)
+        component = total.real if self.part == "real" else total.imag
+        return self.offset + component

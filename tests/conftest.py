@@ -32,6 +32,15 @@ suite must pass identically with it armed, proving the recovery machinery
 end-to-end.  The CI workflow runs one such job (``tier1-faults``).  Tests
 that manage their own fault plans or assert on exact solver effort opt out
 with ``@pytest.mark.no_fault_injection``.
+
+Scenario-smoke tier-1 mode
+--------------------------
+Setting ``REPRO_TIER1_SCENARIO_SMOKE=1`` solves the first case of *every*
+registered scenario (at its downsized smoke configuration) once at session
+start, asserting convergence and finite metrics before any test runs — a
+fast end-to-end pre-flight of the registry, the circuit builders, grid
+selection and all three analyses.  The CI workflow runs one such job
+(``tier1-scenarios``).
 """
 
 from __future__ import annotations
@@ -114,6 +123,37 @@ def _tier1_factor_backend():
         yield
     finally:
         MPDESolver.__init__ = original
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _tier1_scenario_smoke():
+    """Honour ``REPRO_TIER1_SCENARIO_SMOKE`` (see the module docstring)."""
+    if os.environ.get("REPRO_TIER1_SCENARIO_SMOKE", "").strip() not in ("1", "true"):
+        yield
+        return
+    import math
+
+    from repro.scenarios import build_scenario_smoke, run_scenario, scenario_names
+
+    failures = []
+    for name in scenario_names():
+        try:
+            run = run_scenario(build_scenario_smoke(name), first_case_only=True)
+        except Exception as error:  # noqa: BLE001 — collect, report all at once
+            failures.append(f"{name}: {type(error).__name__}: {error}")
+            continue
+        stats = getattr(run.case_runs[0].result, "stats", None)
+        if stats is not None and not getattr(stats, "converged", True):
+            failures.append(f"{name}: solve did not converge")
+        for key, value in run.case_runs[0].metrics.items():
+            if not math.isfinite(value):
+                failures.append(f"{name}: metric {key!r} is not finite ({value!r})")
+    if failures:
+        pytest.fail(
+            "scenario smoke pre-flight failed:\n  " + "\n  ".join(failures),
+            pytrace=False,
+        )
+    yield
 
 
 @pytest.fixture(autouse=True)

@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import ShearedTimeScales, UnshearedTimeScales, verify_diagonal_property
+from repro.core import (
+    ShearedTimeScales,
+    TimescaleBandwidths,
+    UnshearedTimeScales,
+    recommend_grid,
+    verify_diagonal_property,
+)
 from repro.signals import ModulatedCarrierStimulus, SinusoidStimulus, TonePair
 from repro.utils import ShearError
 
@@ -133,3 +139,101 @@ class TestVerifyDiagonalProperty:
         stim = Broken(1.0, scales.fast_frequency)
         with pytest.raises(ShearError):
             verify_diagonal_property(stim, scales, np.linspace(0, 1e-5, 100))
+
+
+class TestTimescaleBandwidths:
+    def test_rejects_non_positive_and_non_integer_harmonics(self):
+        with pytest.raises(ShearError, match="fast_harmonics"):
+            TimescaleBandwidths(fast_harmonics=0, slow_harmonics=4)
+        with pytest.raises(ShearError, match="slow_harmonics"):
+            TimescaleBandwidths(fast_harmonics=4, slow_harmonics=-1)
+        with pytest.raises(ShearError, match="fast_harmonics"):
+            TimescaleBandwidths(fast_harmonics=2.5, slow_harmonics=4)
+
+    def test_for_symbol_stream_allocates_two_harmonics_per_symbol(self):
+        bw = TimescaleBandwidths.for_symbol_stream(6)
+        assert bw.slow_harmonics == 12
+        assert bw.fast_harmonics == 8
+        assert TimescaleBandwidths.for_symbol_stream(3, fast_harmonics=10) == (
+            TimescaleBandwidths(fast_harmonics=10, slow_harmonics=6)
+        )
+        with pytest.raises(ShearError, match="n_symbols"):
+            TimescaleBandwidths.for_symbol_stream(0)
+
+
+class TestRecommendGrid:
+    def test_paper_style_bandwidths(self):
+        # A hard-switched mixer carrying an 8-symbol stream: 10 fast
+        # harmonics -> 40 fast points, 16 slow harmonics -> 64 slow points.
+        grid = recommend_grid(TimescaleBandwidths(10, 16))
+        assert grid == (40, 64)
+
+    def test_floors_apply_to_degenerate_declarations(self):
+        assert recommend_grid(TimescaleBandwidths(1, 1)) == (8, 8)
+        assert recommend_grid(TimescaleBandwidths(1, 1), min_fast=16, min_slow=12) == (
+            16,
+            12,
+        )
+
+    def test_grids_are_always_even(self):
+        for fast in range(1, 12):
+            for slow in range(1, 12):
+                n_fast, n_slow = recommend_grid(
+                    TimescaleBandwidths(fast, slow), oversampling=1.3
+                )
+                assert n_fast % 2 == 0 and n_slow % 2 == 0
+
+    def test_oversampling_guarantee(self):
+        # The documented contract: each axis resolves its declared harmonics
+        # with at least the requested margin over the 2*h Nyquist minimum.
+        for fast in (1, 3, 8, 16):
+            for slow in (1, 2, 5, 24):
+                for oversampling in (1.0, 1.5, 2.0, 3.0):
+                    bw = TimescaleBandwidths(fast, slow)
+                    n_fast, n_slow = recommend_grid(bw, oversampling=oversampling)
+                    assert n_fast >= 2 * oversampling * fast
+                    assert n_slow >= 2 * oversampling * slow
+
+    def test_rejects_bad_knobs(self):
+        bw = TimescaleBandwidths(2, 2)
+        with pytest.raises(ShearError, match="oversampling"):
+            recommend_grid(bw, oversampling=0.5)
+        with pytest.raises(ShearError, match="floors"):
+            recommend_grid(bw, min_fast=1)
+
+
+class TestScenarioGridSelection:
+    """Every registered scenario's grid comes from recommend_grid.
+
+    This is the zero-config contract: a scenario declares *bandwidths*
+    (physics) and the grid (numerics) follows mechanically, with the
+    documented oversampling margin.
+    """
+
+    def test_every_case_uses_the_recommended_grid(self):
+        from repro.scenarios import build_scenario_smoke, scenario_names
+
+        for name in scenario_names():
+            for case in build_scenario_smoke(name).cases:
+                assert case.grid == recommend_grid(case.bandwidths), (
+                    f"{name}[{case.label}] grid {case.grid} does not match "
+                    f"recommend_grid({case.bandwidths})"
+                )
+
+    def test_every_case_resolves_its_declared_bandwidths(self):
+        from repro.core.timescales import GRID_OVERSAMPLING
+        from repro.scenarios import build_scenario_smoke, scenario_names
+
+        for name in scenario_names():
+            for case in build_scenario_smoke(name).cases:
+                n_fast, n_slow = case.grid
+                # Nyquist x the documented margin, or the conditioning floor.
+                assert n_fast >= min(
+                    2 * GRID_OVERSAMPLING * case.bandwidths.fast_harmonics, 8
+                )
+                assert n_fast >= 2 * case.bandwidths.fast_harmonics
+                assert n_slow >= 2 * case.bandwidths.slow_harmonics
+                # MPDE/HB cases must also resolve the stimulus the scales
+                # impose: at least the paper's 2x margin on the fast axis.
+                if case.analysis in ("mpde", "hb"):
+                    assert n_fast >= 8 and n_slow >= 8

@@ -1,0 +1,235 @@
+"""Unit tests for the modulation-scheme library (:mod:`repro.scenarios.modulation`).
+
+Constellation geometry, bit-to-symbol mapping, envelope construction, and the
+demodulation/EVM pipeline on *synthetic* basebands (the full circuit-level
+pipeline is exercised by ``tests/test_scenarios.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    ModulationScheme,
+    demodulate_symbols,
+    error_vector_magnitude,
+    get_scheme,
+    iq_symbol_envelopes,
+    ofdm_demodulate,
+    ofdm_envelopes,
+    psk_scheme,
+    qam_scheme,
+    scheme_names,
+)
+from repro.signals.bitstream import FourierEnvelope, SymbolStreamEnvelope
+from repro.signals.waveform import Waveform
+from repro.utils.exceptions import AnalysisError, ConfigurationError
+
+
+def synthetic_baseband(
+    symbols, difference_frequency, *, dc=0.0, gain=1.0, n_samples=4096
+):
+    """``Re[g * s_k * e^{j w t}] + dc`` with piecewise-constant symbol slots.
+
+    One slot per symbol over one difference period — exactly the model
+    :func:`demodulate_symbols` inverts, so recovery should be numerically
+    exact.
+    """
+    symbols = np.asarray(symbols, dtype=complex)
+    period = 1.0 / difference_frequency
+    times = np.linspace(0.0, period, n_samples)
+    slot = np.minimum(
+        (times / (period / symbols.size)).astype(int), symbols.size - 1
+    )
+    phasor = gain * symbols[slot] * np.exp(2j * np.pi * difference_frequency * times)
+    return Waveform(times, phasor.real + dc)
+
+
+# -- constellations ----------------------------------------------------------
+
+
+def test_builtin_scheme_registry():
+    assert scheme_names() == ("bpsk", "psk8", "qam16", "qam64", "qpsk")
+    with pytest.raises(ConfigurationError, match="unknown modulation scheme"):
+        get_scheme("msk")
+
+
+@pytest.mark.parametrize("name", ["bpsk", "qpsk", "psk8", "qam16", "qam64"])
+def test_constellation_size_and_normalisation(name):
+    scheme = get_scheme(name)
+    assert scheme.order == 2**scheme.bits_per_symbol
+    assert len(scheme.constellation) == scheme.order
+    magnitudes = np.abs(np.asarray(scheme.constellation))
+    # Peak-normalised: the largest symbol sits on the unit circle.
+    assert magnitudes.max() == pytest.approx(1.0)
+    # All points distinct.
+    points = np.asarray(scheme.constellation)
+    assert len({(round(p.real, 12), round(p.imag, 12)) for p in points}) == scheme.order
+
+
+def test_bpsk_is_real_antipodal():
+    scheme = get_scheme("bpsk")
+    assert scheme.constellation == (pytest.approx(1 + 0j), pytest.approx(-1 + 0j))
+
+
+@pytest.mark.parametrize("order", [4, 8, 16])
+def test_psk_points_sit_on_unit_circle_off_axes(order):
+    scheme = psk_scheme(order)
+    points = np.asarray(scheme.constellation)
+    assert np.abs(points) == pytest.approx(np.ones(order))
+    # Half-step offset: no point on the I or Q axis, so both rails carry signal.
+    assert np.abs(points.real).min() > 1e-9
+    assert np.abs(points.imag).min() > 1e-9
+
+
+def test_qpsk_is_the_classic_diagonal_constellation():
+    expected = {(s * np.sqrt(0.5), t * np.sqrt(0.5)) for s in (1, -1) for t in (1, -1)}
+    actual = {
+        (round(p.real, 12), round(p.imag, 12)) for p in get_scheme("qpsk").constellation
+    }
+    assert actual == {(round(a, 12), round(b, 12)) for a, b in expected}
+
+
+def test_qam16_grid_levels():
+    points = np.asarray(get_scheme("qam16").constellation)
+    # Levels +-1/sqrt(18), +-3/sqrt(18) on each rail; corners at |c| = 1.
+    levels = sorted({round(v, 12) for v in points.real})
+    expected = [lv / np.hypot(3.0, 3.0) for lv in (-3.0, -1.0, 1.0, 3.0)]
+    assert levels == pytest.approx(expected)
+    assert np.abs(points).max() == pytest.approx(1.0)
+
+
+def test_psk_and_qam_reject_bad_orders():
+    with pytest.raises(ConfigurationError, match="power of two"):
+        psk_scheme(6)
+    with pytest.raises(ConfigurationError, match="even power of two"):
+        qam_scheme(8)
+    with pytest.raises(ConfigurationError, match="constellation size"):
+        ModulationScheme("broken", 2, (1 + 0j, -1 + 0j))
+
+
+def test_symbols_from_bits_msb_first_mapping():
+    scheme = get_scheme("qpsk")
+    symbols = scheme.symbols_from_bits([0, 0, 0, 1, 1, 0, 1, 1])
+    table = np.asarray(scheme.constellation)
+    np.testing.assert_allclose(symbols, table[[0, 1, 2, 3]])
+
+
+def test_symbols_from_bits_validation():
+    scheme = get_scheme("qpsk")
+    with pytest.raises(ConfigurationError, match="multiple"):
+        scheme.symbols_from_bits([0, 1, 0])
+    with pytest.raises(ConfigurationError, match="only 0s and 1s"):
+        scheme.symbols_from_bits([0, 2])
+    with pytest.raises(ConfigurationError, match="multiple"):
+        scheme.symbols_from_bits([])
+
+
+# -- envelopes ---------------------------------------------------------------
+
+
+def test_iq_symbol_envelopes_carry_the_constellation_coordinates():
+    scheme = get_scheme("qam16")
+    bits = [0, 0, 0, 0, 1, 1, 1, 1, 0, 1, 1, 0]
+    env_i, env_q, symbols = iq_symbol_envelopes(scheme, bits, period=1e-4)
+    assert isinstance(env_i, SymbolStreamEnvelope)
+    assert symbols.size == 3
+    assert env_i.levels == pytest.approx(tuple(symbols.real))
+    assert env_q.levels == pytest.approx(tuple(symbols.imag))
+    assert env_i.period == pytest.approx(1e-4)
+    # Mid-slot (past the raised-cosine rise) the envelope equals the level.
+    slot = 1e-4 / 3
+    for k in range(3):
+        assert env_i((k + 0.6) * slot) == pytest.approx(symbols[k].real)
+
+
+def test_ofdm_envelopes_populate_one_harmonic_per_subcarrier():
+    scheme = get_scheme("qpsk")
+    bits = [0, 0, 0, 1, 1, 0, 1, 1]
+    env_i, env_q, symbols = ofdm_envelopes(scheme, bits, n_subcarriers=4, period=1e-4)
+    assert isinstance(env_i, FourierEnvelope)
+    coefficients = dict(env_i.harmonics)
+    assert sorted(coefficients) == [1, 2, 3, 4]
+    for k in range(4):
+        assert coefficients[k + 1] == pytest.approx(symbols[k] / 4)
+    with pytest.raises(ConfigurationError, match="subcarriers"):
+        ofdm_envelopes(scheme, bits, n_subcarriers=3, period=1e-4)
+
+
+# -- demodulation on synthetic basebands -------------------------------------
+
+
+@pytest.mark.parametrize("name", ["bpsk", "qpsk", "psk8", "qam16"])
+def test_demodulate_symbols_exactly_inverts_the_beat_model(name):
+    scheme = get_scheme(name)
+    rng = np.random.default_rng(20020610)
+    bits = rng.integers(0, 2, size=4 * scheme.bits_per_symbol)
+    symbols = scheme.symbols_from_bits(bits)
+    fd = 25e3
+    baseband = synthetic_baseband(symbols, fd, dc=0.17, gain=0.05)
+    recovered = demodulate_symbols(baseband, fd, symbols.size)
+    evm = error_vector_magnitude(recovered, symbols, allow_cyclic_shift=False)
+    assert evm < 1e-6
+
+
+def test_demodulate_symbols_handles_complex_gain_and_shift():
+    # A non-uniform symbol sequence: rolling it is NOT a global rotation
+    # (unlike the full QPSK progression), so the shift must really be searched.
+    scheme = get_scheme("qpsk")
+    symbols = scheme.symbols_from_bits([0, 0, 0, 0, 0, 1, 1, 1])
+    rotated = np.roll(symbols, 2) * (0.4 * np.exp(1j * 0.8))
+    fd = 10e3
+    recovered = demodulate_symbols(synthetic_baseband(rotated, fd), fd, symbols.size)
+    # The cyclic-shift-aware EVM fit removes both the rotation and the shift.
+    assert error_vector_magnitude(recovered, symbols) < 1e-6
+    # Without it the misalignment is visible.
+    assert error_vector_magnitude(recovered, symbols, allow_cyclic_shift=False) > 0.5
+
+
+def test_demodulate_symbols_validation():
+    wave = synthetic_baseband(np.array([1.0 + 0j]), 1e3, n_samples=64)
+    with pytest.raises(AnalysisError, match="guard_fraction"):
+        demodulate_symbols(wave, 1e3, 1, guard_fraction=0.5)
+    with pytest.raises(AnalysisError, match="n_symbols"):
+        demodulate_symbols(wave, 1e3, 0)
+    with pytest.raises(AnalysisError, match="guarded samples"):
+        demodulate_symbols(wave, 1e3, 30)
+
+
+def test_ofdm_demodulate_recovers_subcarrier_symbols():
+    scheme = get_scheme("qam16")
+    bits = np.array([0, 1, 1, 0, 0, 0, 1, 1, 1, 1, 0, 1])
+    env_i, env_q, symbols = ofdm_envelopes(scheme, bits, n_subcarriers=3, period=1.0)
+    fd = 1.0
+    times = np.linspace(0.0, 1.0, 8192)
+    envelope = env_i(times) + 1j * env_q(times)
+    baseband = Waveform(
+        times, (envelope * np.exp(2j * np.pi * fd * times)).real
+    )
+    recovered = ofdm_demodulate(baseband, fd, 3)
+    # Common gain 1/n_subcarriers from the envelope normalisation.
+    assert error_vector_magnitude(recovered, symbols, allow_cyclic_shift=False) < 1e-6
+
+
+# -- EVM ---------------------------------------------------------------------
+
+
+def test_evm_zero_for_scaled_rotated_copy():
+    symbols = get_scheme("psk8").symbols_from_bits([0, 0, 0, 1, 1, 1, 0, 1, 0])
+    scaled = symbols * (3.0 * np.exp(1j * 1.1))
+    assert error_vector_magnitude(scaled, symbols, allow_cyclic_shift=False) < 1e-12
+
+
+def test_evm_measures_relative_error():
+    reference = np.array([1 + 0j, -1 + 0j, 1j, -1j])
+    noisy = reference + 0.1
+    evm = error_vector_magnitude(noisy, reference, allow_cyclic_shift=False)
+    assert 0.0 < evm < 0.2
+
+
+def test_evm_validation():
+    with pytest.raises(AnalysisError, match="equal nonzero length"):
+        error_vector_magnitude(np.ones(3, dtype=complex), np.ones(2, dtype=complex))
+    with pytest.raises(AnalysisError, match="no energy"):
+        error_vector_magnitude(np.ones(2, dtype=complex), np.zeros(2, dtype=complex))
