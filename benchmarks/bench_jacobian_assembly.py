@@ -50,13 +50,23 @@ every analysis funnels through, on the paper's balanced mixer at the paper's
    only where the host can actually shard, with the skip reason recorded
    otherwise.  The solves are gated on bit-for-bit equal states first: a
    fast wrong answer is not a speedup.
+8. **Scenario enumeration** (PR 9) — wall time of one smoke solve per
+   registered scenario, mirroring the ``tier1-scenarios`` pre-flight.
+   Trend tracking only, no floor (the scenario set is expected to grow).
+9. **Service throughput** (PR 10) — repeated identical smoke requests
+   through the simulation service (``repro.service``), cold
+   (``memoize_results=False``, every request really solves on the shared
+   compiled-circuit cache) versus warm (memoised results).  The warm pass
+   must be >= 2x the cold throughput — the value of warm infrastructure is
+   the service's reason to exist.
 
 Results are written to ``BENCH_perf_assembly.json`` at the repository root so
 the perf trajectory is tracked from this PR onward.  ``--check`` exits
 non-zero when any performance floor (assembly speedup >= 3x, block-circulant
 iteration cut >= 3x, partially-averaged cut >= 1.5x, batched engine >= 2x,
-sharded evaluation >= 1.5x and resident-apply ``gmres_time_s`` cut >= 1.3x
-where applicable) is violated, for CI use.
+service warm-cache throughput >= 2x cold, plus sharded evaluation >= 1.5x
+and resident-apply ``gmres_time_s`` cut >= 1.3x where applicable) is
+violated, for CI use.
 """
 
 from __future__ import annotations
@@ -567,6 +577,58 @@ def bench_scenario_enumeration() -> dict:
     return record
 
 
+def bench_service_throughput(n_requests: int = 8) -> dict:
+    """Warm-infrastructure vs cold service throughput on repeat requests.
+
+    Both passes push the same ``n_requests`` identical smoke requests
+    through a :class:`~repro.service.SimulationService` (submit one, let it
+    finish, then submit the rest — the pattern of a sweep client reissuing
+    a known request).  The *cold* pass disables result memoisation, so
+    every request re-solves; the *warm* pass keeps the service defaults,
+    so repeats are served from the memoised result cache on top of the
+    compiled-circuit cache.  The floor asserts the warm path is at least
+    2x the cold throughput — the service's entire reason to keep warm
+    state around.
+    """
+    from repro.service import ServiceOptions, SimulationService
+
+    scenario = "frequency_doubler"
+
+    def run_pass(memoize: bool) -> tuple[float, object]:
+        service = SimulationService(
+            ServiceOptions(
+                n_workers=2, queue_capacity=n_requests, memoize_results=memoize
+            )
+        )
+        try:
+            start = time.perf_counter()
+            service.submit(scenario).result(timeout=600.0)
+            jobs = [service.submit(scenario) for _ in range(n_requests - 1)]
+            for job in jobs:
+                job.result(timeout=600.0)
+            elapsed = time.perf_counter() - start
+            snapshot = service.telemetry()
+        finally:
+            service.shutdown()
+        return elapsed, snapshot
+
+    cold_s, cold_snapshot = run_pass(memoize=False)
+    warm_s, warm_snapshot = run_pass(memoize=True)
+    return {
+        "scenario": scenario,
+        "n_requests": n_requests,
+        "cold_wall_time_s": cold_s,
+        "warm_wall_time_s": warm_s,
+        "cold_jobs_per_s": n_requests / cold_s,
+        "warm_jobs_per_s": n_requests / warm_s,
+        "warm_speedup": cold_s / warm_s,
+        "cold_compiled_cache_hit_rate": cold_snapshot.cache.hit_rate,
+        "warm_result_cache_hits": warm_snapshot.result_cache_hits,
+        "cold_latency_p50_s": cold_snapshot.latency_p50_s,
+        "warm_latency_p50_s": warm_snapshot.latency_p50_s,
+    }
+
+
 def main(check: bool = False, workers: int | None = None) -> dict:
     mixer = balanced_lo_doubling_mixer()
     mna = mixer.compile()
@@ -583,6 +645,7 @@ def main(check: bool = False, workers: int | None = None) -> dict:
     resident_apply = bench_resident_apply(mixer, mna, workers)
     mna.close()
     scenario_enumeration = bench_scenario_enumeration()
+    service_throughput = bench_service_throughput()
 
     payload = {
         "bench": "jacobian_assembly",
@@ -595,6 +658,7 @@ def main(check: bool = False, workers: int | None = None) -> dict:
         "parallel": parallel,
         "resident_apply": resident_apply,
         "scenario_enumeration": scenario_enumeration,
+        "service_throughput": service_throughput,
     }
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -732,6 +796,16 @@ def main(check: bool = False, workers: int | None = None) -> dict:
                 entry["wall_time_s"],
             )
         )
+    print("== simulation service throughput (%d repeat requests) ==" % service_throughput["n_requests"])
+    print(
+        "  cold %.2f jobs/s   warm %.2f jobs/s   speedup %.1fx   (compiled-cache hit rate cold: %.0f%%)"
+        % (
+            service_throughput["cold_jobs_per_s"],
+            service_throughput["warm_jobs_per_s"],
+            service_throughput["warm_speedup"],
+            100.0 * service_throughput["cold_compiled_cache_hit_rate"],
+        )
+    )
     print(f"wrote {OUTPUT_PATH}")
 
     floors = [
@@ -754,6 +828,11 @@ def main(check: bool = False, workers: int | None = None) -> dict:
             "batched engine >= 2x vs per-device loop (full evaluate_sparse)",
             engine["batched_speedup"],
             engine["batched_speedup"] >= 2.0,
+        ),
+        (
+            "service warm-cache throughput >= 2x cold",
+            service_throughput["warm_speedup"],
+            service_throughput["warm_speedup"] >= 2.0,
         ),
     ]
     if parallel["speedup_floor_applicable"]:

@@ -14,7 +14,11 @@ full circuit-simulation substrate the method runs on:
   LO-doubling mixer), a direct-conversion receiver, and RF metrics;
 * :mod:`repro.scenarios` — a registry of named, parameterised RF workloads
   (QAM/PSK/OFDM streams, receiver chains, conversion-gain and IP3 sweeps)
-  with automatic grid selection and golden-pinned cross-validation.
+  with automatic grid selection and golden-pinned cross-validation;
+* :mod:`repro.service` — the fault-tolerant simulation service: concurrent
+  scenario requests on warm infrastructure (compiled-circuit LRU cache,
+  bounded-queue orchestration with load shedding, per-job deadlines and
+  checkpoint-backed retries, service-level telemetry).
 
 Quick start::
 
@@ -27,7 +31,7 @@ Quick start::
     baseband = result.baseband_envelope("outp", node_neg="outn")
 """
 
-from . import analysis, circuits, core, linalg, rf, scenarios, signals, utils
+from . import analysis, circuits, core, linalg, rf, scenarios, service, signals, utils
 
 __version__ = "1.0.0"
 
@@ -38,6 +42,7 @@ __all__ = [
     "linalg",
     "rf",
     "scenarios",
+    "service",
     "signals",
     "utils",
     "__version__",

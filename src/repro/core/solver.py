@@ -992,9 +992,13 @@ class MPDESolver:
         except AnalysisError as exc:
             # Exhausted-ladder / terminal failures carry the latest
             # iteration-boundary checkpoint too, so even a failed solve's
-            # progress can seed a retry.
+            # progress can seed a retry — and the partial stats, so work
+            # done (and pool heals absorbed) before the failure stays
+            # visible to retry layers above.
             if exc.checkpoint is None:
                 exc.checkpoint = self._checkpoint
+            if getattr(exc, "partial_stats", None) is None:
+                exc.partial_stats = stats
             raise
         finally:
             stats.wall_time_seconds = time.perf_counter() - start

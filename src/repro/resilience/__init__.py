@@ -55,7 +55,9 @@ from .faultinject import (
     FaultSpec,
     active_fault_plan,
     build_profile_specs,
+    cache_build_fault,
     chaos_specs,
+    dispatch_fault,
     fault_site,
     gmres_stall,
     inject_faults,
@@ -88,6 +90,8 @@ __all__ = [
     "worker_crash",
     "worker_hang",
     "nan_evaluation",
+    "cache_build_fault",
+    "dispatch_fault",
     "PoolSupervisor",
     "RestartPolicy",
     "SupervisorEvent",

@@ -37,6 +37,8 @@ site                       context keys
 ``preconditioner.build``   ``kind`` (preconditioner mode name)
 ``worker.eval``            ``worker`` (shard index; runs in the child)
 ``mna.evaluate``           ``f`` (residual vector, mutable, poison in place)
+``service.cache_build``    ``key`` (compiled-circuit cache key being built)
+``service.job_dispatch``   ``job``, ``case``, ``attempt`` (1-based attempt)
 =========================  ====================================================
 """
 
@@ -51,14 +53,20 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
-from ..utils.exceptions import GMRESStagnationError, SingularMatrixError
+from ..utils.exceptions import (
+    GMRESStagnationError,
+    SingularMatrixError,
+    TransientServiceError,
+)
 
 __all__ = [
     "FaultInjected",
     "FaultSpec",
     "active_fault_plan",
     "build_profile_specs",
+    "cache_build_fault",
     "chaos_specs",
+    "dispatch_fault",
     "fault_site",
     "inject_faults",
     "singular_jacobian",
@@ -404,6 +412,47 @@ def nan_evaluation(
     )
 
 
+def cache_build_fault(*, at_call: int | None = None, count: int | None = 1) -> FaultSpec:
+    """Fail a compiled-circuit cache build (models an OOM or compile race).
+
+    Fires at the ``service.cache_build`` site of the simulation service's
+    :class:`~repro.service.cache.CompiledCircuitCache`, *before* the build
+    runs, so no half-built system is ever cached.  Raises
+    :class:`TransientServiceError` — classified as the retryable
+    ``"service"`` kind, so the job layer's retry budget (not the solver
+    ladder) absorbs it.
+    """
+
+    def _raise(context: dict[str, Any]) -> None:
+        raise TransientServiceError(
+            f"injected cache-build failure (key={context.get('key')!r})"
+        )
+
+    return FaultSpec(
+        site="service.cache_build", action=_raise, at_call=at_call, count=count
+    )
+
+
+def dispatch_fault(*, at_call: int | None = None, count: int | None = 1) -> FaultSpec:
+    """Fail a job dispatch (models a lost work item / executor hiccup).
+
+    Fires at the ``service.job_dispatch`` site, visited once per solve
+    attempt of every job, before the attempt touches the cache or the
+    solver.  Raises :class:`TransientServiceError` so the attempt is
+    retried against the job's backoff budget.
+    """
+
+    def _raise(context: dict[str, Any]) -> None:
+        raise TransientServiceError(
+            f"injected dispatch failure (job={context.get('job')!r}, "
+            f"case={context.get('case')!r}, attempt={context.get('attempt')!r})"
+        )
+
+    return FaultSpec(
+        site="service.job_dispatch", action=_raise, at_call=at_call, count=count
+    )
+
+
 # ---------------------------------------------------------------------------
 # Randomized chaos schedules
 # ---------------------------------------------------------------------------
@@ -414,6 +463,7 @@ def chaos_specs(
     *,
     n_faults: int | None = None,
     include_hangs: bool = False,
+    include_service: bool = False,
     hang_s: float = 30.0,
 ) -> tuple[FaultSpec, ...]:
     """Build a seeded random fault schedule for chaos-soak runs.
@@ -436,6 +486,13 @@ def chaos_specs(
     ``chaos:<seed>`` profile leaves them out while the dedicated soak
     harness (which pins short worker timeouts) opts in.
 
+    Service-layer faults (cache builds, job dispatches — recovered by the
+    job retry budget of :mod:`repro.service` rather than the solver ladder)
+    are likewise opt-in via ``include_service=True``: the opt-in keeps the
+    kind list — and therefore every existing seeded schedule — unchanged
+    for consumers that predate the service layer.  ``chaos-service:<seed>``
+    is the corresponding :func:`build_profile_specs` spelling.
+
     The same ``seed`` always yields the same schedule (``numpy``
     ``default_rng`` determinism), so a failing chaos run is replayable.
     """
@@ -443,6 +500,8 @@ def chaos_specs(
     kinds = ["worker_crash", "gmres_stall", "singular_jacobian", "nan_evaluation"]
     if include_hangs:
         kinds.append("worker_hang")
+    if include_service:
+        kinds.extend(["cache_build", "dispatch"])
     if n_faults is None:
         n_faults = int(rng.integers(1, 4))
     if n_faults < 1:
@@ -461,6 +520,10 @@ def chaos_specs(
             specs.append(
                 singular_jacobian(at_iteration=int(rng.integers(0, 3)), count=1)
             )
+        elif kind == "cache_build":
+            specs.append(cache_build_fault(at_call=at_call, count=1))
+        elif kind == "dispatch":
+            specs.append(dispatch_fault(at_call=at_call, count=1))
         else:
             specs.append(nan_evaluation(at_call=at_call, count=1, min_points=4))
     return tuple(specs)
@@ -491,6 +554,13 @@ _PROFILES: dict[str, Callable[[], FaultSpec]] = {
     # tear the pool down without zombies or leaked shared memory, and fall
     # back to the serial path.
     "worker_hang": lambda: worker_hang(count=1),
+    # First compiled-circuit cache build fails; the simulation service's
+    # job retry budget must rebuild and complete the request.  Outside the
+    # service layer the site is never visited, so the profile is inert for
+    # plain solver tests.
+    "cache_build": lambda: cache_build_fault(count=1),
+    # First job dispatch fails; the job layer must back off and retry.
+    "dispatch": lambda: dispatch_fault(count=1),
 }
 
 
@@ -500,8 +570,10 @@ def build_profile_specs(profile: str) -> tuple[FaultSpec, ...]:
     Besides the named profiles, ``chaos:<seed>`` expands to the seeded
     random schedule of :func:`chaos_specs` — the CI ``tier1-chaos`` job
     arms one per test, so the whole suite soaks under (replayable) random
-    recoverable faults.  Unknown names raise ``ValueError`` (catches typos
-    in CI config).  Returns new spec objects each call so per-test counters
+    recoverable faults — and ``chaos-service:<seed>`` to the same schedule
+    with the service-layer fault kinds included (the ``tier1-service``
+    job's profile).  Unknown names raise ``ValueError`` (catches typos in
+    CI config).  Returns new spec objects each call so per-test counters
     start at zero.
     """
     specs = []
@@ -509,21 +581,22 @@ def build_profile_specs(profile: str) -> tuple[FaultSpec, ...]:
         name = name.strip()
         if not name:
             continue
-        if name.startswith("chaos:"):
+        if name.startswith(("chaos:", "chaos-service:")):
+            kind, _, tail = name.partition(":")
             try:
-                seed = int(name.partition(":")[2])
+                seed = int(tail)
             except ValueError:
                 raise ValueError(
                     f"chaos profile needs an integer seed, got {name!r}"
                 ) from None
-            specs.extend(chaos_specs(seed))
+            specs.extend(chaos_specs(seed, include_service=(kind == "chaos-service")))
             continue
         try:
             factory = _PROFILES[name]
         except KeyError:
             raise ValueError(
                 f"unknown fault profile {name!r}; known: "
-                f"{sorted(_PROFILES)} or 'chaos:<seed>'"
+                f"{sorted(_PROFILES)}, 'chaos:<seed>' or 'chaos-service:<seed>'"
             ) from None
         specs.append(factory())
     return tuple(specs)

@@ -21,6 +21,10 @@ kind                        raised as / meaning
 ``"worker_pool"``           :class:`WorkerPoolError` — a forked shard
                             worker crashed, hung, or mis-answered.
 ``"non_finite"``            NaN/Inf contaminated a residual or iterate.
+``"service"``               :class:`ServiceError` — the simulation-service
+                            layer failed around a solve (cache build,
+                            dispatch, admission); the job retry budget — not
+                            the solver ladder — owns recovery.
 ``"unknown"``               anything else derived from :class:`ReproError`.
 ==========================  ==================================================
 """
@@ -33,6 +37,7 @@ from ..utils.exceptions import (
     ConvergenceError,
     DeadlineExceededError,
     GMRESStagnationError,
+    ServiceError,
     SingularMatrixError,
 )
 
@@ -46,6 +51,7 @@ FAILURE_KINDS = (
     "deadline",
     "worker_pool",
     "non_finite",
+    "service",
     "unknown",
 )
 
@@ -64,6 +70,8 @@ def classify_failure(exc: BaseException) -> str:
 
     if isinstance(exc, DeadlineExceededError):
         return "deadline"
+    if isinstance(exc, ServiceError):
+        return "service"
     if isinstance(exc, GMRESStagnationError):
         return "gmres_stagnation"
     if isinstance(exc, SingularMatrixError):

@@ -32,7 +32,7 @@ every registered workload.
 from __future__ import annotations
 
 import difflib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping
 
 from ..analysis.pss_fd import collocation_periodic_steady_state
@@ -353,12 +353,46 @@ def build_scenario_smoke(name: str, **overrides: Any) -> BuiltScenario:
     return build_scenario(name, **{**spec.smoke_overrides, **overrides})
 
 
-def solve_case(case: ScenarioCase):
-    """Solve one case with the analysis it declared, on its recommended grid."""
-    mna = case.circuit.compile()
+def solve_case(
+    case: ScenarioCase,
+    *,
+    mna=None,
+    options: MPDEOptions | None = None,
+    deadline_s: float | None = None,
+    checkpoint_path=None,
+    resume_from=None,
+):
+    """Solve one case with the analysis it declared, on its recommended grid.
+
+    ``mna`` supplies a pre-compiled system (the simulation service's
+    compiled-circuit cache hands warm systems in here; ``None`` compiles
+    ``case.circuit`` fresh).  ``options`` is an :class:`MPDEOptions`
+    template for the MPDE/HB analyses — the case's recommended grid always
+    overrides ``n_fast``/``n_slow``, everything else (recovery policy,
+    linear solver, parallelism) is honored.  ``deadline_s``,
+    ``checkpoint_path`` and ``resume_from`` plumb the resilience layer's
+    per-solve deadline and checkpoint/resume through to whichever analysis
+    the case declared, so registry workloads honor per-request budgets and
+    a retried request can continue from its
+    :class:`~repro.resilience.checkpoint.SolveCheckpoint` instead of
+    restarting from zero.
+    """
+    if mna is None:
+        mna = case.circuit.compile()
     if case.analysis == "mpde":
+        base = options if options is not None else MPDEOptions()
+        mpde_options = replace(
+            base,
+            n_fast=case.grid[0],
+            n_slow=case.grid[1],
+            deadline_s=deadline_s if deadline_s is not None else base.deadline_s,
+        )
         return solve_mpde(
-            mna, case.scales, MPDEOptions(n_fast=case.grid[0], n_slow=case.grid[1])
+            mna,
+            case.scales,
+            mpde_options,
+            resume_from=resume_from,
+            checkpoint_path=checkpoint_path,
         )
     if case.analysis == "hb":
         return two_tone_harmonic_balance(
@@ -366,8 +400,19 @@ def solve_case(case: ScenarioCase):
             case.scales,
             n_harmonics_fast=case.bandwidths.fast_harmonics,
             n_harmonics_slow=case.bandwidths.slow_harmonics,
+            options=options,
+            deadline_s=deadline_s,
+            resume_from=resume_from,
+            checkpoint_path=checkpoint_path,
         )
-    return collocation_periodic_steady_state(mna, case.period, case.grid[0])
+    return collocation_periodic_steady_state(
+        mna,
+        case.period,
+        case.grid[0],
+        deadline_s=deadline_s,
+        resume_from=resume_from,
+        checkpoint_path=checkpoint_path,
+    )
 
 
 def case_baseband(case: ScenarioCase, result) -> Waveform:
@@ -387,16 +432,40 @@ def case_baseband(case: ScenarioCase, result) -> Waveform:
     return result.differential_waveform(case.output_pos, neg)
 
 
-def run_scenario(scenario: BuiltScenario, *, first_case_only: bool = False) -> ScenarioRun:
+def run_scenario(
+    scenario: BuiltScenario,
+    *,
+    first_case_only: bool = False,
+    solve: Callable[[ScenarioCase], Any] | None = None,
+    deadline_s: float | None = None,
+    checkpoint_path=None,
+    resume_from=None,
+) -> ScenarioRun:
     """Solve a built scenario's cases and evaluate every metric.
 
     ``first_case_only`` is the smoke mode: one representative solve per
-    scenario, skipping sweep tails and aggregate metrics.
+    scenario, skipping sweep tails and aggregate metrics.  ``solve``
+    replaces the per-case solver (default :func:`solve_case`) — the
+    simulation service injects its cache-leasing, retrying solver here
+    while reusing this function's metric and aggregate logic unchanged.
+    ``deadline_s`` is a *per-case* budget (each case gets its own);
+    ``checkpoint_path``/``resume_from`` are forwarded to every case's
+    :func:`solve_case` (single-case scenarios are the useful shape — a
+    multi-case sweep would overwrite one checkpoint file per case).
     """
+    if solve is None:
+        def solve(case: ScenarioCase):
+            return solve_case(
+                case,
+                deadline_s=deadline_s,
+                checkpoint_path=checkpoint_path,
+                resume_from=resume_from,
+            )
+
     cases = scenario.cases[:1] if first_case_only else scenario.cases
     case_runs = []
     for case in cases:
-        result = solve_case(case)
+        result = solve(case)
         metrics = {
             key: float(value) for key, value in case.compute_metrics(case, result).items()
         }

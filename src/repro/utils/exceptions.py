@@ -175,6 +175,62 @@ class CheckpointError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The simulation service could not accept, run, or finish a request.
+
+    Base class of the service layer's structured failures: admission
+    rejections (:class:`ServiceOverloadedError`), retryable infrastructure
+    trouble (:class:`TransientServiceError`), and terminal job outcomes the
+    caller observes through ``Job.result()`` (cancelled / shed / shut-down
+    requests).
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a request: the service queue is full.
+
+    Raised *synchronously* by ``SimulationService.submit`` — load shedding
+    is structured and immediate, never a silently unbounded queue.  The
+    caller can back off and resubmit.
+
+    Parameters
+    ----------
+    message:
+        Human readable description.
+    queue_depth:
+        Number of requests queued when the submission was rejected.
+    capacity:
+        The configured queue capacity.
+    retry_after_s:
+        Suggested client backoff before resubmitting (an estimate from the
+        service's recent per-job latency), or ``None`` when the service has
+        completed nothing yet.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        queue_depth: int | None = None,
+        capacity: int | None = None,
+        retry_after_s: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+        self.retry_after_s = retry_after_s
+
+
+class TransientServiceError(ServiceError):
+    """A retryable service-infrastructure failure (cache build, dispatch).
+
+    Models trouble *around* a solve rather than inside it — a compiled-
+    circuit cache build that died, a dispatch hiccup.  Classified as the
+    ``"service"`` failure kind, which the job layer's retry budget treats
+    as retryable; the fault-injection service profiles raise this type.
+    """
+
+
 class MPDEError(ReproError):
     """The multi-time (MPDE) core failed to build or solve a problem."""
 

@@ -27,6 +27,7 @@ import json
 import math
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.scenarios import (
@@ -43,9 +44,10 @@ from repro.scenarios import (
     run_scenario,
     scenario_fingerprint,
     scenario_names,
+    solve_case,
     unregister_scenario,
 )
-from repro.utils.exceptions import ConfigurationError
+from repro.utils.exceptions import ConfigurationError, DeadlineExceededError
 
 GOLDENS_PATH = Path(__file__).parent / "goldens" / "scenarios.json"
 
@@ -351,3 +353,51 @@ def test_golden_metrics_pinned(name, all_runs, goldens):
             assert actual == pytest.approx(
                 expected, rel=spec.golden_rtol, abs=spec.golden_atol
             ), f"{name}[{label}].{key}: {actual} != pinned {expected}"
+
+
+# -- service plumbing: deadlines, checkpoints, solve hook --------------------
+
+
+def test_run_scenario_uses_the_injected_solve_hook():
+    scenario = build_scenario_smoke("frequency_doubler")
+    calls = []
+
+    def counting_solve(case):
+        calls.append(case.label)
+        return solve_case(case)
+
+    run = run_scenario(scenario, first_case_only=True, solve=counting_solve)
+    assert calls == [scenario.cases[0].label]
+    assert run.case_runs[0].metrics  # the hook's results still feed metrics
+
+
+def test_run_scenario_deadline_reaches_the_solver():
+    scenario = build_scenario_smoke("frequency_doubler")
+    with pytest.raises(DeadlineExceededError):
+        run_scenario(scenario, first_case_only=True, deadline_s=1e-9)
+
+
+def test_solve_case_deadline_reaches_the_solver():
+    case = build_scenario_smoke("frequency_doubler").cases[0]
+    with pytest.raises(DeadlineExceededError):
+        solve_case(case, deadline_s=1e-9)
+
+
+@pytest.mark.no_fault_injection
+def test_solve_case_accepts_a_precompiled_system():
+    case = build_scenario_smoke("frequency_doubler").cases[0]
+    default = solve_case(case)
+    precompiled = solve_case(case, mna=case.circuit.compile())
+    np.testing.assert_array_equal(default.states, precompiled.states)
+
+
+def test_solve_case_checkpoint_resume_round_trip(tmp_path):
+    # Persist checkpoints from a full solve, then resume a fresh solve from
+    # the final persisted snapshot: it validates and reproduces the states.
+    scenario = build_scenario_smoke("prbs_balanced_mixer")
+    case = scenario.cases[0]
+    path = tmp_path / "case.ckpt"
+    first = solve_case(case, checkpoint_path=path)
+    assert path.exists()
+    resumed = solve_case(case, resume_from=path)
+    np.testing.assert_allclose(resumed.states, first.states, rtol=1e-9, atol=1e-12)

@@ -1,0 +1,168 @@
+"""Checkpoint-backed job retries: resumed solves are bitwise-identical.
+
+Satellite contract of the simulation service: a job that dies mid-solve
+with a checkpoint attached is retried *from the checkpoint* — and the
+resumed trajectory is bit-for-bit the trajectory of an uninterrupted run,
+including the case where the retry lands on a worker-pool generation that
+was crash-healed underneath the first attempt.
+
+Every comparison here is ``assert_array_equal`` (bitwise), so the module
+opts out of the ambient CI fault profiles; faults are injected explicitly
+per test.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.parallel import detect_capabilities
+from repro.resilience import inject_faults, singular_jacobian, worker_crash
+from repro.scenarios import build_scenario_smoke, run_scenario, solve_case
+from repro.service import JobRetryPolicy, ServiceOptions, SimulationService, SweepRequest
+from repro.utils import EvaluationOptions, MPDEOptions, RecoveryPolicy, RestartPolicy
+
+from test_service import (
+    RC_SCENARIO,
+    register_service_scenarios,
+    unregister_service_scenarios,
+)
+
+pytestmark = pytest.mark.no_fault_injection
+
+_fork_only = pytest.mark.skipif(
+    not detect_capabilities().fork_available,
+    reason="needs the fork start method for shard worker pools",
+)
+
+#: Recovery disabled + no continuation: injected solver faults must escalate
+#: to the *job* retry layer instead of being absorbed by the in-solve ladder.
+_SOLVE_OPTIONS = MPDEOptions(recovery=RecoveryPolicy(enabled=False), use_continuation=False)
+
+_RETRY = JobRetryPolicy(max_retries=3, backoff_base_s=0.001, backoff_cap_s=0.01)
+
+#: Several Newton iterations, so a fault at iteration 2 finds a checkpoint.
+_NL = 3e-3
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _scenarios():
+    register_service_scenarios()
+    yield
+    unregister_service_scenarios()
+
+
+def _submit_and_wait(request):
+    with SimulationService(
+        ServiceOptions(n_workers=1, memoize_results=False, retry=_RETRY)
+    ) as svc:
+        job = svc.submit(request)
+        run = job.result(timeout=300.0)
+        snapshot = svc.telemetry()
+    return job, run, snapshot
+
+
+def _serial_reference(compile_options=None):
+    """The uninterrupted run: same scenario, options and compiled backend."""
+    systems = []
+
+    def solve(case):
+        mna = case.circuit.compile(options=compile_options)
+        systems.append(mna)
+        return solve_case(case, mna=mna, options=_SOLVE_OPTIONS)
+
+    try:
+        return run_scenario(
+            build_scenario_smoke(RC_SCENARIO, nl=_NL), first_case_only=True, solve=solve
+        )
+    finally:
+        for mna in systems:
+            mna.close()
+
+
+class TestCheckpointRetry:
+    def test_mid_solve_death_resumes_bitwise(self):
+        request = SweepRequest(
+            scenario=RC_SCENARIO,
+            overrides={"nl": _NL},
+            solve_options=_SOLVE_OPTIONS,
+            retry=_RETRY,
+        )
+        with inject_faults(singular_jacobian(at_iteration=2, count=1)) as plan:
+            job, run, _ = _submit_and_wait(request)
+        assert plan.specs[0].observed_fired() == 1
+        assert job.status == "succeeded"
+        assert [a.outcome for a in job.attempts] == ["retried", "succeeded"]
+        assert job.attempts[0].kind == "singular"
+        assert job.attempts[1].resumed_from_checkpoint
+
+        reference = _serial_reference()
+        np.testing.assert_array_equal(
+            run.case_runs[0].result.states, reference.case_runs[0].result.states
+        )
+        assert run.case_metrics == reference.case_metrics
+
+    def test_death_at_the_first_iteration_still_matches(self):
+        # A fault before any Newton progress: whether the retry resumes a
+        # checkpoint of the initial iterate or reruns from scratch, the
+        # final trajectory must still be bitwise that of an undisturbed run.
+        request = SweepRequest(
+            scenario=RC_SCENARIO,
+            overrides={"nl": _NL},
+            solve_options=_SOLVE_OPTIONS,
+            retry=_RETRY,
+        )
+        with inject_faults(singular_jacobian(at_iteration=0, count=1)):
+            job, run, _ = _submit_and_wait(request)
+        assert job.status == "succeeded"
+        assert job.retries == 1
+        reference = _serial_reference()
+        np.testing.assert_array_equal(
+            run.case_runs[0].result.states, reference.case_runs[0].result.states
+        )
+
+    @_fork_only
+    def test_retry_on_healed_pool_generation_is_bitwise(self):
+        # First attempt: a shard worker is killed (the supervisor heals the
+        # pool), then the Jacobian goes singular at iteration 2.  The retry
+        # resumes from the checkpoint on the *healed* pool generation and
+        # must land exactly where an undisturbed run lands.
+        compile_options = EvaluationOptions(
+            kernel_backend="sharded",
+            n_workers=2,
+            worker_timeout_s=30.0,
+            restart=RestartPolicy(max_restarts=10, backoff_base_s=0.001, backoff_cap_s=0.01),
+        )
+        request = SweepRequest(
+            scenario=RC_SCENARIO,
+            overrides={"nl": _NL},
+            solve_options=_SOLVE_OPTIONS,
+            compile_options=compile_options,
+            retry=_RETRY,
+        )
+        children_before = multiprocessing.active_children()
+        with inject_faults(
+            worker_crash(count=1, role="shard"),
+            singular_jacobian(at_iteration=2, count=1),
+        ) as plan:
+            job, run, snapshot = _submit_and_wait(request)
+        assert all(spec.observed_fired() >= 1 for spec in plan.specs)
+        assert job.status == "succeeded"
+        assert job.retries == 1
+        assert job.attempts[1].resumed_from_checkpoint
+        assert snapshot.heals >= 1  # the pool recovery is visible in telemetry
+
+        reference = _serial_reference(compile_options)
+        np.testing.assert_array_equal(
+            run.case_runs[0].result.states, reference.case_runs[0].result.states
+        )
+        # No stray shard workers: the service shutdown closed the cached
+        # system and its pools.
+        leaked = [
+            p for p in multiprocessing.active_children() if p not in children_before
+        ]
+        for proc in leaked:
+            proc.join(timeout=10.0)
+        assert not [p for p in leaked if p.is_alive()]
